@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablations for the design choices DESIGN.md calls out:
+ *
+ *  (a) commutativity detection: CLS depth with and without contracting
+ *      diagonal CNOT-Rz-CNOT blocks (the paper's Section 3.3.1 claim
+ *      that detection is what unlocks scheduling freedom);
+ *  (b) aggregation mobility window: how far the pass may look for a
+ *      mergeable partner (1 = adjacent-only);
+ *  (c) placement: recursive-bisection (METIS-substitute) vs identity
+ *      placement, measured in inserted SWAPs;
+ *  (d) oracle caching: hit rates over a full compilation.
+ */
+#include <cstdio>
+
+#include "aggregate/aggregate.h"
+#include "bench_common.h"
+#include "mapping/mapping.h"
+#include "util/table.h"
+#include "workloads/suite.h"
+
+using namespace qaic;
+
+namespace {
+
+/** Unit-latency oracle for depth-style comparisons. */
+class UnitOracle : public LatencyOracle
+{
+  public:
+    double latencyNs(const Gate &) override { return 1.0; }
+    std::string name() const override { return "unit"; }
+};
+
+void
+ablationDetection()
+{
+    std::printf("--- (a) commutativity detection: CLS schedule depth "
+                "---\n");
+    Table table({"benchmark", "CLS raw", "CLS + detection", "gain"});
+    for (const char *name :
+         {"MAXCUT-line", "MAXCUT-reg4", "MAXCUT-cluster", "UCCSD-n4"}) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        UnitOracle unit;
+        CommutationChecker checker;
+        double raw =
+            scheduleCls(spec.circuit, &checker, unit).makespan();
+        Circuit detected = detectDiagonalBlocks(spec.circuit, 10, nullptr);
+        double with =
+            scheduleCls(detected, &checker, unit).makespan();
+        table.addRow({name, Table::fmt(raw, 0), Table::fmt(with, 0),
+                      Table::fmt(raw / with, 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+ablationMobility()
+{
+    std::printf("--- (b) aggregation mobility window (sqrt-n3, "
+                "CLS+Aggregation latency) ---\n");
+    BenchmarkSpec spec = benchmarkByName("sqrt-n3");
+    DeviceModel device = DeviceModel::gridFor(spec.circuit.numQubits());
+    Table table({"window", "latency (ns)", "instructions"});
+    for (std::size_t window : {std::size_t(1), std::size_t(8),
+                               std::size_t(50), std::size_t(200)}) {
+        CompilerOptions options;
+        options.aggregation.mobilityWindow = window;
+        Compiler compiler(device, options);
+        CompilationResult r =
+            compiler.compile(spec.circuit, Strategy::kClsAggregation);
+        table.addRow({std::to_string(window), Table::fmt(r.latencyNs, 0),
+                      std::to_string(r.instructionCount)});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+ablationPlacement()
+{
+    std::printf("--- (c) placement heuristic: inserted SWAPs ---\n");
+    Table table({"benchmark", "identity placement", "recursive bisection"});
+    for (const char *name :
+         {"MAXCUT-line", "MAXCUT-reg4", "MAXCUT-cluster"}) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        DeviceModel device =
+            DeviceModel::gridFor(spec.circuit.numQubits());
+        std::vector<int> identity(spec.circuit.numQubits());
+        for (std::size_t q = 0; q < identity.size(); ++q)
+            identity[q] = static_cast<int>(q);
+        int trivial =
+            routeOnDevice(spec.circuit, device, identity).swapCount;
+        int placed = routeOnDevice(spec.circuit, device,
+                                   initialPlacement(spec.circuit, device))
+                         .swapCount;
+        table.addRow({name, std::to_string(trivial),
+                      std::to_string(placed)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+ablationCaching()
+{
+    std::printf("--- (d) latency-oracle caching over a full compile "
+                "---\n");
+    Table table({"benchmark", "oracle calls", "cache hits", "hit rate"});
+    for (const char *name : {"MAXCUT-reg4", "UCCSD-n4"}) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        auto cache =
+            std::make_shared<CachingOracle>(std::make_shared<AnalyticOracle>());
+        CommutationChecker checker;
+        Circuit detected = detectDiagonalBlocks(spec.circuit, 10, nullptr);
+        AggregationOptions options;
+        aggregateInstructions(detected, &checker, *cache, options);
+        std::size_t calls = cache->hits() + cache->misses();
+        table.addRow({name, std::to_string(calls),
+                      std::to_string(cache->hits()),
+                      Table::fmt(100.0 * double(cache->hits()) /
+                                     double(calls),
+                                 1) +
+                          "%"});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablations ===\n\n");
+    ablationDetection();
+    ablationMobility();
+    ablationPlacement();
+    ablationCaching();
+    return 0;
+}

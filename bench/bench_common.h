@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the paper's
+ * tables and figures.
+ */
+#ifndef QAIC_BENCH_BENCH_COMMON_H
+#define QAIC_BENCH_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "compiler/decompose.h"
+#include "schedule/schedule.h"
+
+namespace qaic::bench {
+
+/** Geometric mean of positive values. */
+inline double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/**
+ * Ops on the schedule's critical path: walks back from the op that
+ * finishes at the makespan through ops whose finish abuts the next op's
+ * start on a shared qubit.
+ */
+inline std::vector<const ScheduledOp *>
+criticalPath(const Schedule &schedule)
+{
+    std::vector<const ScheduledOp *> path;
+    if (schedule.ops.empty())
+        return path;
+    double makespan = schedule.makespan();
+    const ScheduledOp *current = nullptr;
+    for (const ScheduledOp &op : schedule.ops)
+        if (std::abs(op.finish() - makespan) < 1e-6)
+            current = &op;
+    while (current) {
+        path.push_back(current);
+        const ScheduledOp *prev = nullptr;
+        for (const ScheduledOp &op : schedule.ops) {
+            if (&op == current)
+                continue;
+            if (std::abs(op.finish() - current->start) > 1e-6)
+                continue;
+            for (int q : current->gate.qubits)
+                if (op.gate.actsOn(q)) {
+                    prev = &op;
+                    break;
+                }
+            if (prev)
+                break;
+        }
+        current = prev;
+    }
+    return path;
+}
+
+/**
+ * Gate-based-equivalent latency of one instruction: its members lowered
+ * to physical gates and ASAP-scheduled. The ratio duration/equivalent is
+ * the per-instruction pulse optimization factor of Figure 10.
+ */
+inline double
+isaEquivalentLatency(const Gate &gate, int num_qubits,
+                     LatencyOracle &oracle)
+{
+    Circuit single(num_qubits);
+    single.add(gate);
+    Circuit phys = decomposeToPhysical(single);
+    return scheduleAsap(phys, oracle).makespan();
+}
+
+} // namespace qaic::bench
+
+#endif // QAIC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Figure 10: allowed instruction width vs normalized circuit
+ * latency, for parallel workloads (left column of the paper's figure:
+ * MAXCUT, Ising) and serial ones (right column: square root, UCCSD).
+ *
+ * For each width the harness also reports the per-instruction pulse
+ * optimization band on the critical path — the ratio of each
+ * instruction's pulse time to its gate-based-equivalent time; the paper
+ * plots the least- and most-optimized instruction as the filled area.
+ *
+ * Expected shape: parallel circuits saturate at small widths (parallelism
+ * caps useful instruction size); serial circuits keep improving as the
+ * width limit grows toward the optimal-control scalability limit.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "oracle/oracle.h"
+#include "util/table.h"
+#include "workloads/suite.h"
+
+using namespace qaic;
+
+int
+main()
+{
+    std::printf("=== Figure 10: allowed instruction width vs normalized "
+                "latency ===\n\n");
+
+    const char *parallel[] = {"MAXCUT-line", "MAXCUT-reg4", "Ising-n30"};
+    const char *serial[] = {"sqrt-n3", "sqrt-n4", "UCCSD-n4"};
+    const int widths[] = {2, 3, 4, 6, 8, 10};
+
+    AnalyticOracle model;
+    for (const char **group : {parallel, serial}) {
+        bool is_parallel = group == parallel;
+        std::printf("--- %s applications ---\n",
+                    is_parallel ? "parallel" : "serialized");
+        for (int i = 0; i < 3; ++i) {
+            BenchmarkSpec spec = benchmarkByName(group[i]);
+            DeviceModel device =
+                DeviceModel::gridFor(spec.circuit.numQubits());
+
+            CompilerOptions base;
+            Compiler isa_compiler(device, base);
+            double isa =
+                isa_compiler.compile(spec.circuit, Strategy::kIsa)
+                    .latencyNs;
+
+            Table table({"width", "normalized latency", "best instr opt",
+                         "worst instr opt"});
+            for (int width : widths) {
+                CompilerOptions options;
+                options.maxInstructionWidth = width;
+                Compiler compiler(device, options);
+                CompilationResult r =
+                    compiler.compile(spec.circuit,
+                                     Strategy::kClsAggregation);
+
+                // Optimization band over critical-path instructions.
+                double best_ratio = 1.0, worst_ratio = 0.0;
+                for (const ScheduledOp *op :
+                     bench::criticalPath(r.schedule)) {
+                    if (op->duration <= 0.0)
+                        continue;
+                    double equivalent = bench::isaEquivalentLatency(
+                        op->gate, device.numQubits(), model);
+                    if (equivalent <= 0.0)
+                        continue;
+                    double ratio = op->duration / equivalent;
+                    best_ratio = std::min(best_ratio, ratio);
+                    worst_ratio = std::max(worst_ratio, ratio);
+                }
+                table.addRow({std::to_string(width),
+                              Table::fmt(r.latencyNs / isa, 3),
+                              Table::fmt(best_ratio, 3),
+                              Table::fmt(worst_ratio, 3)});
+                std::fflush(stdout);
+            }
+            std::printf("%s (ISA latency %.0f ns):\n%s\n", spec.name.c_str(),
+                        isa, table.render().c_str());
+        }
+    }
+    return 0;
+}

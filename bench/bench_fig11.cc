@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Figure 11: spatial locality vs aggregation benefit. Three
+ * QAOA instances (line / random-4-regular / cluster graphs, i.e. high /
+ * medium / low spatial locality) are compiled with CLS and with
+ * CLS+Aggregation; the figure reports the aggregated latency normalized
+ * to the post-CLS latency.
+ *
+ * All three instances use 30 qubits so the comparison isolates locality
+ * (the paper's Table 3 sizes would confound it — its line instance has
+ * 20 qubits; see EXPERIMENTS.md).
+ *
+ * Expected shape: the lower the spatial locality (the more SWAPs the
+ * mapper inserts), the lower the normalized latency — aggregation helps
+ * most where the communication overhead is largest.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+using namespace qaic;
+
+int
+main()
+{
+    std::printf("=== Figure 11: spatial locality vs aggregated latency "
+                "(CLS = 1.00 baseline; all instances 30 qubits) ===\n\n");
+
+    struct Row
+    {
+        const char *name;
+        const char *locality;
+        Graph graph;
+    };
+    const Row rows[] = {
+        {"MAXCUT-line", "High", lineGraph(30)},
+        {"MAXCUT-reg4", "Medium", randomRegularGraph(30, 4, 11)},
+        {"MAXCUT-cluster", "Low", clusterGraph(6, 5, 12)}};
+
+    Table table({"instance", "locality", "SWAPs", "CLS (ns)",
+                 "CLS+Agg (ns)", "normalized"});
+    for (const Row &row : rows) {
+        Circuit circuit = qaoaMaxcut(row.graph);
+        Compiler compiler(DeviceModel::gridFor(circuit.numQubits()));
+        CompilationResult cls = compiler.compile(circuit, Strategy::kCls);
+        CompilationResult agg =
+            compiler.compile(circuit, Strategy::kClsAggregation);
+        table.addRow({row.name, row.locality,
+                      std::to_string(agg.swapCount),
+                      Table::fmt(cls.latencyNs, 0),
+                      Table::fmt(agg.latencyNs, 0),
+                      Table::fmt(agg.latencyNs / cls.latencyNs, 3)});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("(paper: normalized latency decreases from line to "
+                "cluster — lower locality, larger aggregation win)\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates Figure 4: the QAOA-triangle worked example. Prints the
+ * gate-based vs aggregated critical-path latencies (paper: 381.9 ns vs
+ * 128.3 ns, a 2.97x reduction) and writes the two pulse realizations of
+ * the G3 instruction — concatenated per-gate pulses vs one optimized
+ * pulse — to CSV files (Figures 4c/4d).
+ */
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.h"
+#include "control/grape.h"
+#include "oracle/oracle.h"
+#include "util/table.h"
+#include "workloads/qaoa.h"
+
+using namespace qaic;
+
+namespace {
+
+/** Concatenates GRAPE pulses for each member gate (gate-based flavour). */
+PulseSequence
+gateBasedPulses(const DeviceModel &device, const std::vector<Gate> &gates)
+{
+    GrapeOptimizer grape(device);
+    GrapeOptions options;
+    options.maxIterations = 600;
+    options.restarts = 2;
+
+    PulseSequence out;
+    out.dt = options.dt;
+    out.amplitudes.assign(device.channels().size(), {});
+    AnalyticOracle model;
+    for (const Gate &g : gates) {
+        Circuit single(device.numQubits());
+        single.add(g);
+        auto search = grape.minimizeDuration(
+            single.unitary(), 2.0, model.latencyNs(g) * 3.0 + 25.0, 1.0,
+            options);
+        if (!search.found)
+            continue;
+        for (std::size_t k = 0; k < out.amplitudes.size(); ++k)
+            out.amplitudes[k].insert(
+                out.amplitudes[k].end(),
+                search.best.pulses.amplitudes[k].begin(),
+                search.best.pulses.amplitudes[k].end());
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 4: QAOA triangle, gate-based vs aggregated "
+                "compilation ===\n\n");
+
+    Circuit circuit = qaoaTriangleExample();
+    Compiler compiler(DeviceModel::line(3));
+    CompilationResult isa = compiler.compile(circuit, Strategy::kIsa);
+    CompilationResult agg =
+        compiler.compile(circuit, Strategy::kClsAggregation);
+
+    Table table({"scheme", "latency (ns)", "instructions"});
+    table.addRow({"gate-based (ISA)", Table::fmt(isa.latencyNs, 1),
+                  std::to_string(isa.instructionCount)});
+    table.addRow({"aggregated", Table::fmt(agg.latencyNs, 1),
+                  std::to_string(agg.instructionCount)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("latency reduction: %.2fx (paper: 381.9/128.3 = 2.97x)\n\n",
+                isa.latencyNs / agg.latencyNs);
+
+    // G3-flavoured pulse comparison: the CNOT-Rz-CNOT block.
+    DeviceModel pair = DeviceModel::line(2);
+    std::vector<Gate> members = {makeCnot(0, 1), makeRz(1, 5.67),
+                                 makeCnot(0, 1)};
+
+    PulseSequence gate_based = gateBasedPulses(pair, members);
+    std::ofstream("g3_pulses_gate_based.csv") << gate_based.toCsv(pair);
+
+    Gate block = makeAggregate(members, "G3");
+    GrapeOptimizer grape(pair);
+    GrapeOptions options;
+    options.maxIterations = 700;
+    options.restarts = 2;
+    auto search =
+        grape.minimizeDuration(block.matrix(), 4.0, 40.0, 0.5, options);
+    if (search.found) {
+        std::ofstream("g3_pulses_optimized.csv")
+            << search.best.pulses.toCsv(pair);
+        std::printf("G3 pulses: gate-based %.1f ns vs optimized %.1f ns "
+                    "(paper Fig. 4c/4d: ~145 ns vs ~42 ns)\n",
+                    gate_based.duration(), search.minimalDuration);
+        std::printf("CSV written: g3_pulses_gate_based.csv, "
+                    "g3_pulses_optimized.csv\n");
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figure 9 (the paper's main result) and Table 3: normalized
+ * circuit latency of each compilation strategy across the ten NISQ
+ * benchmarks, with gate-based ISA compilation as the 1.0 baseline.
+ *
+ * Paper's headline numbers: geometric-mean speedup 5.07x for
+ * CLS+Aggregation (max ~10x), 2.34x for CLS+HandOpt. The expected shape:
+ * CLS alone only helps commutative circuits (MAXCUT), aggregation
+ * dominates everywhere, serial circuits (sqrt, UCCSD) gain the most from
+ * aggregation relative to hand optimization.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table.h"
+#include "workloads/suite.h"
+
+using namespace qaic;
+
+int
+main()
+{
+    std::printf("=== Table 3: benchmark suite ===\n\n");
+    std::vector<BenchmarkSpec> suite = paperBenchmarkSuite();
+    Table specs({"benchmark", "purpose", "qubits", "gates", "parallelism",
+                 "locality", "commutativity"});
+    for (const BenchmarkSpec &s : suite)
+        specs.addRow({s.name, s.purpose,
+                      std::to_string(s.circuit.numQubits()),
+                      std::to_string(s.circuit.size()), s.parallelism,
+                      s.spatialLocality, s.commutativity});
+    std::printf("%s\n", specs.render().c_str());
+
+    std::printf("=== Figure 9: normalized latency (ISA = 1.00; lower is "
+                "better) ===\n\n");
+    const Strategy strategies[] = {
+        Strategy::kCls, Strategy::kClsHandOpt, Strategy::kAggregation,
+        Strategy::kClsAggregation};
+
+    Table fig({"benchmark", "ISA (ns)", "CLS", "CLS+HandOpt",
+               "Aggregation", "CLS+Aggregation", "speedup"});
+    std::vector<double> agg_speedups, hand_speedups;
+    for (const BenchmarkSpec &s : suite) {
+        Compiler compiler(DeviceModel::gridFor(s.circuit.numQubits()));
+        double isa = compiler.compile(s.circuit, Strategy::kIsa).latencyNs;
+        std::vector<std::string> row = {s.name, Table::fmt(isa, 0)};
+        double best = 1.0;
+        for (Strategy strat : strategies) {
+            double latency = compiler.compile(s.circuit, strat).latencyNs;
+            double normalized = latency / isa;
+            row.push_back(Table::fmt(normalized, 3));
+            if (strat == Strategy::kClsAggregation) {
+                agg_speedups.push_back(isa / latency);
+                best = isa / latency;
+            }
+            if (strat == Strategy::kClsHandOpt)
+                hand_speedups.push_back(isa / latency);
+        }
+        row.push_back(Table::fmt(best, 2) + "x");
+        fig.addRow(row);
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", fig.render().c_str());
+
+    std::printf("geomean speedup CLS+Aggregation: %.2fx  (paper: 5.07x)\n",
+                bench::geometricMean(agg_speedups));
+    std::printf("geomean speedup CLS+HandOpt:     %.2fx  (paper: 2.34x)\n",
+                bench::geometricMean(hand_speedups));
+    double max_speedup = 0.0;
+    for (double s : agg_speedups)
+        max_speedup = std::max(max_speedup, s);
+    std::printf("max speedup CLS+Aggregation:     %.2fx  (paper: ~10x)\n",
+                max_speedup);
+    return 0;
+}

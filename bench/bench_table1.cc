@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates Table 1: optimized pulse times for the individual gates of
+ * the QAOA-triangle example and for its aggregated instructions G1..Gn.
+ *
+ * Two columns are reported for the narrow instructions: the analytic
+ * speed-limit model the compiler uses at scale, and the true minimal
+ * duration found by the in-repo GRAPE unit (the paper's optimal control
+ * unit [32]). Paper values are printed for reference; absolute numbers
+ * differ from the authors' pulse stack, the ordering and aggregation
+ * gains are the reproduced shape.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "control/grape.h"
+#include "oracle/oracle.h"
+#include "util/table.h"
+#include "workloads/qaoa.h"
+
+using namespace qaic;
+
+namespace {
+
+double
+grapeMinimalDuration(const Gate &gate, double model_estimate)
+{
+    GrapeOracleOptions options;
+    options.grape.maxIterations = 500;
+    options.grape.restarts = 2;
+    options.resolution = 0.5;
+    options.maxWidth = 3;
+    (void)model_estimate;
+    GrapeLatencyOracle oracle(options);
+    return oracle.latencyNs(gate);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 1: instruction execution times for the QAOA "
+                "triangle circuit ===\n\n");
+
+    AnalyticOracle model;
+
+    // Upper half: the standard-gate-set times.
+    struct Row
+    {
+        const char *name;
+        Gate gate;
+        double paper;
+    };
+    std::vector<Row> gates = {
+        {"CNOT", makeCnot(0, 1), 47.1},
+        {"SWAP", makeSwap(0, 1), 50.1},
+        {"H", makeH(0), 13.7},
+        {"Rz(5.67)", makeRz(0, 5.67), 9.8},
+        {"Rx(1.26)", makeRx(0, 1.26), 6.1},
+    };
+
+    Table upper({"gate", "model (ns)", "GRAPE (ns)", "paper (ns)"});
+    for (const Row &row : gates) {
+        double m = model.latencyNs(row.gate);
+        // For the ISA baseline a CNOT is *decomposed* (two iSWAPs plus
+        // single-qubit layers), matching how the paper's gate-based
+        // compilation realizes it.
+        if (row.gate.kind == GateKind::kCnot)
+            m = bench::isaEquivalentLatency(row.gate, 2, model);
+        double g = grapeMinimalDuration(row.gate, m);
+        upper.addRow({row.name, Table::fmt(m, 1), Table::fmt(g, 1),
+                      Table::fmt(row.paper, 1)});
+    }
+    std::printf("%s\n", upper.render().c_str());
+
+    // Lower half: the aggregated instructions our compiler produces for
+    // the triangle circuit on a 3-qubit line.
+    Compiler compiler(DeviceModel::line(3));
+    CompilationResult agg =
+        compiler.compile(qaoaTriangleExample(), Strategy::kClsAggregation);
+
+    Table lower(
+        {"instruction", "width", "model (ns)", "GRAPE (ns)", "members"});
+    for (const Gate &g : agg.physicalCircuit.gates()) {
+        if (g.kind != GateKind::kAggregate)
+            continue;
+        double m = model.latencyNs(g);
+        double gr = g.width() <= 3 ? grapeMinimalDuration(g, m) : -1.0;
+        lower.addRow({g.payload->label, std::to_string(g.width()),
+                      Table::fmt(m, 1),
+                      gr >= 0 ? Table::fmt(gr, 1) : "-",
+                      std::to_string(g.payload->members.size())});
+    }
+    std::printf("%s", lower.render().c_str());
+    std::printf("\n(paper's aggregates: G1 54.9, G2 13.7, G3 42.0, "
+                "G4 31.4, G5 6.1 ns)\n");
+    return 0;
+}

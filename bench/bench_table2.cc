@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Regenerates Table 2 (the commutation relations commutativity detection
+ * relies on) as machine-checked facts, and microbenchmarks the
+ * commutativity checker and latency oracle with google-benchmark — the
+ * two hot primitives of the compilation frontend/backend loops.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gdg/commute.h"
+#include "gdg/gdg.h"
+#include "oracle/oracle.h"
+#include "util/table.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+using namespace qaic;
+
+namespace {
+
+void
+printTable2()
+{
+    std::printf("=== Table 2: gate commutation relations (checked by the "
+                "explicit unitary test) ===\n\n");
+    CommutationChecker checker;
+    Table table({"relation", "expected", "checked"});
+    auto row = [&](const char *name, const Gate &a, const Gate &b,
+                   bool expected) {
+        bool got = checker.commute(a, b);
+        table.addRow({name, expected ? "commute" : "depend",
+                      got == expected ? "OK" : "MISMATCH"});
+    };
+    row("gates on different qubits", makeH(0), makeCnot(1, 2), true);
+    row("control with Z-rotation", makeRz(0, 1.1), makeCnot(0, 1), true);
+    row("diagonal with diagonal", makeRzz(0, 1, 0.4), makeRzz(1, 2, 0.9),
+        true);
+    row("CNOTs sharing a control", makeCnot(0, 1), makeCnot(0, 2), true);
+    row("CNOTs sharing a target", makeCnot(0, 2), makeCnot(1, 2), true);
+    row("chained CNOTs", makeCnot(0, 1), makeCnot(1, 2), false);
+    row("Rz on a CNOT target", makeRz(1, 0.4), makeCnot(0, 1), false);
+    row("Rx with Rz on one qubit", makeRx(0, 0.4), makeRz(0, 0.4), false);
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+BM_CommutationCheckCached(benchmark::State &state)
+{
+    CommutationChecker checker;
+    Gate a = makeCnot(0, 1), b = makeCnot(1, 2);
+    checker.commute(a, b); // Warm the cache.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.commute(a, b));
+}
+BENCHMARK(BM_CommutationCheckCached);
+
+void
+BM_CommutationCheckMatrix(benchmark::State &state)
+{
+    Gate a = makeCnot(0, 1), b = makeCnot(1, 2);
+    for (auto _ : state) {
+        CommutationChecker checker; // Fresh cache: full matrix check.
+        benchmark::DoNotOptimize(checker.commute(a, b));
+    }
+}
+BENCHMARK(BM_CommutationCheckMatrix);
+
+void
+BM_AnalyticOracleBlock(benchmark::State &state)
+{
+    AnalyticOracle oracle;
+    Gate block = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "G");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.latencyNs(block));
+}
+BENCHMARK(BM_AnalyticOracleBlock);
+
+void
+BM_CachedOracleBlock(benchmark::State &state)
+{
+    CachingOracle oracle(std::make_shared<AnalyticOracle>());
+    Gate block = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "G");
+    oracle.latencyNs(block);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.latencyNs(block));
+}
+BENCHMARK(BM_CachedOracleBlock);
+
+void
+BM_GdgConstruction(benchmark::State &state)
+{
+    Circuit c = qaoaMaxcut(lineGraph(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        CommutationChecker checker;
+        Gdg gdg(c, &checker);
+        benchmark::DoNotOptimize(gdg.depth());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GdgConstruction)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

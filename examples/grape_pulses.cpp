@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quantum optimal control demo: synthesize minimal-duration pulses for an
+ * iSWAP and a CNOT on a coupled transmon pair with GRAPE, print the
+ * convergence trace (Figure 3 flavour), verify the integrated unitary,
+ * and dump the pulse shapes as CSV (Figure 4c/4d flavour).
+ */
+#include <cstdio>
+#include <fstream>
+
+#include "control/grape.h"
+#include "control/pulse.h"
+#include "ir/gate.h"
+#include "la/cmatrix.h"
+
+using namespace qaic;
+
+namespace {
+
+void
+synthesize(const char *name, const CMatrix &target, const char *csv_path)
+{
+    DeviceModel device = DeviceModel::line(2);
+    GrapeOptimizer grape(device);
+
+    GrapeOptions options;
+    options.maxIterations = 600;
+    options.restarts = 2;
+    options.targetFidelity = 0.999;
+
+    auto search = grape.minimizeDuration(target, 4.0, 60.0, 0.5, options);
+    if (!search.found) {
+        std::printf("%s: no converging duration found\n", name);
+        return;
+    }
+    std::printf("%s: minimal duration %.1f ns (%zu probes)\n", name,
+                search.minimalDuration, search.probes.size());
+    std::printf("  duration search:");
+    for (const auto &probe : search.probes)
+        std::printf(" %.1f->%s", probe.duration,
+                    probe.converged ? "ok" : "fail");
+    std::printf("\n  convergence (fidelity every 50 iters):");
+    for (std::size_t i = 0; i < search.best.trace.size(); i += 50)
+        std::printf(" %.4f", search.best.trace[i]);
+    std::printf(" -> %.5f\n", search.best.fidelity);
+
+    CMatrix u = pulseUnitary(device, search.best.pulses);
+    std::printf("  integrated-pulse process fidelity: %.6f\n",
+                processFidelity(u, target));
+
+    std::ofstream csv(csv_path);
+    csv << search.best.pulses.toCsv(device);
+    std::printf("  pulse shapes written to %s\n", csv_path);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("GRAPE pulse synthesis on an XY-coupled transmon pair\n");
+    std::printf("(mu1 = 0.1 GHz, mu2 = 0.02 GHz; Weyl-chamber bounds: "
+                "iSWAP 12.5 ns, CNOT 12.5 ns)\n\n");
+    synthesize("iSWAP", makeIswap(0, 1).matrix(), "iswap_pulses.csv");
+    synthesize("CNOT", makeCnot(0, 1).matrix(), "cnot_pulses.csv");
+    return 0;
+}

@@ -1,0 +1,297 @@
+#include "aggregate/aggregate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gdg/gdg.h"
+#include "ir/embed.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Flattens nested aggregates into a plain member list. */
+void
+collectMembers(const Gate &gate, std::vector<Gate> *out)
+{
+    if (gate.kind == GateKind::kAggregate) {
+        for (const Gate &m : gate.payload->members)
+            collectMembers(m, out);
+    } else {
+        out->push_back(gate);
+    }
+}
+
+/** Merged aggregate of two instructions (first acts first). */
+Gate
+mergeGates(const Gate &first, const Gate &second)
+{
+    std::vector<Gate> members;
+    collectMembers(first, &members);
+    collectMembers(second, &members);
+    // Eager matrices only for pair-width aggregates (cheap, and enables
+    // the diagonal commutation rule); wider ones stay lazy — the analytic
+    // oracle prices them from members alone.
+    return makeAggregate(std::move(members), "agg", 2);
+}
+
+/** Makespan of @p circuit under ASAP scheduling with oracle latencies. */
+double
+asapMakespan(const Circuit &circuit, LatencyOracle &oracle)
+{
+    std::vector<double> free_at(circuit.numQubits(), 0.0);
+    double makespan = 0.0;
+    for (const Gate &g : circuit.gates()) {
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, free_at[q]);
+        double fin = start + oracle.latencyNs(g);
+        for (int q : g.qubits)
+            free_at[q] = fin;
+        makespan = std::max(makespan, fin);
+    }
+    return makespan;
+}
+
+/** True if the two gates share at least one qubit. */
+bool
+overlaps(const Gate &a, const Gate &b)
+{
+    for (int q : a.qubits)
+        if (b.actsOn(q))
+            return true;
+    return false;
+}
+
+/** Support size of the union of two gates' supports. */
+int
+mergedWidth(const Gate &a, const Gate &b)
+{
+    std::set<int> s(a.qubits.begin(), a.qubits.end());
+    s.insert(b.qubits.begin(), b.qubits.end());
+    return static_cast<int>(s.size());
+}
+
+/**
+ * Reorders gates @p i and @p j of @p circuit to be adjacent and replaces
+ * the pair with their merged aggregate. Requires canMakeAdjacent.
+ */
+Circuit
+applyMerge(const Circuit &circuit, std::size_t i, std::size_t j,
+           CommutationChecker *checker)
+{
+    std::size_t at = 0;
+    Circuit reordered = makeAdjacent(circuit, i, j, checker, &at);
+    Circuit merged(circuit.numQubits());
+    for (std::size_t k = 0; k < reordered.size(); ++k) {
+        if (k == at) {
+            merged.add(mergeGates(reordered.gates()[at],
+                                  reordered.gates()[at + 1]));
+            ++k;
+        } else {
+            merged.add(reordered.gates()[k]);
+        }
+    }
+    return merged;
+}
+
+} // namespace
+
+Circuit
+detectDiagonalBlocks(const Circuit &circuit, int max_block_gates,
+                     int *blocks_found)
+{
+    const auto &gates = circuit.gates();
+    const std::size_t n = gates.size();
+    std::vector<bool> consumed(n, false);
+    int found = 0;
+
+    // For each unconsumed gate, grow the maximal contiguous run supported
+    // on a single pair (gates on disjoint qubits may interleave freely),
+    // then contract its longest diagonal prefix-run.
+    std::vector<std::vector<Gate>> replacement(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (consumed[i] || gates[i].width() > 2)
+            continue;
+
+        std::set<int> support(gates[i].qubits.begin(),
+                              gates[i].qubits.end());
+        std::vector<std::size_t> run{i};
+        for (std::size_t j = i + 1;
+             j < n && run.size() < static_cast<std::size_t>(max_block_gates);
+             ++j) {
+            if (consumed[j])
+                continue;
+            bool disjoint = true;
+            for (int q : gates[j].qubits)
+                if (support.count(q))
+                    disjoint = false;
+            if (disjoint)
+                continue;
+            std::set<int> merged = support;
+            merged.insert(gates[j].qubits.begin(), gates[j].qubits.end());
+            if (merged.size() > 2)
+                break;
+            support = std::move(merged);
+            run.push_back(j);
+        }
+        if (run.size() < 2 || support.size() != 2)
+            continue;
+
+        // Longest run prefix whose product is diagonal.
+        std::vector<int> reg(support.begin(), support.end());
+        CMatrix acc = CMatrix::identity(4);
+        std::size_t best_end = 0; // Exclusive; 0 = none.
+        for (std::size_t k = 0; k < run.size(); ++k) {
+            const Gate &g = gates[run[k]];
+            acc = embedUnitary(g.matrix(), g.qubits, reg) * acc;
+            if (acc.isDiagonal(1e-9))
+                best_end = k + 1;
+        }
+        if (best_end < 2)
+            continue;
+        bool has_two_qubit = false;
+        for (std::size_t k = 0; k < best_end; ++k)
+            if (gates[run[k]].width() == 2)
+                has_two_qubit = true;
+        if (!has_two_qubit)
+            continue;
+
+        std::vector<Gate> members;
+        for (std::size_t k = 0; k < best_end; ++k) {
+            members.push_back(gates[run[k]]);
+            consumed[run[k]] = true;
+        }
+        // The contraction sits at the position of the last member; every
+        // skipped gate in between was disjoint from the block's support,
+        // so the reordering is exact.
+        replacement[run[best_end - 1]] = {
+            makeAggregate(std::move(members), "dblk")};
+        ++found;
+    }
+
+    Circuit out(circuit.numQubits());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!replacement[i].empty()) {
+            for (Gate &g : replacement[i])
+                out.add(std::move(g));
+        } else if (!consumed[i]) {
+            out.add(gates[i]);
+        }
+    }
+    if (blocks_found)
+        *blocks_found = found;
+    return out;
+}
+
+AggregationResult
+aggregateInstructions(const Circuit &circuit, CommutationChecker *checker,
+                      LatencyOracle &oracle, AggregationOptions options)
+{
+    QAIC_CHECK(checker != nullptr);
+    AggregationResult result;
+    result.circuit = circuit;
+
+    for (int round = 0; round < options.maxRounds; ++round) {
+        result.rounds = round + 1;
+        const Circuit &current = result.circuit;
+        const auto &gates = current.gates();
+        const std::size_t n = gates.size();
+        double base_makespan = asapMakespan(current, oracle);
+
+        // Candidate actions: each instruction pairs with the nearest later
+        // instruction sharing a qubit (its GDG child), if movable next to
+        // it and within the width limit. Monotonicity = the merged
+        // circuit's critical path does not grow (Section 4.3).
+        struct Action
+        {
+            std::size_t i, j;
+            double gain;
+        };
+        std::vector<Action> actions;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t limit = std::min(n, i + 1 + options.mobilityWindow);
+            for (std::size_t j = i + 1; j < limit; ++j) {
+                if (!overlaps(gates[i], gates[j]))
+                    continue;
+                if (mergedWidth(gates[i], gates[j]) > options.maxWidth)
+                    break; // Nearest partner too wide; stop pairing i.
+                if (!canMakeAdjacent(current, i, j, checker))
+                    break;
+                Circuit merged = applyMerge(current, i, j, checker);
+                double makespan = asapMakespan(merged, oracle);
+                if (makespan <= base_makespan + 1e-9)
+                    actions.push_back({i, j, base_makespan - makespan});
+                break; // Only pair with the nearest overlapping partner.
+            }
+        }
+        if (actions.empty())
+            break;
+
+        // Apply a best-gain-first subset of actions whose [i, j] intervals
+        // are pairwise disjoint. Disjoint intervals keep index arithmetic
+        // exact: a merge confines all moves to [i, j] and removes exactly
+        // one gate, so later positions shift down by the number of merges
+        // applied before them.
+        std::stable_sort(actions.begin(), actions.end(),
+                         [](const Action &a, const Action &b) {
+                             return a.gain > b.gain;
+                         });
+        std::vector<std::pair<std::size_t, std::size_t>> chosen;
+        for (const Action &a : actions) {
+            bool clash = false;
+            for (const auto &[ci, cj] : chosen)
+                if (a.i <= cj && ci <= a.j) {
+                    clash = true;
+                    break;
+                }
+            if (!clash)
+                chosen.emplace_back(a.i, a.j);
+        }
+        std::sort(chosen.begin(), chosen.end());
+
+        Circuit work = result.circuit;
+        std::size_t removed = 0;
+        bool any = false;
+        for (auto [i, j] : chosen) {
+            std::size_t wi = i - removed;
+            std::size_t wj = j - removed;
+            // Mobility is invariant under the earlier disjoint merges,
+            // but re-check as a cheap safety net.
+            if (!canMakeAdjacent(work, wi, wj, checker))
+                continue;
+            work = applyMerge(work, wi, wj, checker);
+            ++removed;
+            ++result.actions;
+            any = true;
+        }
+        result.circuit = std::move(work);
+        if (!any)
+            break;
+    }
+
+    result.circuit = labelAggregates(result.circuit);
+    return result;
+}
+
+Circuit
+labelAggregates(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    int counter = 0;
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::kAggregate) {
+            auto payload = std::make_shared<AggregatePayload>(*g.payload);
+            payload->label = "G" + std::to_string(++counter);
+            Gate relabeled = g;
+            relabeled.payload = std::move(payload);
+            out.add(std::move(relabeled));
+        } else {
+            out.add(g);
+        }
+    }
+    return out;
+}
+
+} // namespace qaic

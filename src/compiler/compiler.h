@@ -1,0 +1,127 @@
+/**
+ * @file
+ * End-to-end compilation pipelines (paper Figure 5).
+ *
+ * All strategies share the frontend (flattened logical assembly, Toffoli
+ * lowering) and the mapping stage (recursive-bisection placement + SWAP
+ * routing). They differ in what the paper's two blue boxes do:
+ *
+ *  - kIsa            : program-order scheduling, per-physical-gate pulses
+ *                      (the left column of Figure 5; the 1.0 baseline).
+ *  - kCls            : commutativity detection + CLS logical scheduling,
+ *                      then the standard gate-based backend.
+ *  - kHandOpt        : gate-based backend with the known manual iSWAP
+ *                      tricks (direct SWAP/ZZ pulses, 1q fusion).
+ *  - kClsHandOpt     : CLS frontend + hand-optimized backend (the
+ *                      "CLS + hand optimization" bar of Figure 9).
+ *  - kAggregation    : backend instruction aggregation with optimal
+ *                      control pulses, without CLS.
+ *  - kClsAggregation : the paper's full proposal.
+ */
+#ifndef QAIC_COMPILER_COMPILER_H
+#define QAIC_COMPILER_COMPILER_H
+
+#include <memory>
+#include <string>
+
+#include "aggregate/aggregate.h"
+#include "device/device.h"
+#include "gdg/commute.h"
+#include "ir/circuit.h"
+#include "mapping/mapping.h"
+#include "oracle/oracle.h"
+#include "schedule/schedule.h"
+
+namespace qaic {
+
+/** Compilation strategy selector. */
+enum class Strategy
+{
+    kIsa,
+    kCls,
+    kHandOpt,
+    kClsHandOpt,
+    kAggregation,
+    kClsAggregation,
+};
+
+/** Human-readable strategy name. */
+std::string strategyName(Strategy strategy);
+
+/** Compiler configuration. */
+struct CompilerOptions
+{
+    /** Maximum aggregated-instruction width (optimal-control limit). */
+    int maxInstructionWidth = 10;
+    /** Analytic latency-model constants. */
+    AnalyticModelParams model;
+    /**
+     * Price instructions with real GRAPE searches (exact, slow) instead
+     * of the analytic model. Widths beyond grapeOptions.maxWidth fall
+     * back to the model either way.
+     */
+    bool useGrapeOracle = false;
+    GrapeLatencyOracle::Options grapeOptions;
+    /** Seed for the placement heuristic. */
+    std::uint64_t seed = 1;
+    /** Aggregation pass knobs (maxWidth is synced from above). */
+    AggregationOptions aggregation;
+};
+
+/** Everything a compilation run produces. */
+struct CompilationResult
+{
+    Strategy strategy = Strategy::kIsa;
+    /** Final instruction stream on physical qubits. */
+    Circuit physicalCircuit;
+    /** Its schedule; makespan is the paper's "circuit latency". */
+    Schedule schedule;
+    /** Mapping stage output. */
+    RoutingResult routing;
+    /** Total pulse-time latency in ns (schedule makespan). */
+    double latencyNs = 0.0;
+    /** SWAPs inserted by routing. */
+    int swapCount = 0;
+    /** Final instruction count. */
+    int instructionCount = 0;
+    /** Aggregated instructions among them. */
+    int aggregateCount = 0;
+    /** Widest final instruction. */
+    int maxWidth = 0;
+    /** Diagonal blocks contracted by commutativity detection. */
+    int diagonalBlocks = 0;
+
+    CompilationResult() : physicalCircuit(1) {}
+};
+
+/** End-to-end compiler bound to a device. */
+class Compiler
+{
+  public:
+    /** Creates a compiler for @p device with @p options. */
+    explicit Compiler(DeviceModel device, CompilerOptions options = {});
+
+    /** Compiles @p logical under @p strategy. */
+    CompilationResult compile(const Circuit &logical, Strategy strategy);
+
+    /** The (caching) oracle used for instruction latencies. */
+    LatencyOracle &oracle() { return *oracle_; }
+
+    /** The device this compiler targets. */
+    const DeviceModel &device() const { return device_; }
+
+    const CompilerOptions &options() const { return options_; }
+
+  private:
+    /** Latency of one logical gate under gate-based (ISA) lowering. */
+    double isaGateLatency(const Gate &gate);
+
+    DeviceModel device_;
+    CompilerOptions options_;
+    CommutationChecker checker_;
+    std::shared_ptr<CachingOracle> oracle_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_COMPILER_COMPILER_H

@@ -1,0 +1,84 @@
+#include "compiler/decompose.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "workloads/arith.h"
+
+namespace qaic {
+
+void
+appendCnotViaIswap(Circuit &circuit, int control, int target)
+{
+    // Verified numerically: equals CNOT(control, target) up to phase.
+    circuit.add(makeRx(target, M_PI / 2.0));
+    circuit.add(makeIswap(control, target));
+    circuit.add(makeRy(control, M_PI / 2.0));
+    circuit.add(makeIswap(control, target));
+    circuit.add(makeRz(control, M_PI / 2.0));
+    circuit.add(makeRy(target, M_PI));
+}
+
+Circuit
+decomposeCcx(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::kCcx)
+            appendToffoli(out, g.qubits[0], g.qubits[1], g.qubits[2]);
+        else
+            out.add(g);
+    }
+    return out;
+}
+
+namespace {
+
+void
+lowerGate(Circuit &out, const Gate &g, bool lower_aggregates)
+{
+    switch (g.kind) {
+      case GateKind::kCnot:
+        appendCnotViaIswap(out, g.qubits[0], g.qubits[1]);
+        return;
+      case GateKind::kCz:
+        // CZ = (I (x) H) CNOT (I (x) H).
+        out.add(makeH(g.qubits[1]));
+        appendCnotViaIswap(out, g.qubits[0], g.qubits[1]);
+        out.add(makeH(g.qubits[1]));
+        return;
+      case GateKind::kRzz:
+        // The standard CNOT-Rz-CNOT realization of exp(-i theta/2 ZZ).
+        appendCnotViaIswap(out, g.qubits[0], g.qubits[1]);
+        out.add(makeRz(g.qubits[1], g.params[0]));
+        appendCnotViaIswap(out, g.qubits[0], g.qubits[1]);
+        return;
+      case GateKind::kCcx:
+        QAIC_FATAL() << "run decomposeCcx before physical lowering";
+      case GateKind::kAggregate:
+        if (lower_aggregates) {
+            for (const Gate &m : g.payload->members)
+                lowerGate(out, m, lower_aggregates);
+        } else {
+            out.add(g); // Kept as a direct-pulse instruction.
+        }
+        return;
+      default:
+        // 1-qubit gates, iSWAP and SWAP are physical on this platform.
+        out.add(g);
+        return;
+    }
+}
+
+} // namespace
+
+Circuit
+decomposeToPhysical(const Circuit &circuit, bool lower_aggregates)
+{
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : circuit.gates())
+        lowerGate(out, g, lower_aggregates);
+    return out;
+}
+
+} // namespace qaic

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Gate decompositions used by the standard (ISA) compilation path on the
+ * XY/iSWAP superconducting architecture.
+ *
+ * The CNOT template — two iSWAPs with three single-qubit layers — was
+ * synthesized numerically against the exact CNOT unitary and is verified
+ * in the test suite:
+ *
+ *   CNOT(c,t) = [Rz(pi/2) c, Ry(pi) t] . iSWAP . [Ry(pi/2) c]
+ *               . iSWAP . [Rx(pi/2) t]            (right acts first)
+ */
+#ifndef QAIC_COMPILER_DECOMPOSE_H
+#define QAIC_COMPILER_DECOMPOSE_H
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** Lowers Toffolis to the standard CNOT+T network; other gates pass. */
+Circuit decomposeCcx(const Circuit &circuit);
+
+/**
+ * Lowers logical gates to the physical set of the XY architecture:
+ * 1-qubit rotations stay native; CNOT becomes the two-iSWAP template;
+ * CZ and Rzz lower through CNOT; SWAP stays native (the paper gives the
+ * baseline an individually-optimized SWAP pulse rather than 3 CNOTs).
+ *
+ * @param lower_aggregates If true, aggregates are flattened and lowered
+ *        member-wise (gate-based backends); if false they are kept as
+ *        direct-pulse instructions (the hand-optimization backend).
+ */
+Circuit decomposeToPhysical(const Circuit &circuit,
+                            bool lower_aggregates = true);
+
+/** Appends the two-iSWAP CNOT template acting as CNOT(control, target). */
+void appendCnotViaIswap(Circuit &circuit, int control, int target);
+
+} // namespace qaic
+
+#endif // QAIC_COMPILER_DECOMPOSE_H

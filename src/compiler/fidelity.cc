@@ -1,0 +1,48 @@
+#include "compiler/fidelity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+FidelityEstimate
+estimateFidelity(const Schedule &schedule, int num_qubits,
+                 const CoherenceParams &params)
+{
+    QAIC_CHECK_GT(num_qubits, 0);
+    QAIC_CHECK_GT(params.t2, 0.0);
+
+    std::vector<double> first(num_qubits, -1.0);
+    std::vector<double> last(num_qubits, -1.0);
+    std::size_t active_ops = 0;
+    for (const ScheduledOp &op : schedule.ops) {
+        if (op.duration <= 0.0)
+            continue;
+        ++active_ops;
+        for (int q : op.gate.qubits) {
+            QAIC_CHECK_LT(q, num_qubits);
+            if (first[q] < 0.0 || op.start < first[q])
+                first[q] = op.start;
+            if (op.finish() > last[q])
+                last[q] = op.finish();
+        }
+    }
+
+    FidelityEstimate estimate;
+    for (int q = 0; q < num_qubits; ++q) {
+        if (first[q] < 0.0)
+            continue; // Untouched qubit: no exposure.
+        double exposure = last[q] - first[q];
+        estimate.qubitExposureNs += exposure;
+        estimate.decoherence *= std::exp(-exposure / params.t2);
+    }
+    estimate.control =
+        std::pow(1.0 - params.instructionError,
+                 static_cast<double>(active_ops));
+    estimate.total = estimate.decoherence * estimate.control;
+    return estimate;
+}
+
+} // namespace qaic

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Decoherence-aware output-fidelity estimation.
+ *
+ * The paper's motivation (Section 1): "output fidelity decays at least
+ * exponentially with latency" — latency reduction is what makes NISQ
+ * computations feasible at all. This module quantifies that: given a
+ * schedule and per-qubit coherence times, it estimates the survival
+ * probability exp(-sum_q busy_or_idle_time(q)/T2) and the speedup's
+ * fidelity payoff. Idle qubits decohere too, so the estimate integrates
+ * each qubit's wall-clock exposure from its first to its last operation.
+ */
+#ifndef QAIC_COMPILER_FIDELITY_H
+#define QAIC_COMPILER_FIDELITY_H
+
+#include "schedule/schedule.h"
+
+namespace qaic {
+
+/** Simple coherence model. */
+struct CoherenceParams
+{
+    /** Dephasing/relaxation time constant per qubit (ns). A mid-range
+     *  transmon figure for the paper's era. */
+    double t2 = 50000.0;
+    /** Residual per-instruction error (control imperfections). */
+    double instructionError = 1e-4;
+};
+
+/** Decoherence-dominated estimate of a schedule's output fidelity. */
+struct FidelityEstimate
+{
+    /** Product of per-qubit exp(-exposure/T2). */
+    double decoherence = 1.0;
+    /** Product of per-instruction (1 - instructionError). */
+    double control = 1.0;
+    /** Combined estimate. */
+    double total = 1.0;
+    /** Sum over qubits of first-op-to-last-op exposure (ns). */
+    double qubitExposureNs = 0.0;
+};
+
+/**
+ * Estimates the output fidelity of @p schedule under @p params.
+ * Each qubit's exposure window runs from the start of its first
+ * instruction to the end of its last one.
+ *
+ * @param num_qubits Register size of the scheduled circuit.
+ */
+FidelityEstimate estimateFidelity(const Schedule &schedule, int num_qubits,
+                                  const CoherenceParams &params = {});
+
+} // namespace qaic
+
+#endif // QAIC_COMPILER_FIDELITY_H

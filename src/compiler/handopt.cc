@@ -1,0 +1,148 @@
+#include "compiler/handopt.h"
+
+#include <set>
+#include <vector>
+
+#include "aggregate/aggregate.h"
+#include "ir/embed.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** True if b undoes a (same support, product = identity up to phase). */
+bool
+areInverses(const Gate &a, const Gate &b)
+{
+    if (a.width() != b.width() || a.width() > 2)
+        return false;
+    std::set<int> sa(a.qubits.begin(), a.qubits.end());
+    std::set<int> sb(b.qubits.begin(), b.qubits.end());
+    if (sa != sb)
+        return false;
+    std::vector<int> reg(sa.begin(), sa.end());
+    CMatrix prod = embedUnitary(b.matrix(), b.qubits, reg) *
+                   embedUnitary(a.matrix(), a.qubits, reg);
+    return phaseDistance(prod, CMatrix::identity(prod.rows())) < 1e-9;
+}
+
+/** Removes adjacent inverse pairs; returns number of cancellations. */
+int
+cancelPass(Circuit *circuit)
+{
+    const auto &gates = circuit->gates();
+    const std::size_t n = gates.size();
+    std::vector<bool> removed(n, false);
+    int cancelled = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (removed[i])
+            continue;
+        // The next surviving gate touching any qubit of i.
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (removed[j])
+                continue;
+            bool touches = false;
+            for (int q : gates[i].qubits)
+                if (gates[j].actsOn(q))
+                    touches = true;
+            if (!touches)
+                continue;
+            if (areInverses(gates[i], gates[j])) {
+                removed[i] = removed[j] = true;
+                ++cancelled;
+            }
+            break;
+        }
+    }
+    if (cancelled > 0) {
+        Circuit out(circuit->numQubits());
+        for (std::size_t i = 0; i < n; ++i)
+            if (!removed[i])
+                out.add(gates[i]);
+        *circuit = std::move(out);
+    }
+    return cancelled;
+}
+
+/** Fuses runs of single-qubit gates per qubit into one pulse each. */
+int
+fuseSingleQubitRuns(Circuit *circuit)
+{
+    const auto &gates = circuit->gates();
+    const std::size_t n = gates.size();
+    std::vector<bool> consumed(n, false);
+    std::vector<std::vector<Gate>> replacement(n);
+    int fused = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (consumed[i] || gates[i].width() != 1)
+            continue;
+        int q = gates[i].qubits[0];
+        std::vector<std::size_t> run{i};
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (consumed[j] || !gates[j].actsOn(q))
+                continue;
+            if (gates[j].width() != 1)
+                break;
+            run.push_back(j);
+        }
+        if (run.size() < 2)
+            continue;
+
+        std::vector<Gate> members;
+        CMatrix prod = CMatrix::identity(2);
+        for (std::size_t k : run) {
+            members.push_back(gates[k]);
+            prod = gates[k].matrix() * prod;
+            consumed[k] = true;
+        }
+        ++fused;
+        // Identity products vanish entirely; others become one pulse.
+        if (phaseDistance(prod, CMatrix::identity(2)) >= 1e-9)
+            replacement[run.back()] = {
+                makeAggregate(std::move(members), "u1q")};
+    }
+    if (fused == 0)
+        return 0;
+    Circuit out(circuit->numQubits());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!replacement[i].empty())
+            for (Gate &g : replacement[i])
+                out.add(std::move(g));
+        else if (!consumed[i])
+            out.add(gates[i]);
+    }
+    *circuit = std::move(out);
+    return fused;
+}
+
+} // namespace
+
+Circuit
+handOptimize(const Circuit &circuit, HandOptStats *stats)
+{
+    HandOptStats local;
+    Circuit work = circuit;
+
+    for (int pass = 0; pass < 16; ++pass) {
+        int cancelled = cancelPass(&work);
+        local.cancelledPairs += cancelled;
+
+        int blocks = 0;
+        work = detectDiagonalBlocks(work, 10, &blocks);
+        local.zzTemplates += blocks;
+
+        int fused = fuseSingleQubitRuns(&work);
+        local.fusedSingleQubitRuns += fused;
+
+        if (cancelled + blocks + fused == 0)
+            break;
+    }
+    if (stats)
+        *stats = local;
+    return work;
+}
+
+} // namespace qaic

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * "Hand optimization" baseline: mechanically applies the known manual
+ * pulse-optimization tricks for iSWAP architectures ([39], [48] in the
+ * paper) — adjacent inverse-pair cancellation, fusing runs of
+ * single-qubit gates into one pulse, replacing CNOT-Rz-CNOT structures by
+ * a direct ZZ pulse, and keeping the individually-optimized SWAP pulse.
+ */
+#ifndef QAIC_COMPILER_HANDOPT_H
+#define QAIC_COMPILER_HANDOPT_H
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** Statistics of a hand-optimization pass. */
+struct HandOptStats
+{
+    int cancelledPairs = 0;
+    int fusedSingleQubitRuns = 0;
+    int zzTemplates = 0;
+};
+
+/**
+ * Applies the peephole rules to fixpoint. The result is unitarily
+ * identical to the input; remaining CNOTs are left for physical
+ * decomposition.
+ */
+Circuit handOptimize(const Circuit &circuit, HandOptStats *stats = nullptr);
+
+} // namespace qaic
+
+#endif // QAIC_COMPILER_HANDOPT_H

@@ -1,0 +1,128 @@
+#include "compiler/pulseplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Global channel index for a local channel of an embedded instruction. */
+std::size_t
+globalChannelIndex(const DeviceModel &device, const ControlChannel &local,
+                   const std::vector<int> &support)
+{
+    int q0 = support[local.q0];
+    int q1 = local.q1 >= 0 ? support[local.q1] : -1;
+    if (q1 >= 0 && q0 > q1)
+        std::swap(q0, q1);
+    const auto &channels = device.channels();
+    for (std::size_t k = 0; k < channels.size(); ++k) {
+        if (channels[k].type != local.type)
+            continue;
+        if (channels[k].q0 == q0 && channels[k].q1 == q1)
+            return k;
+    }
+    QAIC_FATAL() << "no device channel matches " << local.name()
+                 << " on the instruction's support";
+}
+
+} // namespace
+
+PulsePlan
+emitPulsePlan(const Schedule &schedule, const DeviceModel &device,
+              const PulsePlanOptions &options)
+{
+    QAIC_CHECK_GT(options.dt, 0.0);
+    PulsePlan plan;
+    plan.timeline.dt = options.dt;
+
+    double makespan = schedule.makespan();
+    std::size_t steps = static_cast<std::size_t>(
+        std::ceil(makespan / options.dt + 1e-9));
+    plan.timeline.amplitudes.assign(device.channels().size(),
+                                    std::vector<double>(steps, 0.0));
+
+    for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+        const ScheduledOp &op = schedule.ops[i];
+        PulseSlot slot;
+        slot.opIndex = i;
+        slot.start = op.start;
+        if (op.duration <= 0.0) {
+            plan.slots.push_back(slot);
+            continue;
+        }
+        std::size_t offset = static_cast<std::size_t>(
+            std::llround(op.start / options.dt));
+
+        const std::vector<int> &support = op.gate.qubits;
+        if (op.gate.width() <= options.grapeWidth) {
+            // True GRAPE synthesis on the instruction's local register.
+            std::vector<int> map(device.numQubits(), -1);
+            for (std::size_t k = 0; k < support.size(); ++k)
+                map[support[k]] = static_cast<int>(k);
+            Gate local = relabelGate(op.gate, map);
+            std::vector<std::pair<int, int>> couplings;
+            if (local.kind == GateKind::kAggregate) {
+                for (const Gate &m : local.payload->members)
+                    if (m.width() == 2)
+                        couplings.emplace_back(m.qubits[0], m.qubits[1]);
+            } else if (local.width() == 2) {
+                couplings.emplace_back(0, 1);
+            }
+            DeviceModel local_device(local.width(), std::move(couplings),
+                                     device.mu1(), device.mu2());
+            GrapeOptimizer grape(local_device);
+            GrapeOptions grape_options = options.grape;
+            grape_options.dt = options.dt;
+            double budget = op.duration *
+                            std::min(1.0, options.durationFactor);
+            GrapeResult pulse =
+                grape.optimize(local.matrix(), budget, grape_options);
+
+            // Never write past the slot: later instructions may reuse
+            // these channels immediately after op.finish().
+            std::size_t slot_span = static_cast<std::size_t>(
+                std::llround(op.duration / options.dt));
+            for (std::size_t lk = 0;
+                 lk < local_device.channels().size(); ++lk) {
+                std::size_t gk = globalChannelIndex(
+                    device, local_device.channels()[lk], support);
+                const auto &series = pulse.pulses.amplitudes[lk];
+                for (std::size_t j = 0; j < series.size() &&
+                                        j < slot_span &&
+                                        offset + j < steps;
+                     ++j)
+                    plan.timeline.amplitudes[gk][offset + j] = series[j];
+            }
+            slot.synthesized = true;
+            slot.fidelity = pulse.fidelity;
+            ++plan.synthesizedCount;
+            plan.worstFidelity =
+                std::min(plan.worstFidelity, pulse.fidelity);
+        } else {
+            // Beyond the optimal-control width limit: reserve the slot
+            // with a flat 10%-amplitude envelope on the support drives so
+            // the timeline shows the occupancy; the duration accounting
+            // is exact, the shape awaits a larger control unit.
+            std::size_t span = static_cast<std::size_t>(
+                std::llround(op.duration / options.dt));
+            for (std::size_t k = 0; k < device.channels().size(); ++k) {
+                const ControlChannel &ch = device.channels()[k];
+                if (ch.type == ControlChannel::Type::kXY ||
+                    !op.gate.actsOn(ch.q0))
+                    continue;
+                for (std::size_t j = 0;
+                     j < span && offset + j < steps; ++j)
+                    plan.timeline.amplitudes[k][offset + j] =
+                        0.1 * ch.maxAmplitude;
+            }
+        }
+        plan.slots.push_back(slot);
+    }
+    return plan;
+}
+
+} // namespace qaic

@@ -1,0 +1,238 @@
+#include "control/grape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eig.h"
+#include "la/expm.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+namespace {
+
+/** Adam state for one variable tensor. */
+struct Adam
+{
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    int step = 0;
+    std::vector<double> m;
+    std::vector<double> v;
+
+    explicit Adam(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+    /** In-place descent update of @p x along @p grad. */
+    void
+    update(std::vector<double> &x, const std::vector<double> &grad,
+           double lr)
+    {
+        ++step;
+        double c1 = 1.0 - std::pow(beta1, step);
+        double c2 = 1.0 - std::pow(beta2, step);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+            v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+            double mhat = m[i] / c1;
+            double vhat = v[i] / c2;
+            x[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+        }
+    }
+};
+
+} // namespace
+
+GrapeOptimizer::GrapeOptimizer(DeviceModel device)
+    : device_(std::move(device))
+{
+    ops_.reserve(device_.channels().size());
+    for (std::size_t k = 0; k < device_.channels().size(); ++k)
+        ops_.push_back(device_.channelOperator(k));
+}
+
+GrapeResult
+GrapeOptimizer::optimize(const CMatrix &target, double duration_ns,
+                         const GrapeOptions &options) const
+{
+    const std::size_t dim = std::size_t(1) << device_.numQubits();
+    QAIC_CHECK_EQ(target.rows(), dim);
+    QAIC_CHECK(target.isUnitary(1e-7)) << "GRAPE target must be unitary";
+    QAIC_CHECK_GT(duration_ns, 0.0);
+
+    const std::size_t num_ch = ops_.size();
+    const std::size_t steps = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(duration_ns / options.dt)));
+    const std::size_t num_vars = num_ch * steps;
+    const double two_pi = 2.0 * M_PI;
+    const double dsq = static_cast<double>(dim) * static_cast<double>(dim);
+
+    std::vector<double> umax(num_ch);
+    for (std::size_t k = 0; k < num_ch; ++k)
+        umax[k] = device_.channels()[k].maxAmplitude;
+
+    // Pre-scale channel operators by 2*pi once.
+    std::vector<CMatrix> scaled_ops(num_ch);
+    for (std::size_t k = 0; k < num_ch; ++k)
+        scaled_ops[k] = ops_[k] * Cmplx(two_pi, 0.0);
+
+    CMatrix target_dag = target.dagger();
+
+    GrapeResult best;
+    Rng rng(options.seed);
+
+    for (int restart = 0; restart < std::max(1, options.restarts);
+         ++restart) {
+        // Unconstrained variables; u = umax * tanh(v).
+        std::vector<double> vars(num_vars);
+        for (auto &v : vars)
+            v = rng.gaussian(0.4);
+
+        Adam adam(num_vars);
+        std::vector<double> grad(num_vars);
+        std::vector<double> u(num_vars);
+        std::vector<double> trace;
+        trace.reserve(options.maxIterations);
+
+        double fid = 0.0;
+        int iters = 0;
+        std::vector<EigResult> eigs(steps);
+        std::vector<CMatrix> prefix(steps + 1);
+        std::vector<CMatrix> suffix(steps + 1);
+
+        for (iters = 0; iters < options.maxIterations; ++iters) {
+            for (std::size_t i = 0; i < num_vars; ++i)
+                u[i] = umax[i / steps] * std::tanh(vars[i]);
+
+            // Forward pass: step Hamiltonians, eigs, propagators.
+            for (std::size_t j = 0; j < steps; ++j) {
+                CMatrix h(dim, dim);
+                for (std::size_t k = 0; k < num_ch; ++k) {
+                    double amp = u[k * steps + j];
+                    if (amp != 0.0)
+                        h += scaled_ops[k] * Cmplx(amp, 0.0);
+                }
+                eigs[j] = hermitianEig(h, 1e-6);
+            }
+            prefix[0] = CMatrix::identity(dim);
+            for (std::size_t j = 0; j < steps; ++j)
+                prefix[j + 1] =
+                    expiFromEig(eigs[j], options.dt) * prefix[j];
+            suffix[steps] = CMatrix::identity(dim);
+            for (std::size_t j = steps; j > 0; --j)
+                suffix[j - 1] =
+                    suffix[j] * expiFromEig(eigs[j - 1], options.dt);
+
+            Cmplx z = frobeniusInner(target, prefix[steps]);
+            fid = std::norm(z) / dsq;
+            trace.push_back(fid);
+            if (fid >= options.targetFidelity)
+                break;
+
+            // Backward pass: dF/du_k[j] = 2 Re(conj(z) Tr(W_j dU_j)) / d^2
+            // with W_j = P_{j-1} Ut^dag S_j.
+            for (std::size_t j = 0; j < steps; ++j) {
+                CMatrix w = prefix[j] * target_dag * suffix[j + 1];
+                for (std::size_t k = 0; k < num_ch; ++k) {
+                    CMatrix du = expiDirectionalDerivative(
+                        eigs[j], scaled_ops[k], options.dt);
+                    // Tr(W du) without forming the product.
+                    Cmplx tr(0.0, 0.0);
+                    for (std::size_t a = 0; a < dim; ++a)
+                        for (std::size_t b = 0; b < dim; ++b)
+                            tr += w(a, b) * du(b, a);
+                    double dfid = 2.0 * (std::conj(z) * tr).real() / dsq;
+
+                    std::size_t i = k * steps + j;
+                    // Loss = 1 - F + penalties; descend.
+                    double g = -dfid;
+                    double un = u[i] / umax[k];
+                    g += 2.0 * options.amplitudePenalty * un /
+                         (umax[k] * double(num_vars));
+                    // Slope penalty on neighbouring steps.
+                    if (options.slopePenalty > 0.0) {
+                        double left =
+                            j > 0 ? u[k * steps + j - 1] : 0.0;
+                        double right =
+                            j + 1 < steps ? u[k * steps + j + 1] : 0.0;
+                        g += 2.0 * options.slopePenalty *
+                             (2.0 * u[i] - left - right) /
+                             (umax[k] * umax[k] * double(num_vars));
+                    }
+                    // Chain rule through u = umax * tanh(v).
+                    double du_dv = umax[k] - u[i] * u[i] / umax[k];
+                    grad[i] = g * du_dv;
+                }
+            }
+            adam.update(vars, grad, options.learningRate);
+        }
+
+        if (fid > best.fidelity) {
+            best.fidelity = fid;
+            best.iterations = iters;
+            best.converged = fid >= options.targetFidelity;
+            best.trace = std::move(trace);
+            best.pulses.dt = options.dt;
+            best.pulses.amplitudes.assign(num_ch, {});
+            for (std::size_t k = 0; k < num_ch; ++k) {
+                best.pulses.amplitudes[k].resize(steps);
+                for (std::size_t j = 0; j < steps; ++j)
+                    best.pulses.amplitudes[k][j] = u[k * steps + j];
+            }
+        }
+        if (best.converged)
+            break;
+    }
+    return best;
+}
+
+GrapeOptimizer::DurationSearch
+GrapeOptimizer::minimizeDuration(const CMatrix &target, double t_lo,
+                                 double t_hi, double resolution_ns,
+                                 const GrapeOptions &options) const
+{
+    QAIC_CHECK(t_lo > 0.0 && t_hi >= t_lo && resolution_ns > 0.0);
+    DurationSearch search;
+
+    auto probe = [&](double t) -> bool {
+        GrapeResult r = optimize(target, t, options);
+        search.probes.push_back({t, r.fidelity, r.converged});
+        if (r.converged &&
+            (!search.found || t < search.minimalDuration)) {
+            search.found = true;
+            search.minimalDuration = t;
+            search.best = std::move(r);
+        }
+        return search.probes.back().converged;
+    };
+
+    // Phase 1: grow from t_lo until a converging duration is found.
+    double lo = 0.0;
+    double hi = t_lo;
+    while (hi < t_hi && !probe(hi)) {
+        lo = hi;
+        hi = std::min(t_hi, hi * 1.6);
+        if (hi == lo)
+            break;
+    }
+    if (!search.found) {
+        if (hi < t_hi || !probe(t_hi))
+            return search;
+        lo = hi;
+        hi = t_hi;
+    }
+
+    // Phase 2: bisect [lo (fails), hi (converges)] to resolution.
+    hi = search.minimalDuration;
+    while (hi - lo > resolution_ns) {
+        double mid = 0.5 * (lo + hi);
+        if (probe(mid))
+            hi = search.minimalDuration;
+        else
+            lo = mid;
+    }
+    return search;
+}
+
+} // namespace qaic

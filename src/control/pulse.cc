@@ -1,0 +1,69 @@
+#include "control/pulse.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "la/expm.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+double
+PulseSequence::maxAbsAmplitude() const
+{
+    double m = 0.0;
+    for (const auto &series : amplitudes)
+        for (double v : series)
+            m = std::max(m, std::abs(v));
+    return m;
+}
+
+std::string
+PulseSequence::toCsv(const DeviceModel &device) const
+{
+    QAIC_CHECK_EQ(amplitudes.size(), device.channels().size());
+    std::ostringstream os;
+    os << "time_ns";
+    for (const ControlChannel &ch : device.channels())
+        os << "," << ch.name();
+    os << "\n";
+    char buf[64];
+    for (std::size_t j = 0; j < steps(); ++j) {
+        std::snprintf(buf, sizeof(buf), "%.3f", dt * double(j));
+        os << buf;
+        for (const auto &series : amplitudes) {
+            std::snprintf(buf, sizeof(buf), "%.6f", series[j]);
+            os << "," << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+CMatrix
+pulseUnitary(const DeviceModel &device, const PulseSequence &pulses)
+{
+    const std::size_t num_channels = device.channels().size();
+    QAIC_CHECK_EQ(pulses.amplitudes.size(), num_channels);
+
+    const std::size_t dim = std::size_t(1) << device.numQubits();
+    std::vector<CMatrix> ops(num_channels);
+    for (std::size_t k = 0; k < num_channels; ++k)
+        ops[k] = device.channelOperator(k);
+
+    CMatrix u = CMatrix::identity(dim);
+    const double two_pi = 2.0 * M_PI;
+    for (std::size_t j = 0; j < pulses.steps(); ++j) {
+        CMatrix h(dim, dim);
+        for (std::size_t k = 0; k < num_channels; ++k) {
+            double amp = pulses.amplitudes[k][j];
+            if (amp != 0.0)
+                h += ops[k] * Cmplx(two_pi * amp, 0.0);
+        }
+        u = expiHermitian(h, pulses.dt) * u;
+    }
+    return u;
+}
+
+} // namespace qaic

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Piecewise-constant control-pulse sequences — the compiler's final output.
+ */
+#ifndef QAIC_CONTROL_PULSE_H
+#define QAIC_CONTROL_PULSE_H
+
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+
+namespace qaic {
+
+/**
+ * Amplitudes for every control channel of a device over uniform time steps.
+ * amplitudes[k][j] is channel k's value (GHz) during step j.
+ */
+struct PulseSequence
+{
+    /** Time-step length in ns. */
+    double dt = 0.5;
+    /** Per-channel amplitude series; outer size = number of channels. */
+    std::vector<std::vector<double>> amplitudes;
+
+    /** Number of time steps. */
+    std::size_t steps() const
+    {
+        return amplitudes.empty() ? 0 : amplitudes.front().size();
+    }
+
+    /** Total duration in ns. */
+    double duration() const { return dt * static_cast<double>(steps()); }
+
+    /** Largest absolute amplitude over all channels and steps. */
+    double maxAbsAmplitude() const;
+
+    /**
+     * CSV rendering: header "time_ns,<channel names>", one row per step.
+     * @param device Supplies the channel names; must match channel count.
+     */
+    std::string toCsv(const DeviceModel &device) const;
+};
+
+/**
+ * Integrates the Schrodinger equation for a piecewise-constant pulse:
+ * U = prod_j exp(-i 2 pi dt sum_k u_k[j] H_k). Used both by GRAPE and by
+ * the verification unit (Section 3.6 of the paper).
+ */
+CMatrix pulseUnitary(const DeviceModel &device, const PulseSequence &pulses);
+
+} // namespace qaic
+
+#endif // QAIC_CONTROL_PULSE_H

@@ -1,0 +1,202 @@
+#include "device/device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "ir/embed.h"
+#include "ir/gate.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+std::string
+ControlChannel::name() const
+{
+    std::ostringstream os;
+    switch (type) {
+      case Type::kDriveX:
+        os << "x" << q0;
+        break;
+      case Type::kDriveY:
+        os << "y" << q0;
+        break;
+      case Type::kXY:
+        os << "xy" << q0 << "-" << q1;
+        break;
+    }
+    return os.str();
+}
+
+DeviceModel::DeviceModel(int num_qubits,
+                         std::vector<std::pair<int, int>> couplings,
+                         double mu1, double mu2)
+    : numQubits_(num_qubits), mu1_(mu1), mu2_(mu2),
+      couplings_(std::move(couplings)), adjacency_(num_qubits)
+{
+    QAIC_CHECK_GT(num_qubits, 0);
+    QAIC_CHECK_GT(mu1, 0.0);
+    QAIC_CHECK_GT(mu2, 0.0);
+
+    for (auto &[a, b] : couplings_) {
+        QAIC_CHECK(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_);
+        QAIC_CHECK_NE(a, b);
+        if (a > b)
+            std::swap(a, b);
+    }
+    std::sort(couplings_.begin(), couplings_.end());
+    couplings_.erase(std::unique(couplings_.begin(), couplings_.end()),
+                     couplings_.end());
+
+    for (int q = 0; q < numQubits_; ++q) {
+        channels_.push_back(
+            {ControlChannel::Type::kDriveX, q, -1, mu1_});
+        channels_.push_back(
+            {ControlChannel::Type::kDriveY, q, -1, mu1_});
+    }
+    for (const auto &[a, b] : couplings_) {
+        channels_.push_back({ControlChannel::Type::kXY, a, b, mu2_});
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+    }
+    for (auto &nbrs : adjacency_)
+        std::sort(nbrs.begin(), nbrs.end());
+}
+
+DeviceModel
+DeviceModel::line(int n, double mu1, double mu2)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return DeviceModel(n, std::move(edges), mu1, mu2);
+}
+
+DeviceModel
+DeviceModel::grid(int rows, int cols, double mu1, double mu2)
+{
+    QAIC_CHECK(rows > 0 && cols > 0);
+    std::vector<std::pair<int, int>> edges;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            int q = r * cols + c;
+            if (c + 1 < cols)
+                edges.emplace_back(q, q + 1);
+            if (r + 1 < rows)
+                edges.emplace_back(q, q + cols);
+        }
+    }
+    return DeviceModel(rows * cols, std::move(edges), mu1, mu2);
+}
+
+DeviceModel
+DeviceModel::gridFor(int n, double mu1, double mu2)
+{
+    int cols = static_cast<int>(std::ceil(std::sqrt(double(n))));
+    int rows = (n + cols - 1) / cols;
+    return grid(rows, cols, mu1, mu2);
+}
+
+DeviceModel
+DeviceModel::fullyConnected(int n, double mu1, double mu2)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            edges.emplace_back(a, b);
+    return DeviceModel(n, std::move(edges), mu1, mu2);
+}
+
+bool
+DeviceModel::adjacent(int a, int b) const
+{
+    const auto &nbrs = adjacency_[a];
+    return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+const std::vector<int> &
+DeviceModel::neighbors(int q) const
+{
+    return adjacency_[q];
+}
+
+int
+DeviceModel::distance(int a, int b) const
+{
+    if (a == b)
+        return 0;
+    std::vector<int> dist(numQubits_, -1);
+    std::deque<int> queue{a};
+    dist[a] = 0;
+    while (!queue.empty()) {
+        int q = queue.front();
+        queue.pop_front();
+        for (int nbr : adjacency_[q]) {
+            if (dist[nbr] < 0) {
+                dist[nbr] = dist[q] + 1;
+                if (nbr == b)
+                    return dist[nbr];
+                queue.push_back(nbr);
+            }
+        }
+    }
+    return -1;
+}
+
+std::vector<int>
+DeviceModel::shortestPath(int a, int b) const
+{
+    std::vector<int> parent(numQubits_, -1);
+    std::vector<bool> seen(numQubits_, false);
+    std::deque<int> queue{a};
+    seen[a] = true;
+    while (!queue.empty()) {
+        int q = queue.front();
+        queue.pop_front();
+        if (q == b)
+            break;
+        for (int nbr : adjacency_[q]) {
+            if (!seen[nbr]) {
+                seen[nbr] = true;
+                parent[nbr] = q;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    QAIC_CHECK(seen[b]) << "no path between qubits " << a << " and " << b;
+    std::vector<int> path;
+    for (int q = b; q != -1; q = parent[q])
+        path.push_back(q);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+CMatrix
+DeviceModel::channelOperator(std::size_t k) const
+{
+    QAIC_CHECK_LT(k, channels_.size());
+    const ControlChannel &ch = channels_[k];
+
+    std::vector<int> reg(numQubits_);
+    for (int q = 0; q < numQubits_; ++q)
+        reg[q] = q;
+
+    const CMatrix x = makeX(0).matrix();
+    const CMatrix y = makeY(0).matrix();
+
+    switch (ch.type) {
+      case ControlChannel::Type::kDriveX:
+        return embedUnitary(x, {ch.q0}, reg) * Cmplx(0.5, 0.0);
+      case ControlChannel::Type::kDriveY:
+        return embedUnitary(y, {ch.q0}, reg) * Cmplx(0.5, 0.0);
+      case ControlChannel::Type::kXY: {
+        CMatrix xx = embedUnitary(x.kron(x), {ch.q0, ch.q1}, reg);
+        CMatrix yy = embedUnitary(y.kron(y), {ch.q0, ch.q1}, reg);
+        return (xx + yy) * Cmplx(0.5, 0.0);
+      }
+    }
+    QAIC_PANIC() << "unhandled channel type";
+}
+
+} // namespace qaic

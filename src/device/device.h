@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Superconducting-architecture device model with XY (iSWAP-native)
+ * coupling, following the paper's evaluation setup (Section 5.1):
+ * per-qubit X/Y microwave drives limited to mu1 = 5 x mu2 and per-edge
+ * XX+YY exchange drives limited to mu2 = 0.02 GHz. Keeping amplitudes
+ * below the transmon anharmonicity justifies the closed two-level model.
+ *
+ * The control Hamiltonian is H(t) = 2 pi sum_k u_k(t) H_k with
+ * H_k in { X_i/2, Y_i/2, (X_i X_j + Y_i Y_j)/2 } and u_k in GHz; time is
+ * in nanoseconds throughout.
+ */
+#ifndef QAIC_DEVICE_DEVICE_H
+#define QAIC_DEVICE_DEVICE_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "la/cmatrix.h"
+
+namespace qaic {
+
+/** One tunable control field. */
+struct ControlChannel
+{
+    enum class Type
+    {
+        kDriveX, ///< sigma_x drive on one qubit.
+        kDriveY, ///< sigma_y drive on one qubit.
+        kXY      ///< (XX+YY)/2 exchange on a coupled pair.
+    };
+
+    Type type = Type::kDriveX;
+    /** Driven qubit (drives) or first qubit of the pair (XY). */
+    int q0 = 0;
+    /** Second qubit of the pair; -1 for single-qubit drives. */
+    int q1 = -1;
+    /** Amplitude limit |u| <= maxAmplitude, in GHz. */
+    double maxAmplitude = 0.0;
+
+    /** Label such as "x0", "y2" or "xy0-1". */
+    std::string name() const;
+};
+
+/** Default two-qubit control limit from the paper (GHz). */
+constexpr double kDefaultMu2Ghz = 0.02;
+/** Default single-qubit control limit: 5 x mu2 (GHz). */
+constexpr double kDefaultMu1Ghz = 0.1;
+
+/**
+ * A register of qubits with a coupling graph and its control channels.
+ *
+ * Also provides the topology queries used by the mapping pass (adjacency,
+ * BFS distances, shortest paths).
+ */
+class DeviceModel
+{
+  public:
+    /**
+     * Generic constructor from an explicit coupling list.
+     *
+     * @param num_qubits Register size.
+     * @param couplings Undirected coupled pairs (each yields an XY channel).
+     * @param mu1 Single-qubit drive limit (GHz).
+     * @param mu2 Two-qubit exchange limit (GHz).
+     */
+    DeviceModel(int num_qubits, std::vector<std::pair<int, int>> couplings,
+                double mu1 = kDefaultMu1Ghz, double mu2 = kDefaultMu2Ghz);
+
+    /** 1-D nearest-neighbour chain of @p n qubits. */
+    static DeviceModel line(int n, double mu1 = kDefaultMu1Ghz,
+                            double mu2 = kDefaultMu2Ghz);
+
+    /** rows x cols rectangular grid (the paper's benchmark topology). */
+    static DeviceModel grid(int rows, int cols,
+                            double mu1 = kDefaultMu1Ghz,
+                            double mu2 = kDefaultMu2Ghz);
+
+    /**
+     * Smallest near-square grid with at least @p n qubits — the topology
+     * the backend maps benchmarks onto.
+     */
+    static DeviceModel gridFor(int n, double mu1 = kDefaultMu1Ghz,
+                               double mu2 = kDefaultMu2Ghz);
+
+    /**
+     * All-to-all coupled register of @p n qubits; used for the local
+     * register of an aggregated instruction after mapping, where every
+     * member interaction is between (already adjacent) neighbours.
+     */
+    static DeviceModel fullyConnected(int n, double mu1 = kDefaultMu1Ghz,
+                                      double mu2 = kDefaultMu2Ghz);
+
+    int numQubits() const { return numQubits_; }
+    double mu1() const { return mu1_; }
+    double mu2() const { return mu2_; }
+    const std::vector<std::pair<int, int>> &couplings() const
+    {
+        return couplings_;
+    }
+    const std::vector<ControlChannel> &channels() const { return channels_; }
+
+    /** True if qubits @p a and @p b share a coupler. */
+    bool adjacent(int a, int b) const;
+
+    /** Neighbours of qubit @p q in the coupling graph. */
+    const std::vector<int> &neighbors(int q) const;
+
+    /** BFS hop distance between two qubits (-1 if disconnected). */
+    int distance(int a, int b) const;
+
+    /** A shortest coupling-graph path from @p a to @p b (inclusive). */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /**
+     * Dimensionless Hamiltonian operator H_k of channel @p k on the full
+     * 2^n register space (multiply by 2 pi u_k to get angular frequency).
+     */
+    CMatrix channelOperator(std::size_t k) const;
+
+  private:
+    int numQubits_;
+    double mu1_;
+    double mu2_;
+    std::vector<std::pair<int, int>> couplings_;
+    std::vector<ControlChannel> channels_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_DEVICE_DEVICE_H

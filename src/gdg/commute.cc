@@ -1,0 +1,139 @@
+#include "gdg/commute.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "ir/embed.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Sorted union of two gates' supports. */
+std::vector<int>
+jointSupport(const Gate &a, const Gate &b)
+{
+    std::set<int> s(a.qubits.begin(), a.qubits.end());
+    s.insert(b.qubits.begin(), b.qubits.end());
+    return {s.begin(), s.end()};
+}
+
+/** Shared qubits of two gates. */
+std::vector<int>
+sharedQubits(const Gate &a, const Gate &b)
+{
+    std::vector<int> shared;
+    for (int q : a.qubits)
+        if (b.actsOn(q))
+            shared.push_back(q);
+    return shared;
+}
+
+/** Joint-support-relative identity key of one gate (recursive). */
+std::string
+gateKey(const Gate &g, const std::vector<int> &joint)
+{
+    std::string key = g.name();
+    char buf[48];
+    for (double p : g.params) {
+        std::snprintf(buf, sizeof(buf), "(%.9f)", p);
+        key += buf;
+    }
+    for (int q : g.qubits) {
+        auto it = std::lower_bound(joint.begin(), joint.end(), q);
+        std::snprintf(buf, sizeof(buf), ".%d",
+                      static_cast<int>(it - joint.begin()));
+        key += buf;
+    }
+    // Aggregates need member identity, not just a label.
+    if (g.kind == GateKind::kAggregate)
+        for (const Gate &m : g.payload->members)
+            key += "|" + gateKey(m, joint);
+    return key;
+}
+
+/** Joint-support-relative cache key for an (unordered) gate pair. */
+std::string
+pairKey(const Gate &a, const Gate &b, const std::vector<int> &joint)
+{
+    std::string ka = gateKey(a, joint);
+    std::string kb = gateKey(b, joint);
+    return ka <= kb ? ka + "&&" + kb : kb + "&&" + ka;
+}
+
+} // namespace
+
+bool
+actsDiagonallyOn(const Gate &gate, int q)
+{
+    if (!gate.actsOn(q))
+        return true;
+    if (gate.isDiagonal())
+        return true;
+    switch (gate.kind) {
+      case GateKind::kCnot:
+        return q == gate.qubits[0];
+      case GateKind::kCcx:
+        return q == gate.qubits[0] || q == gate.qubits[1];
+      case GateKind::kAggregate:
+        for (const Gate &m : gate.payload->members)
+            if (!actsDiagonallyOn(m, q))
+                return false;
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+CommutationChecker::commute(const Gate &a, const Gate &b)
+{
+    // Rule 1: disjoint supports always commute (Table 2, top-left).
+    std::vector<int> shared = sharedQubits(a, b);
+    if (shared.empty())
+        return true;
+
+    std::vector<int> joint = jointSupport(a, b);
+    std::string key = pairKey(a, b, joint);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    bool result = commuteUncached(a, b);
+    cache_.emplace(std::move(key), result);
+    return result;
+}
+
+bool
+CommutationChecker::commuteUncached(const Gate &a, const Gate &b)
+{
+    // Rule 2: both diagonal (Table 2, bottom-left).
+    if (a.isDiagonal() && b.isDiagonal())
+        return true;
+
+    // Rule 3: diagonal action on every shared qubit (covers Rz through a
+    // CNOT control and CNOTs with a common control; Table 2 right column).
+    bool all_shared_diagonal = true;
+    for (int q : sharedQubits(a, b)) {
+        if (!actsDiagonallyOn(a, q) || !actsDiagonallyOn(b, q)) {
+            all_shared_diagonal = false;
+            break;
+        }
+    }
+    if (all_shared_diagonal)
+        return true;
+
+    // Fallback: explicit unitary check on the joint support.
+    std::vector<int> joint = jointSupport(a, b);
+    if (static_cast<int>(joint.size()) > kMaxMatrixWidth)
+        return false; // Conservative: a false dependence is safe.
+
+    ++matrixChecks_;
+    CMatrix ua = embedUnitary(a.matrix(), a.qubits, joint);
+    CMatrix ub = embedUnitary(b.matrix(), b.qubits, joint);
+    return commutes(ua, ub, 1e-9);
+}
+
+} // namespace qaic

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Commutativity detection between quantum instructions (paper Section
+ * 3.3.1 and Table 2).
+ *
+ * Fast structural rules (disjoint supports, diagonal pairs,
+ * diagonal-on-shared-qubits) resolve the common cases; everything else
+ * falls back to the explicit unitary check "A B == B A" on the joint
+ * support, exactly as the paper's frontend does. Results are memoized.
+ */
+#ifndef QAIC_GDG_COMMUTE_H
+#define QAIC_GDG_COMMUTE_H
+
+#include <string>
+#include <unordered_map>
+
+#include "ir/gate.h"
+
+namespace qaic {
+
+/**
+ * True if @p gate acts diagonally (commutes with Z) on qubit @p q.
+ * E.g. a CNOT is diagonal on its control; CZ/Rzz on both qubits.
+ */
+bool actsDiagonallyOn(const Gate &gate, int q);
+
+/** Memoizing commutativity checker. */
+class CommutationChecker
+{
+  public:
+    /**
+     * True if the two instructions commute.
+     *
+     * Joint supports wider than @p max_matrix_width qubits that no
+     * structural rule resolves are conservatively reported as
+     * non-commuting (a false dependence is safe; a false commutation is
+     * not).
+     */
+    bool commute(const Gate &a, const Gate &b);
+
+    /** Number of explicit matrix checks performed (for diagnostics). */
+    std::size_t matrixChecks() const { return matrixChecks_; }
+
+    /** Cache entries currently held. */
+    std::size_t cacheSize() const { return cache_.size(); }
+
+  private:
+    static constexpr int kMaxMatrixWidth = 6;
+
+    bool commuteUncached(const Gate &a, const Gate &b);
+
+    std::unordered_map<std::string, bool> cache_;
+    std::size_t matrixChecks_ = 0;
+};
+
+} // namespace qaic
+
+#endif // QAIC_GDG_COMMUTE_H

@@ -1,0 +1,106 @@
+#include "ir/circuit.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "ir/embed.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+Circuit::Circuit(int num_qubits) : numQubits_(num_qubits)
+{
+    QAIC_CHECK_GT(num_qubits, 0);
+}
+
+void
+Circuit::add(Gate gate)
+{
+    QAIC_CHECK(!gate.qubits.empty());
+    for (int q : gate.qubits)
+        QAIC_CHECK(q >= 0 && q < numQubits_)
+            << "gate " << gate.toString() << " outside register of "
+            << numQubits_;
+    gates_.push_back(std::move(gate));
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    QAIC_CHECK_EQ(other.numQubits_, numQubits_);
+    for (const Gate &g : other.gates_)
+        gates_.push_back(g);
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(numQubits_, 0);
+    int depth = 0;
+    for (const Gate &g : gates_) {
+        int start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, level[q]);
+        for (int q : g.qubits)
+            level[q] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+std::size_t
+Circuit::twoQubitGateCount() const
+{
+    std::size_t n = 0;
+    for (const Gate &g : gates_)
+        if (g.width() >= 2)
+            ++n;
+    return n;
+}
+
+std::map<std::string, int>
+Circuit::gateCounts() const
+{
+    std::map<std::string, int> counts;
+    for (const Gate &g : gates_)
+        ++counts[g.name()];
+    return counts;
+}
+
+int
+Circuit::maxGateWidth() const
+{
+    int w = 0;
+    for (const Gate &g : gates_)
+        w = std::max(w, g.width());
+    return w;
+}
+
+CMatrix
+Circuit::unitary(int max_qubits) const
+{
+    if (numQubits_ > max_qubits) {
+        QAIC_FATAL() << "refusing to build a 2^" << numQubits_
+                     << " unitary (limit 2^" << max_qubits << ")";
+    }
+    std::vector<int> reg(numQubits_);
+    std::iota(reg.begin(), reg.end(), 0);
+
+    CMatrix u = CMatrix::identity(std::size_t(1) << numQubits_);
+    for (const Gate &g : gates_)
+        u = embedUnitary(g.matrix(), g.qubits, reg) * u;
+    return u;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "qubits " << numQubits_ << "\n";
+    for (const Gate &g : gates_)
+        os << g.toString() << "\n";
+    return os.str();
+}
+
+} // namespace qaic

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Flattened quantum circuit: an ordered gate list over a fixed register.
+ * This is the logical-assembly form produced by the compiler frontend
+ * (loops unrolled, modules flattened).
+ */
+#ifndef QAIC_IR_CIRCUIT_H
+#define QAIC_IR_CIRCUIT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/gate.h"
+#include "la/cmatrix.h"
+
+namespace qaic {
+
+/** An ordered sequence of gates on `numQubits` qubits. */
+class Circuit
+{
+  public:
+    /** Creates an empty circuit on @p num_qubits qubits. */
+    explicit Circuit(int num_qubits);
+
+    /** Appends a gate; validates qubit indices. */
+    void add(Gate gate);
+
+    /** Appends every gate of @p other (registers must match). */
+    void append(const Circuit &other);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::vector<Gate> &mutableGates() { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Unit-latency depth (longest chain of qubit-conflicting gates). */
+    int depth() const;
+
+    /** Number of 2-or-more-qubit gates. */
+    std::size_t twoQubitGateCount() const;
+
+    /** Histogram of gate mnemonics. */
+    std::map<std::string, int> gateCounts() const;
+
+    /** Largest gate width appearing in the circuit. */
+    int maxGateWidth() const;
+
+    /**
+     * Full 2^n unitary of the circuit (first gate acts first).
+     * Fatals if numQubits exceeds @p max_qubits — guard against runaway
+     * exponential cost in tests.
+     */
+    CMatrix unitary(int max_qubits = 12) const;
+
+    /** One gate per line. */
+    std::string toString() const;
+
+  private:
+    int numQubits_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_IR_CIRCUIT_H

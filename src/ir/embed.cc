@@ -1,0 +1,78 @@
+#include "ir/embed.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+CMatrix
+embedUnitary(const CMatrix &u, const std::vector<int> &gate_qubits,
+             const std::vector<int> &register_qubits)
+{
+    const std::size_t k = gate_qubits.size();
+    const std::size_t m = register_qubits.size();
+    QAIC_CHECK_EQ(u.rows(), std::size_t(1) << k);
+    QAIC_CHECK(u.isSquare());
+    QAIC_CHECK_LE(k, m);
+
+    // Bit position (from LSB) of each register qubit in the global index.
+    auto bit_of = [&](int qubit) -> int {
+        auto it = std::find(register_qubits.begin(), register_qubits.end(),
+                            qubit);
+        QAIC_CHECK(it != register_qubits.end())
+            << "gate qubit " << qubit << " not in register";
+        std::size_t pos = static_cast<std::size_t>(
+            it - register_qubits.begin());
+        return static_cast<int>(m - 1 - pos);
+    };
+
+    std::vector<int> gate_bit(k);
+    std::vector<bool> is_gate_bit(m, false);
+    for (std::size_t i = 0; i < k; ++i) {
+        gate_bit[i] = bit_of(gate_qubits[i]);
+        is_gate_bit[gate_bit[i]] = true;
+    }
+    std::vector<int> rest_bits;
+    for (std::size_t b = 0; b < m; ++b)
+        if (!is_gate_bit[b])
+            rest_bits.push_back(static_cast<int>(b));
+
+    const std::size_t dim_local = std::size_t(1) << k;
+    const std::size_t dim_rest = std::size_t(1) << rest_bits.size();
+
+    // Scatter a local index (bit i of the local index = gate qubit i,
+    // MSB first) onto the global bit positions.
+    auto scatter_local = [&](std::size_t local) -> std::size_t {
+        std::size_t g = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            if (local >> (k - 1 - i) & 1)
+                g |= std::size_t(1) << gate_bit[i];
+        return g;
+    };
+    auto scatter_rest = [&](std::size_t rest) -> std::size_t {
+        std::size_t g = 0;
+        for (std::size_t i = 0; i < rest_bits.size(); ++i)
+            if (rest >> i & 1)
+                g |= std::size_t(1) << rest_bits[i];
+        return g;
+    };
+
+    CMatrix out(std::size_t(1) << m, std::size_t(1) << m);
+    for (std::size_t rl = 0; rl < dim_local; ++rl) {
+        std::size_t gr = scatter_local(rl);
+        for (std::size_t cl = 0; cl < dim_local; ++cl) {
+            Cmplx val = u(rl, cl);
+            if (val == Cmplx(0.0, 0.0))
+                continue;
+            std::size_t gc = scatter_local(cl);
+            for (std::size_t rest = 0; rest < dim_rest; ++rest) {
+                std::size_t off = scatter_rest(rest);
+                out(gr | off, gc | off) = val;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace qaic

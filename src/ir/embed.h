@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Embedding of small unitaries into larger qubit registers.
+ *
+ * Bit convention used across QAIC: for a register listed as
+ * (q_0, q_1, ..., q_{m-1}), q_0 is the most significant bit of the
+ * basis-state index, matching the ket notation |q_0 q_1 ... q_{m-1}>.
+ */
+#ifndef QAIC_IR_EMBED_H
+#define QAIC_IR_EMBED_H
+
+#include <vector>
+
+#include "la/cmatrix.h"
+
+namespace qaic {
+
+/**
+ * Embeds a k-qubit unitary into the space of a larger register.
+ *
+ * @param u 2^k x 2^k unitary whose bit order follows @p gate_qubits.
+ * @param gate_qubits The qubit ids @p u acts on, in @p u's own bit order
+ *        (first entry = most significant bit of @p u's index).
+ * @param register_qubits The target register's qubit ids, in the target's
+ *        bit order. Must contain every entry of @p gate_qubits.
+ * @return 2^m x 2^m unitary acting as @p u on the gate qubits and as the
+ *         identity elsewhere.
+ */
+CMatrix embedUnitary(const CMatrix &u, const std::vector<int> &gate_qubits,
+                     const std::vector<int> &register_qubits);
+
+} // namespace qaic
+
+#endif // QAIC_IR_EMBED_H

@@ -1,0 +1,404 @@
+#include "ir/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "ir/embed.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+CMatrix
+rx(double theta)
+{
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return CMatrix{{Cmplx(c, 0), Cmplx(0, -s)}, {Cmplx(0, -s), Cmplx(c, 0)}};
+}
+
+CMatrix
+ry(double theta)
+{
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return CMatrix{{Cmplx(c, 0), Cmplx(-s, 0)}, {Cmplx(s, 0), Cmplx(c, 0)}};
+}
+
+CMatrix
+rz(double theta)
+{
+    return CMatrix::diag({std::exp(Cmplx(0, -theta / 2.0)),
+                          std::exp(Cmplx(0, theta / 2.0))});
+}
+
+CMatrix
+rzz(double theta)
+{
+    Cmplx m = std::exp(Cmplx(0, -theta / 2.0));
+    Cmplx p = std::exp(Cmplx(0, theta / 2.0));
+    return CMatrix::diag({m, p, p, m});
+}
+
+Gate
+make1q(GateKind kind, int q, std::vector<double> params = {})
+{
+    Gate g;
+    g.kind = kind;
+    g.qubits = {q};
+    g.params = std::move(params);
+    return g;
+}
+
+Gate
+make2q(GateKind kind, int a, int b, std::vector<double> params = {})
+{
+    QAIC_CHECK_NE(a, b);
+    Gate g;
+    g.kind = kind;
+    g.qubits = {a, b};
+    g.params = std::move(params);
+    return g;
+}
+
+} // namespace
+
+bool
+Gate::actsOn(int q) const
+{
+    return std::find(qubits.begin(), qubits.end(), q) != qubits.end();
+}
+
+CMatrix
+Gate::matrix() const
+{
+    switch (kind) {
+      case GateKind::kId:
+        return CMatrix::identity(2);
+      case GateKind::kX:
+        return CMatrix{{0, 1}, {1, 0}};
+      case GateKind::kY:
+        return CMatrix{{0, Cmplx(0, -1)}, {Cmplx(0, 1), 0}};
+      case GateKind::kZ:
+        return CMatrix::diag({1, -1});
+      case GateKind::kH:
+        return CMatrix{{kInvSqrt2, kInvSqrt2}, {kInvSqrt2, -kInvSqrt2}};
+      case GateKind::kS:
+        return CMatrix::diag({1, Cmplx(0, 1)});
+      case GateKind::kSdg:
+        return CMatrix::diag({1, Cmplx(0, -1)});
+      case GateKind::kT:
+        return CMatrix::diag({1, std::exp(Cmplx(0, M_PI / 4))});
+      case GateKind::kTdg:
+        return CMatrix::diag({1, std::exp(Cmplx(0, -M_PI / 4))});
+      case GateKind::kRx:
+        return rx(params.at(0));
+      case GateKind::kRy:
+        return ry(params.at(0));
+      case GateKind::kRz:
+        return rz(params.at(0));
+      case GateKind::kCnot:
+        return CMatrix{{1, 0, 0, 0},
+                       {0, 1, 0, 0},
+                       {0, 0, 0, 1},
+                       {0, 0, 1, 0}};
+      case GateKind::kCz:
+        return CMatrix::diag({1, 1, 1, -1});
+      case GateKind::kSwap:
+        return CMatrix{{1, 0, 0, 0},
+                       {0, 0, 1, 0},
+                       {0, 1, 0, 0},
+                       {0, 0, 0, 1}};
+      case GateKind::kIswap:
+        return CMatrix{{1, 0, 0, 0},
+                       {0, 0, Cmplx(0, 1), 0},
+                       {0, Cmplx(0, 1), 0, 0},
+                       {0, 0, 0, 1}};
+      case GateKind::kRzz:
+        return rzz(params.at(0));
+      case GateKind::kCcx: {
+        CMatrix m = CMatrix::identity(8);
+        m(6, 6) = 0;
+        m(7, 7) = 0;
+        m(6, 7) = 1;
+        m(7, 6) = 1;
+        return m;
+      }
+      case GateKind::kAggregate: {
+        QAIC_CHECK(payload != nullptr);
+        if (!payload->matrix.empty())
+            return payload->matrix;
+        // Lazily materialize wide aggregates; guard the exponential cost.
+        QAIC_CHECK_LE(width(), 12)
+            << "refusing to materialize a 2^" << width() << " aggregate";
+        const std::size_t dim = std::size_t(1) << width();
+        CMatrix u = CMatrix::identity(dim);
+        for (const Gate &m : payload->members)
+            u = embedUnitary(m.matrix(), m.qubits, qubits) * u;
+        return u;
+      }
+    }
+    QAIC_PANIC() << "unhandled gate kind";
+}
+
+bool
+Gate::isDiagonal() const
+{
+    switch (kind) {
+      case GateKind::kId:
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRz:
+      case GateKind::kCz:
+      case GateKind::kRzz:
+        return true;
+      case GateKind::kAggregate: {
+        QAIC_CHECK(payload != nullptr);
+        if (!payload->matrix.empty())
+            return payload->matrix.isDiagonal(1e-9);
+        // Without the explicit matrix, all-members-diagonal is a
+        // sufficient (and for our pipelines, exact) condition.
+        for (const Gate &m : payload->members)
+            if (!m.isDiagonal())
+                return false;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+std::string
+Gate::name() const
+{
+    switch (kind) {
+      case GateKind::kId: return "id";
+      case GateKind::kX: return "x";
+      case GateKind::kY: return "y";
+      case GateKind::kZ: return "z";
+      case GateKind::kH: return "h";
+      case GateKind::kS: return "s";
+      case GateKind::kSdg: return "sdg";
+      case GateKind::kT: return "t";
+      case GateKind::kTdg: return "tdg";
+      case GateKind::kRx: return "rx";
+      case GateKind::kRy: return "ry";
+      case GateKind::kRz: return "rz";
+      case GateKind::kCnot: return "cnot";
+      case GateKind::kCz: return "cz";
+      case GateKind::kSwap: return "swap";
+      case GateKind::kIswap: return "iswap";
+      case GateKind::kRzz: return "rzz";
+      case GateKind::kCcx: return "ccx";
+      case GateKind::kAggregate:
+        return payload && !payload->label.empty() ? payload->label : "agg";
+    }
+    QAIC_PANIC() << "unhandled gate kind";
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream os;
+    os << name();
+    if (!params.empty()) {
+        os << "(";
+        char buf[32];
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%.6g", params[i]);
+            os << buf << (i + 1 < params.size() ? "," : "");
+        }
+        os << ")";
+    }
+    for (int q : qubits)
+        os << " q" << q;
+    return os.str();
+}
+
+Gate makeId(int q) { return make1q(GateKind::kId, q); }
+Gate makeX(int q) { return make1q(GateKind::kX, q); }
+Gate makeY(int q) { return make1q(GateKind::kY, q); }
+Gate makeZ(int q) { return make1q(GateKind::kZ, q); }
+Gate makeH(int q) { return make1q(GateKind::kH, q); }
+Gate makeS(int q) { return make1q(GateKind::kS, q); }
+Gate makeSdg(int q) { return make1q(GateKind::kSdg, q); }
+Gate makeT(int q) { return make1q(GateKind::kT, q); }
+Gate makeTdg(int q) { return make1q(GateKind::kTdg, q); }
+
+Gate
+makeRx(int q, double theta)
+{
+    return make1q(GateKind::kRx, q, {theta});
+}
+
+Gate
+makeRy(int q, double theta)
+{
+    return make1q(GateKind::kRy, q, {theta});
+}
+
+Gate
+makeRz(int q, double theta)
+{
+    return make1q(GateKind::kRz, q, {theta});
+}
+
+Gate
+makeCnot(int control, int target)
+{
+    return make2q(GateKind::kCnot, control, target);
+}
+
+Gate
+makeCz(int a, int b)
+{
+    return make2q(GateKind::kCz, a, b);
+}
+
+Gate
+makeSwap(int a, int b)
+{
+    return make2q(GateKind::kSwap, a, b);
+}
+
+Gate
+makeIswap(int a, int b)
+{
+    return make2q(GateKind::kIswap, a, b);
+}
+
+Gate
+makeRzz(int a, int b, double theta)
+{
+    return make2q(GateKind::kRzz, a, b, {theta});
+}
+
+Gate
+makeCcx(int c0, int c1, int target)
+{
+    QAIC_CHECK(c0 != c1 && c0 != target && c1 != target);
+    Gate g;
+    g.kind = GateKind::kCcx;
+    g.qubits = {c0, c1, target};
+    return g;
+}
+
+Gate
+makeAggregate(std::vector<Gate> members, std::string label,
+              int eager_matrix_width)
+{
+    QAIC_CHECK(!members.empty());
+    std::set<int> support_set;
+    for (const Gate &m : members)
+        for (int q : m.qubits)
+            support_set.insert(q);
+    std::vector<int> support(support_set.begin(), support_set.end());
+
+    auto payload = std::make_shared<AggregatePayload>();
+    if (static_cast<int>(support.size()) <= eager_matrix_width) {
+        const std::size_t dim = std::size_t(1) << support.size();
+        CMatrix u = CMatrix::identity(dim);
+        for (const Gate &m : members)
+            u = embedUnitary(m.matrix(), m.qubits, support) * u;
+        payload->matrix = std::move(u);
+    }
+    payload->members = std::move(members);
+    payload->label = std::move(label);
+
+    Gate g;
+    g.kind = GateKind::kAggregate;
+    g.qubits = std::move(support);
+    g.payload = std::move(payload);
+    return g;
+}
+
+Gate
+relabelGate(const Gate &gate, const std::vector<int> &map)
+{
+    auto remap = [&](int q) {
+        QAIC_CHECK(q >= 0 && q < static_cast<int>(map.size()))
+            << "qubit " << q << " outside relabel map";
+        QAIC_CHECK_GE(map[q], 0);
+        return map[q];
+    };
+
+    if (gate.kind == GateKind::kAggregate) {
+        std::vector<Gate> members;
+        members.reserve(gate.payload->members.size());
+        for (const Gate &m : gate.payload->members)
+            members.push_back(relabelGate(m, map));
+        int eager = gate.payload->matrix.empty() ? 0 : gate.width();
+        return makeAggregate(std::move(members), gate.payload->label,
+                             eager);
+    }
+    Gate out = gate;
+    for (int &q : out.qubits)
+        q = remap(q);
+    return out;
+}
+
+bool
+gateKindFromName(const std::string &name, GateKind *kind)
+{
+    static const std::pair<const char *, GateKind> table[] = {
+        {"id", GateKind::kId},     {"x", GateKind::kX},
+        {"y", GateKind::kY},       {"z", GateKind::kZ},
+        {"h", GateKind::kH},       {"s", GateKind::kS},
+        {"sdg", GateKind::kSdg},   {"t", GateKind::kT},
+        {"tdg", GateKind::kTdg},   {"rx", GateKind::kRx},
+        {"ry", GateKind::kRy},     {"rz", GateKind::kRz},
+        {"cnot", GateKind::kCnot}, {"cx", GateKind::kCnot},
+        {"cz", GateKind::kCz},     {"swap", GateKind::kSwap},
+        {"iswap", GateKind::kIswap}, {"rzz", GateKind::kRzz},
+        {"ccx", GateKind::kCcx},
+    };
+    for (const auto &[n, k] : table) {
+        if (name == n) {
+            *kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kCnot:
+      case GateKind::kCz:
+      case GateKind::kSwap:
+      case GateKind::kIswap:
+      case GateKind::kRzz:
+        return 2;
+      case GateKind::kCcx:
+        return 3;
+      case GateKind::kAggregate:
+        QAIC_PANIC() << "aggregate arity is payload-defined";
+      default:
+        return 1;
+    }
+}
+
+int
+gateParamCount(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz:
+      case GateKind::kRzz:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+} // namespace qaic

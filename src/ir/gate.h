@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Logical gate representation.
+ *
+ * A Gate is a small value type: a kind, the qubits it acts on, real
+ * parameters (rotation angles), and — only for aggregated instructions — a
+ * shared payload holding the member gates and the explicit unitary.
+ */
+#ifndef QAIC_IR_GATE_H
+#define QAIC_IR_GATE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/cmatrix.h"
+
+namespace qaic {
+
+/** The gate alphabet understood by the compiler. */
+enum class GateKind
+{
+    kId,       ///< 1q identity (virtual GDG root).
+    kX,        ///< Pauli X.
+    kY,        ///< Pauli Y.
+    kZ,        ///< Pauli Z.
+    kH,        ///< Hadamard.
+    kS,        ///< sqrt(Z).
+    kSdg,      ///< S adjoint.
+    kT,        ///< fourth root of Z.
+    kTdg,      ///< T adjoint.
+    kRx,       ///< Rx(theta) = exp(-i theta X/2).
+    kRy,       ///< Ry(theta) = exp(-i theta Y/2).
+    kRz,       ///< Rz(theta) = exp(-i theta Z/2).
+    kCnot,     ///< Controlled-NOT (control, target).
+    kCz,       ///< Controlled-Z.
+    kSwap,     ///< SWAP.
+    kIswap,    ///< iSWAP — the native XY-architecture 2q gate.
+    kRzz,      ///< exp(-i theta ZZ/2); the CNOT-Rz-CNOT diagonal primitive.
+    kCcx,      ///< Toffoli (logical only; decomposed before mapping).
+    kAggregate ///< Multi-qubit aggregated instruction with explicit unitary.
+};
+
+/** Payload carried by aggregated instructions. */
+struct AggregatePayload
+{
+    /**
+     * Explicit unitary on the aggregate's (sorted) support. Built eagerly
+     * only for narrow aggregates (see makeAggregate); empty otherwise and
+     * materialized on demand by Gate::matrix().
+     */
+    CMatrix matrix;
+    /** Member gates, in program order, expressed on original qubit ids. */
+    std::vector<struct Gate> members;
+    /** Human-readable label (e.g. "G3"). */
+    std::string label;
+};
+
+/** A single quantum instruction. */
+struct Gate
+{
+    GateKind kind = GateKind::kId;
+    /** Qubits the gate acts on. For aggregates: sorted support. */
+    std::vector<int> qubits;
+    /** Rotation angles, if parametric. */
+    std::vector<double> params;
+    /** Present iff kind == kAggregate. */
+    std::shared_ptr<const AggregatePayload> payload;
+
+    /** Number of qubits this gate touches. */
+    int width() const { return static_cast<int>(qubits.size()); }
+
+    /** True if this gate acts on qubit @p q. */
+    bool actsOn(int q) const;
+
+    /**
+     * Local unitary of this gate, dimension 2^width.
+     *
+     * Qubit ordering inside the matrix follows the order of `qubits`:
+     * qubits[0] is the most significant bit of the basis-state index.
+     */
+    CMatrix matrix() const;
+
+    /** True for gates whose local unitary is diagonal. */
+    bool isDiagonal() const;
+
+    /** Mnemonic such as "cnot" or "rz". */
+    std::string name() const;
+
+    /** Rendering such as "rz(5.6700) q2" or "cnot q0 q1". */
+    std::string toString() const;
+};
+
+/** @name Gate constructors
+ *  Convenience factories for every gate kind.
+ *  @{
+ */
+Gate makeId(int q);
+Gate makeX(int q);
+Gate makeY(int q);
+Gate makeZ(int q);
+Gate makeH(int q);
+Gate makeS(int q);
+Gate makeSdg(int q);
+Gate makeT(int q);
+Gate makeTdg(int q);
+Gate makeRx(int q, double theta);
+Gate makeRy(int q, double theta);
+Gate makeRz(int q, double theta);
+Gate makeCnot(int control, int target);
+Gate makeCz(int a, int b);
+Gate makeSwap(int a, int b);
+Gate makeIswap(int a, int b);
+Gate makeRzz(int a, int b, double theta);
+Gate makeCcx(int c0, int c1, int target);
+/** @} */
+
+/**
+ * Builds an aggregated instruction from member gates.
+ *
+ * The aggregate's support is the sorted union of member supports; the
+ * unitary is the product of the members embedded on that support, applied
+ * in program order (members.front() acts first).
+ *
+ * @param members Gates to fuse, in program order.
+ * @param label Display label.
+ * @param eager_matrix_width Build the explicit unitary eagerly only if the
+ *        support is at most this wide; wider aggregates materialize it
+ *        lazily (the analytic latency oracle never needs it).
+ */
+Gate makeAggregate(std::vector<Gate> members, std::string label = "",
+                   int eager_matrix_width = 8);
+
+/**
+ * Rewrites a gate onto new qubit ids. Aggregates are rebuilt so that the
+ * member gates, sorted support and cached unitary stay consistent.
+ *
+ * @param gate Gate to rewrite.
+ * @param map map[old_qubit] = new_qubit; must be injective on the gate's
+ *        support.
+ */
+Gate relabelGate(const Gate &gate, const std::vector<int> &map);
+
+/** Parses a gate mnemonic; returns false if unknown. */
+bool gateKindFromName(const std::string &name, GateKind *kind);
+
+/** Number of qubits gates of this kind act on (aggregates excluded). */
+int gateArity(GateKind kind);
+
+/** Number of angle parameters for this kind. */
+int gateParamCount(GateKind kind);
+
+} // namespace qaic
+
+#endif // QAIC_IR_GATE_H

@@ -1,0 +1,201 @@
+#include "ir/qasm.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Splits a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+bool
+fail(std::string *error, int line_no, const std::string &message)
+{
+    if (error) {
+        std::ostringstream os;
+        os << "line " << line_no << ": " << message;
+        *error = os.str();
+    }
+    return false;
+}
+
+/** Parses "name" or "name(p1,p2)" into mnemonic + params. */
+bool
+parseHead(const std::string &head, std::string *name,
+          std::vector<double> *params)
+{
+    auto paren = head.find('(');
+    if (paren == std::string::npos) {
+        *name = head;
+        return true;
+    }
+    if (head.back() != ')')
+        return false;
+    *name = head.substr(0, paren);
+    std::string args = head.substr(paren + 1, head.size() - paren - 2);
+    std::istringstream is(args);
+    std::string piece;
+    while (std::getline(is, piece, ',')) {
+        try {
+            std::size_t used = 0;
+            double v = std::stod(piece, &used);
+            if (used != piece.size())
+                return false;
+            params->push_back(v);
+        } catch (...) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Parses "q<number>" into a qubit index. */
+bool
+parseQubit(const std::string &tok, int *q)
+{
+    if (tok.size() < 2 || tok[0] != 'q')
+        return false;
+    for (std::size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    *q = std::stoi(tok.substr(1));
+    return true;
+}
+
+void
+emitGate(std::ostringstream &os, const Gate &g)
+{
+    if (g.kind == GateKind::kAggregate) {
+        for (const Gate &m : g.payload->members)
+            emitGate(os, m);
+        return;
+    }
+    os << g.toString() << "\n";
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "qubits " << circuit.numQubits() << "\n";
+    for (const Gate &g : circuit.gates())
+        emitGate(os, g);
+    return os.str();
+}
+
+std::optional<Circuit>
+parseQasm(const std::string &text, std::string *error)
+{
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+    std::optional<Circuit> circuit;
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        if (tokens[0] == "qubits") {
+            if (circuit.has_value()) {
+                fail(error, line_no, "duplicate qubits directive");
+                return std::nullopt;
+            }
+            if (tokens.size() != 2) {
+                fail(error, line_no, "expected: qubits <n>");
+                return std::nullopt;
+            }
+            int n = 0;
+            try {
+                n = std::stoi(tokens[1]);
+            } catch (...) {
+                fail(error, line_no, "bad qubit count");
+                return std::nullopt;
+            }
+            if (n <= 0) {
+                fail(error, line_no, "qubit count must be positive");
+                return std::nullopt;
+            }
+            circuit.emplace(n);
+            continue;
+        }
+
+        if (!circuit.has_value()) {
+            fail(error, line_no, "gate before qubits directive");
+            return std::nullopt;
+        }
+
+        std::string name;
+        std::vector<double> params;
+        if (!parseHead(tokens[0], &name, &params)) {
+            fail(error, line_no, "malformed gate head '" + tokens[0] + "'");
+            return std::nullopt;
+        }
+        GateKind kind;
+        if (!gateKindFromName(name, &kind)) {
+            fail(error, line_no, "unknown gate '" + name + "'");
+            return std::nullopt;
+        }
+        if (static_cast<int>(params.size()) != gateParamCount(kind)) {
+            fail(error, line_no, "wrong parameter count for '" + name + "'");
+            return std::nullopt;
+        }
+        int arity = gateArity(kind);
+        if (static_cast<int>(tokens.size()) != 1 + arity) {
+            fail(error, line_no, "wrong qubit count for '" + name + "'");
+            return std::nullopt;
+        }
+        std::vector<int> qubits;
+        for (int i = 0; i < arity; ++i) {
+            int q = 0;
+            if (!parseQubit(tokens[1 + i], &q)) {
+                fail(error, line_no, "bad qubit '" + tokens[1 + i] + "'");
+                return std::nullopt;
+            }
+            if (q >= circuit->numQubits()) {
+                fail(error, line_no, "qubit index out of range");
+                return std::nullopt;
+            }
+            qubits.push_back(q);
+        }
+        for (std::size_t i = 0; i < qubits.size(); ++i)
+            for (std::size_t j = i + 1; j < qubits.size(); ++j)
+                if (qubits[i] == qubits[j]) {
+                    fail(error, line_no, "repeated qubit operand");
+                    return std::nullopt;
+                }
+
+        Gate g;
+        g.kind = kind;
+        g.qubits = std::move(qubits);
+        g.params = std::move(params);
+        circuit->add(std::move(g));
+    }
+
+    if (!circuit.has_value()) {
+        fail(error, line_no, "missing qubits directive");
+        return std::nullopt;
+    }
+    return circuit;
+}
+
+} // namespace qaic

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Text serialization of circuits — a minimal, ScaffCC-flavoured quantum
+ * assembly. One gate per line; `#` starts a comment.
+ *
+ * @code
+ *   qubits 3
+ *   h q0
+ *   cnot q0 q1
+ *   rz(5.67) q2
+ * @endcode
+ */
+#ifndef QAIC_IR_QASM_H
+#define QAIC_IR_QASM_H
+
+#include <optional>
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** Serializes @p circuit (aggregates are flattened to their members). */
+std::string toQasm(const Circuit &circuit);
+
+/**
+ * Parses the textual assembly format.
+ *
+ * @param text Program text.
+ * @param error If non-null, receives a diagnostic on failure.
+ * @return The circuit, or std::nullopt on malformed input.
+ */
+std::optional<Circuit> parseQasm(const std::string &text,
+                                 std::string *error = nullptr);
+
+} // namespace qaic
+
+#endif // QAIC_IR_QASM_H

@@ -1,0 +1,335 @@
+#include "la/cmatrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Cmplx(0.0, 0.0))
+{
+}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<Cmplx>> init)
+{
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : init) {
+        QAIC_CHECK_EQ(row.size(), cols_);
+        for (const auto &v : row)
+            data_.push_back(v);
+    }
+}
+
+CMatrix
+CMatrix::identity(std::size_t n)
+{
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+CMatrix
+CMatrix::zeros(std::size_t rows, std::size_t cols)
+{
+    return CMatrix(rows, cols);
+}
+
+CMatrix
+CMatrix::diag(const std::vector<Cmplx> &entries)
+{
+    CMatrix m(entries.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        m(i, i) = entries[i];
+    return m;
+}
+
+Cmplx &
+CMatrix::operator()(std::size_t r, std::size_t c)
+{
+    return data_[r * cols_ + c];
+}
+
+const Cmplx &
+CMatrix::operator()(std::size_t r, std::size_t c) const
+{
+    return data_[r * cols_ + c];
+}
+
+CMatrix
+CMatrix::operator+(const CMatrix &rhs) const
+{
+    CMatrix out = *this;
+    out += rhs;
+    return out;
+}
+
+CMatrix
+CMatrix::operator-(const CMatrix &rhs) const
+{
+    CMatrix out = *this;
+    out -= rhs;
+    return out;
+}
+
+CMatrix &
+CMatrix::operator+=(const CMatrix &rhs)
+{
+    QAIC_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += rhs.data_[i];
+    return *this;
+}
+
+CMatrix &
+CMatrix::operator-=(const CMatrix &rhs)
+{
+    QAIC_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+CMatrix &
+CMatrix::operator*=(Cmplx scalar)
+{
+    for (auto &v : data_)
+        v *= scalar;
+    return *this;
+}
+
+CMatrix
+CMatrix::operator*(Cmplx scalar) const
+{
+    CMatrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+CMatrix
+operator*(Cmplx scalar, const CMatrix &m)
+{
+    return m * scalar;
+}
+
+CMatrix
+CMatrix::operator*(const CMatrix &rhs) const
+{
+    QAIC_CHECK_EQ(cols_, rhs.rows_);
+    CMatrix out(rows_, rhs.cols_);
+    // i-k-j loop order keeps the inner loop contiguous in both operands.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            Cmplx aik = (*this)(i, k);
+            if (aik == Cmplx(0.0, 0.0))
+                continue;
+            const Cmplx *brow = &rhs.data_[k * rhs.cols_];
+            Cmplx *orow = &out.data_[i * rhs.cols_];
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+    return out;
+}
+
+std::vector<Cmplx>
+CMatrix::apply(const std::vector<Cmplx> &v) const
+{
+    QAIC_CHECK_EQ(v.size(), cols_);
+    std::vector<Cmplx> out(rows_, Cmplx(0.0, 0.0));
+    for (std::size_t i = 0; i < rows_; ++i) {
+        Cmplx acc(0.0, 0.0);
+        const Cmplx *row = &data_[i * cols_];
+        for (std::size_t j = 0; j < cols_; ++j)
+            acc += row[j] * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::transpose() const
+{
+    CMatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+CMatrix
+CMatrix::conjugate() const
+{
+    CMatrix out = *this;
+    for (auto &v : out.data_)
+        v = std::conj(v);
+    return out;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = std::conj((*this)(i, j));
+    return out;
+}
+
+Cmplx
+CMatrix::trace() const
+{
+    QAIC_CHECK(isSquare());
+    Cmplx t(0.0, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+CMatrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto &v : data_)
+        s += std::norm(v);
+    return std::sqrt(s);
+}
+
+double
+CMatrix::maxAbs() const
+{
+    double m = 0.0;
+    for (const auto &v : data_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix &rhs) const
+{
+    CMatrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j) {
+            Cmplx aij = (*this)(i, j);
+            if (aij == Cmplx(0.0, 0.0))
+                continue;
+            for (std::size_t k = 0; k < rhs.rows_; ++k)
+                for (std::size_t l = 0; l < rhs.cols_; ++l)
+                    out(i * rhs.rows_ + k, j * rhs.cols_ + l) =
+                        aij * rhs(k, l);
+        }
+    return out;
+}
+
+bool
+CMatrix::isUnitary(double tol) const
+{
+    if (!isSquare())
+        return false;
+    CMatrix prod = (*this) * dagger();
+    prod -= identity(rows_);
+    return prod.maxAbs() < tol;
+}
+
+bool
+CMatrix::isHermitian(double tol) const
+{
+    if (!isSquare())
+        return false;
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = i; j < cols_; ++j)
+            if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) >= tol)
+                return false;
+    return true;
+}
+
+bool
+CMatrix::isDiagonal(double tol) const
+{
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            if (i != j && std::abs((*this)(i, j)) >= tol)
+                return false;
+    return true;
+}
+
+bool
+CMatrix::approxEqual(const CMatrix &rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - rhs.data_[i]) >= tol)
+            return false;
+    return true;
+}
+
+std::string
+CMatrix::toString(int precision) const
+{
+    std::ostringstream os;
+    char buf[64];
+    for (std::size_t i = 0; i < rows_; ++i) {
+        os << "[ ";
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const Cmplx &v = (*this)(i, j);
+            std::snprintf(buf, sizeof(buf), "%.*f%+.*fi", precision,
+                          v.real(), precision, v.imag());
+            os << buf << (j + 1 < cols_ ? ", " : " ");
+        }
+        os << "]\n";
+    }
+    return os.str();
+}
+
+Cmplx
+frobeniusInner(const CMatrix &a, const CMatrix &b)
+{
+    QAIC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    Cmplx s(0.0, 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            s += std::conj(a(i, j)) * b(i, j);
+    return s;
+}
+
+CMatrix
+commutator(const CMatrix &a, const CMatrix &b)
+{
+    return a * b - b * a;
+}
+
+double
+phaseDistance(const CMatrix &a, const CMatrix &b)
+{
+    QAIC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    // ||A - e^{i phi} B||_F^2 = 2d - 2 Re(e^{-i phi} <A,B>), minimized when
+    // the phase aligns with the inner product.
+    Cmplx inner = frobeniusInner(b, a);
+    double d = static_cast<double>(a.rows());
+    double val = 2.0 * d - 2.0 * std::abs(inner);
+    return std::sqrt(std::max(0.0, val) / d);
+}
+
+double
+processFidelity(const CMatrix &a, const CMatrix &b)
+{
+    QAIC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    Cmplx inner = frobeniusInner(a, b);
+    double d = static_cast<double>(a.rows());
+    return std::norm(inner) / (d * d);
+}
+
+bool
+commutes(const CMatrix &a, const CMatrix &b, double tol)
+{
+    return commutator(a, b).maxAbs() < tol;
+}
+
+} // namespace qaic

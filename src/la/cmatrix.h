@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dense complex matrix/vector types used throughout QAIC.
+ *
+ * The library targets the small, dense operators that arise in pulse-level
+ * quantum compilation (dimension 2..2^10), so the implementation favours
+ * clarity and numerical robustness over blocking/vectorization tricks.
+ */
+#ifndef QAIC_LA_CMATRIX_H
+#define QAIC_LA_CMATRIX_H
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qaic {
+
+/** Complex scalar used by all numerical kernels. */
+using Cmplx = std::complex<double>;
+
+/** Dense, row-major complex matrix. */
+class CMatrix
+{
+  public:
+    /** Creates an empty 0x0 matrix. */
+    CMatrix() = default;
+
+    /** Creates a zero-initialized @p rows x @p cols matrix. */
+    CMatrix(std::size_t rows, std::size_t cols);
+
+    /** Creates a matrix from a nested initializer list (row major). */
+    CMatrix(std::initializer_list<std::initializer_list<Cmplx>> init);
+
+    /** The n x n identity. */
+    static CMatrix identity(std::size_t n);
+
+    /** The rows x cols zero matrix. */
+    static CMatrix zeros(std::size_t rows, std::size_t cols);
+
+    /** A diagonal matrix from the given entries. */
+    static CMatrix diag(const std::vector<Cmplx> &entries);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** True for 0x0 matrices. */
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** Mutable element access (no bounds check in release). */
+    Cmplx &operator()(std::size_t r, std::size_t c);
+
+    /** Const element access (no bounds check in release). */
+    const Cmplx &operator()(std::size_t r, std::size_t c) const;
+
+    /** Raw storage, row major, size rows()*cols(). */
+    const std::vector<Cmplx> &data() const { return data_; }
+
+    CMatrix operator+(const CMatrix &rhs) const;
+    CMatrix operator-(const CMatrix &rhs) const;
+    CMatrix operator*(const CMatrix &rhs) const;
+    CMatrix operator*(Cmplx scalar) const;
+    CMatrix &operator+=(const CMatrix &rhs);
+    CMatrix &operator-=(const CMatrix &rhs);
+    CMatrix &operator*=(Cmplx scalar);
+
+    /** Matrix-vector product; @p v must have size cols(). */
+    std::vector<Cmplx> apply(const std::vector<Cmplx> &v) const;
+
+    /** Transpose (no conjugation). */
+    CMatrix transpose() const;
+
+    /** Entry-wise complex conjugate. */
+    CMatrix conjugate() const;
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    /** Sum of diagonal entries. */
+    Cmplx trace() const;
+
+    /** Frobenius norm sqrt(sum |a_ij|^2). */
+    double frobeniusNorm() const;
+
+    /** Largest |a_ij|. */
+    double maxAbs() const;
+
+    /** Kronecker product this (x) rhs. */
+    CMatrix kron(const CMatrix &rhs) const;
+
+    /** True if square. */
+    bool isSquare() const { return rows_ == cols_; }
+
+    /** True if || U U^dag - I ||_max < tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** True if || A - A^dag ||_max < tol. */
+    bool isHermitian(double tol = 1e-9) const;
+
+    /** True if all off-diagonal magnitudes are < tol. */
+    bool isDiagonal(double tol = 1e-9) const;
+
+    /** True if matrices have equal shape and entries within tol (max norm). */
+    bool approxEqual(const CMatrix &rhs, double tol = 1e-9) const;
+
+    /** Multi-line human-readable rendering (for debugging/tests). */
+    std::string toString(int precision = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<Cmplx> data_;
+};
+
+/** scalar * matrix. */
+CMatrix operator*(Cmplx scalar, const CMatrix &m);
+
+/** Frobenius inner product <A, B> = Tr(A^dag B). */
+Cmplx frobeniusInner(const CMatrix &a, const CMatrix &b);
+
+/** Commutator AB - BA. */
+CMatrix commutator(const CMatrix &a, const CMatrix &b);
+
+/**
+ * Distance between two unitaries ignoring global phase:
+ * min_phi || A - e^{i phi} B ||_F / sqrt(dim).
+ */
+double phaseDistance(const CMatrix &a, const CMatrix &b);
+
+/**
+ * Process (gate) fidelity |Tr(A^dag B)|^2 / d^2 for d x d unitaries.
+ * Equals 1 iff A and B agree up to global phase.
+ */
+double processFidelity(const CMatrix &a, const CMatrix &b);
+
+/** True if A and B commute within tolerance (max-norm of commutator). */
+bool commutes(const CMatrix &a, const CMatrix &b, double tol = 1e-9);
+
+} // namespace qaic
+
+#endif // QAIC_LA_CMATRIX_H

@@ -1,0 +1,171 @@
+#include "la/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Sum of squared magnitudes of the strict upper triangle. */
+double
+offDiagonalNorm2(const CMatrix &a)
+{
+    double s = 0.0;
+    for (std::size_t p = 0; p < a.rows(); ++p)
+        for (std::size_t q = p + 1; q < a.cols(); ++q)
+            s += std::norm(a(p, q));
+    return s;
+}
+
+/**
+ * One cyclic Jacobi sweep over all pivots of Hermitian @p a, accumulating
+ * the applied rotations into @p v.
+ */
+void
+jacobiSweep(CMatrix &a, CMatrix &v)
+{
+    const std::size_t n = a.rows();
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = p + 1; q < n; ++q) {
+            double r = std::abs(a(p, q));
+            if (r < 1e-300)
+                continue;
+            Cmplx phase = a(p, q) / r;
+            double app = a(p, p).real();
+            double aqq = a(q, q).real();
+            double tau = (aqq - app) / (2.0 * r);
+            double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                       (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+            double c = 1.0 / std::sqrt(1.0 + t * t);
+            double s = t * c;
+            Cmplx se_pos = s * phase;            // s * e^{+i phi}
+            Cmplx se_neg = s * std::conj(phase); // s * e^{-i phi}
+
+            // Column update: A <- A * J.
+            for (std::size_t i = 0; i < n; ++i) {
+                Cmplx aip = a(i, p);
+                Cmplx aiq = a(i, q);
+                a(i, p) = c * aip - se_neg * aiq;
+                a(i, q) = se_pos * aip + c * aiq;
+            }
+            // Row update: A <- J^dag * A.
+            for (std::size_t j = 0; j < n; ++j) {
+                Cmplx apj = a(p, j);
+                Cmplx aqj = a(q, j);
+                a(p, j) = c * apj - se_pos * aqj;
+                a(q, j) = se_neg * apj + c * aqj;
+            }
+            // Accumulate eigenvectors: V <- V * J.
+            for (std::size_t i = 0; i < n; ++i) {
+                Cmplx vip = v(i, p);
+                Cmplx viq = v(i, q);
+                v(i, p) = c * vip - se_neg * viq;
+                v(i, q) = se_pos * vip + c * viq;
+            }
+        }
+    }
+}
+
+} // namespace
+
+EigResult
+hermitianEig(const CMatrix &a, double herm_tol)
+{
+    QAIC_CHECK(a.isSquare());
+    QAIC_CHECK(a.isHermitian(herm_tol)) << "hermitianEig on non-Hermitian";
+
+    const std::size_t n = a.rows();
+    CMatrix work = a;
+    CMatrix v = CMatrix::identity(n);
+
+    double scale = std::max(1.0, work.frobeniusNorm());
+    const double tol2 = 1e-28 * scale * scale;
+    const int max_sweeps = 60;
+    int sweep = 0;
+    while (offDiagonalNorm2(work) > tol2 && sweep < max_sweeps) {
+        jacobiSweep(work, v);
+        ++sweep;
+    }
+    QAIC_CHECK_LT(sweep, max_sweeps) << "Jacobi failed to converge";
+
+    EigResult out;
+    out.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.values[i] = work(i, i).real();
+
+    // Sort eigenpairs ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+        return out.values[i] < out.values[j];
+    });
+
+    std::vector<double> sorted_values(n);
+    CMatrix sorted_vectors(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        sorted_values[k] = out.values[order[k]];
+        for (std::size_t i = 0; i < n; ++i)
+            sorted_vectors(i, k) = v(i, order[k]);
+    }
+    out.values = std::move(sorted_values);
+    out.vectors = std::move(sorted_vectors);
+    return out;
+}
+
+SimultaneousEigResult
+simultaneousEig(const CMatrix &x, const CMatrix &y, double degeneracy_tol)
+{
+    QAIC_CHECK(x.isSquare());
+    QAIC_CHECK_EQ(x.rows(), y.rows());
+    QAIC_CHECK(commutes(x, y, 1e-7)) << "simultaneousEig on non-commuting pair";
+
+    const std::size_t n = x.rows();
+    EigResult ex = hermitianEig(x);
+    CMatrix v = ex.vectors;
+    CMatrix b = v.dagger() * y * v;
+
+    // Walk clusters of (near-)equal eigenvalues of x; re-diagonalize the
+    // restriction of y to each cluster.
+    std::size_t start = 0;
+    while (start < n) {
+        std::size_t end = start + 1;
+        while (end < n &&
+               ex.values[end] - ex.values[end - 1] < degeneracy_tol)
+            ++end;
+        std::size_t m = end - start;
+        if (m > 1) {
+            CMatrix sub(m, m);
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t j = 0; j < m; ++j)
+                    sub(i, j) = b(start + i, start + j);
+            // Symmetrize to wash out numerical noise before the check.
+            sub = (sub + sub.dagger()) * Cmplx(0.5, 0.0);
+            EigResult es = hermitianEig(sub);
+            // Embed the cluster rotation and fold it into v and b.
+            CMatrix w = CMatrix::identity(n);
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t j = 0; j < m; ++j)
+                    w(start + i, start + j) = es.vectors(i, j);
+            v = v * w;
+            b = w.dagger() * b * w;
+        }
+        start = end;
+    }
+
+    SimultaneousEigResult out;
+    out.vectors = v;
+    out.xValues.resize(n);
+    out.yValues.resize(n);
+    CMatrix dx = v.dagger() * x * v;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.xValues[i] = dx(i, i).real();
+        out.yValues[i] = b(i, i).real();
+    }
+    return out;
+}
+
+} // namespace qaic

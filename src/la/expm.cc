@@ -1,0 +1,107 @@
+#include "la/expm.h"
+
+#include <cmath>
+
+#include "la/lu.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+CMatrix
+expiFromEig(const EigResult &eig, double t)
+{
+    const std::size_t n = eig.vectors.rows();
+    CMatrix phases(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        phases(i, i) = std::exp(Cmplx(0.0, -t * eig.values[i]));
+    return eig.vectors * phases * eig.vectors.dagger();
+}
+
+CMatrix
+expiHermitian(const CMatrix &h, double t)
+{
+    return expiFromEig(hermitianEig(h), t);
+}
+
+CMatrix
+expmPade(const CMatrix &a)
+{
+    QAIC_CHECK(a.isSquare());
+    const std::size_t n = a.rows();
+
+    // 1-norm estimate (max column sum) drives the scaling choice.
+    double norm1 = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        double col = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            col += std::abs(a(i, j));
+        norm1 = std::max(norm1, col);
+    }
+    const double theta13 = 5.371920351148152;
+    int squarings = 0;
+    if (norm1 > theta13) {
+        squarings = static_cast<int>(
+            std::ceil(std::log2(norm1 / theta13)));
+    }
+    CMatrix scaled = a * Cmplx(std::ldexp(1.0, -squarings), 0.0);
+
+    static const double b[] = {
+        64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+        1187353796428800.0,  129060195264000.0,   10559470521600.0,
+        670442572800.0,      33522128640.0,       1323241920.0,
+        40840800.0,          960960.0,            16380.0,
+        182.0,               1.0};
+
+    CMatrix ident = CMatrix::identity(n);
+    CMatrix a2 = scaled * scaled;
+    CMatrix a4 = a2 * a2;
+    CMatrix a6 = a2 * a4;
+
+    CMatrix u_inner = a6 * (a6 * Cmplx(b[13], 0.0) + a4 * Cmplx(b[11], 0.0) +
+                            a2 * Cmplx(b[9], 0.0)) +
+                      a6 * Cmplx(b[7], 0.0) + a4 * Cmplx(b[5], 0.0) +
+                      a2 * Cmplx(b[3], 0.0) + ident * Cmplx(b[1], 0.0);
+    CMatrix u = scaled * u_inner;
+    CMatrix v = a6 * (a6 * Cmplx(b[12], 0.0) + a4 * Cmplx(b[10], 0.0) +
+                      a2 * Cmplx(b[8], 0.0)) +
+                a6 * Cmplx(b[6], 0.0) + a4 * Cmplx(b[4], 0.0) +
+                a2 * Cmplx(b[2], 0.0) + ident * Cmplx(b[0], 0.0);
+
+    // exp(A) ~ (V - U)^{-1} (V + U), then undo the scaling by squaring.
+    CMatrix result = LuFactorization(v - u).solve(v + u);
+    for (int s = 0; s < squarings; ++s)
+        result = result * result;
+    return result;
+}
+
+CMatrix
+expiDirectionalDerivative(const EigResult &eig, const CMatrix &k, double t)
+{
+    const std::size_t n = eig.vectors.rows();
+    QAIC_CHECK_EQ(k.rows(), n);
+
+    // Transform the direction into the eigenbasis of H.
+    CMatrix kt = eig.vectors.dagger() * (k * eig.vectors);
+
+    // Loewner (divided-difference) matrix of f(x) = exp(-i t x).
+    CMatrix g(n, n);
+    for (std::size_t a = 0; a < n; ++a) {
+        Cmplx ea = std::exp(Cmplx(0.0, -t * eig.values[a]));
+        for (std::size_t c = 0; c < n; ++c) {
+            double gap = eig.values[a] - eig.values[c];
+            Cmplx phi;
+            if (std::abs(gap) < 1e-10) {
+                // Confluent limit: f'(x) = -i t e^{-i t x}.
+                double mid = 0.5 * (eig.values[a] + eig.values[c]);
+                phi = Cmplx(0.0, -t) * std::exp(Cmplx(0.0, -t * mid));
+            } else {
+                Cmplx ec = std::exp(Cmplx(0.0, -t * eig.values[c]));
+                phi = (ea - ec) / Cmplx(gap, 0.0);
+            }
+            g(a, c) = phi * kt(a, c);
+        }
+    }
+    return eig.vectors * g * eig.vectors.dagger();
+}
+
+} // namespace qaic

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Matrix exponentials.
+ *
+ * Two routes are provided: an eigendecomposition-based exponential for
+ * Hermitian generators (the common case in quantum control, exact and
+ * unconditionally stable) and a scaling-and-squaring Pade-13 exponential
+ * for general matrices (used for cross-validation in tests).
+ */
+#ifndef QAIC_LA_EXPM_H
+#define QAIC_LA_EXPM_H
+
+#include "la/cmatrix.h"
+#include "la/eig.h"
+
+namespace qaic {
+
+/**
+ * Unitary evolution operator exp(-i t H) for Hermitian @p h.
+ *
+ * @param h Hermitian generator.
+ * @param t Evolution time (same units as 1/h).
+ */
+CMatrix expiHermitian(const CMatrix &h, double t);
+
+/** exp(-i t H) reusing a precomputed eigendecomposition of H. */
+CMatrix expiFromEig(const EigResult &eig, double t);
+
+/**
+ * General matrix exponential exp(A) via scaling-and-squaring with a
+ * degree-13 Pade approximant (Higham 2005, fixed scaling choice).
+ */
+CMatrix expmPade(const CMatrix &a);
+
+/**
+ * Exact directional derivative of the exponential map for Hermitian
+ * generators: d/ds exp(-i t (H + s K)) at s=0.
+ *
+ * Computed with the Daleckii–Krein formula in the eigenbasis of H:
+ * if H = V D V^dag then the derivative is V (Phi .* (V^dag (-i t K) V)) V^dag
+ * with Phi_ab = (e^{l_a} - e^{l_b})/(l_a - l_b), l_a = -i t d_a.
+ * This is the exact GRAPE gradient kernel (no first-order approximation).
+ *
+ * @param eig Eigendecomposition of the Hermitian generator H.
+ * @param k Hermitian direction matrix K.
+ * @param t Evolution time.
+ */
+CMatrix expiDirectionalDerivative(const EigResult &eig, const CMatrix &k,
+                                  double t);
+
+} // namespace qaic
+
+#endif // QAIC_LA_EXPM_H

@@ -1,0 +1,118 @@
+#include "la/lu.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+LuFactorization::LuFactorization(const CMatrix &a) : lu_(a)
+{
+    QAIC_CHECK(a.isSquare());
+    const std::size_t n = a.rows();
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), 0);
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        std::size_t pivot = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            double mag = std::abs(lu_(i, k));
+            if (mag > best) {
+                best = mag;
+                pivot = i;
+            }
+        }
+        if (best < 1e-300) {
+            singular_ = true;
+            continue;
+        }
+        if (pivot != k) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(lu_(k, j), lu_(pivot, j));
+            std::swap(perm_[k], perm_[pivot]);
+            permSign_ = -permSign_;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            Cmplx factor = lu_(i, k) / lu_(k, k);
+            lu_(i, k) = factor;
+            for (std::size_t j = k + 1; j < n; ++j)
+                lu_(i, j) -= factor * lu_(k, j);
+        }
+    }
+}
+
+Cmplx
+LuFactorization::determinant() const
+{
+    Cmplx det(static_cast<double>(permSign_), 0.0);
+    for (std::size_t i = 0; i < lu_.rows(); ++i)
+        det *= lu_(i, i);
+    return det;
+}
+
+std::vector<Cmplx>
+LuFactorization::solve(const std::vector<Cmplx> &b) const
+{
+    QAIC_CHECK(!singular_) << "solve with singular matrix";
+    const std::size_t n = lu_.rows();
+    QAIC_CHECK_EQ(b.size(), n);
+
+    // Forward substitution on the permuted RHS (L has unit diagonal).
+    std::vector<Cmplx> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Cmplx acc = b[perm_[i]];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= lu_(i, j) * y[j];
+        y[i] = acc;
+    }
+    // Back substitution with U.
+    std::vector<Cmplx> x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        std::size_t i = ii - 1;
+        Cmplx acc = y[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc -= lu_(i, j) * x[j];
+        x[i] = acc / lu_(i, i);
+    }
+    return x;
+}
+
+CMatrix
+LuFactorization::solve(const CMatrix &b) const
+{
+    const std::size_t n = lu_.rows();
+    QAIC_CHECK_EQ(b.rows(), n);
+    CMatrix x(n, b.cols());
+    std::vector<Cmplx> col(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = b(i, c);
+        std::vector<Cmplx> sol = solve(col);
+        for (std::size_t i = 0; i < n; ++i)
+            x(i, c) = sol[i];
+    }
+    return x;
+}
+
+CMatrix
+LuFactorization::inverse() const
+{
+    return solve(CMatrix::identity(lu_.rows()));
+}
+
+Cmplx
+determinant(const CMatrix &a)
+{
+    return LuFactorization(a).determinant();
+}
+
+CMatrix
+inverse(const CMatrix &a)
+{
+    return LuFactorization(a).inverse();
+}
+
+} // namespace qaic

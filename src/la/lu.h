@@ -1,0 +1,53 @@
+/**
+ * @file
+ * LU factorization with partial pivoting for general complex matrices.
+ * Used for determinants (SU(4) normalization in Weyl analysis), linear
+ * solves inside the Pade matrix exponential, and matrix inversion.
+ */
+#ifndef QAIC_LA_LU_H
+#define QAIC_LA_LU_H
+
+#include <vector>
+
+#include "la/cmatrix.h"
+
+namespace qaic {
+
+/** Compact LU factorization P A = L U with partial pivoting. */
+class LuFactorization
+{
+  public:
+    /** Factorizes the square matrix @p a. */
+    explicit LuFactorization(const CMatrix &a);
+
+    /** True if a (near-)zero pivot was encountered. */
+    bool singular() const { return singular_; }
+
+    /** Determinant of the factorized matrix. */
+    Cmplx determinant() const;
+
+    /** Solves A x = b; @p b must have size n. */
+    std::vector<Cmplx> solve(const std::vector<Cmplx> &b) const;
+
+    /** Solves A X = B column-by-column. */
+    CMatrix solve(const CMatrix &b) const;
+
+    /** Inverse of the factorized matrix. */
+    CMatrix inverse() const;
+
+  private:
+    CMatrix lu_;
+    std::vector<std::size_t> perm_;
+    int permSign_ = 1;
+    bool singular_ = false;
+};
+
+/** Convenience wrapper: determinant of a square complex matrix. */
+Cmplx determinant(const CMatrix &a);
+
+/** Convenience wrapper: inverse of a square complex matrix. */
+CMatrix inverse(const CMatrix &a);
+
+} // namespace qaic
+
+#endif // QAIC_LA_LU_H

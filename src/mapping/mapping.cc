@@ -1,0 +1,239 @@
+#include "mapping/mapping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+std::map<std::pair<int, int>, int>
+interactionGraph(const Circuit &circuit)
+{
+    std::map<std::pair<int, int>, int> graph;
+    for (const Gate &g : circuit.gates()) {
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            for (std::size_t j = i + 1; j < g.qubits.size(); ++j) {
+                int a = std::min(g.qubits[i], g.qubits[j]);
+                int b = std::max(g.qubits[i], g.qubits[j]);
+                ++graph[{a, b}];
+            }
+    }
+    return graph;
+}
+
+namespace {
+
+/** Dense symmetric weight lookup built from the interaction graph. */
+class WeightMatrix
+{
+  public:
+    WeightMatrix(int n, const std::map<std::pair<int, int>, int> &graph)
+        : n_(n), w_(static_cast<std::size_t>(n) * n, 0)
+    {
+        for (const auto &[edge, count] : graph) {
+            w_[idx(edge.first, edge.second)] = count;
+            w_[idx(edge.second, edge.first)] = count;
+        }
+    }
+
+    int weight(int a, int b) const { return w_[idx(a, b)]; }
+
+  private:
+    std::size_t idx(int a, int b) const
+    {
+        return static_cast<std::size_t>(a) * n_ + b;
+    }
+
+    int n_;
+    std::vector<int> w_;
+};
+
+/**
+ * Kernighan-Lin style refinement: repeatedly performs the best
+ * positive-gain swap across the (A,B) split until none remains.
+ *
+ * The gain of swapping a (in A) with b (in B) is the cut-weight
+ * reduction: -sum_c side_c w(a,c) - sum_c side_c' w(b,c) with side +1 in
+ * A and -1 in B (the a-b edge itself stays cut and cancels out).
+ *
+ * @param members Qubits being partitioned.
+ * @param in_a Side flags, updated in place.
+ */
+void
+klRefine(const std::vector<int> &members, std::vector<bool> &in_a,
+         const WeightMatrix &weights)
+{
+    auto gain = [&](std::size_t ai, std::size_t bi) {
+        int a = members[ai], b = members[bi];
+        int da = 0, db = 0;
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            if (k == ai || k == bi)
+                continue;
+            int c = members[k];
+            int side = in_a[k] ? 1 : -1;
+            da += side * weights.weight(a, c);
+            db += side * weights.weight(b, c);
+        }
+        return -da + db;
+    };
+
+    for (int pass = 0; pass < 16; ++pass) {
+        int best_gain = 0;
+        std::size_t best_a = 0, best_b = 0;
+        for (std::size_t ai = 0; ai < members.size(); ++ai) {
+            if (!in_a[ai])
+                continue;
+            for (std::size_t bi = 0; bi < members.size(); ++bi) {
+                if (in_a[bi])
+                    continue;
+                int g = gain(ai, bi);
+                if (g > best_gain) {
+                    best_gain = g;
+                    best_a = ai;
+                    best_b = bi;
+                }
+            }
+        }
+        if (best_gain <= 0)
+            break;
+        in_a[best_a] = false;
+        in_a[best_b] = true;
+    }
+}
+
+/**
+ * Recursively assigns @p members (logical or dummy qubit ids) to the
+ * physical qubits in @p region. The region splits by sorted id (row-major
+ * on grids, so cuts alternate between horizontal and vertical strips as
+ * the recursion deepens); the member set splits to match via KL.
+ */
+void
+assignRegion(const std::vector<int> &members, std::vector<int> region,
+             const WeightMatrix &weights, Rng &rng,
+             std::vector<int> *placement)
+{
+    QAIC_CHECK_EQ(members.size(), region.size());
+    if (members.size() == 1) {
+        (*placement)[members[0]] = region[0];
+        return;
+    }
+
+    std::sort(region.begin(), region.end());
+    std::size_t half = region.size() / 2;
+    std::vector<int> region_a(region.begin(), region.begin() + half);
+    std::vector<int> region_b(region.begin() + half, region.end());
+
+    std::vector<bool> in_a(members.size(), false);
+    std::vector<std::size_t> order(members.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    for (std::size_t k = 0; k < half; ++k)
+        in_a[order[k]] = true;
+    klRefine(members, in_a, weights);
+
+    std::vector<int> members_a, members_b;
+    for (std::size_t k = 0; k < members.size(); ++k)
+        (in_a[k] ? members_a : members_b).push_back(members[k]);
+    QAIC_CHECK_EQ(members_a.size(), region_a.size());
+
+    assignRegion(members_a, std::move(region_a), weights, rng, placement);
+    assignRegion(members_b, std::move(region_b), weights, rng, placement);
+}
+
+} // namespace
+
+std::vector<int>
+initialPlacement(const Circuit &circuit, const DeviceModel &device,
+                 std::uint64_t seed)
+{
+    const int n = circuit.numQubits();
+    QAIC_CHECK_LE(n, device.numQubits()) << "device too small for circuit";
+
+    // Members n..(deviceQubits-1) are padding with zero interaction
+    // weight; they keep the recursion balanced on oversized devices.
+    WeightMatrix weights(device.numQubits(), interactionGraph(circuit));
+    Rng rng(seed);
+
+    std::vector<int> members(device.numQubits());
+    std::iota(members.begin(), members.end(), 0);
+    std::vector<int> region = members;
+
+    std::vector<int> full(device.numQubits(), -1);
+    assignRegion(members, std::move(region), weights, rng, &full);
+    return {full.begin(), full.begin() + n};
+}
+
+RoutingResult
+routeOnDevice(const Circuit &circuit, const DeviceModel &device,
+              const std::vector<int> &placement)
+{
+    QAIC_CHECK_EQ(placement.size(),
+                  static_cast<std::size_t>(circuit.numQubits()));
+
+    RoutingResult result;
+    result.physical = Circuit(device.numQubits());
+    result.initialMapping = placement;
+
+    // position[logical] = physical, occupant[physical] = logical or -1.
+    std::vector<int> position = placement;
+    std::vector<int> occupant(device.numQubits(), -1);
+    for (int q = 0; q < circuit.numQubits(); ++q) {
+        int p = placement[q];
+        QAIC_CHECK(p >= 0 && p < device.numQubits());
+        QAIC_CHECK_EQ(occupant[p], -1) << "placement collision";
+        occupant[p] = q;
+    }
+
+    auto apply_swap = [&](int pa, int pb) {
+        result.physical.add(makeSwap(pa, pb));
+        ++result.swapCount;
+        int qa = occupant[pa], qb = occupant[pb];
+        occupant[pa] = qb;
+        occupant[pb] = qa;
+        if (qa >= 0)
+            position[qa] = pb;
+        if (qb >= 0)
+            position[qb] = pa;
+    };
+
+    for (const Gate &g : circuit.gates()) {
+        QAIC_CHECK_LE(g.width(), 2)
+            << "decompose " << g.toString() << " before routing";
+        if (g.width() == 2) {
+            int pa = position[g.qubits[0]];
+            int pb = position[g.qubits[1]];
+            if (!device.adjacent(pa, pb)) {
+                std::vector<int> path = device.shortestPath(pa, pb);
+                // Walk the first operand along the path until adjacent.
+                for (std::size_t s = 0; s + 2 < path.size(); ++s)
+                    apply_swap(path[s], path[s + 1]);
+                pa = position[g.qubits[0]];
+                pb = position[g.qubits[1]];
+                QAIC_CHECK(device.adjacent(pa, pb));
+            }
+        }
+        // relabelGate keeps aggregate members consistent with the new ids.
+        result.physical.add(relabelGate(g, position));
+    }
+
+    result.finalMapping = position;
+    return result;
+}
+
+bool
+respectsTopology(const Circuit &circuit, const DeviceModel &device)
+{
+    for (const Gate &g : circuit.gates()) {
+        if (g.width() <= 1)
+            continue;
+        if (g.width() > 2)
+            return false;
+        if (!device.adjacent(g.qubits[0], g.qubits[1]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace qaic

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Qubit mapping and topological-constraint resolution (paper Section
+ * 3.4.1).
+ *
+ * Frequently-interacting qubits are placed near each other by recursively
+ * bisecting the interaction graph along small cuts — the role METIS plays
+ * in the paper — here implemented with Kernighan–Lin refinement. Two-qubit
+ * operations between non-neighbours are then prepended with SWAP chains
+ * along shortest coupling-graph paths.
+ */
+#ifndef QAIC_MAPPING_MAPPING_H
+#define QAIC_MAPPING_MAPPING_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "device/device.h"
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/**
+ * Weighted interaction graph: (a,b) with a<b -> number of multi-qubit
+ * gates coupling logical qubits a and b (each pair inside a wider gate
+ * counts once per gate).
+ */
+std::map<std::pair<int, int>, int> interactionGraph(const Circuit &circuit);
+
+/**
+ * Initial placement by recursive bisection with Kernighan-Lin refinement.
+ *
+ * @param circuit Logical circuit (defines the interaction graph).
+ * @param device Target device; must have at least as many qubits.
+ * @param seed Seed for the initial random split.
+ * @return placement[logical] = physical qubit id.
+ */
+std::vector<int> initialPlacement(const Circuit &circuit,
+                                  const DeviceModel &device,
+                                  std::uint64_t seed = 1);
+
+/** Output of SWAP routing. */
+struct RoutingResult
+{
+    /** Circuit on physical qubit ids; every 2q gate is coupler-adjacent. */
+    Circuit physical;
+    /** The placement used on entry: logical -> physical. */
+    std::vector<int> initialMapping;
+    /** Placement after all inserted SWAPs: logical -> physical. */
+    std::vector<int> finalMapping;
+    /** Number of SWAP gates inserted. */
+    int swapCount = 0;
+
+    RoutingResult() : physical(1) {}
+};
+
+/**
+ * Inserts SWAP chains so every two-qubit gate acts on coupled neighbours.
+ *
+ * Gates wider than two qubits must have been decomposed beforehand.
+ *
+ * @param circuit Logical circuit.
+ * @param device Target topology.
+ * @param placement Initial logical->physical map (e.g. initialPlacement).
+ */
+RoutingResult routeOnDevice(const Circuit &circuit,
+                            const DeviceModel &device,
+                            const std::vector<int> &placement);
+
+/** True if every multi-qubit gate in @p circuit is coupler-adjacent. */
+bool respectsTopology(const Circuit &circuit, const DeviceModel &device);
+
+} // namespace qaic
+
+#endif // QAIC_MAPPING_MAPPING_H

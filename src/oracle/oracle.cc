@@ -1,0 +1,352 @@
+#include "oracle/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "ir/embed.h"
+#include "la/expm.h"
+#include "util/logging.h"
+#include "weyl/weyl.h"
+
+namespace qaic {
+
+namespace {
+
+/** Rounds @p t up to the pulse grid. */
+double
+roundToGrid(double t, double grid)
+{
+    if (t <= 0.0)
+        return 0.0;
+    return std::ceil(t / grid - 1e-9) * grid;
+}
+
+/**
+ * Attempts to factor a 4x4 unitary into a (x) b.
+ * @return true on success (within tolerance).
+ */
+bool
+factorizeLocal(const CMatrix &u, CMatrix *a, CMatrix *b)
+{
+    // Blocks M_ij = a_ij * b. Seed b from the largest block.
+    double best = -1.0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j) {
+            double norm = 0.0;
+            for (std::size_t r = 0; r < 2; ++r)
+                for (std::size_t c = 0; c < 2; ++c)
+                    norm += std::norm(u(2 * i + r, 2 * j + c));
+            if (norm > best) {
+                best = norm;
+                bi = i;
+                bj = j;
+            }
+        }
+    CMatrix bb(2, 2);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            bb(r, c) = u(2 * bi + r, 2 * bj + c);
+    double scale = std::sqrt(best / 2.0);
+    if (scale < 1e-9)
+        return false;
+    bb *= Cmplx(1.0 / scale, 0.0);
+
+    CMatrix aa(2, 2);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j) {
+            Cmplx coeff(0.0, 0.0);
+            for (std::size_t r = 0; r < 2; ++r)
+                for (std::size_t c = 0; c < 2; ++c)
+                    coeff +=
+                        std::conj(bb(r, c)) * u(2 * i + r, 2 * j + c);
+            aa(i, j) = coeff / 2.0;
+        }
+    if (!aa.kron(bb).approxEqual(u, 1e-6))
+        return false;
+    *a = aa;
+    *b = bb;
+    return true;
+}
+
+/** True if u is a pure XY evolution exp(-+i c (XX+YY)) up to phase. */
+bool
+isXyNative(const CMatrix &u, const WeylCoordinates &w)
+{
+    if (std::abs(w.c1 - w.c2) > 1e-7 || w.c3 > 1e-7)
+        return false;
+    CMatrix x = makeX(0).matrix();
+    CMatrix y = makeY(0).matrix();
+    CMatrix gen = x.kron(x) + y.kron(y);
+    CMatrix forward = expiHermitian(gen, w.c1);
+    if (phaseDistance(u, forward) < 1e-6)
+        return true;
+    CMatrix backward = expiHermitian(gen, -w.c1);
+    return phaseDistance(u, backward) < 1e-6;
+}
+
+} // namespace
+
+AnalyticOracle::AnalyticOracle(AnalyticModelParams params) : params_(params)
+{
+    QAIC_CHECK(params_.mu1 > 0 && params_.mu2 > 0);
+}
+
+double
+AnalyticOracle::singleQubitContent(const CMatrix &u) const
+{
+    QAIC_CHECK_EQ(u.rows(), 2u);
+    double half_trace = std::min(1.0, std::abs(u.trace()) / 2.0);
+    double theta = 2.0 * std::acos(half_trace);
+    if (theta < 1e-9)
+        return 0.0;
+
+    CMatrix z = makeZ(0).matrix();
+    double nz = std::abs((z * u).trace()) / (2.0 * std::sin(theta / 2.0));
+    double angle = theta + params_.zDetour * nz * nz;
+    return angle / (2.0 * M_PI * params_.mu1);
+}
+
+double
+AnalyticOracle::twoQubitContent(const CMatrix &u) const
+{
+    QAIC_CHECK_EQ(u.rows(), 4u);
+    WeylCoordinates w = weylCoordinates(u);
+    double t_int = xyMinimumTime(w, params_.mu2);
+
+    if (t_int < 1e-9) {
+        // Entanglement-free segment: a product of locals (e.g. cancelled
+        // CNOT pairs); price the two factors in parallel.
+        CMatrix a, b;
+        if (factorizeLocal(u, &a, &b))
+            return std::max(singleQubitContent(a), singleQubitContent(b));
+        return 0.0;
+    }
+    double dressing = isXyNative(u, w) ? 0.0 : params_.localDressing;
+    return t_int + dressing;
+}
+
+std::vector<AnalyticOracle::Segment>
+AnalyticOracle::foldSegments(const std::vector<Gate> &members) const
+{
+    std::vector<Segment> segments;
+    for (const Gate &g : members) {
+        QAIC_CHECK_LE(g.width(), 2)
+            << "analytic oracle requires <=2-qubit members; decompose "
+            << g.toString() << " first";
+        CMatrix gm = g.matrix();
+
+        if (!segments.empty()) {
+            Segment &last = segments.back();
+            std::set<int> merged(last.qubits.begin(), last.qubits.end());
+            for (int q : g.qubits)
+                merged.insert(q);
+            if (merged.size() <= 2) {
+                std::vector<int> support(merged.begin(), merged.end());
+                CMatrix acc =
+                    embedUnitary(last.u, last.qubits, support);
+                last.u = embedUnitary(gm, g.qubits, support) * acc;
+                last.qubits = support;
+                continue;
+            }
+        }
+        Segment seg;
+        seg.qubits = g.qubits;
+        std::sort(seg.qubits.begin(), seg.qubits.end());
+        seg.u = embedUnitary(gm, g.qubits, seg.qubits);
+        segments.push_back(std::move(seg));
+    }
+    return segments;
+}
+
+double
+AnalyticOracle::contentCriticalPath(
+    const std::vector<Segment> &segments) const
+{
+    std::unordered_map<int, double> busy_until;
+    std::map<std::pair<int, int>, double> edge_content;
+    double makespan = 0.0;
+    for (const Segment &seg : segments) {
+        double content = seg.qubits.size() == 1
+                             ? singleQubitContent(seg.u)
+                             : twoQubitContent(seg.u);
+        if (seg.qubits.size() == 2)
+            edge_content[{seg.qubits[0], seg.qubits[1]}] += content;
+        double start = 0.0;
+        for (int q : seg.qubits)
+            start = std::max(start, busy_until[q]);
+        double end = start + content;
+        for (int q : seg.qubits)
+            busy_until[q] = end;
+        makespan = std::max(makespan, end);
+    }
+
+    // Aggregates spanning several coupler pairs: optimal control drives
+    // the couplers simultaneously, so the serialized path overestimates;
+    // discount it, floored by the busiest single edge (its interaction
+    // content cannot compress — it is a speed-limit bound).
+    if (edge_content.size() >= 2) {
+        double max_edge = 0.0;
+        for (const auto &[edge, content] : edge_content)
+            max_edge = std::max(max_edge, content);
+        makespan =
+            std::max(max_edge, makespan / params_.parallelDiscount);
+    }
+    return makespan;
+}
+
+double
+AnalyticOracle::latencyNs(const Gate &gate)
+{
+    std::vector<Gate> members;
+    if (gate.kind == GateKind::kAggregate) {
+        QAIC_CHECK(gate.payload != nullptr);
+        members = gate.payload->members;
+    } else {
+        members = {gate};
+    }
+    std::vector<Segment> segments = foldSegments(members);
+    double content = contentCriticalPath(segments);
+    if (content <= 0.0)
+        return 0.0; // Identity instructions (e.g. the virtual GDG root).
+    double t = params_.rampOverhead + params_.contentFactor * content;
+    return roundToGrid(t, params_.dtGrid);
+}
+
+GrapeLatencyOracle::GrapeLatencyOracle(Options options,
+                                       AnalyticModelParams params)
+    : options_(options), fallback_(params)
+{
+}
+
+double
+GrapeLatencyOracle::latencyNs(const Gate &gate)
+{
+    if (gate.width() > options_.maxWidth)
+        return fallback_.latencyNs(gate);
+
+    double analytic = fallback_.latencyNs(gate);
+    if (analytic <= 0.0)
+        return 0.0;
+
+    // Build the local register: support relabelled to 0..k-1 with the
+    // couplings actually used by the members (post-mapping these are all
+    // hardware-adjacent).
+    std::vector<int> support = gate.qubits;
+    auto local_of = [&](int q) {
+        auto it = std::find(support.begin(), support.end(), q);
+        QAIC_CHECK(it != support.end());
+        return static_cast<int>(it - support.begin());
+    };
+    std::vector<std::pair<int, int>> couplings;
+    if (gate.kind == GateKind::kAggregate) {
+        for (const Gate &m : gate.payload->members)
+            if (m.width() == 2)
+                couplings.emplace_back(local_of(m.qubits[0]),
+                                       local_of(m.qubits[1]));
+    } else if (gate.width() == 2) {
+        couplings.emplace_back(0, 1);
+    }
+    DeviceModel device(gate.width(), std::move(couplings),
+                       fallback_.params().mu1, fallback_.params().mu2);
+
+    GrapeOptimizer grape(device);
+    double t_lo = std::max(options_.grape.dt * 2.0,
+                           analytic - fallback_.params().rampOverhead);
+    double t_hi = analytic * 3.0 + 20.0;
+    auto search = grape.minimizeDuration(gate.matrix(), t_lo, t_hi,
+                                         options_.resolution,
+                                         options_.grape);
+    if (!search.found)
+        return fallback_.latencyNs(gate);
+    return search.minimalDuration;
+}
+
+std::string
+unitaryFingerprint(const CMatrix &u)
+{
+    // Canonicalize the global phase: rotate so the largest-magnitude entry
+    // is real positive, then round.
+    Cmplx anchor(1.0, 0.0);
+    double best = -1.0;
+    for (const Cmplx &v : u.data()) {
+        if (std::abs(v) > best + 1e-12) {
+            best = std::abs(v);
+            anchor = v;
+        }
+    }
+    Cmplx phase = std::abs(anchor) > 1e-12 ? anchor / std::abs(anchor)
+                                           : Cmplx(1.0, 0.0);
+    std::string key;
+    key.reserve(u.data().size() * 12 + 8);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%zux%zu:", u.rows(), u.cols());
+    key += buf;
+    for (const Cmplx &v : u.data()) {
+        Cmplx c = v / phase;
+        std::snprintf(buf, sizeof(buf), "%.5f,%.5f;", c.real(), c.imag());
+        key += buf;
+    }
+    return key;
+}
+
+std::string
+structuralFingerprint(const Gate &gate)
+{
+    std::vector<Gate> members;
+    if (gate.kind == GateKind::kAggregate)
+        members = gate.payload->members;
+    else
+        members = {gate};
+
+    auto local_of = [&](int q) {
+        auto it = std::find(gate.qubits.begin(), gate.qubits.end(), q);
+        QAIC_CHECK(it != gate.qubits.end());
+        return static_cast<int>(it - gate.qubits.begin());
+    };
+
+    std::string key = "w" + std::to_string(gate.width()) + ":";
+    char buf[48];
+    for (const Gate &m : members) {
+        key += m.name();
+        for (double p : m.params) {
+            std::snprintf(buf, sizeof(buf), "(%.6f)", p);
+            key += buf;
+        }
+        for (int q : m.qubits) {
+            std::snprintf(buf, sizeof(buf), ".%d", local_of(q));
+            key += buf;
+        }
+        key += ";";
+    }
+    return key;
+}
+
+CachingOracle::CachingOracle(std::shared_ptr<LatencyOracle> inner)
+    : inner_(std::move(inner))
+{
+    QAIC_CHECK(inner_ != nullptr);
+}
+
+double
+CachingOracle::latencyNs(const Gate &gate)
+{
+    // Narrow gates get the stronger (equivalence-detecting) unitary key;
+    // wide aggregates use the cheap structural key.
+    std::string key = gate.width() <= 3 ? unitaryFingerprint(gate.matrix())
+                                        : structuralFingerprint(gate);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    double t = inner_->latencyNs(gate);
+    cache_.emplace(std::move(key), t);
+    return t;
+}
+
+} // namespace qaic

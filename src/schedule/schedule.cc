@@ -1,0 +1,271 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+double
+Schedule::makespan() const
+{
+    double m = 0.0;
+    for (const ScheduledOp &op : ops)
+        m = std::max(m, op.finish());
+    return m;
+}
+
+bool
+Schedule::validate(int num_qubits, std::string *error) const
+{
+    // Sweep per qubit: intervals must not overlap.
+    std::vector<std::vector<std::pair<double, double>>> busy(num_qubits);
+    for (const ScheduledOp &op : ops) {
+        for (int q : op.gate.qubits) {
+            if (q < 0 || q >= num_qubits) {
+                if (error)
+                    *error = "qubit index out of range";
+                return false;
+            }
+            busy[q].emplace_back(op.start, op.finish());
+        }
+    }
+    for (int q = 0; q < num_qubits; ++q) {
+        auto &iv = busy[q];
+        std::sort(iv.begin(), iv.end());
+        for (std::size_t i = 1; i < iv.size(); ++i) {
+            if (iv[i].first < iv[i - 1].second - 1e-9) {
+                if (error) {
+                    std::ostringstream os;
+                    os << "overlap on qubit " << q << " at t="
+                       << iv[i].first;
+                    *error = os.str();
+                }
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+Circuit
+Schedule::toCircuit(int num_qubits) const
+{
+    std::vector<const ScheduledOp *> sorted;
+    sorted.reserve(ops.size());
+    for (const ScheduledOp &op : ops)
+        sorted.push_back(&op);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ScheduledOp *a, const ScheduledOp *b) {
+                         return a->start < b->start;
+                     });
+    Circuit out(num_qubits);
+    for (const ScheduledOp *op : sorted)
+        out.add(op->gate);
+    return out;
+}
+
+std::vector<int>
+findMaximalMatching(const std::vector<CandidateOp> &ops)
+{
+    // Greedy by priority, then try one augmenting exchange: replace a
+    // chosen multi-qubit op by two (or more) skipped ops that fit in the
+    // freed vertices, if that increases cardinality.
+    std::vector<int> order(ops.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return ops[a].priority > ops[b].priority;
+    });
+
+    std::set<int> used;
+    std::vector<int> chosen;
+    std::vector<int> skipped;
+    auto fits = [&](const CandidateOp &op, const std::set<int> &occupied) {
+        for (int q : op.qubits)
+            if (occupied.count(q))
+                return false;
+        return true;
+    };
+    for (int i : order) {
+        if (fits(ops[i], used)) {
+            chosen.push_back(i);
+            used.insert(ops[i].qubits.begin(), ops[i].qubits.end());
+        } else {
+            skipped.push_back(i);
+        }
+    }
+
+    // Augmenting pass: for each chosen op, see if dropping it admits two
+    // or more skipped ops.
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t ci = 0; ci < chosen.size() && !improved; ++ci) {
+            std::set<int> without = used;
+            for (int q : ops[chosen[ci]].qubits)
+                without.erase(q);
+            std::vector<int> replacements;
+            std::set<int> trial = without;
+            for (int si : skipped) {
+                if (fits(ops[si], trial)) {
+                    replacements.push_back(si);
+                    trial.insert(ops[si].qubits.begin(),
+                                 ops[si].qubits.end());
+                }
+            }
+            if (replacements.size() >= 2) {
+                int dropped = chosen[ci];
+                chosen.erase(chosen.begin() + ci);
+                for (int r : replacements) {
+                    chosen.push_back(r);
+                    skipped.erase(
+                        std::find(skipped.begin(), skipped.end(), r));
+                }
+                skipped.push_back(dropped);
+                used = trial;
+                improved = true;
+            }
+        }
+    }
+    return chosen;
+}
+
+Schedule
+scheduleAsap(const Circuit &circuit, LatencyOracle &oracle)
+{
+    Schedule schedule;
+    std::vector<double> free_at(circuit.numQubits(), 0.0);
+    for (const Gate &g : circuit.gates()) {
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, free_at[q]);
+        double duration = oracle.latencyNs(g);
+        for (int q : g.qubits)
+            free_at[q] = start + duration;
+        schedule.ops.push_back({g, start, duration});
+    }
+    return schedule;
+}
+
+Schedule
+scheduleCls(const Gdg &gdg, LatencyOracle &oracle)
+{
+    const std::size_t n = gdg.size();
+    const Circuit &circuit = gdg.circuit();
+
+    std::vector<double> duration(n);
+    for (std::size_t id = 0; id < n; ++id)
+        duration[id] = oracle.latencyNs(gdg.gate(static_cast<int>(id)));
+
+    // Downstream-weight priorities: members of later groups on each qubit
+    // appear later in program order, so a reverse sweep is a valid DP.
+    std::vector<double> weight(n, 0.0);
+    for (std::size_t idx = n; idx > 0; --idx) {
+        int id = static_cast<int>(idx - 1);
+        double down = 0.0;
+        const Gate &g = gdg.gate(id);
+        for (int q : g.qubits) {
+            int gi = gdg.groupIndexOf(id, q);
+            const auto &qgroups = gdg.groupsOnQubit(q);
+            if (gi + 1 < static_cast<int>(qgroups.size()))
+                for (int m : qgroups[gi + 1])
+                    down = std::max(down, weight[m]);
+        }
+        weight[id] = duration[id] + down;
+    }
+
+    // Dependency counts: a gate waits for the completion of every member
+    // of the immediately-previous group on each of its qubits.
+    std::vector<int> blockers(n, 0);
+    std::vector<std::vector<int>> unlocks(n);
+    for (std::size_t id = 0; id < n; ++id) {
+        const Gate &g = gdg.gate(static_cast<int>(id));
+        for (int q : g.qubits) {
+            int gi = gdg.groupIndexOf(static_cast<int>(id), q);
+            if (gi == 0)
+                continue;
+            for (int m : gdg.groupsOnQubit(q)[gi - 1]) {
+                blockers[id] += 1;
+                unlocks[m].push_back(static_cast<int>(id));
+            }
+        }
+    }
+
+    Schedule schedule;
+    schedule.ops.resize(n);
+    std::vector<bool> scheduled(n, false);
+    std::vector<double> qubit_free(circuit.numQubits(), 0.0);
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        events;
+    events.push(0.0);
+
+    // Finish events carry completions to process (time, id).
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>,
+                        std::greater<std::pair<double, int>>>
+        finishing;
+
+    std::size_t remaining = n;
+    double now = 0.0;
+    while (remaining > 0) {
+        QAIC_CHECK(!events.empty()) << "CLS deadlock";
+        now = events.top();
+        while (!events.empty() && events.top() <= now + 1e-12)
+            events.pop();
+
+        // Apply completions up to `now`.
+        while (!finishing.empty() && finishing.top().first <= now + 1e-12) {
+            int done = finishing.top().second;
+            finishing.pop();
+            for (int succ : unlocks[done])
+                --blockers[succ];
+        }
+
+        // Candidates: unscheduled, unblocked, qubits idle at `now`.
+        std::vector<CandidateOp> candidates;
+        for (std::size_t id = 0; id < n; ++id) {
+            if (scheduled[id] || blockers[id] > 0)
+                continue;
+            const Gate &g = gdg.gate(static_cast<int>(id));
+            bool free = true;
+            for (int q : g.qubits)
+                if (qubit_free[q] > now + 1e-12) {
+                    free = false;
+                    break;
+                }
+            if (free)
+                candidates.push_back(
+                    {static_cast<int>(id), g.qubits, weight[id]});
+        }
+
+        if (!candidates.empty()) {
+            for (int pick : findMaximalMatching(candidates)) {
+                int id = candidates[pick].id;
+                scheduled[id] = true;
+                --remaining;
+                double fin = now + duration[id];
+                schedule.ops[id] = {gdg.gate(id), now, duration[id]};
+                for (int q : gdg.gate(id).qubits)
+                    qubit_free[q] = fin;
+                finishing.emplace(fin, id);
+                events.push(fin);
+            }
+        }
+    }
+    return schedule;
+}
+
+Schedule
+scheduleCls(const Circuit &circuit, CommutationChecker *checker,
+            LatencyOracle &oracle)
+{
+    Gdg gdg(circuit, checker);
+    return scheduleCls(gdg, oracle);
+}
+
+} // namespace qaic

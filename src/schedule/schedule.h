@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Instruction scheduling.
+ *
+ * Two schedulers are provided:
+ *  - scheduleAsap: the baseline gate-based scheduler. Dependencies follow
+ *    program order (every earlier gate sharing a qubit is a predecessor).
+ *  - scheduleCls: the paper's Commutativity-aware Logical Scheduling
+ *    (Algorithm 1). Per-qubit commutation groups define readiness; at
+ *    each event time the candidate gates form a computational graph with
+ *    qubits as vertices and gates as edges (1-qubit gates are self-loops),
+ *    and a maximal-cardinality matching picks the set to launch (Fig. 7).
+ *
+ * Durations come from a LatencyOracle, so the same schedulers serve the
+ * logical level (unit/abstract latencies) and the physical level
+ * (pulse-time latencies).
+ */
+#ifndef QAIC_SCHEDULE_SCHEDULE_H
+#define QAIC_SCHEDULE_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "gdg/gdg.h"
+#include "ir/circuit.h"
+#include "oracle/oracle.h"
+
+namespace qaic {
+
+/** One scheduled instruction. */
+struct ScheduledOp
+{
+    Gate gate;
+    double start = 0.0;
+    double duration = 0.0;
+
+    double finish() const { return start + duration; }
+};
+
+/** A complete schedule of a circuit. */
+struct Schedule
+{
+    std::vector<ScheduledOp> ops;
+
+    /** Total latency (max finish time). */
+    double makespan() const;
+
+    /**
+     * Checks structural validity: ops touching a common qubit never
+     * overlap in time.
+     * @param num_qubits Register size.
+     * @param error Receives a diagnostic on failure (may be null).
+     */
+    bool validate(int num_qubits, std::string *error = nullptr) const;
+
+    /** Ops sorted by start time, serialized back to a circuit. */
+    Circuit toCircuit(int num_qubits) const;
+};
+
+/** Edge of a scheduling conflict graph: 2-qubit ops are (a,b), 1-qubit
+ *  ops are self-loops (a,a); multi-qubit ops list their full support. */
+struct CandidateOp
+{
+    int id = 0;
+    std::vector<int> qubits;
+    double priority = 0.0;
+};
+
+/**
+ * Maximal-cardinality conflict-free subset of candidates (greedy in
+ * priority order with one augmenting improvement pass over pairs).
+ * Returns the chosen candidate indices.
+ */
+std::vector<int> findMaximalMatching(const std::vector<CandidateOp> &ops);
+
+/** Baseline ASAP scheduler with program-order dependencies. */
+Schedule scheduleAsap(const Circuit &circuit, LatencyOracle &oracle);
+
+/** Commutativity-aware list scheduling over a prebuilt GDG (Alg. 1). */
+Schedule scheduleCls(const Gdg &gdg, LatencyOracle &oracle);
+
+/** Convenience overload: builds the GDG internally. */
+Schedule scheduleCls(const Circuit &circuit, CommutationChecker *checker,
+                     LatencyOracle &oracle);
+
+} // namespace qaic
+
+#endif // QAIC_SCHEDULE_SCHEDULE_H

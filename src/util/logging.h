@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error-reporting and invariant-checking primitives for QAIC.
+ *
+ * Follows the gem5 convention: `fatal` reports user-caused, unrecoverable
+ * conditions (bad input, unsupported configuration) and exits cleanly;
+ * `panic` reports internal invariant violations (library bugs) and aborts.
+ * `QAIC_CHECK*` macros are always-on assertions built on `panic`.
+ */
+#ifndef QAIC_UTIL_LOGGING_H
+#define QAIC_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qaic {
+
+namespace detail {
+
+/** Stream-collects a message then terminates the process on destruction. */
+class FatalStream
+{
+  public:
+    /**
+     * @param kind Label printed before the message ("fatal" or "panic").
+     * @param file Source file of the failure site.
+     * @param line Source line of the failure site.
+     * @param abort_on_exit Abort (core dump) instead of exit(1).
+     */
+    FatalStream(const char *kind, const char *file, int line,
+                bool abort_on_exit)
+        : abortOnExit_(abort_on_exit)
+    {
+        stream_ << kind << ": " << file << ":" << line << ": ";
+    }
+
+    [[noreturn]] ~FatalStream()
+    {
+        std::cerr << stream_.str() << std::endl;
+        if (abortOnExit_)
+            std::abort();
+        std::exit(1);
+    }
+
+    /** Appends a value to the failure message. */
+    template <typename T>
+    FatalStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    std::ostringstream stream_;
+    bool abortOnExit_;
+};
+
+} // namespace detail
+
+} // namespace qaic
+
+/** Report an unrecoverable user error (bad input/config) and exit(1). */
+#define QAIC_FATAL() ::qaic::detail::FatalStream("fatal", __FILE__, __LINE__, false)
+
+/** Report an internal library bug and abort(). */
+#define QAIC_PANIC() ::qaic::detail::FatalStream("panic", __FILE__, __LINE__, true)
+
+/** Always-on invariant check; panics with the condition text on failure. */
+#define QAIC_CHECK(cond)                                                     \
+    if (cond) {                                                              \
+    } else                                                                   \
+        QAIC_PANIC() << "check failed: " #cond << " "
+
+/** Checks a binary relation and prints both operands on failure. */
+#define QAIC_CHECK_OP(a, op, b)                                              \
+    if ((a)op(b)) {                                                          \
+    } else                                                                   \
+        QAIC_PANIC() << "check failed: " #a " " #op " " #b << " (" << (a)    \
+                     << " vs " << (b) << ") "
+
+#define QAIC_CHECK_EQ(a, b) QAIC_CHECK_OP(a, ==, b)
+#define QAIC_CHECK_NE(a, b) QAIC_CHECK_OP(a, !=, b)
+#define QAIC_CHECK_LT(a, b) QAIC_CHECK_OP(a, <, b)
+#define QAIC_CHECK_LE(a, b) QAIC_CHECK_OP(a, <=, b)
+#define QAIC_CHECK_GT(a, b) QAIC_CHECK_OP(a, >, b)
+#define QAIC_CHECK_GE(a, b) QAIC_CHECK_OP(a, >=, b)
+
+#endif // QAIC_UTIL_LOGGING_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print the
+ * rows/series corresponding to the paper's tables and figures.
+ */
+#ifndef QAIC_UTIL_TABLE_H
+#define QAIC_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace qaic {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Gate", "Time (ns)"});
+ *   t.addRow({"CNOT", "47.1"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Appends one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Formats a double with @p precision digits after the point. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Renders the table with a separator line under the header. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_UTIL_TABLE_H

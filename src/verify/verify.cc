@@ -1,0 +1,247 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "oracle/oracle.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    QAIC_CHECK(num_qubits > 0 && num_qubits <= 24);
+    amps_.assign(std::size_t(1) << num_qubits, Cmplx(0.0, 0.0));
+    amps_[0] = 1.0;
+}
+
+StateVector
+StateVector::basis(int num_qubits, std::size_t index)
+{
+    StateVector sv(num_qubits);
+    QAIC_CHECK_LT(index, sv.amps_.size());
+    sv.amps_[0] = 0.0;
+    sv.amps_[index] = 1.0;
+    return sv;
+}
+
+StateVector
+StateVector::random(int num_qubits, std::uint64_t seed)
+{
+    StateVector sv(num_qubits);
+    Rng rng(seed);
+    double norm2 = 0.0;
+    for (auto &a : sv.amps_) {
+        a = Cmplx(rng.gaussian(), rng.gaussian());
+        norm2 += std::norm(a);
+    }
+    double inv = 1.0 / std::sqrt(norm2);
+    for (auto &a : sv.amps_)
+        a *= inv;
+    return sv;
+}
+
+void
+StateVector::setAmplitudes(std::vector<Cmplx> amps)
+{
+    QAIC_CHECK_EQ(amps.size(), amps_.size());
+    amps_ = std::move(amps);
+    QAIC_CHECK_LT(std::abs(norm() - 1.0), 1e-6) << "non-normalized state";
+}
+
+void
+StateVector::applyMatrix(const CMatrix &u, const std::vector<int> &qubits)
+{
+    const std::size_t k = qubits.size();
+    QAIC_CHECK_EQ(u.rows(), std::size_t(1) << k);
+
+    // Bit position (from LSB) of each gate qubit in the amplitude index.
+    std::vector<int> bit(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        int q = qubits[i];
+        QAIC_CHECK(q >= 0 && q < numQubits_);
+        bit[i] = numQubits_ - 1 - q;
+    }
+    std::size_t gate_mask = 0;
+    for (int b : bit)
+        gate_mask |= std::size_t(1) << b;
+
+    auto scatter = [&](std::size_t local) {
+        std::size_t g = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            if (local >> (k - 1 - i) & 1)
+                g |= std::size_t(1) << bit[i];
+        return g;
+    };
+    std::vector<std::size_t> offsets(std::size_t(1) << k);
+    for (std::size_t l = 0; l < offsets.size(); ++l)
+        offsets[l] = scatter(l);
+
+    std::vector<Cmplx> gathered(offsets.size());
+    const std::size_t dim = amps_.size();
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & gate_mask)
+            continue; // Enumerate each coset once (gate bits all zero).
+        for (std::size_t l = 0; l < offsets.size(); ++l)
+            gathered[l] = amps_[base | offsets[l]];
+        for (std::size_t r = 0; r < offsets.size(); ++r) {
+            Cmplx acc(0.0, 0.0);
+            for (std::size_t c = 0; c < offsets.size(); ++c)
+                acc += u(r, c) * gathered[c];
+            amps_[base | offsets[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::apply(const Gate &gate)
+{
+    applyMatrix(gate.matrix(), gate.qubits);
+}
+
+void
+StateVector::apply(const Circuit &circuit)
+{
+    QAIC_CHECK_EQ(circuit.numQubits(), numQubits_);
+    for (const Gate &g : circuit.gates())
+        apply(g);
+}
+
+double
+StateVector::norm() const
+{
+    double s = 0.0;
+    for (const Cmplx &a : amps_)
+        s += std::norm(a);
+    return std::sqrt(s);
+}
+
+Cmplx
+StateVector::overlap(const StateVector &other) const
+{
+    QAIC_CHECK_EQ(other.amps_.size(), amps_.size());
+    Cmplx s(0.0, 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        s += std::conj(amps_[i]) * other.amps_[i];
+    return s;
+}
+
+bool
+circuitsEquivalent(const Circuit &a, const Circuit &b, double tol,
+                   int max_exact_qubits, int samples, std::uint64_t seed)
+{
+    if (a.numQubits() != b.numQubits())
+        return false;
+    if (a.numQubits() <= max_exact_qubits)
+        return phaseDistance(a.unitary(max_exact_qubits),
+                             b.unitary(max_exact_qubits)) < tol;
+
+    for (int s = 0; s < samples; ++s) {
+        StateVector sa = StateVector::random(a.numQubits(), seed + s);
+        StateVector sb = sa;
+        sa.apply(a);
+        sb.apply(b);
+        if (std::abs(std::abs(sa.overlap(sb)) - 1.0) > tol)
+            return false;
+    }
+    return true;
+}
+
+bool
+routedEquivalent(const Circuit &logical, const RoutingResult &routing,
+                 int num_physical_qubits, double tol, int samples,
+                 std::uint64_t seed)
+{
+    const int nl = logical.numQubits();
+    const int np = num_physical_qubits;
+    QAIC_CHECK_LE(nl, np);
+
+    // Embeds a logical state at the given placement (other qubits |0>).
+    auto embed_state = [&](const StateVector &ls,
+                           const std::vector<int> &placement) {
+        StateVector ps(np);
+        std::vector<Cmplx> amps(std::size_t(1) << np, Cmplx(0.0, 0.0));
+        for (std::size_t li = 0; li < ls.amplitudes().size(); ++li) {
+            std::size_t pi = 0;
+            for (int q = 0; q < nl; ++q)
+                if (li >> (nl - 1 - q) & 1)
+                    pi |= std::size_t(1) << (np - 1 - placement[q]);
+            amps[pi] = ls.amplitudes()[li];
+        }
+        ps.setAmplitudes(std::move(amps));
+        return ps;
+    };
+
+    for (int s = 0; s < samples; ++s) {
+        StateVector ls = StateVector::random(nl, seed + 31 * s);
+        // Expected: run logical circuit, then embed at the final mapping.
+        StateVector expected_logical = ls;
+        expected_logical.apply(logical);
+        StateVector expected =
+            embed_state(expected_logical, routing.finalMapping);
+        // Actual: embed at the initial mapping, run the physical circuit.
+        StateVector actual = embed_state(ls, routing.initialMapping);
+        actual.apply(routing.physical);
+        if (std::abs(std::abs(expected.overlap(actual)) - 1.0) > tol)
+            return false;
+    }
+    return true;
+}
+
+PulseVerification
+verifyPulses(const Circuit &compiled, int samples, int max_width,
+             double duration_factor, const GrapeOptions &grape,
+             std::uint64_t seed)
+{
+    PulseVerification result;
+    AnalyticOracle analytic;
+
+    // Collect verifiable instructions (narrow enough for GRAPE).
+    std::vector<const Gate *> pool;
+    for (const Gate &g : compiled.gates())
+        if (g.width() <= max_width)
+            pool.push_back(&g);
+    Rng rng(seed);
+    std::vector<std::size_t> order(pool.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    for (std::size_t k = 0;
+         k < order.size() && result.checked < samples; ++k) {
+        const Gate &g = *pool[order[k]];
+        double latency = analytic.latencyNs(g);
+        if (latency <= 0.0)
+            continue;
+        ++result.checked;
+
+        // Local register with the couplings the members use.
+        std::vector<int> map(compiled.numQubits(), -1);
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            map[g.qubits[i]] = static_cast<int>(i);
+        Gate local = relabelGate(g, map);
+        std::vector<std::pair<int, int>> couplings;
+        if (local.kind == GateKind::kAggregate) {
+            for (const Gate &m : local.payload->members)
+                if (m.width() == 2)
+                    couplings.emplace_back(m.qubits[0], m.qubits[1]);
+        } else if (local.width() == 2) {
+            couplings.emplace_back(0, 1);
+        }
+        DeviceModel device(local.width(), std::move(couplings));
+        GrapeOptimizer optimizer(device);
+        GrapeResult pulse = optimizer.optimize(
+            local.matrix(), latency * duration_factor, grape);
+
+        // Independent check: integrate the pulse and compare unitaries.
+        CMatrix u = pulseUnitary(device, pulse.pulses);
+        double fidelity = processFidelity(u, local.matrix());
+        result.worstFidelity = std::min(result.worstFidelity, fidelity);
+        if (fidelity >= grape.targetFidelity)
+            ++result.passed;
+    }
+    return result;
+}
+
+} // namespace qaic

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Verification unit (paper Section 3.6).
+ *
+ * A state-vector simulator stands in for the paper's QuTiP backend:
+ * compiled circuits are checked against their sources by exact unitary
+ * comparison (small registers) or random-state simulation (large ones);
+ * routed circuits are checked modulo the qubit permutations introduced by
+ * SWAP insertion; and sampled aggregated instructions are re-synthesized
+ * with GRAPE to confirm that the generated control pulses implement the
+ * correct unitary.
+ */
+#ifndef QAIC_VERIFY_VERIFY_H
+#define QAIC_VERIFY_VERIFY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "control/grape.h"
+#include "ir/circuit.h"
+#include "la/cmatrix.h"
+#include "mapping/mapping.h"
+
+namespace qaic {
+
+/** Dense state-vector simulator; qubit 0 is the index MSB. */
+class StateVector
+{
+  public:
+    /** |0...0> on @p num_qubits qubits. */
+    explicit StateVector(int num_qubits);
+
+    /** Computational basis state |index>. */
+    static StateVector basis(int num_qubits, std::size_t index);
+
+    /** Haar-ish random state (normalized Gaussian amplitudes). */
+    static StateVector random(int num_qubits, std::uint64_t seed);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<Cmplx> &amplitudes() const { return amps_; }
+
+    /** Replaces the amplitude vector (size must match; near-unit norm). */
+    void setAmplitudes(std::vector<Cmplx> amps);
+
+    /** Applies one gate (any width the register can hold). */
+    void apply(const Gate &gate);
+
+    /** Applies a whole circuit (registers must match). */
+    void apply(const Circuit &circuit);
+
+    /** Applies a k-qubit matrix to the listed qubits (MSB-first order). */
+    void applyMatrix(const CMatrix &u, const std::vector<int> &qubits);
+
+    /** L2 norm (1 for any valid state). */
+    double norm() const;
+
+    /** Inner product <this|other>. */
+    Cmplx overlap(const StateVector &other) const;
+
+  private:
+    int numQubits_;
+    std::vector<Cmplx> amps_;
+};
+
+/**
+ * True if the circuits implement the same unitary up to global phase.
+ * Registers up to @p max_exact_qubits are compared exactly; larger ones
+ * by @p samples random-state simulations (sound with high probability).
+ */
+bool circuitsEquivalent(const Circuit &a, const Circuit &b,
+                        double tol = 1e-6, int max_exact_qubits = 8,
+                        int samples = 4, std::uint64_t seed = 5);
+
+/**
+ * True if a routed physical circuit implements the logical circuit,
+ * accounting for the initial placement and the SWAP-induced final
+ * permutation. Checked by random-state simulation.
+ */
+bool routedEquivalent(const Circuit &logical, const RoutingResult &routing,
+                      int num_physical_qubits, double tol = 1e-6,
+                      int samples = 3, std::uint64_t seed = 6);
+
+/** Outcome of pulse-level verification. */
+struct PulseVerification
+{
+    /** Instructions sampled for verification. */
+    int checked = 0;
+    /** Instructions whose GRAPE pulse reached the fidelity threshold. */
+    int passed = 0;
+    /** Lowest fidelity observed. */
+    double worstFidelity = 1.0;
+};
+
+/**
+ * Samples up to @p samples instructions of width <= @p max_width from a
+ * compiled circuit, synthesizes a GRAPE pulse for each on its local
+ * register and verifies the integrated unitary (paper Section 3.6: "we
+ * sample 10 aggregated instructions for each benchmark").
+ *
+ * @param compiled Final instruction stream (post-aggregation).
+ * @param duration_ns Pulse duration allowance per instruction as a factor
+ *        over the analytic latency (>= 1).
+ */
+PulseVerification verifyPulses(const Circuit &compiled, int samples = 10,
+                               int max_width = 2,
+                               double duration_factor = 1.6,
+                               const GrapeOptions &grape = {},
+                               std::uint64_t seed = 7);
+
+} // namespace qaic
+
+#endif // QAIC_VERIFY_VERIFY_H

@@ -1,0 +1,158 @@
+#include "weyl/weyl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eig.h"
+#include "la/lu.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Folds one coordinate into [0, pi/4] using c ~ c + pi/2 and c ~ -c. */
+double
+foldCoordinate(double c)
+{
+    const double half_pi = M_PI / 2.0;
+    double r = std::fmod(c, half_pi);
+    if (r < 0.0)
+        r += half_pi;
+    if (r > M_PI / 4.0)
+        r = half_pi - r;
+    // Clamp tiny negatives produced by rounding.
+    return std::max(0.0, r);
+}
+
+/** Distance from @p x to the nearest integer multiple of pi. */
+double
+distanceToPiMultiple(double x)
+{
+    double r = std::fmod(x, M_PI);
+    if (r < 0.0)
+        r += M_PI;
+    return std::min(r, M_PI - r);
+}
+
+/** U normalized to determinant one (SU(4) representative). */
+CMatrix
+toSu4(const CMatrix &u)
+{
+    Cmplx det = determinant(u);
+    QAIC_CHECK_GT(std::abs(det), 0.5) << "non-unitary input to Weyl analysis";
+    Cmplx root = std::pow(det, 0.25);
+    return u * (Cmplx(1.0, 0.0) / root);
+}
+
+/** The symmetric unitary m = B^T B in the magic basis. */
+CMatrix
+gammaMatrix(const CMatrix &u)
+{
+    static const CMatrix q = magicBasis();
+    CMatrix b = q.dagger() * toSu4(u) * q;
+    return b.transpose() * b;
+}
+
+} // namespace
+
+CMatrix
+magicBasis()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    const Cmplx i(0.0, 1.0);
+    return CMatrix{{s, 0, 0, s * i},
+                   {0, s * i, s, 0},
+                   {0, s * i, -s, 0},
+                   {s, 0, 0, -s * i}};
+}
+
+bool
+WeylCoordinates::approxEqual(const WeylCoordinates &other, double tol) const
+{
+    return std::abs(c1 - other.c1) < tol && std::abs(c2 - other.c2) < tol &&
+           std::abs(c3 - other.c3) < tol;
+}
+
+WeylCoordinates
+weylCoordinates(const CMatrix &u)
+{
+    QAIC_CHECK(u.rows() == 4 && u.cols() == 4);
+    QAIC_CHECK(u.isUnitary(1e-7)) << "Weyl analysis requires a unitary";
+
+    CMatrix m = gammaMatrix(u);
+
+    // m is symmetric unitary, so its real and imaginary parts are commuting
+    // real-symmetric matrices; diagonalize them together to get eigenphases.
+    CMatrix re = (m + m.conjugate()) * Cmplx(0.5, 0.0);
+    CMatrix im = (m - m.conjugate()) * Cmplx(0.0, -0.5);
+    SimultaneousEigResult sim = simultaneousEig(re, im);
+
+    // Eigenvalues are e^{-2 i f_j} where the four f_j follow the Bell-state
+    // sign patterns of (c1 XX + c2 YY + c3 ZZ):
+    //   f_a =  c1 - c2 + c3,  f_b = -c1 + c2 + c3,
+    //   f_c =  c1 + c2 - c3,  f_d = -c1 - c2 - c3.
+    double f[4];
+    for (int j = 0; j < 4; ++j)
+        f[j] = -0.5 * std::atan2(sim.yValues[j], sim.xValues[j]);
+
+    // The eigenvalue-to-pattern assignment is unknown; each f is only known
+    // modulo pi. Search assignments of (f_a, f_b, f_c), scoring by how well
+    // the leftover value matches f_d = -(f_a + f_b + f_c) (mod pi). All
+    // consistent assignments fold to the same chamber point.
+    double best_score = 1e300;
+    WeylCoordinates best;
+    int idx[4] = {0, 1, 2, 3};
+    std::sort(idx, idx + 4);
+    do {
+        double fa = f[idx[0]], fb = f[idx[1]], fc = f[idx[2]],
+               fd = f[idx[3]];
+        double score = distanceToPiMultiple(fd + fa + fb + fc);
+        if (score < best_score) {
+            best_score = score;
+            double raw[3] = {(fa + fc) / 2.0, (fb + fc) / 2.0,
+                             (fa + fb) / 2.0};
+            double folded[3] = {foldCoordinate(raw[0]),
+                                foldCoordinate(raw[1]),
+                                foldCoordinate(raw[2])};
+            std::sort(folded, folded + 3, std::greater<double>());
+            best = {folded[0], folded[1], folded[2]};
+        }
+    } while (std::next_permutation(idx, idx + 4));
+
+    QAIC_CHECK_LT(best_score, 1e-5)
+        << "no consistent Bell-pattern assignment (residual " << best_score
+        << ")";
+    return best;
+}
+
+MakhlinInvariants
+makhlinInvariants(const CMatrix &u)
+{
+    QAIC_CHECK(u.rows() == 4 && u.cols() == 4);
+    CMatrix m = gammaMatrix(u);
+    Cmplx tr = m.trace();
+    Cmplx tr2 = (m * m).trace();
+    MakhlinInvariants inv;
+    inv.g1 = tr * tr / 16.0;
+    inv.g2 = ((tr * tr - tr2) / 4.0).real();
+    return inv;
+}
+
+bool
+locallyEquivalent(const CMatrix &a, const CMatrix &b, double tol)
+{
+    MakhlinInvariants ia = makhlinInvariants(a);
+    MakhlinInvariants ib = makhlinInvariants(b);
+    return std::abs(ia.g1 - ib.g1) < tol && std::abs(ia.g2 - ib.g2) < tol;
+}
+
+double
+xyMinimumTime(const WeylCoordinates &c, double mu2_ghz)
+{
+    QAIC_CHECK_GT(mu2_ghz, 0.0);
+    double gauge = std::max(c.c1, (c.c1 + c.c2 + c.c3) / 2.0);
+    return gauge / (M_PI * mu2_ghz);
+}
+
+} // namespace qaic

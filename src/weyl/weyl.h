@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Weyl-chamber (KAK) analysis of two-qubit unitaries.
+ *
+ * Every U in U(4) is locally equivalent to a canonical gate
+ * CAN(c) = exp(-i (c1 XX + c2 YY + c3 ZZ)); the triple (c1,c2,c3) — the
+ * Weyl coordinates — captures everything about U's entangling power. QAIC
+ * uses the coordinates for (a) local-equivalence checks of gate
+ * decompositions and (b) the time-optimal lower bound for implementing U
+ * under the XY (iSWAP-native) coupling of superconducting architectures,
+ * which is the backbone of the analytic pulse-latency oracle.
+ *
+ * Coordinates are reported folded into [0, pi/4] per axis and sorted
+ * descending. This folds away the chirality distinction (c3 sign), which
+ * is irrelevant for interaction-time bounds because the XY reachable set
+ * is symmetric under all coordinate sign flips.
+ */
+#ifndef QAIC_WEYL_WEYL_H
+#define QAIC_WEYL_WEYL_H
+
+#include "la/cmatrix.h"
+
+namespace qaic {
+
+/** Canonical class vector of a 2-qubit unitary; c1 >= c2 >= c3 >= 0. */
+struct WeylCoordinates
+{
+    double c1 = 0.0;
+    double c2 = 0.0;
+    double c3 = 0.0;
+
+    /** True if all coordinates are within @p tol of @p other. */
+    bool approxEqual(const WeylCoordinates &other, double tol = 1e-7) const;
+};
+
+/**
+ * Computes the (folded) Weyl coordinates of a 4x4 unitary.
+ *
+ * Implementation: normalize to SU(4), transform to the magic (Bell) basis
+ * where local gates are real orthogonal, form the symmetric unitary
+ * m = B^T B, extract its eigenphases by simultaneous diagonalization of
+ * the commuting real/imaginary parts, invert the Bell-phase pattern, and
+ * fold into the canonical chamber.
+ */
+WeylCoordinates weylCoordinates(const CMatrix &u);
+
+/** Local invariants of Makhlin; equal iff two gates are locally equivalent
+ *  up to the coordinate symmetries. g1 is complex, g2 real. */
+struct MakhlinInvariants
+{
+    Cmplx g1;
+    double g2 = 0.0;
+};
+
+/** Computes the Makhlin local invariants of a 4x4 unitary. */
+MakhlinInvariants makhlinInvariants(const CMatrix &u);
+
+/**
+ * True if two 4x4 unitaries are locally equivalent (implementable from one
+ * another with single-qubit gates only), decided via Makhlin invariants.
+ */
+bool locallyEquivalent(const CMatrix &a, const CMatrix &b,
+                       double tol = 1e-7);
+
+/**
+ * Time-optimal lower bound (ns) for realizing any gate in the class @p c
+ * under the XY interaction H = 2 pi mu2 (XX+YY)/2 with unconstrained fast
+ * local gates: t = max(c1, (c1+c2+c3)/2) / (pi mu2).
+ *
+ * At mu2 = 0.02 GHz this gives iSWAP = CNOT = 12.5 ns, SWAP = 18.75 ns.
+ *
+ * @param c Weyl coordinates (folded/sorted as returned above).
+ * @param mu2_ghz Two-qubit control-amplitude limit in GHz.
+ */
+double xyMinimumTime(const WeylCoordinates &c, double mu2_ghz);
+
+/** The magic (Bell) basis change matrix Q used by this module. */
+CMatrix magicBasis();
+
+} // namespace qaic
+
+#endif // QAIC_WEYL_WEYL_H

@@ -1,0 +1,146 @@
+#include "workloads/arith.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+void
+appendToffoli(Circuit &circuit, int c0, int c1, int target)
+{
+    circuit.add(makeH(target));
+    circuit.add(makeCnot(c1, target));
+    circuit.add(makeTdg(target));
+    circuit.add(makeCnot(c0, target));
+    circuit.add(makeT(target));
+    circuit.add(makeCnot(c1, target));
+    circuit.add(makeTdg(target));
+    circuit.add(makeCnot(c0, target));
+    circuit.add(makeT(c1));
+    circuit.add(makeT(target));
+    circuit.add(makeH(target));
+    circuit.add(makeCnot(c0, c1));
+    circuit.add(makeT(c0));
+    circuit.add(makeTdg(c1));
+    circuit.add(makeCnot(c0, c1));
+}
+
+void
+appendControlledIncrement(Circuit &circuit, int control,
+                          const std::vector<int> &bits,
+                          const std::vector<int> &carries)
+{
+    const std::size_t w = bits.size();
+    if (w == 0)
+        return;
+    if (w == 1) {
+        circuit.add(makeCnot(control, bits[0]));
+        return;
+    }
+    QAIC_CHECK_GE(carries.size(), w - 1) << "not enough carry ancillas";
+
+    // AND chain over the pre-flip bit values: c_i = control & b_0 & .. b_i.
+    auto prev = [&](std::size_t i) {
+        return i == 0 ? control : carries[i - 1];
+    };
+    for (std::size_t i = 0; i + 1 < w; ++i)
+        appendToffoli(circuit, prev(i), bits[i], carries[i]);
+
+    circuit.add(makeCnot(carries[w - 2], bits[w - 1]));
+
+    // Unwind: uncompute each carry (its source bit is still pre-flip),
+    // then flip that bit.
+    for (std::size_t ii = w - 1; ii > 0; --ii) {
+        std::size_t i = ii - 1;
+        appendToffoli(circuit, prev(i), bits[i], carries[i]);
+        circuit.add(makeCnot(prev(i), bits[i]));
+    }
+}
+
+void
+appendMultiControlledZ(Circuit &circuit, const std::vector<int> &controls,
+                       int target, const std::vector<int> &ancillas)
+{
+    if (controls.empty()) {
+        circuit.add(makeZ(target));
+        return;
+    }
+    if (controls.size() == 1) {
+        circuit.add(makeCz(controls[0], target));
+        return;
+    }
+    QAIC_CHECK_GE(ancillas.size(), controls.size() - 1)
+        << "not enough ancillas";
+
+    // AND-chain the controls, flip phase, uncompute.
+    appendToffoli(circuit, controls[0], controls[1], ancillas[0]);
+    for (std::size_t i = 2; i < controls.size(); ++i)
+        appendToffoli(circuit, ancillas[i - 2], controls[i],
+                      ancillas[i - 1]);
+
+    circuit.add(makeCz(ancillas[controls.size() - 2], target));
+
+    for (std::size_t ii = controls.size(); ii > 2; --ii) {
+        std::size_t i = ii - 1;
+        appendToffoli(circuit, ancillas[i - 2], controls[i],
+                      ancillas[i - 1]);
+    }
+    appendToffoli(circuit, controls[0], controls[1], ancillas[0]);
+}
+
+Gate
+inverseGate(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kId:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kCnot:
+      case GateKind::kCz:
+      case GateKind::kSwap:
+      case GateKind::kCcx:
+        return gate;
+      case GateKind::kS:
+        return makeSdg(gate.qubits[0]);
+      case GateKind::kSdg:
+        return makeS(gate.qubits[0]);
+      case GateKind::kT:
+        return makeTdg(gate.qubits[0]);
+      case GateKind::kTdg:
+        return makeT(gate.qubits[0]);
+      case GateKind::kRx:
+        return makeRx(gate.qubits[0], -gate.params[0]);
+      case GateKind::kRy:
+        return makeRy(gate.qubits[0], -gate.params[0]);
+      case GateKind::kRz:
+        return makeRz(gate.qubits[0], -gate.params[0]);
+      case GateKind::kRzz:
+        return makeRzz(gate.qubits[0], gate.qubits[1], -gate.params[0]);
+      case GateKind::kAggregate: {
+        std::vector<Gate> members;
+        for (auto it = gate.payload->members.rbegin();
+             it != gate.payload->members.rend(); ++it)
+            members.push_back(inverseGate(*it));
+        return makeAggregate(std::move(members),
+                             gate.payload->label + "_inv");
+      }
+      case GateKind::kIswap:
+        QAIC_FATAL() << "iSWAP inverse is not in the logical gate set";
+    }
+    QAIC_PANIC() << "unhandled gate kind";
+}
+
+Circuit
+inverseCircuit(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    const auto &gates = circuit.gates();
+    for (auto it = gates.rbegin(); it != gates.rend(); ++it)
+        out.add(inverseGate(*it));
+    return out;
+}
+
+} // namespace qaic

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reversible-arithmetic building blocks for the Grover square-root
+ * benchmark: decomposed Toffolis, controlled ripple-carry incrementers
+ * and multi-controlled phase flips. Everything lowers to the compiler's
+ * 1- and 2-qubit logical gate set.
+ */
+#ifndef QAIC_WORKLOADS_ARITH_H
+#define QAIC_WORKLOADS_ARITH_H
+
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/**
+ * Appends a Toffoli decomposed into the standard 6-CNOT, 7-T network
+ * (Nielsen & Chuang Fig. 4.9).
+ */
+void appendToffoli(Circuit &circuit, int c0, int c1, int target);
+
+/**
+ * Appends a controlled +1 on the register @p bits (LSB first), controlled
+ * on @p control. Uses an AND-chain over @p carries (>= bits.size()-1
+ * clean ancillas, returned clean).
+ */
+void appendControlledIncrement(Circuit &circuit, int control,
+                               const std::vector<int> &bits,
+                               const std::vector<int> &carries);
+
+/**
+ * Appends a phase flip of the all-ones subspace of controls + target
+ * (an n-controlled Z). Uses an AND-chain over @p ancillas
+ * (>= controls.size()-1 clean ancillas, returned clean).
+ */
+void appendMultiControlledZ(Circuit &circuit,
+                            const std::vector<int> &controls, int target,
+                            const std::vector<int> &ancillas);
+
+/** The inverse of a gate (kCcx and parametric gates handled; iSWAP not). */
+Gate inverseGate(const Gate &gate);
+
+/** The formal inverse circuit: reversed order, inverted gates. */
+Circuit inverseCircuit(const Circuit &circuit);
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_ARITH_H

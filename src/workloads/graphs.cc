@@ -1,0 +1,83 @@
+#include "workloads/graphs.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+Graph
+lineGraph(int n)
+{
+    QAIC_CHECK_GE(n, 2);
+    Graph g;
+    g.n = n;
+    for (int i = 0; i + 1 < n; ++i)
+        g.edges.emplace_back(i, i + 1);
+    return g;
+}
+
+Graph
+randomRegularGraph(int n, int degree, std::uint64_t seed)
+{
+    QAIC_CHECK(n > degree && degree >= 1);
+    QAIC_CHECK_EQ((n * degree) % 2, 0);
+    Rng rng(seed);
+
+    // Configuration model: pair up degree stubs per vertex; retry until
+    // simple (no self-loops or multi-edges). Converges fast for d << n.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        std::vector<int> stubs;
+        stubs.reserve(static_cast<std::size_t>(n) * degree);
+        for (int v = 0; v < n; ++v)
+            for (int d = 0; d < degree; ++d)
+                stubs.push_back(v);
+        rng.shuffle(stubs);
+
+        std::set<std::pair<int, int>> edges;
+        bool ok = true;
+        for (std::size_t i = 0; i < stubs.size(); i += 2) {
+            int a = stubs[i], b = stubs[i + 1];
+            if (a == b) {
+                ok = false;
+                break;
+            }
+            auto edge = std::minmax(a, b);
+            if (!edges.emplace(edge.first, edge.second).second) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            Graph g;
+            g.n = n;
+            g.edges.assign(edges.begin(), edges.end());
+            return g;
+        }
+    }
+    QAIC_FATAL() << "failed to sample a simple " << degree
+                 << "-regular graph on " << n << " vertices";
+}
+
+Graph
+clusterGraph(int clusters, int cluster_size, std::uint64_t seed)
+{
+    QAIC_CHECK(clusters >= 1 && cluster_size >= 2);
+    (void)seed; // Deterministic construction; seed kept for API symmetry.
+    Graph g;
+    g.n = clusters * cluster_size;
+    for (int c = 0; c < clusters; ++c) {
+        int base = c * cluster_size;
+        for (int i = 0; i < cluster_size; ++i)
+            for (int j = i + 1; j < cluster_size; ++j)
+                g.edges.emplace_back(base + i, base + j);
+        if (c + 1 < clusters)
+            g.edges.emplace_back(base + cluster_size - 1,
+                                 base + cluster_size);
+    }
+    return g;
+}
+
+} // namespace qaic

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Problem-graph generators for the MAXCUT/QAOA benchmarks (Table 3):
+ * a line (high spatial locality), a random 4-regular graph (medium),
+ * and a cluster graph of near-cliques (low).
+ */
+#ifndef QAIC_WORKLOADS_GRAPHS_H
+#define QAIC_WORKLOADS_GRAPHS_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qaic {
+
+/** Simple undirected graph. */
+struct Graph
+{
+    int n = 0;
+    std::vector<std::pair<int, int>> edges;
+};
+
+/** Path graph 0-1-2-...-(n-1). */
+Graph lineGraph(int n);
+
+/**
+ * Random d-regular graph via the configuration (pairing) model with
+ * rejection of self-loops and parallel edges. Requires n*d even.
+ */
+Graph randomRegularGraph(int n, int degree, std::uint64_t seed);
+
+/**
+ * Cluster graph: @p clusters cliques of @p cluster_size vertices each,
+ * plus one edge joining consecutive clusters (keeps it connected).
+ */
+Graph clusterGraph(int clusters, int cluster_size, std::uint64_t seed);
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_GRAPHS_H

@@ -1,0 +1,123 @@
+#include "workloads/grover.h"
+
+#include "util/logging.h"
+#include "workloads/arith.h"
+
+namespace qaic {
+
+GroverSqrtLayout
+groverSqrtLayout(int n_bits)
+{
+    QAIC_CHECK_GE(n_bits, 2);
+    GroverSqrtLayout layout;
+    for (int i = 0; i < n_bits; ++i)
+        layout.x.push_back(i);
+    for (int i = 0; i < n_bits; ++i)
+        layout.square.push_back(n_bits + i);
+    for (int i = 0; i + 1 < n_bits; ++i)
+        layout.carries.push_back(2 * n_bits + i);
+    layout.product = 3 * n_bits - 1;
+    layout.total = 3 * n_bits;
+    return layout;
+}
+
+namespace {
+
+/** Appends s += x^2 (mod 2^n) using controlled ripple incrementers. */
+void
+appendSquarer(Circuit &circuit, const GroverSqrtLayout &layout)
+{
+    const int n = static_cast<int>(layout.x.size());
+
+    // Diagonal terms: x_i^2 = x_i contributes 2^{2i}.
+    for (int i = 0; i < n; ++i) {
+        int pos = 2 * i;
+        if (pos >= n)
+            continue;
+        std::vector<int> bits(layout.square.begin() + pos,
+                              layout.square.end());
+        appendControlledIncrement(circuit, layout.x[i], bits,
+                                  layout.carries);
+    }
+    // Cross terms: 2 x_i x_j contributes 2^{i+j+1} for i < j.
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            int pos = i + j + 1;
+            if (pos >= n)
+                continue;
+            appendToffoli(circuit, layout.x[i], layout.x[j],
+                          layout.product);
+            std::vector<int> bits(layout.square.begin() + pos,
+                                  layout.square.end());
+            appendControlledIncrement(circuit, layout.product, bits,
+                                      layout.carries);
+            appendToffoli(circuit, layout.x[i], layout.x[j],
+                          layout.product);
+        }
+    }
+}
+
+/** Appends the phase flip on (square register == target). */
+void
+appendEqualityFlip(Circuit &circuit, const GroverSqrtLayout &layout,
+                   int target)
+{
+    const int n = static_cast<int>(layout.square.size());
+    for (int m = 0; m < n; ++m)
+        if (!(target >> m & 1))
+            circuit.add(makeX(layout.square[m]));
+
+    std::vector<int> controls(layout.square.begin(),
+                              layout.square.end() - 1);
+    appendMultiControlledZ(circuit, controls, layout.square.back(),
+                           layout.carries);
+
+    for (int m = 0; m < n; ++m)
+        if (!(target >> m & 1))
+            circuit.add(makeX(layout.square[m]));
+}
+
+/** Appends the diffusion operator on the search register. */
+void
+appendDiffusion(Circuit &circuit, const GroverSqrtLayout &layout)
+{
+    for (int q : layout.x)
+        circuit.add(makeH(q));
+    for (int q : layout.x)
+        circuit.add(makeX(q));
+    std::vector<int> controls(layout.x.begin(), layout.x.end() - 1);
+    appendMultiControlledZ(circuit, controls, layout.x.back(),
+                           layout.carries);
+    for (int q : layout.x)
+        circuit.add(makeX(q));
+    for (int q : layout.x)
+        circuit.add(makeH(q));
+}
+
+} // namespace
+
+Circuit
+groverSquareRoot(int n_bits, int target, int iterations)
+{
+    QAIC_CHECK(target >= 0 && target < (1 << n_bits));
+    QAIC_CHECK_GE(iterations, 1);
+    GroverSqrtLayout layout = groverSqrtLayout(n_bits);
+
+    Circuit circuit(layout.total);
+    for (int q : layout.x)
+        circuit.add(makeH(q)); // Uniform superposition over x.
+
+    Circuit squarer(layout.total);
+    appendSquarer(squarer, layout);
+    Circuit unsquarer = inverseCircuit(squarer);
+
+    for (int it = 0; it < iterations; ++it) {
+        circuit.append(squarer);
+        appendEqualityFlip(circuit, layout, target);
+        circuit.append(unsquarer);
+        appendDiffusion(circuit, layout);
+    }
+    return circuit;
+}
+
+} // namespace qaic

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The "square root" benchmark (Table 3): Grover search [14] for an x with
+ * x^2 = a (mod 2^n), built from reversible arithmetic — a highly serial
+ * circuit with a sophisticated information-encoding scheme, the regime
+ * where the paper reports aggregation helps most.
+ */
+#ifndef QAIC_WORKLOADS_GROVER_H
+#define QAIC_WORKLOADS_GROVER_H
+
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** Register layout of the square-root circuit. */
+struct GroverSqrtLayout
+{
+    /** Search register (n bits, LSB first). */
+    std::vector<int> x;
+    /** Square accumulator (n bits, LSB first). */
+    std::vector<int> square;
+    /** Carry ancillas (n-1). */
+    std::vector<int> carries;
+    /** Partial-product ancilla. */
+    int product = 0;
+    /** Total qubit count (3n). */
+    int total = 0;
+};
+
+/** Layout for a given bit width. */
+GroverSqrtLayout groverSqrtLayout(int n_bits);
+
+/**
+ * Grover circuit searching for x with x^2 = target (mod 2^n).
+ *
+ * Oracle: compute x^2 (mod 2^n) into the accumulator with controlled
+ * ripple incrementers, phase-flip on equality with @p target, uncompute.
+ * Followed by the standard diffusion operator on the search register.
+ *
+ * @param n_bits Search width n.
+ * @param target The square to invert, in [0, 2^n).
+ * @param iterations Grover iterations (the paper's latency benchmarks
+ *        need the circuit structure, not amplitude maximization).
+ */
+Circuit groverSquareRoot(int n_bits, int target, int iterations = 1);
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_GROVER_H

@@ -1,0 +1,33 @@
+#include "workloads/ising.h"
+
+#include "util/logging.h"
+
+namespace qaic {
+
+Circuit
+isingChain(int n, const IsingParams &params)
+{
+    QAIC_CHECK_GE(n, 2);
+    QAIC_CHECK_GE(params.steps, 1);
+
+    Circuit circuit(n);
+    for (int q = 0; q < n; ++q)
+        circuit.add(makeH(q)); // Prepare |+...+> (ground state at J=0).
+
+    for (int step = 0; step < params.steps; ++step) {
+        // Even bonds then odd bonds: neighbouring bonds share a qubit, so
+        // the two sub-layers expose the parallelism the scheduler can use.
+        for (int parity = 0; parity < 2; ++parity) {
+            for (int i = parity; i + 1 < n; i += 2) {
+                circuit.add(makeCnot(i, i + 1));
+                circuit.add(makeRz(i + 1, params.jzz));
+                circuit.add(makeCnot(i, i + 1));
+            }
+        }
+        for (int q = 0; q < n; ++q)
+            circuit.add(makeRx(q, params.hx));
+    }
+    return circuit;
+}
+
+} // namespace qaic

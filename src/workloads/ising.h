@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Trotterized transverse-field Ising chain evolution — the "Ising model"
+ * benchmark of Table 3 (highly parallel, medium commutativity).
+ */
+#ifndef QAIC_WORKLOADS_ISING_H
+#define QAIC_WORKLOADS_ISING_H
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** Parameters of the Trotterized Ising evolution. */
+struct IsingParams
+{
+    /** Trotter steps. */
+    int steps = 3;
+    /** ZZ coupling angle per step. */
+    double jzz = 0.98;
+    /** Transverse-field angle per step. */
+    double hx = 0.64;
+};
+
+/**
+ * First-order Trotter circuit for H = -J sum Z_i Z_{i+1} - h sum X_i on a
+ * chain of @p n qubits. Each step alternates even/odd-bond CNOT-Rz-CNOT
+ * layers with an Rx layer, matching the ScaffCC Ising benchmark
+ * structure.
+ */
+Circuit isingChain(int n, const IsingParams &params = {});
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_ISING_H

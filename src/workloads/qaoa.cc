@@ -1,0 +1,40 @@
+#include "workloads/qaoa.h"
+
+#include "util/logging.h"
+
+namespace qaic {
+
+Circuit
+qaoaMaxcut(const Graph &graph, const std::vector<QaoaAngles> &levels)
+{
+    QAIC_CHECK_GE(graph.n, 2);
+    QAIC_CHECK(!levels.empty());
+
+    Circuit circuit(graph.n);
+    for (int q = 0; q < graph.n; ++q)
+        circuit.add(makeH(q));
+    for (const QaoaAngles &angles : levels) {
+        // Cost layer: exp(-i gamma/2 Z_u Z_v) per edge, in the standard
+        // CNOT-Rz-CNOT decomposition (the diagonal structures the
+        // frontend's commutativity detection rediscovers).
+        for (const auto &[u, v] : graph.edges) {
+            circuit.add(makeCnot(u, v));
+            circuit.add(makeRz(v, angles.gamma));
+            circuit.add(makeCnot(u, v));
+        }
+        for (int q = 0; q < graph.n; ++q)
+            circuit.add(makeRx(q, angles.beta));
+    }
+    return circuit;
+}
+
+Circuit
+qaoaTriangleExample()
+{
+    Graph triangle;
+    triangle.n = 3;
+    triangle.edges = {{0, 1}, {1, 2}, {0, 2}};
+    return qaoaMaxcut(triangle, {QaoaAngles{5.67, 1.26}});
+}
+
+} // namespace qaic

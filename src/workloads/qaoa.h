@@ -1,0 +1,38 @@
+/**
+ * @file
+ * QAOA circuits for MAXCUT (Farhi et al. [8]), generated in the
+ * ScaffCC-style decomposition the paper compiles: the cost layer emits
+ * one CNOT-Rz-CNOT structure per graph edge, the mixer a layer of Rx.
+ */
+#ifndef QAIC_WORKLOADS_QAOA_H
+#define QAIC_WORKLOADS_QAOA_H
+
+#include "ir/circuit.h"
+#include "workloads/graphs.h"
+
+namespace qaic {
+
+/** Angle parameters of one QAOA level. */
+struct QaoaAngles
+{
+    /** Cost-layer angle (the paper's example uses 5.67). */
+    double gamma = 5.67;
+    /** Mixer-layer angle (the paper's example uses 1.26). */
+    double beta = 1.26;
+};
+
+/**
+ * p-level QAOA MAXCUT circuit.
+ *
+ * @param graph Problem graph.
+ * @param levels QAOA depth p (one angles entry per level).
+ */
+Circuit qaoaMaxcut(const Graph &graph,
+                   const std::vector<QaoaAngles> &levels = {QaoaAngles{}});
+
+/** The paper's Section 3.1 worked example: MAXCUT on a triangle. */
+Circuit qaoaTriangleExample();
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_QAOA_H

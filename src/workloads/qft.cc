@@ -1,0 +1,41 @@
+#include "workloads/qft.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** CPhase(theta) = diag(1,1,1,e^{i theta}) via Rz + CNOT (up to phase). */
+void
+appendControlledPhase(Circuit &circuit, int a, int b, double theta)
+{
+    circuit.add(makeRz(a, theta / 2.0));
+    circuit.add(makeRz(b, theta / 2.0));
+    circuit.add(makeCnot(a, b));
+    circuit.add(makeRz(b, -theta / 2.0));
+    circuit.add(makeCnot(a, b));
+}
+
+} // namespace
+
+Circuit
+qft(int n, bool with_swaps)
+{
+    QAIC_CHECK_GE(n, 1);
+    Circuit circuit(n);
+    for (int i = 0; i < n; ++i) {
+        circuit.add(makeH(i));
+        for (int j = i + 1; j < n; ++j)
+            appendControlledPhase(circuit, j, i,
+                                  M_PI / std::pow(2.0, j - i));
+    }
+    if (with_swaps)
+        for (int i = 0; i < n / 2; ++i)
+            circuit.add(makeSwap(i, n - 1 - i));
+    return circuit;
+}
+
+} // namespace qaic

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Quantum Fourier transform — mentioned in the paper's Section 6.1 as a
+ * no-commutativity workload; included for the scheduling ablations.
+ */
+#ifndef QAIC_WORKLOADS_QFT_H
+#define QAIC_WORKLOADS_QFT_H
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/**
+ * n-qubit QFT with controlled phases decomposed into CNOT + Rz and the
+ * final bit-reversal SWAP layer included iff @p with_swaps.
+ */
+Circuit qft(int n, bool with_swaps = true);
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_QFT_H

@@ -1,0 +1,87 @@
+#include "workloads/suite.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "workloads/graphs.h"
+#include "workloads/grover.h"
+#include "workloads/ising.h"
+#include "workloads/qaoa.h"
+#include "workloads/uccsd.h"
+
+namespace qaic {
+
+namespace {
+
+int
+scaled(int n, double scale, int floor_value)
+{
+    return std::max(floor_value,
+                    static_cast<int>(std::lround(n * scale)));
+}
+
+BenchmarkSpec
+spec(std::string name, std::string purpose, Circuit circuit,
+     std::string parallelism, std::string locality, std::string comm)
+{
+    BenchmarkSpec s;
+    s.name = std::move(name);
+    s.purpose = std::move(purpose);
+    s.circuit = std::move(circuit);
+    s.parallelism = std::move(parallelism);
+    s.spatialLocality = std::move(locality);
+    s.commutativity = std::move(comm);
+    return s;
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec>
+paperBenchmarkSuite(double scale)
+{
+    std::vector<BenchmarkSpec> suite;
+
+    suite.push_back(spec(
+        "MAXCUT-line", "MAXCUT on a linear graph",
+        qaoaMaxcut(lineGraph(scaled(20, scale, 4))), "Low", "High",
+        "High"));
+    suite.push_back(spec(
+        "MAXCUT-reg4", "MAXCUT on a random 4 regular graph",
+        qaoaMaxcut(randomRegularGraph(scaled(30, scale, 6), 4, 11)),
+        "High", "Medium", "High"));
+    suite.push_back(spec(
+        "MAXCUT-cluster", "MAXCUT on a cluster graph",
+        qaoaMaxcut(clusterGraph(scaled(6, scale, 2), 5, 12)), "Medium",
+        "Low", "High"));
+    suite.push_back(spec("Ising-n30", "Find ground state of Ising model",
+                         isingChain(scaled(30, scale, 4)), "High", "High",
+                         "Medium"));
+    suite.push_back(spec("Ising-n60", "Find ground state of Ising model",
+                         isingChain(scaled(60, scale, 6)), "High", "High",
+                         "Medium"));
+    suite.push_back(spec("sqrt-n3",
+                         "Grover search for x with x^2 = a (3-bit)",
+                         groverSquareRoot(3, 4), "Low", "High", "Low"));
+    suite.push_back(spec("sqrt-n4",
+                         "Grover search for x with x^2 = a (4-bit)",
+                         groverSquareRoot(4, 9), "Low", "High", "Low"));
+    suite.push_back(spec("sqrt-n5",
+                         "Grover search for x with x^2 = a (5-bit)",
+                         groverSquareRoot(5, 17), "Low", "High", "Low"));
+    suite.push_back(spec("UCCSD-n4", "UCCSD ansatz for VQE",
+                         uccsdAnsatz(4), "Low", "High", "Low"));
+    suite.push_back(spec("UCCSD-n6", "UCCSD ansatz for VQE",
+                         uccsdAnsatz(6), "Low", "Medium", "Low"));
+    return suite;
+}
+
+BenchmarkSpec
+benchmarkByName(const std::string &name, double scale)
+{
+    for (BenchmarkSpec &s : paperBenchmarkSuite(scale))
+        if (s.name == name)
+            return s;
+    QAIC_FATAL() << "unknown benchmark '" << name << "'";
+}
+
+} // namespace qaic

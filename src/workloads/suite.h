@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 3), assembled from the workload
+ * generators. Qubit counts differ where our leaner reversible-arithmetic
+ * synthesis needs fewer ancillas than ScaffCC's (documented in
+ * EXPERIMENTS.md); the program characteristics — parallelism, spatial
+ * locality, commutativity — match the table.
+ */
+#ifndef QAIC_WORKLOADS_SUITE_H
+#define QAIC_WORKLOADS_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** One benchmark row of Table 3. */
+struct BenchmarkSpec
+{
+    std::string name;
+    std::string purpose;
+    Circuit circuit;
+    /** Qualitative characteristics, as listed in the paper. */
+    std::string parallelism;
+    std::string spatialLocality;
+    std::string commutativity;
+
+    BenchmarkSpec() : circuit(1) {}
+};
+
+/**
+ * All ten Table 3 benchmarks. @p scale < 1 shrinks the register sizes
+ * proportionally (useful for fast tests); 1.0 reproduces the paper sizes
+ * (modulo the arithmetic-synthesis note above).
+ */
+std::vector<BenchmarkSpec> paperBenchmarkSuite(double scale = 1.0);
+
+/** A single named benchmark from the suite. */
+BenchmarkSpec benchmarkByName(const std::string &name, double scale = 1.0);
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_SUITE_H

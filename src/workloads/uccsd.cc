@@ -1,0 +1,132 @@
+#include "workloads/uccsd.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+void
+appendPauliExponential(Circuit &circuit,
+                       const std::vector<PauliFactor> &pauli, double theta)
+{
+    QAIC_CHECK(!pauli.empty());
+    std::vector<PauliFactor> factors = pauli;
+    std::sort(factors.begin(), factors.end());
+    for (std::size_t i = 1; i < factors.size(); ++i)
+        QAIC_CHECK_NE(factors[i].first, factors[i - 1].first);
+
+    // Basis change into Z: H maps X->Z; (H then Sdg)... we use the
+    // standard choice Rx(pi/2) for Y, H for X, verified against the exact
+    // exponential in the test suite.
+    auto basis_in = [&](const PauliFactor &f) {
+        switch (f.second) {
+          case 'X':
+            circuit.add(makeH(f.first));
+            break;
+          case 'Y':
+            circuit.add(makeRx(f.first, M_PI / 2.0));
+            break;
+          case 'Z':
+            break;
+          default:
+            QAIC_FATAL() << "bad Pauli axis '" << f.second << "'";
+        }
+    };
+    auto basis_out = [&](const PauliFactor &f) {
+        switch (f.second) {
+          case 'X':
+            circuit.add(makeH(f.first));
+            break;
+          case 'Y':
+            circuit.add(makeRx(f.first, -M_PI / 2.0));
+            break;
+          default:
+            break;
+        }
+    };
+
+    for (const PauliFactor &f : factors)
+        basis_in(f);
+    for (std::size_t i = 0; i + 1 < factors.size(); ++i)
+        circuit.add(makeCnot(factors[i].first, factors[i + 1].first));
+    circuit.add(makeRz(factors.back().first, theta));
+    for (std::size_t ii = factors.size() - 1; ii > 0; --ii)
+        circuit.add(makeCnot(factors[ii - 1].first, factors[ii].first));
+    for (const PauliFactor &f : factors)
+        basis_out(f);
+}
+
+namespace {
+
+/** Z chain between two orbitals (exclusive). */
+void
+addZChain(std::vector<PauliFactor> *pauli, int lo, int hi)
+{
+    for (int q = lo + 1; q < hi; ++q)
+        pauli->push_back({q, 'Z'});
+}
+
+} // namespace
+
+Circuit
+uccsdAnsatz(int num_spin_orbitals, int num_electrons, std::uint64_t seed)
+{
+    const int n = num_spin_orbitals;
+    QAIC_CHECK_GE(n, 2);
+    int occ = num_electrons < 0 ? n / 2 : num_electrons;
+    QAIC_CHECK(occ >= 1 && occ < n);
+
+    Rng rng(seed);
+    Circuit circuit(n);
+
+    // Hartree-Fock reference: occupy the lowest orbitals.
+    for (int q = 0; q < occ; ++q)
+        circuit.add(makeX(q));
+
+    // Singles i->a: the JW image of (a_a^dag a_i - h.c.) is
+    // (X Z.. Y - Y Z.. X)/2; each Pauli string becomes one exponential.
+    for (int i = 0; i < occ; ++i) {
+        for (int a = occ; a < n; ++a) {
+            double theta = rng.uniform(-0.4, 0.4);
+            std::vector<PauliFactor> s1{{i, 'X'}}, s2{{i, 'Y'}};
+            addZChain(&s1, i, a);
+            addZChain(&s2, i, a);
+            s1.push_back({a, 'Y'});
+            s2.push_back({a, 'X'});
+            appendPauliExponential(circuit, s1, theta);
+            appendPauliExponential(circuit, s2, -theta);
+        }
+    }
+
+    // Doubles (i<j) -> (a<b): eight Pauli strings with an odd number of
+    // Y factors (Whitfield et al. [29]); signs follow the standard
+    // expansion.
+    static const char *kPatterns[8] = {"XXXY", "XXYX", "XYXX", "YXXX",
+                                       "XYYY", "YXYY", "YYXY", "YYYX"};
+    static const double kSigns[8] = {1, -1, 1, 1, -1, 1, -1, -1};
+    for (int i = 0; i < occ; ++i) {
+        for (int j = i + 1; j < occ; ++j) {
+            for (int a = occ; a < n; ++a) {
+                for (int b = a + 1; b < n; ++b) {
+                    double theta = rng.uniform(-0.2, 0.2);
+                    for (int p = 0; p < 8; ++p) {
+                        std::vector<PauliFactor> str;
+                        str.push_back({i, kPatterns[p][0]});
+                        addZChain(&str, i, j);
+                        str.push_back({j, kPatterns[p][1]});
+                        str.push_back({a, kPatterns[p][2]});
+                        addZChain(&str, a, b);
+                        str.push_back({b, kPatterns[p][3]});
+                        appendPauliExponential(circuit, str,
+                                               kSigns[p] * theta / 4.0);
+                    }
+                }
+            }
+        }
+    }
+    return circuit;
+}
+
+} // namespace qaic

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * UCCSD ansatz circuits for VQE (Table 3): Jordan-Wigner-transformed
+ * unitary coupled-cluster singles and doubles [47]. Each excitation term
+ * becomes a set of Pauli-string exponentials compiled to basis-change
+ * layers, CNOT ladders and an Rz — long diagonal CNOT chains with low
+ * commutativity and a sophisticated encoding, the paper's hardest case
+ * for hand optimization.
+ */
+#ifndef QAIC_WORKLOADS_UCCSD_H
+#define QAIC_WORKLOADS_UCCSD_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** One factor of a Pauli string: (qubit, axis) with axis in {X,Y,Z}. */
+using PauliFactor = std::pair<int, char>;
+
+/**
+ * Appends exp(-i theta/2 * P) for the Pauli string @p pauli, using the
+ * standard basis-change + CNOT-ladder + Rz construction.
+ */
+void appendPauliExponential(Circuit &circuit,
+                            const std::vector<PauliFactor> &pauli,
+                            double theta);
+
+/**
+ * UCCSD ansatz on @p num_spin_orbitals qubits with the lowest
+ * @p num_electrons orbitals occupied (default: half filling). Amplitudes
+ * are deterministic pseudo-random values from @p seed (the benchmark
+ * needs the circuit structure, not converged VQE parameters).
+ */
+Circuit uccsdAnsatz(int num_spin_orbitals, int num_electrons = -1,
+                    std::uint64_t seed = 3);
+
+} // namespace qaic
+
+#endif // QAIC_WORKLOADS_UCCSD_H

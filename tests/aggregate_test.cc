@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for instruction aggregation: diagonal-block detection (4.2),
+ * monotonic-action aggregation (4.3), width limits and semantics
+ * preservation.
+ */
+#include <gtest/gtest.h>
+
+#include "aggregate/aggregate.h"
+#include "oracle/oracle.h"
+#include "schedule/schedule.h"
+#include "verify/verify.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+namespace qaic {
+namespace {
+
+TEST(DiagonalBlocksTest, ContractsCnotRzCnot)
+{
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, 5.67));
+    c.add(makeCnot(0, 1));
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gates()[0].kind, GateKind::kAggregate);
+    EXPECT_TRUE(out.gates()[0].isDiagonal());
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
+TEST(DiagonalBlocksTest, SkipsInterleavedDisjointGates)
+{
+    // A gate on an unrelated qubit between the block members must not
+    // break detection (it commutes trivially).
+    Circuit c(3);
+    c.add(makeCnot(0, 1));
+    c.add(makeH(2));
+    c.add(makeRz(1, 1.0));
+    c.add(makeCnot(0, 1));
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 1);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
+TEST(DiagonalBlocksTest, IgnoresNonDiagonalRuns)
+{
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRx(1, 1.0)); // Breaks diagonality.
+    c.add(makeCnot(0, 1));
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 0);
+    EXPECT_EQ(out.size(), c.size());
+}
+
+TEST(DiagonalBlocksTest, FindsLongestDiagonalPrefix)
+{
+    // CNOT Rz CNOT followed by H on the pair: only the first three fold.
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, 0.8));
+    c.add(makeCnot(0, 1));
+    c.add(makeH(0));
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 1);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
+TEST(DiagonalBlocksTest, RespectsLengthLimit)
+{
+    Circuit c(2);
+    for (int k = 0; k < 4; ++k) {
+        c.add(makeCnot(0, 1));
+        c.add(makeRz(1, 0.3));
+        c.add(makeCnot(0, 1));
+    }
+    int found = 0;
+    detectDiagonalBlocks(c, 3, &found);
+    EXPECT_GE(found, 1); // Limited runs, but still finds short blocks.
+    Circuit out = detectDiagonalBlocks(c, 12, &found);
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
+TEST(DiagonalBlocksTest, QaoaCostLayerFullyContracts)
+{
+    Circuit c = qaoaMaxcut(lineGraph(5));
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 4); // One block per edge.
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
+TEST(AggregationTest, MergesSerialChain)
+{
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c(3);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(1, 2));
+    c.add(makeH(2));
+
+    AggregationOptions opt;
+    opt.maxWidth = 3;
+    AggregationResult result =
+        aggregateInstructions(c, &checker, oracle, opt);
+    EXPECT_GT(result.actions, 0);
+    EXPECT_LT(result.circuit.size(), c.size());
+    EXPECT_TRUE(circuitsEquivalent(c, result.circuit));
+
+    // Latency must not increase (monotonic actions only).
+    double before = scheduleAsap(c, oracle).makespan();
+    double after = scheduleAsap(result.circuit, oracle).makespan();
+    EXPECT_LE(after, before + 1e-9);
+    EXPECT_LT(after, before); // Overheads elide, so strictly better here.
+}
+
+TEST(AggregationTest, RespectsWidthLimit)
+{
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c(6);
+    for (int q = 0; q + 1 < 6; ++q)
+        c.add(makeCnot(q, q + 1));
+
+    for (int width : {2, 3, 4}) {
+        AggregationOptions opt;
+        opt.maxWidth = width;
+        AggregationResult result =
+            aggregateInstructions(c, &checker, oracle, opt);
+        EXPECT_LE(result.circuit.maxGateWidth(), width);
+        EXPECT_TRUE(circuitsEquivalent(c, result.circuit));
+    }
+}
+
+TEST(AggregationTest, WiderLimitNeverHurtsSerialCircuits)
+{
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    // Serial chain: latency should be non-increasing in allowed width
+    // (Figure 10's "serialized applications" panel).
+    Circuit c(5);
+    for (int q = 0; q + 1 < 5; ++q) {
+        c.add(makeCnot(q, q + 1));
+        c.add(makeH(q + 1));
+    }
+    double prev = 1e300;
+    for (int width : {2, 3, 4, 5}) {
+        AggregationOptions opt;
+        opt.maxWidth = width;
+        AggregationResult result =
+            aggregateInstructions(c, &checker, oracle, opt);
+        double latency = scheduleAsap(result.circuit, oracle).makespan();
+        EXPECT_LE(latency, prev + 1e-9);
+        prev = latency;
+    }
+}
+
+TEST(AggregationTest, PreservesParallelism)
+{
+    // Figure 8's lesson: merging across parallel branches must not
+    // serialize the circuit. Two independent chains stay independent.
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c(4);
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(2, 3));
+    c.add(makeRz(1, 0.4));
+    c.add(makeRz(3, 0.4));
+
+    AggregationOptions opt;
+    opt.maxWidth = 4;
+    AggregationResult result =
+        aggregateInstructions(c, &checker, oracle, opt);
+    double before = scheduleAsap(c, oracle).makespan();
+    double after = scheduleAsap(result.circuit, oracle).makespan();
+    EXPECT_LE(after, before + 1e-9);
+    // No instruction should span both independent chains.
+    for (const Gate &g : result.circuit.gates()) {
+        bool left = g.actsOn(0) || g.actsOn(1);
+        bool right = g.actsOn(2) || g.actsOn(3);
+        EXPECT_FALSE(left && right) << g.toString();
+    }
+}
+
+TEST(AggregationTest, MobilityThroughCommutingGate)
+{
+    // CNOT(0,1) .. Rz(0) .. CNOT(0,1): the Rz commutes with the control,
+    // so all three should fold into one instruction.
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(0, 0.9));
+    c.add(makeCnot(0, 1));
+    AggregationOptions opt;
+    opt.maxWidth = 2;
+    AggregationResult result =
+        aggregateInstructions(c, &checker, oracle, opt);
+    EXPECT_EQ(result.circuit.size(), 1u);
+    EXPECT_TRUE(circuitsEquivalent(c, result.circuit));
+}
+
+TEST(AggregationTest, LabelsAreSequential)
+{
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c(4);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, 1.0));
+    c.add(makeCnot(2, 3));
+    c.add(makeRz(3, 1.0));
+    AggregationResult result =
+        aggregateInstructions(c, &checker, oracle, {});
+    int seen = 0;
+    for (const Gate &g : result.circuit.gates())
+        if (g.kind == GateKind::kAggregate) {
+            ++seen;
+            EXPECT_EQ(g.payload->label, "G" + std::to_string(seen));
+        }
+    EXPECT_GT(seen, 0);
+}
+
+TEST(AggregationTest, EmptyAndTrivialCircuits)
+{
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit single(2);
+    single.add(makeCnot(0, 1));
+    AggregationResult result =
+        aggregateInstructions(single, &checker, oracle, {});
+    EXPECT_EQ(result.circuit.size(), 1u);
+    EXPECT_EQ(result.actions, 0);
+}
+
+TEST(AggregationTest, QaoaEndToEndEquivalence)
+{
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c = qaoaMaxcut(lineGraph(5));
+    Circuit detected = detectDiagonalBlocks(c, 10, nullptr);
+    AggregationOptions opt;
+    opt.maxWidth = 4;
+    AggregationResult result =
+        aggregateInstructions(detected, &checker, oracle, opt);
+    EXPECT_TRUE(circuitsEquivalent(c, result.circuit, 1e-6, 5));
+    double before = scheduleAsap(c, oracle).makespan();
+    double after = scheduleAsap(result.circuit, oracle).makespan();
+    EXPECT_LT(after, before * 0.6);
+}
+
+} // namespace
+} // namespace qaic

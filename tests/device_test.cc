@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the device model: topologies, channel inventory, distances
+ * and Hamiltonian operators.
+ */
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "la/cmatrix.h"
+
+namespace qaic {
+namespace {
+
+TEST(DeviceTest, LineTopology)
+{
+    DeviceModel dev = DeviceModel::line(4);
+    EXPECT_EQ(dev.numQubits(), 4);
+    EXPECT_EQ(dev.couplings().size(), 3u);
+    EXPECT_TRUE(dev.adjacent(0, 1));
+    EXPECT_TRUE(dev.adjacent(2, 1));
+    EXPECT_FALSE(dev.adjacent(0, 2));
+    EXPECT_EQ(dev.distance(0, 3), 3);
+}
+
+TEST(DeviceTest, GridTopology)
+{
+    DeviceModel dev = DeviceModel::grid(2, 3);
+    EXPECT_EQ(dev.numQubits(), 6);
+    // 2x3 grid: 3 vertical + 4 horizontal edges = 7.
+    EXPECT_EQ(dev.couplings().size(), 7u);
+    EXPECT_TRUE(dev.adjacent(0, 3));
+    EXPECT_TRUE(dev.adjacent(1, 2));
+    EXPECT_FALSE(dev.adjacent(0, 4));
+    EXPECT_EQ(dev.distance(0, 5), 3);
+}
+
+TEST(DeviceTest, GridForCoversRequest)
+{
+    for (int n : {1, 2, 5, 17, 30, 47, 60}) {
+        DeviceModel dev = DeviceModel::gridFor(n);
+        EXPECT_GE(dev.numQubits(), n);
+    }
+}
+
+TEST(DeviceTest, ChannelInventory)
+{
+    DeviceModel dev = DeviceModel::line(3);
+    // 2 drives per qubit + 1 XY per edge.
+    EXPECT_EQ(dev.channels().size(), 3u * 2 + 2);
+    int xy = 0;
+    for (const ControlChannel &ch : dev.channels()) {
+        EXPECT_GT(ch.maxAmplitude, 0.0);
+        if (ch.type == ControlChannel::Type::kXY)
+            ++xy;
+    }
+    EXPECT_EQ(xy, 2);
+}
+
+TEST(DeviceTest, DefaultLimitsMatchPaper)
+{
+    DeviceModel dev = DeviceModel::line(2);
+    EXPECT_DOUBLE_EQ(dev.mu2(), 0.02);
+    EXPECT_DOUBLE_EQ(dev.mu1(), 0.1);
+    EXPECT_DOUBLE_EQ(dev.mu1() / dev.mu2(), 5.0);
+}
+
+TEST(DeviceTest, ShortestPathEndpoints)
+{
+    DeviceModel dev = DeviceModel::grid(3, 3);
+    auto path = dev.shortestPath(0, 8);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 8);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, dev.distance(0, 8));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(dev.adjacent(path[i], path[i + 1]));
+}
+
+TEST(DeviceTest, ChannelOperatorsAreHermitianAndTraceless)
+{
+    DeviceModel dev = DeviceModel::line(2);
+    for (std::size_t k = 0; k < dev.channels().size(); ++k) {
+        CMatrix op = dev.channelOperator(k);
+        EXPECT_TRUE(op.isHermitian(1e-12));
+        EXPECT_NEAR(std::abs(op.trace()), 0.0, 1e-12);
+    }
+}
+
+TEST(DeviceTest, XyOperatorActsInExchangeSubspace)
+{
+    DeviceModel dev = DeviceModel::line(2);
+    // Find the XY channel.
+    std::size_t xy = 0;
+    for (std::size_t k = 0; k < dev.channels().size(); ++k)
+        if (dev.channels()[k].type == ControlChannel::Type::kXY)
+            xy = k;
+    CMatrix op = dev.channelOperator(xy);
+    // (XX+YY)/2 maps |01> <-> |10> and annihilates |00>, |11>.
+    EXPECT_NEAR(std::abs(op(1, 2) - Cmplx(1, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(op(2, 1) - Cmplx(1, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(op(0, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(op(3, 3)), 0.0, 1e-12);
+}
+
+TEST(DeviceTest, FullyConnectedEdgeCount)
+{
+    DeviceModel dev = DeviceModel::fullyConnected(5);
+    EXPECT_EQ(dev.couplings().size(), 10u);
+    EXPECT_TRUE(dev.adjacent(0, 4));
+}
+
+TEST(DeviceTest, DuplicateCouplingsDeduplicated)
+{
+    DeviceModel dev(3, {{0, 1}, {1, 0}, {1, 2}});
+    EXPECT_EQ(dev.couplings().size(), 2u);
+}
+
+} // namespace
+} // namespace qaic

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for commutativity detection (Table 2 of the paper), commutation
+ * groups, and gate mobility.
+ */
+#include <gtest/gtest.h>
+
+#include "gdg/commute.h"
+#include "gdg/gdg.h"
+#include "ir/circuit.h"
+#include "verify/verify.h"
+
+namespace qaic {
+namespace {
+
+// ---------------------------------------------------------------- Table 2
+
+TEST(CommuteTest, DisjointGatesCommute)
+{
+    CommutationChecker checker;
+    EXPECT_TRUE(checker.commute(makeCnot(0, 1), makeCnot(2, 3)));
+    EXPECT_TRUE(checker.commute(makeH(0), makeRx(5, 0.3)));
+}
+
+TEST(CommuteTest, ControlCommutesWithRz)
+{
+    CommutationChecker checker;
+    // Table 2 top-right: Rz on the control passes through a CNOT.
+    EXPECT_TRUE(checker.commute(makeRz(0, 1.1), makeCnot(0, 1)));
+    // But not on the target.
+    EXPECT_FALSE(checker.commute(makeRz(1, 1.1), makeCnot(0, 1)));
+}
+
+TEST(CommuteTest, DiagonalGatesCommute)
+{
+    CommutationChecker checker;
+    // Table 2 bottom-left: diagonal unitaries commute.
+    EXPECT_TRUE(checker.commute(makeRzz(0, 1, 0.7), makeRzz(1, 2, 0.9)));
+    EXPECT_TRUE(checker.commute(makeCz(0, 1), makeRz(1, 0.3)));
+    EXPECT_TRUE(checker.commute(makeT(0), makeS(0)));
+}
+
+TEST(CommuteTest, CnotsWithSharedControlCommute)
+{
+    CommutationChecker checker;
+    // Table 2 bottom-right: CNOTs with disjoint controls... and the dual:
+    // shared control, distinct targets.
+    EXPECT_TRUE(checker.commute(makeCnot(0, 1), makeCnot(0, 2)));
+    // Shared target, distinct controls also commute (X's commute).
+    EXPECT_TRUE(checker.commute(makeCnot(0, 2), makeCnot(1, 2)));
+    // Chained CNOTs do not.
+    EXPECT_FALSE(checker.commute(makeCnot(0, 1), makeCnot(1, 2)));
+}
+
+TEST(CommuteTest, MatrixFallbackCases)
+{
+    CommutationChecker checker;
+    // X on the target commutes with CNOT (matrix check, no rule).
+    EXPECT_TRUE(checker.commute(makeX(1), makeCnot(0, 1)));
+    EXPECT_FALSE(checker.commute(makeX(0), makeCnot(0, 1)));
+    // Same-qubit rotations about the same axis commute.
+    EXPECT_TRUE(checker.commute(makeRx(0, 0.4), makeRx(0, 1.9)));
+    EXPECT_FALSE(checker.commute(makeRx(0, 0.4), makeRz(0, 1.9)));
+}
+
+TEST(CommuteTest, DiagonalBlocksCommute)
+{
+    CommutationChecker checker;
+    // The paper's key case: CNOT-Rz-CNOT blocks commute with each other
+    // even when sharing qubits, though their members do not.
+    Gate b01 = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "b01");
+    Gate b12 = makeAggregate(
+        {makeCnot(1, 2), makeRz(2, 5.67), makeCnot(1, 2)}, "b12");
+    EXPECT_TRUE(b01.isDiagonal());
+    EXPECT_TRUE(checker.commute(b01, b12));
+    EXPECT_FALSE(checker.commute(makeCnot(0, 1), makeCnot(1, 2)));
+}
+
+TEST(CommuteTest, CacheIsUsed)
+{
+    CommutationChecker checker;
+    checker.commute(makeX(1), makeCnot(0, 1));
+    std::size_t checks = checker.matrixChecks();
+    checker.commute(makeX(1), makeCnot(0, 1));
+    EXPECT_EQ(checker.matrixChecks(), checks);
+    EXPECT_GE(checker.cacheSize(), 1u);
+}
+
+TEST(CommuteTest, WideAggregatesFallBackConservatively)
+{
+    CommutationChecker checker;
+    // Joint support of 7 qubits exceeds the matrix-check limit; without
+    // an applicable rule the checker must say "no" (safe false
+    // dependence), not guess.
+    std::vector<Gate> chain;
+    for (int q = 0; q + 1 < 6; ++q)
+        chain.push_back(makeCnot(q, q + 1));
+    chain.push_back(makeH(0));
+    Gate wide = makeAggregate(chain, "wide", /*eager_matrix_width=*/0);
+    EXPECT_FALSE(checker.commute(wide, makeCnot(5, 6)));
+}
+
+TEST(ActsDiagonallyTest, PerQubitClassification)
+{
+    EXPECT_TRUE(actsDiagonallyOn(makeCnot(0, 1), 0));
+    EXPECT_FALSE(actsDiagonallyOn(makeCnot(0, 1), 1));
+    EXPECT_TRUE(actsDiagonallyOn(makeCcx(0, 1, 2), 0));
+    EXPECT_TRUE(actsDiagonallyOn(makeCcx(0, 1, 2), 1));
+    EXPECT_FALSE(actsDiagonallyOn(makeCcx(0, 1, 2), 2));
+    EXPECT_TRUE(actsDiagonallyOn(makeRz(0, 1.0), 0));
+    // Not acting on a qubit counts as diagonal there.
+    EXPECT_TRUE(actsDiagonallyOn(makeH(0), 3));
+}
+
+// ------------------------------------------------------------------- GDG
+
+TEST(GdgTest, QaoaBlocksShareGroups)
+{
+    // Two commuting ZZ blocks on overlapping qubits end up in the same
+    // commutation group on the shared qubit.
+    Circuit c(3);
+    c.add(makeRzz(0, 1, 0.5));
+    c.add(makeRzz(1, 2, 0.5));
+    CommutationChecker checker;
+    Gdg gdg(c, &checker);
+    EXPECT_EQ(gdg.groupsOnQubit(1).size(), 1u);
+    EXPECT_TRUE(gdg.reorderable(0, 1));
+}
+
+TEST(GdgTest, NonCommutingGatesSplitGroups)
+{
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, 0.3)); // On the target: does not commute.
+    CommutationChecker checker;
+    Gdg gdg(c, &checker);
+    EXPECT_EQ(gdg.groupsOnQubit(1).size(), 2u);
+    EXPECT_FALSE(gdg.reorderable(0, 1));
+}
+
+TEST(GdgTest, RzTravelsThroughControl)
+{
+    // The paper's example: an Rz on the control is in the same group as
+    // both CNOTs of a CNOT-Rz-CNOT structure on that qubit.
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(0, 0.7));
+    c.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    Gdg gdg(c, &checker);
+    EXPECT_EQ(gdg.groupsOnQubit(0).size(), 1u);
+    // On the target qubit the two CNOTs commute with each other too
+    // (they are identical), so one group there as well.
+    EXPECT_EQ(gdg.groupsOnQubit(1).size(), 1u);
+}
+
+TEST(GdgTest, DepthReflectsCommutationFreedom)
+{
+    // Serial chain without commutativity: depth = 3.
+    Circuit serial(3);
+    serial.add(makeCnot(0, 1));
+    serial.add(makeCnot(1, 2));
+    serial.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    EXPECT_EQ(Gdg(serial, &checker).depth(), 3);
+
+    // Commuting diagonal blocks still serialize on the shared qubit but
+    // the GDG records the reordering freedom.
+    Circuit diag(3);
+    diag.add(makeRzz(0, 1, 0.5));
+    diag.add(makeRzz(1, 2, 0.5));
+    Gdg gdg(diag, &checker);
+    EXPECT_TRUE(gdg.reorderable(0, 1));
+    EXPECT_EQ(gdg.depth(), 2); // Qubit 1 is used by both.
+}
+
+// -------------------------------------------------------------- Mobility
+
+TEST(MobilityTest, AdjacentGatesAlwaysMovable)
+{
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    EXPECT_TRUE(canMakeAdjacent(c, 0, 1, &checker));
+}
+
+TEST(MobilityTest, CommutingInterveningGate)
+{
+    // CNOT(0,1), Rz(0), CNOT(0,1): the two CNOTs can be made adjacent by
+    // sliding the Rz (it commutes with both).
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(0, 0.7));
+    c.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    EXPECT_TRUE(canMakeAdjacent(c, 0, 2, &checker));
+
+    std::size_t at = 0;
+    Circuit moved = makeAdjacent(c, 0, 2, &checker, &at);
+    EXPECT_TRUE(circuitsEquivalent(c, moved));
+    EXPECT_EQ(moved.gates()[at].kind, GateKind::kCnot);
+    EXPECT_EQ(moved.gates()[at + 1].kind, GateKind::kCnot);
+}
+
+TEST(MobilityTest, BlockingInterveningGate)
+{
+    // An Rz on the *target* blocks merging the CNOTs.
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, 0.7));
+    c.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    EXPECT_FALSE(canMakeAdjacent(c, 0, 2, &checker));
+}
+
+TEST(MobilityTest, DisjointGatesNeverBlock)
+{
+    Circuit c(4);
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(2, 3));
+    c.add(makeH(2));
+    c.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    EXPECT_TRUE(canMakeAdjacent(c, 0, 3, &checker));
+    std::size_t at = 0;
+    Circuit moved = makeAdjacent(c, 0, 3, &checker, &at);
+    EXPECT_TRUE(circuitsEquivalent(c, moved));
+}
+
+} // namespace
+} // namespace qaic

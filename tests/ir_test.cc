@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the gate/circuit IR: gate matrices, embedding, circuit
+ * unitaries, aggregates and the text format.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ir/circuit.h"
+#include "ir/embed.h"
+#include "ir/gate.h"
+#include "ir/qasm.h"
+#include "test_util.h"
+
+namespace qaic {
+namespace {
+
+TEST(GateTest, AllKindsAreUnitary)
+{
+    std::vector<Gate> gates = {
+        makeId(0),      makeX(0),        makeY(0),        makeZ(0),
+        makeH(0),       makeS(0),        makeSdg(0),      makeT(0),
+        makeTdg(0),     makeRx(0, 1.1),  makeRy(0, -0.4), makeRz(0, 2.7),
+        makeCnot(0, 1), makeCz(0, 1),    makeSwap(0, 1),  makeIswap(0, 1),
+        makeRzz(0, 1, 0.9), makeCcx(0, 1, 2)};
+    for (const Gate &g : gates)
+        EXPECT_TRUE(g.matrix().isUnitary(1e-12)) << g.toString();
+}
+
+TEST(GateTest, CnotActionOnBasis)
+{
+    CMatrix u = makeCnot(0, 1).matrix();
+    // |10> -> |11>, |11> -> |10>, |00>,|01> fixed.
+    EXPECT_EQ(u(3, 2), Cmplx(1, 0));
+    EXPECT_EQ(u(2, 3), Cmplx(1, 0));
+    EXPECT_EQ(u(0, 0), Cmplx(1, 0));
+    EXPECT_EQ(u(1, 1), Cmplx(1, 0));
+}
+
+TEST(GateTest, IswapPhases)
+{
+    CMatrix u = makeIswap(0, 1).matrix();
+    EXPECT_EQ(u(1, 2), Cmplx(0, 1));
+    EXPECT_EQ(u(2, 1), Cmplx(0, 1));
+    EXPECT_EQ(u(0, 0), Cmplx(1, 0));
+    EXPECT_EQ(u(3, 3), Cmplx(1, 0));
+}
+
+TEST(GateTest, RzzIsDiagonalAndMatchesCnotRzCnot)
+{
+    double theta = 1.23;
+    Gate rzz = makeRzz(0, 1, theta);
+    EXPECT_TRUE(rzz.isDiagonal());
+
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, theta));
+    c.add(makeCnot(0, 1));
+    EXPECT_NEAR(phaseDistance(c.unitary(), rzz.matrix()), 0.0, 1e-9);
+}
+
+TEST(GateTest, HadamardSquaresToIdentity)
+{
+    CMatrix h = makeH(0).matrix();
+    EXPECT_TRUE((h * h).approxEqual(CMatrix::identity(2), 1e-12));
+}
+
+TEST(GateTest, SEqualsRzUpToPhase)
+{
+    EXPECT_NEAR(
+        phaseDistance(makeS(0).matrix(), makeRz(0, M_PI / 2).matrix()), 0.0,
+        1e-7);
+    EXPECT_NEAR(
+        phaseDistance(makeT(0).matrix(), makeRz(0, M_PI / 4).matrix()), 0.0,
+        1e-7);
+}
+
+TEST(GateTest, DiagonalClassification)
+{
+    EXPECT_TRUE(makeRz(0, 0.3).isDiagonal());
+    EXPECT_TRUE(makeCz(0, 1).isDiagonal());
+    EXPECT_FALSE(makeH(0).isDiagonal());
+    EXPECT_FALSE(makeCnot(0, 1).isDiagonal());
+    EXPECT_FALSE(makeIswap(0, 1).isDiagonal());
+}
+
+TEST(EmbedTest, SingleQubitOnTwoQubitRegister)
+{
+    CMatrix x = makeX(0).matrix();
+    // X on qubit 1 (LSB) of a 2-qubit register = I (x) X.
+    CMatrix embedded = embedUnitary(x, {1}, {0, 1});
+    CMatrix expect = CMatrix::identity(2).kron(x);
+    EXPECT_TRUE(embedded.approxEqual(expect, 1e-12));
+    // X on qubit 0 (MSB) = X (x) I.
+    embedded = embedUnitary(x, {0}, {0, 1});
+    expect = x.kron(CMatrix::identity(2));
+    EXPECT_TRUE(embedded.approxEqual(expect, 1e-12));
+}
+
+TEST(EmbedTest, ReversedQubitOrderTransposesControl)
+{
+    // CNOT with control q1, target q0 on register (q0, q1).
+    CMatrix u = embedUnitary(makeCnot(0, 1).matrix(), {1, 0}, {0, 1});
+    // |01> -> |11>, |11> -> |01>.
+    EXPECT_EQ(u(3, 1), Cmplx(1, 0));
+    EXPECT_EQ(u(1, 3), Cmplx(1, 0));
+    EXPECT_EQ(u(0, 0), Cmplx(1, 0));
+    EXPECT_EQ(u(2, 2), Cmplx(1, 0));
+}
+
+TEST(EmbedTest, PreservesUnitarity)
+{
+    Rng rng(42);
+    CMatrix u = testing::randomUnitary(4, rng);
+    CMatrix e = embedUnitary(u, {3, 1}, {0, 1, 2, 3, 4});
+    EXPECT_TRUE(e.isUnitary(1e-9));
+}
+
+TEST(CircuitTest, SwapEqualsThreeCnots)
+{
+    Circuit c(2);
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(1, 0));
+    c.add(makeCnot(0, 1));
+    EXPECT_NEAR(phaseDistance(c.unitary(), makeSwap(0, 1).matrix()), 0.0,
+                1e-9);
+}
+
+TEST(CircuitTest, CzFromHadamardConjugation)
+{
+    Circuit c(2);
+    c.add(makeH(1));
+    c.add(makeCnot(0, 1));
+    c.add(makeH(1));
+    EXPECT_NEAR(phaseDistance(c.unitary(), makeCz(0, 1).matrix()), 0.0,
+                1e-9);
+}
+
+TEST(CircuitTest, DepthTracksConflicts)
+{
+    Circuit c(3);
+    c.add(makeH(0));
+    c.add(makeH(1));
+    c.add(makeH(2));
+    EXPECT_EQ(c.depth(), 1);
+    c.add(makeCnot(0, 1));
+    EXPECT_EQ(c.depth(), 2);
+    c.add(makeCnot(1, 2));
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(CircuitTest, GateCountsAndWidth)
+{
+    Circuit c(3);
+    c.add(makeH(0));
+    c.add(makeH(1));
+    c.add(makeCnot(0, 1));
+    c.add(makeCcx(0, 1, 2));
+    auto counts = c.gateCounts();
+    EXPECT_EQ(counts["h"], 2);
+    EXPECT_EQ(counts["cnot"], 1);
+    EXPECT_EQ(c.maxGateWidth(), 3);
+    EXPECT_EQ(c.twoQubitGateCount(), 2u);
+}
+
+TEST(AggregateTest, UnitaryMatchesMemberProduct)
+{
+    std::vector<Gate> members = {makeCnot(0, 1), makeRz(1, 5.67),
+                                 makeCnot(0, 1)};
+    Gate agg = makeAggregate(members, "G");
+    EXPECT_EQ(agg.width(), 2);
+
+    Circuit c(2);
+    for (const Gate &m : members)
+        c.add(m);
+    EXPECT_NEAR(phaseDistance(agg.matrix(), c.unitary()), 0.0, 1e-9);
+    // CNOT-Rz-CNOT is a diagonal unitary — the paper's key detection case.
+    EXPECT_TRUE(agg.isDiagonal());
+}
+
+TEST(AggregateTest, SupportIsSortedUnion)
+{
+    Gate agg = makeAggregate({makeCnot(3, 1), makeH(2)}, "G");
+    EXPECT_EQ(agg.qubits, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(agg.matrix().rows(), 8u);
+}
+
+TEST(AggregateTest, NonAdjacentSupportQubits)
+{
+    // Aggregate acting on qubits {0, 2} of a 3-qubit circuit.
+    Gate agg = makeAggregate({makeCnot(0, 2)}, "G");
+    Circuit c(3);
+    c.add(agg);
+    Circuit ref(3);
+    ref.add(makeCnot(0, 2));
+    EXPECT_NEAR(phaseDistance(c.unitary(), ref.unitary()), 0.0, 1e-9);
+}
+
+TEST(QasmTest, RoundTrip)
+{
+    Circuit c(3);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(2, 5.67));
+    c.add(makeRzz(1, 2, 1.26));
+    c.add(makeCcx(0, 1, 2));
+
+    std::string text = toQasm(c);
+    std::string error;
+    auto parsed = parseQasm(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->numQubits(), 3);
+    ASSERT_EQ(parsed->size(), c.size());
+    EXPECT_NEAR(phaseDistance(parsed->unitary(), c.unitary()), 0.0, 1e-9);
+}
+
+TEST(QasmTest, ParsesCommentsAndWhitespace)
+{
+    const char *text = R"(# a comment
+qubits 2
+
+h q0   # trailing comment
+cx q0 q1
+)";
+    auto parsed = parseQasm(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->size(), 2u);
+    EXPECT_EQ(parsed->gates()[1].kind, GateKind::kCnot);
+}
+
+TEST(QasmTest, RejectsMalformedPrograms)
+{
+    std::string error;
+    EXPECT_FALSE(parseQasm("h q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nfrob q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nh q5\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\ncnot q0 q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nrz q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nrz(0.5,0.6) q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits -1\n", &error).has_value());
+}
+
+TEST(QasmTest, AggregateFlattensOnSerialization)
+{
+    Circuit c(2);
+    c.add(makeAggregate({makeH(0), makeCnot(0, 1)}, "G1"));
+    std::string text = toQasm(c);
+    auto parsed = parseQasm(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->size(), 2u);
+    EXPECT_NEAR(phaseDistance(parsed->unitary(), c.unitary()), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace qaic

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for qubit mapping: interaction graphs, recursive-bisection
+ * placement, SWAP routing and permutation-aware equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/circuit.h"
+#include "mapping/mapping.h"
+#include "verify/verify.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+namespace qaic {
+namespace {
+
+TEST(InteractionGraphTest, CountsPairs)
+{
+    Circuit c(3);
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(1, 0)); // Same unordered pair.
+    c.add(makeCnot(1, 2));
+    c.add(makeH(0));
+    auto graph = interactionGraph(c);
+    EXPECT_EQ((graph[{0, 1}]), 2);
+    EXPECT_EQ((graph[{1, 2}]), 1);
+    EXPECT_EQ(graph.count({0, 2}), 0u);
+}
+
+TEST(PlacementTest, BijectiveAndInRange)
+{
+    Circuit c = qaoaMaxcut(lineGraph(7));
+    DeviceModel dev = DeviceModel::gridFor(7); // 3x3 grid.
+    auto placement = initialPlacement(c, dev);
+    ASSERT_EQ(placement.size(), 7u);
+    std::vector<bool> used(dev.numQubits(), false);
+    for (int p : placement) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, dev.numQubits());
+        EXPECT_FALSE(used[p]) << "placement not injective";
+        used[p] = true;
+    }
+}
+
+TEST(PlacementTest, KeepsChainNeighborsClose)
+{
+    // For a line interaction graph on a big-enough grid, the average
+    // placed distance of interacting pairs should be far below random
+    // (which is ~2.5 on a 5x4 grid).
+    Circuit c = qaoaMaxcut(lineGraph(20));
+    DeviceModel dev = DeviceModel::gridFor(20);
+    auto placement = initialPlacement(c, dev);
+    double total = 0.0;
+    int pairs = 0;
+    for (const auto &[edge, weight] : interactionGraph(c)) {
+        total += dev.distance(placement[edge.first],
+                              placement[edge.second]);
+        ++pairs;
+    }
+    EXPECT_LT(total / pairs, 2.2);
+}
+
+TEST(RoutingTest, OutputRespectsTopology)
+{
+    Circuit c = qaoaMaxcut(randomRegularGraph(10, 4, 2));
+    DeviceModel dev = DeviceModel::gridFor(10);
+    auto placement = initialPlacement(c, dev);
+    RoutingResult routing = routeOnDevice(c, dev, placement);
+    EXPECT_TRUE(respectsTopology(routing.physical, dev));
+}
+
+TEST(RoutingTest, NoSwapsWhenAlreadyAdjacent)
+{
+    Circuit c(3);
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(1, 2));
+    DeviceModel dev = DeviceModel::line(3);
+    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2});
+    EXPECT_EQ(routing.swapCount, 0);
+    EXPECT_EQ(routing.physical.size(), c.size());
+}
+
+TEST(RoutingTest, InsertsSwapChainForDistantPair)
+{
+    Circuit c(4);
+    c.add(makeCnot(0, 3));
+    DeviceModel dev = DeviceModel::line(4);
+    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2, 3});
+    EXPECT_EQ(routing.swapCount, 2); // Distance 3 -> 2 swaps.
+    EXPECT_TRUE(respectsTopology(routing.physical, dev));
+}
+
+TEST(RoutingTest, PermutationAwareEquivalence)
+{
+    // Routed circuit must implement the logical one modulo placement and
+    // the final SWAP-induced permutation.
+    Circuit c(4);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 3));
+    c.add(makeRz(3, 0.7));
+    c.add(makeCnot(1, 2));
+    c.add(makeCnot(3, 0));
+    DeviceModel dev = DeviceModel::line(4);
+    auto placement = initialPlacement(c, dev);
+    RoutingResult routing = routeOnDevice(c, dev, placement);
+    EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
+}
+
+TEST(RoutingTest, EquivalenceOnGrid)
+{
+    Circuit c = qaoaMaxcut(clusterGraph(2, 3, 1)); // 6 qubits, cliques.
+    DeviceModel dev = DeviceModel::gridFor(6);
+    auto placement = initialPlacement(c, dev);
+    RoutingResult routing = routeOnDevice(c, dev, placement);
+    EXPECT_TRUE(respectsTopology(routing.physical, dev));
+    EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
+}
+
+TEST(RoutingTest, RelabelsAggregateMembers)
+{
+    // A width-2 aggregate routed to other physical qubits must have its
+    // members relabelled consistently.
+    Circuit c(3);
+    c.add(makeAggregate({makeCnot(0, 2), makeRz(2, 1.0), makeCnot(0, 2)},
+                        "blk"));
+    DeviceModel dev = DeviceModel::line(3);
+    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2});
+    EXPECT_TRUE(respectsTopology(routing.physical, dev));
+    EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
+    // The aggregate survived as one instruction.
+    int aggs = 0;
+    for (const Gate &g : routing.physical.gates())
+        if (g.kind == GateKind::kAggregate) {
+            ++aggs;
+            for (const Gate &m : g.payload->members)
+                for (int q : m.qubits)
+                    EXPECT_TRUE(g.actsOn(q));
+        }
+    EXPECT_EQ(aggs, 1);
+}
+
+TEST(RoutingTest, ClusterGraphNeedsMoreSwapsThanLine)
+{
+    // Spatial-locality sanity (paper Section 6.3): a low-locality cluster
+    // graph routes with more SWAPs than a line of the same size.
+    Circuit line = qaoaMaxcut(lineGraph(30));
+    Circuit cluster = qaoaMaxcut(clusterGraph(6, 5, 3));
+    DeviceModel dev = DeviceModel::gridFor(30);
+    auto route = [&](const Circuit &c) {
+        return routeOnDevice(c, dev, initialPlacement(c, dev)).swapCount;
+    };
+    EXPECT_LT(route(line), route(cluster));
+}
+
+TEST(RelabelGateTest, PrimitiveAndAggregate)
+{
+    std::vector<int> map = {4, 3, 0, 1, 2};
+    Gate cnot = relabelGate(makeCnot(0, 2), map);
+    EXPECT_EQ(cnot.qubits, (std::vector<int>{4, 0}));
+
+    Gate agg = makeAggregate({makeH(1), makeCnot(1, 3)}, "g");
+    Gate relabeled = relabelGate(agg, map);
+    EXPECT_EQ(relabeled.qubits, (std::vector<int>{1, 3})); // Sorted {3,1}.
+    // Unitary consistency: relabel back and compare.
+    std::vector<int> inverse_map(5, -1);
+    for (int q = 0; q < 5; ++q)
+        inverse_map[map[q]] = q;
+    Gate back = relabelGate(relabeled, inverse_map);
+    EXPECT_NEAR(phaseDistance(back.matrix(), agg.matrix()), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace qaic

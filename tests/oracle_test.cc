@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the latency oracles: analytic-model anchor values, folding
+ * behaviour, consistency with the in-repo GRAPE unit, and caching.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ir/circuit.h"
+#include "oracle/oracle.h"
+
+namespace qaic {
+namespace {
+
+TEST(AnalyticOracleTest, SingleQubitAnchors)
+{
+    AnalyticOracle oracle;
+    const AnalyticModelParams &p = oracle.params();
+
+    // In-plane rotation: content = theta / (2 pi mu1).
+    double rx = oracle.singleQubitContent(makeRx(0, 1.26).matrix());
+    EXPECT_NEAR(rx, 1.26 / (2 * M_PI * p.mu1), 1e-9);
+
+    // Z rotations fold the angle and pay the z-detour.
+    double rz = oracle.singleQubitContent(makeRz(0, 5.67).matrix());
+    double folded = 2 * M_PI - 5.67;
+    EXPECT_NEAR(rz, (folded + p.zDetour) / (2 * M_PI * p.mu1), 1e-6);
+
+    // Identity costs nothing.
+    EXPECT_NEAR(oracle.singleQubitContent(makeId(0).matrix()), 0.0, 1e-12);
+
+    // Hadamard: pi rotation with n_z^2 = 1/2.
+    double h = oracle.singleQubitContent(makeH(0).matrix());
+    EXPECT_NEAR(h, (M_PI + 0.5 * p.zDetour) / (2 * M_PI * p.mu1), 1e-6);
+}
+
+TEST(AnalyticOracleTest, TwoQubitAnchors)
+{
+    AnalyticOracle oracle;
+    // iSWAP is XY-native: pure interaction bound, 12.5 ns at mu2 = 0.02.
+    EXPECT_NEAR(oracle.twoQubitContent(makeIswap(0, 1).matrix()), 12.5,
+                1e-6);
+    // CNOT shares the bound but pays local dressing.
+    EXPECT_NEAR(oracle.twoQubitContent(makeCnot(0, 1).matrix()),
+                12.5 + oracle.params().localDressing, 1e-6);
+    // SWAP: 1.5x the iSWAP interaction time.
+    EXPECT_NEAR(oracle.twoQubitContent(makeSwap(0, 1).matrix()),
+                18.75 + oracle.params().localDressing, 1e-6);
+}
+
+TEST(AnalyticOracleTest, LatencyAddsRampAndGrid)
+{
+    AnalyticOracle oracle;
+    double t = oracle.latencyNs(makeIswap(0, 1));
+    EXPECT_NEAR(t, oracle.params().rampOverhead + 12.5, 0.5);
+    // Grid-aligned.
+    EXPECT_NEAR(std::fmod(t, oracle.params().dtGrid), 0.0, 1e-9);
+}
+
+TEST(AnalyticOracleTest, IdentityIsFree)
+{
+    AnalyticOracle oracle;
+    EXPECT_DOUBLE_EQ(oracle.latencyNs(makeId(0)), 0.0);
+}
+
+TEST(AnalyticOracleTest, CnotRzCnotFoldsToSmallZZ)
+{
+    AnalyticOracle oracle;
+    Gate block = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "G3");
+    double block_time = oracle.latencyNs(block);
+
+    // Must be far below the sequential cost of its members.
+    double sequential = oracle.latencyNs(makeCnot(0, 1)) * 2 +
+                        oracle.latencyNs(makeRz(1, 5.67));
+    EXPECT_LT(block_time, sequential / 3.0);
+
+    // And equal to the direct Rzz pulse cost (same unitary).
+    double rzz_time = oracle.latencyNs(makeRzz(0, 1, 5.67));
+    EXPECT_NEAR(block_time, rzz_time, 1e-9);
+}
+
+TEST(AnalyticOracleTest, InversePairsCancelInsideAggregates)
+{
+    AnalyticOracle oracle;
+    Gate cancel = makeAggregate({makeCnot(0, 1), makeCnot(0, 1)}, "I");
+    EXPECT_DOUBLE_EQ(oracle.latencyNs(cancel), 0.0);
+}
+
+TEST(AnalyticOracleTest, AggregationBeatsSequentialExecution)
+{
+    AnalyticOracle oracle;
+    // A serial 3-qubit chain: aggregate must cost less than the sum of
+    // its members (overhead elision + 1q folding), but at least the
+    // two-qubit interaction content of the chain.
+    std::vector<Gate> members = {makeH(0), makeCnot(0, 1), makeH(1),
+                                 makeCnot(1, 2), makeH(2)};
+    Gate agg = makeAggregate(members, "chain");
+    double agg_time = oracle.latencyNs(agg);
+    double sum = 0.0;
+    for (const Gate &m : members)
+        sum += oracle.latencyNs(m);
+    EXPECT_LT(agg_time, sum);
+    // At least the busiest edge's interaction bound must remain.
+    EXPECT_GT(agg_time, 12.5);
+}
+
+TEST(AnalyticOracleTest, ParallelMembersOverlapInsideAggregate)
+{
+    AnalyticOracle oracle;
+    // Two disjoint CNOTs inside one aggregate run concurrently: the
+    // content is one CNOT's, not two.
+    Gate parallel = makeAggregate({makeCnot(0, 1), makeCnot(2, 3)}, "P");
+    Gate serial = makeAggregate({makeCnot(0, 1), makeCnot(1, 2)}, "S");
+    EXPECT_LT(oracle.latencyNs(parallel), oracle.latencyNs(serial));
+}
+
+TEST(AnalyticOracleTest, MonotoneInRotationAngle)
+{
+    AnalyticOracle oracle;
+    double prev = 0.0;
+    for (double theta = 0.2; theta <= M_PI; theta += 0.2) {
+        double t = oracle.latencyNs(makeRx(0, theta));
+        EXPECT_GE(t, prev - 1e-9);
+        prev = t;
+    }
+}
+
+TEST(AnalyticOracleTest, RejectsRawToffoli)
+{
+    AnalyticOracle oracle;
+    EXPECT_DEATH(oracle.latencyNs(makeCcx(0, 1, 2)), "decompose");
+}
+
+class GrapeConsistency : public ::testing::TestWithParam<int>
+{
+  protected:
+    static Gate
+    gateFor(int index)
+    {
+        switch (index) {
+          case 0: return makeRx(0, 1.26);
+          case 1: return makeRz(0, 5.67);
+          case 2: return makeH(0);
+          case 3: return makeIswap(0, 1);
+          case 4: return makeCnot(0, 1);
+          default:
+            return makeAggregate(
+                {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "G3");
+        }
+    }
+};
+
+TEST_P(GrapeConsistency, ModelTracksGrapeMinimum)
+{
+    Gate gate = gateFor(GetParam());
+    AnalyticOracle model;
+    double predicted = model.latencyNs(gate);
+
+    GrapeOracleOptions gopt;
+    gopt.grape.maxIterations = 350;
+    gopt.grape.restarts = 2;
+    gopt.resolution = 1.0;
+    GrapeLatencyOracle grape(gopt);
+    double measured = grape.latencyNs(gate);
+
+    // The piecewise-constant GRAPE optimum has no ramp; the model sits at
+    // most one ramp + modest slack above it, and never below it by more
+    // than the search resolution + dressing slack.
+    EXPECT_LE(measured, predicted + 1.0)
+        << "model below GRAPE minimum: " << predicted << " vs "
+        << measured;
+    EXPECT_LE(predicted, measured + model.params().rampOverhead + 6.0)
+        << "model too pessimistic: " << predicted << " vs " << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates, GrapeConsistency,
+                         ::testing::Range(0, 6));
+
+TEST(CachingOracleTest, HitsOnRepeatedStructures)
+{
+    auto inner = std::make_shared<AnalyticOracle>();
+    CachingOracle cache(inner);
+    // The same block on different qubit pairs shares one entry.
+    Gate a = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 1.1), makeCnot(0, 1)}, "A");
+    Gate b = makeAggregate(
+        {makeCnot(4, 7), makeRz(7, 1.1), makeCnot(4, 7)}, "B");
+    double ta = cache.latencyNs(a);
+    double tb = cache.latencyNs(b);
+    EXPECT_DOUBLE_EQ(ta, tb);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CachingOracleTest, DistinguishesDifferentAngles)
+{
+    auto inner = std::make_shared<AnalyticOracle>();
+    CachingOracle cache(inner);
+    double t1 = cache.latencyNs(makeRx(0, 0.5));
+    double t2 = cache.latencyNs(makeRx(0, 2.5));
+    EXPECT_NE(t1, t2);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(FingerprintTest, PhaseInvariance)
+{
+    CMatrix u = makeCnot(0, 1).matrix();
+    CMatrix v = u * std::exp(Cmplx(0, 0.9));
+    EXPECT_EQ(unitaryFingerprint(u), unitaryFingerprint(v));
+    EXPECT_NE(unitaryFingerprint(u),
+              unitaryFingerprint(makeSwap(0, 1).matrix()));
+}
+
+TEST(FingerprintTest, StructuralRelabelingInvariance)
+{
+    Gate a = makeAggregate({makeH(2), makeCnot(2, 5)}, "A");
+    Gate b = makeAggregate({makeH(0), makeCnot(0, 9)}, "B");
+    EXPECT_EQ(structuralFingerprint(a), structuralFingerprint(b));
+    Gate c = makeAggregate({makeH(5), makeCnot(2, 5)}, "C");
+    EXPECT_NE(structuralFingerprint(a), structuralFingerprint(c));
+}
+
+} // namespace
+} // namespace qaic

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cross-module property tests on randomized circuits: every compiler
+ * transformation must preserve circuit semantics, schedulers must respect
+ * resource exclusivity and never regress each other's guarantees, and
+ * the latency model must obey its structural invariants.
+ */
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "aggregate/aggregate.h"
+#include "compiler/compiler.h"
+#include "compiler/decompose.h"
+#include "compiler/handopt.h"
+#include "gdg/gdg.h"
+#include "ir/embed.h"
+#include "oracle/oracle.h"
+#include "schedule/schedule.h"
+#include "test_util.h"
+#include "verify/verify.h"
+
+namespace qaic {
+namespace {
+
+using testing::randomCircuit;
+
+class RandomCircuitSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    Circuit
+    circuit() const
+    {
+        // 4..6 qubits, 20..44 gates, all seed-derived.
+        int seed = GetParam();
+        return randomCircuit(4 + seed % 3, 20 + (seed * 7) % 25,
+                             1000 + seed);
+    }
+};
+
+TEST_P(RandomCircuitSweep, DiagonalDetectionPreservesSemantics)
+{
+    Circuit c = circuit();
+    Circuit detected = detectDiagonalBlocks(c, 10, nullptr);
+    EXPECT_TRUE(circuitsEquivalent(c, detected, 1e-6, 6));
+}
+
+TEST_P(RandomCircuitSweep, HandOptimizationPreservesSemantics)
+{
+    Circuit c = circuit();
+    Circuit optimized = handOptimize(c);
+    EXPECT_TRUE(circuitsEquivalent(c, optimized, 1e-6, 6));
+    EXPECT_LE(optimized.size(), c.size());
+}
+
+TEST_P(RandomCircuitSweep, PhysicalLoweringPreservesSemantics)
+{
+    Circuit c = circuit();
+    Circuit phys = decomposeToPhysical(c);
+    EXPECT_TRUE(circuitsEquivalent(c, phys, 1e-6, 6));
+}
+
+TEST_P(RandomCircuitSweep, AggregationPreservesSemanticsAndLatency)
+{
+    Circuit c = circuit();
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    AggregationOptions options;
+    options.maxWidth = 4;
+    AggregationResult result =
+        aggregateInstructions(c, &checker, oracle, options);
+    EXPECT_TRUE(circuitsEquivalent(c, result.circuit, 1e-6, 6));
+    double before = scheduleAsap(c, oracle).makespan();
+    double after = scheduleAsap(result.circuit, oracle).makespan();
+    EXPECT_LE(after, before + 1e-9);
+}
+
+TEST_P(RandomCircuitSweep, ClsNeverWorseThanAsapUnderUnitLatency)
+{
+    // With unit latencies and the commutation-group readiness rule, CLS's
+    // matching-based choices can only shorten the schedule relative to
+    // program-order ASAP.
+    class UnitOracle : public LatencyOracle
+    {
+      public:
+        double latencyNs(const Gate &) override { return 1.0; }
+        std::string name() const override { return "unit"; }
+    } unit;
+
+    Circuit c = circuit();
+    CommutationChecker checker;
+    Schedule cls = scheduleCls(c, &checker, unit);
+    Schedule asap = scheduleAsap(c, unit);
+    EXPECT_TRUE(cls.validate(c.numQubits()));
+    EXPECT_LE(cls.makespan(), asap.makespan() + 1e-9);
+}
+
+TEST_P(RandomCircuitSweep, ClsScheduleOrderIsEquivalent)
+{
+    Circuit c = circuit();
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Schedule cls = scheduleCls(c, &checker, oracle);
+    EXPECT_TRUE(cls.validate(c.numQubits()));
+    Circuit reordered = cls.toCircuit(c.numQubits());
+    EXPECT_TRUE(circuitsEquivalent(c, reordered, 1e-6, 6));
+}
+
+TEST_P(RandomCircuitSweep, CommutationCheckerMatchesMatrices)
+{
+    // The rule-based fast paths must agree with the explicit unitary
+    // check on every gate pair of the circuit.
+    Circuit c = circuit();
+    CommutationChecker checker;
+    const auto &gates = c.gates();
+    int checked = 0;
+    for (std::size_t i = 0; i < gates.size() && checked < 60; ++i) {
+        for (std::size_t j = i + 1; j < gates.size() && checked < 60;
+             ++j) {
+            std::set<int> joint(gates[i].qubits.begin(),
+                                gates[i].qubits.end());
+            joint.insert(gates[j].qubits.begin(), gates[j].qubits.end());
+            if (joint.size() > 3)
+                continue;
+            std::vector<int> reg(joint.begin(), joint.end());
+            CMatrix a = embedUnitary(gates[i].matrix(), gates[i].qubits,
+                                     reg);
+            CMatrix b = embedUnitary(gates[j].matrix(), gates[j].qubits,
+                                     reg);
+            EXPECT_EQ(checker.commute(gates[i], gates[j]),
+                      commutes(a, b, 1e-9))
+                << gates[i].toString() << " vs " << gates[j].toString();
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST_P(RandomCircuitSweep, OracleStructuralInvariants)
+{
+    Circuit c = circuit();
+    AnalyticOracle oracle;
+    double sum = 0.0;
+    std::vector<Gate> members;
+    for (const Gate &g : c.gates()) {
+        double t = oracle.latencyNs(g);
+        EXPECT_GE(t, 0.0);
+        // Grid alignment.
+        EXPECT_NEAR(std::fmod(t + 1e-9, oracle.params().dtGrid), 0.0,
+                    1e-6);
+        sum += t;
+        members.push_back(g);
+    }
+    // An aggregate of everything can never cost more than running the
+    // members back to back.
+    Gate all = makeAggregate(members, "all", /*eager_matrix_width=*/0);
+    EXPECT_LE(oracle.latencyNs(all), sum + 1e-9);
+}
+
+TEST_P(RandomCircuitSweep, FullCompilerEquivalenceOnDevice)
+{
+    Circuit c = circuit();
+    Compiler compiler(DeviceModel::gridFor(c.numQubits()));
+    CompilationResult r = compiler.compile(c, Strategy::kClsAggregation);
+    std::string error;
+    EXPECT_TRUE(
+        r.schedule.validate(compiler.device().numQubits(), &error))
+        << error;
+    // Backend stream equals the routed circuit.
+    EXPECT_TRUE(circuitsEquivalent(r.routing.physical, r.physicalCircuit,
+                                   1e-6, 6));
+    // Latency sanity: never worse than the gate-based baseline.
+    CompilationResult isa = compiler.compile(c, Strategy::kIsa);
+    EXPECT_LE(r.latencyNs, isa.latencyNs + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitSweep,
+                         ::testing::Range(0, 8));
+
+class RzzAngleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RzzAngleSweep, BlockLatencyMatchesDirectPulse)
+{
+    double theta = GetParam();
+    AnalyticOracle oracle;
+    Gate block = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, theta), makeCnot(0, 1)}, "blk");
+    Gate direct = makeRzz(0, 1, theta);
+    EXPECT_NEAR(oracle.latencyNs(block), oracle.latencyNs(direct), 1e-9)
+        << "theta=" << theta;
+    // Both must fold the angle into [0, pi]: latency is periodic.
+    Gate wrapped = makeRzz(0, 1, theta + 4.0 * M_PI);
+    EXPECT_NEAR(oracle.latencyNs(direct), oracle.latencyNs(wrapped), 0.51)
+        << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RzzAngleSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.7, 2.4, 3.1,
+                                           4.2, 5.67));
+
+} // namespace
+} // namespace qaic

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for pulse-program emission and the decoherence-aware fidelity
+ * estimate.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "compiler/fidelity.h"
+#include "compiler/pulseplan.h"
+#include "control/pulse.h"
+#include "verify/verify.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+namespace qaic {
+namespace {
+
+PulsePlanOptions
+fastPlanOptions()
+{
+    PulsePlanOptions options;
+    options.grape.maxIterations = 600;
+    options.grape.restarts = 2;
+    options.grape.targetFidelity = 0.995;
+    return options;
+}
+
+TEST(PulsePlanTest, TimelineImplementsCompiledCircuit)
+{
+    // Compile a small kernel, emit its full pulse program and integrate
+    // the device-wide timeline: it must implement the compiled circuit.
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    c.add(makeRz(1, 5.67));
+
+    DeviceModel device = DeviceModel::line(2);
+    Compiler compiler(device);
+    CompilationResult r = compiler.compile(c, Strategy::kClsAggregation);
+
+    PulsePlan plan = emitPulsePlan(r.schedule, device, fastPlanOptions());
+    EXPECT_EQ(plan.slots.size(), r.schedule.ops.size());
+    EXPECT_GT(plan.synthesizedCount, 0);
+    EXPECT_GE(plan.worstFidelity, 0.99);
+
+    CMatrix timeline_u = pulseUnitary(device, plan.timeline);
+    CMatrix expect = r.physicalCircuit.unitary();
+    EXPECT_GE(processFidelity(timeline_u, expect), 0.985);
+}
+
+TEST(PulsePlanTest, SlotsAlignWithSchedule)
+{
+    Circuit c = qaoaTriangleExample();
+    DeviceModel device = DeviceModel::line(3);
+    Compiler compiler(device);
+    CompilationResult r = compiler.compile(c, Strategy::kClsAggregation);
+
+    PulsePlanOptions options = fastPlanOptions();
+    options.grapeWidth = 2; // Leave the 3-wide aggregate as an envelope.
+    PulsePlan plan = emitPulsePlan(r.schedule, device, options);
+
+    ASSERT_EQ(plan.slots.size(), r.schedule.ops.size());
+    for (const PulseSlot &slot : plan.slots) {
+        const ScheduledOp &op = r.schedule.ops[slot.opIndex];
+        EXPECT_DOUBLE_EQ(slot.start, op.start);
+        if (op.gate.width() > 2)
+            EXPECT_FALSE(slot.synthesized);
+    }
+    // The timeline spans the whole schedule.
+    EXPECT_GE(plan.duration() + 1e-9, r.schedule.makespan());
+}
+
+TEST(PulsePlanTest, WideInstructionGetsEnvelope)
+{
+    // A hand-built schedule with one wide aggregate: the envelope must
+    // occupy its support drives for the scheduled duration.
+    Gate wide = makeAggregate({makeCnot(0, 1), makeCnot(1, 2),
+                               makeCnot(2, 3)},
+                              "W", /*eager_matrix_width=*/0);
+    Schedule schedule;
+    schedule.ops.push_back({wide, 0.0, 20.0});
+
+    DeviceModel device = DeviceModel::line(4);
+    PulsePlanOptions options = fastPlanOptions();
+    options.grapeWidth = 2;
+    PulsePlan plan = emitPulsePlan(schedule, device, options);
+
+    EXPECT_EQ(plan.synthesizedCount, 0);
+    // Some drive amplitude must be present during [0, 20).
+    double occupancy = 0.0;
+    for (const auto &series : plan.timeline.amplitudes)
+        for (double v : series)
+            occupancy += std::abs(v);
+    EXPECT_GT(occupancy, 0.0);
+}
+
+TEST(FidelityTest, HandComputedExposure)
+{
+    // One 100 ns op on q0 and one 50 ns op on q1 starting at t=25.
+    Schedule schedule;
+    schedule.ops.push_back({makeRx(0, 1.0), 0.0, 100.0});
+    schedule.ops.push_back({makeRx(1, 1.0), 25.0, 50.0});
+
+    CoherenceParams params;
+    params.t2 = 1000.0;
+    params.instructionError = 0.0;
+    FidelityEstimate estimate = estimateFidelity(schedule, 2, params);
+    EXPECT_NEAR(estimate.qubitExposureNs, 150.0, 1e-9);
+    EXPECT_NEAR(estimate.decoherence,
+                std::exp(-100.0 / 1000.0) * std::exp(-50.0 / 1000.0),
+                1e-12);
+    EXPECT_NEAR(estimate.total, estimate.decoherence, 1e-12);
+}
+
+TEST(FidelityTest, UntouchedQubitsDoNotDecohere)
+{
+    Schedule schedule;
+    schedule.ops.push_back({makeRx(0, 1.0), 0.0, 10.0});
+    FidelityEstimate estimate = estimateFidelity(schedule, 5);
+    EXPECT_NEAR(estimate.qubitExposureNs, 10.0, 1e-9);
+}
+
+TEST(FidelityTest, InstructionErrorAccumulates)
+{
+    Schedule schedule;
+    for (int i = 0; i < 10; ++i)
+        schedule.ops.push_back({makeRx(0, 1.0), i * 10.0, 10.0});
+    CoherenceParams params;
+    params.instructionError = 0.01;
+    FidelityEstimate estimate = estimateFidelity(schedule, 1, params);
+    EXPECT_NEAR(estimate.control, std::pow(0.99, 10), 1e-12);
+}
+
+TEST(FidelityTest, AggregatedCompilationImprovesFidelity)
+{
+    // The paper's whole point: lower latency -> higher output fidelity.
+    Circuit c = qaoaMaxcut(lineGraph(6));
+    Compiler compiler(DeviceModel::gridFor(6));
+    CompilationResult isa = compiler.compile(c, Strategy::kIsa);
+    CompilationResult agg =
+        compiler.compile(c, Strategy::kClsAggregation);
+
+    CoherenceParams params;
+    params.t2 = 5000.0; // Pessimistic qubits make the contrast visible.
+    double f_isa =
+        estimateFidelity(isa.schedule, compiler.device().numQubits(),
+                         params)
+            .total;
+    double f_agg =
+        estimateFidelity(agg.schedule, compiler.device().numQubits(),
+                         params)
+            .total;
+    EXPECT_GT(f_agg, f_isa);
+}
+
+} // namespace
+} // namespace qaic

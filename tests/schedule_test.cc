@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the schedulers: ASAP baseline, maximal matching, and the
+ * commutativity-aware list scheduler (Algorithm 1).
+ */
+#include <gtest/gtest.h>
+
+#include "gdg/gdg.h"
+#include "ir/circuit.h"
+#include "oracle/oracle.h"
+#include "schedule/schedule.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+namespace qaic {
+namespace {
+
+/** Oracle with unit latency for every instruction (for depth testing). */
+class UnitOracle : public LatencyOracle
+{
+  public:
+    double latencyNs(const Gate &) override { return 1.0; }
+    std::string name() const override { return "unit"; }
+};
+
+TEST(MatchingTest, PicksNonConflictingEdges)
+{
+    // Path graph edges 0-1, 1-2, 2-3: a maximal matching has 2 edges.
+    std::vector<CandidateOp> ops = {
+        {0, {0, 1}, 1.0}, {1, {1, 2}, 1.0}, {2, {2, 3}, 1.0}};
+    auto chosen = findMaximalMatching(ops);
+    EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST(MatchingTest, PriorityBreaksTies)
+{
+    // Triangle: only one edge fits; the highest priority must win.
+    std::vector<CandidateOp> ops = {
+        {0, {0, 1}, 1.0}, {1, {1, 2}, 9.0}, {2, {0, 2}, 2.0}};
+    auto chosen = findMaximalMatching(ops);
+    ASSERT_EQ(chosen.size(), 1u);
+    EXPECT_EQ(ops[chosen[0]].id, 1);
+}
+
+TEST(MatchingTest, AugmentationBeatsGreedyTrap)
+{
+    // Greedy takes the high-priority middle edge 1-2, blocking both 0-1
+    // and 2-3; the augmenting pass must recover the 2-edge matching.
+    std::vector<CandidateOp> ops = {
+        {0, {1, 2}, 9.0}, {1, {0, 1}, 1.0}, {2, {2, 3}, 1.0}};
+    auto chosen = findMaximalMatching(ops);
+    EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST(MatchingTest, SelfLoopsCountAsVertexUse)
+{
+    std::vector<CandidateOp> ops = {
+        {0, {0}, 5.0}, {1, {0, 1}, 1.0}, {2, {1}, 0.5}};
+    auto chosen = findMaximalMatching(ops);
+    // 1q on 0 and 1q on 1 fit together (2 ops); the 2q op conflicts with
+    // both.
+    EXPECT_EQ(chosen.size(), 2u);
+    for (int pick : chosen)
+        EXPECT_EQ(ops[pick].qubits.size(), 1u);
+}
+
+TEST(AsapTest, RespectsDependencies)
+{
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    c.add(makeH(1));
+    UnitOracle unit;
+    Schedule s = scheduleAsap(c, unit);
+    EXPECT_TRUE(s.validate(2));
+    EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+    EXPECT_DOUBLE_EQ(s.ops[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(s.ops[1].start, 1.0);
+    EXPECT_DOUBLE_EQ(s.ops[2].start, 2.0);
+}
+
+TEST(AsapTest, ParallelGatesOverlap)
+{
+    Circuit c(4);
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(2, 3));
+    UnitOracle unit;
+    Schedule s = scheduleAsap(c, unit);
+    EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+TEST(ScheduleTest, ValidateCatchesOverlap)
+{
+    Schedule s;
+    s.ops.push_back({makeH(0), 0.0, 2.0});
+    s.ops.push_back({makeRx(0, 1.0), 1.0, 2.0});
+    std::string error;
+    EXPECT_FALSE(s.validate(1, &error));
+    EXPECT_NE(error.find("overlap"), std::string::npos);
+}
+
+TEST(ScheduleTest, ToCircuitOrdersByStart)
+{
+    Schedule s;
+    s.ops.push_back({makeH(0), 5.0, 1.0});
+    s.ops.push_back({makeX(0), 0.0, 1.0});
+    Circuit c = s.toCircuit(1);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::kX);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::kH);
+}
+
+TEST(ClsTest, MatchesAsapWithoutCommutativity)
+{
+    // A serial chain offers no reordering freedom: CLS == ASAP.
+    Circuit c(3);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    c.add(makeCnot(1, 2));
+    c.add(makeH(2));
+    UnitOracle unit;
+    CommutationChecker checker;
+    Schedule cls = scheduleCls(c, &checker, unit);
+    Schedule asap = scheduleAsap(c, unit);
+    EXPECT_TRUE(cls.validate(3));
+    EXPECT_DOUBLE_EQ(cls.makespan(), asap.makespan());
+}
+
+TEST(ClsTest, ExploitsCommutingBlocks)
+{
+    // Diagonal ZZ blocks emitted in a pessimal serial order: 0-1, 1-2,
+    // 2-3. ASAP (program order) needs 3 rounds; CLS can run (0-1, 2-3)
+    // together.
+    Circuit c(4);
+    c.add(makeRzz(0, 1, 0.5));
+    c.add(makeRzz(1, 2, 0.5));
+    c.add(makeRzz(2, 3, 0.5));
+    UnitOracle unit;
+    CommutationChecker checker;
+    EXPECT_DOUBLE_EQ(scheduleAsap(c, unit).makespan(), 3.0);
+    Schedule cls = scheduleCls(c, &checker, unit);
+    EXPECT_TRUE(cls.validate(4));
+    EXPECT_DOUBLE_EQ(cls.makespan(), 2.0);
+}
+
+TEST(ClsTest, RingOfBlocksReachesEdgeColoringBound)
+{
+    // QAOA on a 6-cycle: commuting ZZ blocks; a 2-colouring exists, so
+    // CLS should finish the cost layer in 2 rounds instead of up to 6.
+    Circuit c(6);
+    for (int i = 0; i < 6; ++i)
+        c.add(makeRzz(i, (i + 1) % 6, 0.5));
+    UnitOracle unit;
+    CommutationChecker checker;
+    Schedule cls = scheduleCls(c, &checker, unit);
+    EXPECT_TRUE(cls.validate(6));
+    EXPECT_DOUBLE_EQ(cls.makespan(), 2.0);
+}
+
+TEST(ClsTest, PreservesUnitarySemantics)
+{
+    // The CLS-ordered circuit must stay equivalent to the original.
+    Circuit c = qaoaMaxcut(lineGraph(4));
+    UnitOracle unit;
+    CommutationChecker checker;
+    Schedule cls = scheduleCls(c, &checker, unit);
+    EXPECT_TRUE(cls.validate(4));
+    Circuit reordered = cls.toCircuit(4);
+    EXPECT_NEAR(phaseDistance(c.unitary(), reordered.unitary()), 0.0,
+                1e-6);
+}
+
+TEST(ClsTest, HeterogeneousDurations)
+{
+    AnalyticOracle oracle;
+    Circuit c(3);
+    c.add(makeCnot(0, 1));
+    c.add(makeH(2));
+    c.add(makeCnot(1, 2));
+    CommutationChecker checker;
+    Schedule s = scheduleCls(c, &checker, oracle);
+    EXPECT_TRUE(s.validate(3));
+    // H on q2 runs during CNOT(0,1); CNOT(1,2) follows the later of both.
+    double h_len = oracle.latencyNs(makeH(2));
+    double cnot_len = oracle.latencyNs(makeCnot(0, 1));
+    EXPECT_DOUBLE_EQ(s.makespan(), std::max(h_len, cnot_len) + cnot_len);
+}
+
+TEST(ClsTest, ZeroDurationInstructions)
+{
+    // Identity (zero-latency) ops must not deadlock the event loop.
+    UnitOracle unit;
+    AnalyticOracle oracle;
+    Circuit c(2);
+    c.add(makeId(0));
+    c.add(makeId(0));
+    c.add(makeCnot(0, 1));
+    CommutationChecker checker;
+    Schedule s = scheduleCls(c, &checker, oracle);
+    EXPECT_TRUE(s.validate(2));
+    EXPECT_GT(s.makespan(), 0.0);
+}
+
+TEST(ClsTest, LargeParallelLayerSchedulesFlat)
+{
+    // 20 disjoint CNOTs must all start at t = 0.
+    Circuit c(40);
+    for (int i = 0; i < 20; ++i)
+        c.add(makeCnot(2 * i, 2 * i + 1));
+    UnitOracle unit;
+    CommutationChecker checker;
+    Schedule s = scheduleCls(c, &checker, unit);
+    EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+} // namespace
+} // namespace qaic

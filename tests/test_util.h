@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the QAIC test suite: random matrices and common
+ * gate constants.
+ */
+#ifndef QAIC_TESTS_TEST_UTIL_H
+#define QAIC_TESTS_TEST_UTIL_H
+
+#include <cmath>
+
+#include "ir/circuit.h"
+#include "la/cmatrix.h"
+#include "util/rng.h"
+
+namespace qaic::testing {
+
+/** Random complex matrix with i.i.d. standard-normal entries. */
+inline CMatrix
+randomComplex(std::size_t n, Rng &rng)
+{
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = Cmplx(rng.gaussian(), rng.gaussian());
+    return m;
+}
+
+/** Random Hermitian matrix (Gaussian ensemble). */
+inline CMatrix
+randomHermitian(std::size_t n, Rng &rng)
+{
+    CMatrix g = randomComplex(n, rng);
+    return (g + g.dagger()) * Cmplx(0.5, 0.0);
+}
+
+/** Haar-ish random unitary via Gram-Schmidt of a Gaussian matrix. */
+inline CMatrix
+randomUnitary(std::size_t n, Rng &rng)
+{
+    CMatrix g = randomComplex(n, rng);
+    // Modified Gram-Schmidt on columns.
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t p = 0; p < c; ++p) {
+            Cmplx overlap(0.0, 0.0);
+            for (std::size_t r = 0; r < n; ++r)
+                overlap += std::conj(g(r, p)) * g(r, c);
+            for (std::size_t r = 0; r < n; ++r)
+                g(r, c) -= overlap * g(r, p);
+        }
+        double norm = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            norm += std::norm(g(r, c));
+        norm = std::sqrt(norm);
+        for (std::size_t r = 0; r < n; ++r)
+            g(r, c) = g(r, c) / norm;
+    }
+    return g;
+}
+
+/**
+ * Random circuit over a mixed gate zoo (1q rotations, H/T, CNOT, CZ,
+ * Rzz, SWAP); deterministic per seed. Useful for semantics-preservation
+ * property tests.
+ */
+inline Circuit
+randomCircuit(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        int kind = rng.uniformInt(0, 7);
+        int a = rng.uniformInt(0, num_qubits - 1);
+        int b = (a + 1 + rng.uniformInt(0, num_qubits - 2)) % num_qubits;
+        double theta = rng.uniform(-M_PI, M_PI);
+        switch (kind) {
+          case 0: c.add(makeH(a)); break;
+          case 1: c.add(makeT(a)); break;
+          case 2: c.add(makeRx(a, theta)); break;
+          case 3: c.add(makeRz(a, theta)); break;
+          case 4: c.add(makeCnot(a, b)); break;
+          case 5: c.add(makeCz(a, b)); break;
+          case 6: c.add(makeRzz(a, b, theta)); break;
+          default: c.add(makeSwap(a, b)); break;
+        }
+    }
+    return c;
+}
+
+} // namespace qaic::testing
+
+#endif // QAIC_TESTS_TEST_UTIL_H

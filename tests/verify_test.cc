@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the verification unit: state-vector simulation, equivalence
+ * checks and GRAPE pulse verification (paper Section 3.6).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "aggregate/aggregate.h"
+#include "gdg/commute.h"
+#include "oracle/oracle.h"
+#include "verify/verify.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+
+namespace qaic {
+namespace {
+
+TEST(StateVectorTest, InitialState)
+{
+    StateVector sv(3);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, XFlipsMsbConvention)
+{
+    // X on qubit 0 (MSB) maps |000> to |100> = index 4.
+    StateVector sv(3);
+    sv.apply(makeX(0));
+    EXPECT_NEAR(std::abs(sv.amplitudes()[4]), 1.0, 1e-12);
+    // X on qubit 2 (LSB) maps |100> to |101> = index 5.
+    sv.apply(makeX(2));
+    EXPECT_NEAR(std::abs(sv.amplitudes()[5]), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, HadamardSuperposition)
+{
+    StateVector sv(1);
+    sv.apply(makeH(0));
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(StateVectorTest, BellState)
+{
+    StateVector sv(2);
+    sv.apply(makeH(0));
+    sv.apply(makeCnot(0, 1));
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, MatchesUnitaryOnRandomCircuit)
+{
+    Circuit c = qaoaMaxcut(lineGraph(4));
+    StateVector sv(4);
+    sv.apply(c);
+    CMatrix u = c.unitary();
+    // Column 0 of the unitary is the output of |0...0>.
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(std::abs(sv.amplitudes()[i] - u(i, 0)), 0.0, 1e-9);
+}
+
+TEST(StateVectorTest, NormPreservedThroughDeepCircuit)
+{
+    Circuit c = qaoaMaxcut(randomRegularGraph(8, 3, 5));
+    StateVector sv = StateVector::random(8, 17);
+    sv.apply(c);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+TEST(StateVectorTest, AggregateGateApplication)
+{
+    // Applying an aggregate equals applying its members.
+    Gate agg = makeAggregate(
+        {makeH(0), makeCnot(0, 2), makeRz(2, 0.7)}, "g");
+    StateVector a(3), b(3);
+    a.apply(agg);
+    for (const Gate &m : agg.payload->members)
+        b.apply(m);
+    EXPECT_NEAR(std::abs(a.overlap(b)), 1.0, 1e-9);
+}
+
+TEST(EquivalenceTest, ExactAndSampledAgree)
+{
+    Circuit a = qaoaMaxcut(lineGraph(4));
+    Circuit b = detectDiagonalBlocks(a, 10, nullptr);
+    EXPECT_TRUE(circuitsEquivalent(a, b, 1e-6, /*max_exact_qubits=*/8));
+    EXPECT_TRUE(circuitsEquivalent(a, b, 1e-6, /*max_exact_qubits=*/2));
+
+    // And a genuinely different circuit fails both paths.
+    Circuit c = a;
+    c.add(makeX(0));
+    EXPECT_FALSE(circuitsEquivalent(a, c, 1e-6, 8));
+    EXPECT_FALSE(circuitsEquivalent(a, c, 1e-6, 2));
+}
+
+TEST(EquivalenceTest, GlobalPhaseIgnored)
+{
+    Circuit a(1);
+    a.add(makeRz(0, 1.0));
+    Circuit b(1);
+    b.add(makeRz(0, 1.0 - 4.0 * M_PI)); // Same rotation, phase -1.
+    EXPECT_TRUE(circuitsEquivalent(a, b));
+}
+
+TEST(PulseVerifyTest, CompiledInstructionsPassPulseCheck)
+{
+    // Aggregate a small circuit and verify pulses for the narrow
+    // instructions, as the paper does for 10 samples per benchmark.
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit c = qaoaMaxcut(lineGraph(3));
+    Circuit detected = detectDiagonalBlocks(c, 10, nullptr);
+    AggregationOptions opt;
+    opt.maxWidth = 2;
+    AggregationResult agg =
+        aggregateInstructions(detected, &checker, oracle, opt);
+
+    GrapeOptions grape;
+    grape.maxIterations = 800;
+    grape.restarts = 3;
+    grape.targetFidelity = 0.99; // Modest threshold keeps the test fast.
+    PulseVerification result =
+        verifyPulses(agg.circuit, /*samples=*/4, /*max_width=*/2,
+                     /*duration_factor=*/2.2, grape);
+    EXPECT_GT(result.checked, 0);
+    EXPECT_EQ(result.passed, result.checked)
+        << "worst fidelity " << result.worstFidelity;
+}
+
+} // namespace
+} // namespace qaic

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the Weyl-chamber analysis: known coordinates, invariance under
+ * local gates, Makhlin invariants and XY minimum-time bounds.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ir/gate.h"
+#include "la/cmatrix.h"
+#include "la/expm.h"
+#include "test_util.h"
+#include "weyl/weyl.h"
+
+namespace qaic {
+namespace {
+
+constexpr double kPi4 = M_PI / 4.0;
+
+TEST(WeylTest, MagicBasisIsUnitary)
+{
+    EXPECT_TRUE(magicBasis().isUnitary(1e-12));
+}
+
+TEST(WeylTest, IdentityCoordinates)
+{
+    WeylCoordinates c = weylCoordinates(CMatrix::identity(4));
+    EXPECT_TRUE(c.approxEqual({0, 0, 0}));
+}
+
+TEST(WeylTest, CnotCoordinates)
+{
+    WeylCoordinates c = weylCoordinates(makeCnot(0, 1).matrix());
+    EXPECT_TRUE(c.approxEqual({kPi4, 0, 0})) << c.c1 << " " << c.c2;
+}
+
+TEST(WeylTest, CzSharesCnotClass)
+{
+    WeylCoordinates c = weylCoordinates(makeCz(0, 1).matrix());
+    EXPECT_TRUE(c.approxEqual({kPi4, 0, 0}));
+}
+
+TEST(WeylTest, IswapCoordinates)
+{
+    WeylCoordinates c = weylCoordinates(makeIswap(0, 1).matrix());
+    EXPECT_TRUE(c.approxEqual({kPi4, kPi4, 0}));
+}
+
+TEST(WeylTest, SwapCoordinates)
+{
+    WeylCoordinates c = weylCoordinates(makeSwap(0, 1).matrix());
+    EXPECT_TRUE(c.approxEqual({kPi4, kPi4, kPi4}));
+}
+
+TEST(WeylTest, RzzFoldsAngle)
+{
+    // Rzz(theta) ~ CAN(theta/2, 0, 0) for theta in [0, pi/2].
+    WeylCoordinates c = weylCoordinates(makeRzz(0, 1, 0.8).matrix());
+    EXPECT_TRUE(c.approxEqual({0.4, 0, 0}));
+    // Large angles fold: theta = 5.67 ~ -(2 pi - 5.67).
+    double theta = 5.67;
+    double folded = (2.0 * M_PI - theta) / 2.0;
+    c = weylCoordinates(makeRzz(0, 1, theta).matrix());
+    EXPECT_TRUE(c.approxEqual({folded, 0, 0}));
+}
+
+TEST(WeylTest, LocalGatesHaveZeroCoordinates)
+{
+    Rng rng(20);
+    for (int trial = 0; trial < 10; ++trial) {
+        CMatrix local =
+            testing::randomUnitary(2, rng).kron(testing::randomUnitary(2, rng));
+        WeylCoordinates c = weylCoordinates(local);
+        EXPECT_TRUE(c.approxEqual({0, 0, 0}, 1e-6))
+            << c.c1 << " " << c.c2 << " " << c.c3;
+    }
+}
+
+TEST(WeylTest, CoordinatesInvariantUnderLocalDressing)
+{
+    Rng rng(21);
+    std::vector<CMatrix> gates = {makeCnot(0, 1).matrix(),
+                                  makeIswap(0, 1).matrix(),
+                                  makeSwap(0, 1).matrix(),
+                                  makeRzz(0, 1, 1.1).matrix()};
+    for (const CMatrix &g : gates) {
+        WeylCoordinates base = weylCoordinates(g);
+        for (int trial = 0; trial < 5; ++trial) {
+            CMatrix k1 = testing::randomUnitary(2, rng)
+                             .kron(testing::randomUnitary(2, rng));
+            CMatrix k2 = testing::randomUnitary(2, rng)
+                             .kron(testing::randomUnitary(2, rng));
+            WeylCoordinates dressed = weylCoordinates(k1 * g * k2);
+            EXPECT_TRUE(dressed.approxEqual(base, 1e-6))
+                << dressed.c1 << "," << dressed.c2 << "," << dressed.c3
+                << " vs " << base.c1 << "," << base.c2 << "," << base.c3;
+        }
+    }
+}
+
+TEST(WeylTest, GlobalPhaseInvariance)
+{
+    CMatrix u = makeCnot(0, 1).matrix() * std::exp(Cmplx(0, 0.77));
+    EXPECT_TRUE(weylCoordinates(u).approxEqual({kPi4, 0, 0}));
+}
+
+TEST(WeylTest, RandomUnitariesStayInChamber)
+{
+    Rng rng(22);
+    for (int trial = 0; trial < 20; ++trial) {
+        CMatrix u = testing::randomUnitary(4, rng);
+        WeylCoordinates c = weylCoordinates(u);
+        EXPECT_GE(c.c1, c.c2);
+        EXPECT_GE(c.c2, c.c3);
+        EXPECT_GE(c.c3, 0.0);
+        EXPECT_LE(c.c1, kPi4 + 1e-9);
+    }
+}
+
+TEST(WeylTest, SqrtIswapIsHalfIswap)
+{
+    // sqrt(iSWAP) = exp(+i pi/8 (XX+YY)) has coordinates (pi/8, pi/8, 0).
+    CMatrix x = makeX(0).matrix();
+    CMatrix y = makeY(0).matrix();
+    CMatrix gen = (x.kron(x) + y.kron(y)) * Cmplx(0.5, 0.0);
+    CMatrix u = expiHermitian(gen, -M_PI / 4.0); // exp(+i pi/8 (XX+YY))
+    WeylCoordinates c = weylCoordinates(u);
+    EXPECT_TRUE(c.approxEqual({M_PI / 8, M_PI / 8, 0}, 1e-7));
+}
+
+TEST(MakhlinTest, KnownInvariants)
+{
+    MakhlinInvariants cnot = makhlinInvariants(makeCnot(0, 1).matrix());
+    EXPECT_NEAR(std::abs(cnot.g1), 0.0, 1e-9);
+    EXPECT_NEAR(cnot.g2, 1.0, 1e-9);
+
+    MakhlinInvariants swap = makhlinInvariants(makeSwap(0, 1).matrix());
+    EXPECT_NEAR(std::abs(swap.g1 - Cmplx(-1, 0)), 0.0, 1e-9);
+    EXPECT_NEAR(swap.g2, -3.0, 1e-9);
+
+    MakhlinInvariants ident = makhlinInvariants(CMatrix::identity(4));
+    EXPECT_NEAR(std::abs(ident.g1 - Cmplx(1, 0)), 0.0, 1e-9);
+    EXPECT_NEAR(ident.g2, 3.0, 1e-9);
+}
+
+TEST(MakhlinTest, LocalEquivalenceDetection)
+{
+    EXPECT_TRUE(locallyEquivalent(makeCnot(0, 1).matrix(),
+                                  makeCz(0, 1).matrix()));
+    EXPECT_FALSE(locallyEquivalent(makeCnot(0, 1).matrix(),
+                                   makeIswap(0, 1).matrix()));
+    EXPECT_FALSE(locallyEquivalent(makeSwap(0, 1).matrix(),
+                                   makeIswap(0, 1).matrix()));
+}
+
+TEST(MakhlinTest, InvariantUnderLocalGates)
+{
+    Rng rng(23);
+    CMatrix g = makeIswap(0, 1).matrix();
+    MakhlinInvariants base = makhlinInvariants(g);
+    for (int trial = 0; trial < 5; ++trial) {
+        CMatrix k = testing::randomUnitary(2, rng)
+                        .kron(testing::randomUnitary(2, rng));
+        MakhlinInvariants dressed = makhlinInvariants(k * g);
+        EXPECT_NEAR(std::abs(dressed.g1 - base.g1), 0.0, 1e-8);
+        EXPECT_NEAR(dressed.g2, base.g2, 1e-8);
+    }
+}
+
+TEST(XyTimeTest, PaperAnchors)
+{
+    const double mu2 = 0.02; // GHz, the paper's two-qubit limit.
+    // iSWAP: one straight-line XY evolution.
+    EXPECT_NEAR(xyMinimumTime({kPi4, kPi4, 0}, mu2), 12.5, 1e-9);
+    // CNOT: same bound (convex combination of two XY directions).
+    EXPECT_NEAR(xyMinimumTime({kPi4, 0, 0}, mu2), 12.5, 1e-9);
+    // SWAP: 1.5x iSWAP — matches Schuch-Siewert's 3-segment construction.
+    EXPECT_NEAR(xyMinimumTime({kPi4, kPi4, kPi4}, mu2), 18.75, 1e-9);
+    // Identity costs nothing.
+    EXPECT_NEAR(xyMinimumTime({0, 0, 0}, mu2), 0.0, 1e-12);
+}
+
+TEST(XyTimeTest, MonotoneInCoordinates)
+{
+    const double mu2 = 0.02;
+    double prev = 0.0;
+    for (double c = 0.0; c <= kPi4 + 1e-12; c += kPi4 / 8) {
+        double t = xyMinimumTime({c, c * 0.5, 0.0}, mu2);
+        EXPECT_GE(t, prev - 1e-12);
+        prev = t;
+    }
+}
+
+TEST(XyTimeTest, SmallZzRotationIsCheap)
+{
+    // The folded Rzz(5.67) used in the paper's QAOA example needs far less
+    // interaction time than a CNOT — the basis of aggregation's win.
+    WeylCoordinates c = weylCoordinates(makeRzz(0, 1, 5.67).matrix());
+    double t = xyMinimumTime(c, 0.02);
+    EXPECT_LT(t, 6.0);
+    EXPECT_GT(t, 2.0);
+}
+
+} // namespace
+} // namespace qaic

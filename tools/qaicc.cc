@@ -1,0 +1,170 @@
+/**
+ * @file
+ * qaicc — the QAIC command-line compiler driver.
+ *
+ * Reads a circuit in the textual assembly format, compiles it for a
+ * superconducting grid with the selected strategy, and reports the
+ * physical schedule, latency and estimated output fidelity; optionally
+ * emits the synthesized pulse program as CSV.
+ *
+ * Usage:
+ *   qaicc [options] circuit.qasm
+ *     --strategy S    isa | cls | handopt | cls-handopt | agg | cls-agg
+ *                     (default cls-agg)
+ *     --width N       max aggregated-instruction width (default 10)
+ *     --line          use a 1-D line device instead of a grid
+ *     --pulses FILE   emit the pulse program (GRAPE for narrow
+ *                     instructions) as CSV
+ *     --schedule      print the full instruction schedule
+ *     --verify        verify backend semantics against the routed circuit
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/compiler.h"
+#include "compiler/fidelity.h"
+#include "compiler/pulseplan.h"
+#include "ir/qasm.h"
+#include "verify/verify.h"
+
+using namespace qaic;
+
+namespace {
+
+bool
+parseStrategy(const std::string &name, Strategy *strategy)
+{
+    if (name == "isa") *strategy = Strategy::kIsa;
+    else if (name == "cls") *strategy = Strategy::kCls;
+    else if (name == "handopt") *strategy = Strategy::kHandOpt;
+    else if (name == "cls-handopt") *strategy = Strategy::kClsHandOpt;
+    else if (name == "agg") *strategy = Strategy::kAggregation;
+    else if (name == "cls-agg") *strategy = Strategy::kClsAggregation;
+    else return false;
+    return true;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--strategy isa|cls|handopt|cls-handopt|agg|"
+                 "cls-agg] [--width N]\n"
+                 "          [--line] [--pulses FILE] [--schedule] "
+                 "[--verify] circuit.qasm\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Strategy strategy = Strategy::kClsAggregation;
+    int width = 10;
+    bool line = false, print_schedule = false, verify = false;
+    std::string pulses_path, input_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--strategy" && i + 1 < argc) {
+            if (!parseStrategy(argv[++i], &strategy)) {
+                std::fprintf(stderr, "unknown strategy '%s'\n", argv[i]);
+                return usage(argv[0]);
+            }
+        } else if (arg == "--width" && i + 1 < argc) {
+            width = std::atoi(argv[++i]);
+            if (width < 2)
+                return usage(argv[0]);
+        } else if (arg == "--line") {
+            line = true;
+        } else if (arg == "--pulses" && i + 1 < argc) {
+            pulses_path = argv[++i];
+        } else if (arg == "--schedule") {
+            print_schedule = true;
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0]);
+        } else if (input_path.empty()) {
+            input_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (input_path.empty())
+        return usage(argv[0]);
+
+    std::ifstream in(input_path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto circuit = parseQasm(buffer.str(), &error);
+    if (!circuit) {
+        std::fprintf(stderr, "%s: %s\n", input_path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+
+    DeviceModel device = line ? DeviceModel::line(circuit->numQubits())
+                              : DeviceModel::gridFor(circuit->numQubits());
+    CompilerOptions options;
+    options.maxInstructionWidth = width;
+    Compiler compiler(device, options);
+    CompilationResult result = compiler.compile(*circuit, strategy);
+
+    std::printf("input      : %s (%zu gates, %d qubits)\n",
+                input_path.c_str(), circuit->size(),
+                circuit->numQubits());
+    std::printf("device     : %s, %d qubits\n", line ? "line" : "grid",
+                device.numQubits());
+    std::printf("strategy   : %s (width <= %d)\n",
+                strategyName(strategy).c_str(), width);
+    std::printf("latency    : %.1f ns\n", result.latencyNs);
+    std::printf("instructions: %d (%d aggregated, widest %d), %d SWAPs\n",
+                result.instructionCount, result.aggregateCount,
+                result.maxWidth, result.swapCount);
+
+    FidelityEstimate fidelity =
+        estimateFidelity(result.schedule, device.numQubits());
+    std::printf("est. output fidelity: %.4f (decoherence %.4f, control "
+                "%.4f)\n",
+                fidelity.total, fidelity.decoherence, fidelity.control);
+
+    if (print_schedule) {
+        std::printf("\nschedule:\n");
+        for (const ScheduledOp &op : result.schedule.ops)
+            std::printf("  t=%8.1f  %-40s %.1f ns\n", op.start,
+                        op.gate.toString().c_str(), op.duration);
+    }
+
+    if (verify) {
+        bool ok = circuitsEquivalent(result.routing.physical,
+                                     result.physicalCircuit, 1e-6, 6);
+        std::printf("backend semantics: %s\n", ok ? "OK" : "FAIL");
+        if (!ok)
+            return 1;
+    }
+
+    if (!pulses_path.empty()) {
+        PulsePlanOptions plan_options;
+        plan_options.grape.maxIterations = 500;
+        plan_options.grape.restarts = 2;
+        PulsePlan plan =
+            emitPulsePlan(result.schedule, device, plan_options);
+        std::ofstream out(pulses_path);
+        out << plan.timeline.toCsv(device);
+        std::printf("pulse program: %s (%.1f ns, %d synthesized, worst "
+                    "fidelity %.4f)\n",
+                    pulses_path.c_str(), plan.duration(),
+                    plan.synthesizedCount, plan.worstFidelity);
+    }
+    return 0;
+}
