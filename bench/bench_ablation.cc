@@ -15,6 +15,7 @@
 
 #include "aggregate/aggregate.h"
 #include "bench_common.h"
+#include "compiler/pipeline.h"
 #include "mapping/mapping.h"
 #include "util/table.h"
 #include "workloads/suite.h"
@@ -60,14 +61,18 @@ ablationMobility()
                 "CLS+Aggregation latency) ---\n");
     BenchmarkSpec spec = benchmarkByName("sqrt-n3");
     DeviceModel device = DeviceModel::gridFor(spec.circuit.numQubits());
+    // The mobility window changes which aggregates form, not how they
+    // are priced, so the whole sweep shares one latency cache.
+    auto oracle =
+        makeCachingOracle(resolveCompilerOptions(device, {}));
+    Pipeline pipeline = Pipeline::forStrategy(Strategy::kClsAggregation);
     Table table({"window", "latency (ns)", "instructions"});
     for (std::size_t window : {std::size_t(1), std::size_t(8),
                                std::size_t(50), std::size_t(200)}) {
         CompilerOptions options;
         options.aggregation.mobilityWindow = window;
-        Compiler compiler(device, options);
-        CompilationResult r =
-            compiler.compile(spec.circuit, Strategy::kClsAggregation);
+        CompilationContext context(device, options, oracle);
+        CompilationResult r = pipeline.compile(spec.circuit, context);
         table.addRow({std::to_string(window), Table::fmt(r.latencyNs, 0),
                       std::to_string(r.instructionCount)});
         std::fflush(stdout);

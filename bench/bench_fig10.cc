@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "compiler/pipeline.h"
 #include "oracle/oracle.h"
 #include "util/table.h"
 #include "workloads/suite.h"
@@ -43,21 +44,27 @@ main()
             DeviceModel device =
                 DeviceModel::gridFor(spec.circuit.numQubits());
 
+            // One latency cache across the ISA baseline and the whole
+            // width sweep: the width cap changes which aggregates form,
+            // not how an instruction is priced.
             CompilerOptions base;
-            Compiler isa_compiler(device, base);
-            double isa =
-                isa_compiler.compile(spec.circuit, Strategy::kIsa)
-                    .latencyNs;
+            auto oracle = makeCachingOracle(
+                resolveCompilerOptions(device, base));
+            CompilationContext isa_context(device, base, oracle);
+            double isa = Pipeline::forStrategy(Strategy::kIsa)
+                             .compile(spec.circuit, isa_context)
+                             .latencyNs;
 
+            Pipeline agg_pipeline =
+                Pipeline::forStrategy(Strategy::kClsAggregation);
             Table table({"width", "normalized latency", "best instr opt",
                          "worst instr opt"});
             for (int width : widths) {
                 CompilerOptions options;
                 options.maxInstructionWidth = width;
-                Compiler compiler(device, options);
+                CompilationContext context(device, options, oracle);
                 CompilationResult r =
-                    compiler.compile(spec.circuit,
-                                     Strategy::kClsAggregation);
+                    agg_pipeline.compile(spec.circuit, context);
 
                 // Optimization band over critical-path instructions.
                 double best_ratio = 1.0, worst_ratio = 0.0;

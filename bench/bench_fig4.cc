@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "bench_common.h"
+#include "compiler/pipeline.h"
 #include "control/grape.h"
 #include "oracle/oracle.h"
 #include "util/table.h"
@@ -58,10 +59,13 @@ main()
                 "compilation ===\n\n");
 
     Circuit circuit = qaoaTriangleExample();
-    Compiler compiler(DeviceModel::line(3));
-    CompilationResult isa = compiler.compile(circuit, Strategy::kIsa);
+    DeviceModel device = DeviceModel::line(3);
+    CompilationContext context(device, {});
+    CompilationResult isa =
+        Pipeline::forStrategy(Strategy::kIsa).compile(circuit, context);
     CompilationResult agg =
-        compiler.compile(circuit, Strategy::kClsAggregation);
+        Pipeline::forStrategy(Strategy::kClsAggregation)
+            .compile(circuit, context);
 
     Table table({"scheme", "latency (ns)", "instructions"});
     table.addRow({"gate-based (ISA)", Table::fmt(isa.latencyNs, 1),

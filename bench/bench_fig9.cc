@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "compiler/batch.h"
 #include "util/table.h"
 #include "workloads/suite.h"
 
@@ -38,28 +39,40 @@ main()
         Strategy::kCls, Strategy::kClsHandOpt, Strategy::kAggregation,
         Strategy::kClsAggregation};
 
+    // The whole suite is one batch: every (benchmark, strategy) pair is
+    // an independent compilation, fanned out over a thread pool with a
+    // single shared latency cache (compiler/batch.h).
+    std::vector<BatchJob> jobs;
+    for (const BenchmarkSpec &s : suite) {
+        DeviceModel device = DeviceModel::gridFor(s.circuit.numQubits());
+        jobs.push_back({s.circuit, device, Strategy::kIsa});
+        for (Strategy strat : strategies)
+            jobs.push_back({s.circuit, device, strat});
+    }
+    std::vector<CompilationResult> results = compileBatch(jobs);
+
     Table fig({"benchmark", "ISA (ns)", "CLS", "CLS+HandOpt",
                "Aggregation", "CLS+Aggregation", "speedup"});
     std::vector<double> agg_speedups, hand_speedups;
-    for (const BenchmarkSpec &s : suite) {
-        Compiler compiler(DeviceModel::gridFor(s.circuit.numQubits()));
-        double isa = compiler.compile(s.circuit, Strategy::kIsa).latencyNs;
+    const std::size_t per_bench = 1 + std::size(strategies);
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        const BenchmarkSpec &s = suite[b];
+        double isa = results[b * per_bench].latencyNs;
         std::vector<std::string> row = {s.name, Table::fmt(isa, 0)};
         double best = 1.0;
-        for (Strategy strat : strategies) {
-            double latency = compiler.compile(s.circuit, strat).latencyNs;
+        for (std::size_t j = 0; j < std::size(strategies); ++j) {
+            double latency = results[b * per_bench + 1 + j].latencyNs;
             double normalized = latency / isa;
             row.push_back(Table::fmt(normalized, 3));
-            if (strat == Strategy::kClsAggregation) {
+            if (strategies[j] == Strategy::kClsAggregation) {
                 agg_speedups.push_back(isa / latency);
                 best = isa / latency;
             }
-            if (strat == Strategy::kClsHandOpt)
+            if (strategies[j] == Strategy::kClsHandOpt)
                 hand_speedups.push_back(isa / latency);
         }
         row.push_back(Table::fmt(best, 2) + "x");
         fig.addRow(row);
-        std::fflush(stdout);
     }
     std::printf("%s\n", fig.render().c_str());
 

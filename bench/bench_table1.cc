@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "compiler/pipeline.h"
 #include "control/grape.h"
 #include "oracle/oracle.h"
 #include "util/table.h"
@@ -76,9 +77,11 @@ main()
 
     // Lower half: the aggregated instructions our compiler produces for
     // the triangle circuit on a 3-qubit line.
-    Compiler compiler(DeviceModel::line(3));
+    DeviceModel line3 = DeviceModel::line(3);
+    CompilationContext context(line3, {});
     CompilationResult agg =
-        compiler.compile(qaoaTriangleExample(), Strategy::kClsAggregation);
+        Pipeline::forStrategy(Strategy::kClsAggregation)
+            .compile(qaoaTriangleExample(), context);
 
     Table lower(
         {"instruction", "width", "model (ns)", "GRAPE (ns)", "members"});

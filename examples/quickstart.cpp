@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "compiler/compiler.h"
+#include "compiler/pipeline.h"
 #include "ir/qasm.h"
 #include "util/table.h"
 #include "verify/verify.h"
@@ -62,6 +63,14 @@ rx(1.26) q3
             best = std::move(r);
     }
     std::printf("%s\n", table.render().c_str());
+
+    // Every result carries per-pass wall-clock metrics from the pass
+    // pipeline underneath (see examples/custom_pipeline.cpp for using
+    // the Pipeline API directly).
+    std::printf("CLS+Aggregation passes:\n");
+    for (const PassMetrics &m : best.passMetrics)
+        std::printf("  %-22s %8.2f ms\n", m.pass.c_str(), m.wallMs);
+    std::printf("\n");
 
     std::printf("Final instruction stream (CLS+Aggregation):\n");
     for (const ScheduledOp &op : best.schedule.ops)

@@ -1,0 +1,138 @@
+#include "compiler/batch.h"
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "compiler/pipeline.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Non-owning view of one unit of work; both public overloads reduce
+ *  to a span of these so neither copies circuits or devices. */
+struct JobView
+{
+    const Circuit *circuit;
+    const DeviceModel *device;
+    Strategy strategy;
+};
+
+/**
+ * Claims job indices from a shared counter and compiles each over the
+ * shared oracle. The CommutationChecker is worker-private and reused
+ * across the worker's jobs (its cache is keyed by gate pairs, so it is
+ * sound across circuits and devices); pipelines are immutable, so each
+ * worker builds one per distinct strategy on demand.
+ */
+void
+runJobs(std::span<const JobView> jobs, const CompilerOptions &options,
+        const std::shared_ptr<CachingOracle> &oracle,
+        std::atomic<std::size_t> &next,
+        std::vector<CompilationResult> &results)
+{
+    CommutationChecker checker;
+    std::map<Strategy, Pipeline> pipelines;
+    for (std::size_t i = next.fetch_add(1); i < jobs.size();
+         i = next.fetch_add(1)) {
+        const JobView &job = jobs[i];
+        auto it = pipelines.find(job.strategy);
+        if (it == pipelines.end())
+            it = pipelines
+                     .emplace(job.strategy,
+                              Pipeline::forStrategy(job.strategy))
+                     .first;
+        CompilationContext context(*job.device, options, oracle,
+                                   &checker);
+        results[i] = it->second.compile(*job.circuit, context);
+    }
+}
+
+int
+resolveThreadCount(int threads, std::size_t jobs)
+{
+    if (threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(threads) > jobs)
+        threads = static_cast<int>(jobs);
+    return threads < 1 ? 1 : threads;
+}
+
+std::vector<CompilationResult>
+runBatch(std::span<const JobView> jobs, const CompilerOptions &options,
+         int threads, std::shared_ptr<CachingOracle> oracle)
+{
+    std::vector<CompilationResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    // One shared cache is only sound when every job prices against the
+    // same control limits (resolveCompilerOptions derives the model
+    // from the device).
+    for (const JobView &job : jobs) {
+        QAIC_CHECK(job.device->mu1() == jobs.front().device->mu1() &&
+                   job.device->mu2() == jobs.front().device->mu2())
+            << "compileBatch jobs must share device control limits";
+    }
+    if (!oracle) {
+        oracle = makeCachingOracle(
+            resolveCompilerOptions(*jobs.front().device, options));
+    } else if (const AnalyticModelParams *model = oracle->modelParams()) {
+        // A caller-supplied oracle (e.g. Compiler::oracleHandle())
+        // carries latencies computed under its own control limits;
+        // reusing them for devices with different limits would
+        // silently mis-price the batch.
+        QAIC_CHECK(model->mu1 == jobs.front().device->mu1() &&
+                   model->mu2 == jobs.front().device->mu2())
+            << "supplied oracle's control limits (" << model->mu1 << ", "
+            << model->mu2 << ") do not match the batch devices";
+    }
+
+    int workers = resolveThreadCount(threads, jobs.size());
+    std::atomic<std::size_t> next{0};
+    if (workers == 1) {
+        runJobs(jobs, options, oracle, next, results);
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back([&] {
+            runJobs(jobs, options, oracle, next, results);
+        });
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace
+
+std::vector<CompilationResult>
+compileBatch(std::span<const BatchJob> jobs,
+             const CompilerOptions &options, int threads,
+             std::shared_ptr<CachingOracle> oracle)
+{
+    std::vector<JobView> views;
+    views.reserve(jobs.size());
+    for (const BatchJob &job : jobs)
+        views.push_back({&job.circuit, &job.device, job.strategy});
+    return runBatch(views, options, threads, std::move(oracle));
+}
+
+std::vector<CompilationResult>
+compileBatch(const DeviceModel &device, std::span<const Circuit> circuits,
+             Strategy strategy, const CompilerOptions &options,
+             int threads, std::shared_ptr<CachingOracle> oracle)
+{
+    std::vector<JobView> views;
+    views.reserve(circuits.size());
+    for (const Circuit &circuit : circuits)
+        views.push_back({&circuit, &device, strategy});
+    return runBatch(views, options, threads, std::move(oracle));
+}
+
+} // namespace qaic

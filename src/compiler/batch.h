@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Batch compilation front door.
+ *
+ * Compiling a workload suite is embarrassingly parallel across circuits,
+ * and the paper's own amortization story — repeated instructions priced
+ * once by the caching latency oracle — gets stronger when the whole
+ * batch shares one cache. compileBatch runs independent pipeline
+ * compilations on a thread pool with exactly that sharing: one
+ * internally-synchronized CachingOracle across all workers, one private
+ * CommutationChecker per worker (its cache is not synchronized).
+ *
+ * Results are deterministic: each compilation is independent and the
+ * oracle returns identical values whether a key was cached or not, so a
+ * batch run matches the sequential Compiler::compile output exactly,
+ * regardless of thread count or scheduling.
+ */
+#ifndef QAIC_COMPILER_BATCH_H
+#define QAIC_COMPILER_BATCH_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compiler/compiler.h"
+
+namespace qaic {
+
+/**
+ * One unit of work for the heterogeneous compileBatch overload.
+ *
+ * Owns its circuit and device deliberately: the batch front door hands
+ * jobs to worker threads, and non-owning views would make caller
+ * lifetime bugs easy. The one-time setup copy is negligible against
+ * compilation time; the homogeneous overload below avoids even that.
+ */
+struct BatchJob
+{
+    /** Input circuit. */
+    Circuit circuit;
+    /** Target device; control limits must match across the batch. */
+    DeviceModel device;
+    /** Strategy to compile under. */
+    Strategy strategy = Strategy::kClsAggregation;
+};
+
+/**
+ * Compiles every circuit in @p circuits against @p device under
+ * @p strategy, fanning out over @p threads worker threads and sharing
+ * one latency cache.
+ *
+ * @param device Common target device.
+ * @param circuits Input circuits; results are returned in input order.
+ * @param strategy Strategy for every circuit.
+ * @param options User options, resolved once against @p device.
+ * @param threads Worker count; <= 0 picks the hardware concurrency.
+ *        The pool never exceeds the job count.
+ * @param oracle Latency oracle to share (e.g. Compiler::oracleHandle()
+ *        to keep amortizing an existing cache); created fresh when null.
+ */
+std::vector<CompilationResult>
+compileBatch(const DeviceModel &device, std::span<const Circuit> circuits,
+             Strategy strategy, const CompilerOptions &options = {},
+             int threads = 0,
+             std::shared_ptr<CachingOracle> oracle = nullptr);
+
+/**
+ * Heterogeneous batch: per-job circuit, device and strategy. All
+ * devices must share control limits (mu1/mu2) — the shared oracle
+ * prices instructions from those limits, so mixing them in one batch
+ * would mis-price; this is checked. Results keep input order.
+ */
+std::vector<CompilationResult>
+compileBatch(std::span<const BatchJob> jobs,
+             const CompilerOptions &options = {}, int threads = 0,
+             std::shared_ptr<CachingOracle> oracle = nullptr);
+
+} // namespace qaic
+
+#endif // QAIC_COMPILER_BATCH_H

@@ -1,9 +1,6 @@
 #include "compiler/compiler.h"
 
-#include <algorithm>
-
-#include "compiler/decompose.h"
-#include "compiler/handopt.h"
+#include "compiler/pipeline.h"
 #include "util/logging.h"
 
 namespace qaic {
@@ -22,155 +19,62 @@ strategyName(Strategy strategy)
     QAIC_PANIC() << "unhandled strategy";
 }
 
-namespace {
-
-/** Adapter pricing logical gates by their gate-based lowering cost. */
-class IsaCostOracle : public LatencyOracle
+bool
+strategyFromName(const std::string &name, Strategy *strategy)
 {
-  public:
-    IsaCostOracle(int num_qubits, LatencyOracle *physical)
-        : numQubits_(num_qubits), physical_(physical)
-    {
+    QAIC_CHECK(strategy != nullptr);
+    for (Strategy s : kAllStrategies) {
+        if (name == strategyName(s)) {
+            *strategy = s;
+            return true;
+        }
     }
+    // CLI short forms.
+    if (name == "isa") *strategy = Strategy::kIsa;
+    else if (name == "cls") *strategy = Strategy::kCls;
+    else if (name == "handopt") *strategy = Strategy::kHandOpt;
+    else if (name == "cls-handopt") *strategy = Strategy::kClsHandOpt;
+    else if (name == "agg") *strategy = Strategy::kAggregation;
+    else if (name == "cls-agg") *strategy = Strategy::kClsAggregation;
+    else return false;
+    return true;
+}
 
-    double
-    latencyNs(const Gate &gate) override
-    {
-        Circuit single(numQubits_);
-        single.add(gate);
-        Circuit phys = decomposeToPhysical(single);
-        return scheduleAsap(phys, *physical_).makespan();
-    }
-
-    std::string name() const override { return "isa-cost"; }
-
-  private:
-    int numQubits_;
-    LatencyOracle *physical_;
-};
-
-} // namespace
+// Defined here, where PassMetrics (pipeline.h) is complete, because
+// CompilationResult holds a std::vector of it.
+CompilationResult::CompilationResult() : physicalCircuit(1) {}
+CompilationResult::CompilationResult(const CompilationResult &) = default;
+CompilationResult::CompilationResult(CompilationResult &&) noexcept =
+    default;
+CompilationResult &
+CompilationResult::operator=(const CompilationResult &) = default;
+CompilationResult &
+CompilationResult::operator=(CompilationResult &&) noexcept = default;
+CompilationResult::~CompilationResult() = default;
 
 Compiler::Compiler(DeviceModel device, CompilerOptions options)
-    : device_(std::move(device)), options_(options)
+    : device_(std::move(device)),
+      options_(resolveCompilerOptions(device_, options)),
+      oracle_(makeCachingOracle(options_))
 {
-    // Keep the latency model consistent with the device's control limits
-    // and the aggregation pass consistent with the width cap.
-    options_.model.mu1 = device_.mu1();
-    options_.model.mu2 = device_.mu2();
-    options_.aggregation.maxWidth = options_.maxInstructionWidth;
-
-    std::shared_ptr<LatencyOracle> inner;
-    if (options_.useGrapeOracle)
-        inner = std::make_shared<GrapeLatencyOracle>(options_.grapeOptions,
-                                                     options_.model);
-    else
-        inner = std::make_shared<AnalyticOracle>(options_.model);
-    oracle_ = std::make_shared<CachingOracle>(std::move(inner));
 }
 
-double
-Compiler::isaGateLatency(const Gate &gate)
-{
-    int top = 0;
-    for (int q : gate.qubits)
-        top = std::max(top, q);
-    Circuit single(top + 1);
-    single.add(gate);
-    Circuit phys = decomposeToPhysical(single);
-    return scheduleAsap(phys, *oracle_).makespan();
-}
+// Out of line because Pipeline is incomplete in the header.
+Compiler::~Compiler() = default;
+Compiler::Compiler(Compiler &&) noexcept = default;
+Compiler &Compiler::operator=(Compiler &&) noexcept = default;
 
 CompilationResult
 Compiler::compile(const Circuit &logical, Strategy strategy)
 {
-    CompilationResult result;
-    result.strategy = strategy;
-
-    // Frontend: flattened assembly with only 1- and 2-qubit gates.
-    Circuit frontend = decomposeCcx(logical);
-
-    const bool with_cls = strategy == Strategy::kCls ||
-                          strategy == Strategy::kClsHandOpt ||
-                          strategy == Strategy::kClsAggregation;
-    if (with_cls) {
-        // Commutativity detection (Section 3.3.1) then CLS (3.3.2) with a
-        // gate-based logical cost model; the scheduled order is preserved
-        // through the backend by the order-respecting ASAP schedulers.
-        frontend =
-            detectDiagonalBlocks(frontend, 10, &result.diagonalBlocks);
-        IsaCostOracle logical_cost(frontend.numQubits(), oracle_.get());
-        Schedule ls = scheduleCls(frontend, &checker_, logical_cost);
-        frontend = ls.toCircuit(frontend.numQubits());
-    }
-
-    // Mapping + topological constraint resolution (Section 3.4.1).
-    // Routing is cheap relative to everything else, so route a few
-    // candidate placements (two bisection seeds plus the trivial
-    // row-major identity, which is near-optimal for chain-structured
-    // interaction graphs) and keep the one needing fewest SWAPs.
-    bool have = false;
-    for (int variant = 0; variant < 3; ++variant) {
-        std::vector<int> placement;
-        if (variant < 2) {
-            placement = initialPlacement(frontend, device_,
-                                         options_.seed + variant);
-        } else {
-            placement.resize(frontend.numQubits());
-            for (std::size_t q = 0; q < placement.size(); ++q)
-                placement[q] = static_cast<int>(q);
-        }
-        RoutingResult routed =
-            routeOnDevice(frontend, device_, placement);
-        if (!have || routed.swapCount < result.routing.swapCount) {
-            result.routing = std::move(routed);
-            have = true;
-        }
-    }
-    result.swapCount = result.routing.swapCount;
-
-    // Backend (Section 3.4.2 / Figure 5 right column).
-    switch (strategy) {
-      case Strategy::kIsa:
-      case Strategy::kCls: {
-        result.physicalCircuit =
-            decomposeToPhysical(result.routing.physical);
-        result.schedule = scheduleAsap(result.physicalCircuit, *oracle_);
-        break;
-      }
-      case Strategy::kHandOpt:
-      case Strategy::kClsHandOpt: {
-        Circuit ho = handOptimize(result.routing.physical);
-        result.physicalCircuit =
-            decomposeToPhysical(ho, /*lower_aggregates=*/false);
-        result.schedule = scheduleAsap(result.physicalCircuit, *oracle_);
-        break;
-      }
-      case Strategy::kAggregation:
-      case Strategy::kClsAggregation: {
-        AggregationResult agg = aggregateInstructions(
-            result.routing.physical, &checker_, *oracle_,
-            options_.aggregation);
-        result.physicalCircuit = std::move(agg.circuit);
-        if (strategy == Strategy::kClsAggregation)
-            result.schedule =
-                scheduleCls(result.physicalCircuit, &checker_, *oracle_);
-        else
-            result.schedule =
-                scheduleAsap(result.physicalCircuit, *oracle_);
-        break;
-      }
-    }
-
-    result.latencyNs = result.schedule.makespan();
-    result.instructionCount =
-        static_cast<int>(result.physicalCircuit.size());
-    for (const Gate &g : result.physicalCircuit.gates()) {
-        result.maxWidth = std::max(result.maxWidth, g.width());
-        if (g.kind == GateKind::kAggregate)
-            ++result.aggregateCount;
-    }
-    return result;
+    auto it = pipelines_.find(strategy);
+    if (it == pipelines_.end())
+        it = pipelines_
+                 .emplace(strategy, std::make_unique<Pipeline>(
+                                        Pipeline::forStrategy(strategy)))
+                 .first;
+    CompilationContext context(device_, options_, oracle_, &checker_);
+    return it->second->compile(logical, context);
 }
 
 } // namespace qaic

@@ -1,10 +1,12 @@
 /**
  * @file
- * End-to-end compilation pipelines (paper Figure 5).
+ * Strategy selectors, options, results, and the Compiler facade.
  *
- * All strategies share the frontend (flattened logical assembly, Toffoli
- * lowering) and the mapping stage (recursive-bisection placement + SWAP
- * routing). They differ in what the paper's two blue boxes do:
+ * Compilation itself is organized as an explicit pass pipeline (see
+ * compiler/pipeline.h and docs/ARCHITECTURE.md): a Pipeline is an
+ * ordered list of Pass objects transforming a CompilationContext, and
+ * Pipeline::forStrategy(Strategy) yields the canonical pass list for
+ * each of the paper's six configurations (Figure 5):
  *
  *  - kIsa            : program-order scheduling, per-physical-gate pulses
  *                      (the left column of Figure 5; the 1.0 baseline).
@@ -17,12 +19,19 @@
  *  - kAggregation    : backend instruction aggregation with optimal
  *                      control pulses, without CLS.
  *  - kClsAggregation : the paper's full proposal.
+ *
+ * The Compiler class below is a thin facade over that API, kept for
+ * source compatibility and for the common case of compiling several
+ * circuits against one device with a shared latency cache. Batch
+ * compilation across a thread pool lives in compiler/batch.h.
  */
 #ifndef QAIC_COMPILER_COMPILER_H
 #define QAIC_COMPILER_COMPILER_H
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "aggregate/aggregate.h"
 #include "device/device.h"
@@ -33,6 +42,10 @@
 #include "schedule/schedule.h"
 
 namespace qaic {
+
+class CompilationContext;
+class Pipeline;
+struct PassMetrics;
 
 /** Compilation strategy selector. */
 enum class Strategy
@@ -45,10 +58,30 @@ enum class Strategy
     kClsAggregation,
 };
 
+/** All strategies, in presentation order. */
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kIsa,         Strategy::kCls,
+    Strategy::kHandOpt,     Strategy::kClsHandOpt,
+    Strategy::kAggregation, Strategy::kClsAggregation,
+};
+
 /** Human-readable strategy name. */
 std::string strategyName(Strategy strategy);
 
-/** Compiler configuration. */
+/**
+ * Inverse of strategyName, also accepting the CLI short forms
+ * (isa | cls | handopt | cls-handopt | agg | cls-agg).
+ * @return true and sets @p strategy on success.
+ */
+bool strategyFromName(const std::string &name, Strategy *strategy);
+
+/**
+ * Compiler configuration, as supplied by the user. Before use it is
+ * reconciled with the target device by resolveCompilerOptions()
+ * (pipeline.h), which overrides model.mu1/mu2 from the device and
+ * aggregation.maxWidth from maxInstructionWidth; accessors such as
+ * Compiler::options() return the resolved form.
+ */
 struct CompilerOptions
 {
     /** Maximum aggregated-instruction width (optimal-control limit). */
@@ -90,16 +123,31 @@ struct CompilationResult
     int maxWidth = 0;
     /** Diagonal blocks contracted by commutativity detection. */
     int diagonalBlocks = 0;
+    /** Per-pass wall-clock metrics, in execution order. */
+    std::vector<PassMetrics> passMetrics;
 
-    CompilationResult() : physicalCircuit(1) {}
+    CompilationResult();
+    CompilationResult(const CompilationResult &);
+    CompilationResult(CompilationResult &&) noexcept;
+    CompilationResult &operator=(const CompilationResult &);
+    CompilationResult &operator=(CompilationResult &&) noexcept;
+    ~CompilationResult();
 };
 
-/** End-to-end compiler bound to a device. */
+/**
+ * End-to-end compiler bound to a device — a facade over
+ * Pipeline::forStrategy that persists the latency oracle and
+ * commutation checker across compiles so repeated instructions are
+ * priced once.
+ */
 class Compiler
 {
   public:
     /** Creates a compiler for @p device with @p options. */
     explicit Compiler(DeviceModel device, CompilerOptions options = {});
+    ~Compiler();
+    Compiler(Compiler &&) noexcept;
+    Compiler &operator=(Compiler &&) noexcept;
 
     /** Compiles @p logical under @p strategy. */
     CompilationResult compile(const Circuit &logical, Strategy strategy);
@@ -107,19 +155,22 @@ class Compiler
     /** The (caching) oracle used for instruction latencies. */
     LatencyOracle &oracle() { return *oracle_; }
 
+    /** The shared oracle handle (e.g. to pass to compileBatch). */
+    std::shared_ptr<CachingOracle> oracleHandle() const { return oracle_; }
+
     /** The device this compiler targets. */
     const DeviceModel &device() const { return device_; }
 
+    /** Options resolved against the device (see CompilerOptions docs). */
     const CompilerOptions &options() const { return options_; }
 
   private:
-    /** Latency of one logical gate under gate-based (ISA) lowering. */
-    double isaGateLatency(const Gate &gate);
-
     DeviceModel device_;
     CompilerOptions options_;
     CommutationChecker checker_;
     std::shared_ptr<CachingOracle> oracle_;
+    /** forStrategy pipelines, built once per strategy used. */
+    std::map<Strategy, std::unique_ptr<Pipeline>> pipelines_;
 };
 
 } // namespace qaic

@@ -1,0 +1,299 @@
+#include "compiler/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "compiler/decompose.h"
+#include "compiler/handopt.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+CompilerOptions
+resolveCompilerOptions(const DeviceModel &device,
+                       const CompilerOptions &options)
+{
+    CompilerOptions resolved = options;
+    // Keep the latency model consistent with the device's control limits
+    // and the aggregation pass consistent with the width cap.
+    resolved.model.mu1 = device.mu1();
+    resolved.model.mu2 = device.mu2();
+    resolved.aggregation.maxWidth = resolved.maxInstructionWidth;
+    return resolved;
+}
+
+std::shared_ptr<CachingOracle>
+makeCachingOracle(const CompilerOptions &resolved)
+{
+    std::shared_ptr<LatencyOracle> inner;
+    if (resolved.useGrapeOracle)
+        inner = std::make_shared<GrapeLatencyOracle>(resolved.grapeOptions,
+                                                     resolved.model);
+    else
+        inner = std::make_shared<AnalyticOracle>(resolved.model);
+    return std::make_shared<CachingOracle>(std::move(inner));
+}
+
+CompilationContext::CompilationContext(const DeviceModel &device,
+                                       CompilerOptions options,
+                                       std::shared_ptr<CachingOracle> oracle,
+                                       CommutationChecker *checker)
+    : device_(device), options_(resolveCompilerOptions(device, options)),
+      oracle_(std::move(oracle))
+{
+    if (!oracle_)
+        oracle_ = makeCachingOracle(options_);
+    if (checker) {
+        checker_ = checker;
+    } else {
+        ownedChecker_ = std::make_unique<CommutationChecker>();
+        checker_ = ownedChecker_.get();
+    }
+}
+
+void
+CompilationContext::reset(const Circuit &input, Strategy s)
+{
+    strategy = s;
+    working = input;
+    routing = RoutingResult();
+    physical = Circuit(1);
+    schedule = Schedule();
+    diagonalBlocks = 0;
+    mapped = false;
+    backendDone = false;
+    passMetrics.clear();
+}
+
+CompilationResult
+CompilationContext::takeResult()
+{
+    // Instructions but no schedule means the pipeline had no schedule
+    // pass — latencyNs would silently read 0.
+    QAIC_CHECK(physical.size() == 0 || !schedule.ops.empty())
+        << "pipeline produced instructions but no schedule; add a "
+           "schedule pass";
+    CompilationResult result;
+    result.strategy = strategy;
+    result.latencyNs = schedule.makespan();
+    result.swapCount = routing.swapCount;
+    result.instructionCount = static_cast<int>(physical.size());
+    result.diagonalBlocks = diagonalBlocks;
+    for (const Gate &g : physical.gates()) {
+        result.maxWidth = std::max(result.maxWidth, g.width());
+        if (g.kind == GateKind::kAggregate)
+            ++result.aggregateCount;
+    }
+    result.physicalCircuit = std::move(physical);
+    result.schedule = std::move(schedule);
+    result.routing = std::move(routing);
+    result.passMetrics = std::move(passMetrics);
+    return result;
+}
+
+Pipeline &
+Pipeline::add(std::unique_ptr<Pass> pass)
+{
+    QAIC_CHECK(pass != nullptr);
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+Pipeline &
+Pipeline::label(Strategy strategy)
+{
+    label_ = strategy;
+    return *this;
+}
+
+CompilationResult
+Pipeline::compile(const Circuit &logical,
+                  CompilationContext &context) const
+{
+    context.reset(logical, label_);
+    for (const std::unique_ptr<Pass> &pass : passes_) {
+        auto t0 = std::chrono::steady_clock::now();
+        pass->run(context);
+        auto t1 = std::chrono::steady_clock::now();
+        PassMetrics m;
+        m.pass = pass->name();
+        m.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        m.instructionsAfter = static_cast<int>(
+            context.backendDone ? context.physical.size()
+                                : context.working.size());
+        context.passMetrics.push_back(std::move(m));
+    }
+    return context.takeResult();
+}
+
+Pipeline
+Pipeline::forStrategy(Strategy strategy)
+{
+    Pipeline p;
+    p.label(strategy);
+    p.emplace<FrontendLoweringPass>();
+    const bool with_cls = strategy == Strategy::kCls ||
+                          strategy == Strategy::kClsHandOpt ||
+                          strategy == Strategy::kClsAggregation;
+    if (with_cls)
+        p.emplace<ClsFrontendPass>();
+    p.emplace<MappingPass>();
+    switch (strategy) {
+      case Strategy::kIsa:
+      case Strategy::kCls:
+        p.emplace<GateBackendPass>(/*hand_optimize=*/false);
+        p.emplace<AsapSchedulePass>();
+        break;
+      case Strategy::kHandOpt:
+      case Strategy::kClsHandOpt:
+        p.emplace<GateBackendPass>(/*hand_optimize=*/true);
+        p.emplace<AsapSchedulePass>();
+        break;
+      case Strategy::kAggregation:
+        p.emplace<AggregationBackendPass>();
+        p.emplace<AsapSchedulePass>();
+        break;
+      case Strategy::kClsAggregation:
+        p.emplace<AggregationBackendPass>();
+        p.emplace<ClsSchedulePass>();
+        break;
+    }
+    return p;
+}
+
+std::vector<std::string>
+Pipeline::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const std::unique_ptr<Pass> &pass : passes_)
+        names.push_back(pass->name());
+    return names;
+}
+
+// --- Passes ----------------------------------------------------------
+
+namespace {
+
+/** Adapter pricing logical gates by their gate-based lowering cost. */
+class IsaCostOracle : public LatencyOracle
+{
+  public:
+    IsaCostOracle(int num_qubits, LatencyOracle *physical)
+        : numQubits_(num_qubits), physical_(physical)
+    {
+    }
+
+    double
+    latencyNs(const Gate &gate) override
+    {
+        Circuit single(numQubits_);
+        single.add(gate);
+        Circuit phys = decomposeToPhysical(single);
+        return scheduleAsap(phys, *physical_).makespan();
+    }
+
+    std::string name() const override { return "isa-cost"; }
+
+  private:
+    int numQubits_;
+    LatencyOracle *physical_;
+};
+
+} // namespace
+
+void
+FrontendLoweringPass::run(CompilationContext &context)
+{
+    context.working = decomposeCcx(context.working);
+}
+
+void
+ClsFrontendPass::run(CompilationContext &context)
+{
+    context.working = detectDiagonalBlocks(
+        context.working, maxBlockWidth_, &context.diagonalBlocks);
+    IsaCostOracle logical_cost(context.working.numQubits(),
+                               &context.oracle());
+    Schedule ls =
+        scheduleCls(context.working, &context.checker(), logical_cost);
+    context.working = ls.toCircuit(context.working.numQubits());
+}
+
+void
+MappingPass::run(CompilationContext &context)
+{
+    // Routing is cheap relative to everything else, so route a few
+    // candidate placements (two bisection seeds plus the trivial
+    // row-major identity, which is near-optimal for chain-structured
+    // interaction graphs) and keep the one needing fewest SWAPs.
+    bool have = false;
+    for (int variant = 0; variant < 3; ++variant) {
+        std::vector<int> placement;
+        if (variant < 2) {
+            placement = initialPlacement(context.working, context.device(),
+                                         context.options().seed + variant);
+        } else {
+            placement.resize(context.working.numQubits());
+            for (std::size_t q = 0; q < placement.size(); ++q)
+                placement[q] = static_cast<int>(q);
+        }
+        RoutingResult routed =
+            routeOnDevice(context.working, context.device(), placement);
+        if (!have || routed.swapCount < context.routing.swapCount) {
+            context.routing = std::move(routed);
+            have = true;
+        }
+    }
+    context.working = context.routing.physical;
+    context.mapped = true;
+}
+
+void
+GateBackendPass::run(CompilationContext &context)
+{
+    QAIC_CHECK(context.mapped)
+        << "gate backend requires a mapped circuit; add MappingPass "
+           "(or set context.mapped for pre-routed input)";
+    if (handOptimize_) {
+        Circuit ho = handOptimize(context.working);
+        context.physical =
+            decomposeToPhysical(ho, /*lower_aggregates=*/false);
+    } else {
+        context.physical = decomposeToPhysical(context.working);
+    }
+    context.backendDone = true;
+}
+
+void
+AggregationBackendPass::run(CompilationContext &context)
+{
+    QAIC_CHECK(context.mapped)
+        << "aggregation backend requires a mapped circuit; add "
+           "MappingPass (or set context.mapped for pre-routed input)";
+    AggregationResult agg = aggregateInstructions(
+        context.working, &context.checker(), context.oracle(),
+        context.options().aggregation);
+    context.physical = std::move(agg.circuit);
+    context.backendDone = true;
+}
+
+void
+AsapSchedulePass::run(CompilationContext &context)
+{
+    QAIC_CHECK(context.backendDone)
+        << "scheduling requires a backend pass first";
+    context.schedule = scheduleAsap(context.physical, context.oracle());
+}
+
+void
+ClsSchedulePass::run(CompilationContext &context)
+{
+    QAIC_CHECK(context.backendDone)
+        << "scheduling requires a backend pass first";
+    context.schedule =
+        scheduleCls(context.physical, &context.checker(), context.oracle());
+}
+
+} // namespace qaic

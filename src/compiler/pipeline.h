@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Composable pass-pipeline compiler API.
+ *
+ * The paper's Figure 5 presents compilation as a sequence of
+ * interchangeable stages (frontend lowering, commutativity detection +
+ * CLS, mapping, a gate-based or aggregating backend, scheduling). This
+ * header makes that structure explicit:
+ *
+ *  - Pass               one stage: name() + run(CompilationContext&).
+ *  - CompilationContext the evolving artifacts a compilation owns —
+ *                       working circuit, routing result, physical
+ *                       circuit, schedule, diagnostics, per-pass
+ *                       wall-clock metrics — plus the shared services
+ *                       (device, resolved options, latency oracle,
+ *                       commutation checker) the passes consume.
+ *  - Pipeline           an ordered pass list; Pipeline::forStrategy
+ *                       yields the canonical list for each Strategy,
+ *                       and custom pipelines compose the same passes
+ *                       in new orders (see docs/ARCHITECTURE.md).
+ *
+ * Option resolution (the single documented place where user-supplied
+ * CompilerOptions are reconciled with the device) lives here as
+ * resolveCompilerOptions(); the legacy Compiler facade and the batch
+ * front door both go through it.
+ */
+#ifndef QAIC_COMPILER_PIPELINE_H
+#define QAIC_COMPILER_PIPELINE_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/compiler.h"
+
+namespace qaic {
+
+/**
+ * Reconciles user-supplied options with the target device. This is the
+ * only place such rewriting happens; precedence, highest first:
+ *
+ *  1. The device's control limits override any user-set model.mu1/mu2 —
+ *     pricing instructions with limits the hardware does not have would
+ *     make every latency meaningless.
+ *  2. options.maxInstructionWidth overrides options.aggregation.maxWidth
+ *     so the aggregation pass can never emit an instruction the optimal
+ *     control unit refuses to price.
+ *
+ * Everything else (seed, GRAPE knobs, remaining aggregation knobs) is
+ * taken verbatim. The input is not mutated.
+ */
+CompilerOptions resolveCompilerOptions(const DeviceModel &device,
+                                       const CompilerOptions &options);
+
+/**
+ * Builds the caching latency oracle described by @p resolved (analytic
+ * by default, true-GRAPE search when useGrapeOracle is set). The options
+ * must already be resolved against the device.
+ */
+std::shared_ptr<CachingOracle>
+makeCachingOracle(const CompilerOptions &resolved);
+
+/** Wall-clock record of one executed pass. */
+struct PassMetrics
+{
+    /** Pass::name() of the pass that ran. */
+    std::string pass;
+    /** Wall-clock duration of Pass::run (milliseconds). */
+    double wallMs = 0.0;
+    /** Instruction count of the working/physical circuit after the pass. */
+    int instructionsAfter = 0;
+};
+
+/**
+ * Everything a single compilation owns while flowing through a
+ * Pipeline. Passes read and write the artifact fields directly; the
+ * services (device, options, oracle, checker) are fixed for the run.
+ *
+ * The oracle may be shared across many contexts (that is the batch
+ * amortization story — CachingOracle is internally synchronized); the
+ * commutation checker must not be, so each context carries its own
+ * unless an external one is supplied by a single-threaded caller.
+ */
+class CompilationContext
+{
+  public:
+    /**
+     * @param device Target device (must outlive the context).
+     * @param options User options; resolved internally via
+     *        resolveCompilerOptions.
+     * @param oracle Shared latency oracle; created from the resolved
+     *        options when null.
+     * @param checker External commutation checker to reuse (single
+     *        threaded callers only); the context owns one when null.
+     */
+    CompilationContext(const DeviceModel &device, CompilerOptions options,
+                       std::shared_ptr<CachingOracle> oracle = nullptr,
+                       CommutationChecker *checker = nullptr);
+
+    const DeviceModel &device() const { return device_; }
+    const CompilerOptions &options() const { return options_; }
+    CachingOracle &oracle() { return *oracle_; }
+    std::shared_ptr<CachingOracle> oracleHandle() const { return oracle_; }
+    CommutationChecker &checker() { return *checker_; }
+
+    /** Resets the artifacts for a new input; services are retained. */
+    void reset(const Circuit &logical, Strategy strategy);
+
+    /**
+     * Assembles the CompilationResult, moving the artifacts out
+     * (Pipeline::compile uses this). The artifacts are left
+     * valid-but-unspecified; reset() restores them.
+     */
+    CompilationResult takeResult();
+
+    // --- Artifacts (owned by the run, mutated by passes) -------------
+
+    /** Strategy label recorded in the result. */
+    Strategy strategy = Strategy::kIsa;
+    /**
+     * The circuit as it flows through frontend and mapping passes; after
+     * mapping it is the routed circuit on physical qubit ids.
+     */
+    Circuit working{1};
+    /** Mapping pass output. */
+    RoutingResult routing;
+    /** Backend output: the final physical instruction stream. */
+    Circuit physical{1};
+    /** Scheduling pass output. */
+    Schedule schedule;
+    /**
+     * Stage markers guarding pipeline composition: backend passes
+     * require mapped, schedule passes require backendDone (a
+     * mis-composed custom pipeline panics instead of silently
+     * returning a degenerate result). A custom pass feeding a
+     * pre-routed or pre-lowered circuit may set these itself.
+     */
+    bool mapped = false;
+    bool backendDone = false;
+    /** Diagonal blocks contracted by commutativity detection. */
+    int diagonalBlocks = 0;
+    /** One entry per executed pass, in execution order. */
+    std::vector<PassMetrics> passMetrics;
+
+  private:
+    const DeviceModel &device_;
+    CompilerOptions options_;
+    std::shared_ptr<CachingOracle> oracle_;
+    std::unique_ptr<CommutationChecker> ownedChecker_;
+    CommutationChecker *checker_ = nullptr;
+};
+
+/** One compilation stage. Implementations must be reusable across runs. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable identifier (used in metrics and pipeline introspection). */
+    virtual std::string name() const = 0;
+
+    /** Transforms the context in place. */
+    virtual void run(CompilationContext &context) = 0;
+};
+
+/**
+ * An ordered, immutable-after-build list of passes.
+ *
+ * Build one with forStrategy() — which also stamps the Strategy the
+ * results are labeled with — or compose your own:
+ *
+ *   Pipeline p;
+ *   p.add(std::make_unique<FrontendLoweringPass>())
+ *    .add(std::make_unique<MappingPass>())
+ *    .add(std::make_unique<AggregationBackendPass>())
+ *    .add(std::make_unique<AsapSchedulePass>())
+ *    .label(Strategy::kAggregation);
+ *   CompilationContext ctx(device, options);
+ *   CompilationResult r = p.compile(circuit, ctx);
+ */
+class Pipeline
+{
+  public:
+    Pipeline() = default;
+    Pipeline(Pipeline &&) = default;
+    Pipeline &operator=(Pipeline &&) = default;
+
+    /** Appends @p pass; returns *this for chaining. */
+    Pipeline &add(std::unique_ptr<Pass> pass);
+
+    /** Constructs a pass of type @p PassT in place. */
+    template <typename PassT, typename... Args>
+    Pipeline &
+    emplace(Args &&...args)
+    {
+        return add(std::make_unique<PassT>(std::forward<Args>(args)...));
+    }
+
+    /**
+     * Sets the Strategy label stamped on this pipeline's results.
+     * forStrategy pipelines come pre-labeled; custom pipelines default
+     * to kIsa and may pick the nearest value here.
+     */
+    Pipeline &label(Strategy strategy);
+
+    /**
+     * Runs every pass over @p logical in order, timing each, and
+     * assembles the result (labeled with this pipeline's Strategy).
+     * The context's artifacts are reset first; its services (oracle,
+     * checker) persist across calls, so repeated compiles share
+     * latency caches exactly like the legacy Compiler.
+     */
+    CompilationResult compile(const Circuit &logical,
+                              CompilationContext &context) const;
+
+    /**
+     * The canonical pass list implementing @p strategy (Figure 5),
+     * labeled with it.
+     */
+    static Pipeline forStrategy(Strategy strategy);
+
+    /** Pass names in execution order. */
+    std::vector<std::string> passNames() const;
+
+    std::size_t size() const { return passes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    Strategy label_ = Strategy::kIsa;
+};
+
+// --- Canonical passes (Figure 5 boxes) -------------------------------
+
+/** Frontend lowering: flatten to 1- and 2-qubit gates (Toffoli, etc.). */
+class FrontendLoweringPass : public Pass
+{
+  public:
+    std::string name() const override { return "frontend-lowering"; }
+    void run(CompilationContext &context) override;
+};
+
+/**
+ * Commutativity detection (Section 3.3.1) followed by CLS logical
+ * scheduling (3.3.2) with a gate-based logical cost model; the working
+ * circuit is rewritten into the scheduled order, which the
+ * order-respecting backend schedulers preserve.
+ */
+class ClsFrontendPass : public Pass
+{
+  public:
+    /** @param maxBlockWidth Widest diagonal block to contract. */
+    explicit ClsFrontendPass(int maxBlockWidth = 10)
+        : maxBlockWidth_(maxBlockWidth)
+    {
+    }
+
+    std::string name() const override { return "cls-frontend"; }
+    void run(CompilationContext &context) override;
+
+  private:
+    int maxBlockWidth_;
+};
+
+/**
+ * Mapping + topological constraint resolution (Section 3.4.1): routes a
+ * few candidate placements (two bisection seeds plus the row-major
+ * identity, near-optimal for chain-structured interaction graphs) and
+ * keeps the one needing fewest SWAPs. Leaves the routed circuit in
+ * context.working and the full RoutingResult in context.routing.
+ */
+class MappingPass : public Pass
+{
+  public:
+    std::string name() const override { return "mapping"; }
+    void run(CompilationContext &context) override;
+};
+
+/**
+ * Gate-based backend (Figure 5 left column): lowers the routed circuit
+ * to physical gates, optionally applying the known manual iSWAP tricks
+ * (direct SWAP/ZZ pulses, 1q fusion) first.
+ */
+class GateBackendPass : public Pass
+{
+  public:
+    explicit GateBackendPass(bool hand_optimize = false)
+        : handOptimize_(hand_optimize)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return handOptimize_ ? "gate-backend-handopt" : "gate-backend";
+    }
+    void run(CompilationContext &context) override;
+
+  private:
+    bool handOptimize_;
+};
+
+/**
+ * Aggregating backend (Figure 5 right column): merges the routed
+ * circuit into aggregated instructions priced by the optimal control
+ * unit (Section 3.4.2).
+ */
+class AggregationBackendPass : public Pass
+{
+  public:
+    std::string name() const override { return "aggregation-backend"; }
+    void run(CompilationContext &context) override;
+};
+
+/** Program-order ASAP scheduling of the physical instruction stream. */
+class AsapSchedulePass : public Pass
+{
+  public:
+    std::string name() const override { return "schedule-asap"; }
+    void run(CompilationContext &context) override;
+};
+
+/** Commutativity-aware list scheduling of the physical stream (Alg. 1). */
+class ClsSchedulePass : public Pass
+{
+  public:
+    std::string name() const override { return "schedule-cls"; }
+    void run(CompilationContext &context) override;
+};
+
+} // namespace qaic
+
+#endif // QAIC_COMPILER_PIPELINE_H

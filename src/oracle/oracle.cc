@@ -338,15 +338,43 @@ CachingOracle::latencyNs(const Gate &gate)
     // wide aggregates use the cheap structural key.
     std::string key = gate.width() <= 3 ? unitaryFingerprint(gate.matrix())
                                         : structuralFingerprint(gate);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++hits_;
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
     }
-    ++misses_;
+    // Price outside the lock: the inner oracles are deterministic and
+    // reentrant, so a duplicate computation under contention is merely
+    // wasted work, and emplace keeps the first value.
     double t = inner_->latencyNs(gate);
+    std::lock_guard<std::mutex> lock(mutex_);
     cache_.emplace(std::move(key), t);
     return t;
+}
+
+std::size_t
+CachingOracle::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+CachingOracle::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+CachingOracle::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
 }
 
 } // namespace qaic

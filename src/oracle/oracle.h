@@ -29,6 +29,7 @@
 
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,8 @@
 #include "la/cmatrix.h"
 
 namespace qaic {
+
+struct AnalyticModelParams;
 
 /** Maps instructions to optimized pulse durations (ns). */
 class LatencyOracle
@@ -51,6 +54,17 @@ class LatencyOracle
 
     /** Short identifier for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * The analytic model constants this oracle prices against, or null
+     * for oracles with no fixed model (e.g. ad-hoc cost adapters).
+     * Callers sharing an oracle across devices use this to check that
+     * the control limits match (see compiler/batch.h).
+     */
+    virtual const AnalyticModelParams *modelParams() const
+    {
+        return nullptr;
+    }
 };
 
 /**
@@ -108,6 +122,11 @@ class AnalyticOracle : public LatencyOracle
 
     double latencyNs(const Gate &gate) override;
     std::string name() const override { return "analytic"; }
+    const AnalyticModelParams *
+    modelParams() const override
+    {
+        return &params_;
+    }
 
     const AnalyticModelParams &params() const { return params_; }
 
@@ -167,13 +186,27 @@ class GrapeLatencyOracle : public LatencyOracle
 
     double latencyNs(const Gate &gate) override;
     std::string name() const override { return "grape"; }
+    const AnalyticModelParams *
+    modelParams() const override
+    {
+        return fallback_.modelParams();
+    }
 
   private:
     Options options_;
     AnalyticOracle fallback_;
 };
 
-/** Memoizing decorator keyed by a phase-canonical unitary fingerprint. */
+/**
+ * Memoizing decorator keyed by a phase-canonical unitary fingerprint.
+ *
+ * Safe to share across concurrently-compiling threads (the batch front
+ * door in compiler/batch.h does exactly that): the map and counters are
+ * mutex-guarded. The inner oracle is invoked outside the lock — both
+ * provided oracles are deterministic and reentrant — so a cache miss
+ * never serializes other threads; racing computations of the same key
+ * produce the same value and the first insert wins.
+ */
 class CachingOracle : public LatencyOracle
 {
   public:
@@ -181,12 +214,19 @@ class CachingOracle : public LatencyOracle
 
     double latencyNs(const Gate &gate) override;
     std::string name() const override { return inner_->name() + "+cache"; }
+    const AnalyticModelParams *
+    modelParams() const override
+    {
+        return inner_->modelParams();
+    }
 
-    std::size_t hits() const { return hits_; }
-    std::size_t misses() const { return misses_; }
+    std::size_t hits() const;
+    std::size_t misses() const;
+    std::size_t entries() const;
 
   private:
     std::shared_ptr<LatencyOracle> inner_;
+    mutable std::mutex mutex_;
     std::unordered_map<std::string, double> cache_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the pass-pipeline API (compiler/pipeline.h) and the batch
+ * front door (compiler/batch.h): canonical pass ordering per strategy,
+ * per-pass metrics, exact equivalence between the Pipeline path and the
+ * legacy Compiler facade, batch-vs-sequential determinism, concurrent
+ * CachingOracle access, and option-resolution precedence.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "compiler/batch.h"
+#include "compiler/compiler.h"
+#include "compiler/pipeline.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+#include "workloads/suite.h"
+#include "workloads/uccsd.h"
+
+namespace qaic {
+namespace {
+
+TEST(StrategyNameTest, RoundTripsAllStrategies)
+{
+    for (Strategy s : kAllStrategies) {
+        Strategy parsed;
+        ASSERT_TRUE(strategyFromName(strategyName(s), &parsed))
+            << strategyName(s);
+        EXPECT_EQ(parsed, s);
+    }
+}
+
+TEST(StrategyNameTest, AcceptsCliShortForms)
+{
+    const std::pair<const char *, Strategy> cases[] = {
+        {"isa", Strategy::kIsa},
+        {"cls", Strategy::kCls},
+        {"handopt", Strategy::kHandOpt},
+        {"cls-handopt", Strategy::kClsHandOpt},
+        {"agg", Strategy::kAggregation},
+        {"cls-agg", Strategy::kClsAggregation},
+    };
+    for (const auto &[name, expected] : cases) {
+        Strategy parsed;
+        ASSERT_TRUE(strategyFromName(name, &parsed)) << name;
+        EXPECT_EQ(parsed, expected) << name;
+    }
+    Strategy unused;
+    EXPECT_FALSE(strategyFromName("nope", &unused));
+    EXPECT_FALSE(strategyFromName("", &unused));
+}
+
+TEST(OptionResolutionTest, DevicePrecedenceAndWidthSync)
+{
+    DeviceModel device = DeviceModel::line(3, /*mu1=*/0.2, /*mu2=*/0.05);
+    CompilerOptions user;
+    user.model.mu1 = 99.0; // Must lose to the device's limits.
+    user.model.mu2 = 99.0;
+    user.maxInstructionWidth = 4;
+    user.aggregation.maxWidth = 123; // Must lose to maxInstructionWidth.
+    user.seed = 7;
+
+    CompilerOptions resolved = resolveCompilerOptions(device, user);
+    EXPECT_DOUBLE_EQ(resolved.model.mu1, 0.2);
+    EXPECT_DOUBLE_EQ(resolved.model.mu2, 0.05);
+    EXPECT_EQ(resolved.aggregation.maxWidth, 4);
+    EXPECT_EQ(resolved.seed, 7u);
+
+    // The caller's options are never mutated (the old Compiler
+    // constructor silently rewrote them).
+    EXPECT_DOUBLE_EQ(user.model.mu1, 99.0);
+    EXPECT_EQ(user.aggregation.maxWidth, 123);
+}
+
+TEST(OptionResolutionTest, FacadeExposesResolvedOptions)
+{
+    DeviceModel device = DeviceModel::line(3, 0.2, 0.05);
+    Compiler compiler(device, {});
+    EXPECT_DOUBLE_EQ(compiler.options().model.mu1, 0.2);
+    EXPECT_DOUBLE_EQ(compiler.options().model.mu2, 0.05);
+    EXPECT_EQ(compiler.options().aggregation.maxWidth,
+              compiler.options().maxInstructionWidth);
+}
+
+TEST(PipelineTest, CanonicalPassOrderingPerStrategy)
+{
+    using Names = std::vector<std::string>;
+    const std::pair<Strategy, Names> expected[] = {
+        {Strategy::kIsa,
+         {"frontend-lowering", "mapping", "gate-backend",
+          "schedule-asap"}},
+        {Strategy::kCls,
+         {"frontend-lowering", "cls-frontend", "mapping", "gate-backend",
+          "schedule-asap"}},
+        {Strategy::kHandOpt,
+         {"frontend-lowering", "mapping", "gate-backend-handopt",
+          "schedule-asap"}},
+        {Strategy::kClsHandOpt,
+         {"frontend-lowering", "cls-frontend", "mapping",
+          "gate-backend-handopt", "schedule-asap"}},
+        {Strategy::kAggregation,
+         {"frontend-lowering", "mapping", "aggregation-backend",
+          "schedule-asap"}},
+        {Strategy::kClsAggregation,
+         {"frontend-lowering", "cls-frontend", "mapping",
+          "aggregation-backend", "schedule-cls"}},
+    };
+    for (const auto &[strategy, names] : expected)
+        EXPECT_EQ(Pipeline::forStrategy(strategy).passNames(), names)
+            << strategyName(strategy);
+}
+
+TEST(PipelineTest, PerPassMetricsPopulated)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(6));
+    DeviceModel device = DeviceModel::gridFor(6);
+    Pipeline pipeline = Pipeline::forStrategy(Strategy::kClsAggregation);
+    CompilationContext context(device, {});
+    CompilationResult r = pipeline.compile(circuit, context);
+
+    // forStrategy pre-labels the pipeline; no separate strategy
+    // argument to get wrong.
+    EXPECT_EQ(r.strategy, Strategy::kClsAggregation);
+    ASSERT_EQ(r.passMetrics.size(), pipeline.size());
+    EXPECT_EQ(r.passMetrics.size(), pipeline.passNames().size());
+    for (std::size_t i = 0; i < r.passMetrics.size(); ++i) {
+        EXPECT_EQ(r.passMetrics[i].pass, pipeline.passNames()[i]);
+        EXPECT_GE(r.passMetrics[i].wallMs, 0.0);
+        EXPECT_GT(r.passMetrics[i].instructionsAfter, 0);
+    }
+}
+
+TEST(PipelineTest, ContextIsReusableAcrossCompiles)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(5));
+    DeviceModel device = DeviceModel::gridFor(5);
+    CompilationContext context(device, {});
+    Pipeline pipeline = Pipeline::forStrategy(Strategy::kClsAggregation);
+    CompilationResult first = pipeline.compile(circuit, context);
+    CompilationResult second = pipeline.compile(circuit, context);
+    EXPECT_EQ(first.latencyNs, second.latencyNs);
+    EXPECT_EQ(first.instructionCount, second.instructionCount);
+    EXPECT_EQ(first.passMetrics.size(), second.passMetrics.size());
+    // The second run amortizes the first one's latency cache.
+    EXPECT_GT(context.oracle().hits(), 0u);
+}
+
+TEST(PipelineTest, CustomPipelineCompilesValid)
+{
+    // A configuration no Strategy value names: aggregation without the
+    // CLS frontend, CLS-scheduled at the physical level.
+    Circuit circuit = qaoaMaxcut(lineGraph(5));
+    DeviceModel device = DeviceModel::gridFor(5);
+    Pipeline custom;
+    custom.emplace<FrontendLoweringPass>();
+    custom.emplace<MappingPass>();
+    custom.emplace<AggregationBackendPass>();
+    custom.emplace<ClsSchedulePass>();
+
+    custom.label(Strategy::kAggregation);
+
+    CompilationContext context(device, {});
+    CompilationResult r = custom.compile(circuit, context);
+    EXPECT_EQ(r.strategy, Strategy::kAggregation);
+    EXPECT_GT(r.latencyNs, 0.0);
+    std::string error;
+    EXPECT_TRUE(r.schedule.validate(device.numQubits(), &error)) << error;
+}
+
+TEST(PipelineDeathTest, MiscomposedPipelinePanics)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    DeviceModel device = DeviceModel::gridFor(4);
+
+    // Schedule with no backend: must panic, not return latency 0.
+    Pipeline no_backend;
+    no_backend.emplace<FrontendLoweringPass>();
+    no_backend.emplace<MappingPass>();
+    no_backend.emplace<AsapSchedulePass>();
+    CompilationContext c1(device, {});
+    EXPECT_DEATH(no_backend.compile(circuit, c1),
+                 "scheduling requires a backend");
+
+    // Backend with no mapping: must panic, not process an unrouted
+    // circuit.
+    Pipeline no_mapping;
+    no_mapping.emplace<FrontendLoweringPass>();
+    no_mapping.emplace<AggregationBackendPass>();
+    CompilationContext c2(device, {});
+    EXPECT_DEATH(no_mapping.compile(circuit, c2),
+                 "requires a mapped circuit");
+
+    // Backend but no schedule pass: must panic, not report latency 0.
+    Pipeline no_schedule;
+    no_schedule.emplace<FrontendLoweringPass>();
+    no_schedule.emplace<MappingPass>();
+    no_schedule.emplace<AggregationBackendPass>();
+    CompilationContext c3(device, {});
+    EXPECT_DEATH(no_schedule.compile(circuit, c3),
+                 "no schedule");
+}
+
+/** The acceptance-criteria equivalence: every strategy, Pipeline path
+ *  vs legacy Compiler facade, identical result metrics. */
+TEST(PipelineTest, MatchesLegacyFacadeOnAllStrategies)
+{
+    const Circuit circuits[] = {qaoaMaxcut(lineGraph(6)), uccsdAnsatz(4)};
+    for (const Circuit &circuit : circuits) {
+        DeviceModel device = DeviceModel::gridFor(circuit.numQubits());
+        for (Strategy s : kAllStrategies) {
+            Compiler legacy(device);
+            CompilationResult a = legacy.compile(circuit, s);
+
+            CompilationContext context(device, {});
+            CompilationResult b =
+                Pipeline::forStrategy(s).compile(circuit, context);
+
+            EXPECT_EQ(b.strategy, s) << strategyName(s);
+            EXPECT_EQ(a.latencyNs, b.latencyNs) << strategyName(s);
+            EXPECT_EQ(a.swapCount, b.swapCount) << strategyName(s);
+            EXPECT_EQ(a.instructionCount, b.instructionCount)
+                << strategyName(s);
+            EXPECT_EQ(a.aggregateCount, b.aggregateCount)
+                << strategyName(s);
+            EXPECT_EQ(a.maxWidth, b.maxWidth) << strategyName(s);
+            EXPECT_EQ(a.diagonalBlocks, b.diagonalBlocks)
+                << strategyName(s);
+        }
+    }
+}
+
+TEST(BatchTest, MatchesSequentialOnWorkloadSuite)
+{
+    // Down-scaled suite workloads across every strategy, compiled on 4
+    // threads with a shared cache — results must be bitwise identical
+    // to the sequential facade for the same (default) seed.
+    std::vector<BatchJob> jobs;
+    for (const char *name : {"MAXCUT-line", "Ising-n30", "UCCSD-n4"}) {
+        Circuit circuit = benchmarkByName(name, 0.3).circuit;
+        DeviceModel device = DeviceModel::gridFor(circuit.numQubits());
+        for (Strategy s : kAllStrategies)
+            jobs.push_back({circuit, device, s});
+    }
+
+    std::vector<CompilationResult> batch =
+        compileBatch(std::span<const BatchJob>(jobs), CompilerOptions{},
+                     /*threads=*/4);
+    ASSERT_EQ(batch.size(), jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Compiler sequential(jobs[i].device);
+        CompilationResult expected =
+            sequential.compile(jobs[i].circuit, jobs[i].strategy);
+        EXPECT_EQ(batch[i].latencyNs, expected.latencyNs) << i;
+        EXPECT_EQ(batch[i].swapCount, expected.swapCount) << i;
+        EXPECT_EQ(batch[i].instructionCount, expected.instructionCount)
+            << i;
+        EXPECT_EQ(batch[i].aggregateCount, expected.aggregateCount) << i;
+        std::string error;
+        EXPECT_TRUE(batch[i].schedule.validate(
+            jobs[i].device.numQubits(), &error))
+            << i << ": " << error;
+    }
+}
+
+TEST(BatchTest, HomogeneousOverloadAndThreadCounts)
+{
+    DeviceModel device = DeviceModel::gridFor(6);
+    std::vector<Circuit> circuits;
+    for (int n = 0; n < 4; ++n)
+        circuits.push_back(qaoaMaxcut(lineGraph(6)));
+
+    std::vector<CompilationResult> one =
+        compileBatch(device, circuits, Strategy::kClsAggregation, {},
+                     /*threads=*/1);
+    std::vector<CompilationResult> four =
+        compileBatch(device, circuits, Strategy::kClsAggregation, {},
+                     /*threads=*/4);
+    ASSERT_EQ(one.size(), circuits.size());
+    ASSERT_EQ(four.size(), circuits.size());
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+        EXPECT_EQ(one[i].latencyNs, four[i].latencyNs) << i;
+        EXPECT_EQ(one[i].instructionCount, four[i].instructionCount) << i;
+    }
+}
+
+TEST(BatchTest, SharesOracleAcrossJobs)
+{
+    DeviceModel device = DeviceModel::gridFor(6);
+    std::vector<Circuit> circuits(4, qaoaMaxcut(lineGraph(6)));
+    auto oracle =
+        makeCachingOracle(resolveCompilerOptions(device, {}));
+    compileBatch(device, circuits, Strategy::kClsAggregation, {},
+                 /*threads=*/4, oracle);
+    // Identical circuits: later jobs must hit the cache the earlier
+    // ones (or the CLS logical cost model) filled.
+    EXPECT_GT(oracle->hits(), 0u);
+    EXPECT_GT(oracle->entries(), 0u);
+}
+
+TEST(BatchTest, EmptyBatchIsFine)
+{
+    DeviceModel device = DeviceModel::gridFor(4);
+    std::vector<Circuit> none;
+    EXPECT_TRUE(compileBatch(device, none, Strategy::kIsa).empty());
+}
+
+TEST(CachingOracleTest, ConcurrentAccessIsConsistent)
+{
+    // Thread-sanitizer-friendly: 8 threads hammer one shared cache with
+    // the same gate set, no sleeps; every returned value must equal the
+    // single-threaded reference and the counters must account for every
+    // call.
+    auto reference = std::make_shared<AnalyticOracle>();
+    std::vector<Gate> gates = {makeH(0),          makeT(1),
+                               makeRx(0, 0.7),    makeRz(1, 1.3),
+                               makeCnot(0, 1),    makeCz(0, 1),
+                               makeRzz(0, 1, 0.9), makeSwap(0, 1)};
+    std::vector<double> expected;
+    for (const Gate &g : gates)
+        expected.push_back(reference->latencyNs(g));
+
+    CachingOracle shared(std::make_shared<AnalyticOracle>());
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 50;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round)
+                for (std::size_t i = 0; i < gates.size(); ++i)
+                    if (shared.latencyNs(gates[i]) != expected[i])
+                        mismatches.fetch_add(1);
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(shared.hits() + shared.misses(),
+              static_cast<std::size_t>(kThreads) * kRounds *
+                  gates.size());
+    // Every distinct key was computed at least once, and the cache
+    // absorbed virtually everything else.
+    EXPECT_GE(shared.misses(), shared.entries());
+    EXPECT_GT(shared.hits(), shared.misses());
+}
+
+} // namespace
+} // namespace qaic

@@ -16,6 +16,7 @@
  *     --pulses FILE   emit the pulse program (GRAPE for narrow
  *                     instructions) as CSV
  *     --schedule      print the full instruction schedule
+ *     --timings       print per-pass wall-clock times
  *     --verify        verify backend semantics against the routed circuit
  */
 #include <cstdio>
@@ -25,6 +26,7 @@
 
 #include "compiler/compiler.h"
 #include "compiler/fidelity.h"
+#include "compiler/pipeline.h"
 #include "compiler/pulseplan.h"
 #include "ir/qasm.h"
 #include "verify/verify.h"
@@ -33,19 +35,6 @@ using namespace qaic;
 
 namespace {
 
-bool
-parseStrategy(const std::string &name, Strategy *strategy)
-{
-    if (name == "isa") *strategy = Strategy::kIsa;
-    else if (name == "cls") *strategy = Strategy::kCls;
-    else if (name == "handopt") *strategy = Strategy::kHandOpt;
-    else if (name == "cls-handopt") *strategy = Strategy::kClsHandOpt;
-    else if (name == "agg") *strategy = Strategy::kAggregation;
-    else if (name == "cls-agg") *strategy = Strategy::kClsAggregation;
-    else return false;
-    return true;
-}
-
 int
 usage(const char *argv0)
 {
@@ -53,7 +42,7 @@ usage(const char *argv0)
                  "usage: %s [--strategy isa|cls|handopt|cls-handopt|agg|"
                  "cls-agg] [--width N]\n"
                  "          [--line] [--pulses FILE] [--schedule] "
-                 "[--verify] circuit.qasm\n",
+                 "[--timings] [--verify] circuit.qasm\n",
                  argv0);
     return 2;
 }
@@ -65,13 +54,14 @@ main(int argc, char **argv)
 {
     Strategy strategy = Strategy::kClsAggregation;
     int width = 10;
-    bool line = false, print_schedule = false, verify = false;
+    bool line = false, print_schedule = false, print_timings = false,
+         verify = false;
     std::string pulses_path, input_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--strategy" && i + 1 < argc) {
-            if (!parseStrategy(argv[++i], &strategy)) {
+            if (!strategyFromName(argv[++i], &strategy)) {
                 std::fprintf(stderr, "unknown strategy '%s'\n", argv[i]);
                 return usage(argv[0]);
             }
@@ -85,6 +75,8 @@ main(int argc, char **argv)
             pulses_path = argv[++i];
         } else if (arg == "--schedule") {
             print_schedule = true;
+        } else if (arg == "--timings") {
+            print_timings = true;
         } else if (arg == "--verify") {
             verify = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -137,6 +129,13 @@ main(int argc, char **argv)
     std::printf("est. output fidelity: %.4f (decoherence %.4f, control "
                 "%.4f)\n",
                 fidelity.total, fidelity.decoherence, fidelity.control);
+
+    if (print_timings) {
+        std::printf("\npasses:\n");
+        for (const PassMetrics &m : result.passMetrics)
+            std::printf("  %-22s %8.2f ms  (%d instructions)\n",
+                        m.pass.c_str(), m.wallMs, m.instructionsAfter);
+    }
 
     if (print_schedule) {
         std::printf("\nschedule:\n");
