@@ -6,8 +6,12 @@
 #ifndef QAIC_BENCH_BENCH_COMMON_H
 #define QAIC_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -15,6 +19,129 @@
 #include "schedule/schedule.h"
 
 namespace qaic::bench {
+
+/** Monotonic wall clock in nanoseconds. */
+inline double
+nowNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Runs @p fn @p iters times and returns the mean wall-clock ns per
+ * call. A single warm-up call primes caches (and Workspace arenas)
+ * before timing starts.
+ */
+template <typename Fn>
+double
+measureNs(long long iters, Fn &&fn)
+{
+    fn();
+    double start = nowNs();
+    for (long long i = 0; i < iters; ++i)
+        fn();
+    return (nowNs() - start) / static_cast<double>(iters);
+}
+
+/**
+ * Machine-readable benchmark report, emitted as BENCH_<suite>.json.
+ *
+ * Each record carries ns/op, the op count it was averaged over, an
+ * optional pinned baseline (ns/op of the naive reference measured in
+ * the same binary, from which a speedup is derived) and free-form
+ * numeric extras (fidelities, cache hit rates, ...). The format is the
+ * perf trajectory the CI bench-smoke job uploads per commit.
+ */
+class BenchReport
+{
+  public:
+    struct Record
+    {
+        std::string name;
+        double nsPerOp = 0.0;
+        long long ops = 0;
+        /** ns/op of the pinned baseline; <= 0 means "no baseline". */
+        double baselineNsPerOp = 0.0;
+        std::vector<std::pair<std::string, double>> extra;
+    };
+
+    explicit BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+    /**
+     * Appends a record and returns a reference to it. Records live in a
+     * deque, so the reference stays valid across later add() calls.
+     */
+    Record &
+    add(const std::string &name, double ns_per_op, long long ops,
+        double baseline_ns_per_op = 0.0)
+    {
+        records_.push_back({name, ns_per_op, ops, baseline_ns_per_op, {}});
+        return records_.back();
+    }
+
+    std::string
+    toJson() const
+    {
+        std::string out = "{\n  \"suite\": \"" + suite_ +
+                          "\",\n  \"records\": [";
+        char buf[64];
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record &r = records_[i];
+            out += i ? ",\n    {" : "\n    {";
+            out += "\"name\": \"" + r.name + "\"";
+            std::snprintf(buf, sizeof(buf), ", \"ns_per_op\": %.1f",
+                          r.nsPerOp);
+            out += buf;
+            std::snprintf(buf, sizeof(buf), ", \"ops\": %lld", r.ops);
+            out += buf;
+            if (r.baselineNsPerOp > 0.0) {
+                std::snprintf(buf, sizeof(buf),
+                              ", \"baseline_ns_per_op\": %.1f",
+                              r.baselineNsPerOp);
+                out += buf;
+                std::snprintf(buf, sizeof(buf), ", \"speedup\": %.2f",
+                              r.baselineNsPerOp / r.nsPerOp);
+                out += buf;
+            }
+            for (const auto &[key, value] : r.extra) {
+                std::snprintf(buf, sizeof(buf), ", \"%s\": %.6g",
+                              key.c_str(), value);
+                out += buf;
+            }
+            out += "}";
+        }
+        out += "\n  ]\n}\n";
+        return out;
+    }
+
+    /** Writes BENCH_<suite>.json (or @p path) and reports the path. */
+    bool
+    writeFile(const std::string &path = "") const
+    {
+        std::string file =
+            path.empty() ? "BENCH_" + suite_ + ".json" : path;
+        std::FILE *f = std::fopen(file.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", file.c_str());
+            return false;
+        }
+        std::string json = toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu records)\n", file.c_str(),
+                    records_.size());
+        return true;
+    }
+
+    const std::deque<Record> &records() const { return records_; }
+
+  private:
+    std::string suite_;
+    std::deque<Record> records_;
+};
 
 /** Geometric mean of positive values. */
 inline double

@@ -5,51 +5,117 @@
  * duration frontier that the minimal-duration search explores (the
  * quantum speed limit becomes visible as the duration below which no
  * pulse converges).
+ *
+ * Also times every synthesis and emits BENCH_grape.json: wall clock
+ * per optimize() call with the sequential (threads=1) run as the
+ * pinned baseline for the pool fan-out, plus final fidelities — the
+ * numbers the CI bench-smoke job archives per commit.
+ *
+ * Usage: bench_grape [--quick] [--json FILE]
  */
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "bench_common.h"
 #include "control/grape.h"
 #include "ir/gate.h"
 #include "util/table.h"
 #include "weyl/weyl.h"
 
 using namespace qaic;
+using namespace qaic::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
     std::printf("=== Figure 3: GRAPE convergence and the duration "
                 "frontier ===\n\n");
+    BenchReport report("grape");
 
     DeviceModel pair = DeviceModel::line(2);
     GrapeOptimizer grape(pair);
     GrapeOptions options;
-    options.maxIterations = 500;
+    options.maxIterations = quick ? 120 : 500;
     options.restarts = 1;
 
-    // Convergence trace at a feasible duration.
+    // Convergence trace at a feasible duration, sequential vs. pool.
+    GrapeOptions sequential = options;
+    sequential.threads = 1;
+    double seq_ns = nowNs();
     GrapeResult iswap =
-        grape.optimize(makeIswap(0, 1).matrix(), 16.0, options);
+        grape.optimize(makeIswap(0, 1).matrix(), 16.0, sequential);
+    seq_ns = nowNs() - seq_ns;
+
+    GrapeOptions pooled = options;
+    pooled.threads = 0; // hardware concurrency
+    double pool_ns = nowNs();
+    GrapeResult iswap_pooled =
+        grape.optimize(makeIswap(0, 1).matrix(), 16.0, pooled);
+    pool_ns = nowNs() - pool_ns;
+
     std::printf("iSWAP @ 16 ns convergence (iteration: fidelity):\n ");
     for (std::size_t i = 0; i < iswap.trace.size();
          i += std::max<std::size_t>(1, iswap.trace.size() / 10))
         std::printf(" %zu:%.4f", i, iswap.trace[i]);
-    std::printf("  final %.5f after %d iterations\n\n", iswap.fidelity,
+    std::printf("  final %.5f after %d iterations\n", iswap.fidelity,
                 iswap.iterations);
+    std::printf("  sequential %.1f ms, pool %.1f ms (fidelity drift "
+                "%.2e)\n\n",
+                seq_ns * 1e-6, pool_ns * 1e-6,
+                std::abs(iswap.fidelity - iswap_pooled.fidelity));
+
+    BenchReport::Record &iswap_rec =
+        report.add("iswap_16ns/pool", pool_ns, 1, seq_ns);
+    iswap_rec.extra.emplace_back("fidelity", iswap_pooled.fidelity);
+    iswap_rec.extra.emplace_back("fidelity_drift_vs_sequential",
+                                 std::abs(iswap.fidelity -
+                                          iswap_pooled.fidelity));
+    BenchReport::Record &seq_rec =
+        report.add("iswap_16ns/sequential", seq_ns, 1);
+    seq_rec.extra.emplace_back("fidelity", iswap.fidelity);
+    seq_rec.extra.emplace_back("iterations",
+                               static_cast<double>(iswap.iterations));
 
     // Fidelity-vs-duration frontier for the CNOT (Weyl bound: 12.5 ns).
+    const std::vector<double> durations =
+        quick ? std::vector<double>{9.0, 15.0}
+              : std::vector<double>{6.0, 9.0, 12.0, 13.0, 14.0, 15.0,
+                                    18.0, 24.0};
     Table frontier({"duration (ns)", "best fidelity", "converged"});
-    for (double t : {6.0, 9.0, 12.0, 13.0, 14.0, 15.0, 18.0, 24.0}) {
+    double frontier_ns = nowNs();
+    for (double t : durations) {
         GrapeOptions probe = options;
         probe.restarts = 2;
+        double probe_ns = nowNs();
         GrapeResult r = grape.optimize(makeCnot(0, 1).matrix(), t, probe);
+        probe_ns = nowNs() - probe_ns;
         frontier.addRow({Table::fmt(t, 1), Table::fmt(r.fidelity, 5),
                          r.converged ? "yes" : "no"});
+        char name[48];
+        std::snprintf(name, sizeof(name), "cnot_frontier/%.0fns", t);
+        BenchReport::Record &rec = report.add(name, probe_ns, 1);
+        rec.extra.emplace_back("fidelity", r.fidelity);
+        rec.extra.emplace_back("converged", r.converged ? 1.0 : 0.0);
         std::fflush(stdout);
     }
+    frontier_ns = nowNs() - frontier_ns;
+
     WeylCoordinates cnot = weylCoordinates(makeCnot(0, 1).matrix());
     std::printf("CNOT duration frontier (XY interaction bound %.1f ns):\n%s\n",
                 xyMinimumTime(cnot, pair.mu2()),
                 frontier.render().c_str());
-    return 0;
+    std::printf("frontier total: %.1f ms\n\n", frontier_ns * 1e-6);
+    report.add("cnot_frontier/total", frontier_ns, 1);
+
+    return report.writeFile(json_path) ? 0 : 1;
 }

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Microbenchmarks for the la/kernels fast-path layer, with the naive
+ * cmatrix.h implementations measured in the same binary as the pinned
+ * baselines. Emits BENCH_kernels.json (ns/op, speedup vs. baseline,
+ * CachingOracle hit rates) — the machine-readable perf trajectory that
+ * the CI bench-smoke job archives per commit.
+ *
+ * Usage: bench_kernels [--quick] [--json FILE]
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "ir/gate.h"
+#include "la/eig.h"
+#include "la/expm.h"
+#include "la/kernels.h"
+#include "oracle/oracle.h"
+#include "util/rng.h"
+
+using namespace qaic;
+using namespace qaic::bench;
+
+namespace {
+
+CMatrix
+randomComplex(std::size_t n, Rng &rng)
+{
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = Cmplx(rng.gaussian(), rng.gaussian());
+    return m;
+}
+
+CMatrix
+randomHermitian(std::size_t n, Rng &rng)
+{
+    CMatrix a = randomComplex(n, rng);
+    return (a + a.dagger()) * Cmplx(0.5, 0.0);
+}
+
+/** The pre-kernel-layer spectral exponential, kept as the baseline. */
+CMatrix
+naiveExpiFromEig(const EigResult &eig, double t)
+{
+    const std::size_t n = eig.vectors.rows();
+    CMatrix phases(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        phases(i, i) = std::exp(Cmplx(0.0, -t * eig.values[i]));
+    return eig.vectors * phases * eig.vectors.dagger();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+    const long long reps = quick ? 2000 : 20000;
+
+    std::printf("=== Kernel microbenchmarks (%s, %lld reps/size) ===\n\n",
+                quick ? "quick" : "full", reps);
+    BenchReport report("kernels");
+    Rng rng(42);
+    Workspace ws;
+
+    for (std::size_t n : {4ul, 8ul, 16ul}) {
+        CMatrix a = randomComplex(n, rng);
+        CMatrix b = randomComplex(n, rng);
+        CMatrix h = randomHermitian(n, rng);
+        EigResult eig = hermitianEig(h);
+        CMatrix dest;
+        char name[64];
+
+        // GEMM: temporary-spawning operator* vs. multiplyInto.
+        double base = measureNs(reps, [&] { CMatrix c = a * b; });
+        double fast = measureNs(reps, [&] { multiplyInto(dest, a, b); });
+        std::snprintf(name, sizeof(name), "gemm/n=%zu", n);
+        report.add(name, fast, reps, base);
+
+        // A * B^dag: materialized dagger vs. the fused kernel.
+        base = measureNs(reps, [&] { CMatrix c = a * b.dagger(); });
+        fast = measureNs(reps, [&] { multiplyDaggerInto(dest, a, b); });
+        std::snprintf(name, sizeof(name), "gemm_dagger/n=%zu", n);
+        report.add(name, fast, reps, base);
+
+        // A^dag * B.
+        base = measureNs(reps, [&] { CMatrix c = a.dagger() * b; });
+        fast = measureNs(reps, [&] { multiplyAdjointInto(dest, a, b); });
+        std::snprintf(name, sizeof(name), "gemm_adjoint/n=%zu", n);
+        report.add(name, fast, reps, base);
+
+        // Scaled accumulate (the step-Hamiltonian build).
+        CMatrix acc(n, n);
+        base = measureNs(reps, [&] { acc += b * Cmplx(0.5, 0.0); });
+        fast = measureNs(
+            reps, [&] { addScaledInPlace(acc, b, Cmplx(0.5, 0.0)); });
+        std::snprintf(name, sizeof(name), "axpy/n=%zu", n);
+        report.add(name, fast, reps, base);
+
+        // Spectral exponential.
+        base = measureNs(reps,
+                         [&] { CMatrix u = naiveExpiFromEig(eig, 0.5); });
+        fast = measureNs(reps,
+                         [&] { expiFromEigInto(dest, eig, 0.5, ws); });
+        std::snprintf(name, sizeof(name), "expi_from_eig/n=%zu", n);
+        report.add(name, fast, reps, base);
+
+        // Hermitian eigendecomposition: fresh-allocation API vs. the
+        // workspace variant reusing one EigResult.
+        long long eig_reps = reps / 10;
+        EigResult scratch_eig;
+        base = measureNs(eig_reps, [&] { EigResult e = hermitianEig(h); });
+        fast = measureNs(eig_reps,
+                         [&] { hermitianEig(h, scratch_eig, ws); });
+        std::snprintf(name, sizeof(name), "hermitian_eig/n=%zu", n);
+        report.add(name, fast, eig_reps, base);
+
+        // GRAPE gradient kernel: value API vs. allocation-free variant.
+        base = measureNs(eig_reps, [&] {
+            CMatrix d = expiDirectionalDerivative(eig, h, 0.5);
+        });
+        fast = measureNs(eig_reps, [&] {
+            expiDirectionalDerivativeInto(dest, eig, h, 0.5, ws);
+        });
+        std::snprintf(name, sizeof(name), "directional_deriv/n=%zu", n);
+        report.add(name, fast, eig_reps, base);
+
+        // Pade exponential (no naive twin — tracked absolute).
+        CMatrix gen = h * Cmplx(0.0, -0.5);
+        fast = measureNs(eig_reps, [&] { CMatrix e = expmPade(gen); });
+        std::snprintf(name, sizeof(name), "expm_pade/n=%zu", n);
+        report.add(name, fast, eig_reps);
+    }
+
+    // CachingOracle: miss-path pricing vs. cached lookups, plus the
+    // observed hit rate from the new stats() counters.
+    {
+        CachingOracle oracle(std::make_shared<AnalyticOracle>());
+        const Gate gates[] = {makeH(0),           makeT(1),
+                              makeRx(0, 0.7),     makeRz(1, 1.3),
+                              makeCnot(0, 1),     makeCz(0, 1),
+                              makeRzz(0, 1, 0.9), makeSwap(0, 1)};
+        double miss_start = nowNs();
+        for (const Gate &g : gates)
+            oracle.latencyNs(g);
+        double miss_ns = (nowNs() - miss_start) / 8.0;
+
+        const long long lookup_reps = quick ? 200 : 2000;
+        double hit_ns = measureNs(lookup_reps, [&] {
+            for (const Gate &g : gates)
+                oracle.latencyNs(g);
+        }) / 8.0;
+
+        CachingOracle::Stats stats = oracle.stats();
+        BenchReport::Record &r =
+            report.add("oracle_cached_lookup", hit_ns,
+                       lookup_reps * 8, miss_ns);
+        r.extra.emplace_back("hit_rate", stats.hitRate());
+        r.extra.emplace_back("entries",
+                             static_cast<double>(stats.entries));
+        r.extra.emplace_back("peak_inflight",
+                             static_cast<double>(stats.peakInflight));
+    }
+
+    for (const BenchReport::Record &r : report.records()) {
+        if (r.baselineNsPerOp > 0.0)
+            std::printf("  %-24s %10.1f ns/op  (baseline %10.1f, "
+                        "speedup %5.2fx)\n",
+                        r.name.c_str(), r.nsPerOp, r.baselineNsPerOp,
+                        r.baselineNsPerOp / r.nsPerOp);
+        else
+            std::printf("  %-24s %10.1f ns/op\n", r.name.c_str(),
+                        r.nsPerOp);
+    }
+    std::printf("\n");
+    return report.writeFile(json_path) ? 0 : 1;
+}

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <map>
-#include <thread>
 
 #include "compiler/pipeline.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace qaic {
 
@@ -50,18 +50,6 @@ runJobs(std::span<const JobView> jobs, const CompilerOptions &options,
     }
 }
 
-int
-resolveThreadCount(int threads, std::size_t jobs)
-{
-    if (threads <= 0) {
-        unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 0 ? static_cast<int>(hw) : 1;
-    }
-    if (static_cast<std::size_t>(threads) > jobs)
-        threads = static_cast<int>(jobs);
-    return threads < 1 ? 1 : threads;
-}
-
 std::vector<CompilationResult>
 runBatch(std::span<const JobView> jobs, const CompilerOptions &options,
          int threads, std::shared_ptr<CachingOracle> oracle)
@@ -94,18 +82,9 @@ runBatch(std::span<const JobView> jobs, const CompilerOptions &options,
 
     int workers = resolveThreadCount(threads, jobs.size());
     std::atomic<std::size_t> next{0};
-    if (workers == 1) {
+    runWorkers(workers, [&](int) {
         runJobs(jobs, options, oracle, next, results);
-        return results;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int w = 0; w < workers; ++w)
-        pool.emplace_back([&] {
-            runJobs(jobs, options, oracle, next, results);
-        });
-    for (std::thread &t : pool)
-        t.join();
+    });
     return results;
 }
 

@@ -5,7 +5,9 @@
 
 #include "la/eig.h"
 #include "la/expm.h"
+#include "la/kernels.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace qaic {
@@ -40,6 +42,15 @@ struct Adam
             x[i] -= lr * mhat / (std::sqrt(vhat) + eps);
         }
     }
+};
+
+/** Everything one restart produces; selection happens afterwards. */
+struct RestartOutcome
+{
+    double fidelity = 0.0;
+    int iterations = 0;
+    std::vector<double> trace;
+    std::vector<double> u;
 };
 
 } // namespace
@@ -79,106 +90,220 @@ GrapeOptimizer::optimize(const CMatrix &target, double duration_ns,
 
     CMatrix target_dag = target.dagger();
 
-    GrapeResult best;
+    const int restarts = std::max(1, options.restarts);
+
+    // Pre-draw every restart's initial guess in the sequential draw
+    // order, so results are identical whether restarts then run
+    // sequentially or fanned out over the pool.
     Rng rng(options.seed);
-
-    for (int restart = 0; restart < std::max(1, options.restarts);
-         ++restart) {
-        // Unconstrained variables; u = umax * tanh(v).
-        std::vector<double> vars(num_vars);
-        for (auto &v : vars)
+    std::vector<std::vector<double>> init(restarts);
+    for (int r = 0; r < restarts; ++r) {
+        init[r].resize(num_vars);
+        for (double &v : init[r])
             v = rng.gaussian(0.4);
+    }
 
+    /**
+     * One full Adam descent from init[restart]. All per-iteration
+     * buffers are hoisted here and the inner loops run through the
+     * allocation-free la/kernels routines; @p eig_threads > 1 fans the
+     * per-timestep eigendecompositions and gradient contractions out
+     * over the pool (workers write disjoint eigs[j]/us[j]/grad[i]
+     * slots, so results do not depend on scheduling).
+     */
+    auto runRestart = [&](int restart, int eig_threads,
+                          RestartOutcome &out) {
+        std::vector<double> vars = init[restart];
         Adam adam(num_vars);
         std::vector<double> grad(num_vars);
         std::vector<double> u(num_vars);
-        std::vector<double> trace;
-        trace.reserve(options.maxIterations);
+        out.trace.reserve(options.maxIterations);
+
+        const int eworkers =
+            resolveThreadCount(eig_threads, steps);
+        std::vector<Workspace> wss(eworkers);
+        std::vector<CMatrix> hs(eworkers, CMatrix(dim, dim));
+
+        std::vector<EigResult> eigs(steps);
+        std::vector<CMatrix> us(steps); // per-step unitaries
+        std::vector<CMatrix> prefix(steps + 1);
+        std::vector<CMatrix> suffix(steps + 1);
+        prefix[0] = CMatrix::identity(dim);
+        suffix[steps] = CMatrix::identity(dim);
 
         double fid = 0.0;
         int iters = 0;
-        std::vector<EigResult> eigs(steps);
-        std::vector<CMatrix> prefix(steps + 1);
-        std::vector<CMatrix> suffix(steps + 1);
-
         for (iters = 0; iters < options.maxIterations; ++iters) {
             for (std::size_t i = 0; i < num_vars; ++i)
                 u[i] = umax[i / steps] * std::tanh(vars[i]);
 
-            // Forward pass: step Hamiltonians, eigs, propagators.
-            for (std::size_t j = 0; j < steps; ++j) {
-                CMatrix h(dim, dim);
+            // Forward pass: step Hamiltonians by in-place accumulation,
+            // eigendecompositions and step unitaries, fanned out.
+            parallelFor(steps, eworkers, [&](std::size_t j, int w) {
+                CMatrix &h = hs[w];
+                h.setZero();
                 for (std::size_t k = 0; k < num_ch; ++k) {
                     double amp = u[k * steps + j];
                     if (amp != 0.0)
-                        h += scaled_ops[k] * Cmplx(amp, 0.0);
+                        addScaledInPlace(h, scaled_ops[k],
+                                         Cmplx(amp, 0.0));
                 }
-                eigs[j] = hermitianEig(h, 1e-6);
-            }
-            prefix[0] = CMatrix::identity(dim);
+                hermitianEig(h, eigs[j], wss[w], 1e-6);
+                expiFromEigInto(us[j], eigs[j], options.dt, wss[w]);
+            });
+
+            // Propagator prefix/suffix scans (inherently sequential).
             for (std::size_t j = 0; j < steps; ++j)
-                prefix[j + 1] =
-                    expiFromEig(eigs[j], options.dt) * prefix[j];
-            suffix[steps] = CMatrix::identity(dim);
+                multiplyInto(prefix[j + 1], us[j], prefix[j]);
             for (std::size_t j = steps; j > 0; --j)
-                suffix[j - 1] =
-                    suffix[j] * expiFromEig(eigs[j - 1], options.dt);
+                multiplyInto(suffix[j - 1], suffix[j], us[j - 1]);
 
             Cmplx z = frobeniusInner(target, prefix[steps]);
             fid = std::norm(z) / dsq;
-            trace.push_back(fid);
+            out.trace.push_back(fid);
             if (fid >= options.targetFidelity)
                 break;
 
-            // Backward pass: dF/du_k[j] = 2 Re(conj(z) Tr(W_j dU_j)) / d^2
-            // with W_j = P_{j-1} Ut^dag S_j.
-            for (std::size_t j = 0; j < steps; ++j) {
-                CMatrix w = prefix[j] * target_dag * suffix[j + 1];
+            // Backward pass: dF/du_k[j] = 2 Re(conj(z) Tr(W_j dU_j))/d^2
+            // with W_j = P_{j-1} Ut^dag S_j. Everything is contracted in
+            // the eigenbasis of step j: with Wt = V^dag W V, the Loewner
+            // matrix G, and Mbar(b,a) = conj(G(b,a) Wt(a,b)), the
+            // per-step gradient operator P = V Mbar V^dag satisfies
+            // Tr(W dU_k) = sum_{s,r} K_k(s,r) conj(P(r,s)) — six GEMMs
+            // per step total and only a sparse O(nnz(K)) contraction per
+            // channel; no dU is ever materialized.
+            parallelFor(steps, eworkers, [&](std::size_t j, int w) {
+                Workspace &lws = wss[w];
+                Workspace::Handle t1 = lws.acquire(dim, dim);
+                Workspace::Handle t2 = lws.acquire(dim, dim);
+                Workspace::Handle wt = lws.acquire(dim, dim);
+                Workspace::Handle g = lws.acquire(dim, dim);
+                Workspace::Handle p = lws.acquire(dim, dim);
+                const CMatrix &v = eigs[j].vectors;
+
+                multiplyInto(*t1, prefix[j], target_dag);
+                multiplyInto(*t2, *t1, suffix[j + 1]); // W
+                multiplyInto(*t1, *t2, v);             // W V
+                multiplyAdjointInto(*wt, v, *t1);      // V^dag W V
+                loewnerInto(*g, eigs[j].values, options.dt);
+
+                // Mbar(b,a) = conj(G(b,a) * Wt(a,b)), built in t2.
+                {
+                    const Cmplx *wtd = wt->raw();
+                    const Cmplx *gd = g->raw();
+                    Cmplx *md = t2->raw();
+                    for (std::size_t b = 0; b < dim; ++b) {
+                        const Cmplx *grow = gd + b * dim;
+                        Cmplx *mrow = md + b * dim;
+                        for (std::size_t a = 0; a < dim; ++a) {
+                            const double gr = grow[a].real();
+                            const double gi = grow[a].imag();
+                            const Cmplx wab = wtd[a * dim + b];
+                            const double wr = wab.real();
+                            const double wi = wab.imag();
+                            mrow[a] = Cmplx(gr * wr - gi * wi,
+                                            -(gr * wi + gi * wr));
+                        }
+                    }
+                }
+                multiplyInto(*t1, v, *t2);        // V Mbar
+                multiplyDaggerInto(*p, *t1, v);   // P = V Mbar V^dag
+
+                const Cmplx *pd = p->raw();
                 for (std::size_t k = 0; k < num_ch; ++k) {
-                    CMatrix du = expiDirectionalDerivative(
-                        eigs[j], scaled_ops[k], options.dt);
-                    // Tr(W du) without forming the product.
-                    Cmplx tr(0.0, 0.0);
-                    for (std::size_t a = 0; a < dim; ++a)
-                        for (std::size_t b = 0; b < dim; ++b)
-                            tr += w(a, b) * du(b, a);
+                    // Tr(W dU_k) = sum_{r,s} K(r,s) conj(P(r,s)); the
+                    // channel operators are sparse Paulis, so skip their
+                    // zero entries.
+                    const CMatrix &kop = scaled_ops[k];
+                    const Cmplx *kd = kop.raw();
+                    double tr_re = 0.0, tr_im = 0.0;
+                    for (std::size_t r = 0; r < dim; ++r) {
+                        const Cmplx *krow = kd + r * dim;
+                        const Cmplx *prow = pd + r * dim;
+                        for (std::size_t s = 0; s < dim; ++s) {
+                            const double kr = krow[s].real();
+                            const double ki = krow[s].imag();
+                            if (kr == 0.0 && ki == 0.0)
+                                continue;
+                            const double pr = prow[s].real();
+                            const double pi = prow[s].imag();
+                            tr_re += kr * pr + ki * pi;
+                            tr_im += ki * pr - kr * pi;
+                        }
+                    }
+                    Cmplx tr(tr_re, tr_im);
                     double dfid = 2.0 * (std::conj(z) * tr).real() / dsq;
 
                     std::size_t i = k * steps + j;
                     // Loss = 1 - F + penalties; descend.
-                    double g = -dfid;
+                    double gpen = -dfid;
                     double un = u[i] / umax[k];
-                    g += 2.0 * options.amplitudePenalty * un /
-                         (umax[k] * double(num_vars));
+                    gpen += 2.0 * options.amplitudePenalty * un /
+                            (umax[k] * double(num_vars));
                     // Slope penalty on neighbouring steps.
                     if (options.slopePenalty > 0.0) {
-                        double left =
-                            j > 0 ? u[k * steps + j - 1] : 0.0;
+                        double left = j > 0 ? u[k * steps + j - 1] : 0.0;
                         double right =
                             j + 1 < steps ? u[k * steps + j + 1] : 0.0;
-                        g += 2.0 * options.slopePenalty *
-                             (2.0 * u[i] - left - right) /
-                             (umax[k] * umax[k] * double(num_vars));
+                        gpen += 2.0 * options.slopePenalty *
+                                (2.0 * u[i] - left - right) /
+                                (umax[k] * umax[k] * double(num_vars));
                     }
                     // Chain rule through u = umax * tanh(v).
                     double du_dv = umax[k] - u[i] * u[i] / umax[k];
-                    grad[i] = g * du_dv;
+                    grad[i] = gpen * du_dv;
                 }
-            }
+            });
             adam.update(vars, grad, options.learningRate);
         }
 
-        if (fid > best.fidelity) {
-            best.fidelity = fid;
-            best.iterations = iters;
-            best.converged = fid >= options.targetFidelity;
-            best.trace = std::move(trace);
+        out.fidelity = fid;
+        out.iterations = iters;
+        out.u = std::move(u);
+    };
+
+    // Scheduling policy: multiple restarts own the pool (one worker per
+    // restart, eigs sequential inside); a single restart spends the pool
+    // on the per-timestep fan-out instead.
+    const int pool = resolveThreadCount(
+        options.threads, std::max<std::size_t>(restarts, steps));
+
+    std::vector<RestartOutcome> outcomes(restarts);
+    std::vector<char> ran(restarts, 0);
+    if (restarts > 1 && pool > 1) {
+        parallelFor(restarts, std::min(pool, restarts),
+                    [&](std::size_t r, int) {
+                        runRestart(static_cast<int>(r), 1, outcomes[r]);
+                        ran[r] = 1;
+                    });
+    } else {
+        for (int r = 0; r < restarts; ++r) {
+            runRestart(r, pool, outcomes[r]);
+            ran[r] = 1;
+            // Sequential early exit: later restarts are skipped once one
+            // converges (the selection below replicates this cut-off for
+            // the parallel path).
+            if (outcomes[r].fidelity >= options.targetFidelity)
+                break;
+        }
+    }
+
+    // Winner selection, replicating the sequential scan: track the best
+    // fidelity in restart order and stop at the first converged restart.
+    GrapeResult best;
+    for (int r = 0; r < restarts && ran[r]; ++r) {
+        RestartOutcome &o = outcomes[r];
+        if (o.fidelity > best.fidelity) {
+            best.fidelity = o.fidelity;
+            best.iterations = o.iterations;
+            best.converged = o.fidelity >= options.targetFidelity;
+            best.trace = std::move(o.trace);
             best.pulses.dt = options.dt;
             best.pulses.amplitudes.assign(num_ch, {});
             for (std::size_t k = 0; k < num_ch; ++k) {
                 best.pulses.amplitudes[k].resize(steps);
                 for (std::size_t j = 0; j < steps; ++j)
-                    best.pulses.amplitudes[k][j] = u[k * steps + j];
+                    best.pulses.amplitudes[k][j] = o.u[k * steps + j];
             }
         }
         if (best.converged)

@@ -44,6 +44,17 @@ struct GrapeOptions
     int restarts = 2;
     /** PRNG seed for the initial pulse guesses. */
     std::uint64_t seed = 7;
+    /**
+     * Worker threads: 1 (the default) runs sequentially, <= 0 picks the
+     * hardware concurrency. Multiple restarts fan out one-per-worker;
+     * otherwise the per-timestep eigendecompositions and gradient
+     * contractions fan out within the iteration. Results are identical
+     * for every thread count (restart seeds are pre-drawn and workers
+     * write disjoint outputs). Sequential is the default because GRAPE
+     * often already runs inside a compileBatch worker — opt in where
+     * the synthesis owns the machine.
+     */
+    int threads = 1;
 };
 
 /** Outcome of a GRAPE run. */

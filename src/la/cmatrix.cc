@@ -50,6 +50,20 @@ CMatrix::diag(const std::vector<Cmplx> &entries)
     return m;
 }
 
+void
+CMatrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
+void
+CMatrix::setZero()
+{
+    std::fill(data_.begin(), data_.end(), Cmplx(0.0, 0.0));
+}
+
 Cmplx &
 CMatrix::operator()(std::size_t r, std::size_t c)
 {
@@ -242,9 +256,13 @@ CMatrix::isHermitian(double tol) const
 {
     if (!isSquare())
         return false;
+    // |x| >= tol iff |x|^2 >= tol^2; std::norm avoids a sqrt per entry
+    // (this check runs once per GRAPE timestep eigendecomposition).
+    const double tol2 = tol * tol;
     for (std::size_t i = 0; i < rows_; ++i)
         for (std::size_t j = i; j < cols_; ++j)
-            if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) >= tol)
+            if (std::norm((*this)(i, j) - std::conj((*this)(j, i))) >=
+                tol2)
                 return false;
     return true;
 }

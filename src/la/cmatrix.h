@@ -56,6 +56,20 @@ class CMatrix
     /** Raw storage, row major, size rows()*cols(). */
     const std::vector<Cmplx> &data() const { return data_; }
 
+    /** Raw row-major storage pointer (kernel fast paths). */
+    Cmplx *raw() { return data_.data(); }
+    const Cmplx *raw() const { return data_.data(); }
+
+    /**
+     * Reshapes to @p rows x @p cols without preserving contents; reuses
+     * the existing allocation when capacity suffices. Entries are left
+     * unspecified — callers must overwrite (or call setZero).
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /** Sets every entry to zero, keeping the shape. */
+    void setZero();
+
     CMatrix operator+(const CMatrix &rhs) const;
     CMatrix operator-(const CMatrix &rhs) const;
     CMatrix operator*(const CMatrix &rhs) const;

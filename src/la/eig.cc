@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "util/logging.h"
 
@@ -23,18 +22,29 @@ offDiagonalNorm2(const CMatrix &a)
 
 /**
  * One cyclic Jacobi sweep over all pivots of Hermitian @p a, accumulating
- * the applied rotations into @p v.
+ * the applied rotations into @p v. The rotation updates are spelled out
+ * on the raw real/imag parts — this is the innermost kernel of every
+ * GRAPE timestep and std::complex products would lower to __muldc3.
  */
 void
 jacobiSweep(CMatrix &a, CMatrix &v)
 {
     const std::size_t n = a.rows();
+    Cmplx *ad = a.raw();
+    Cmplx *vd = v.raw();
     for (std::size_t p = 0; p < n; ++p) {
         for (std::size_t q = p + 1; q < n; ++q) {
-            double r = std::abs(a(p, q));
+            const double apq_re = a(p, q).real();
+            const double apq_im = a(p, q).imag();
+            const double r2 = apq_re * apq_re + apq_im * apq_im;
+            // r and the pivot phase, spelled out to avoid the complex
+            // abs (hypot) and division (__divdc3) library calls.
+            const double r = std::sqrt(r2);
             if (r < 1e-300)
                 continue;
-            Cmplx phase = a(p, q) / r;
+            const double inv_r = 1.0 / r;
+            const double phase_re = apq_re * inv_r;
+            const double phase_im = apq_im * inv_r;
             double app = a(p, p).real();
             double aqq = a(q, q).real();
             double tau = (aqq - app) / (2.0 * r);
@@ -42,29 +52,44 @@ jacobiSweep(CMatrix &a, CMatrix &v)
                        (std::abs(tau) + std::sqrt(1.0 + tau * tau));
             double c = 1.0 / std::sqrt(1.0 + t * t);
             double s = t * c;
-            Cmplx se_pos = s * phase;            // s * e^{+i phi}
-            Cmplx se_neg = s * std::conj(phase); // s * e^{-i phi}
+            // s * e^{+i phi} and s * e^{-i phi}.
+            const double spr = s * phase_re;
+            const double spi = s * phase_im;
+            const double snr = spr;
+            const double sni = -spi;
 
             // Column update: A <- A * J.
             for (std::size_t i = 0; i < n; ++i) {
-                Cmplx aip = a(i, p);
-                Cmplx aiq = a(i, q);
-                a(i, p) = c * aip - se_neg * aiq;
-                a(i, q) = se_pos * aip + c * aiq;
+                Cmplx *row = ad + i * n;
+                const double pr = row[p].real(), pi = row[p].imag();
+                const double qr = row[q].real(), qi = row[q].imag();
+                row[p] = Cmplx(c * pr - (snr * qr - sni * qi),
+                               c * pi - (snr * qi + sni * qr));
+                row[q] = Cmplx(spr * pr - spi * pi + c * qr,
+                               spr * pi + spi * pr + c * qi);
             }
             // Row update: A <- J^dag * A.
-            for (std::size_t j = 0; j < n; ++j) {
-                Cmplx apj = a(p, j);
-                Cmplx aqj = a(q, j);
-                a(p, j) = c * apj - se_pos * aqj;
-                a(q, j) = se_neg * apj + c * aqj;
+            {
+                Cmplx *prow = ad + p * n;
+                Cmplx *qrow = ad + q * n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double pr = prow[j].real(), pi = prow[j].imag();
+                    const double qr = qrow[j].real(), qi = qrow[j].imag();
+                    prow[j] = Cmplx(c * pr - (spr * qr - spi * qi),
+                                    c * pi - (spr * qi + spi * qr));
+                    qrow[j] = Cmplx(snr * pr - sni * pi + c * qr,
+                                    snr * pi + sni * pr + c * qi);
+                }
             }
             // Accumulate eigenvectors: V <- V * J.
             for (std::size_t i = 0; i < n; ++i) {
-                Cmplx vip = v(i, p);
-                Cmplx viq = v(i, q);
-                v(i, p) = c * vip - se_neg * viq;
-                v(i, q) = se_pos * vip + c * viq;
+                Cmplx *row = vd + i * n;
+                const double pr = row[p].real(), pi = row[p].imag();
+                const double qr = row[q].real(), qi = row[q].imag();
+                row[p] = Cmplx(c * pr - (snr * qr - sni * qi),
+                               c * pi - (snr * qi + sni * qr));
+                row[q] = Cmplx(spr * pr - spi * pi + c * qr,
+                               spr * pi + spi * pr + c * qi);
             }
         }
     }
@@ -72,47 +97,88 @@ jacobiSweep(CMatrix &a, CMatrix &v)
 
 } // namespace
 
-EigResult
-hermitianEig(const CMatrix &a, double herm_tol)
+void
+hermitianEig(const CMatrix &a, EigResult &out, Workspace &ws,
+             double herm_tol)
 {
     QAIC_CHECK(a.isSquare());
-    QAIC_CHECK(a.isHermitian(herm_tol)) << "hermitianEig on non-Hermitian";
 
     const std::size_t n = a.rows();
-    CMatrix work = a;
-    CMatrix v = CMatrix::identity(n);
+    Workspace::Handle wh = ws.acquire(n, n);
+    CMatrix &work = *wh;
 
-    double scale = std::max(1.0, work.frobeniusNorm());
+    // One fused pass: copy into scratch, Hermiticity check, Frobenius
+    // norm and the initial off-diagonal norm (this runs once per GRAPE
+    // timestep, so the three separate passes it replaces were hot).
+    const Cmplx *ad = a.raw();
+    Cmplx *wd = work.raw();
+    const double herm_tol2 = herm_tol * herm_tol;
+    bool hermitian = true;
+    double fro2 = 0.0;
+    double off2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const Cmplx x = ad[i * n + j];
+            wd[i * n + j] = x;
+            fro2 += std::norm(x);
+            if (j > i) {
+                off2 += std::norm(x);
+                if (std::norm(x - std::conj(ad[j * n + i])) >=
+                    herm_tol2)
+                    hermitian = false;
+            } else if (j == i) {
+                // Diagonal entries must be real: |x - conj(x)| =
+                // 2|Im(x)|.
+                const double im2 = 4.0 * x.imag() * x.imag();
+                if (im2 >= herm_tol2)
+                    hermitian = false;
+            }
+        }
+    }
+    QAIC_CHECK(hermitian) << "hermitianEig on non-Hermitian";
+
+    CMatrix &v = out.vectors;
+    v.resize(n, n);
+    v.setZero();
+    for (std::size_t i = 0; i < n; ++i)
+        v(i, i) = 1.0;
+
+    double scale = std::max(1.0, std::sqrt(fro2));
     const double tol2 = 1e-28 * scale * scale;
     const int max_sweeps = 60;
     int sweep = 0;
-    while (offDiagonalNorm2(work) > tol2 && sweep < max_sweeps) {
+    while (off2 > tol2 && sweep < max_sweeps) {
         jacobiSweep(work, v);
         ++sweep;
+        off2 = offDiagonalNorm2(work);
     }
     QAIC_CHECK_LT(sweep, max_sweeps) << "Jacobi failed to converge";
 
-    EigResult out;
     out.values.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         out.values[i] = work(i, i).real();
 
-    // Sort eigenpairs ascending by eigenvalue.
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
-        return out.values[i] < out.values[j];
-    });
-
-    std::vector<double> sorted_values(n);
-    CMatrix sorted_vectors(n, n);
-    for (std::size_t k = 0; k < n; ++k) {
-        sorted_values[k] = out.values[order[k]];
+    // Sort eigenpairs ascending (selection sort, swapping columns of v
+    // in place — no index or copy buffers).
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+        std::size_t min_idx = k;
+        for (std::size_t j = k + 1; j < n; ++j)
+            if (out.values[j] < out.values[min_idx])
+                min_idx = j;
+        if (min_idx == k)
+            continue;
+        std::swap(out.values[k], out.values[min_idx]);
         for (std::size_t i = 0; i < n; ++i)
-            sorted_vectors(i, k) = v(i, order[k]);
+            std::swap(v(i, k), v(i, min_idx));
     }
-    out.values = std::move(sorted_values);
-    out.vectors = std::move(sorted_vectors);
+}
+
+EigResult
+hermitianEig(const CMatrix &a, double herm_tol)
+{
+    Workspace ws;
+    EigResult out;
+    hermitianEig(a, out, ws, herm_tol);
     return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "la/cmatrix.h"
+#include "la/kernels.h"
 
 namespace qaic {
 
@@ -32,6 +33,14 @@ struct EigResult
  * @return Eigenvalues (ascending) and orthonormal eigenvectors.
  */
 EigResult hermitianEig(const CMatrix &a, double herm_tol = 1e-9);
+
+/**
+ * Allocation-free variant: writes the decomposition into @p out (whose
+ * storage is reused across calls) and takes Jacobi scratch from @p ws.
+ * The hot path for per-timestep decompositions in GRAPE.
+ */
+void hermitianEig(const CMatrix &a, EigResult &out, Workspace &ws,
+                  double herm_tol = 1e-9);
 
 /**
  * Result of simultaneously diagonalizing two commuting Hermitian matrices:

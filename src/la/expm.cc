@@ -7,14 +7,31 @@
 
 namespace qaic {
 
+void
+expiFromEigInto(CMatrix &dest, const EigResult &eig, double t,
+                Workspace &ws)
+{
+    const std::size_t n = eig.vectors.rows();
+    QAIC_CHECK(&dest != &eig.vectors);
+    Workspace::Handle ph = ws.acquire(1, n);
+    Cmplx *phases = ph->raw();
+    for (std::size_t j = 0; j < n; ++j)
+        phases[j] = std::exp(Cmplx(0.0, -t * eig.values[j]));
+
+    // T = V * diag(phases) is an O(n^2) column scaling; the only cubic
+    // work is the single dagger-fused product T V^dag.
+    Workspace::Handle th = ws.acquire(n, n);
+    scaleColumnsInto(*th, eig.vectors, phases);
+    multiplyDaggerInto(dest, *th, eig.vectors);
+}
+
 CMatrix
 expiFromEig(const EigResult &eig, double t)
 {
-    const std::size_t n = eig.vectors.rows();
-    CMatrix phases(n, n);
-    for (std::size_t i = 0; i < n; ++i)
-        phases(i, i) = std::exp(Cmplx(0.0, -t * eig.values[i]));
-    return eig.vectors * phases * eig.vectors.dagger();
+    Workspace ws;
+    CMatrix out;
+    expiFromEigInto(out, eig, t, ws);
+    return out;
 }
 
 CMatrix
@@ -43,7 +60,6 @@ expmPade(const CMatrix &a)
         squarings = static_cast<int>(
             std::ceil(std::log2(norm1 / theta13)));
     }
-    CMatrix scaled = a * Cmplx(std::ldexp(1.0, -squarings), 0.0);
 
     static const double b[] = {
         64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
@@ -52,56 +68,151 @@ expmPade(const CMatrix &a)
         40840800.0,          960960.0,            16380.0,
         182.0,               1.0};
 
-    CMatrix ident = CMatrix::identity(n);
-    CMatrix a2 = scaled * scaled;
-    CMatrix a4 = a2 * a2;
-    CMatrix a6 = a2 * a4;
+    Workspace ws;
+    Workspace::Handle scaled_h = ws.acquire(n, n);
+    CMatrix &scaled = *scaled_h;
+    {
+        const double factor = std::ldexp(1.0, -squarings);
+        const Cmplx *ad = a.raw();
+        Cmplx *sd = scaled.raw();
+        for (std::size_t i = 0; i < n * n; ++i)
+            sd[i] = Cmplx(ad[i].real() * factor, ad[i].imag() * factor);
+    }
 
-    CMatrix u_inner = a6 * (a6 * Cmplx(b[13], 0.0) + a4 * Cmplx(b[11], 0.0) +
-                            a2 * Cmplx(b[9], 0.0)) +
-                      a6 * Cmplx(b[7], 0.0) + a4 * Cmplx(b[5], 0.0) +
-                      a2 * Cmplx(b[3], 0.0) + ident * Cmplx(b[1], 0.0);
-    CMatrix u = scaled * u_inner;
-    CMatrix v = a6 * (a6 * Cmplx(b[12], 0.0) + a4 * Cmplx(b[10], 0.0) +
-                      a2 * Cmplx(b[8], 0.0)) +
-                a6 * Cmplx(b[6], 0.0) + a4 * Cmplx(b[4], 0.0) +
-                a2 * Cmplx(b[2], 0.0) + ident * Cmplx(b[0], 0.0);
+    Workspace::Handle a2h = ws.acquire(n, n);
+    Workspace::Handle a4h = ws.acquire(n, n);
+    Workspace::Handle a6h = ws.acquire(n, n);
+    CMatrix &a2 = *a2h, &a4 = *a4h, &a6 = *a6h;
+    multiplyInto(a2, scaled, scaled);
+    multiplyInto(a4, a2, a2);
+    multiplyInto(a6, a2, a4);
+
+    Workspace::Handle poly_h = ws.acquire(n, n);
+    Workspace::Handle acc_h = ws.acquire(n, n);
+    CMatrix &poly = *poly_h, &acc = *acc_h;
+
+    // U = scaled * (a6 (b13 a6 + b11 a4 + b9 a2) + b7 a6 + b5 a4
+    //               + b3 a2 + b1 I).
+    poly.setZero();
+    addScaledInPlace(poly, a6, Cmplx(b[13], 0.0));
+    addScaledInPlace(poly, a4, Cmplx(b[11], 0.0));
+    addScaledInPlace(poly, a2, Cmplx(b[9], 0.0));
+    multiplyInto(acc, a6, poly);
+    addScaledInPlace(acc, a6, Cmplx(b[7], 0.0));
+    addScaledInPlace(acc, a4, Cmplx(b[5], 0.0));
+    addScaledInPlace(acc, a2, Cmplx(b[3], 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        acc(i, i) += b[1];
+    Workspace::Handle u_h = ws.acquire(n, n);
+    CMatrix &u = *u_h;
+    multiplyInto(u, scaled, acc);
+
+    // V = a6 (b12 a6 + b10 a4 + b8 a2) + b6 a6 + b4 a4 + b2 a2 + b0 I.
+    poly.setZero();
+    addScaledInPlace(poly, a6, Cmplx(b[12], 0.0));
+    addScaledInPlace(poly, a4, Cmplx(b[10], 0.0));
+    addScaledInPlace(poly, a2, Cmplx(b[8], 0.0));
+    CMatrix &v = acc;
+    multiplyInto(v, a6, poly);
+    addScaledInPlace(v, a6, Cmplx(b[6], 0.0));
+    addScaledInPlace(v, a4, Cmplx(b[4], 0.0));
+    addScaledInPlace(v, a2, Cmplx(b[2], 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        v(i, i) += b[0];
 
     // exp(A) ~ (V - U)^{-1} (V + U), then undo the scaling by squaring.
-    CMatrix result = LuFactorization(v - u).solve(v + u);
-    for (int s = 0; s < squarings; ++s)
-        result = result * result;
+    CMatrix &vmu = poly; // poly is free again
+    vmu = v;
+    addScaledInPlace(vmu, u, Cmplx(-1.0, 0.0));
+    addScaledInPlace(v, u, Cmplx(1.0, 0.0)); // v now holds V + U
+    CMatrix result = LuFactorization(vmu).solve(v);
+
+    // Squaring reuses one scratch matrix instead of allocating per step.
+    Workspace::Handle sq_h = ws.acquire(n, n);
+    for (int s = 0; s < squarings; ++s) {
+        multiplyInto(*sq_h, result, result);
+        std::swap(result, *sq_h);
+    }
     return result;
+}
+
+void
+loewnerInto(CMatrix &g, const std::vector<double> &values, double t)
+{
+    const std::size_t n = values.size();
+    g.resize(n, n);
+
+    // Precompute the n eigenphases once instead of n^2 complex exps.
+    Cmplx stack_exps[64];
+    std::vector<Cmplx> heap_exps;
+    Cmplx *exps = stack_exps;
+    if (n > 64) {
+        heap_exps.resize(n);
+        exps = heap_exps.data();
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        exps[j] = std::exp(Cmplx(0.0, -t * values[j]));
+
+    for (std::size_t a = 0; a < n; ++a) {
+        const Cmplx ea = exps[a];
+        for (std::size_t c = 0; c < n; ++c) {
+            if (c == a) {
+                g(a, c) = Cmplx(0.0, -t) * ea;
+                continue;
+            }
+            double gap = values[a] - values[c];
+            if (std::abs(gap) < 1e-10) {
+                // Confluent limit: f'(x) = -i t e^{-i t x}.
+                double mid = 0.5 * (values[a] + values[c]);
+                g(a, c) =
+                    Cmplx(0.0, -t) * std::exp(Cmplx(0.0, -t * mid));
+            } else {
+                const Cmplx ec = exps[c];
+                const double inv_gap = 1.0 / gap;
+                g(a, c) = Cmplx((ea.real() - ec.real()) * inv_gap,
+                                (ea.imag() - ec.imag()) * inv_gap);
+            }
+        }
+    }
+}
+
+void
+expiDirectionalDerivativeInto(CMatrix &dest, const EigResult &eig,
+                              const CMatrix &k, double t, Workspace &ws)
+{
+    const std::size_t n = eig.vectors.rows();
+    QAIC_CHECK_EQ(k.rows(), n);
+
+    Workspace::Handle t1h = ws.acquire(n, n);
+    Workspace::Handle t2h = ws.acquire(n, n);
+    CMatrix &t1 = *t1h, &t2 = *t2h;
+
+    // Transform the direction into the eigenbasis of H: Kt = V^dag K V.
+    multiplyInto(t1, k, eig.vectors);
+    multiplyAdjointInto(t2, eig.vectors, t1);
+
+    // Hadamard product with the Loewner matrix of f(x) = exp(-i t x).
+    loewnerInto(t1, eig.values, t);
+    {
+        Cmplx *gd = t1.raw();
+        const Cmplx *kd = t2.raw();
+        for (std::size_t i = 0; i < n * n; ++i) {
+            const double gr = gd[i].real(), gi = gd[i].imag();
+            const double kr = kd[i].real(), ki = kd[i].imag();
+            gd[i] = Cmplx(gr * kr - gi * ki, gr * ki + gi * kr);
+        }
+    }
+    multiplyInto(t2, eig.vectors, t1);
+    multiplyDaggerInto(dest, t2, eig.vectors);
 }
 
 CMatrix
 expiDirectionalDerivative(const EigResult &eig, const CMatrix &k, double t)
 {
-    const std::size_t n = eig.vectors.rows();
-    QAIC_CHECK_EQ(k.rows(), n);
-
-    // Transform the direction into the eigenbasis of H.
-    CMatrix kt = eig.vectors.dagger() * (k * eig.vectors);
-
-    // Loewner (divided-difference) matrix of f(x) = exp(-i t x).
-    CMatrix g(n, n);
-    for (std::size_t a = 0; a < n; ++a) {
-        Cmplx ea = std::exp(Cmplx(0.0, -t * eig.values[a]));
-        for (std::size_t c = 0; c < n; ++c) {
-            double gap = eig.values[a] - eig.values[c];
-            Cmplx phi;
-            if (std::abs(gap) < 1e-10) {
-                // Confluent limit: f'(x) = -i t e^{-i t x}.
-                double mid = 0.5 * (eig.values[a] + eig.values[c]);
-                phi = Cmplx(0.0, -t) * std::exp(Cmplx(0.0, -t * mid));
-            } else {
-                Cmplx ec = std::exp(Cmplx(0.0, -t * eig.values[c]));
-                phi = (ea - ec) / Cmplx(gap, 0.0);
-            }
-            g(a, c) = phi * kt(a, c);
-        }
-    }
-    return eig.vectors * g * eig.vectors.dagger();
+    Workspace ws;
+    CMatrix out;
+    expiDirectionalDerivativeInto(out, eig, k, t, ws);
+    return out;
 }
 
 } // namespace qaic

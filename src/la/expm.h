@@ -12,6 +12,7 @@
 
 #include "la/cmatrix.h"
 #include "la/eig.h"
+#include "la/kernels.h"
 
 namespace qaic {
 
@@ -25,6 +26,23 @@ CMatrix expiHermitian(const CMatrix &h, double t);
 
 /** exp(-i t H) reusing a precomputed eigendecomposition of H. */
 CMatrix expiFromEig(const EigResult &eig, double t);
+
+/**
+ * Allocation-free variant of expiFromEig: dest = V e^{-i t D} V^dag,
+ * computed as an O(n^2) column scaling followed by one dagger-fused
+ * product. @p dest must not alias eig.vectors.
+ */
+void expiFromEigInto(CMatrix &dest, const EigResult &eig, double t,
+                     Workspace &ws);
+
+/**
+ * Loewner (divided-difference) coefficients of f(x) = exp(-i t x) over
+ * the spectrum @p values: g(a,c) = (f(l_a) - f(l_c)) / (l_a - l_c),
+ * with the confluent limit f'((l_a + l_c)/2) on (near-)degenerate
+ * pairs. The shared kernel of the directional derivative and the GRAPE
+ * gradient contraction.
+ */
+void loewnerInto(CMatrix &g, const std::vector<double> &values, double t);
 
 /**
  * General matrix exponential exp(A) via scaling-and-squaring with a
@@ -47,6 +65,11 @@ CMatrix expmPade(const CMatrix &a);
  */
 CMatrix expiDirectionalDerivative(const EigResult &eig, const CMatrix &k,
                                   double t);
+
+/** Allocation-free variant of expiDirectionalDerivative. */
+void expiDirectionalDerivativeInto(CMatrix &dest, const EigResult &eig,
+                                   const CMatrix &k, double t,
+                                   Workspace &ws);
 
 } // namespace qaic
 

@@ -1,0 +1,172 @@
+#include "la/kernels.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** k-tile so a block of b stays cache-resident for large operands. */
+constexpr std::size_t kBlock = 64;
+
+} // namespace
+
+void
+multiplyInto(CMatrix &dest, const CMatrix &a, const CMatrix &b)
+{
+    QAIC_CHECK_EQ(a.cols(), b.rows());
+    QAIC_CHECK(&dest != &a && &dest != &b);
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = b.cols();
+    dest.resize(m, n);
+    dest.setZero();
+    const Cmplx *ad = a.raw();
+    const Cmplx *bd = b.raw();
+    Cmplx *dd = dest.raw();
+    for (std::size_t k0 = 0; k0 < kk; k0 += kBlock) {
+        const std::size_t k1 = std::min(kk, k0 + kBlock);
+        for (std::size_t i = 0; i < m; ++i) {
+            const Cmplx *arow = ad + i * kk;
+            Cmplx *drow = dd + i * n;
+            for (std::size_t k = k0; k < k1; ++k) {
+                const double ar = arow[k].real();
+                const double ai = arow[k].imag();
+                if (ar == 0.0 && ai == 0.0)
+                    continue;
+                const Cmplx *brow = bd + k * n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double br = brow[j].real();
+                    const double bi = brow[j].imag();
+                    drow[j] += Cmplx(ar * br - ai * bi, ar * bi + ai * br);
+                }
+            }
+        }
+    }
+}
+
+void
+multiplyDaggerInto(CMatrix &dest, const CMatrix &a, const CMatrix &b)
+{
+    QAIC_CHECK_EQ(a.cols(), b.cols());
+    QAIC_CHECK(&dest != &a && &dest != &b);
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = b.rows();
+    dest.resize(m, n);
+    const Cmplx *ad = a.raw();
+    const Cmplx *bd = b.raw();
+    Cmplx *dd = dest.raw();
+    for (std::size_t i = 0; i < m; ++i) {
+        const Cmplx *arow = ad + i * kk;
+        Cmplx *drow = dd + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const Cmplx *brow = bd + j * kk;
+            double sr = 0.0, si = 0.0;
+            for (std::size_t k = 0; k < kk; ++k) {
+                const double ar = arow[k].real();
+                const double ai = arow[k].imag();
+                // a(i,k) * conj(b(j,k))
+                const double br = brow[k].real();
+                const double bi = -brow[k].imag();
+                sr += ar * br - ai * bi;
+                si += ar * bi + ai * br;
+            }
+            drow[j] = Cmplx(sr, si);
+        }
+    }
+}
+
+void
+multiplyAdjointInto(CMatrix &dest, const CMatrix &a, const CMatrix &b)
+{
+    QAIC_CHECK_EQ(a.rows(), b.rows());
+    QAIC_CHECK(&dest != &a && &dest != &b);
+    const std::size_t m = a.cols();
+    const std::size_t kk = a.rows();
+    const std::size_t n = b.cols();
+    dest.resize(m, n);
+    dest.setZero();
+    const Cmplx *ad = a.raw();
+    const Cmplx *bd = b.raw();
+    Cmplx *dd = dest.raw();
+    for (std::size_t k = 0; k < kk; ++k) {
+        const Cmplx *arow = ad + k * m;
+        const Cmplx *brow = bd + k * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            // conj(a(k,i))
+            const double ar = arow[i].real();
+            const double ai = -arow[i].imag();
+            if (ar == 0.0 && ai == 0.0)
+                continue;
+            Cmplx *drow = dd + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double br = brow[j].real();
+                const double bi = brow[j].imag();
+                drow[j] += Cmplx(ar * br - ai * bi, ar * bi + ai * br);
+            }
+        }
+    }
+}
+
+void
+daggerInto(CMatrix &dest, const CMatrix &a)
+{
+    QAIC_CHECK(&dest != &a);
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    dest.resize(n, m);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            dest(j, i) = std::conj(a(i, j));
+}
+
+void
+addScaledInPlace(CMatrix &a, const CMatrix &b, Cmplx s)
+{
+    QAIC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    Cmplx *ad = a.raw();
+    const Cmplx *bd = b.raw();
+    const std::size_t n = a.rows() * a.cols();
+    const double sr = s.real();
+    const double si = s.imag();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double br = bd[i].real();
+        const double bi = bd[i].imag();
+        ad[i] += Cmplx(sr * br - si * bi, sr * bi + si * br);
+    }
+}
+
+void
+scaleColumnsInto(CMatrix &dest, const CMatrix &a, const Cmplx *d)
+{
+    QAIC_CHECK(&dest != &a);
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    dest.resize(m, n);
+    const Cmplx *ad = a.raw();
+    Cmplx *dd = dest.raw();
+    for (std::size_t i = 0; i < m; ++i) {
+        const Cmplx *arow = ad + i * n;
+        Cmplx *drow = dd + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ar = arow[j].real();
+            const double ai = arow[j].imag();
+            const double dr = d[j].real();
+            const double di = d[j].imag();
+            drow[j] = Cmplx(ar * dr - ai * di, ar * di + ai * dr);
+        }
+    }
+}
+
+void
+scaleColumnsInto(CMatrix &dest, const CMatrix &a,
+                 const std::vector<Cmplx> &d)
+{
+    QAIC_CHECK_EQ(a.cols(), d.size());
+    scaleColumnsInto(dest, a, d.data());
+}
+
+} // namespace qaic

@@ -346,12 +346,15 @@ CachingOracle::latencyNs(const Gate &gate)
             return it->second;
         }
         ++misses_;
+        ++inflight_;
+        peakInflight_ = std::max(peakInflight_, inflight_);
     }
     // Price outside the lock: the inner oracles are deterministic and
     // reentrant, so a duplicate computation under contention is merely
     // wasted work, and emplace keeps the first value.
     double t = inner_->latencyNs(gate);
     std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
     cache_.emplace(std::move(key), t);
     return t;
 }
@@ -375,6 +378,26 @@ CachingOracle::entries() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
+}
+
+std::size_t
+CachingOracle::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_;
+}
+
+CachingOracle::Stats
+CachingOracle::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = cache_.size();
+    s.inflight = inflight_;
+    s.peakInflight = peakInflight_;
+    return s;
 }
 
 } // namespace qaic

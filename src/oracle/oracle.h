@@ -220,9 +220,36 @@ class CachingOracle : public LatencyOracle
         return inner_->modelParams();
     }
 
+    /** Consistent snapshot of every cache counter. */
+    struct Stats
+    {
+        /** Lookups answered from the cache. */
+        std::size_t hits = 0;
+        /** Lookups that had to price via the inner oracle. */
+        std::size_t misses = 0;
+        /** Distinct keys currently cached. */
+        std::size_t entries = 0;
+        /** Misses being priced by the inner oracle right now. */
+        std::size_t inflight = 0;
+        /** High-water mark of concurrent in-flight pricings. */
+        std::size_t peakInflight = 0;
+
+        /** hits / (hits + misses), 0 when the cache was never hit. */
+        double
+        hitRate() const
+        {
+            std::size_t total = hits + misses;
+            return total ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+
     std::size_t hits() const;
     std::size_t misses() const;
     std::size_t entries() const;
+    std::size_t inflight() const;
+    Stats stats() const;
 
   private:
     std::shared_ptr<LatencyOracle> inner_;
@@ -230,6 +257,8 @@ class CachingOracle : public LatencyOracle
     std::unordered_map<std::string, double> cache_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    std::size_t inflight_ = 0;
+    std::size_t peakInflight_ = 0;
 };
 
 /**

@@ -1,0 +1,49 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace qaic {
+
+int
+resolveThreadCount(int requested, std::size_t jobs)
+{
+    if (requested <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        requested = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(requested) > jobs)
+        requested = static_cast<int>(jobs);
+    return requested < 1 ? 1 : requested;
+}
+
+void
+runWorkers(int workers, const std::function<void(int)> &fn)
+{
+    if (workers <= 1) {
+        fn(0);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (int w = 1; w < workers; ++w)
+        pool.emplace_back([&fn, w] { fn(w); });
+    fn(0);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+void
+detail::parallelForImpl(std::size_t n, int workers,
+                        const std::function<void(std::size_t, int)> &fn)
+{
+    std::atomic<std::size_t> next{0};
+    runWorkers(workers, [&](int worker) {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+            fn(i, worker);
+    });
+}
+
+} // namespace qaic

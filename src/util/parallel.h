@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared fork-join threading primitives.
+ *
+ * Extracted from the batch-compilation front door (compiler/batch.cc)
+ * so lower layers — notably the GRAPE optimal-control unit — can fan
+ * work out over the same pool model without depending on the compiler
+ * layer. The model is deliberately simple: spawn N-1 std::threads, run
+ * worker 0 on the calling thread, join. Determinism is the caller's
+ * contract: workers must write disjoint outputs, so results are
+ * independent of scheduling and thread count.
+ */
+#ifndef QAIC_UTIL_PARALLEL_H
+#define QAIC_UTIL_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace qaic {
+
+/**
+ * Resolves a requested worker count: <= 0 picks the hardware
+ * concurrency, and the pool never exceeds @p jobs (at least 1).
+ */
+int resolveThreadCount(int requested, std::size_t jobs);
+
+/**
+ * Runs fn(worker) for worker = 0..workers-1 concurrently; worker 0 runs
+ * on the calling thread, the rest on spawned threads. Returns after all
+ * workers finish. @p fn must handle its own work split (e.g. by
+ * claiming indices from a shared atomic).
+ */
+void runWorkers(int workers, const std::function<void(int)> &fn);
+
+namespace detail {
+
+/** Type-erased multi-worker body of parallelFor. */
+void parallelForImpl(std::size_t n, int workers,
+                     const std::function<void(std::size_t, int)> &fn);
+
+} // namespace detail
+
+/**
+ * Dynamic parallel for: invokes fn(i, worker) exactly once for every
+ * i in [0, n), with indices claimed from a shared counter by up to
+ * @p threads workers (resolved via resolveThreadCount). The @p worker
+ * id lets callers index per-worker scratch (e.g. one Workspace each).
+ * Templated so the single-worker path inlines the body — hot loops pay
+ * no std::function dispatch when running sequentially.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, int threads, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    int workers = resolveThreadCount(threads, n);
+    if (workers == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+    detail::parallelForImpl(
+        n, workers,
+        std::function<void(std::size_t, int)>(std::forward<Fn>(fn)));
+}
+
+} // namespace qaic
+
+#endif // QAIC_UTIL_PARALLEL_H

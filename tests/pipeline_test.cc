@@ -15,6 +15,8 @@
 #include "compiler/batch.h"
 #include "compiler/compiler.h"
 #include "compiler/pipeline.h"
+#include "control/grape.h"
+#include "ir/gate.h"
 #include "workloads/graphs.h"
 #include "workloads/qaoa.h"
 #include "workloads/suite.h"
@@ -346,6 +348,122 @@ TEST(CachingOracleTest, ConcurrentAccessIsConsistent)
     // absorbed virtually everything else.
     EXPECT_GE(shared.misses(), shared.entries());
     EXPECT_GT(shared.hits(), shared.misses());
+
+    // The stats() snapshot must agree with the individual accessors and
+    // account for every in-flight pricing having drained.
+    CachingOracle::Stats stats = shared.stats();
+    EXPECT_EQ(stats.hits, shared.hits());
+    EXPECT_EQ(stats.misses, shared.misses());
+    EXPECT_EQ(stats.entries, shared.entries());
+    EXPECT_EQ(stats.inflight, 0u);
+    EXPECT_EQ(shared.inflight(), 0u);
+    EXPECT_GE(stats.peakInflight, 1u);
+    EXPECT_LE(stats.peakInflight, static_cast<std::size_t>(kThreads));
+    EXPECT_NEAR(stats.hitRate(),
+                static_cast<double>(stats.hits) /
+                    static_cast<double>(stats.hits + stats.misses),
+                1e-12);
+}
+
+/** Pulses from two GRAPE results must agree exactly. */
+void
+expectIdenticalPulses(const GrapeResult &a, const GrapeResult &b)
+{
+    ASSERT_EQ(a.pulses.amplitudes.size(), b.pulses.amplitudes.size());
+    for (std::size_t k = 0; k < a.pulses.amplitudes.size(); ++k) {
+        ASSERT_EQ(a.pulses.amplitudes[k].size(),
+                  b.pulses.amplitudes[k].size());
+        for (std::size_t j = 0; j < a.pulses.amplitudes[k].size(); ++j)
+            EXPECT_DOUBLE_EQ(a.pulses.amplitudes[k][j],
+                             b.pulses.amplitudes[k][j])
+                << "channel " << k << " step " << j;
+    }
+}
+
+TEST(GrapeParallelTest, RestartFanOutMatchesSequentialUnderFixedSeed)
+{
+    // Non-converging budget: every restart runs to the iteration cap on
+    // both paths, so the parallel fan-out must match the sequential
+    // scan bit for bit (restart seeds are pre-drawn).
+    DeviceModel pair = DeviceModel::line(2);
+    GrapeOptimizer grape(pair);
+    GrapeOptions options;
+    options.maxIterations = 25;
+    options.restarts = 3;
+    options.seed = 1234;
+    CMatrix target = makeCnot(0, 1).matrix();
+
+    GrapeOptions sequential = options;
+    sequential.threads = 1;
+    GrapeResult expected = grape.optimize(target, 12.0, sequential);
+
+    for (int threads : {2, 3, 8}) {
+        GrapeOptions parallel = options;
+        parallel.threads = threads;
+        GrapeResult got = grape.optimize(target, 12.0, parallel);
+        EXPECT_DOUBLE_EQ(got.fidelity, expected.fidelity)
+            << threads << " threads";
+        EXPECT_EQ(got.iterations, expected.iterations);
+        EXPECT_EQ(got.converged, expected.converged);
+        ASSERT_EQ(got.trace.size(), expected.trace.size());
+        for (std::size_t i = 0; i < got.trace.size(); ++i)
+            EXPECT_DOUBLE_EQ(got.trace[i], expected.trace[i]);
+        expectIdenticalPulses(got, expected);
+    }
+}
+
+TEST(GrapeParallelTest, ConvergedRunSelectsSameWinnerAcrossThreadCounts)
+{
+    // Converging case: the sequential path early-exits at the first
+    // converged restart; the parallel path runs every restart but its
+    // selection scan must reproduce the same winner.
+    DeviceModel pair = DeviceModel::line(2);
+    GrapeOptimizer grape(pair);
+    GrapeOptions options;
+    options.maxIterations = 200;
+    options.restarts = 2;
+
+    GrapeOptions sequential = options;
+    sequential.threads = 1;
+    GrapeResult expected =
+        grape.optimize(makeIswap(0, 1).matrix(), 16.0, sequential);
+    ASSERT_TRUE(expected.converged);
+
+    GrapeOptions parallel = options;
+    parallel.threads = 4;
+    GrapeResult got =
+        grape.optimize(makeIswap(0, 1).matrix(), 16.0, parallel);
+    EXPECT_TRUE(got.converged);
+    EXPECT_DOUBLE_EQ(got.fidelity, expected.fidelity);
+    EXPECT_EQ(got.iterations, expected.iterations);
+    expectIdenticalPulses(got, expected);
+}
+
+TEST(GrapeParallelTest, SingleRestartTimestepFanOutIsDeterministic)
+{
+    // With one restart the pool fans out per-timestep eigs and gradient
+    // contractions instead; workers write disjoint slots, so any thread
+    // count must reproduce the sequential trajectory exactly.
+    DeviceModel pair = DeviceModel::line(2);
+    GrapeOptimizer grape(pair);
+    GrapeOptions options;
+    options.maxIterations = 40;
+    options.restarts = 1;
+
+    GrapeOptions sequential = options;
+    sequential.threads = 1;
+    GrapeResult expected =
+        grape.optimize(makeIswap(0, 1).matrix(), 16.0, sequential);
+
+    GrapeOptions parallel = options;
+    parallel.threads = 4;
+    GrapeResult got =
+        grape.optimize(makeIswap(0, 1).matrix(), 16.0, parallel);
+    EXPECT_DOUBLE_EQ(got.fidelity, expected.fidelity);
+    ASSERT_EQ(got.trace.size(), expected.trace.size());
+    for (std::size_t i = 0; i < got.trace.size(); ++i)
+        EXPECT_DOUBLE_EQ(got.trace[i], expected.trace[i]);
+    expectIdenticalPulses(got, expected);
 }
 
 } // namespace

@@ -135,6 +135,11 @@ main(int argc, char **argv)
         for (const PassMetrics &m : result.passMetrics)
             std::printf("  %-22s %8.2f ms  (%d instructions)\n",
                         m.pass.c_str(), m.wallMs, m.instructionsAfter);
+        CachingOracle::Stats cache = compiler.oracleHandle()->stats();
+        std::printf("latency cache: %zu hits, %zu misses (%.1f%% hit "
+                    "rate), %zu entries, %zu in flight (peak %zu)\n",
+                    cache.hits, cache.misses, 100.0 * cache.hitRate(),
+                    cache.entries, cache.inflight, cache.peakInflight);
     }
 
     if (print_schedule) {
