@@ -23,6 +23,28 @@ collectMembers(const Gate &gate, std::vector<Gate> *out)
     }
 }
 
+/** Longest label we compose before eliding the tail. */
+constexpr std::size_t kMaxLabelLength = 64;
+
+/** Provenance name of a merge operand: its label for aggregates. */
+std::string
+provenanceLabel(const Gate &gate)
+{
+    if (gate.kind == GateKind::kAggregate && gate.payload &&
+        !gate.payload->label.empty())
+        return gate.payload->label;
+    return gate.name();
+}
+
+/** Bounds a composed label, keeping a readable prefix. */
+std::string
+boundLabel(std::string label)
+{
+    if (label.size() > kMaxLabelLength)
+        label = label.substr(0, kMaxLabelLength - 1) + "~";
+    return label;
+}
+
 /** Merged aggregate of two instructions (first acts first). */
 Gate
 mergeGates(const Gate &first, const Gate &second)
@@ -30,10 +52,15 @@ mergeGates(const Gate &first, const Gate &second)
     std::vector<Gate> members;
     collectMembers(first, &members);
     collectMembers(second, &members);
+    // Compose the label from the operands' provenance ("cnot+rz+cnot")
+    // instead of the old constant "agg", which erased the constituent
+    // labels from diagnostics and schedules with every merge.
+    std::string label = boundLabel(provenanceLabel(first) + "+" +
+                                   provenanceLabel(second));
     // Eager matrices only for pair-width aggregates (cheap, and enables
     // the diagonal commutation rule); wider ones stay lazy — the analytic
     // oracle prices them from members alone.
-    return makeAggregate(std::move(members), "agg", 2);
+    return makeAggregate(std::move(members), std::move(label), 2);
 }
 
 /** Makespan of @p circuit under ASAP scheduling with oracle latencies. */
@@ -283,7 +310,13 @@ labelAggregates(const Circuit &circuit)
     for (const Gate &g : circuit.gates()) {
         if (g.kind == GateKind::kAggregate) {
             auto payload = std::make_shared<AggregatePayload>(*g.payload);
-            payload->label = "G" + std::to_string(++counter);
+            // Number the aggregate but keep the member provenance the
+            // merge pass composed ("G1:cnot+rz+cnot"), so diagnostics
+            // and schedules still show what the instruction contains.
+            std::string id = "G" + std::to_string(++counter);
+            payload->label = payload->label.empty()
+                                 ? id
+                                 : boundLabel(id + ":" + payload->label);
             Gate relabeled = g;
             relabeled.payload = std::move(payload);
             out.add(std::move(relabeled));

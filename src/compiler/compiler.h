@@ -99,6 +99,15 @@ struct CompilerOptions
     std::uint64_t seed = 1;
     /** Aggregation pass knobs (maxWidth is synced from above). */
     AggregationOptions aggregation;
+    /**
+     * Backing file of the persistent pulse library (oracle/pulselib.h);
+     * empty disables persistence. When set, makeCachingOracle loads the
+     * file (if present) into the latency cache, GRAPE syntheses are
+     * warm-started from stored waveforms, and new results are flushed
+     * back on oracle destruction — so every qaicc/compileBatch run gets
+     * faster with the traffic the library has already served.
+     */
+    std::string pulseLibraryPath;
 };
 
 /** Everything a compilation run produces. */

@@ -25,13 +25,30 @@ resolveCompilerOptions(const DeviceModel &device,
 std::shared_ptr<CachingOracle>
 makeCachingOracle(const CompilerOptions &resolved)
 {
+    // A persistent pulse library is shared by the caching front (durable
+    // latency hits) and the GRAPE oracle (waveform warm starts); it
+    // flushes new entries back to disk when the oracle is destroyed.
+    std::shared_ptr<PulseLibrary> library;
+    if (!resolved.pulseLibraryPath.empty()) {
+        library =
+            std::make_shared<PulseLibrary>(resolved.pulseLibraryPath);
+        library->load(); // a missing file is fine: first run seeds it
+    }
     std::shared_ptr<LatencyOracle> inner;
     if (resolved.useGrapeOracle)
         inner = std::make_shared<GrapeLatencyOracle>(resolved.grapeOptions,
-                                                     resolved.model);
+                                                     resolved.model,
+                                                     library);
     else
         inner = std::make_shared<AnalyticOracle>(resolved.model);
-    return std::make_shared<CachingOracle>(std::move(inner));
+    // In GRAPE mode the inner oracle owns all library I/O: it consults
+    // with its own keys (a duplicate read here would be wasted work)
+    // and stores successful syntheses only (letting the cache also
+    // store would durably freeze its analytic fallbacks as if they
+    // were GRAPE results).
+    return std::make_shared<CachingOracle>(
+        std::move(inner), std::move(library),
+        /*library_io=*/!resolved.useGrapeOracle);
 }
 
 CompilationContext::CompilationContext(const DeviceModel &device,

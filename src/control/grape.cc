@@ -90,17 +90,48 @@ GrapeOptimizer::optimize(const CMatrix &target, double duration_ns,
 
     CMatrix target_dag = target.dagger();
 
-    const int restarts = std::max(1, options.restarts);
+    // A usable warm start seeds one extra restart ahead of the random
+    // ones, so the outcome set is a superset of the cold run's.
+    const bool warm = options.warmStart != nullptr &&
+                      options.warmStart->size() == num_ch &&
+                      !options.warmStart->front().empty();
+    const int cold_restarts = std::max(1, options.restarts);
+    const int restarts = cold_restarts + (warm ? 1 : 0);
 
-    // Pre-draw every restart's initial guess in the sequential draw
-    // order, so results are identical whether restarts then run
+    // Pre-draw every random restart's initial guess in the sequential
+    // draw order, so results are identical whether restarts then run
     // sequentially or fanned out over the pool.
     Rng rng(options.seed);
     std::vector<std::vector<double>> init(restarts);
-    for (int r = 0; r < restarts; ++r) {
+    for (int r = warm ? 1 : 0; r < restarts; ++r) {
         init[r].resize(num_vars);
         for (double &v : init[r])
             v = rng.gaussian(0.4);
+    }
+    if (warm) {
+        // Resample the stored waveform to this probe's step count
+        // (linear interpolation at step midpoints) and invert the tanh
+        // amplitude constraint, clamping strictly inside the bounds.
+        init[0].resize(num_vars);
+        for (std::size_t k = 0; k < num_ch; ++k) {
+            const std::vector<double> &src = (*options.warmStart)[k];
+            const double m = static_cast<double>(src.size());
+            for (std::size_t j = 0; j < steps; ++j) {
+                double pos = (static_cast<double>(j) + 0.5) /
+                                 static_cast<double>(steps) * m -
+                             0.5;
+                pos = std::clamp(pos, 0.0, m - 1.0);
+                const std::size_t lo = static_cast<std::size_t>(pos);
+                const std::size_t hi =
+                    std::min<std::size_t>(lo + 1, src.size() - 1);
+                const double frac = pos - static_cast<double>(lo);
+                const double amp =
+                    src[lo] + frac * (src[hi] - src[lo]);
+                const double ratio =
+                    std::clamp(amp / umax[k], -1.0 + 1e-7, 1.0 - 1e-7);
+                init[0][k * steps + j] = std::atanh(ratio);
+            }
+        }
     }
 
     /**

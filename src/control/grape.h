@@ -55,6 +55,19 @@ struct GrapeOptions
      * the synthesis owns the machine.
      */
     int threads = 1;
+    /**
+     * Optional warm start: per-channel amplitude series (GHz) of a
+     * previously optimized pulse, e.g. from a persistent pulse library
+     * (oracle/pulselib.h). When set (and the channel count matches the
+     * device), it seeds one extra restart *ahead* of the random ones —
+     * linearly resampled to the probe's step count and clamped into the
+     * amplitude bounds — so the result is never worse than the purely
+     * cold run of the same options, and a near-match typically converges
+     * in a handful of iterations. The pointee must outlive the call;
+     * determinism is unaffected (the random restarts still draw the
+     * same pre-drawn seeds).
+     */
+    const std::vector<std::vector<double>> *warmStart = nullptr;
 };
 
 /** Outcome of a GRAPE run. */

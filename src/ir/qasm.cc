@@ -1,6 +1,7 @@
 #include "ir/qasm.h"
 
 #include <cctype>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.h"
@@ -32,6 +33,29 @@ fail(std::string *error, int line_no, const std::string &message)
     return false;
 }
 
+/**
+ * Parses a decimal digit string into a bounded non-negative int. Unlike
+ * std::stoi this never throws: non-digits and values beyond @p max are
+ * parse failures ("q99999999999999999999" used to crash the parser with
+ * an uncaught std::out_of_range).
+ */
+bool
+parseBoundedInt(const std::string &digits, int max, int *out)
+{
+    if (digits.empty())
+        return false;
+    long long value = 0;
+    for (char ch : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(ch)))
+            return false;
+        value = value * 10 + (ch - '0');
+        if (value > max)
+            return false;
+    }
+    *out = static_cast<int>(value);
+    return true;
+}
+
 /** Parses "name" or "name(p1,p2)" into mnemonic + params. */
 bool
 parseHead(const std::string &head, std::string *name,
@@ -46,9 +70,17 @@ parseHead(const std::string &head, std::string *name,
         return false;
     *name = head.substr(0, paren);
     std::string args = head.substr(paren + 1, head.size() - paren - 2);
-    std::istringstream is(args);
-    std::string piece;
-    while (std::getline(is, piece, ',')) {
+    // Split on commas keeping empty pieces, so "rz()" and the trailing
+    // comma of "rz(1,)" are rejected instead of silently accepted.
+    std::size_t start = 0;
+    while (true) {
+        std::size_t comma = args.find(',', start);
+        std::string piece =
+            args.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (piece.empty())
+            return false;
         try {
             std::size_t used = 0;
             double v = std::stod(piece, &used);
@@ -58,6 +90,9 @@ parseHead(const std::string &head, std::string *name,
         } catch (...) {
             return false;
         }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
     }
     return true;
 }
@@ -68,11 +103,10 @@ parseQubit(const std::string &tok, int *q)
 {
     if (tok.size() < 2 || tok[0] != 'q')
         return false;
-    for (std::size_t i = 1; i < tok.size(); ++i)
-        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
-            return false;
-    *q = std::stoi(tok.substr(1));
-    return true;
+    // Any register this compiler can target fits comfortably in an int;
+    // an overflowing index is a malformed token, not an exception.
+    return parseBoundedInt(tok.substr(1),
+                           std::numeric_limits<int>::max(), q);
 }
 
 void
@@ -124,11 +158,14 @@ parseQasm(const std::string &text, std::string *error)
                 fail(error, line_no, "expected: qubits <n>");
                 return std::nullopt;
             }
+            // parseBoundedInt rather than std::stoi: an oversized count
+            // like "99999999999999999999" is a line-numbered parse error,
+            // not an uncaught std::out_of_range, and trailing junk
+            // ("qubits 5x") is rejected instead of truncated to 5.
             int n = 0;
-            try {
-                n = std::stoi(tokens[1]);
-            } catch (...) {
-                fail(error, line_no, "bad qubit count");
+            if (!parseBoundedInt(tokens[1],
+                                 std::numeric_limits<int>::max(), &n)) {
+                fail(error, line_no, "bad qubit count '" + tokens[1] + "'");
                 return std::nullopt;
             }
             if (n <= 0) {

@@ -27,6 +27,8 @@
 #ifndef QAIC_ORACLE_ORACLE_H
 #define QAIC_ORACLE_ORACLE_H
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -38,6 +40,7 @@
 #include "device/device.h"
 #include "ir/gate.h"
 #include "la/cmatrix.h"
+#include "oracle/pulselib.h"
 
 namespace qaic {
 
@@ -54,6 +57,16 @@ class LatencyOracle
 
     /** Short identifier for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Full pricing-context tag for persistent pulse-library records:
+     * the oracle mode plus every knob its latencies depend on (see
+     * analyticOriginTag / grapeOriginTag). Records are keyed by
+     * (fingerprint, origin tag), so only an oracle with the identical
+     * context replays a stored value. Oracles with no fixed
+     * configuration fall back to their bare name.
+     */
+    virtual std::string originTag() const { return name(); }
 
     /**
      * The analytic model constants this oracle prices against, or null
@@ -122,6 +135,7 @@ class AnalyticOracle : public LatencyOracle
 
     double latencyNs(const Gate &gate) override;
     std::string name() const override { return "analytic"; }
+    std::string originTag() const override;
     const AnalyticModelParams *
     modelParams() const override
     {
@@ -180,37 +194,82 @@ class GrapeLatencyOracle : public LatencyOracle
     /**
      * @param options Search configuration.
      * @param params Analytic model used for search bounds and fallback.
+     * @param library Optional persistent pulse library. When present,
+     *        the oracle consults it before optimizing: an exact
+     *        fingerprint hit returns the stored latency without running
+     *        GRAPE; a structural-shape hit (same member gates, other
+     *        rotation angles) warm-starts the search from the stored
+     *        waveform; every successful synthesis is stored back with
+     *        its waveforms, iteration count, fidelity and wall clock.
      */
     explicit GrapeLatencyOracle(Options options = {},
-                                AnalyticModelParams params = {});
+                                AnalyticModelParams params = {},
+                                std::shared_ptr<PulseLibrary> library =
+                                    nullptr);
 
     double latencyNs(const Gate &gate) override;
     std::string name() const override { return "grape"; }
+    std::string originTag() const override { return originTag_; }
     const AnalyticModelParams *
     modelParams() const override
     {
         return fallback_.modelParams();
     }
 
+    /** The attached pulse library (null when running without one). */
+    std::shared_ptr<PulseLibrary> library() const { return library_; }
+
   private:
     Options options_;
     AnalyticOracle fallback_;
+    std::shared_ptr<PulseLibrary> library_;
+    /** Pricing-context tag, fixed at construction (grapeOriginTag). */
+    std::string originTag_;
 };
 
 /**
  * Memoizing decorator keyed by a phase-canonical unitary fingerprint.
  *
  * Safe to share across concurrently-compiling threads (the batch front
- * door in compiler/batch.h does exactly that): the map and counters are
- * mutex-guarded. The inner oracle is invoked outside the lock — both
- * provided oracles are deterministic and reentrant — so a cache miss
- * never serializes other threads; racing computations of the same key
- * produce the same value and the first insert wins.
+ * door in compiler/batch.h does exactly that). The map is striped over
+ * kShards independently-locked shards, so concurrent lookups of
+ * different keys do not serialize on one mutex even at high thread
+ * counts. The inner oracle is invoked outside any lock — both provided
+ * oracles are deterministic and reentrant — so a cache miss never
+ * serializes other threads; racing computations of the same key produce
+ * the same value and the first insert wins.
+ *
+ * When constructed with a PulseLibrary (and library_io), misses consult
+ * the library before pricing — a durable hit skips the inner oracle
+ * entirely, but only entries whose origin tag matches this pricing
+ * context are honored, so runs with different oracles, control limits
+ * or model constants sharing a file never replay each other's numbers —
+ * and computed latencies are stored back, so the cache survives the
+ * process: see oracle/pulselib.h.
  */
 class CachingOracle : public LatencyOracle
 {
   public:
-    explicit CachingOracle(std::shared_ptr<LatencyOracle> inner);
+    /** Lock-stripe count of the in-memory map (power of two). */
+    static constexpr std::size_t kShards = 16;
+
+    /**
+     * @param inner Oracle to memoize (required).
+     * @param library Optional persistent store consulted on misses.
+     * @param library_io Whether this cache performs library reads and
+     *        writes itself. Pass false when the inner oracle manages
+     *        the library directly (the GRAPE oracle consults it with
+     *        its own keys and stores only *successful* syntheses;
+     *        duplicating the lookup here would be wasted work, and
+     *        letting the cache also store would durably freeze the
+     *        inner oracle's analytic fallbacks, e.g. from a
+     *        low-iteration run, as if they were GRAPE results). The
+     *        handle is retained either way so library() can report
+     *        stats.
+     */
+    explicit CachingOracle(std::shared_ptr<LatencyOracle> inner,
+                           std::shared_ptr<PulseLibrary> library = nullptr,
+                           bool library_io = true);
 
     double latencyNs(const Gate &gate) override;
     std::string name() const override { return inner_->name() + "+cache"; }
@@ -220,13 +279,19 @@ class CachingOracle : public LatencyOracle
         return inner_->modelParams();
     }
 
+    /** The attached pulse library (null when running without one). */
+    std::shared_ptr<PulseLibrary> library() const { return library_; }
+
     /** Consistent snapshot of every cache counter. */
     struct Stats
     {
-        /** Lookups answered from the cache. */
+        /** Lookups answered from the in-memory cache. */
         std::size_t hits = 0;
         /** Lookups that had to price via the inner oracle. */
         std::size_t misses = 0;
+        /** Misses answered from the persistent pulse library instead of
+         *  the inner oracle (a subset of misses). */
+        std::size_t libraryHits = 0;
         /** Distinct keys currently cached. */
         std::size_t entries = 0;
         /** Misses being priced by the inner oracle right now. */
@@ -249,17 +314,60 @@ class CachingOracle : public LatencyOracle
     std::size_t misses() const;
     std::size_t entries() const;
     std::size_t inflight() const;
+
+    /**
+     * Aggregated over all shards under every shard lock at once (taken
+     * in index order), so the returned counters are mutually consistent
+     * — hits/misses/entries can never disagree mid-flight the way
+     * independently-locked getters could.
+     */
     Stats stats() const;
 
   private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, double> cache;
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t libraryHits = 0;
+    };
+
+    Shard &shardFor(const std::string &key);
+
     std::shared_ptr<LatencyOracle> inner_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, double> cache_;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
-    std::size_t inflight_ = 0;
-    std::size_t peakInflight_ = 0;
+    std::shared_ptr<PulseLibrary> library_;
+    bool libraryIo_ = true;
+    /** Origin tag of this pricing context (see analyticOriginTag). */
+    std::string originTag_;
+    std::array<Shard, kShards> shards_;
+    /**
+     * Global in-flight accounting (atomics, only ever modified under
+     * some shard lock): the peak must reflect *concurrent* pricings
+     * across the whole cache, which per-shard counters cannot express.
+     */
+    std::atomic<std::size_t> inflight_{0};
+    std::atomic<std::size_t> peakInflight_{0};
 };
+
+/**
+ * Origin tag of analytic-model latencies: "analytic;" plus every model
+ * constant the value depends on. Pulse-library entries are only served
+ * to consumers whose tag matches, so two runs with different control
+ * limits or model calibrations sharing one file never replay each
+ * other's numbers (the in-process analogue is the mu1/mu2 check in
+ * compiler/batch.cc).
+ */
+std::string analyticOriginTag(const AnalyticModelParams &params);
+
+/**
+ * Origin tag of GRAPE-searched latencies: "grape;" plus the model
+ * constants and every synthesis knob that shapes the result
+ * (budget, target fidelity, learning rate, penalties, dt, restarts,
+ * seed, search resolution).
+ */
+std::string grapeOriginTag(const GrapeOracleOptions &options,
+                           const AnalyticModelParams &params);
 
 /**
  * Phase-canonical fingerprint of a gate's unitary, used as a cache key.
@@ -275,6 +383,15 @@ std::string unitaryFingerprint(const CMatrix &u);
  * only by a support relabeling share a key.
  */
 std::string structuralFingerprint(const Gate &gate);
+
+/**
+ * Parameter-free structural key: member mnemonics and support-relative
+ * wiring with the rotation angles dropped. Two gates share a shape iff
+ * they are the same instruction template at different angles — exactly
+ * the "nearest fingerprint match" the pulse library warm-starts GRAPE
+ * from.
+ */
+std::string structuralShape(const Gate &gate);
 
 } // namespace qaic
 

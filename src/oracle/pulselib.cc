@@ -1,0 +1,472 @@
+#include "oracle/pulselib.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'P', 'L', 'B'};
+
+/** FNV-1a 64-bit checksum (cheap, catches truncation and bit flips). */
+std::uint64_t
+fnv1a(const char *data, std::size_t size)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Appends the raw bytes of a trivially-copyable value. */
+template <typename T>
+void
+put(std::string &out, T value)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+/**
+ * Bounds-checked cursor over a byte buffer; every get() fails cleanly on
+ * truncated input instead of reading past the end.
+ */
+struct Reader
+{
+    const char *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    template <typename T>
+    bool
+    get(T *value)
+    {
+        if (size - pos < sizeof(T))
+            return false;
+        std::memcpy(value, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return true;
+    }
+
+    bool
+    getString(std::string *out, std::uint32_t max_len)
+    {
+        std::uint32_t len = 0;
+        if (!get(&len) || len > max_len || size - pos < len)
+            return false;
+        out->assign(data + pos, len);
+        pos += len;
+        return true;
+    }
+};
+
+/** Writes @p bytes to a unique temp file and renames it over @p path. */
+bool
+writeAtomic(const std::string &path, const std::string &bytes)
+{
+    // The temp name must be unique across threads AND processes (two
+    // concurrent qaicc runs flushing one library): thread id plus a
+    // random tag.
+    static std::atomic<std::uint64_t> counter{std::random_device{}()};
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp."
+             << std::hash<std::thread::id>{}(std::this_thread::get_id())
+             << "." << counter.fetch_add(1);
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        // close() is where buffered data reaches the filesystem; a full
+        // disk surfaces here, and renaming an unchecked short write over
+        // the target would destroy the previously valid library.
+        out.close();
+        if (out.fail()) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+PulseLibrary::PulseLibrary(std::string path)
+    : path_(std::move(path)), shards_(kShards)
+{
+}
+
+PulseLibrary::~PulseLibrary()
+{
+    if (path_.empty())
+        return;
+    bool dirty = false;
+    {
+        std::lock_guard<std::mutex> lock(dirtyMutex_);
+        dirty = dirty_ > 0;
+    }
+    if (dirty)
+        flush();
+}
+
+PulseLibrary::Shard &
+PulseLibrary::shardFor(const std::string &key)
+{
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+const PulseLibrary::Shard &
+PulseLibrary::shardFor(const std::string &key) const
+{
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::string
+PulseLibrary::recordKey(const std::string &key, const std::string &origin)
+{
+    if (origin.empty())
+        return key;
+    return key + '\x1f' + origin;
+}
+
+std::optional<PulseLibraryEntry>
+PulseLibrary::lookup(const std::string &key, const std::string &origin)
+{
+    const std::string record = recordKey(key, origin);
+    Shard &shard = shardFor(record);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(record);
+    if (it == shard.entries.end()) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    ++shard.hits;
+    return it->second;
+}
+
+std::optional<PulseLibraryEntry>
+PulseLibrary::peek(const std::string &key, const std::string &origin) const
+{
+    const std::string record = recordKey(key, origin);
+    const Shard &shard = shardFor(record);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(record);
+    if (it == shard.entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+PulseLibrary::mergeEntry(
+    std::unordered_map<std::string, PulseLibraryEntry> &map,
+    const std::string &key, PulseLibraryEntry entry)
+{
+    auto it = map.find(key);
+    if (it == map.end()) {
+        map.emplace(key, std::move(entry));
+        return true;
+    }
+    // Richness rule: never downgrade a waveform entry to latency-only.
+    if (it->second.hasWaveforms() && !entry.hasWaveforms())
+        return false;
+    it->second = std::move(entry);
+    return true;
+}
+
+void
+PulseLibrary::insert(const std::string &key, PulseLibraryEntry entry)
+{
+    const std::string record = recordKey(key, entry.origin);
+    Shard &shard = shardFor(record);
+    bool stored = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        stored = mergeEntry(shard.entries, record, std::move(entry));
+        if (stored)
+            ++shard.stores;
+    }
+    // Deliberately NOT indexed into the shape map: warm starts only
+    // draw on load()-time entries, so concurrent workers' insert order
+    // can never change another compilation's result.
+    if (stored) {
+        std::lock_guard<std::mutex> lock(dirtyMutex_);
+        ++dirty_;
+    }
+}
+
+std::optional<PulseLibraryEntry>
+PulseLibrary::nearest(const std::string &shape_key)
+{
+    std::string exemplar;
+    {
+        Shard &shard = shardFor(shape_key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.shapes.find(shape_key);
+        if (it == shard.shapes.end())
+            return std::nullopt;
+        exemplar = it->second;
+    }
+    std::optional<PulseLibraryEntry> entry = peek(exemplar);
+    if (entry && entry->hasWaveforms()) {
+        Shard &shard = shardFor(shape_key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.warmStarts;
+        return entry;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::pair<std::string, PulseLibraryEntry>>
+PulseLibrary::snapshot() const
+{
+    std::vector<std::pair<std::string, PulseLibraryEntry>> out;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto &[key, entry] : shard.entries)
+            out.emplace_back(key, entry);
+    }
+    // Deterministic file order regardless of hash-map iteration.
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
+void
+PulseLibrary::mergeLoaded(
+    std::unordered_map<std::string, PulseLibraryEntry> incoming)
+{
+    for (auto &[key, entry] : incoming) {
+        const bool waveforms = entry.hasWaveforms();
+        const std::string shape = entry.shapeKey;
+        Shard &shard = shardFor(key);
+        bool stored = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            // Disk entries never replace richer in-memory ones; they do
+            // fill gaps and upgrade latency-only records to full pulses.
+            auto it = shard.entries.find(key);
+            if (it == shard.entries.end()) {
+                shard.entries.emplace(key, std::move(entry));
+                stored = true;
+            } else if (!it->second.hasWaveforms() && waveforms) {
+                it->second = std::move(entry);
+                stored = true;
+            }
+            if (stored)
+                ++shard.loaded;
+        }
+        if (stored && waveforms && !shape.empty()) {
+            // Shape index lives in the shard of the *shape* key so
+            // nearest() touches exactly one mutex; only disk-loaded
+            // entries land here (see nearest() docs).
+            Shard &sshard = shardFor(shape);
+            std::lock_guard<std::mutex> lock(sshard.mutex);
+            sshard.shapes.emplace(shape, key); // first exemplar wins
+        }
+    }
+}
+
+std::string
+PulseLibrary::serialize(
+    const std::vector<std::pair<std::string, PulseLibraryEntry>> &entries)
+{
+    std::string body;
+    for (const auto &[key, e] : entries) {
+        put<std::uint32_t>(body, static_cast<std::uint32_t>(key.size()));
+        body += key;
+        put<std::uint32_t>(body,
+                           static_cast<std::uint32_t>(e.shapeKey.size()));
+        body += e.shapeKey;
+        put<std::uint32_t>(body,
+                           static_cast<std::uint32_t>(e.origin.size()));
+        body += e.origin;
+        put<double>(body, e.latencyNs);
+        put<double>(body, e.fidelity);
+        put<std::int32_t>(body, e.iterations);
+        put<double>(body, e.synthesisWallNs);
+        put<double>(body, e.dt);
+        put<std::uint32_t>(body,
+                           static_cast<std::uint32_t>(e.waveforms.size()));
+        const std::uint64_t steps =
+            e.waveforms.empty() ? 0 : e.waveforms.front().size();
+        put<std::uint64_t>(body, steps);
+        for (const std::vector<double> &channel : e.waveforms) {
+            QAIC_CHECK_EQ(channel.size(), steps)
+                << "ragged waveform in pulse-library entry";
+            for (double v : channel)
+                put<double>(body, v);
+        }
+    }
+
+    std::string out;
+    out.reserve(body.size() + 24);
+    out.append(kMagic, sizeof(kMagic));
+    put<std::uint32_t>(out, kFormatVersion);
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(entries.size()));
+    put<std::uint64_t>(out, fnv1a(body.data(), body.size()));
+    out += body;
+    return out;
+}
+
+bool
+PulseLibrary::deserialize(
+    const std::string &bytes,
+    std::unordered_map<std::string, PulseLibraryEntry> *out)
+{
+    Reader r{bytes.data(), bytes.size()};
+    char magic[4];
+    if (bytes.size() < sizeof(kMagic) ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return false;
+    r.pos = sizeof(magic);
+    std::uint32_t version = 0;
+    std::uint64_t count = 0, checksum = 0;
+    if (!r.get(&version) || version != kFormatVersion)
+        return false;
+    if (!r.get(&count) || !r.get(&checksum))
+        return false;
+    if (fnv1a(bytes.data() + r.pos, bytes.size() - r.pos) != checksum)
+        return false;
+
+    // The header is not covered by the checksum; bound the claimed
+    // entry count by what the body could possibly hold before trusting
+    // it (a crafted count must fail cleanly, not throw from reserve).
+    constexpr std::uint64_t kMinEntryBytes = 3 * 4 + 4 * 8 + 4 + 4 + 8;
+    if (count > (bytes.size() - r.pos) / kMinEntryBytes + 1)
+        return false;
+
+    std::unordered_map<std::string, PulseLibraryEntry> parsed;
+    parsed.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string key;
+        PulseLibraryEntry e;
+        std::uint32_t channels = 0;
+        std::uint64_t steps = 0;
+        if (!r.getString(&key, 1u << 20) ||
+            !r.getString(&e.shapeKey, 1u << 20) ||
+            !r.getString(&e.origin, 1u << 10) || !r.get(&e.latencyNs) ||
+            !r.get(&e.fidelity) || !r.get(&e.iterations) ||
+            !r.get(&e.synthesisWallNs) || !r.get(&e.dt) ||
+            !r.get(&channels) || !r.get(&steps))
+            return false;
+        if (channels > (1u << 16) || steps > (1ull << 28))
+            return false;
+        if ((bytes.size() - r.pos) / sizeof(double) <
+            static_cast<std::uint64_t>(channels) * steps)
+            return false;
+        e.waveforms.resize(channels);
+        for (std::uint32_t k = 0; k < channels; ++k) {
+            e.waveforms[k].resize(steps);
+            for (std::uint64_t j = 0; j < steps; ++j)
+                if (!r.get(&e.waveforms[k][j]))
+                    return false;
+        }
+        parsed[std::move(key)] = std::move(e);
+    }
+    if (r.pos != bytes.size())
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+bool
+PulseLibrary::load()
+{
+    if (path_.empty())
+        return false;
+    std::unordered_map<std::string, PulseLibraryEntry> incoming;
+    {
+        std::lock_guard<std::mutex> io(ioMutex_);
+        std::ifstream in(path_, std::ios::binary);
+        if (!in)
+            return false;
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (!deserialize(buffer.str(), &incoming))
+            return false;
+    }
+    mergeLoaded(std::move(incoming));
+    return true;
+}
+
+bool
+PulseLibrary::saveTo(const std::string &path) const
+{
+    QAIC_CHECK(!path.empty());
+    // Renamed into place: readers and concurrent writers only ever see
+    // complete files.
+    return writeAtomic(path, serialize(snapshot()));
+}
+
+bool
+PulseLibrary::flush()
+{
+    if (path_.empty())
+        return true;
+    std::lock_guard<std::mutex> io(ioMutex_);
+    // Fold in what a concurrent process flushed since we last read, so
+    // the rename below does not lose its work.
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            std::unordered_map<std::string, PulseLibraryEntry> incoming;
+            if (deserialize(buffer.str(), &incoming))
+                mergeLoaded(std::move(incoming));
+        }
+    }
+    if (!writeAtomic(path_, serialize(snapshot())))
+        return false;
+    std::lock_guard<std::mutex> lock(dirtyMutex_);
+    dirty_ = 0;
+    return true;
+}
+
+PulseLibrary::Stats
+PulseLibrary::stats() const
+{
+    // Lock every shard (in index order) for a consistent snapshot.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const Shard &shard : shards_)
+        locks.emplace_back(shard.mutex);
+    Stats s;
+    for (const Shard &shard : shards_) {
+        s.entries += shard.entries.size();
+        s.hits += shard.hits;
+        s.misses += shard.misses;
+        s.stores += shard.stores;
+        s.warmStarts += shard.warmStarts;
+        s.loaded += shard.loaded;
+    }
+    return s;
+}
+
+std::size_t
+PulseLibrary::size() const
+{
+    return stats().entries;
+}
+
+} // namespace qaic

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Persistent pulse library — a durable cross-run latency/pulse cache.
+ *
+ * GRAPE pulse synthesis is the expensive step that aggregated-instruction
+ * compilation trades circuit latency against (paper Section 3.5). The
+ * industrial compilers this repo takes cues from (Quilc's persistent
+ * compilation artifacts, the Quantum CISC pulse libraries) amortize that
+ * cost across *runs*, not just within one process. PulseLibrary provides
+ * exactly that:
+ *
+ *  - a versioned, checksummed binary on-disk store keyed by the canonical
+ *    unitary fingerprint (oracle.h), holding the optimized latency, GRAPE
+ *    iteration count, final fidelity, the cold-synthesis wall clock and
+ *    the optimized control waveforms;
+ *  - a sharded in-memory front (mutex-striped maps, safe to hammer from
+ *    every compileBatch worker at once);
+ *  - write-behind flushing with merge-on-save and atomic rename, so
+ *    concurrent qaicc processes can share one library file without
+ *    corrupting it (the last rename wins; each flush first folds in
+ *    whatever entries the file already holds);
+ *  - a structural shape index used to warm-start GRAPE from the stored
+ *    waveform of the nearest fingerprint match (same member structure,
+ *    different rotation angles) instead of a cold random restart.
+ *
+ * Threading rules:
+ *  - All member functions are thread-safe; lookups/inserts touch exactly
+ *    one shard mutex each.
+ *  - stats() and size() take every shard lock (in index order) to return
+ *    a consistent snapshot.
+ *  - load()/flush()/saveTo() serialize on a dedicated I/O mutex, so two
+ *    in-process flushers never interleave; cross-process safety comes
+ *    from the atomic rename.
+ */
+#ifndef QAIC_ORACLE_PULSELIB_H
+#define QAIC_ORACLE_PULSELIB_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qaic {
+
+/** One stored synthesis result. Waveform-less entries are latency-only. */
+struct PulseLibraryEntry
+{
+    /**
+     * Full pricing context that produced this value: the oracle mode
+     * plus every knob the latency depends on (control limits, model
+     * constants, GRAPE budget/seed — see analyticOriginTag /
+     * grapeOriginTag in oracle.h). Consumers only honor entries whose
+     * origin equals their own tag, so runs with different devices,
+     * models or synthesis budgets can share one file without silently
+     * replaying each other's latencies.
+     */
+    std::string origin;
+    /** Optimized pulse duration (ns) — the value the compiler consumes. */
+    double latencyNs = 0.0;
+    /** Final gate fidelity of the stored pulse (0 for latency-only). */
+    double fidelity = 0.0;
+    /** GRAPE iterations consumed by the winning restart. */
+    std::int32_t iterations = 0;
+    /** Wall clock (ns) the original cold synthesis cost. */
+    double synthesisWallNs = 0.0;
+    /** Time-step length (ns) of the waveforms. */
+    double dt = 0.5;
+    /** Structural shape key (oracle.h structuralShape) for warm starts. */
+    std::string shapeKey;
+    /** Optimized per-channel amplitude series; empty for latency-only. */
+    std::vector<std::vector<double>> waveforms;
+
+    bool hasWaveforms() const { return !waveforms.empty(); }
+};
+
+/** Durable, shareable store of optimized pulses keyed by fingerprint. */
+class PulseLibrary
+{
+  public:
+    /** On-disk format version (bumped on any layout change). */
+    static constexpr std::uint32_t kFormatVersion = 1;
+    /** Shard count of the in-memory front (power of two). */
+    static constexpr std::size_t kShards = 16;
+
+    /**
+     * @param path Backing file; empty for a purely in-memory library.
+     *        The file is not read until load() and not written until
+     *        flush() (or destruction with unflushed inserts).
+     */
+    explicit PulseLibrary(std::string path = "");
+
+    /** Flushes unsaved inserts to the backing file, if any. */
+    ~PulseLibrary();
+
+    PulseLibrary(const PulseLibrary &) = delete;
+    PulseLibrary &operator=(const PulseLibrary &) = delete;
+
+    /** Backing file path ("" for in-memory). */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Exact lookup; counts a hit or miss. Records are keyed by
+     * (fingerprint, origin tag), so contexts sharing one file neither
+     * see nor evict each other's values.
+     * @param origin The caller's pricing-context tag (may be empty for
+     *        records stored with an empty origin).
+     * @return the stored entry, or nullopt.
+     */
+    std::optional<PulseLibraryEntry> lookup(const std::string &key,
+                                            const std::string &origin = "");
+
+    /** Exact lookup without touching the hit/miss counters. */
+    std::optional<PulseLibraryEntry> peek(const std::string &key,
+                                          const std::string &origin = "")
+        const;
+
+    /**
+     * Inserts (or upgrades) an entry. An existing entry is only replaced
+     * when the new one is at least as rich: a waveform-less entry never
+     * clobbers stored waveforms — so the caching-oracle layer (which
+     * records latencies only) and the GRAPE layer (which records full
+     * pulses) can both write the same key in any order.
+     */
+    void insert(const std::string &key, PulseLibraryEntry entry);
+
+    /**
+     * Nearest-fingerprint match for warm starts: a stored entry with
+     * waveforms whose structural shape equals @p shape_key (same member
+     * gates and wiring, possibly different rotation angles). Only
+     * entries that were *loaded from disk* are eligible — the shape
+     * index is frozen at load() time, so concurrent compilations get
+     * identical warm-start decisions regardless of which worker stores
+     * what first (in-process inserts become warm-start candidates on
+     * the next run). Counts a warm-start hit when found.
+     */
+    std::optional<PulseLibraryEntry> nearest(const std::string &shape_key);
+
+    /**
+     * Merges the backing file into memory (in-memory entries win on
+     * conflict unless the file entry is richer).
+     * @return false when the file is missing, truncated, corrupt or of
+     *         a different format version; the in-memory state is
+     *         unchanged in that case.
+     */
+    bool load();
+
+    /**
+     * Write-behind flush: re-reads the backing file, folds its entries
+     * into memory (so a concurrent writer's work is kept), then writes
+     * everything to a temporary file and atomically renames it over the
+     * target — even with no local changes, so two writers' files
+     * converge to the union. No-op (returning true) when the library is
+     * in-memory only; the destructor only flushes when entries were
+     * inserted since the last flush.
+     */
+    bool flush();
+
+    /** Unconditional save of the in-memory contents to @p path. */
+    bool saveTo(const std::string &path) const;
+
+    /** Consistent snapshot of the library counters. */
+    struct Stats
+    {
+        /** Distinct keys in memory. */
+        std::size_t entries = 0;
+        /** lookup() calls answered from the library. */
+        std::size_t hits = 0;
+        /** lookup() calls that found nothing. */
+        std::size_t misses = 0;
+        /** insert() calls that stored or upgraded an entry. */
+        std::size_t stores = 0;
+        /** nearest() calls that found a warm-start candidate. */
+        std::size_t warmStarts = 0;
+        /** Entries merged in from disk by load()/flush(). */
+        std::size_t loaded = 0;
+    };
+
+    Stats stats() const;
+
+    /** Distinct keys currently in memory. */
+    std::size_t size() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, PulseLibraryEntry> entries;
+        /** shapeKey -> exemplar primary key (first waveform entry). */
+        std::unordered_map<std::string, std::string> shapes;
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t stores = 0;
+        std::size_t warmStarts = 0;
+        std::size_t loaded = 0;
+    };
+
+    Shard &shardFor(const std::string &key);
+    const Shard &shardFor(const std::string &key) const;
+
+    /**
+     * Map/file key of one record: the gate fingerprint joined with the
+     * origin tag (0x1f separator — appears in neither), so every
+     * pricing context owns its own records.
+     */
+    static std::string recordKey(const std::string &key,
+                                 const std::string &origin);
+
+    /** Merge @p entry under the richness rule; returns true if stored. */
+    static bool mergeEntry(
+        std::unordered_map<std::string, PulseLibraryEntry> &map,
+        const std::string &key, PulseLibraryEntry entry);
+
+    /** Parses a serialized library; returns false on any corruption. */
+    static bool deserialize(
+        const std::string &bytes,
+        std::unordered_map<std::string, PulseLibraryEntry> *out);
+
+    /** Serialized form of @p entries (header + body + checksum). */
+    static std::string serialize(
+        const std::vector<std::pair<std::string, PulseLibraryEntry>>
+            &entries);
+
+    /** Snapshot of every in-memory entry (locks shards in order). */
+    std::vector<std::pair<std::string, PulseLibraryEntry>> snapshot() const;
+
+    /** Folds @p incoming into the shards without counting stores. */
+    void mergeLoaded(
+        std::unordered_map<std::string, PulseLibraryEntry> incoming);
+
+    std::string path_;
+    std::vector<Shard> shards_;
+    mutable std::mutex ioMutex_;
+    /** Inserts since the last successful flush (approximate, guarded). */
+    std::size_t dirty_ = 0;
+    mutable std::mutex dirtyMutex_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_ORACLE_PULSELIB_H

@@ -209,7 +209,7 @@ TEST(AggregationTest, MobilityThroughCommutingGate)
     EXPECT_TRUE(circuitsEquivalent(c, result.circuit));
 }
 
-TEST(AggregationTest, LabelsAreSequential)
+TEST(AggregationTest, LabelsAreSequentialAndKeepProvenance)
 {
     CommutationChecker checker;
     AnalyticOracle oracle;
@@ -224,9 +224,46 @@ TEST(AggregationTest, LabelsAreSequential)
     for (const Gate &g : result.circuit.gates())
         if (g.kind == GateKind::kAggregate) {
             ++seen;
-            EXPECT_EQ(g.payload->label, "G" + std::to_string(seen));
+            // "G<n>:<member provenance>" — numbering for reports, the
+            // composed member labels for diagnostics (a merge used to
+            // relabel everything to the constant "agg").
+            std::string prefix = "G" + std::to_string(seen) + ":";
+            EXPECT_EQ(g.payload->label.rfind(prefix, 0), 0u)
+                << g.payload->label;
+            EXPECT_NE(g.payload->label.find("cnot"), std::string::npos)
+                << g.payload->label;
+            EXPECT_NE(g.payload->label.find("rz"), std::string::npos)
+                << g.payload->label;
         }
     EXPECT_GT(seen, 0);
+}
+
+TEST(AggregationTest, MergeProvenanceSurvivesRelabeling)
+{
+    // Labels must survive relabelGate (routing rewrites qubit ids) and
+    // stay bounded no matter how many merges compose.
+    Gate block = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 0.5), makeCnot(0, 1)}, "cnot+rz+cnot");
+    Gate moved = relabelGate(block, {3, 2, 1, 0});
+    ASSERT_EQ(moved.kind, GateKind::kAggregate);
+    EXPECT_EQ(moved.payload->label, "cnot+rz+cnot");
+
+    CommutationChecker checker;
+    AnalyticOracle oracle;
+    Circuit chain(2);
+    for (int i = 0; i < 24; ++i) {
+        chain.add(makeCnot(0, 1));
+        chain.add(makeRz(1, 0.1 + 0.05 * i));
+        chain.add(makeCnot(0, 1));
+    }
+    AggregationOptions opt;
+    opt.maxWidth = 2;
+    opt.maxRounds = 8;
+    AggregationResult result =
+        aggregateInstructions(chain, &checker, oracle, opt);
+    for (const Gate &g : result.circuit.gates())
+        if (g.kind == GateKind::kAggregate)
+            EXPECT_LE(g.payload->label.size(), 70u) << g.payload->label;
 }
 
 TEST(AggregationTest, EmptyAndTrivialCircuits)

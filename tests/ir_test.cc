@@ -241,6 +241,42 @@ TEST(QasmTest, RejectsMalformedPrograms)
     EXPECT_FALSE(parseQasm("qubits -1\n", &error).has_value());
 }
 
+TEST(QasmTest, OverflowingNumbersAreParseErrorsNotExceptions)
+{
+    // These used to escape as std::out_of_range from std::stoi and
+    // crash the caller; they must come back as line-numbered errors.
+    std::string error;
+    EXPECT_FALSE(
+        parseQasm("qubits 2\nh q99999999999999999999\n", &error)
+            .has_value());
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_FALSE(
+        parseQasm("qubits 99999999999999999999\nh q0\n", &error)
+            .has_value());
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    // Trailing junk after the count must not be silently truncated.
+    EXPECT_FALSE(parseQasm("qubits 5x\nh q0\n", &error).has_value());
+    // A huge-exponent parameter is a parse error, not a throw.
+    EXPECT_FALSE(
+        parseQasm("qubits 2\nrz(1e99999999) q0\n", &error).has_value());
+}
+
+TEST(QasmTest, RejectsEmptyAndTrailingParameterPieces)
+{
+    std::string error;
+    // Trailing comma used to be dropped silently.
+    EXPECT_FALSE(parseQasm("qubits 2\nrz(1,) q0\n", &error).has_value());
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    // Empty parameter list with parens, leading/doubled commas.
+    EXPECT_FALSE(parseQasm("qubits 2\nrz() q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nh() q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nrz(,1) q0\n", &error).has_value());
+    EXPECT_FALSE(
+        parseQasm("qubits 2\nrzz(1,,2) q0 q1\n", &error).has_value());
+    // Well-formed parameters still parse.
+    EXPECT_TRUE(parseQasm("qubits 2\nrz(1.5) q0\n", &error).has_value());
+}
+
 TEST(QasmTest, AggregateFlattensOnSerialization)
 {
     Circuit c(2);

@@ -222,5 +222,69 @@ TEST(FingerprintTest, StructuralRelabelingInvariance)
     EXPECT_NE(structuralFingerprint(a), structuralFingerprint(c));
 }
 
+TEST(FingerprintTest, StableAcrossGlobalPhases)
+{
+    // Phase-equivalent unitaries must share one key for every phase,
+    // including ones that negate entries or rotate the anchor through
+    // the sign boundary. Hadamard additionally has every entry
+    // magnitude-tied, exercising the deterministic anchor tie-break.
+    const CMatrix gates[] = {makeH(0).matrix(), makeCnot(0, 1).matrix(),
+                             makeRz(0, 0.7).matrix(),
+                             makeIswap(0, 1).matrix()};
+    const double phases[] = {0.3, M_PI / 2, 1.7, M_PI, 2.9, -0.4};
+    for (const CMatrix &u : gates) {
+        std::string base = unitaryFingerprint(u);
+        for (double theta : phases) {
+            CMatrix v = u * std::exp(Cmplx(0, theta));
+            EXPECT_EQ(base, unitaryFingerprint(v)) << "phase " << theta;
+        }
+    }
+}
+
+TEST(FingerprintTest, StableUnderNumericalNoise)
+{
+    // Re-deriving the "same" unitary through a different computation
+    // path leaves ~1e-12 noise; keys must not split across a rounding
+    // boundary. Perturb every component both ways.
+    const CMatrix gates[] = {makeH(0).matrix(), makeCnot(0, 1).matrix(),
+                             makeRx(0, 1.23456).matrix()};
+    for (const CMatrix &u : gates) {
+        std::string base = unitaryFingerprint(u);
+        for (double delta : {1e-12, -1e-12}) {
+            CMatrix v = u;
+            for (std::size_t i = 0; i < v.data().size(); ++i)
+                v.raw()[i] += Cmplx(delta, -delta);
+            EXPECT_EQ(base, unitaryFingerprint(v)) << "delta " << delta;
+        }
+    }
+}
+
+TEST(FingerprintTest, NegativeZeroDoesNotSplitKeys)
+{
+    // The old "%.5f" formatting rendered -1e-9 as "-0.00000" and +1e-9
+    // as "0.00000" — two keys for one operation.
+    CMatrix u = CMatrix::identity(2);
+    CMatrix v = u;
+    u(0, 1) = Cmplx(1e-9, -1e-9);
+    v(0, 1) = Cmplx(-1e-9, 1e-9);
+    EXPECT_EQ(unitaryFingerprint(u), unitaryFingerprint(v));
+}
+
+TEST(FingerprintTest, ShapeIgnoresAnglesButNotStructure)
+{
+    Gate a = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "A");
+    Gate b = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 2.30), makeCnot(0, 1)}, "B");
+    EXPECT_EQ(structuralShape(a), structuralShape(b));
+    EXPECT_NE(structuralFingerprint(a), structuralFingerprint(b));
+    // Different wiring is a different shape.
+    Gate c = makeAggregate(
+        {makeCnot(0, 1), makeRz(0, 5.67), makeCnot(0, 1)}, "C");
+    EXPECT_NE(structuralShape(a), structuralShape(c));
+    // A shape key never collides with a parameterized fingerprint.
+    EXPECT_NE(structuralShape(a), structuralFingerprint(a));
+}
+
 } // namespace
 } // namespace qaic

@@ -365,6 +365,56 @@ TEST(CachingOracleTest, ConcurrentAccessIsConsistent)
                 1e-12);
 }
 
+TEST(CachingOracleTest, StatsSnapshotIsNeverTorn)
+{
+    // Regression: stats() used to be assembled from getters that each
+    // took the lock separately, so a sampler racing the worker pool
+    // could observe counters from different moments (e.g. more entries
+    // than misses). Hammer the cache from a pool while a sampler takes
+    // snapshots and check the cross-counter invariants on every one.
+    CachingOracle shared(std::make_shared<AnalyticOracle>());
+    std::vector<Gate> gates;
+    for (int i = 0; i < 64; ++i)
+        gates.push_back(makeRx(0, 0.01 + 0.07 * i));
+
+    std::atomic<bool> done{false};
+    std::atomic<int> violations{0};
+    std::thread sampler([&] {
+        while (!done.load()) {
+            CachingOracle::Stats s = shared.stats();
+            if (s.entries > s.misses)
+                violations.fetch_add(1);
+            if (s.inflight > s.peakInflight)
+                violations.fetch_add(1);
+            if (s.hits + s.misses < s.entries)
+                violations.fetch_add(1);
+            if (s.libraryHits > s.misses)
+                violations.fetch_add(1);
+        }
+    });
+
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 40;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round)
+                for (const Gate &g : gates)
+                    shared.latencyNs(g);
+        });
+    for (std::thread &t : pool)
+        t.join();
+    done.store(true);
+    sampler.join();
+
+    EXPECT_EQ(violations.load(), 0);
+    CachingOracle::Stats s = shared.stats();
+    EXPECT_EQ(s.hits + s.misses,
+              static_cast<std::size_t>(kThreads) * kRounds * gates.size());
+    EXPECT_EQ(s.entries, gates.size());
+    EXPECT_EQ(s.inflight, 0u);
+}
+
 /** Pulses from two GRAPE results must agree exactly. */
 void
 expectIdenticalPulses(const GrapeResult &a, const GrapeResult &b)

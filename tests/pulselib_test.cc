@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Tests for the persistent pulse library (oracle/pulselib.h): binary
+ * round-trips, corruption rejection, concurrent-writer safety, the
+ * oracle integration (durable hits, latency-only entries) and GRAPE
+ * warm-starting.
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "compiler/batch.h"
+#include "compiler/pipeline.h"
+#include "control/grape.h"
+#include "ir/circuit.h"
+#include "oracle/oracle.h"
+#include "oracle/pulselib.h"
+
+namespace qaic {
+namespace {
+
+/** Unique-ish scratch path under the build directory. */
+std::string
+scratchPath(const std::string &tag)
+{
+    return "pulselib_test_" + tag + ".qplb";
+}
+
+PulseLibraryEntry
+sampleEntry(double latency, int channels, int steps)
+{
+    PulseLibraryEntry e;
+    e.origin = "grape";
+    e.latencyNs = latency;
+    e.fidelity = 0.9991;
+    e.iterations = 42;
+    e.synthesisWallNs = 1.5e9;
+    e.dt = 0.5;
+    e.shapeKey = "s2:cnot.0.1;rz.1;cnot.0.1;";
+    e.waveforms.assign(channels, {});
+    for (int k = 0; k < channels; ++k)
+        for (int j = 0; j < steps; ++j)
+            e.waveforms[k].push_back(0.01 * (k + 1) * (j - steps / 2));
+    return e;
+}
+
+TEST(PulseLibraryTest, RoundTripPreservesEverythingBitwise)
+{
+    const std::string path = scratchPath("roundtrip");
+    std::remove(path.c_str());
+
+    PulseLibrary lib(path);
+    lib.insert("key-a", sampleEntry(17.5, 3, 32));
+    lib.insert("key-b", sampleEntry(42.25, 5, 7));
+    PulseLibraryEntry latency_only;
+    latency_only.latencyNs = 9.5;
+    lib.insert("key-c", latency_only);
+    ASSERT_TRUE(lib.flush());
+
+    PulseLibrary loaded(path);
+    ASSERT_TRUE(loaded.load());
+    EXPECT_EQ(loaded.size(), 3u);
+
+    auto a = loaded.peek("key-a", "grape");
+    ASSERT_TRUE(a.has_value());
+    PulseLibraryEntry want = sampleEntry(17.5, 3, 32);
+    EXPECT_EQ(a->origin, want.origin);
+    EXPECT_EQ(a->latencyNs, want.latencyNs); // bitwise: binary format
+    EXPECT_EQ(a->fidelity, want.fidelity);
+    EXPECT_EQ(a->iterations, want.iterations);
+    EXPECT_EQ(a->synthesisWallNs, want.synthesisWallNs);
+    EXPECT_EQ(a->dt, want.dt);
+    EXPECT_EQ(a->shapeKey, want.shapeKey);
+    ASSERT_EQ(a->waveforms.size(), want.waveforms.size());
+    for (std::size_t k = 0; k < want.waveforms.size(); ++k)
+        EXPECT_EQ(a->waveforms[k], want.waveforms[k]);
+
+    auto c = loaded.peek("key-c");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->latencyNs, 9.5);
+    EXPECT_FALSE(c->hasWaveforms());
+
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryTest, RejectsCorruptedAndTruncatedFiles)
+{
+    const std::string path = scratchPath("corrupt");
+    std::remove(path.c_str());
+
+    PulseLibrary lib(path);
+    lib.insert("key-a", sampleEntry(17.5, 3, 32));
+    ASSERT_TRUE(lib.flush());
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    ASSERT_GT(bytes.size(), 64u);
+
+    auto write_variant = [&](const std::string &contents) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << contents;
+    };
+
+    // Truncations at several depths (header, mid-entry, last byte).
+    for (std::size_t cut : {std::size_t{3}, std::size_t{10},
+                            bytes.size() / 2, bytes.size() - 1}) {
+        write_variant(bytes.substr(0, cut));
+        PulseLibrary fresh(path);
+        EXPECT_FALSE(fresh.load()) << "truncated at " << cut;
+        EXPECT_EQ(fresh.size(), 0u);
+    }
+
+    // A flipped payload byte breaks the checksum.
+    std::string flipped = bytes;
+    flipped[bytes.size() - 5] ^= 0x40;
+    write_variant(flipped);
+    PulseLibrary fresh(path);
+    EXPECT_FALSE(fresh.load());
+
+    // Wrong magic and garbage are rejected, as is a missing file.
+    write_variant("not a pulse library at all");
+    EXPECT_FALSE(PulseLibrary(path).load());
+
+    // A crafted header (valid magic/version, absurd entry count, valid
+    // checksum of the empty body) must fail cleanly instead of throwing
+    // out of an untrusted reserve().
+    std::string crafted = "QPLB";
+    auto put = [&](auto value) {
+        char raw[sizeof(value)];
+        std::memcpy(raw, &value, sizeof(value));
+        crafted.append(raw, sizeof(value));
+    };
+    put(std::uint32_t{1});                         // version
+    put(std::uint64_t{1} << 61);                   // entry count
+    put(std::uint64_t{1469598103934665603ull});    // FNV-1a of ""
+    write_variant(crafted);
+    EXPECT_FALSE(PulseLibrary(path).load());
+
+    std::remove(path.c_str());
+    EXPECT_FALSE(PulseLibrary(path).load());
+}
+
+TEST(PulseLibraryTest, FlushMergesInsteadOfClobbering)
+{
+    const std::string path = scratchPath("merge");
+    std::remove(path.c_str());
+
+    // Writer A flushes, then writer B (which never saw A's entries)
+    // flushes the same file: B's flush must fold A's work in.
+    PulseLibrary a(path);
+    a.insert("key-a", sampleEntry(11.0, 2, 8));
+    ASSERT_TRUE(a.flush());
+
+    PulseLibrary b(path);
+    b.insert("key-b", sampleEntry(22.0, 2, 8));
+    ASSERT_TRUE(b.flush());
+
+    PulseLibrary check(path);
+    ASSERT_TRUE(check.load());
+    EXPECT_EQ(check.size(), 2u);
+    EXPECT_TRUE(check.peek("key-a", "grape").has_value());
+    EXPECT_TRUE(check.peek("key-b", "grape").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryTest, ConcurrentWritersNeverCorruptTheFile)
+{
+    const std::string path = scratchPath("two_writers");
+    std::remove(path.c_str());
+
+    constexpr int kFlushes = 12;
+    PulseLibrary left(path);
+    PulseLibrary right(path);
+    auto writer = [&](PulseLibrary &lib, const std::string &prefix) {
+        for (int i = 0; i < kFlushes; ++i) {
+            lib.insert(prefix + std::to_string(i),
+                       sampleEntry(10.0 + i, 2, 4));
+            EXPECT_TRUE(lib.flush());
+        }
+    };
+    std::thread a(writer, std::ref(left), std::string("left-"));
+    std::thread b(writer, std::ref(right), std::string("right-"));
+    a.join();
+    b.join();
+
+    // Whatever interleaving the racing flushes produced, the file is a
+    // complete, valid library (atomic rename: readers never observe a
+    // partial write).
+    {
+        PulseLibrary check(path);
+        ASSERT_TRUE(check.load());
+        EXPECT_GE(check.size(), static_cast<std::size_t>(kFlushes));
+    }
+
+    // The very last racing rename may predate the other writer's final
+    // entry; one more flush from each side deterministically converges
+    // the file to the union (each flush folds the file back in first).
+    ASSERT_TRUE(left.flush());
+    ASSERT_TRUE(right.flush());
+    PulseLibrary check(path);
+    ASSERT_TRUE(check.load());
+    EXPECT_EQ(check.size(), static_cast<std::size_t>(2 * kFlushes));
+    EXPECT_TRUE(
+        check.peek("left-" + std::to_string(kFlushes - 1), "grape")
+            .has_value());
+    EXPECT_TRUE(
+        check.peek("right-" + std::to_string(kFlushes - 1), "grape")
+            .has_value());
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryTest, RichnessRuleKeepsWaveforms)
+{
+    PulseLibrary lib; // in-memory
+    lib.insert("k", sampleEntry(17.5, 2, 8));
+    PulseLibraryEntry latency_only;
+    latency_only.origin = "grape"; // same record as the rich entry
+    latency_only.latencyNs = 17.5;
+    lib.insert("k", latency_only);
+    auto entry = lib.peek("k", "grape");
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_TRUE(entry->hasWaveforms())
+        << "latency-only insert clobbered stored waveforms";
+}
+
+TEST(PulseLibraryTest, NearestServesOnlyLoadedEntries)
+{
+    const std::string path = scratchPath("nearest");
+    std::remove(path.c_str());
+
+    PulseLibrary lib(path);
+    lib.insert("k", sampleEntry(17.5, 2, 8));
+    // In-process inserts are deliberately not warm-start candidates:
+    // the shape index is frozen at load() time so concurrent batch
+    // workers' store order can never change another compilation's
+    // result.
+    EXPECT_FALSE(lib.nearest("s2:cnot.0.1;rz.1;cnot.0.1;").has_value());
+    ASSERT_TRUE(lib.flush());
+
+    PulseLibrary loaded(path);
+    ASSERT_TRUE(loaded.load());
+    auto warm = loaded.nearest("s2:cnot.0.1;rz.1;cnot.0.1;");
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(warm->hasWaveforms());
+    EXPECT_FALSE(loaded.nearest("s2:iswap.0.1;").has_value());
+    EXPECT_EQ(loaded.stats().warmStarts, 1u);
+    std::remove(path.c_str());
+}
+
+// --- GRAPE warm-starting ---------------------------------------------
+
+GrapeOptions
+quickGrapeOptions()
+{
+    GrapeOptions options;
+    options.maxIterations = 200;
+    options.restarts = 1;
+    return options;
+}
+
+TEST(GrapeWarmStartTest, WarmStartIsDeterministicAndAtLeastAsGood)
+{
+    // fig4's G3 block (CNOT-Rz-CNOT) on a coupled pair.
+    DeviceModel pair = DeviceModel::line(2);
+    GrapeOptimizer grape(pair);
+    Gate block = makeAggregate(
+        {makeCnot(0, 1), makeRz(1, 5.67), makeCnot(0, 1)}, "G3");
+    GrapeOptions options = quickGrapeOptions();
+
+    GrapeResult cold = grape.optimize(block.matrix(), 16.0, options);
+
+    GrapeOptions warm_options = options;
+    warm_options.warmStart = &cold.pulses.amplitudes;
+    GrapeResult warm = grape.optimize(block.matrix(), 16.0, warm_options);
+
+    // Seeded with the cold optimum, the warm run can only match or
+    // improve it (up to the tanh clamp round-trip on saturated
+    // amplitudes), and must converge (far) faster.
+    EXPECT_GE(warm.fidelity, cold.fidelity - 1e-6);
+    EXPECT_LE(warm.iterations, cold.iterations);
+
+    GrapeResult again = grape.optimize(block.matrix(), 16.0, warm_options);
+    EXPECT_EQ(warm.fidelity, again.fidelity);
+    EXPECT_EQ(warm.iterations, again.iterations);
+    ASSERT_EQ(warm.pulses.amplitudes.size(),
+              again.pulses.amplitudes.size());
+    for (std::size_t k = 0; k < warm.pulses.amplitudes.size(); ++k)
+        EXPECT_EQ(warm.pulses.amplitudes[k], again.pulses.amplitudes[k])
+            << "warm-started GRAPE must be bitwise deterministic";
+}
+
+TEST(GrapeWarmStartTest, ResamplesAcrossDurations)
+{
+    // A warm start recorded at one duration must still help (and never
+    // crash) when the probe uses a different step count.
+    DeviceModel pair = DeviceModel::line(2);
+    GrapeOptimizer grape(pair);
+    CMatrix target = makeIswap(0, 1).matrix();
+    GrapeOptions options = quickGrapeOptions();
+
+    GrapeResult cold = grape.optimize(target, 16.0, options);
+    ASSERT_TRUE(cold.converged);
+
+    GrapeOptions warm_options = options;
+    warm_options.warmStart = &cold.pulses.amplitudes;
+    GrapeResult longer = grape.optimize(target, 20.0, warm_options);
+    EXPECT_TRUE(longer.converged);
+    GrapeResult shorter = grape.optimize(target, 14.0, warm_options);
+    EXPECT_GE(shorter.fidelity, 0.5); // still a sane optimization
+}
+
+// --- Oracle integration ----------------------------------------------
+
+GrapeOracleOptions
+quickOracleOptions()
+{
+    GrapeOracleOptions options;
+    options.grape.maxIterations = 150;
+    options.grape.restarts = 1;
+    options.resolution = 1.0;
+    return options;
+}
+
+TEST(PulseLibraryOracleTest, GrapeOracleReplaysExactHitsBitwise)
+{
+    const std::string path = scratchPath("oracle_replay");
+    std::remove(path.c_str());
+
+    double first = 0.0, second = 0.0;
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
+        first = oracle.latencyNs(makeIswap(0, 1));
+        EXPECT_GT(first, 0.0);
+        EXPECT_GE(lib->stats().stores, 1u);
+        ASSERT_TRUE(lib->flush());
+    }
+    {
+        // A fresh process: same library file, fresh oracle.
+        auto lib = std::make_shared<PulseLibrary>(path);
+        ASSERT_TRUE(lib->load());
+        GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
+        second = oracle.latencyNs(makeIswap(0, 1));
+        EXPECT_EQ(lib->stats().hits, 1u)
+            << "second run must be answered from the library";
+    }
+    EXPECT_EQ(first, second)
+        << "library replay must reproduce the latency bitwise";
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryOracleTest, ShapeMatchWarmStartsAcrossRuns)
+{
+    const std::string path = scratchPath("warmstart");
+    std::remove(path.c_str());
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
+        double a = oracle.latencyNs(makeRzz(0, 1, 1.0));
+        EXPECT_GT(a, 0.0);
+        // Warm starts never draw on same-run inserts (that would make
+        // concurrent batch results depend on worker store order).
+        oracle.latencyNs(makeRzz(0, 1, 1.5));
+        EXPECT_EQ(lib->stats().warmStarts, 0u);
+        ASSERT_TRUE(lib->flush());
+    }
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        ASSERT_TRUE(lib->load());
+        GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
+        double b = oracle.latencyNs(makeRzz(0, 1, 2.0));
+        EXPECT_GT(b, 0.0);
+        EXPECT_GE(lib->stats().warmStarts, 1u)
+            << "same-shape different-angle gate should warm-start from "
+               "the loaded library";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryOracleTest, AnalyticEntriesDoNotPoisonGrapeMode)
+{
+    // An analytic-mode run records model estimates under the same keys
+    // a GRAPE run uses; the GRAPE oracle must re-synthesize, not replay
+    // them as if they were optimal-control results.
+    auto lib = std::make_shared<PulseLibrary>();
+    CachingOracle analytic(std::make_shared<AnalyticOracle>(), lib);
+    analytic.latencyNs(makeIswap(0, 1));
+    std::string key = unitaryFingerprint(makeIswap(0, 1).matrix());
+    std::string analytic_tag = analyticOriginTag({});
+    ASSERT_TRUE(lib->peek(key, analytic_tag).has_value());
+
+    GrapeLatencyOracle grape(quickOracleOptions(), {}, lib);
+    grape.latencyNs(makeIswap(0, 1));
+    auto entry = lib->peek(key, grape.originTag());
+    ASSERT_TRUE(entry.has_value())
+        << "GRAPE must have synthesized its own record";
+    EXPECT_TRUE(entry->hasWaveforms());
+    // The analytic record coexists — neither context evicted the other.
+    EXPECT_TRUE(lib->peek(key, analytic_tag).has_value());
+    EXPECT_FALSE(lib->peek(key, analytic_tag)->hasWaveforms());
+}
+
+TEST(PulseLibraryOracleTest, DifferentSynthesisBudgetsDoNotReplay)
+{
+    // A latency found under one GRAPE budget is not the answer another
+    // budget would compute; sharing a file across configurations must
+    // re-synthesize, mirroring compileBatch's in-process mu1/mu2 check.
+    const std::string path = scratchPath("budget");
+    std::remove(path.c_str());
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
+        oracle.latencyNs(makeIswap(0, 1));
+        ASSERT_TRUE(lib->flush());
+    }
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        ASSERT_TRUE(lib->load());
+        GrapeOracleOptions bigger = quickOracleOptions();
+        bigger.grape.maxIterations += 50;
+        GrapeLatencyOracle oracle(bigger, {}, lib);
+        oracle.latencyNs(makeIswap(0, 1));
+        EXPECT_EQ(lib->stats().hits, 0u)
+            << "a different budget's entry must not be served";
+        std::string key = unitaryFingerprint(makeIswap(0, 1).matrix());
+        EXPECT_TRUE(lib->peek(key, oracle.originTag()).has_value());
+        // The original budget's record survives alongside — a config
+        // change never evicts another run's work from a shared file.
+        GrapeLatencyOracle quick_oracle(quickOracleOptions(), {},
+                                        nullptr);
+        EXPECT_TRUE(lib->peek(key, quick_oracle.originTag()).has_value());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryOracleTest, OriginMismatchedEntriesAreNotServed)
+{
+    auto lib = std::make_shared<PulseLibrary>();
+    Gate g = makeH(0);
+    PulseLibraryEntry bogus;
+    bogus.origin = "grape";
+    bogus.latencyNs = 123.0;
+    lib->insert(unitaryFingerprint(g.matrix()), bogus);
+
+    CachingOracle oracle(std::make_shared<AnalyticOracle>(), lib);
+    EXPECT_NE(oracle.latencyNs(g), 123.0);
+    EXPECT_EQ(oracle.stats().libraryHits, 0u);
+}
+
+TEST(PulseLibraryOracleTest, CachingOracleUsesDurableLatencies)
+{
+    const std::string path = scratchPath("caching");
+    std::remove(path.c_str());
+
+    // An analytic run records latency-only entries durably...
+    std::vector<Gate> gates = {makeH(0), makeCnot(0, 1),
+                               makeRx(0, 0.7), makeSwap(0, 1)};
+    std::vector<double> first;
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        CachingOracle oracle(std::make_shared<AnalyticOracle>(), lib);
+        for (const Gate &g : gates)
+            first.push_back(oracle.latencyNs(g));
+        ASSERT_TRUE(lib->flush());
+    }
+    // ...which a later process serves without consulting the inner
+    // oracle (visible as libraryHits in the consistent stats snapshot).
+    {
+        auto lib = std::make_shared<PulseLibrary>(path);
+        ASSERT_TRUE(lib->load());
+        CachingOracle oracle(std::make_shared<AnalyticOracle>(), lib);
+        for (std::size_t i = 0; i < gates.size(); ++i)
+            EXPECT_EQ(oracle.latencyNs(gates[i]), first[i]);
+        CachingOracle::Stats stats = oracle.stats();
+        EXPECT_EQ(stats.libraryHits, gates.size());
+        EXPECT_EQ(stats.misses, gates.size());
+        EXPECT_EQ(stats.hits, 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryOracleTest, PipelineThreadsLibraryPathThrough)
+{
+    const std::string path = scratchPath("pipeline");
+    std::remove(path.c_str());
+
+    CompilerOptions options;
+    options.pulseLibraryPath = path;
+    DeviceModel device = DeviceModel::gridFor(4);
+    CompilerOptions resolved = resolveCompilerOptions(device, options);
+    EXPECT_EQ(resolved.pulseLibraryPath, path);
+
+    Circuit circuit(4);
+    circuit.add(makeH(0));
+    circuit.add(makeCnot(0, 1));
+    circuit.add(makeCnot(2, 3));
+    circuit.add(makeRz(3, 0.4));
+
+    double first = 0.0;
+    {
+        Compiler compiler(device, options);
+        first = compiler.compile(circuit, Strategy::kClsAggregation)
+                    .latencyNs;
+        auto lib = compiler.oracleHandle()->library();
+        ASSERT_NE(lib, nullptr);
+        EXPECT_GT(lib->size(), 0u);
+    } // destruction flushes
+    {
+        Compiler compiler(device, options);
+        double second =
+            compiler.compile(circuit, Strategy::kClsAggregation)
+                .latencyNs;
+        EXPECT_EQ(first, second);
+        auto lib = compiler.oracleHandle()->library();
+        ASSERT_NE(lib, nullptr);
+        EXPECT_GT(lib->stats().loaded, 0u)
+            << "second compiler must have loaded the flushed library";
+        EXPECT_GT(compiler.oracleHandle()->stats().libraryHits, 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PulseLibraryOracleTest, BatchCompilationSharesOneLibrary)
+{
+    const std::string path = scratchPath("batch");
+    std::remove(path.c_str());
+
+    CompilerOptions options;
+    options.pulseLibraryPath = path;
+    DeviceModel device = DeviceModel::gridFor(4);
+    Circuit circuit(4);
+    circuit.add(makeH(0));
+    circuit.add(makeCnot(0, 1));
+    std::vector<Circuit> circuits(4, circuit);
+
+    std::vector<CompilationResult> results = compileBatch(
+        device, circuits, Strategy::kClsAggregation, options, 4);
+    ASSERT_EQ(results.size(), 4u);
+    for (const CompilationResult &r : results)
+        EXPECT_EQ(r.latencyNs, results.front().latencyNs);
+    // The shared oracle flushed on destruction inside compileBatch;
+    // the library file must now exist and be loadable.
+    PulseLibrary check(path);
+    EXPECT_TRUE(check.load());
+    EXPECT_GT(check.size(), 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace qaic

@@ -15,8 +15,12 @@
  *     --line          use a 1-D line device instead of a grid
  *     --pulses FILE   emit the pulse program (GRAPE for narrow
  *                     instructions) as CSV
+ *     --pulse-lib F   persistent pulse library: load latencies/pulses
+ *                     from F before compiling and flush new entries back
+ *                     (concurrent qaicc processes may share one file)
  *     --schedule      print the full instruction schedule
- *     --timings       print per-pass wall-clock times
+ *     --timings       print per-pass wall-clock times (and library
+ *                     hit/warm-start stats when --pulse-lib is set)
  *     --verify        verify backend semantics against the routed circuit
  */
 #include <cstdio>
@@ -41,8 +45,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--strategy isa|cls|handopt|cls-handopt|agg|"
                  "cls-agg] [--width N]\n"
-                 "          [--line] [--pulses FILE] [--schedule] "
-                 "[--timings] [--verify] circuit.qasm\n",
+                 "          [--line] [--pulses FILE] [--pulse-lib FILE] "
+                 "[--schedule] [--timings]\n"
+                 "          [--verify] circuit.qasm\n",
                  argv0);
     return 2;
 }
@@ -56,7 +61,7 @@ main(int argc, char **argv)
     int width = 10;
     bool line = false, print_schedule = false, print_timings = false,
          verify = false;
-    std::string pulses_path, input_path;
+    std::string pulses_path, pulse_lib_path, input_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -73,6 +78,8 @@ main(int argc, char **argv)
             line = true;
         } else if (arg == "--pulses" && i + 1 < argc) {
             pulses_path = argv[++i];
+        } else if (arg == "--pulse-lib" && i + 1 < argc) {
+            pulse_lib_path = argv[++i];
         } else if (arg == "--schedule") {
             print_schedule = true;
         } else if (arg == "--timings") {
@@ -109,6 +116,7 @@ main(int argc, char **argv)
                               : DeviceModel::gridFor(circuit->numQubits());
     CompilerOptions options;
     options.maxInstructionWidth = width;
+    options.pulseLibraryPath = pulse_lib_path;
     Compiler compiler(device, options);
     CompilationResult result = compiler.compile(*circuit, strategy);
 
@@ -140,6 +148,13 @@ main(int argc, char **argv)
                     "rate), %zu entries, %zu in flight (peak %zu)\n",
                     cache.hits, cache.misses, 100.0 * cache.hitRate(),
                     cache.entries, cache.inflight, cache.peakInflight);
+        if (auto library = compiler.oracleHandle()->library()) {
+            PulseLibrary::Stats lib = library->stats();
+            std::printf("pulse library: %zu hits, %zu warm starts, %zu "
+                        "stored, %zu loaded from %s (%zu entries)\n",
+                        lib.hits, lib.warmStarts, lib.stores, lib.loaded,
+                        library->path().c_str(), lib.entries);
+        }
     }
 
     if (print_schedule) {
