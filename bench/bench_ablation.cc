@@ -93,10 +93,17 @@ ablationPlacement()
         std::vector<int> identity(spec.circuit.numQubits());
         for (std::size_t q = 0; q < identity.size(); ++q)
             identity[q] = static_cast<int>(q);
+        // Pinned to the paper's greedy router: this ablation isolates
+        // the placement heuristic, and its numbers reproduce Section
+        // 3.4.1 routing (bench_routing covers the router comparison).
+        RoutingOptions greedy;
+        greedy.router = RouterKind::kBaseline;
         int trivial =
-            routeOnDevice(spec.circuit, device, identity).swapCount;
+            routeOnDevice(spec.circuit, device, identity, greedy)
+                .swapCount;
         int placed = routeOnDevice(spec.circuit, device,
-                                   initialPlacement(spec.circuit, device))
+                                   initialPlacement(spec.circuit, device),
+                                   greedy)
                          .swapCount;
         table.addRow({name, std::to_string(trivial),
                       std::to_string(placed)});

@@ -46,8 +46,10 @@ main()
 
             // One latency cache across the ISA baseline and the whole
             // width sweep: the width cap changes which aggregates form,
-            // not how an instruction is priced.
+            // not how an instruction is priced. Routing pinned to the
+            // paper's greedy router (Section 3.4.1 methodology).
             CompilerOptions base;
+            base.routing.router = RouterKind::kBaseline;
             auto oracle = makeCachingOracle(
                 resolveCompilerOptions(device, base));
             CompilationContext isa_context(device, base, oracle);
@@ -62,6 +64,7 @@ main()
             for (int width : widths) {
                 CompilerOptions options;
                 options.maxInstructionWidth = width;
+                options.routing.router = RouterKind::kBaseline;
                 CompilationContext context(device, options, oracle);
                 CompilationResult r =
                     agg_pipeline.compile(spec.circuit, context);

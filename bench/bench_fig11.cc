@@ -51,7 +51,11 @@ main()
         jobs.push_back({std::move(circuit), device,
                         Strategy::kClsAggregation});
     }
-    std::vector<CompilationResult> results = compileBatch(jobs);
+    // Pinned to the paper's greedy router so the reproduced figure keeps
+    // the paper's Section 3.4.1 routing methodology.
+    CompilerOptions options;
+    options.routing.router = RouterKind::kBaseline;
+    std::vector<CompilationResult> results = compileBatch(jobs, options);
 
     Table table({"instance", "locality", "SWAPs", "CLS (ns)",
                  "CLS+Agg (ns)", "normalized"});

@@ -49,7 +49,12 @@ main()
         for (Strategy strat : strategies)
             jobs.push_back({s.circuit, device, strat});
     }
-    std::vector<CompilationResult> results = compileBatch(jobs);
+    // Pinned to the paper's greedy router so the reproduced figure keeps
+    // the paper's Section 3.4.1 routing methodology (bench_routing
+    // covers the lookahead router's gains).
+    CompilerOptions options;
+    options.routing.router = RouterKind::kBaseline;
+    std::vector<CompilationResult> results = compileBatch(jobs, options);
 
     Table fig({"benchmark", "ISA (ns)", "CLS", "CLS+HandOpt",
                "Aggregation", "CLS+Aggregation", "speedup"});

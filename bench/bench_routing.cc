@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Routing harness: SWAP count and routed latency for every paper
+ * workload x topology x router, baseline vs lookahead.
+ *
+ * Emits BENCH_routing.json (one record per workload x topology holding
+ * both routers' numbers) and fails — nonzero exit, for CI — if the
+ * lookahead router ever inserts more SWAPs than the baseline on a grid
+ * QAOA (MAXCUT) workload, the regression tripwire of the routing smoke
+ * step.
+ *
+ * Usage: bench_routing [--quick] [--json FILE]
+ *   --quick   scale the suite registers down (CI smoke budget)
+ *   --json F  write the report to F instead of BENCH_routing.json
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "compiler/decompose.h"
+#include "device/topology.h"
+#include "mapping/mapping.h"
+#include "mapping/router.h"
+#include "oracle/oracle.h"
+#include "schedule/schedule.h"
+#include "workloads/suite.h"
+
+using namespace qaic;
+
+namespace {
+
+struct RouteNumbers
+{
+    int swaps = 0;
+    double latencyNs = 0.0;
+    double wallNs = 0.0;
+};
+
+RouteNumbers
+routeAndPrice(const Circuit &circuit, const DeviceModel &device,
+              const std::vector<int> &placement, RouterKind router,
+              AnalyticOracle &oracle)
+{
+    RouteNumbers out;
+    RoutingResult routed;
+    double start = bench::nowNs();
+    if (router == RouterKind::kLookahead) {
+        // The raw heuristic, bypassing routeOnDevice's never-worse
+        // guard: the guard would clamp the comparison to a tautology,
+        // and this bench (and the CI tripwire on its exit code) exists
+        // to catch the heuristic itself regressing.
+        routed = routeLookahead(circuit, device, placement,
+                                RoutingOptions{});
+    } else {
+        RoutingOptions options;
+        options.router = RouterKind::kBaseline;
+        routed = routeOnDevice(circuit, device, placement, options);
+    }
+    out.wallNs = bench::nowNs() - start;
+    out.swaps = routed.swapCount;
+    out.latencyNs = scheduleAsap(routed.physical, oracle).makespan();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--json FILE]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const double scale = quick ? 0.3 : 1.0;
+    const Topology topologies[] = {Topology::kGrid, Topology::kHeavyHex,
+                                   Topology::kRing,
+                                   Topology::kRandomRegular};
+
+    bench::BenchReport report("routing");
+    AnalyticOracle oracle;
+    int grid_qaoa_regressions = 0;
+    int strict_wins_grid_hex = 0;
+    int compared_grid_hex = 0;
+
+    std::printf("%-16s %-15s %9s %9s %12s %12s\n", "workload",
+                "topology", "base swp", "look swp", "base ns",
+                "look ns");
+    for (const BenchmarkSpec &spec : paperBenchmarkSuite(scale)) {
+        Circuit lowered = decomposeCcx(spec.circuit);
+        for (Topology topology : topologies) {
+            DeviceModel device =
+                deviceForTopology(topology, lowered.numQubits());
+            std::vector<int> placement =
+                initialPlacement(lowered, device, /*seed=*/1);
+
+            RouteNumbers base = routeAndPrice(
+                lowered, device, placement, RouterKind::kBaseline, oracle);
+            RouteNumbers look = routeAndPrice(
+                lowered, device, placement, RouterKind::kLookahead,
+                oracle);
+
+            std::string name =
+                spec.name + "/" + topologyName(topology);
+            std::printf("%-16s %-15s %9d %9d %12.1f %12.1f\n",
+                        spec.name.c_str(),
+                        topologyName(topology).c_str(), base.swaps,
+                        look.swaps, base.latencyNs, look.latencyNs);
+
+            auto &record =
+                report.add(name, look.wallNs, 1, base.wallNs);
+            record.extra.emplace_back("baseline_swaps", base.swaps);
+            record.extra.emplace_back("lookahead_swaps", look.swaps);
+            record.extra.emplace_back("baseline_latency_ns",
+                                      base.latencyNs);
+            record.extra.emplace_back("lookahead_latency_ns",
+                                      look.latencyNs);
+
+            if (topology == Topology::kGrid &&
+                spec.name.rfind("MAXCUT", 0) == 0 &&
+                look.swaps > base.swaps) {
+                std::fprintf(stderr,
+                             "REGRESSION: lookahead inserted %d swaps "
+                             "vs baseline %d on %s\n",
+                             look.swaps, base.swaps, name.c_str());
+                ++grid_qaoa_regressions;
+            }
+            if (topology == Topology::kGrid ||
+                topology == Topology::kHeavyHex) {
+                ++compared_grid_hex;
+                if (look.swaps < base.swaps)
+                    ++strict_wins_grid_hex;
+            }
+        }
+    }
+
+    std::printf("\nlookahead strictly fewer SWAPs on %d of %d "
+                "grid/heavy-hex routes\n",
+                strict_wins_grid_hex, compared_grid_hex);
+    if (!report.writeFile(json_path))
+        return 1;
+    if (grid_qaoa_regressions > 0)
+        return 1;
+    return 0;
+}

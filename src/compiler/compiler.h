@@ -100,6 +100,13 @@ struct CompilerOptions
     /** Aggregation pass knobs (maxWidth is synced from above). */
     AggregationOptions aggregation;
     /**
+     * SWAP-routing knobs: router selection (lookahead by default — with
+     * its never-worse guard it can only reduce SWAP counts) and the
+     * lookahead window/weights. Negative knobs are clamped to 0 by
+     * resolveCompilerOptions.
+     */
+    RoutingOptions routing;
+    /**
      * Backing file of the persistent pulse library (oracle/pulselib.h);
      * empty disables persistence. When set, makeCachingOracle loads the
      * file (if present) into the latency cache, GRAPE syntheses are

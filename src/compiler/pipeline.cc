@@ -19,6 +19,14 @@ resolveCompilerOptions(const DeviceModel &device,
     resolved.model.mu1 = device.mu1();
     resolved.model.mu2 = device.mu2();
     resolved.aggregation.maxWidth = resolved.maxInstructionWidth;
+    // Routing knobs must be non-negative; clamping here keeps the
+    // routers free of per-call sanitization.
+    resolved.routing.lookaheadWindow =
+        std::max(0, resolved.routing.lookaheadWindow);
+    resolved.routing.extendedWeight =
+        std::max(0.0, resolved.routing.extendedWeight);
+    resolved.routing.decayDelta =
+        std::max(0.0, resolved.routing.decayDelta);
     return resolved;
 }
 
@@ -257,7 +265,8 @@ MappingPass::run(CompilationContext &context)
                 placement[q] = static_cast<int>(q);
         }
         RoutingResult routed =
-            routeOnDevice(context.working, context.device(), placement);
+            routeOnDevice(context.working, context.device(), placement,
+                          context.options().routing);
         if (!have || routed.swapCount < context.routing.swapCount) {
             context.routing = std::move(routed);
             have = true;

@@ -62,6 +62,31 @@ DeviceModel::DeviceModel(int num_qubits,
     }
     for (auto &nbrs : adjacency_)
         std::sort(nbrs.begin(), nbrs.end());
+
+    // All-pairs hop distances, one BFS per source. Device registers are
+    // small (at most a few hundred qubits), so the O(n * edges) build is
+    // negligible while making every distance() query O(1) — the SWAP
+    // routers issue millions of them when scoring candidates.
+    dist_.assign(static_cast<std::size_t>(numQubits_) * numQubits_, -1);
+    std::deque<int> queue;
+    for (int src = 0; src < numQubits_; ++src) {
+        int *row = dist_.data() +
+                   static_cast<std::size_t>(src) * numQubits_;
+        row[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while (!queue.empty()) {
+            int q = queue.front();
+            queue.pop_front();
+            for (int nbr : adjacency_[q]) {
+                if (row[nbr] < 0) {
+                    row[nbr] = row[q] + 1;
+                    diameter_ = std::max(diameter_, row[nbr]);
+                    queue.push_back(nbr);
+                }
+            }
+        }
+    }
 }
 
 DeviceModel
@@ -121,54 +146,34 @@ DeviceModel::neighbors(int q) const
     return adjacency_[q];
 }
 
-int
-DeviceModel::distance(int a, int b) const
+bool
+DeviceModel::connected() const
 {
-    if (a == b)
-        return 0;
-    std::vector<int> dist(numQubits_, -1);
-    std::deque<int> queue{a};
-    dist[a] = 0;
-    while (!queue.empty()) {
-        int q = queue.front();
-        queue.pop_front();
-        for (int nbr : adjacency_[q]) {
-            if (dist[nbr] < 0) {
-                dist[nbr] = dist[q] + 1;
-                if (nbr == b)
-                    return dist[nbr];
-                queue.push_back(nbr);
-            }
-        }
-    }
-    return -1;
+    const int *row = dist_.data();
+    for (int q = 0; q < numQubits_; ++q)
+        if (row[q] < 0)
+            return false;
+    return true;
 }
 
 std::vector<int>
 DeviceModel::shortestPath(int a, int b) const
 {
-    std::vector<int> parent(numQubits_, -1);
-    std::vector<bool> seen(numQubits_, false);
-    std::deque<int> queue{a};
-    seen[a] = true;
-    while (!queue.empty()) {
-        int q = queue.front();
-        queue.pop_front();
-        if (q == b)
-            break;
-        for (int nbr : adjacency_[q]) {
-            if (!seen[nbr]) {
-                seen[nbr] = true;
-                parent[nbr] = q;
-                queue.push_back(nbr);
+    QAIC_CHECK(distance(a, b) >= 0)
+        << "no path between qubits " << a << " and " << b;
+    std::vector<int> path{a};
+    while (a != b) {
+        // Lowest-id neighbour strictly closer to b; the distance table
+        // guarantees one exists, and the neighbour lists are sorted, so
+        // the walk is deterministic.
+        for (int nbr : adjacency_[a]) {
+            if (distance(nbr, b) == distance(a, b) - 1) {
+                a = nbr;
+                break;
             }
         }
+        path.push_back(a);
     }
-    QAIC_CHECK(seen[b]) << "no path between qubits " << a << " and " << b;
-    std::vector<int> path;
-    for (int q = b; q != -1; q = parent[q])
-        path.push_back(q);
-    std::reverse(path.begin(), path.end());
     return path;
 }
 

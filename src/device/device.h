@@ -107,11 +107,32 @@ class DeviceModel
     /** Neighbours of qubit @p q in the coupling graph. */
     const std::vector<int> &neighbors(int q) const;
 
-    /** BFS hop distance between two qubits (-1 if disconnected). */
-    int distance(int a, int b) const;
+    /**
+     * Hop distance between two qubits (-1 if disconnected). O(1): the
+     * all-pairs table is precomputed at construction, so the routers can
+     * score SWAP candidates without per-query BFS.
+     */
+    int distance(int a, int b) const
+    {
+        return dist_[static_cast<std::size_t>(a) * numQubits_ + b];
+    }
 
-    /** A shortest coupling-graph path from @p a to @p b (inclusive). */
+    /**
+     * A shortest coupling-graph path from @p a to @p b (inclusive),
+     * reconstructed from the distance table by always stepping to the
+     * lowest-id neighbour that makes progress — deterministic across
+     * runs and platforms. Fatals if the qubits are disconnected.
+     */
     std::vector<int> shortestPath(int a, int b) const;
+
+    /**
+     * Longest finite hop distance in the coupling graph (0 for a single
+     * qubit). Disconnected pairs are ignored.
+     */
+    int diameter() const { return diameter_; }
+
+    /** True if every qubit can reach every other through couplers. */
+    bool connected() const;
 
     /**
      * Dimensionless Hamiltonian operator H_k of channel @p k on the full
@@ -126,6 +147,9 @@ class DeviceModel
     std::vector<std::pair<int, int>> couplings_;
     std::vector<ControlChannel> channels_;
     std::vector<std::vector<int>> adjacency_;
+    /** Row-major all-pairs hop distances; -1 for disconnected pairs. */
+    std::vector<int> dist_;
+    int diameter_ = 0;
 };
 
 } // namespace qaic

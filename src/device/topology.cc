@@ -1,0 +1,184 @@
+#include "device/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+std::string
+topologyName(Topology topology)
+{
+    switch (topology) {
+      case Topology::kLine:
+        return "line";
+      case Topology::kRing:
+        return "ring";
+      case Topology::kGrid:
+        return "grid";
+      case Topology::kHeavyHex:
+        return "heavy-hex";
+      case Topology::kRandomRegular:
+        return "random-regular";
+      case Topology::kFull:
+        return "full";
+    }
+    QAIC_PANIC() << "unhandled topology";
+}
+
+bool
+topologyFromName(const std::string &name, Topology *topology)
+{
+    for (Topology t : kAllTopologies) {
+        if (name == topologyName(t)) {
+            *topology = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+DeviceModel
+ringDevice(int n, double mu1, double mu2)
+{
+    QAIC_CHECK_GE(n, 3) << "a ring needs at least 3 qubits";
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    edges.emplace_back(n - 1, 0);
+    return DeviceModel(n, std::move(edges), mu1, mu2);
+}
+
+namespace {
+
+/** Bridge columns between chain rows r and r+1: every fourth column,
+ *  offset by two on odd rows (the heavy-hex cell pattern). */
+int
+bridgeOffset(int row)
+{
+    return (row % 2) * 2;
+}
+
+/** Number of bridge qubits a (rows, cols) heavy-hex lattice needs. */
+int
+heavyHexBridgeCount(int rows, int cols)
+{
+    int bridges = 0;
+    for (int r = 0; r + 1 < rows; ++r)
+        for (int c = bridgeOffset(r); c < cols; c += 4)
+            ++bridges;
+    return bridges;
+}
+
+} // namespace
+
+DeviceModel
+heavyHexDevice(int rows, int cols, double mu1, double mu2)
+{
+    QAIC_CHECK_GT(rows, 0);
+    QAIC_CHECK_GE(cols, 3)
+        << "heavy-hex chains need >= 3 columns for the bridge pattern";
+    std::vector<std::pair<int, int>> edges;
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c + 1 < cols; ++c)
+            edges.emplace_back(r * cols + c, r * cols + c + 1);
+    int bridge = rows * cols;
+    for (int r = 0; r + 1 < rows; ++r) {
+        for (int c = bridgeOffset(r); c < cols; c += 4) {
+            edges.emplace_back(r * cols + c, bridge);
+            edges.emplace_back(bridge, (r + 1) * cols + c);
+            ++bridge;
+        }
+    }
+    return DeviceModel(bridge, std::move(edges), mu1, mu2);
+}
+
+DeviceModel
+heavyHexDeviceFor(int n, double mu1, double mu2)
+{
+    QAIC_CHECK_GT(n, 0);
+    // Near-square in chain qubits: cols tracks sqrt(n), rows grows until
+    // the lattice (chains + bridges) covers the request.
+    int cols = std::max(
+        3, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+    int rows = 1;
+    while (rows * cols + heavyHexBridgeCount(rows, cols) < n)
+        ++rows;
+    return heavyHexDevice(rows, cols, mu1, mu2);
+}
+
+DeviceModel
+randomRegularDevice(int n, int degree, std::uint64_t seed, double mu1,
+                    double mu2)
+{
+    QAIC_CHECK_GT(degree, 0);
+    QAIC_CHECK_GT(n, degree)
+        << "need more qubits than the coupler degree";
+    QAIC_CHECK_EQ(n * degree % 2, 0)
+        << "n * degree must be even for a regular graph";
+
+    // Configuration model: shuffle n*degree stubs, pair them up, redraw
+    // on self-loops, parallel edges or a disconnected graph. Each redraw
+    // derives its generator from (seed, attempt), so the result is a
+    // pure function of the arguments.
+    for (std::uint64_t attempt = 0;; ++attempt) {
+        Rng rng(seed * 0x9E3779B97F4A7C15ull + attempt);
+        std::vector<int> stubs;
+        stubs.reserve(static_cast<std::size_t>(n) * degree);
+        for (int q = 0; q < n; ++q)
+            for (int d = 0; d < degree; ++d)
+                stubs.push_back(q);
+        rng.shuffle(stubs);
+
+        std::set<std::pair<int, int>> edges;
+        bool simple = true;
+        for (std::size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+            int a = std::min(stubs[i], stubs[i + 1]);
+            int b = std::max(stubs[i], stubs[i + 1]);
+            if (a == b || !edges.emplace(a, b).second)
+                simple = false;
+        }
+        if (!simple)
+            continue;
+
+        DeviceModel device(
+            n, std::vector<std::pair<int, int>>(edges.begin(), edges.end()),
+            mu1, mu2);
+        if (device.connected())
+            return device;
+    }
+}
+
+DeviceModel
+deviceForTopology(Topology topology, int min_qubits, std::uint64_t seed,
+                  double mu1, double mu2)
+{
+    QAIC_CHECK_GT(min_qubits, 0);
+    switch (topology) {
+      case Topology::kLine:
+        return DeviceModel::line(min_qubits, mu1, mu2);
+      case Topology::kRing:
+        return ringDevice(std::max(min_qubits, 3), mu1, mu2);
+      case Topology::kGrid:
+        return DeviceModel::gridFor(min_qubits, mu1, mu2);
+      case Topology::kHeavyHex:
+        return heavyHexDeviceFor(min_qubits, mu1, mu2);
+      case Topology::kRandomRegular: {
+        // Degree 3 needs an even register of at least 4 qubits.
+        int n = std::max(min_qubits, 4);
+        n += n % 2;
+        return randomRegularDevice(n, 3, seed, mu1, mu2);
+      }
+      case Topology::kFull:
+        return DeviceModel::fullyConnected(min_qubits, mu1, mu2);
+    }
+    QAIC_PANIC() << "unhandled topology";
+}
+
+} // namespace qaic

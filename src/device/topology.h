@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Coupling-graph topology library.
+ *
+ * The paper evaluates on a nearest-neighbour grid, but realistic
+ * superconducting chips ship as rings, grids and heavy-hex lattices,
+ * and router quality is only meaningful measured across that spread.
+ * This header provides factories for the common coupling graphs — each
+ * returns a full DeviceModel, so the matching XY exchange channels and
+ * the all-pairs distance table come for free from the constructor —
+ * plus a Topology selector the CLI and benches thread through.
+ */
+#ifndef QAIC_DEVICE_TOPOLOGY_H
+#define QAIC_DEVICE_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+
+#include "device/device.h"
+
+namespace qaic {
+
+/** Named coupling-graph families the factories can build. */
+enum class Topology
+{
+    kLine,          ///< 1-D nearest-neighbour chain.
+    kRing,          ///< Chain closed into a cycle.
+    kGrid,          ///< Near-square 2-D rectangular grid.
+    kHeavyHex,      ///< IBM-style heavy-hexagon lattice.
+    kRandomRegular, ///< Seeded random 3-regular graph.
+    kFull,          ///< All-to-all (idealized) register.
+};
+
+/** All buildable topologies, in presentation order. */
+inline constexpr Topology kAllTopologies[] = {
+    Topology::kLine,     Topology::kRing,
+    Topology::kGrid,     Topology::kHeavyHex,
+    Topology::kRandomRegular, Topology::kFull,
+};
+
+/** Human-readable topology name (also the CLI spelling). */
+std::string topologyName(Topology topology);
+
+/**
+ * Inverse of topologyName (line | ring | grid | heavy-hex |
+ * random-regular | full). @return true and sets @p topology on success.
+ */
+bool topologyFromName(const std::string &name, Topology *topology);
+
+/** Cycle 0-1-...-(n-1)-0; @p n >= 3. */
+DeviceModel ringDevice(int n, double mu1 = kDefaultMu1Ghz,
+                       double mu2 = kDefaultMu2Ghz);
+
+/**
+ * Heavy-hex lattice in the style of IBM's transmon chips: @p rows
+ * horizontal chains of @p cols qubits, with bridge qubits joining
+ * consecutive chains every fourth column (the bridge columns offset by
+ * two on alternating row pairs, producing the hexagon cells). Qubits
+ * 0..rows*cols-1 are the chains in row-major order; bridges follow.
+ * Requires @p cols >= 3 so every chain pair gets at least one bridge.
+ */
+DeviceModel heavyHexDevice(int rows, int cols,
+                           double mu1 = kDefaultMu1Ghz,
+                           double mu2 = kDefaultMu2Ghz);
+
+/** Smallest heavyHexDevice with at least @p n qubits. */
+DeviceModel heavyHexDeviceFor(int n, double mu1 = kDefaultMu1Ghz,
+                              double mu2 = kDefaultMu2Ghz);
+
+/**
+ * Connected random @p degree-regular graph on @p n qubits, built with
+ * the configuration (pairing) model and deterministic per @p seed:
+ * pairings with self-loops, parallel edges or a disconnected result are
+ * redrawn. Requires n > degree and n*degree even.
+ */
+DeviceModel randomRegularDevice(int n, int degree, std::uint64_t seed,
+                                double mu1 = kDefaultMu1Ghz,
+                                double mu2 = kDefaultMu2Ghz);
+
+/**
+ * Smallest device of the given @p topology family with at least
+ * @p min_qubits qubits (the register a circuit of that width needs).
+ * kRing pads to 3 qubits, kRandomRegular builds degree-3 graphs (padded
+ * to an even qubit count of at least 4); @p seed only affects
+ * kRandomRegular.
+ */
+DeviceModel deviceForTopology(Topology topology, int min_qubits,
+                              std::uint64_t seed = 7,
+                              double mu1 = kDefaultMu1Ghz,
+                              double mu2 = kDefaultMu2Ghz);
+
+} // namespace qaic
+
+#endif // QAIC_DEVICE_TOPOLOGY_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "mapping/router.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -165,61 +166,112 @@ initialPlacement(const Circuit &circuit, const DeviceModel &device,
     return {full.begin(), full.begin() + n};
 }
 
+std::string
+routerName(RouterKind router)
+{
+    switch (router) {
+      case RouterKind::kBaseline:
+        return "baseline";
+      case RouterKind::kLookahead:
+        return "lookahead";
+    }
+    QAIC_PANIC() << "unhandled router kind";
+}
+
+bool
+routerFromName(const std::string &name, RouterKind *router)
+{
+    if (name == "baseline") {
+        *router = RouterKind::kBaseline;
+        return true;
+    }
+    if (name == "lookahead") {
+        *router = RouterKind::kLookahead;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** The paper's per-gate greedy router: each non-adjacent pair gets a
+ *  shortest-path SWAP chain prepended, gates stay in input order. */
 RoutingResult
-routeOnDevice(const Circuit &circuit, const DeviceModel &device,
+routeBaseline(const Circuit &circuit, const DeviceModel &device,
               const std::vector<int> &placement)
 {
-    QAIC_CHECK_EQ(placement.size(),
-                  static_cast<std::size_t>(circuit.numQubits()));
-
     RoutingResult result;
     result.physical = Circuit(device.numQubits());
     result.initialMapping = placement;
 
-    // position[logical] = physical, occupant[physical] = logical or -1.
-    std::vector<int> position = placement;
-    std::vector<int> occupant(device.numQubits(), -1);
-    for (int q = 0; q < circuit.numQubits(); ++q) {
-        int p = placement[q];
-        QAIC_CHECK(p >= 0 && p < device.numQubits());
-        QAIC_CHECK_EQ(occupant[p], -1) << "placement collision";
-        occupant[p] = q;
-    }
-
-    auto apply_swap = [&](int pa, int pb) {
-        result.physical.add(makeSwap(pa, pb));
-        ++result.swapCount;
-        int qa = occupant[pa], qb = occupant[pb];
-        occupant[pa] = qb;
-        occupant[pb] = qa;
-        if (qa >= 0)
-            position[qa] = pb;
-        if (qb >= 0)
-            position[qb] = pa;
-    };
+    MappingState state(placement, device.numQubits());
 
     for (const Gate &g : circuit.gates()) {
-        QAIC_CHECK_LE(g.width(), 2)
-            << "decompose " << g.toString() << " before routing";
         if (g.width() == 2) {
-            int pa = position[g.qubits[0]];
-            int pb = position[g.qubits[1]];
+            int pa = state.position[g.qubits[0]];
+            int pb = state.position[g.qubits[1]];
             if (!device.adjacent(pa, pb)) {
                 std::vector<int> path = device.shortestPath(pa, pb);
                 // Walk the first operand along the path until adjacent.
                 for (std::size_t s = 0; s + 2 < path.size(); ++s)
-                    apply_swap(path[s], path[s + 1]);
-                pa = position[g.qubits[0]];
-                pb = position[g.qubits[1]];
+                    state.applySwap(path[s], path[s + 1], &result);
+                pa = state.position[g.qubits[0]];
+                pb = state.position[g.qubits[1]];
                 QAIC_CHECK(device.adjacent(pa, pb));
             }
         }
         // relabelGate keeps aggregate members consistent with the new ids.
-        result.physical.add(relabelGate(g, position));
+        result.physical.add(relabelGate(g, state.position));
     }
 
-    result.finalMapping = position;
+    result.finalMapping = state.position;
     return result;
+}
+
+} // namespace
+
+RoutingResult
+routeOnDevice(const Circuit &circuit, const DeviceModel &device,
+              const std::vector<int> &placement,
+              const RoutingOptions &options)
+{
+    QAIC_CHECK_EQ(placement.size(),
+                  static_cast<std::size_t>(circuit.numQubits()));
+    std::vector<char> used(device.numQubits(), 0);
+    for (int p : placement) {
+        QAIC_CHECK(p >= 0 && p < device.numQubits());
+        QAIC_CHECK(!used[p]) << "placement collision";
+        used[p] = 1;
+    }
+    for (const Gate &g : circuit.gates()) {
+        QAIC_CHECK_LE(g.width(), 2)
+            << "decompose " << g.toString() << " before routing";
+        // SWAPs only move qubits within a connected component, so the
+        // initial placement decides reachability once and for all.
+        if (g.width() == 2 &&
+            device.distance(placement[g.qubits[0]],
+                            placement[g.qubits[1]]) < 0) {
+            QAIC_FATAL()
+                << "cannot route " << g.toString() << ": operands are "
+                << "placed on disconnected device qubits "
+                << placement[g.qubits[0]] << " and "
+                << placement[g.qubits[1]]
+                << " (no coupler path exists on this topology)";
+        }
+    }
+
+    RoutingResult baseline = routeBaseline(circuit, device, placement);
+    if (options.router == RouterKind::kBaseline)
+        return baseline;
+
+    // Never-worse guard: routing is cheap relative to the rest of the
+    // pipeline, so the lookahead router always races the baseline on
+    // the same placement and keeps the SWAP-count winner (the lookahead
+    // result on ties — its interleaved order schedules better).
+    RoutingResult lookahead =
+        routeLookahead(circuit, device, placement, options);
+    return lookahead.swapCount <= baseline.swapCount ? lookahead
+                                                     : baseline;
 }
 
 bool

@@ -6,14 +6,18 @@
  * Frequently-interacting qubits are placed near each other by recursively
  * bisecting the interaction graph along small cuts — the role METIS plays
  * in the paper — here implemented with Kernighan–Lin refinement. Two-qubit
- * operations between non-neighbours are then prepended with SWAP chains
- * along shortest coupling-graph paths.
+ * operations between non-neighbours are then resolved by SWAP insertion:
+ * either the paper's greedy per-gate shortest-path chains (the baseline
+ * router) or a SABRE-style lookahead router that scores candidate SWAPs
+ * against the whole front layer plus a decay-weighted extended set
+ * (mapping/router.h). routeOnDevice dispatches on RoutingOptions.
  */
 #ifndef QAIC_MAPPING_MAPPING_H
 #define QAIC_MAPPING_MAPPING_H
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -41,6 +45,46 @@ std::vector<int> initialPlacement(const Circuit &circuit,
                                   const DeviceModel &device,
                                   std::uint64_t seed = 1);
 
+/** SWAP-router selector. */
+enum class RouterKind
+{
+    /** Per-gate greedy shortest-path chains (the paper's Section 3.4.1
+     *  resolution; no lookahead). */
+    kBaseline,
+    /** SABRE-style front-layer + extended-set lookahead router. */
+    kLookahead,
+};
+
+/** Human-readable router name (also the CLI spelling). */
+std::string routerName(RouterKind router);
+
+/**
+ * Inverse of routerName (baseline | lookahead).
+ * @return true and sets @p router on success.
+ */
+bool routerFromName(const std::string &name, RouterKind *router);
+
+/** Knobs of the SWAP-routing stage. */
+struct RoutingOptions
+{
+    RouterKind router = RouterKind::kLookahead;
+    /**
+     * Extended-set size of the lookahead router: how many not-yet-ready
+     * two-qubit gates beyond the front layer contribute to a SWAP
+     * candidate's score. 0 disables the lookahead term.
+     */
+    int lookaheadWindow = 20;
+    /** Weight of the extended-set term relative to the front layer. */
+    double extendedWeight = 0.5;
+    /**
+     * Decay added to a physical qubit's score multiplier each time a
+     * chosen SWAP moves it (reset when a gate executes); steers
+     * consecutive SWAPs toward disjoint qubits, the SABRE parallelism
+     * trick, and breaks score plateaus.
+     */
+    double decayDelta = 0.001;
+};
+
 /** Output of SWAP routing. */
 struct RoutingResult
 {
@@ -57,17 +101,29 @@ struct RoutingResult
 };
 
 /**
- * Inserts SWAP chains so every two-qubit gate acts on coupled neighbours.
+ * Inserts SWAPs so every two-qubit gate acts on coupled neighbours,
+ * using the router selected by @p options.
+ *
+ * The lookahead router may emit gates in a different (dependency-
+ * respecting, hence equivalent) order than the input; it also carries a
+ * never-worse guard: the baseline route of the same placement is
+ * computed alongside and returned instead whenever it needs strictly
+ * fewer SWAPs, so selecting kLookahead can only reduce SWAP counts.
+ * Both routers are deterministic (no RNG; lexicographic tie-breaks).
  *
  * Gates wider than two qubits must have been decomposed beforehand.
+ * Fatals (clear user error, not UB) if a two-qubit gate's operands are
+ * placed in disconnected components of the coupling graph.
  *
  * @param circuit Logical circuit.
  * @param device Target topology.
  * @param placement Initial logical->physical map (e.g. initialPlacement).
+ * @param options Router selection and lookahead knobs.
  */
 RoutingResult routeOnDevice(const Circuit &circuit,
                             const DeviceModel &device,
-                            const std::vector<int> &placement);
+                            const std::vector<int> &placement,
+                            const RoutingOptions &options = {});
 
 /** True if every multi-qubit gate in @p circuit is coupler-adjacent. */
 bool respectsTopology(const Circuit &circuit, const DeviceModel &device);

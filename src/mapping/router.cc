@@ -1,0 +1,212 @@
+#include "mapping/router.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/** Per-qubit dependency DAG over the gate list: gate i precedes gate j
+ *  iff they share a qubit and i comes first, with edges only from the
+ *  most recent toucher (transitive edges are redundant). */
+struct GateDag
+{
+    std::vector<std::vector<int>> succs;
+    std::vector<int> indegree;
+
+    explicit GateDag(const Circuit &circuit)
+        : succs(circuit.size()), indegree(circuit.size(), 0)
+    {
+        std::vector<int> last(circuit.numQubits(), -1);
+        for (std::size_t i = 0; i < circuit.size(); ++i) {
+            for (int q : circuit.gates()[i].qubits) {
+                if (last[q] >= 0) {
+                    succs[last[q]].push_back(static_cast<int>(i));
+                    ++indegree[i];
+                }
+                last[q] = static_cast<int>(i);
+            }
+        }
+    }
+};
+
+} // namespace
+
+RoutingResult
+routeLookahead(const Circuit &circuit, const DeviceModel &device,
+               const std::vector<int> &placement,
+               const RoutingOptions &options)
+{
+    const std::vector<Gate> &gates = circuit.gates();
+    GateDag dag(circuit);
+
+    RoutingResult result;
+    result.physical = Circuit(device.numQubits());
+    result.initialMapping = placement;
+
+    MappingState state(placement, device.numQubits());
+    std::vector<int> &position = state.position;
+
+    // Front layer: dependency-free, not-yet-executed gates, in input
+    // order (the deterministic scan and tie-break order).
+    std::set<int> ready;
+    for (std::size_t i = 0; i < circuit.size(); ++i)
+        if (dag.indegree[i] == 0)
+            ready.insert(static_cast<int>(i));
+
+    std::vector<double> decay(device.numQubits(), 0.0);
+    const double decay_delta = std::max(0.0, options.decayDelta);
+    const double extended_weight = std::max(0.0, options.extendedWeight);
+    const int window = std::max(0, options.lookaheadWindow);
+    // Heuristic stall budget: if this many SWAPs pass without executing
+    // a gate, force a shortest-path walk to guarantee progress.
+    const int max_stall = 2 * device.diameter() + 4;
+    int stall = 0;
+
+    auto apply_swap = [&](int pa, int pb) {
+        state.applySwap(pa, pb, &result);
+    };
+
+    // Extended set: the next `window` two-qubit gates past the front
+    // layer, by BFS over DAG successors (near-future first). It only
+    // depends on `ready` and the DAG, both of which change exclusively
+    // in execute(), so it is cached across consecutive SWAP decisions.
+    std::vector<int> extended;
+    bool extended_stale = true;
+
+    auto execute = [&](int gi) {
+        result.physical.add(relabelGate(gates[gi], position));
+        ready.erase(gi);
+        for (int succ : dag.succs[gi])
+            if (--dag.indegree[succ] == 0)
+                ready.insert(succ);
+        std::fill(decay.begin(), decay.end(), 0.0);
+        stall = 0;
+        extended_stale = true;
+    };
+
+    auto adjacent_now = [&](const Gate &g) {
+        return device.adjacent(position[g.qubits[0]],
+                               position[g.qubits[1]]);
+    };
+
+    while (!ready.empty()) {
+        // Drain every executable front gate (1q always; 2q once its
+        // operands share a coupler) until a fixpoint: afterwards the
+        // front layer holds only blocked two-qubit gates.
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            std::vector<int> executable;
+            for (int gi : ready)
+                if (gates[gi].width() < 2 || adjacent_now(gates[gi]))
+                    executable.push_back(gi);
+            for (int gi : executable) {
+                execute(gi);
+                progressed = true;
+            }
+        }
+        if (ready.empty())
+            break;
+
+        if (stall >= max_stall) {
+            // The heuristic is cycling (possible on plateau-rich graphs
+            // when the decay is disabled); route the oldest blocked gate
+            // the baseline way, which always terminates.
+            const Gate &g = gates[*ready.begin()];
+            std::vector<int> path = device.shortestPath(
+                position[g.qubits[0]], position[g.qubits[1]]);
+            for (std::size_t s = 0; s + 2 < path.size(); ++s)
+                apply_swap(path[s], path[s + 1]);
+            stall = 0;
+            continue;
+        }
+
+        if (extended_stale) {
+            extended.clear();
+            extended_stale = false;
+            std::vector<char> seen(gates.size(), 0);
+            std::vector<int> frontier(ready.begin(), ready.end());
+            while (!frontier.empty() &&
+                   static_cast<int>(extended.size()) < window) {
+                std::vector<int> next;
+                for (int gi : frontier) {
+                    for (int succ : dag.succs[gi]) {
+                        if (seen[succ])
+                            continue;
+                        seen[succ] = 1;
+                        next.push_back(succ);
+                        if (gates[succ].width() == 2) {
+                            extended.push_back(succ);
+                            if (static_cast<int>(extended.size()) >=
+                                window)
+                                break;
+                        }
+                    }
+                    if (static_cast<int>(extended.size()) >= window)
+                        break;
+                }
+                frontier = std::move(next);
+            }
+        }
+
+        // Candidate SWAPs: every coupler touching a front-gate operand.
+        std::set<std::pair<int, int>> candidates;
+        for (int gi : ready) {
+            for (int q : gates[gi].qubits) {
+                int pa = position[q];
+                for (int pb : device.neighbors(pa))
+                    candidates.emplace(std::min(pa, pb),
+                                       std::max(pa, pb));
+            }
+        }
+        QAIC_CHECK(!candidates.empty())
+            << "blocked front layer with no adjacent couplers";
+
+        // Score: mean front-layer distance plus the discounted mean
+        // extended-set distance, inflated by the decay of the qubits the
+        // SWAP moves. Lexicographic tie-break on the edge keeps the
+        // choice deterministic.
+        auto distance_after = [&](int a, int b, const Gate &g) {
+            int pu = position[g.qubits[0]];
+            int pv = position[g.qubits[1]];
+            pu = pu == a ? b : (pu == b ? a : pu);
+            pv = pv == a ? b : (pv == b ? a : pv);
+            return device.distance(pu, pv);
+        };
+        double best_score = 0.0;
+        std::pair<int, int> best_edge{-1, -1};
+        for (const auto &[a, b] : candidates) {
+            double front = 0.0;
+            for (int gi : ready)
+                front += distance_after(a, b, gates[gi]);
+            front /= static_cast<double>(ready.size());
+            double ahead = 0.0;
+            if (!extended.empty()) {
+                for (int gi : extended)
+                    ahead += distance_after(a, b, gates[gi]);
+                ahead /= static_cast<double>(extended.size());
+            }
+            double score = (1.0 + std::max(decay[a], decay[b])) *
+                           (front + extended_weight * ahead);
+            if (best_edge.first < 0 || score < best_score - 1e-12) {
+                best_score = score;
+                best_edge = {a, b};
+            }
+        }
+
+        apply_swap(best_edge.first, best_edge.second);
+        decay[best_edge.first] += decay_delta;
+        decay[best_edge.second] += decay_delta;
+        ++stall;
+    }
+
+    result.finalMapping = position;
+    return result;
+}
+
+} // namespace qaic

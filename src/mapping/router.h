@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SABRE-style lookahead SWAP router (Li, Ding & Xie, ASPLOS 2019).
+ *
+ * The baseline router resolves each two-qubit gate in isolation by
+ * walking one operand along a shortest path — locally optimal, globally
+ * wasteful: a SWAP that helps the current gate routinely undoes work
+ * the next three gates needed. The lookahead router instead keeps the
+ * set of currently-routable gates (the *front layer* of the dependency
+ * DAG) and, when stuck, scores every SWAP on an edge touching a front
+ * gate by the total distance change over the front layer plus a
+ * discounted *extended set* of upcoming two-qubit gates; a per-qubit
+ * decay term steers consecutive SWAPs toward disjoint qubits. Gates are
+ * emitted as soon as their operands are adjacent, so the output order
+ * is a dependency-respecting (equivalent) reordering of the input.
+ *
+ * Deterministic by construction: no randomness, candidate edges are
+ * scanned in sorted order, and score ties break lexicographically.
+ * Termination is guaranteed by a stall guard that falls back to a
+ * shortest-path walk for the oldest front gate if the heuristic fails
+ * to execute a gate within a diameter-derived SWAP budget.
+ */
+#ifndef QAIC_MAPPING_ROUTER_H
+#define QAIC_MAPPING_ROUTER_H
+
+#include <vector>
+
+#include "mapping/mapping.h"
+
+namespace qaic {
+
+/**
+ * Shared logical<->physical bookkeeping of the SWAP routers. Both
+ * routers mutate the mapping through applySwap only, so the
+ * position/occupant invariant lives in exactly one place.
+ */
+struct MappingState
+{
+    /** position[logical] = physical qubit id. */
+    std::vector<int> position;
+    /** occupant[physical] = logical qubit id, or -1 if unoccupied. */
+    std::vector<int> occupant;
+
+    MappingState(const std::vector<int> &placement, int num_physical)
+        : position(placement), occupant(num_physical, -1)
+    {
+        for (std::size_t q = 0; q < placement.size(); ++q)
+            occupant[placement[q]] = static_cast<int>(q);
+    }
+
+    /** Emits SWAP(pa, pb) into @p result and updates the mapping. */
+    void
+    applySwap(int pa, int pb, RoutingResult *result)
+    {
+        result->physical.add(makeSwap(pa, pb));
+        ++result->swapCount;
+        int qa = occupant[pa], qb = occupant[pb];
+        occupant[pa] = qb;
+        occupant[pb] = qa;
+        if (qa >= 0)
+            position[qa] = pb;
+        if (qb >= 0)
+            position[qb] = pa;
+    }
+};
+
+/**
+ * Lookahead-routes @p circuit (validated operands, <= 2-qubit gates)
+ * from @p placement. Called by routeOnDevice — which also applies the
+ * never-worse guard against the baseline router — rather than directly.
+ */
+RoutingResult routeLookahead(const Circuit &circuit,
+                             const DeviceModel &device,
+                             const std::vector<int> &placement,
+                             const RoutingOptions &options);
+
+} // namespace qaic
+
+#endif // QAIC_MAPPING_ROUTER_H

@@ -1,15 +1,38 @@
 /**
  * @file
  * Tests for the device model: topologies, channel inventory, distances
- * and Hamiltonian operators.
+ * and Hamiltonian operators, plus the topology factory library.
  */
+#include <deque>
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "device/device.h"
+#include "device/topology.h"
 #include "la/cmatrix.h"
 
 namespace qaic {
 namespace {
+
+/** Independent BFS distance (reference for the precomputed table). */
+int
+bfsDistance(const DeviceModel &dev, int a, int b)
+{
+    std::vector<int> dist(dev.numQubits(), -1);
+    std::deque<int> queue{a};
+    dist[a] = 0;
+    while (!queue.empty()) {
+        int q = queue.front();
+        queue.pop_front();
+        for (int nbr : dev.neighbors(q))
+            if (dist[nbr] < 0) {
+                dist[nbr] = dist[q] + 1;
+                queue.push_back(nbr);
+            }
+    }
+    return dist[b];
+}
 
 TEST(DeviceTest, LineTopology)
 {
@@ -113,6 +136,124 @@ TEST(DeviceTest, DuplicateCouplingsDeduplicated)
 {
     DeviceModel dev(3, {{0, 1}, {1, 0}, {1, 2}});
     EXPECT_EQ(dev.couplings().size(), 2u);
+}
+
+TEST(DeviceTest, DistanceTableMatchesBfs)
+{
+    for (const DeviceModel &dev :
+         {DeviceModel::grid(3, 4), ringDevice(7), heavyHexDeviceFor(15),
+          randomRegularDevice(10, 3, 5)}) {
+        for (int a = 0; a < dev.numQubits(); ++a)
+            for (int b = 0; b < dev.numQubits(); ++b)
+                EXPECT_EQ(dev.distance(a, b), bfsDistance(dev, a, b))
+                    << a << "->" << b;
+    }
+}
+
+TEST(DeviceTest, DiameterAndConnectivity)
+{
+    EXPECT_EQ(DeviceModel::line(5).diameter(), 4);
+    EXPECT_EQ(ringDevice(8).diameter(), 4);
+    EXPECT_EQ(DeviceModel::grid(3, 3).diameter(), 4);
+    EXPECT_EQ(DeviceModel::fullyConnected(6).diameter(), 1);
+    EXPECT_TRUE(heavyHexDeviceFor(20).connected());
+
+    // Two disconnected line segments: cross-component distance is -1.
+    DeviceModel split(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(split.connected());
+    EXPECT_EQ(split.distance(0, 3), -1);
+    EXPECT_EQ(split.distance(1, 0), 1);
+}
+
+TEST(TopologyTest, RingStructure)
+{
+    DeviceModel ring = ringDevice(6);
+    EXPECT_EQ(ring.numQubits(), 6);
+    EXPECT_EQ(ring.couplings().size(), 6u);
+    EXPECT_TRUE(ring.adjacent(5, 0));
+    EXPECT_EQ(ring.distance(0, 3), 3);
+    EXPECT_EQ(ring.distance(0, 4), 2); // Around the back.
+    for (int q = 0; q < 6; ++q)
+        EXPECT_EQ(ring.neighbors(q).size(), 2u);
+}
+
+TEST(TopologyTest, HeavyHexStructure)
+{
+    // 3 chains of 5; bridges at columns {0,4} then {2}: 15 + 3 = 18.
+    DeviceModel hex = heavyHexDevice(3, 5);
+    EXPECT_EQ(hex.numQubits(), 18);
+    EXPECT_TRUE(hex.connected());
+    // Chain qubits have degree <= 3 (two chain neighbours + at most one
+    // bridge — the alternating offsets can never stack two bridges on
+    // one column); bridge qubits have degree exactly 2.
+    for (int q = 0; q < 15; ++q)
+        EXPECT_LE(hex.neighbors(q).size(), 3u);
+    for (int q = 15; q < 18; ++q)
+        EXPECT_EQ(hex.neighbors(q).size(), 2u);
+    // Bridge at row 0, column 0 joins qubits 0 and 5.
+    EXPECT_TRUE(hex.adjacent(0, 15));
+    EXPECT_TRUE(hex.adjacent(5, 15));
+}
+
+TEST(TopologyTest, HeavyHexForCoversRequest)
+{
+    for (int n : {1, 4, 9, 17, 30, 47, 64}) {
+        DeviceModel dev = heavyHexDeviceFor(n);
+        EXPECT_GE(dev.numQubits(), n);
+        EXPECT_TRUE(dev.connected());
+    }
+}
+
+TEST(TopologyTest, RandomRegularIsRegularConnectedAndSeeded)
+{
+    DeviceModel dev = randomRegularDevice(12, 3, 42);
+    EXPECT_EQ(dev.numQubits(), 12);
+    EXPECT_EQ(dev.couplings().size(), 12u * 3 / 2);
+    EXPECT_TRUE(dev.connected());
+    for (int q = 0; q < 12; ++q)
+        EXPECT_EQ(dev.neighbors(q).size(), 3u);
+
+    // Same seed reproduces the graph; a different seed changes it.
+    DeviceModel again = randomRegularDevice(12, 3, 42);
+    EXPECT_EQ(dev.couplings(), again.couplings());
+    DeviceModel other = randomRegularDevice(12, 3, 43);
+    EXPECT_NE(dev.couplings(), other.couplings());
+}
+
+TEST(TopologyTest, FactoriesGenerateMatchingChannels)
+{
+    // Every coupling must come with exactly one XY channel, every qubit
+    // with an X and a Y drive — on every factory output.
+    for (Topology t : kAllTopologies) {
+        DeviceModel dev = deviceForTopology(t, 9, /*seed=*/3);
+        EXPECT_GE(dev.numQubits(), 9) << topologyName(t);
+        std::set<std::pair<int, int>> xy;
+        int drives = 0;
+        for (const ControlChannel &ch : dev.channels()) {
+            if (ch.type == ControlChannel::Type::kXY) {
+                EXPECT_DOUBLE_EQ(ch.maxAmplitude, dev.mu2());
+                xy.insert({ch.q0, ch.q1});
+            } else {
+                EXPECT_DOUBLE_EQ(ch.maxAmplitude, dev.mu1());
+                ++drives;
+            }
+        }
+        EXPECT_EQ(drives, 2 * dev.numQubits()) << topologyName(t);
+        std::set<std::pair<int, int>> couplers(dev.couplings().begin(),
+                                               dev.couplings().end());
+        EXPECT_EQ(xy, couplers) << topologyName(t);
+    }
+}
+
+TEST(TopologyTest, NameRoundTrip)
+{
+    for (Topology t : kAllTopologies) {
+        Topology parsed;
+        ASSERT_TRUE(topologyFromName(topologyName(t), &parsed));
+        EXPECT_EQ(parsed, t);
+    }
+    Topology ignored;
+    EXPECT_FALSE(topologyFromName("torus", &ignored));
 }
 
 } // namespace

@@ -14,8 +14,10 @@
 #include "compiler/compiler.h"
 #include "compiler/decompose.h"
 #include "compiler/handopt.h"
+#include "device/topology.h"
 #include "gdg/gdg.h"
 #include "ir/embed.h"
+#include "mapping/mapping.h"
 #include "oracle/oracle.h"
 #include "schedule/schedule.h"
 #include "test_util.h"
@@ -156,6 +158,31 @@ TEST_P(RandomCircuitSweep, OracleStructuralInvariants)
     // members back to back.
     Gate all = makeAggregate(members, "all", /*eager_matrix_width=*/0);
     EXPECT_LE(oracle.latencyNs(all), sum + 1e-9);
+}
+
+TEST_P(RandomCircuitSweep, RoutersAgreeAcrossTopologies)
+{
+    // Differential check: on every topology, both routers must produce
+    // topology-legal circuits implementing the same logical unitary —
+    // the lookahead reordering can never change semantics.
+    Circuit c = circuit();
+    for (Topology topology :
+         {Topology::kRing, Topology::kHeavyHex, Topology::kRandomRegular}) {
+        DeviceModel device = deviceForTopology(topology, c.numQubits());
+        auto placement = initialPlacement(c, device);
+        for (RouterKind router :
+             {RouterKind::kBaseline, RouterKind::kLookahead}) {
+            RoutingOptions options;
+            options.router = router;
+            RoutingResult routing =
+                routeOnDevice(c, device, placement, options);
+            EXPECT_TRUE(respectsTopology(routing.physical, device))
+                << topologyName(topology) << "/" << routerName(router);
+            EXPECT_TRUE(routedEquivalent(c, routing,
+                                         device.numQubits()))
+                << topologyName(topology) << "/" << routerName(router);
+        }
+    }
 }
 
 TEST_P(RandomCircuitSweep, FullCompilerEquivalenceOnDevice)

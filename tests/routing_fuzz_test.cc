@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Seeded randomized-circuit routing fuzz: ~200 random circuits of mixed
+ * 1q/2q gates and varying widths, compiled end to end through two
+ * strategies on the grid and heavy-hex topologies, asserting topology
+ * legality and permutation-aware statevector equivalence for every one.
+ *
+ * This is the wide-net companion to the targeted cases in
+ * mapping_test.cc: any router bug that survives those — a misordered
+ * lookahead emission, a stale occupant under an oversized register, a
+ * decay tie broken differently across runs — has ~1600 chances to
+ * produce a wrong unitary here.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "device/topology.h"
+#include "mapping/mapping.h"
+#include "test_util.h"
+#include "verify/verify.h"
+
+namespace qaic {
+namespace {
+
+using testing::randomCircuit;
+
+TEST(RoutingFuzzTest, RandomCircuitsCompileEquivalentlyEverywhere)
+{
+    constexpr int kCircuits = 200;
+    for (int seed = 0; seed < kCircuits; ++seed) {
+        // Widths 3..6, 12..30 gates, all derived from the seed.
+        const int width = 3 + seed % 4;
+        const int gates = 12 + (seed * 5) % 19;
+        Circuit c = randomCircuit(width, gates, 9000 + seed);
+
+        for (Topology topology : {Topology::kGrid, Topology::kHeavyHex}) {
+            DeviceModel device =
+                deviceForTopology(topology, c.numQubits(),
+                                  /*seed=*/11 + seed);
+            Compiler compiler(device);
+            for (Strategy strategy :
+                 {Strategy::kIsa, Strategy::kAggregation}) {
+                CompilationResult result = compiler.compile(c, strategy);
+                ASSERT_TRUE(
+                    respectsTopology(result.routing.physical, device))
+                    << "seed " << seed << " on "
+                    << topologyName(topology) << " under "
+                    << strategyName(strategy);
+                ASSERT_TRUE(routedEquivalent(c, result.routing,
+                                             device.numQubits(), 1e-6,
+                                             /*samples=*/2,
+                                             /*seed=*/17 + seed))
+                    << "seed " << seed << " on "
+                    << topologyName(topology) << " under "
+                    << strategyName(strategy);
+                // The backend stream must implement the routed circuit
+                // (equivalence of the full physical program, aggregated
+                // or lowered, against the routing output).
+                ASSERT_TRUE(circuitsEquivalent(result.routing.physical,
+                                               result.physicalCircuit,
+                                               1e-6, 6))
+                    << "seed " << seed << " on "
+                    << topologyName(topology) << " under "
+                    << strategyName(strategy);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace qaic

@@ -12,7 +12,12 @@
  *     --strategy S    isa | cls | handopt | cls-handopt | agg | cls-agg
  *                     (default cls-agg)
  *     --width N       max aggregated-instruction width (default 10)
- *     --line          use a 1-D line device instead of a grid
+ *     --topology T    line | ring | grid | heavy-hex | random-regular |
+ *                     full (default grid); the device is the smallest
+ *                     instance of that family covering the circuit
+ *     --router R      baseline | lookahead SWAP router (default
+ *                     lookahead)
+ *     --line          shorthand for --topology line
  *     --pulses FILE   emit the pulse program (GRAPE for narrow
  *                     instructions) as CSV
  *     --pulse-lib F   persistent pulse library: load latencies/pulses
@@ -32,6 +37,7 @@
 #include "compiler/fidelity.h"
 #include "compiler/pipeline.h"
 #include "compiler/pulseplan.h"
+#include "device/topology.h"
 #include "ir/qasm.h"
 #include "verify/verify.h"
 
@@ -45,9 +51,12 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--strategy isa|cls|handopt|cls-handopt|agg|"
                  "cls-agg] [--width N]\n"
-                 "          [--line] [--pulses FILE] [--pulse-lib FILE] "
-                 "[--schedule] [--timings]\n"
-                 "          [--verify] circuit.qasm\n",
+                 "          [--topology line|ring|grid|heavy-hex|"
+                 "random-regular|full]\n"
+                 "          [--router baseline|lookahead] [--line] "
+                 "[--pulses FILE]\n"
+                 "          [--pulse-lib FILE] [--schedule] [--timings] "
+                 "[--verify] circuit.qasm\n",
                  argv0);
     return 2;
 }
@@ -58,9 +67,10 @@ int
 main(int argc, char **argv)
 {
     Strategy strategy = Strategy::kClsAggregation;
+    Topology topology = Topology::kGrid;
+    RouterKind router = RouterKind::kLookahead;
     int width = 10;
-    bool line = false, print_schedule = false, print_timings = false,
-         verify = false;
+    bool print_schedule = false, print_timings = false, verify = false;
     std::string pulses_path, pulse_lib_path, input_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -74,8 +84,18 @@ main(int argc, char **argv)
             width = std::atoi(argv[++i]);
             if (width < 2)
                 return usage(argv[0]);
+        } else if (arg == "--topology" && i + 1 < argc) {
+            if (!topologyFromName(argv[++i], &topology)) {
+                std::fprintf(stderr, "unknown topology '%s'\n", argv[i]);
+                return usage(argv[0]);
+            }
+        } else if (arg == "--router" && i + 1 < argc) {
+            if (!routerFromName(argv[++i], &router)) {
+                std::fprintf(stderr, "unknown router '%s'\n", argv[i]);
+                return usage(argv[0]);
+            }
         } else if (arg == "--line") {
-            line = true;
+            topology = Topology::kLine;
         } else if (arg == "--pulses" && i + 1 < argc) {
             pulses_path = argv[++i];
         } else if (arg == "--pulse-lib" && i + 1 < argc) {
@@ -112,21 +132,24 @@ main(int argc, char **argv)
         return 1;
     }
 
-    DeviceModel device = line ? DeviceModel::line(circuit->numQubits())
-                              : DeviceModel::gridFor(circuit->numQubits());
     CompilerOptions options;
     options.maxInstructionWidth = width;
     options.pulseLibraryPath = pulse_lib_path;
+    options.routing.router = router;
+    DeviceModel device = deviceForTopology(topology, circuit->numQubits(),
+                                           options.seed);
     Compiler compiler(device, options);
     CompilationResult result = compiler.compile(*circuit, strategy);
 
     std::printf("input      : %s (%zu gates, %d qubits)\n",
                 input_path.c_str(), circuit->size(),
                 circuit->numQubits());
-    std::printf("device     : %s, %d qubits\n", line ? "line" : "grid",
-                device.numQubits());
-    std::printf("strategy   : %s (width <= %d)\n",
-                strategyName(strategy).c_str(), width);
+    std::printf("device     : %s, %d qubits (%zu couplers, diameter %d)\n",
+                topologyName(topology).c_str(), device.numQubits(),
+                device.couplings().size(), device.diameter());
+    std::printf("strategy   : %s (width <= %d), %s router\n",
+                strategyName(strategy).c_str(), width,
+                routerName(router).c_str());
     std::printf("latency    : %.1f ns\n", result.latencyNs);
     std::printf("instructions: %d (%d aggregated, widest %d), %d SWAPs\n",
                 result.instructionCount, result.aggregateCount,
