@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Verification-engine benchmarks: dense bit-kernel throughput against
+ * the pinned seed applyMatrix path (measured in the same binary), the
+ * n >= 26 dense random-state check the seed engine could not reach,
+ * and the symbolic checkers (stabilizer tableau, diagonal propagator,
+ * rotation-form routed equivalence) at full suite scale n = 60.
+ *
+ * Emits BENCH_sim.json and fails — nonzero exit, for the CI sim-smoke
+ * step — if the bit-kernel dense path regresses below 8x the seed
+ * gather/scatter path on the headline register (the committed numbers
+ * run well above 10x).
+ *
+ * Usage: bench_sim [--quick] [--json FILE]
+ *   --quick   smaller registers, skip the n=26 check (CI smoke budget)
+ *   --json F  write the report to F instead of BENCH_sim.json
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "device/topology.h"
+#include "mapping/mapping.h"
+#include "sim/statevector.h"
+#include "testing/equivalence.h"
+#include "testing/generators.h"
+#include "verify/verify.h"
+#include "workloads/ising.h"
+
+using namespace qaic;
+using namespace qaic::bench;
+
+namespace {
+
+constexpr double kSpeedupFloor = 8.0;
+
+/** One whole-circuit pass through the seed gather/scatter path. */
+void
+applySeedPath(StateVector *sv, const Circuit &c)
+{
+    for (const Gate &g : c.gates())
+        sv->applyMatrixGeneric(g.matrix(), g.qubits);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--json FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("=== Verification engine benchmarks (%s) ===\n\n",
+                quick ? "quick" : "full");
+    BenchReport report("sim");
+    int regressions = 0;
+
+    // --- Dense kernels vs. the seed applyMatrix path -------------------
+    const std::vector<int> sizes = quick ? std::vector<int>{12, 16}
+                                         : std::vector<int>{16, 20};
+    for (int n : sizes) {
+        const int gates = 64;
+        Circuit c = testing::randomCircuit(n, gates, 42 + n);
+        StateVector fast = StateVector::random(n, 1);
+        StateVector slow = fast;
+        const long long iters = quick ? 2 : 4;
+        double base_ns =
+            measureNs(iters, [&] { applySeedPath(&slow, c); });
+        double fast_ns = measureNs(iters, [&] { fast.apply(c); });
+        char name[64];
+        std::snprintf(name, sizeof(name), "dense_apply/n=%d", n);
+        auto &r = report.add(name, fast_ns / gates, iters * gates,
+                             base_ns / gates);
+        r.extra.emplace_back("gates", gates);
+        const double speedup = base_ns / fast_ns;
+        std::printf("  %-28s %10.0f ns/gate (seed %10.0f, %.1fx)\n",
+                    name, fast_ns / gates, base_ns / gates, speedup);
+        if (n == sizes.back() && speedup < kSpeedupFloor) {
+            std::fprintf(stderr,
+                         "REGRESSION: bit-kernel speedup %.2fx below "
+                         "the %.1fx floor on n=%d\n",
+                         speedup, kSpeedupFloor, n);
+            ++regressions;
+        }
+    }
+
+    // --- Dense random-state check at n = 26 ----------------------------
+    if (!quick) {
+        const int n = 26;
+        Circuit c = testing::randomCircuit(n, 24, 77);
+        Circuit reordered = testing::commuteAdjacentPairs(c, 78);
+        EquivalenceOptions options;
+        options.force = EquivalenceMethod::kDenseSampling;
+        options.samples = 1;
+        double start = nowNs();
+        EquivalenceReport check =
+            analyzeCircuitsEquivalent(c, reordered, options);
+        double wall = nowNs() - start;
+        auto &r = report.add("dense_check/n=26", wall, 1);
+        r.extra.emplace_back("equivalent",
+                             check.equivalent() ? 1.0 : 0.0);
+        std::printf("  %-28s %10.2f s (equivalent=%d)\n",
+                    "dense_check/n=26", wall * 1e-9, check.equivalent());
+        if (!check.equivalent())
+            ++regressions;
+    }
+
+    // --- Symbolic checkers at full suite scale -------------------------
+    {
+        const Circuit ising = isingChain(60);
+        for (Topology topology : {Topology::kGrid, Topology::kHeavyHex}) {
+            DeviceModel device = deviceForTopology(topology, 60);
+            std::vector<int> placement = initialPlacement(ising, device);
+            RoutingResult routing =
+                routeOnDevice(ising, device, placement);
+            EquivalenceReport check;
+            const long long iters = quick ? 2 : 10;
+            double ns = measureNs(iters, [&] {
+                check = analyzeRoutedEquivalent(ising, routing,
+                                                device.numQubits());
+            });
+            std::string name =
+                "routed_check/ising_n60_" + topologyName(topology);
+            auto &r = report.add(name, ns, iters);
+            r.extra.emplace_back("equivalent",
+                                 check.equivalent() ? 1.0 : 0.0);
+            r.extra.emplace_back("physical_qubits",
+                                 device.numQubits());
+            std::printf("  %-28s %10.2f ms (equivalent=%d, method=%s)\n",
+                        name.c_str(), ns * 1e-6, check.equivalent(),
+                        equivalenceMethodName(check.method).c_str());
+            if (!check.equivalent())
+                ++regressions;
+        }
+    }
+    {
+        Circuit cliff = testing::randomCliffordCircuit(60, 1200, 7);
+        Circuit shuffled = testing::commuteAdjacentPairs(cliff, 8, 128);
+        EquivalenceOptions options;
+        options.force = EquivalenceMethod::kCliffordTableau;
+        EquivalenceReport check;
+        const long long iters = quick ? 2 : 10;
+        double ns = measureNs(iters, [&] {
+            check = analyzeCircuitsEquivalent(cliff, shuffled, options);
+        });
+        auto &r = report.add("clifford_check/n=60", ns, iters);
+        r.extra.emplace_back("equivalent",
+                             check.equivalent() ? 1.0 : 0.0);
+        r.extra.emplace_back("gates", 1200);
+        std::printf("  %-28s %10.2f ms (equivalent=%d)\n",
+                    "clifford_check/n=60", ns * 1e-6,
+                    check.equivalent());
+        if (!check.equivalent())
+            ++regressions;
+    }
+    {
+        Circuit diag = testing::randomDiagonalCircuit(60, 1000, 9);
+        Circuit shuffled = testing::commuteAdjacentPairs(diag, 10, 128);
+        EquivalenceOptions options;
+        options.force = EquivalenceMethod::kDiagonalPropagator;
+        EquivalenceReport check;
+        const long long iters = quick ? 2 : 10;
+        double ns = measureNs(iters, [&] {
+            check = analyzeCircuitsEquivalent(diag, shuffled, options);
+        });
+        auto &r = report.add("diagonal_check/n=60", ns, iters);
+        r.extra.emplace_back("equivalent",
+                             check.equivalent() ? 1.0 : 0.0);
+        r.extra.emplace_back("gates", 1000);
+        std::printf("  %-28s %10.2f ms (equivalent=%d)\n",
+                    "diagonal_check/n=60", ns * 1e-6,
+                    check.equivalent());
+        if (!check.equivalent())
+            ++regressions;
+    }
+
+    std::printf("\n");
+    if (!report.writeFile(json_path))
+        return 1;
+    return regressions > 0 ? 1 : 0;
+}

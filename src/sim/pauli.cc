@@ -1,0 +1,149 @@
+#include "sim/pauli.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+inline std::size_t
+wordsFor(int num_qubits)
+{
+    return (static_cast<std::size_t>(num_qubits) + 63) / 64;
+}
+
+} // namespace
+
+PauliString::PauliString(int num_qubits)
+    : numQubits_(num_qubits), x_(wordsFor(num_qubits), 0),
+      z_(wordsFor(num_qubits), 0)
+{
+    QAIC_CHECK_GE(num_qubits, 1);
+}
+
+PauliString
+PauliString::single(int num_qubits, int q, bool x, bool z)
+{
+    PauliString p(num_qubits);
+    p.setXBit(q, x);
+    p.setZBit(q, z);
+    // Y is stored as the (1,1) bit pair with no extra phase: the i of
+    // Y = iXZ is accounted for when the string is factored (mulRight
+    // and Tableau::conjugate share that convention).
+    return p;
+}
+
+bool
+PauliString::xBit(int q) const
+{
+    QAIC_CHECK(q >= 0 && q < numQubits_);
+    return x_[q / 64] >> (q % 64) & 1;
+}
+
+bool
+PauliString::zBit(int q) const
+{
+    QAIC_CHECK(q >= 0 && q < numQubits_);
+    return z_[q / 64] >> (q % 64) & 1;
+}
+
+void
+PauliString::setXBit(int q, bool value)
+{
+    QAIC_CHECK(q >= 0 && q < numQubits_);
+    const std::uint64_t m = std::uint64_t(1) << (q % 64);
+    x_[q / 64] = value ? (x_[q / 64] | m) : (x_[q / 64] & ~m);
+}
+
+void
+PauliString::setZBit(int q, bool value)
+{
+    QAIC_CHECK(q >= 0 && q < numQubits_);
+    const std::uint64_t m = std::uint64_t(1) << (q % 64);
+    z_[q / 64] = value ? (z_[q / 64] | m) : (z_[q / 64] & ~m);
+}
+
+bool
+PauliString::isIdentity() const
+{
+    for (std::size_t w = 0; w < x_.size(); ++w)
+        if (x_[w] | z_[w])
+            return false;
+    return true;
+}
+
+int
+PauliString::weight() const
+{
+    int count = 0;
+    for (std::size_t w = 0; w < x_.size(); ++w)
+        count += std::popcount(x_[w] | z_[w]);
+    return count;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    QAIC_CHECK_EQ(numQubits_, other.numQubits_);
+    int parity = 0;
+    for (std::size_t w = 0; w < x_.size(); ++w)
+        parity ^= std::popcount(x_[w] & other.z_[w]) ^
+                  std::popcount(z_[w] & other.x_[w]);
+    return (parity & 1) == 0;
+}
+
+void
+PauliString::mulRight(const PauliString &other)
+{
+    QAIC_CHECK_EQ(numQubits_, other.numQubits_);
+    long long exponent = 0;
+    for (std::size_t w = 0; w < x_.size(); ++w) {
+        const std::uint64_t x1 = x_[w], z1 = z_[w];
+        const std::uint64_t x2 = other.x_[w], z2 = other.z_[w];
+        // Per-qubit i exponents of W1 * W2 (Y stored phase-free):
+        //   YZ, XY, ZX contribute +1; YX, XZ, ZY contribute -1.
+        const std::uint64_t plus = (x1 & z1 & z2 & ~x2) |
+                                   (x1 & ~z1 & z2 & x2) |
+                                   (~x1 & z1 & x2 & ~z2);
+        const std::uint64_t minus = (x1 & z1 & x2 & ~z2) |
+                                    (x1 & ~z1 & z2 & ~x2) |
+                                    (~x1 & z1 & x2 & z2);
+        exponent += std::popcount(plus) - std::popcount(minus);
+        x_[w] ^= x2;
+        z_[w] ^= z2;
+    }
+    addPhase(static_cast<int>(((exponent + other.phase_) % 4 + 4) % 4));
+}
+
+bool
+PauliString::operator==(const PauliString &other) const
+{
+    return numQubits_ == other.numQubits_ && phase_ == other.phase_ &&
+           x_ == other.x_ && z_ == other.z_;
+}
+
+bool
+PauliString::operator<(const PauliString &other) const
+{
+    if (phase_ != other.phase_)
+        return phase_ < other.phase_;
+    if (x_ != other.x_)
+        return x_ < other.x_;
+    return z_ < other.z_;
+}
+
+std::string
+PauliString::toString() const
+{
+    static const char *kSigns[] = {"+", "+i", "-", "-i"};
+    std::string out = kSigns[phase_];
+    for (int q = 0; q < numQubits_; ++q) {
+        const bool x = xBit(q), z = zBit(q);
+        out += x ? (z ? 'Y' : 'X') : (z ? 'Z' : 'I');
+    }
+    return out;
+}
+
+} // namespace qaic

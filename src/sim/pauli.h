@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-packed Pauli strings.
+ *
+ * A PauliString represents i^phase * W_0 (x) W_1 (x) ... with one
+ * (x, z) bit pair per qubit: (0,0)=I, (1,0)=X, (0,1)=Z, (1,1)=Y. The
+ * phase exponent lives in Z_4. Strings are the rows of the Clifford
+ * tableau (sim/tableau.h) and the rotation axes of the Pauli-rotation
+ * canonical form, so the register size is bounded only by memory (the
+ * words are std::vector-backed); the full-scale verification suite
+ * runs registers of 60-80 physical qubits.
+ */
+#ifndef QAIC_SIM_PAULI_H
+#define QAIC_SIM_PAULI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qaic {
+
+/** A signed Pauli operator on a fixed-width register. */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** The identity string (phase 0) on @p num_qubits qubits. */
+    explicit PauliString(int num_qubits);
+
+    /** Single-qubit factor: X_q, Z_q or (with both flags) Y_q = iX_qZ_q. */
+    static PauliString single(int num_qubits, int q, bool x, bool z);
+
+    int numQubits() const { return numQubits_; }
+
+    bool xBit(int q) const;
+    bool zBit(int q) const;
+    void setXBit(int q, bool value);
+    void setZBit(int q, bool value);
+
+    /** Phase exponent p of the leading i^p, in {0,1,2,3}. */
+    int phase() const { return phase_; }
+    void setPhase(int p) { phase_ = ((p % 4) + 4) % 4; }
+    void addPhase(int p) { setPhase(phase_ + p); }
+
+    /** True if every (x, z) pair is (0,0) — phase is ignored. */
+    bool isIdentity() const;
+
+    /** Number of qubits with a non-identity factor. */
+    int weight() const;
+
+    /** True if this and @p other commute (symplectic product even). */
+    bool commutesWith(const PauliString &other) const;
+
+    /** this = this * other, with the i^p bookkeeping of Pauli algebra. */
+    void mulRight(const PauliString &other);
+
+    /** Exact comparison including phase. */
+    bool operator==(const PauliString &other) const;
+    bool operator!=(const PauliString &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Strict weak order (phase, then words) for canonical sorting. */
+    bool operator<(const PauliString &other) const;
+
+    /** Rendering such as "+XIZY" (MSB qubit first). */
+    std::string toString() const;
+
+    const std::vector<std::uint64_t> &xWords() const { return x_; }
+    const std::vector<std::uint64_t> &zWords() const { return z_; }
+
+  private:
+    int numQubits_ = 0;
+    std::vector<std::uint64_t> x_, z_;
+    int phase_ = 0;
+};
+
+} // namespace qaic
+
+#endif // QAIC_SIM_PAULI_H

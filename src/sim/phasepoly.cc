@@ -1,0 +1,228 @@
+#include "sim/phasepoly.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+using Mask = PhasePolynomial::Mask;
+
+inline bool
+testBit(const Mask &m, int i)
+{
+    return m[i / 64] >> (i % 64) & 1;
+}
+
+inline void
+flipBit(Mask &m, int i)
+{
+    m[i / 64] ^= std::uint64_t(1) << (i % 64);
+}
+
+inline void
+xorInto(Mask &dest, const Mask &src)
+{
+    dest[0] ^= src[0];
+    dest[1] ^= src[1];
+}
+
+inline bool
+isZero(const Mask &m)
+{
+    return m[0] == 0 && m[1] == 0;
+}
+
+/** Angle wrapped into [0, 2 pi). */
+inline double
+wrapAngle(double angle)
+{
+    double w = std::fmod(angle, 2.0 * M_PI);
+    if (w < 0.0)
+        w += 2.0 * M_PI;
+    return w;
+}
+
+inline bool
+negligible(double wrapped, double tol)
+{
+    return wrapped <= tol || 2.0 * M_PI - wrapped <= tol;
+}
+
+} // namespace
+
+PhasePolynomial::PhasePolynomial(int num_qubits)
+    : n_(num_qubits), wire_(num_qubits, Mask{0, 0}),
+      wireConst_(num_qubits, 0), quad_(num_qubits, Mask{0, 0})
+{
+    QAIC_CHECK(num_qubits >= 1 && num_qubits <= kMaxQubits);
+    for (int q = 0; q < n_; ++q)
+        flipBit(wire_[q], q);
+}
+
+void
+PhasePolynomial::addParityPhase(Mask mask, bool affine_bit, double angle)
+{
+    // theta * (parity ^ 1) = theta - theta * parity + global constant.
+    if (affine_bit)
+        angle = -angle;
+    if (isZero(mask))
+        return; // pure global phase
+    parity_[mask] += angle;
+}
+
+void
+PhasePolynomial::addQuadratic(const Mask &a, bool ca, const Mask &b,
+                              bool cb)
+{
+    // pi * (pa ^ ca)(pb ^ cb) expands over F_2 into pa*pb + cb*pa +
+    // ca*pb (+ a global constant).
+    if (cb)
+        addParityPhase(a, false, M_PI);
+    if (ca)
+        addParityPhase(b, false, M_PI);
+    for (int i = 0; i < n_; ++i) {
+        if (!testBit(a, i))
+            continue;
+        xorInto(quad_[i], b);
+        if (testBit(b, i)) {
+            // x_i * x_i = x_i: fold the diagonal into a parity term.
+            flipBit(quad_[i], i);
+            Mask single{0, 0};
+            flipBit(single, i);
+            addParityPhase(single, false, M_PI);
+        }
+    }
+}
+
+bool
+PhasePolynomial::absorbGate(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kId:
+        return true;
+      case GateKind::kX:
+        wireConst_[gate.qubits[0]] ^= 1;
+        return true;
+      case GateKind::kCnot: {
+        const int c = gate.qubits[0], t = gate.qubits[1];
+        xorInto(wire_[t], wire_[c]);
+        wireConst_[t] ^= wireConst_[c];
+        return true;
+      }
+      case GateKind::kSwap: {
+        std::swap(wire_[gate.qubits[0]], wire_[gate.qubits[1]]);
+        std::swap(wireConst_[gate.qubits[0]],
+                  wireConst_[gate.qubits[1]]);
+        return true;
+      }
+      case GateKind::kZ:
+        addParityPhase(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                       M_PI);
+        return true;
+      case GateKind::kS:
+        addParityPhase(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                       M_PI / 2.0);
+        return true;
+      case GateKind::kSdg:
+        addParityPhase(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                       -M_PI / 2.0);
+        return true;
+      case GateKind::kT:
+        addParityPhase(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                       M_PI / 4.0);
+        return true;
+      case GateKind::kTdg:
+        addParityPhase(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                       -M_PI / 4.0);
+        return true;
+      case GateKind::kRz:
+        // diag(e^{-i t/2}, e^{i t/2}) = global * diag(1, e^{i t}).
+        addParityPhase(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                       gate.params.at(0));
+        return true;
+      case GateKind::kRzz: {
+        Mask parity = wire_[gate.qubits[0]];
+        xorInto(parity, wire_[gate.qubits[1]]);
+        addParityPhase(parity,
+                       wireConst_[gate.qubits[0]] ^
+                           wireConst_[gate.qubits[1]],
+                       gate.params.at(0));
+        return true;
+      }
+      case GateKind::kCz:
+        addQuadratic(wire_[gate.qubits[0]], wireConst_[gate.qubits[0]],
+                     wire_[gate.qubits[1]], wireConst_[gate.qubits[1]]);
+        return true;
+      case GateKind::kAggregate: {
+        QAIC_CHECK(gate.payload != nullptr);
+        if (gate.payload->members.empty())
+            return false;
+        for (const Gate &m : gate.payload->members)
+            if (!absorbGate(m))
+                return false;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+PhasePolynomial::absorbCircuit(const Circuit &circuit)
+{
+    QAIC_CHECK_EQ(circuit.numQubits(), n_);
+    for (const Gate &g : circuit.gates())
+        if (!absorbGate(g))
+            return false;
+    return true;
+}
+
+PhasePolynomial::Canonical
+PhasePolynomial::canonical(double tol) const
+{
+    Canonical out;
+    out.wires = wire_;
+    out.wireConst = wireConst_;
+    for (const auto &[mask, angle] : parity_) {
+        const double wrapped = wrapAngle(angle);
+        if (!negligible(wrapped, tol))
+            out.parity.emplace(mask, wrapped);
+    }
+    // Symmetrize the quadratic form into strict upper-triangle rows.
+    out.quadUpper.assign(n_, Mask{0, 0});
+    for (int i = 0; i < n_; ++i)
+        for (int j = i + 1; j < n_; ++j)
+            if (testBit(quad_[i], j) ^ testBit(quad_[j], i))
+                flipBit(out.quadUpper[i], j);
+    return out;
+}
+
+bool
+PhasePolynomial::equivalentTo(const PhasePolynomial &other,
+                              double tol) const
+{
+    if (n_ != other.n_)
+        return false;
+    const Canonical a = canonical(tol);
+    const Canonical b = other.canonical(tol);
+    if (a.wires != b.wires || a.wireConst != b.wireConst ||
+        a.quadUpper != b.quadUpper)
+        return false;
+    if (a.parity.size() != b.parity.size())
+        return false;
+    auto ia = a.parity.begin();
+    auto ib = b.parity.begin();
+    for (; ia != a.parity.end(); ++ia, ++ib) {
+        if (ia->first != ib->first)
+            return false;
+        if (std::abs(std::remainder(ia->second - ib->second,
+                                    2.0 * M_PI)) > tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace qaic

@@ -1,0 +1,660 @@
+#include "sim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace qaic {
+
+namespace {
+
+/**
+ * Complex product spelled out on the raw parts; std::complex operator*
+ * lowers to __muldc3 (a call per multiply), which the amplitude loops
+ * cannot afford. The generic gather/scatter paths deliberately keep
+ * operator* so the Workspace-routed loop stays bitwise identical to the
+ * seed implementation.
+ */
+inline Cmplx
+cmul(Cmplx a, Cmplx b)
+{
+    return Cmplx(a.real() * b.real() - a.imag() * b.imag(),
+                 a.real() * b.imag() + a.imag() * b.real());
+}
+
+/** Inserts a zero bit at position @p bit of @p index. */
+inline std::size_t
+insertBit(std::size_t index, int bit)
+{
+    const std::size_t low_mask = (std::size_t(1) << bit) - 1;
+    return ((index & ~low_mask) << 1) | (index & low_mask);
+}
+
+} // namespace
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    QAIC_CHECK(num_qubits > 0 && num_qubits <= kMaxQubits);
+    amps_.assign(std::size_t(1) << num_qubits, Cmplx(0.0, 0.0));
+    amps_[0] = 1.0;
+}
+
+StateVector
+StateVector::basis(int num_qubits, std::size_t index)
+{
+    StateVector sv(num_qubits);
+    QAIC_CHECK_LT(index, sv.amps_.size());
+    sv.amps_[0] = 0.0;
+    sv.amps_[index] = 1.0;
+    return sv;
+}
+
+StateVector
+StateVector::random(int num_qubits, std::uint64_t seed)
+{
+    StateVector sv(num_qubits);
+    Rng rng(seed);
+    double norm2 = 0.0;
+    for (auto &a : sv.amps_) {
+        a = Cmplx(rng.gaussian(), rng.gaussian());
+        norm2 += std::norm(a);
+    }
+    double inv = 1.0 / std::sqrt(norm2);
+    for (auto &a : sv.amps_)
+        a *= inv;
+    return sv;
+}
+
+void
+StateVector::setAmplitudes(std::vector<Cmplx> amps)
+{
+    QAIC_CHECK_EQ(amps.size(), amps_.size());
+    amps_ = std::move(amps);
+    QAIC_CHECK_LT(std::abs(norm() - 1.0), 1e-6) << "non-normalized state";
+}
+
+int
+StateVector::bitOf(int q) const
+{
+    QAIC_CHECK(q >= 0 && q < numQubits_);
+    return numQubits_ - 1 - q;
+}
+
+// --- Generic gather/scatter paths --------------------------------------
+
+void
+StateVector::applyMatrixGeneric(const CMatrix &u,
+                                const std::vector<int> &qubits)
+{
+    const std::size_t k = qubits.size();
+    QAIC_CHECK_EQ(u.rows(), std::size_t(1) << k);
+
+    // Bit position (from LSB) of each gate qubit in the amplitude index.
+    std::vector<int> bit(k);
+    for (std::size_t i = 0; i < k; ++i)
+        bit[i] = bitOf(qubits[i]);
+    std::size_t gate_mask = 0;
+    for (int b : bit)
+        gate_mask |= std::size_t(1) << b;
+
+    auto scatter = [&](std::size_t local) {
+        std::size_t g = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            if (local >> (k - 1 - i) & 1)
+                g |= std::size_t(1) << bit[i];
+        return g;
+    };
+    std::vector<std::size_t> offsets(std::size_t(1) << k);
+    for (std::size_t l = 0; l < offsets.size(); ++l)
+        offsets[l] = scatter(l);
+
+    std::vector<Cmplx> gathered(offsets.size());
+    const std::size_t dim = amps_.size();
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & gate_mask)
+            continue; // Enumerate each coset once (gate bits all zero).
+        for (std::size_t l = 0; l < offsets.size(); ++l)
+            gathered[l] = amps_[base | offsets[l]];
+        for (std::size_t r = 0; r < offsets.size(); ++r) {
+            Cmplx acc(0.0, 0.0);
+            for (std::size_t c = 0; c < offsets.size(); ++c)
+                acc += u(r, c) * gathered[c];
+            amps_[base | offsets[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::applyMatrix(const CMatrix &u, const std::vector<int> &qubits)
+{
+    const std::size_t k = qubits.size();
+    QAIC_CHECK_EQ(u.rows(), std::size_t(1) << k);
+    const std::size_t span = std::size_t(1) << k;
+
+    std::size_t gate_mask = 0;
+    offsetScratch_.assign(span, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t m = std::size_t(1) << bitOf(qubits[i]);
+        gate_mask |= m;
+        // offset[l] ORs in the bit of qubits[i] when local bit k-1-i set.
+        for (std::size_t l = 0; l < span; ++l)
+            if (l >> (k - 1 - i) & 1)
+                offsetScratch_[l] |= m;
+    }
+
+    // Scratch from the arena: one 1 x 2^k row reused across calls. The
+    // loop body mirrors applyMatrixGeneric exactly (same iteration
+    // order, same operator* arithmetic), so amplitudes stay bitwise
+    // identical to the seed path.
+    Workspace::Handle handle = scratch_.acquire(1, span);
+    Cmplx *gathered = handle->raw();
+    const std::size_t *offsets = offsetScratch_.data();
+    const std::size_t dim = amps_.size();
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & gate_mask)
+            continue;
+        for (std::size_t l = 0; l < span; ++l)
+            gathered[l] = amps_[base | offsets[l]];
+        for (std::size_t r = 0; r < span; ++r) {
+            Cmplx acc(0.0, 0.0);
+            for (std::size_t c = 0; c < span; ++c)
+                acc += u(r, c) * gathered[c];
+            amps_[base | offsets[r]] = acc;
+        }
+    }
+}
+
+// --- Specialized kernels -----------------------------------------------
+
+/**
+ * Runs fn(begin, end) over [0, total) coset indices, split over the
+ * worker pool when the state is large enough to amortize the fork.
+ * Workers own disjoint ranges and every amplitude is written by exactly
+ * one of them, so the result is bitwise independent of the split.
+ */
+template <typename Fn>
+static void
+runBlocks(std::size_t total, int threads, Fn &&fn)
+{
+    constexpr std::size_t kParallelGrain = std::size_t(1) << 16;
+    if (threads == 1 || total < 2 * kParallelGrain) {
+        fn(std::size_t(0), total);
+        return;
+    }
+    const std::size_t chunks =
+        std::min<std::size_t>(64, total / kParallelGrain);
+    const std::size_t step = (total + chunks - 1) / chunks;
+    parallelFor(chunks, threads, [&](std::size_t c, int) {
+        const std::size_t begin = c * step;
+        const std::size_t end = std::min(total, begin + step);
+        if (begin < end)
+            fn(begin, end);
+    });
+}
+
+/**
+ * Decomposes the pair-coset range [begin, end) of a 1q kernel on
+ * @p bit into contiguous runs: body(i0, count) covers the pairs
+ * (i0+k, i0+k+2^bit) for k < count. The inner loops walk consecutive
+ * addresses with no per-element bit arithmetic.
+ */
+template <typename Body>
+static inline void
+forPairRuns(std::size_t begin, std::size_t end, int bit, Body &&body)
+{
+    const std::size_t stride = std::size_t(1) << bit;
+    std::size_t c = begin;
+    while (c < end) {
+        const std::size_t off = c & (stride - 1);
+        const std::size_t run = std::min(end - c, stride - off);
+        body(((c & ~(stride - 1)) << 1) | off, run);
+        c += run;
+    }
+}
+
+/**
+ * Same for the 4-way cosets of a 2q kernel: body(base, count) covers
+ * bases base..base+count-1, each with the two gate bits clear.
+ */
+template <typename Body>
+static inline void
+forQuadRuns(std::size_t begin, std::size_t end, int lo, int hi,
+            Body &&body)
+{
+    const std::size_t slo = std::size_t(1) << lo;
+    std::size_t c = begin;
+    while (c < end) {
+        const std::size_t off = c & (slo - 1);
+        const std::size_t run = std::min(end - c, slo - off);
+        body(insertBit(insertBit(c, lo), hi), run);
+        c += run;
+    }
+}
+
+void
+StateVector::apply1q(const Cmplx u[4], int bit)
+{
+    Cmplx *amps = amps_.data();
+    const std::size_t stride = std::size_t(1) << bit;
+    const Cmplx u0 = u[0], u1 = u[1], u2 = u[2], u3 = u[3];
+    runBlocks(amps_.size() >> 1, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forPairRuns(begin, end, bit,
+                              [&](std::size_t i0, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k) {
+                                      const Cmplx a0 = amps[i0 + k];
+                                      const Cmplx a1 =
+                                          amps[i0 + k + stride];
+                                      amps[i0 + k] = cmul(u0, a0) +
+                                                     cmul(u1, a1);
+                                      amps[i0 + k + stride] =
+                                          cmul(u2, a0) + cmul(u3, a1);
+                                  }
+                              });
+              });
+}
+
+void
+StateVector::apply1qReal(const double u[4], int bit)
+{
+    Cmplx *amps = amps_.data();
+    const std::size_t stride = std::size_t(1) << bit;
+    const double u0 = u[0], u1 = u[1], u2 = u[2], u3 = u[3];
+    runBlocks(
+        amps_.size() >> 1, threads_,
+        [=](std::size_t begin, std::size_t end) {
+            forPairRuns(
+                begin, end, bit,
+                [&](std::size_t i0, std::size_t count) {
+                    for (std::size_t k = 0; k < count; ++k) {
+                        const Cmplx a0 = amps[i0 + k];
+                        const Cmplx a1 = amps[i0 + k + stride];
+                        amps[i0 + k] =
+                            Cmplx(u0 * a0.real() + u1 * a1.real(),
+                                  u0 * a0.imag() + u1 * a1.imag());
+                        amps[i0 + k + stride] =
+                            Cmplx(u2 * a0.real() + u3 * a1.real(),
+                                  u2 * a0.imag() + u3 * a1.imag());
+                    }
+                });
+        });
+}
+
+void
+StateVector::applyRx1q(double c, double s, int bit)
+{
+    // [[c, -i s], [-i s, c]] spelled out on the parts.
+    Cmplx *amps = amps_.data();
+    const std::size_t stride = std::size_t(1) << bit;
+    runBlocks(
+        amps_.size() >> 1, threads_,
+        [=](std::size_t begin, std::size_t end) {
+            forPairRuns(
+                begin, end, bit,
+                [&](std::size_t i0, std::size_t count) {
+                    for (std::size_t k = 0; k < count; ++k) {
+                        const Cmplx a0 = amps[i0 + k];
+                        const Cmplx a1 = amps[i0 + k + stride];
+                        amps[i0 + k] =
+                            Cmplx(c * a0.real() + s * a1.imag(),
+                                  c * a0.imag() - s * a1.real());
+                        amps[i0 + k + stride] =
+                            Cmplx(c * a1.real() + s * a0.imag(),
+                                  c * a1.imag() - s * a0.real());
+                    }
+                });
+        });
+}
+
+void
+StateVector::applyDiag1q(Cmplx d0, Cmplx d1, int bit)
+{
+    Cmplx *amps = amps_.data();
+    const std::size_t stride = std::size_t(1) << bit;
+    runBlocks(amps_.size() >> 1, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forPairRuns(begin, end, bit,
+                              [&](std::size_t i0, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k) {
+                                      amps[i0 + k] =
+                                          cmul(d0, amps[i0 + k]);
+                                      amps[i0 + k + stride] = cmul(
+                                          d1, amps[i0 + k + stride]);
+                                  }
+                              });
+              });
+}
+
+void
+StateVector::applyPhase1q(Cmplx d1, int bit)
+{
+    Cmplx *amps = amps_.data();
+    const std::size_t stride = std::size_t(1) << bit;
+    runBlocks(amps_.size() >> 1, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forPairRuns(begin, end, bit,
+                              [&](std::size_t i0, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k)
+                                      amps[i0 + k + stride] = cmul(
+                                          d1, amps[i0 + k + stride]);
+                              });
+              });
+}
+
+void
+StateVector::applyX(int bit)
+{
+    Cmplx *amps = amps_.data();
+    const std::size_t stride = std::size_t(1) << bit;
+    runBlocks(amps_.size() >> 1, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forPairRuns(begin, end, bit,
+                              [&](std::size_t i0, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k)
+                                      std::swap(amps[i0 + k],
+                                                amps[i0 + k + stride]);
+                              });
+              });
+}
+
+void
+StateVector::apply2q(const Cmplx u[16], int bit_hi, int bit_lo)
+{
+    QAIC_CHECK_NE(bit_hi, bit_lo);
+    // Coset expansion needs ascending insertion positions; the gate's
+    // local amplitude order is fixed separately by m0/m1 below.
+    const int lo = std::min(bit_hi, bit_lo);
+    const int hi = std::max(bit_hi, bit_lo);
+    // Gate MSB (qubits[0]) sits at bit_hi, LSB (qubits[1]) at bit_lo.
+    const std::size_t m0 = std::size_t(1) << bit_hi;
+    const std::size_t m1 = std::size_t(1) << bit_lo;
+    Cmplx *amps = amps_.data();
+    runBlocks(
+        amps_.size() >> 2, threads_,
+        [=](std::size_t begin, std::size_t end) {
+            forQuadRuns(
+                begin, end, lo, hi,
+                [&](std::size_t base, std::size_t count) {
+                    for (std::size_t k = 0; k < count; ++k) {
+                        const std::size_t i0 = base + k;
+                        const std::size_t i1 = i0 | m1;
+                        const std::size_t i2 = i0 | m0;
+                        const std::size_t i3 = i0 | m0 | m1;
+                        const Cmplx a0 = amps[i0], a1 = amps[i1];
+                        const Cmplx a2 = amps[i2], a3 = amps[i3];
+                        amps[i0] = cmul(u[0], a0) + cmul(u[1], a1) +
+                                   cmul(u[2], a2) + cmul(u[3], a3);
+                        amps[i1] = cmul(u[4], a0) + cmul(u[5], a1) +
+                                   cmul(u[6], a2) + cmul(u[7], a3);
+                        amps[i2] = cmul(u[8], a0) + cmul(u[9], a1) +
+                                   cmul(u[10], a2) + cmul(u[11], a3);
+                        amps[i3] = cmul(u[12], a0) + cmul(u[13], a1) +
+                                   cmul(u[14], a2) + cmul(u[15], a3);
+                    }
+                });
+        });
+}
+
+void
+StateVector::applyDiag2q(Cmplx d0, Cmplx d1, Cmplx d2, Cmplx d3,
+                         int bit_hi, int bit_lo)
+{
+    const int lo = std::min(bit_hi, bit_lo);
+    const int hi = std::max(bit_hi, bit_lo);
+    const std::size_t m0 = std::size_t(1) << bit_hi;
+    const std::size_t m1 = std::size_t(1) << bit_lo;
+    Cmplx *amps = amps_.data();
+    runBlocks(amps_.size() >> 2, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forQuadRuns(
+                      begin, end, lo, hi,
+                      [&](std::size_t base, std::size_t count) {
+                          for (std::size_t k = 0; k < count; ++k) {
+                              const std::size_t i0 = base + k;
+                              amps[i0] = cmul(d0, amps[i0]);
+                              amps[i0 | m1] = cmul(d1, amps[i0 | m1]);
+                              amps[i0 | m0] = cmul(d2, amps[i0 | m0]);
+                              amps[i0 | m0 | m1] =
+                                  cmul(d3, amps[i0 | m0 | m1]);
+                          }
+                      });
+              });
+}
+
+void
+StateVector::applyPhase11(Cmplx d3, int bit_hi, int bit_lo)
+{
+    // Touches only the |11> quadrant — the CZ fast path. A phase of
+    // exactly -1 degrades to two negations per amplitude.
+    const int lo = std::min(bit_hi, bit_lo);
+    const int hi = std::max(bit_hi, bit_lo);
+    const std::size_t m =
+        (std::size_t(1) << bit_hi) | (std::size_t(1) << bit_lo);
+    Cmplx *amps = amps_.data();
+    const bool negate = d3 == Cmplx(-1.0, 0.0);
+    runBlocks(amps_.size() >> 2, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forQuadRuns(begin, end, lo, hi,
+                              [&](std::size_t base, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k) {
+                                      const std::size_t i =
+                                          (base + k) | m;
+                                      amps[i] = negate
+                                                    ? -amps[i]
+                                                    : cmul(d3, amps[i]);
+                                  }
+                              });
+              });
+}
+
+void
+StateVector::applyCnot(int bit_c, int bit_t)
+{
+    const int lo = std::min(bit_c, bit_t);
+    const int hi = std::max(bit_c, bit_t);
+    const std::size_t mc = std::size_t(1) << bit_c;
+    const std::size_t mt = std::size_t(1) << bit_t;
+    Cmplx *amps = amps_.data();
+    runBlocks(amps_.size() >> 2, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forQuadRuns(begin, end, lo, hi,
+                              [&](std::size_t base, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k) {
+                                      const std::size_t i =
+                                          (base + k) | mc;
+                                      std::swap(amps[i], amps[i | mt]);
+                                  }
+                              });
+              });
+}
+
+void
+StateVector::applySwap(int bit_a, int bit_b)
+{
+    const int lo = std::min(bit_a, bit_b);
+    const int hi = std::max(bit_a, bit_b);
+    const std::size_t ma = std::size_t(1) << bit_a;
+    const std::size_t mb = std::size_t(1) << bit_b;
+    Cmplx *amps = amps_.data();
+    runBlocks(amps_.size() >> 2, threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  forQuadRuns(begin, end, lo, hi,
+                              [&](std::size_t base, std::size_t count) {
+                                  for (std::size_t k = 0; k < count;
+                                       ++k)
+                                      std::swap(amps[(base + k) | ma],
+                                                amps[(base + k) | mb]);
+                              });
+              });
+}
+
+void
+StateVector::applyCcx(int bit_c0, int bit_c1, int bit_t)
+{
+    int bits[3] = {bit_c0, bit_c1, bit_t};
+    std::sort(bits, bits + 3);
+    const std::size_t mc =
+        (std::size_t(1) << bit_c0) | (std::size_t(1) << bit_c1);
+    const std::size_t mt = std::size_t(1) << bit_t;
+    Cmplx *amps = amps_.data();
+    runBlocks(
+        amps_.size() >> 3, threads_,
+        [=](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+                const std::size_t base =
+                    insertBit(insertBit(insertBit(c, bits[0]), bits[1]),
+                              bits[2]) |
+                    mc;
+                std::swap(amps[base], amps[base | mt]);
+            }
+        });
+}
+
+void
+StateVector::applyDiagK(const std::vector<Cmplx> &diag,
+                        const std::vector<int> &qubits)
+{
+    const std::size_t k = qubits.size();
+    QAIC_CHECK_EQ(diag.size(), std::size_t(1) << k);
+    std::vector<int> bit(k);
+    for (std::size_t i = 0; i < k; ++i)
+        bit[i] = bitOf(qubits[i]);
+    Cmplx *amps = amps_.data();
+    const Cmplx *d = diag.data();
+    const int *bits = bit.data();
+    runBlocks(amps_.size(), threads_,
+              [=](std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                      std::size_t local = 0;
+                      for (std::size_t j = 0; j < k; ++j)
+                          local |= ((i >> bits[j]) & 1) << (k - 1 - j);
+                      amps[i] = cmul(d[local], amps[i]);
+                  }
+              });
+}
+
+// --- Gate dispatch -----------------------------------------------------
+
+void
+StateVector::apply(const Gate &gate)
+{
+    constexpr double kInvSqrt2 = 0.70710678118654752440;
+    switch (gate.kind) {
+      case GateKind::kId:
+        return;
+      case GateKind::kX:
+        return applyX(bitOf(gate.qubits[0]));
+      case GateKind::kY: {
+        const Cmplx u[4] = {Cmplx(0, 0), Cmplx(0, -1), Cmplx(0, 1),
+                            Cmplx(0, 0)};
+        return apply1q(u, bitOf(gate.qubits[0]));
+      }
+      case GateKind::kZ:
+        return applyPhase1q(Cmplx(-1, 0), bitOf(gate.qubits[0]));
+      case GateKind::kS:
+        return applyPhase1q(Cmplx(0, 1), bitOf(gate.qubits[0]));
+      case GateKind::kSdg:
+        return applyPhase1q(Cmplx(0, -1), bitOf(gate.qubits[0]));
+      case GateKind::kT:
+        return applyPhase1q(Cmplx(kInvSqrt2, kInvSqrt2),
+                            bitOf(gate.qubits[0]));
+      case GateKind::kTdg:
+        return applyPhase1q(Cmplx(kInvSqrt2, -kInvSqrt2),
+                            bitOf(gate.qubits[0]));
+      case GateKind::kH: {
+        const double u[4] = {kInvSqrt2, kInvSqrt2, kInvSqrt2,
+                             -kInvSqrt2};
+        return apply1qReal(u, bitOf(gate.qubits[0]));
+      }
+      case GateKind::kRx: {
+        const double half = gate.params.at(0) / 2.0;
+        return applyRx1q(std::cos(half), std::sin(half),
+                         bitOf(gate.qubits[0]));
+      }
+      case GateKind::kRy: {
+        const double half = gate.params.at(0) / 2.0;
+        const double c = std::cos(half), s = std::sin(half);
+        const double u[4] = {c, -s, s, c};
+        return apply1qReal(u, bitOf(gate.qubits[0]));
+      }
+      case GateKind::kRz: {
+        const double half = gate.params.at(0) / 2.0;
+        return applyDiag1q(Cmplx(std::cos(half), -std::sin(half)),
+                           Cmplx(std::cos(half), std::sin(half)),
+                           bitOf(gate.qubits[0]));
+      }
+      case GateKind::kCnot:
+        return applyCnot(bitOf(gate.qubits[0]), bitOf(gate.qubits[1]));
+      case GateKind::kCz:
+        return applyPhase11(Cmplx(-1, 0), bitOf(gate.qubits[0]),
+                            bitOf(gate.qubits[1]));
+      case GateKind::kSwap:
+        return applySwap(bitOf(gate.qubits[0]), bitOf(gate.qubits[1]));
+      case GateKind::kIswap: {
+        const Cmplx u[16] = {Cmplx(1, 0), Cmplx(0, 0), Cmplx(0, 0),
+                             Cmplx(0, 0), Cmplx(0, 0), Cmplx(0, 0),
+                             Cmplx(0, 1), Cmplx(0, 0), Cmplx(0, 0),
+                             Cmplx(0, 1), Cmplx(0, 0), Cmplx(0, 0),
+                             Cmplx(0, 0), Cmplx(0, 0), Cmplx(0, 0),
+                             Cmplx(1, 0)};
+        return apply2q(u, bitOf(gate.qubits[0]), bitOf(gate.qubits[1]));
+      }
+      case GateKind::kRzz: {
+        const double half = gate.params.at(0) / 2.0;
+        const Cmplx m(std::cos(half), -std::sin(half));
+        const Cmplx p(std::cos(half), std::sin(half));
+        return applyDiag2q(m, p, p, m, bitOf(gate.qubits[0]),
+                           bitOf(gate.qubits[1]));
+      }
+      case GateKind::kCcx:
+        return applyCcx(bitOf(gate.qubits[0]), bitOf(gate.qubits[1]),
+                        bitOf(gate.qubits[2]));
+      case GateKind::kAggregate:
+        // Members reproduce the payload unitary by construction; their
+        // kernels beat a 2^k x 2^k gather/scatter and never materialize
+        // the matrix of a wide aggregate.
+        QAIC_CHECK(gate.payload && !gate.payload->members.empty());
+        for (const Gate &m : gate.payload->members)
+            apply(m);
+        return;
+    }
+    QAIC_PANIC() << "unhandled gate kind";
+}
+
+void
+StateVector::apply(const Circuit &circuit)
+{
+    QAIC_CHECK_EQ(circuit.numQubits(), numQubits_);
+    for (const Gate &g : circuit.gates())
+        apply(g);
+}
+
+double
+StateVector::norm() const
+{
+    double s = 0.0;
+    for (const Cmplx &a : amps_)
+        s += std::norm(a);
+    return std::sqrt(s);
+}
+
+Cmplx
+StateVector::overlap(const StateVector &other) const
+{
+    QAIC_CHECK_EQ(other.amps_.size(), amps_.size());
+    Cmplx s(0.0, 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        s += std::conj(amps_[i]) * other.amps_[i];
+    return s;
+}
+
+} // namespace qaic

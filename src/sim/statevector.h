@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dense state-vector simulator with bit-twiddled apply kernels.
+ *
+ * This is the workhorse of the verification unit's random-state checks
+ * (paper Section 3.6). The seed implementation applied every gate
+ * through one generic gather/scatter loop that allocated scratch and
+ * multiplied through std::complex (__muldc3) per amplitude; this header
+ * keeps that loop as the pinned reference (applyMatrixGeneric) and adds
+ * specialized kernels dispatched by gate kind:
+ *
+ *  - permutation gates (X, CNOT, SWAP, CCX) move amplitudes without any
+ *    arithmetic;
+ *  - diagonal gates (Z, S, T, Rz, CZ, Rzz, diagonal aggregates) scale
+ *    amplitudes in place, one multiply each instead of a 2^k x 2^k
+ *    gather/scatter;
+ *  - dense 1q/2q gates run precomputed-stride loops with the complex
+ *    products spelled out on raw real/imag parts;
+ *  - wider gates fall back to the generic loop, with scratch drawn from
+ *    a la/kernels Workspace arena instead of fresh vectors.
+ *
+ * Kernels optionally fan out over amplitude blocks via util/parallel;
+ * every amplitude is written by exactly one worker, so results are
+ * bitwise identical for any thread count.
+ */
+#ifndef QAIC_SIM_STATEVECTOR_H
+#define QAIC_SIM_STATEVECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "la/cmatrix.h"
+#include "la/kernels.h"
+
+namespace qaic {
+
+/** Dense state-vector simulator; qubit 0 is the index MSB. */
+class StateVector
+{
+  public:
+    /** Hard register cap (2^28 amplitudes = 4 GiB; guards typos). */
+    static constexpr int kMaxQubits = 28;
+
+    /** |0...0> on @p num_qubits qubits. */
+    explicit StateVector(int num_qubits);
+
+    /** Copies amplitudes; the scratch arena is not shared. */
+    StateVector(const StateVector &other)
+        : numQubits_(other.numQubits_), amps_(other.amps_),
+          threads_(other.threads_)
+    {
+    }
+    StateVector &
+    operator=(const StateVector &other)
+    {
+        numQubits_ = other.numQubits_;
+        amps_ = other.amps_;
+        threads_ = other.threads_;
+        return *this;
+    }
+    StateVector(StateVector &&) = default;
+    StateVector &operator=(StateVector &&) = default;
+
+    /** Computational basis state |index>. */
+    static StateVector basis(int num_qubits, std::size_t index);
+
+    /** Haar-ish random state (normalized Gaussian amplitudes). */
+    static StateVector random(int num_qubits, std::uint64_t seed);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<Cmplx> &amplitudes() const { return amps_; }
+
+    /** Replaces the amplitude vector (size must match; near-unit norm). */
+    void setAmplitudes(std::vector<Cmplx> amps);
+
+    /**
+     * Worker count for the amplitude-block kernels: 1 (default) runs
+     * serially, 0 picks the hardware concurrency, n > 1 uses n workers.
+     * Output is bitwise independent of this setting.
+     */
+    void setThreads(int threads) { threads_ = threads; }
+
+    /** Applies one gate through the specialized kernel for its kind. */
+    void apply(const Gate &gate);
+
+    /** Applies a whole circuit (registers must match). */
+    void apply(const Circuit &circuit);
+
+    /**
+     * Applies a k-qubit matrix to the listed qubits (MSB-first order)
+     * through the generic gather/scatter loop, with scratch drawn from
+     * the Workspace arena — bitwise identical to applyMatrixGeneric,
+     * allocation-free after warm-up.
+     */
+    void applyMatrix(const CMatrix &u, const std::vector<int> &qubits);
+
+    /**
+     * The seed implementation: same gather/scatter loop, but allocating
+     * fresh scratch per call. Kept as the pinned baseline for
+     * bench_sim and the bitwise reference for applyMatrix.
+     */
+    void applyMatrixGeneric(const CMatrix &u,
+                            const std::vector<int> &qubits);
+
+    /** L2 norm (1 for any valid state). */
+    double norm() const;
+
+    /** Inner product <this|other>. */
+    Cmplx overlap(const StateVector &other) const;
+
+  private:
+    /** Bit position (from LSB) of qubit @p q in the amplitude index. */
+    int bitOf(int q) const;
+
+    void apply1q(const Cmplx u[4], int bit);
+    void apply1qReal(const double u[4], int bit);
+    void applyRx1q(double c, double s, int bit);
+    void applyDiag1q(Cmplx d0, Cmplx d1, int bit);
+    void applyPhase1q(Cmplx d1, int bit);
+    void applyX(int bit);
+    void apply2q(const Cmplx u[16], int bit_hi, int bit_lo);
+    void applyDiag2q(Cmplx d0, Cmplx d1, Cmplx d2, Cmplx d3, int bit_hi,
+                     int bit_lo);
+    void applyPhase11(Cmplx d3, int bit_hi, int bit_lo);
+    void applyCnot(int bit_c, int bit_t);
+    void applySwap(int bit_a, int bit_b);
+    void applyCcx(int bit_c0, int bit_c1, int bit_t);
+    /** Multiplies amplitudes by a 2^k diagonal (gate-local MSB order). */
+    void applyDiagK(const std::vector<Cmplx> &diag,
+                    const std::vector<int> &qubits);
+
+    int numQubits_;
+    std::vector<Cmplx> amps_;
+    int threads_ = 1;
+    Workspace scratch_;
+    std::vector<std::size_t> offsetScratch_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_SIM_STATEVECTOR_H

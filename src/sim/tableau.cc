@@ -1,0 +1,595 @@
+#include "sim/tableau.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+/**
+ * Conjugates @p p in place by a primitive Clifford gate: p -> g p g^dag.
+ * Sign updates follow the Aaronson-Gottesman CHP rules; every rule is
+ * differentially tested against the dense simulator in tableau_test.
+ */
+void
+conjugateByPrimitive(PauliString *p, const Gate &g)
+{
+    switch (g.kind) {
+      case GateKind::kId:
+        return;
+      case GateKind::kH: {
+        const int q = g.qubits[0];
+        const bool x = p->xBit(q), z = p->zBit(q);
+        if (x && z)
+            p->addPhase(2); // Y -> -Y
+        p->setXBit(q, z);
+        p->setZBit(q, x);
+        return;
+      }
+      case GateKind::kS: {
+        const int q = g.qubits[0];
+        const bool x = p->xBit(q), z = p->zBit(q);
+        if (x && z)
+            p->addPhase(2); // Y -> -X
+        p->setZBit(q, z ^ x); // X -> Y
+        return;
+      }
+      case GateKind::kSdg: {
+        const int q = g.qubits[0];
+        const bool x = p->xBit(q), z = p->zBit(q);
+        if (x && !z)
+            p->addPhase(2); // X -> -Y
+        p->setZBit(q, z ^ x); // Y -> X
+        return;
+      }
+      case GateKind::kX:
+        if (p->zBit(g.qubits[0]))
+            p->addPhase(2);
+        return;
+      case GateKind::kY:
+        if (p->xBit(g.qubits[0]) ^ p->zBit(g.qubits[0]))
+            p->addPhase(2);
+        return;
+      case GateKind::kZ:
+        if (p->xBit(g.qubits[0]))
+            p->addPhase(2);
+        return;
+      case GateKind::kCnot: {
+        const int c = g.qubits[0], t = g.qubits[1];
+        const bool xc = p->xBit(c), zc = p->zBit(c);
+        const bool xt = p->xBit(t), zt = p->zBit(t);
+        if (xc && zt && xt == zc)
+            p->addPhase(2);
+        p->setXBit(t, xt ^ xc);
+        p->setZBit(c, zc ^ zt);
+        return;
+      }
+      case GateKind::kCz: {
+        // CZ = H(t) CNOT H(t): conjugate through the factors.
+        Gate h = makeH(g.qubits[1]);
+        conjugateByPrimitive(p, h);
+        Gate cnot = makeCnot(g.qubits[0], g.qubits[1]);
+        conjugateByPrimitive(p, cnot);
+        conjugateByPrimitive(p, h);
+        return;
+      }
+      case GateKind::kSwap: {
+        const int a = g.qubits[0], b = g.qubits[1];
+        const bool xa = p->xBit(a), za = p->zBit(a);
+        p->setXBit(a, p->xBit(b));
+        p->setZBit(a, p->zBit(b));
+        p->setXBit(b, xa);
+        p->setZBit(b, za);
+        return;
+      }
+      default:
+        QAIC_PANIC() << "non-primitive gate " << g.toString()
+                     << " in tableau conjugation";
+    }
+}
+
+/** Adjoint within the primitive alphabet (S <-> Sdg, rest self). */
+Gate
+adjointPrimitive(const Gate &g)
+{
+    if (g.kind == GateKind::kS)
+        return makeSdg(g.qubits[0]);
+    if (g.kind == GateKind::kSdg)
+        return makeS(g.qubits[0]);
+    return g;
+}
+
+/**
+ * Angle as a multiple of pi/2 within @p tol: true sets @p k to the
+ * multiple mod 4.
+ */
+bool
+halfPiMultiple(double theta, double tol, int *k)
+{
+    const double steps = theta / (M_PI / 2.0);
+    const double nearest = std::round(steps);
+    if (std::abs(theta - nearest * (M_PI / 2.0)) > tol)
+        return false;
+    const long long n = static_cast<long long>(nearest);
+    *k = static_cast<int>((n % 4 + 4) % 4);
+    return true;
+}
+
+/** Projective primitive expansion of Rz(k pi/2) on @p q. */
+void
+appendRzQuarter(int q, int k, std::vector<Gate> *out)
+{
+    if (k == 1)
+        out->push_back(makeS(q));
+    else if (k == 2)
+        out->push_back(makeZ(q));
+    else if (k == 3)
+        out->push_back(makeSdg(q));
+}
+
+} // namespace
+
+bool
+cliffordPrimitives(const Gate &gate, std::vector<Gate> *out, double tol)
+{
+    std::vector<Gate> prims;
+    switch (gate.kind) {
+      case GateKind::kId:
+        break;
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kCnot:
+      case GateKind::kCz:
+      case GateKind::kSwap:
+        prims.push_back(gate);
+        break;
+      case GateKind::kIswap:
+        // iSWAP = (S(x)S) CZ SWAP (exact), temporal order right to left.
+        prims.push_back(makeSwap(gate.qubits[0], gate.qubits[1]));
+        prims.push_back(makeCz(gate.qubits[0], gate.qubits[1]));
+        prims.push_back(makeS(gate.qubits[0]));
+        prims.push_back(makeS(gate.qubits[1]));
+        break;
+      case GateKind::kRz: {
+        int k;
+        if (!halfPiMultiple(gate.params.at(0), tol, &k))
+            return false;
+        appendRzQuarter(gate.qubits[0], k, &prims);
+        break;
+      }
+      case GateKind::kRx: {
+        int k;
+        if (!halfPiMultiple(gate.params.at(0), tol, &k))
+            return false;
+        if (k == 2) {
+            prims.push_back(makeX(gate.qubits[0]));
+        } else if (k != 0) {
+            // Rx(theta) = H Rz(theta) H.
+            prims.push_back(makeH(gate.qubits[0]));
+            appendRzQuarter(gate.qubits[0], k, &prims);
+            prims.push_back(makeH(gate.qubits[0]));
+        }
+        break;
+      }
+      case GateKind::kRy: {
+        int k;
+        if (!halfPiMultiple(gate.params.at(0), tol, &k))
+            return false;
+        if (k == 2) {
+            prims.push_back(makeY(gate.qubits[0]));
+        } else if (k != 0) {
+            // Ry(theta) = S Rx(theta) Sdg.
+            prims.push_back(makeSdg(gate.qubits[0]));
+            prims.push_back(makeH(gate.qubits[0]));
+            appendRzQuarter(gate.qubits[0], k, &prims);
+            prims.push_back(makeH(gate.qubits[0]));
+            prims.push_back(makeS(gate.qubits[0]));
+        }
+        break;
+      }
+      case GateKind::kRzz: {
+        int k;
+        if (!halfPiMultiple(gate.params.at(0), tol, &k))
+            return false;
+        const int a = gate.qubits[0], b = gate.qubits[1];
+        if (k == 2) {
+            prims.push_back(makeZ(a));
+            prims.push_back(makeZ(b));
+        } else if (k != 0) {
+            // Rzz(pi/2) = (S(x)S) CZ and Rzz(-pi/2) its adjoint,
+            // projectively (all factors diagonal, order free).
+            prims.push_back(makeCz(a, b));
+            if (k == 1) {
+                prims.push_back(makeS(a));
+                prims.push_back(makeS(b));
+            } else {
+                prims.push_back(makeSdg(a));
+                prims.push_back(makeSdg(b));
+            }
+        }
+        break;
+      }
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kCcx:
+        return false;
+      case GateKind::kAggregate: {
+        QAIC_CHECK(gate.payload != nullptr);
+        if (gate.payload->members.empty())
+            return false;
+        for (const Gate &m : gate.payload->members)
+            if (!cliffordPrimitives(m, &prims, tol))
+                return false;
+        break;
+      }
+    }
+    if (out)
+        out->insert(out->end(), prims.begin(), prims.end());
+    return true;
+}
+
+bool
+isCliffordGate(const Gate &gate, double tol)
+{
+    return cliffordPrimitives(gate, nullptr, tol);
+}
+
+// --- Tableau -----------------------------------------------------------
+
+Tableau::Tableau(int num_qubits) : n_(num_qubits)
+{
+    QAIC_CHECK_GE(num_qubits, 1);
+    rx_.reserve(n_);
+    rz_.reserve(n_);
+    for (int q = 0; q < n_; ++q) {
+        rx_.push_back(PauliString::single(n_, q, true, false));
+        rz_.push_back(PauliString::single(n_, q, false, true));
+    }
+}
+
+void
+Tableau::conjugateRowsByPrimitive(const Gate &primitive)
+{
+    for (int q = 0; q < n_; ++q) {
+        conjugateByPrimitive(&rx_[q], primitive);
+        conjugateByPrimitive(&rz_[q], primitive);
+    }
+}
+
+void
+Tableau::rightApplyPrimitive(const Gate &primitive)
+{
+    std::vector<PauliString> fresh;
+    fresh.reserve(2 * primitive.qubits.size());
+    for (int q : primitive.qubits) {
+        PauliString bx = PauliString::single(n_, q, true, false);
+        conjugateByPrimitive(&bx, primitive); // g X_q g^dag
+        fresh.push_back(conjugate(bx));
+        PauliString bz = PauliString::single(n_, q, false, true);
+        conjugateByPrimitive(&bz, primitive);
+        fresh.push_back(conjugate(bz));
+    }
+    for (std::size_t i = 0; i < primitive.qubits.size(); ++i) {
+        rx_[primitive.qubits[i]] = std::move(fresh[2 * i]);
+        rz_[primitive.qubits[i]] = std::move(fresh[2 * i + 1]);
+    }
+}
+
+void
+Tableau::applyGate(const Gate &gate)
+{
+    std::vector<Gate> prims;
+    QAIC_CHECK(cliffordPrimitives(gate, &prims))
+        << "non-Clifford gate in tableau: " << gate.toString();
+    for (const Gate &p : prims)
+        conjugateRowsByPrimitive(p);
+}
+
+void
+Tableau::applyCircuit(const Circuit &circuit)
+{
+    QAIC_CHECK_EQ(circuit.numQubits(), n_);
+    for (const Gate &g : circuit.gates())
+        applyGate(g);
+}
+
+void
+Tableau::rightApply(const Gate &gate)
+{
+    std::vector<Gate> prims;
+    QAIC_CHECK(cliffordPrimitives(gate, &prims))
+        << "non-Clifford gate in tableau: " << gate.toString();
+    // U (p_k ... p_1): compose the later factors first.
+    for (auto it = prims.rbegin(); it != prims.rend(); ++it)
+        rightApplyPrimitive(*it);
+}
+
+PauliString
+Tableau::conjugate(const PauliString &p) const
+{
+    QAIC_CHECK_EQ(p.numQubits(), n_);
+    PauliString result(n_);
+    result.setPhase(p.phase());
+    for (int q = 0; q < n_; ++q) {
+        const bool x = p.xBit(q), z = p.zBit(q);
+        if (x && z)
+            result.addPhase(1); // Y_q = i X_q Z_q
+        if (x)
+            result.mulRight(rx_[q]);
+        if (z)
+            result.mulRight(rz_[q]);
+    }
+    return result;
+}
+
+Tableau
+Tableau::composed(const Tableau &a, const Tableau &b)
+{
+    QAIC_CHECK_EQ(a.n_, b.n_);
+    Tableau out(a.n_);
+    for (int q = 0; q < a.n_; ++q) {
+        out.rx_[q] = a.conjugate(b.rx_[q]);
+        out.rz_[q] = a.conjugate(b.rz_[q]);
+    }
+    return out;
+}
+
+bool
+Tableau::operator==(const Tableau &other) const
+{
+    return n_ == other.n_ && rx_ == other.rx_ && rz_ == other.rz_;
+}
+
+bool
+Tableau::isIdentity() const
+{
+    for (int q = 0; q < n_; ++q) {
+        if (rx_[q] != PauliString::single(n_, q, true, false))
+            return false;
+        if (rz_[q] != PauliString::single(n_, q, false, true))
+            return false;
+    }
+    return true;
+}
+
+bool
+Tableau::isQubitPermutation(std::vector<int> *perm) const
+{
+    std::vector<int> sigma(n_, -1);
+    std::vector<bool> used(n_, false);
+    for (int q = 0; q < n_; ++q) {
+        if (rx_[q].phase() != 0 || rz_[q].phase() != 0)
+            return false;
+        if (rx_[q].weight() != 1 || rz_[q].weight() != 1)
+            return false;
+        int target = -1;
+        for (int t = 0; t < n_; ++t)
+            if (rx_[q].xBit(t)) {
+                target = t;
+                break;
+            }
+        if (target < 0 || rx_[q].zBit(target))
+            return false;
+        if (!rz_[q].zBit(target) || rz_[q].xBit(target))
+            return false;
+        if (used[target])
+            return false;
+        used[target] = true;
+        sigma[q] = target;
+    }
+    if (perm)
+        *perm = std::move(sigma);
+    return true;
+}
+
+// --- Rotation canonical form -------------------------------------------
+
+namespace {
+
+/** Exact Clifford+T expansion of the Toffoli gate. */
+std::vector<Gate>
+ccxExpansion(const Gate &g)
+{
+    const int a = g.qubits[0], b = g.qubits[1], c = g.qubits[2];
+    return {makeH(c),       makeCnot(b, c), makeTdg(c),
+            makeCnot(a, c), makeT(c),       makeCnot(b, c),
+            makeTdg(c),     makeCnot(a, c), makeT(b),
+            makeT(c),       makeH(c),       makeCnot(a, b),
+            makeT(a),       makeTdg(b),     makeCnot(a, b)};
+}
+
+void
+pushRotation(RotationForm *out, const PauliString &axis, double angle)
+{
+    PauliRotation r;
+    r.axis = out->cliffordInverse.conjugate(axis); // C^dag P C
+    r.angle = angle;
+    QAIC_CHECK(r.axis.phase() == 0 || r.axis.phase() == 2)
+        << "non-Hermitian fronted axis";
+    if (r.axis.phase() == 2) {
+        r.axis.setPhase(0);
+        r.angle = -r.angle;
+    }
+    out->rotations.push_back(std::move(r));
+}
+
+bool
+processGateIntoForm(const Gate &g, RotationForm *out)
+{
+    std::vector<Gate> prims;
+    if (cliffordPrimitives(g, &prims)) {
+        for (const Gate &p : prims) {
+            out->clifford.applyGate(p);                    // C -> pC
+            out->cliffordInverse.rightApply(adjointPrimitive(p));
+        }
+        return true;
+    }
+    const int n = out->clifford.numQubits();
+    switch (g.kind) {
+      case GateKind::kT:
+        pushRotation(out, PauliString::single(n, g.qubits[0], false, true),
+                     M_PI / 4.0);
+        return true;
+      case GateKind::kTdg:
+        pushRotation(out, PauliString::single(n, g.qubits[0], false, true),
+                     -M_PI / 4.0);
+        return true;
+      case GateKind::kRz:
+        pushRotation(out, PauliString::single(n, g.qubits[0], false, true),
+                     g.params.at(0));
+        return true;
+      case GateKind::kRx:
+        pushRotation(out, PauliString::single(n, g.qubits[0], true, false),
+                     g.params.at(0));
+        return true;
+      case GateKind::kRy:
+        pushRotation(out, PauliString::single(n, g.qubits[0], true, true),
+                     g.params.at(0));
+        return true;
+      case GateKind::kRzz: {
+        PauliString zz =
+            PauliString::single(n, g.qubits[0], false, true);
+        zz.mulRight(PauliString::single(n, g.qubits[1], false, true));
+        pushRotation(out, zz, g.params.at(0));
+        return true;
+      }
+      case GateKind::kCcx: {
+        for (const Gate &sub : ccxExpansion(g))
+            if (!processGateIntoForm(sub, out))
+                return false;
+        return true;
+      }
+      case GateKind::kAggregate: {
+        QAIC_CHECK(g.payload != nullptr);
+        if (g.payload->members.empty())
+            return false;
+        for (const Gate &m : g.payload->members)
+            if (!processGateIntoForm(m, out))
+                return false;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+zeroAngle(double angle, double tol)
+{
+    return std::abs(std::remainder(angle, 2.0 * M_PI)) <= tol;
+}
+
+bool
+sameAngle(double a, double b, double tol)
+{
+    return std::abs(std::remainder(a - b, 2.0 * M_PI)) <= tol;
+}
+
+} // namespace
+
+bool
+buildRotationForm(const Circuit &circuit, RotationForm *out)
+{
+    *out = RotationForm(circuit.numQubits());
+    for (const Gate &g : circuit.gates())
+        if (!processGateIntoForm(g, out))
+            return false;
+    return true;
+}
+
+std::vector<std::vector<PauliRotation>>
+foataNormalForm(std::vector<PauliRotation> rotations, double tol)
+{
+    // Normalize axis signs into the angles.
+    for (PauliRotation &r : rotations) {
+        QAIC_CHECK(r.axis.phase() == 0 || r.axis.phase() == 2);
+        if (r.axis.phase() == 2) {
+            r.axis.setPhase(0);
+            r.angle = -r.angle;
+        }
+    }
+    for (;;) {
+        std::vector<std::vector<PauliRotation>> layers;
+        for (const PauliRotation &r : rotations) {
+            if (zeroAngle(r.angle, tol))
+                continue; // projective identity
+            // Earliest layer after the last dependent rotation.
+            std::size_t depth = 0;
+            for (std::size_t level = layers.size(); level-- > 0;) {
+                bool dependent = false;
+                for (const PauliRotation &e : layers[level])
+                    if (!e.axis.commutesWith(r.axis)) {
+                        dependent = true;
+                        break;
+                    }
+                if (dependent) {
+                    depth = level + 1;
+                    break;
+                }
+            }
+            if (depth == layers.size())
+                layers.emplace_back();
+            layers[depth].push_back(r);
+        }
+        // Canonical order within a layer (all elements commute) and
+        // merge repeated axes.
+        bool dropped = false;
+        for (std::vector<PauliRotation> &layer : layers) {
+            std::sort(layer.begin(), layer.end(),
+                      [](const PauliRotation &a, const PauliRotation &b) {
+                          return a.axis < b.axis;
+                      });
+            std::vector<PauliRotation> merged;
+            for (PauliRotation &r : layer) {
+                if (!merged.empty() && merged.back().axis == r.axis)
+                    merged.back().angle += r.angle;
+                else
+                    merged.push_back(std::move(r));
+            }
+            for (const PauliRotation &r : merged)
+                if (zeroAngle(r.angle, tol))
+                    dropped = true;
+            layer = std::move(merged);
+        }
+        if (!dropped)
+            return layers;
+        // A merge cancelled to identity: removing it can relax the
+        // layering of everything after it, so flatten and rerun.
+        rotations.clear();
+        for (const std::vector<PauliRotation> &layer : layers)
+            for (const PauliRotation &r : layer)
+                if (!zeroAngle(r.angle, tol))
+                    rotations.push_back(r);
+    }
+}
+
+bool
+rotationSequencesEquivalent(const std::vector<PauliRotation> &a,
+                            const std::vector<PauliRotation> &b,
+                            double tol)
+{
+    const auto fa = foataNormalForm(a, tol);
+    const auto fb = foataNormalForm(b, tol);
+    if (fa.size() != fb.size())
+        return false;
+    for (std::size_t l = 0; l < fa.size(); ++l) {
+        if (fa[l].size() != fb[l].size())
+            return false;
+        for (std::size_t i = 0; i < fa[l].size(); ++i) {
+            if (fa[l][i].axis != fb[l][i].axis)
+                return false;
+            if (!sameAngle(fa[l][i].angle, fb[l][i].angle, tol))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace qaic

@@ -1,0 +1,172 @@
+#include "testing/equivalence.h"
+
+#include <algorithm>
+
+#include "gdg/commute.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qaic::testing {
+
+void
+appendAdjointGate(Circuit *circuit, const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kId:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kCnot:
+      case GateKind::kCz:
+      case GateKind::kSwap:
+      case GateKind::kCcx:
+        circuit->add(gate);
+        return;
+      case GateKind::kS:
+        circuit->add(makeSdg(gate.qubits[0]));
+        return;
+      case GateKind::kSdg:
+        circuit->add(makeS(gate.qubits[0]));
+        return;
+      case GateKind::kT:
+        circuit->add(makeTdg(gate.qubits[0]));
+        return;
+      case GateKind::kTdg:
+        circuit->add(makeT(gate.qubits[0]));
+        return;
+      case GateKind::kRx:
+        circuit->add(makeRx(gate.qubits[0], -gate.params.at(0)));
+        return;
+      case GateKind::kRy:
+        circuit->add(makeRy(gate.qubits[0], -gate.params.at(0)));
+        return;
+      case GateKind::kRz:
+        circuit->add(makeRz(gate.qubits[0], -gate.params.at(0)));
+        return;
+      case GateKind::kRzz:
+        circuit->add(makeRzz(gate.qubits[0], gate.qubits[1],
+                             -gate.params.at(0)));
+        return;
+      case GateKind::kIswap:
+        // iSWAP^dag = SWAP CZ (Sdg (x) Sdg), rightmost factor first.
+        circuit->add(makeSdg(gate.qubits[0]));
+        circuit->add(makeSdg(gate.qubits[1]));
+        circuit->add(makeCz(gate.qubits[0], gate.qubits[1]));
+        circuit->add(makeSwap(gate.qubits[0], gate.qubits[1]));
+        return;
+      case GateKind::kAggregate: {
+        QAIC_CHECK(gate.payload != nullptr);
+        const auto &members = gate.payload->members;
+        Circuit scratch(circuit->numQubits());
+        for (auto it = members.rbegin(); it != members.rend(); ++it)
+            appendAdjointGate(&scratch, *it);
+        const int eager = gate.payload->matrix.empty() ? 0 : gate.width();
+        circuit->add(makeAggregate(scratch.gates(),
+                                   gate.payload->label + "_dag", eager));
+        return;
+      }
+    }
+    QAIC_PANIC() << "unhandled gate kind";
+}
+
+Circuit
+adjointCircuit(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    const auto &gates = circuit.gates();
+    for (auto it = gates.rbegin(); it != gates.rend(); ++it)
+        appendAdjointGate(&out, *it);
+    return out;
+}
+
+Circuit
+appendAdjoint(const Circuit &circuit)
+{
+    Circuit out = circuit;
+    out.append(adjointCircuit(circuit));
+    return out;
+}
+
+Circuit
+commuteAdjacentPairs(const Circuit &circuit, std::uint64_t seed,
+                     int attempts)
+{
+    Circuit out = circuit;
+    if (out.size() < 2)
+        return out;
+    Rng rng(seed);
+    CommutationChecker checker;
+    auto &gates = out.mutableGates();
+    for (int a = 0; a < attempts; ++a) {
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(gates.size()) - 2));
+        if (checker.commute(gates[i], gates[i + 1]))
+            std::swap(gates[i], gates[i + 1]);
+    }
+    return out;
+}
+
+Circuit
+conjugateByRandomPermutation(const Circuit &circuit, std::uint64_t seed)
+{
+    const int n = circuit.numQubits();
+    Rng rng(seed);
+    std::vector<int> perm(n);
+    for (int q = 0; q < n; ++q)
+        perm[q] = q;
+    rng.shuffle(perm);
+
+    // SWAP network moving the content of wire q to wire perm[q].
+    std::vector<int> pos(n); // pos[content] = wire holding it
+    std::vector<int> at(n);  // at[wire] = content
+    for (int q = 0; q < n; ++q)
+        pos[q] = at[q] = q;
+    std::vector<Gate> network;
+    for (int content = 0; content < n; ++content) {
+        const int want = perm[content];
+        const int have = pos[content];
+        if (want == have)
+            continue;
+        network.push_back(makeSwap(have, want));
+        std::swap(at[have], at[want]);
+        pos[at[have]] = have;
+        pos[at[want]] = want;
+    }
+
+    Circuit out(n);
+    for (const Gate &g : network)
+        out.add(g);
+    for (const Gate &g : circuit.gates())
+        out.add(relabelGate(g, perm));
+    for (auto it = network.rbegin(); it != network.rend(); ++it)
+        out.add(*it);
+    return out;
+}
+
+Circuit
+mutateOneGate(const Circuit &circuit, std::uint64_t seed)
+{
+    QAIC_CHECK(!circuit.empty());
+    Rng rng(seed);
+    const std::size_t victim = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(circuit.size()) - 1));
+    Circuit out(circuit.numQubits());
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        Gate g = circuit.gates()[i];
+        if (i == victim) {
+            if (!g.params.empty()) {
+                g.params[0] += 0.37; // clearly outside any tolerance
+                out.add(std::move(g));
+            } else {
+                out.add(g);
+                out.add(makeX(g.qubits[0]));
+            }
+        } else {
+            out.add(std::move(g));
+        }
+    }
+    return out;
+}
+
+} // namespace qaic::testing

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Equivalence helpers and metamorphic circuit transformations for the
+ * differential test suites.
+ *
+ * The transformations produce circuits that are guaranteed equivalent
+ * to their input (up to global phase) by construction — adjoint
+ * append, commuting-neighbour swaps, SWAP-conjugated relabelings — so
+ * any checker that rejects a (circuit, transform(circuit)) pair is
+ * wrong, and any checker that accepts a (circuit, mutate(circuit))
+ * pair is almost surely wrong. Every fuzz/property suite shares these
+ * through src/testing rather than growing private copies.
+ */
+#ifndef QAIC_TESTING_EQUIVALENCE_H
+#define QAIC_TESTING_EQUIVALENCE_H
+
+#include <cstdint>
+
+#include "ir/circuit.h"
+
+namespace qaic::testing {
+
+/**
+ * Appends the adjoint of @p gate to @p circuit (iSWAP needs a short
+ * sequence; everything else inverts to a single gate).
+ */
+void appendAdjointGate(Circuit *circuit, const Gate &gate);
+
+/** The adjoint circuit: gates reversed and individually inverted. */
+Circuit adjointCircuit(const Circuit &circuit);
+
+/** circuit followed by its adjoint — equivalent to the identity. */
+Circuit appendAdjoint(const Circuit &circuit);
+
+/**
+ * Metamorphic reordering: up to @p attempts random adjacent pairs are
+ * swapped when they commute (checked against the explicit unitaries on
+ * the joint support, via gdg's CommutationChecker). The result is
+ * equivalent to the input by construction.
+ */
+Circuit commuteAdjacentPairs(const Circuit &circuit, std::uint64_t seed,
+                             int attempts = 32);
+
+/**
+ * Permutation conjugation: relabels every gate through a random
+ * permutation pi and wraps the circuit in the SWAP network of pi (the
+ * network before, its inverse after), yielding an equivalent circuit
+ * on shuffled wires — the shape SWAP routing produces.
+ */
+Circuit conjugateByRandomPermutation(const Circuit &circuit,
+                                     std::uint64_t seed);
+
+/**
+ * Inequivalence probe: perturbs one random gate (angle nudge for
+ * parametric kinds, an extra X otherwise), yielding a circuit that is
+ * almost surely NOT equivalent to the input.
+ */
+Circuit mutateOneGate(const Circuit &circuit, std::uint64_t seed);
+
+} // namespace qaic::testing
+
+#endif // QAIC_TESTING_EQUIVALENCE_H

@@ -1,0 +1,112 @@
+#include "testing/generators.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace qaic::testing {
+
+Circuit
+randomCircuit(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    // NOTE: the draw sequence is frozen — historical fuzz seeds (e.g.
+    // the routing_fuzz_test corpus) must keep naming the same circuits.
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        int kind = rng.uniformInt(0, 7);
+        int a = rng.uniformInt(0, num_qubits - 1);
+        int b = (a + 1 + rng.uniformInt(0, num_qubits - 2)) % num_qubits;
+        double theta = rng.uniform(-M_PI, M_PI);
+        switch (kind) {
+          case 0: c.add(makeH(a)); break;
+          case 1: c.add(makeT(a)); break;
+          case 2: c.add(makeRx(a, theta)); break;
+          case 3: c.add(makeRz(a, theta)); break;
+          case 4: c.add(makeCnot(a, b)); break;
+          case 5: c.add(makeCz(a, b)); break;
+          case 6: c.add(makeRzz(a, b, theta)); break;
+          default: c.add(makeSwap(a, b)); break;
+        }
+    }
+    return c;
+}
+
+Circuit
+randomCliffordCircuit(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        int kind = rng.uniformInt(0, 9);
+        int a = rng.uniformInt(0, num_qubits - 1);
+        int b = (a + 1 + rng.uniformInt(0, num_qubits - 2)) % num_qubits;
+        switch (kind) {
+          case 0: c.add(makeH(a)); break;
+          case 1: c.add(makeS(a)); break;
+          case 2: c.add(makeSdg(a)); break;
+          case 3: c.add(makeX(a)); break;
+          case 4: c.add(makeY(a)); break;
+          case 5: c.add(makeZ(a)); break;
+          case 6: c.add(makeCnot(a, b)); break;
+          case 7: c.add(makeCz(a, b)); break;
+          case 8: c.add(makeSwap(a, b)); break;
+          default: c.add(makeIswap(a, b)); break;
+        }
+    }
+    return c;
+}
+
+Circuit
+randomDiagonalCircuit(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        int kind = rng.uniformInt(0, 8);
+        int a = rng.uniformInt(0, num_qubits - 1);
+        int b = (a + 1 + rng.uniformInt(0, num_qubits - 2)) % num_qubits;
+        double theta = rng.uniform(-M_PI, M_PI);
+        switch (kind) {
+          case 0: c.add(makeX(a)); break;
+          case 1: c.add(makeZ(a)); break;
+          case 2: c.add(makeS(a)); break;
+          case 3: c.add(makeT(a)); break;
+          case 4: c.add(makeRz(a, theta)); break;
+          case 5: c.add(makeCnot(a, b)); break;
+          case 6: c.add(makeCz(a, b)); break;
+          case 7: c.add(makeRzz(a, b, theta)); break;
+          default: c.add(makeSwap(a, b)); break;
+        }
+    }
+    return c;
+}
+
+Circuit
+randomPauliRotationCircuit(int num_qubits, int num_gates,
+                           std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        int kind = rng.uniformInt(0, 9);
+        int a = rng.uniformInt(0, num_qubits - 1);
+        int b = (a + 1 + rng.uniformInt(0, num_qubits - 2)) % num_qubits;
+        double theta = rng.uniform(-M_PI, M_PI);
+        switch (kind) {
+          case 0: c.add(makeH(a)); break;
+          case 1: c.add(makeS(a)); break;
+          case 2: c.add(makeT(a)); break;
+          case 3: c.add(makeRx(a, theta)); break;
+          case 4: c.add(makeRy(a, theta)); break;
+          case 5: c.add(makeRz(a, theta)); break;
+          case 6: c.add(makeCnot(a, b)); break;
+          case 7: c.add(makeCz(a, b)); break;
+          case 8: c.add(makeRzz(a, b, theta)); break;
+          default: c.add(makeIswap(a, b)); break;
+        }
+    }
+    return c;
+}
+
+} // namespace qaic::testing

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Seeded circuit generators shared by the fuzz, property and
+ * differential test suites (and the simulator benchmarks).
+ *
+ * Promoted out of the test tree so every harness draws from one
+ * corpus: the same (width, gates, seed) triple produces bit-identical
+ * circuits everywhere, which keeps cross-suite reproductions trivial
+ * ("seed 137 fails in the router fuzz" can be replayed in the
+ * equivalence-engine tests verbatim). randomCircuit preserves the
+ * exact draw sequence of the original tests/test_util.h generator, so
+ * historical seeds keep naming the same circuits.
+ */
+#ifndef QAIC_TESTING_GENERATORS_H
+#define QAIC_TESTING_GENERATORS_H
+
+#include <cstdint>
+
+#include "ir/circuit.h"
+
+namespace qaic::testing {
+
+/**
+ * Random circuit over a mixed gate zoo (1q rotations, H/T, CNOT, CZ,
+ * Rzz, SWAP); deterministic per seed. Useful for semantics-preservation
+ * property tests.
+ */
+Circuit randomCircuit(int num_qubits, int num_gates, std::uint64_t seed);
+
+/**
+ * Random Clifford circuit (H, S, Sdg, X, Y, Z, CNOT, CZ, SWAP, iSWAP);
+ * deterministic per seed. Exercises the stabilizer-tableau fast path.
+ */
+Circuit randomCliffordCircuit(int num_qubits, int num_gates,
+                              std::uint64_t seed);
+
+/**
+ * Random affine+diagonal circuit (X, CNOT, SWAP, Z, S, T, Rz, Rzz,
+ * CZ); deterministic per seed. Exercises the diagonal-phase
+ * propagator — the QAOA/Ising aggregate structure.
+ */
+Circuit randomDiagonalCircuit(int num_qubits, int num_gates,
+                              std::uint64_t seed);
+
+/**
+ * Random Clifford+rotation circuit (the Clifford zoo plus Rx/Ry/Rz/
+ * Rzz at arbitrary angles and T gates); deterministic per seed.
+ * Exercises the Pauli-rotation canonical form.
+ */
+Circuit randomPauliRotationCircuit(int num_qubits, int num_gates,
+                                   std::uint64_t seed);
+
+} // namespace qaic::testing
+
+#endif // QAIC_TESTING_GENERATORS_H

@@ -1,0 +1,117 @@
+#include "verify/classify.h"
+
+#include "sim/tableau.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+int
+rotationCountOf(const Gate &gate)
+{
+    if (isCliffordGate(gate))
+        return 0;
+    switch (gate.kind) {
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz:
+      case GateKind::kRzz:
+        return 1;
+      case GateKind::kCcx:
+        return 7; // Clifford+T expansion
+      case GateKind::kAggregate: {
+        int count = 0;
+        if (gate.payload)
+            for (const Gate &m : gate.payload->members)
+                count += rotationCountOf(m);
+        return count;
+      }
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+bool
+isDiagonalAffineGate(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kId:
+      case GateKind::kX:
+      case GateKind::kCnot:
+      case GateKind::kSwap:
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRz:
+      case GateKind::kRzz:
+      case GateKind::kCz:
+        return true;
+      case GateKind::kAggregate: {
+        QAIC_CHECK(gate.payload != nullptr);
+        if (gate.payload->members.empty())
+            return false;
+        for (const Gate &m : gate.payload->members)
+            if (!isDiagonalAffineGate(m))
+                return false;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+isPauliRotationGate(const Gate &gate)
+{
+    if (gate.kind == GateKind::kAggregate) {
+        QAIC_CHECK(gate.payload != nullptr);
+        if (gate.payload->members.empty())
+            return false;
+        for (const Gate &m : gate.payload->members)
+            if (!isPauliRotationGate(m))
+                return false;
+        return true;
+    }
+    // Every base gate kind is Clifford or a Pauli-axis rotation (CCX
+    // through its exact Clifford+T expansion).
+    return true;
+}
+
+CircuitClass
+classifyCircuit(const Circuit &circuit)
+{
+    CircuitClass out;
+    for (const Gate &g : circuit.gates()) {
+        const bool clifford_gate = isCliffordGate(g);
+        if (out.clifford && !clifford_gate)
+            out.clifford = false;
+        if (out.diagonalAffine && !isDiagonalAffineGate(g))
+            out.diagonalAffine = false;
+        if (out.pauliRotation && !isPauliRotationGate(g))
+            out.pauliRotation = false;
+        if (!clifford_gate)
+            out.rotationCount += rotationCountOf(g);
+    }
+    return out;
+}
+
+std::string
+circuitClassName(const CircuitClass &c)
+{
+    if (c.clifford)
+        return "clifford";
+    std::string base = c.diagonalAffine ? "diagonal-affine"
+                       : c.pauliRotation
+                           ? "clifford+rotations"
+                           : "general";
+    return base + "(" + std::to_string(c.rotationCount) + ")";
+}
+
+} // namespace qaic

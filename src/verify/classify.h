@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Circuit structure analyzer for the verification engine.
+ *
+ * The layered equivalence engine (verify/verify.h) picks the cheapest
+ * sound checker for a pair of circuits; this header computes the
+ * structural facts that drive the dispatch: whether every gate is
+ * Clifford (stabilizer tableau applies), whether the circuit is an
+ * affine+diagonal phase-polynomial structure (diagonal propagator
+ * applies), and whether it decomposes into Clifford gates plus
+ * Pauli-axis rotations (the rotation canonical form applies — true for
+ * the entire QAIC gate alphabet, Toffolis and aggregates included).
+ */
+#ifndef QAIC_VERIFY_CLASSIFY_H
+#define QAIC_VERIFY_CLASSIFY_H
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace qaic {
+
+/** Structural facts about one circuit, computed gate-wise. */
+struct CircuitClass
+{
+    /** Every gate is Clifford (pi/2-multiple rotations folded). */
+    bool clifford = true;
+    /** Every gate is in the {X, CNOT, SWAP} + diagonal alphabet. */
+    bool diagonalAffine = true;
+    /** Every gate is Clifford or a Pauli-axis rotation (incl. CCX). */
+    bool pauliRotation = true;
+    /** Number of non-Clifford rotations after folding. */
+    int rotationCount = 0;
+};
+
+/** True if @p gate fits the affine+diagonal (phase-polynomial) domain. */
+bool isDiagonalAffineGate(const Gate &gate);
+
+/** True if @p gate is Clifford or a Pauli-axis rotation (or expands
+ *  into those: CCX, aggregates with members). */
+bool isPauliRotationGate(const Gate &gate);
+
+/** Classifies every gate of @p circuit (aggregates member-wise). */
+CircuitClass classifyCircuit(const Circuit &circuit);
+
+/** Human-readable one-liner, e.g. "clifford+rotations(12)". */
+std::string circuitClassName(const CircuitClass &c);
+
+} // namespace qaic
+
+#endif // QAIC_VERIFY_CLASSIFY_H

@@ -4,158 +4,151 @@
 #include <cmath>
 
 #include "oracle/oracle.h"
+#include "sim/phasepoly.h"
+#include "sim/tableau.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "verify/classify.h"
 
 namespace qaic {
 
-StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+std::string
+equivalenceMethodName(EquivalenceMethod method)
 {
-    QAIC_CHECK(num_qubits > 0 && num_qubits <= 24);
-    amps_.assign(std::size_t(1) << num_qubits, Cmplx(0.0, 0.0));
-    amps_[0] = 1.0;
-}
-
-StateVector
-StateVector::basis(int num_qubits, std::size_t index)
-{
-    StateVector sv(num_qubits);
-    QAIC_CHECK_LT(index, sv.amps_.size());
-    sv.amps_[0] = 0.0;
-    sv.amps_[index] = 1.0;
-    return sv;
-}
-
-StateVector
-StateVector::random(int num_qubits, std::uint64_t seed)
-{
-    StateVector sv(num_qubits);
-    Rng rng(seed);
-    double norm2 = 0.0;
-    for (auto &a : sv.amps_) {
-        a = Cmplx(rng.gaussian(), rng.gaussian());
-        norm2 += std::norm(a);
+    switch (method) {
+      case EquivalenceMethod::kNone: return "none";
+      case EquivalenceMethod::kExactUnitary: return "exact";
+      case EquivalenceMethod::kDiagonalPropagator: return "diagonal";
+      case EquivalenceMethod::kCliffordTableau: return "clifford";
+      case EquivalenceMethod::kPauliRotationForm: return "rotation-form";
+      case EquivalenceMethod::kDenseSampling: return "dense";
     }
-    double inv = 1.0 / std::sqrt(norm2);
-    for (auto &a : sv.amps_)
-        a *= inv;
-    return sv;
+    QAIC_PANIC() << "unhandled equivalence method";
 }
 
-void
-StateVector::setAmplitudes(std::vector<Cmplx> amps)
+namespace {
+
+using Verdict = EquivalenceVerdict;
+using Method = EquivalenceMethod;
+
+EquivalenceReport
+report(Verdict verdict, Method method, std::string note = "")
 {
-    QAIC_CHECK_EQ(amps.size(), amps_.size());
-    amps_ = std::move(amps);
-    QAIC_CHECK_LT(std::abs(norm() - 1.0), 1e-6) << "non-normalized state";
+    EquivalenceReport r;
+    r.verdict = verdict;
+    r.method = method;
+    r.note = std::move(note);
+    return r;
 }
 
-void
-StateVector::applyMatrix(const CMatrix &u, const std::vector<int> &qubits)
+// --- Plain circuit checkers --------------------------------------------
+
+EquivalenceReport
+checkExactUnitary(const Circuit &a, const Circuit &b,
+                  const EquivalenceOptions &options)
 {
-    const std::size_t k = qubits.size();
-    QAIC_CHECK_EQ(u.rows(), std::size_t(1) << k);
-
-    // Bit position (from LSB) of each gate qubit in the amplitude index.
-    std::vector<int> bit(k);
-    for (std::size_t i = 0; i < k; ++i) {
-        int q = qubits[i];
-        QAIC_CHECK(q >= 0 && q < numQubits_);
-        bit[i] = numQubits_ - 1 - q;
-    }
-    std::size_t gate_mask = 0;
-    for (int b : bit)
-        gate_mask |= std::size_t(1) << b;
-
-    auto scatter = [&](std::size_t local) {
-        std::size_t g = 0;
-        for (std::size_t i = 0; i < k; ++i)
-            if (local >> (k - 1 - i) & 1)
-                g |= std::size_t(1) << bit[i];
-        return g;
-    };
-    std::vector<std::size_t> offsets(std::size_t(1) << k);
-    for (std::size_t l = 0; l < offsets.size(); ++l)
-        offsets[l] = scatter(l);
-
-    std::vector<Cmplx> gathered(offsets.size());
-    const std::size_t dim = amps_.size();
-    for (std::size_t base = 0; base < dim; ++base) {
-        if (base & gate_mask)
-            continue; // Enumerate each coset once (gate bits all zero).
-        for (std::size_t l = 0; l < offsets.size(); ++l)
-            gathered[l] = amps_[base | offsets[l]];
-        for (std::size_t r = 0; r < offsets.size(); ++r) {
-            Cmplx acc(0.0, 0.0);
-            for (std::size_t c = 0; c < offsets.size(); ++c)
-                acc += u(r, c) * gathered[c];
-            amps_[base | offsets[r]] = acc;
-        }
-    }
+    const int guard = std::max(12, options.maxExactQubits);
+    if (a.numQubits() > guard)
+        return report(Verdict::kInconclusive, Method::kExactUnitary,
+                      "register too wide for an explicit unitary");
+    const bool same = phaseDistance(a.unitary(guard), b.unitary(guard)) <
+                      options.tol;
+    return report(same ? Verdict::kEquivalent : Verdict::kNotEquivalent,
+                  Method::kExactUnitary);
 }
 
-void
-StateVector::apply(const Gate &gate)
+EquivalenceReport
+checkDiagonal(const Circuit &a, const Circuit &b,
+              const EquivalenceOptions &options)
 {
-    applyMatrix(gate.matrix(), gate.qubits);
+    if (a.numQubits() > PhasePolynomial::kMaxQubits)
+        return report(Verdict::kInconclusive, Method::kDiagonalPropagator,
+                      "register too wide for the phase propagator");
+    PhasePolynomial pa(a.numQubits()), pb(b.numQubits());
+    if (!pa.absorbCircuit(a) || !pb.absorbCircuit(b))
+        return report(Verdict::kInconclusive, Method::kDiagonalPropagator,
+                      "gate outside the affine+diagonal domain");
+    // Complete on its domain: the canonical form determines the
+    // unitary up to global phase.
+    return report(pa.equivalentTo(pb, options.tol)
+                      ? Verdict::kEquivalent
+                      : Verdict::kNotEquivalent,
+                  Method::kDiagonalPropagator);
 }
 
-void
-StateVector::apply(const Circuit &circuit)
+EquivalenceReport
+checkClifford(const Circuit &a, const Circuit &b, bool both_clifford)
 {
-    QAIC_CHECK_EQ(circuit.numQubits(), numQubits_);
-    for (const Gate &g : circuit.gates())
-        apply(g);
+    if (!both_clifford)
+        return report(Verdict::kInconclusive, Method::kCliffordTableau,
+                      "non-Clifford gate");
+    Tableau ta(a.numQubits()), tb(b.numQubits());
+    ta.applyCircuit(a);
+    tb.applyCircuit(b);
+    // Equal tableaus <=> equal unitaries up to global phase (complete).
+    return report(ta == tb ? Verdict::kEquivalent
+                           : Verdict::kNotEquivalent,
+                  Method::kCliffordTableau);
 }
 
-double
-StateVector::norm() const
+EquivalenceReport
+checkRotationForm(const Circuit &a, const Circuit &b,
+                  const EquivalenceOptions &options)
 {
-    double s = 0.0;
-    for (const Cmplx &a : amps_)
-        s += std::norm(a);
-    return std::sqrt(s);
+    RotationForm fa(a.numQubits()), fb(b.numQubits());
+    if (!buildRotationForm(a, &fa) || !buildRotationForm(b, &fb))
+        return report(Verdict::kInconclusive, Method::kPauliRotationForm,
+                      "gate outside the rotation-form domain");
+    const bool pure_clifford =
+        fa.rotations.empty() && fb.rotations.empty();
+    if (!rotationSequencesEquivalent(fa.rotations, fb.rotations,
+                                     options.tol))
+        return report(pure_clifford ? Verdict::kNotEquivalent
+                                    : Verdict::kInconclusive,
+                      Method::kPauliRotationForm,
+                      "fronted rotation sequences differ");
+    if (!(fa.clifford == fb.clifford))
+        return report(pure_clifford ? Verdict::kNotEquivalent
+                                    : Verdict::kInconclusive,
+                      Method::kPauliRotationForm,
+                      "Clifford tails differ");
+    // Matching forms compose to the same operator: sound at any width.
+    return report(Verdict::kEquivalent, Method::kPauliRotationForm);
 }
 
-Cmplx
-StateVector::overlap(const StateVector &other) const
+EquivalenceReport
+checkDenseSampling(const Circuit &a, const Circuit &b,
+                   const EquivalenceOptions &options)
 {
-    QAIC_CHECK_EQ(other.amps_.size(), amps_.size());
-    Cmplx s(0.0, 0.0);
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        s += std::conj(amps_[i]) * other.amps_[i];
-    return s;
-}
-
-bool
-circuitsEquivalent(const Circuit &a, const Circuit &b, double tol,
-                   int max_exact_qubits, int samples, std::uint64_t seed)
-{
-    if (a.numQubits() != b.numQubits())
-        return false;
-    if (a.numQubits() <= max_exact_qubits)
-        return phaseDistance(a.unitary(max_exact_qubits),
-                             b.unitary(max_exact_qubits)) < tol;
-
-    for (int s = 0; s < samples; ++s) {
-        StateVector sa = StateVector::random(a.numQubits(), seed + s);
+    if (a.numQubits() > options.denseQubitLimit)
+        return report(Verdict::kInconclusive, Method::kDenseSampling,
+                      "register beyond the dense limit");
+    for (int s = 0; s < options.samples; ++s) {
+        StateVector sa =
+            StateVector::random(a.numQubits(), options.seed + s);
         StateVector sb = sa;
         sa.apply(a);
         sb.apply(b);
-        if (std::abs(std::abs(sa.overlap(sb)) - 1.0) > tol)
-            return false;
+        if (std::abs(std::abs(sa.overlap(sb)) - 1.0) > options.tol)
+            return report(Verdict::kNotEquivalent,
+                          Method::kDenseSampling);
     }
-    return true;
+    return report(Verdict::kEquivalent, Method::kDenseSampling);
 }
 
-bool
-routedEquivalent(const Circuit &logical, const RoutingResult &routing,
-                 int num_physical_qubits, double tol, int samples,
-                 std::uint64_t seed)
+// --- Routed checkers ---------------------------------------------------
+
+EquivalenceReport
+checkRoutedDense(const Circuit &logical, const RoutingResult &routing,
+                 int num_physical_qubits,
+                 const EquivalenceOptions &options)
 {
     const int nl = logical.numQubits();
     const int np = num_physical_qubits;
     QAIC_CHECK_LE(nl, np);
+    if (np > options.denseQubitLimit)
+        return report(Verdict::kInconclusive, Method::kDenseSampling,
+                      "register beyond the dense limit");
 
     // Embeds a logical state at the given placement (other qubits |0>).
     auto embed_state = [&](const StateVector &ls,
@@ -173,8 +166,8 @@ routedEquivalent(const Circuit &logical, const RoutingResult &routing,
         return ps;
     };
 
-    for (int s = 0; s < samples; ++s) {
-        StateVector ls = StateVector::random(nl, seed + 31 * s);
+    for (int s = 0; s < options.samples; ++s) {
+        StateVector ls = StateVector::random(nl, options.seed + 31 * s);
         // Expected: run logical circuit, then embed at the final mapping.
         StateVector expected_logical = ls;
         expected_logical.apply(logical);
@@ -183,10 +176,176 @@ routedEquivalent(const Circuit &logical, const RoutingResult &routing,
         // Actual: embed at the initial mapping, run the physical circuit.
         StateVector actual = embed_state(ls, routing.initialMapping);
         actual.apply(routing.physical);
-        if (std::abs(std::abs(expected.overlap(actual)) - 1.0) > tol)
-            return false;
+        if (std::abs(std::abs(expected.overlap(actual)) - 1.0) >
+            options.tol)
+            return report(Verdict::kNotEquivalent,
+                          Method::kDenseSampling);
     }
-    return true;
+    return report(Verdict::kEquivalent, Method::kDenseSampling);
+}
+
+/**
+ * Symbolic routed check. SWAP routing guarantees the exact operator
+ * identity physical = P o embed_init(logical), where P is a qubit
+ * permutation that sends initial[q] to final[q] and shuffles ancillas
+ * among themselves. In rotation form both sides front to the same
+ * rotation sequence (conjugating an axis through the inserted SWAPs
+ * and the relabeling cancel exactly), so the identity reduces to
+ * C_phys o C_embedded^dag being such a permutation.
+ */
+EquivalenceReport
+checkRoutedSymbolic(const Circuit &logical, const RoutingResult &routing,
+                    int num_physical_qubits,
+                    const EquivalenceOptions &options)
+{
+    const int nl = logical.numQubits();
+    const int np = num_physical_qubits;
+    QAIC_CHECK_LE(nl, np);
+    QAIC_CHECK_EQ(routing.physical.numQubits(), np);
+
+    Circuit embedded(np);
+    for (const Gate &g : logical.gates())
+        embedded.add(relabelGate(g, routing.initialMapping));
+
+    RotationForm fp(np), fe(np);
+    if (!buildRotationForm(routing.physical, &fp) ||
+        !buildRotationForm(embedded, &fe))
+        return report(Verdict::kInconclusive, Method::kPauliRotationForm,
+                      "gate outside the rotation-form domain");
+    const bool pure_clifford =
+        fp.rotations.empty() && fe.rotations.empty();
+    const Method method = pure_clifford ? Method::kCliffordTableau
+                                        : Method::kPauliRotationForm;
+    if (!rotationSequencesEquivalent(fp.rotations, fe.rotations,
+                                     options.tol))
+        return report(Verdict::kInconclusive, method,
+                      "fronted rotation sequences differ");
+
+    const Tableau residue =
+        Tableau::composed(fp.clifford, fe.cliffordInverse);
+    std::vector<int> sigma;
+    if (!residue.isQubitPermutation(&sigma))
+        return report(Verdict::kInconclusive, method,
+                      "residual Clifford is not a qubit permutation");
+    for (int q = 0; q < nl; ++q)
+        if (sigma[routing.initialMapping[q]] != routing.finalMapping[q])
+            return report(Verdict::kNotEquivalent, method,
+                          "permutation disagrees with the final mapping");
+    return report(Verdict::kEquivalent, method);
+}
+
+} // namespace
+
+EquivalenceReport
+analyzeCircuitsEquivalent(const Circuit &a, const Circuit &b,
+                          const EquivalenceOptions &options)
+{
+    if (a.numQubits() != b.numQubits())
+        return report(Verdict::kNotEquivalent, Method::kNone,
+                      "register sizes differ");
+
+    switch (options.force) {
+      case Method::kExactUnitary:
+        return checkExactUnitary(a, b, options);
+      case Method::kDiagonalPropagator:
+        return checkDiagonal(a, b, options);
+      case Method::kCliffordTableau:
+        return checkClifford(a, b,
+                             classifyCircuit(a).clifford &&
+                                 classifyCircuit(b).clifford);
+      case Method::kPauliRotationForm:
+        return checkRotationForm(a, b, options);
+      case Method::kDenseSampling:
+        return checkDenseSampling(a, b, options);
+      case Method::kNone:
+        break;
+    }
+
+    if (a.numQubits() <= options.maxExactQubits)
+        return checkExactUnitary(a, b, options);
+
+    const CircuitClass ca = classifyCircuit(a);
+    const CircuitClass cb = classifyCircuit(b);
+    if (ca.diagonalAffine && cb.diagonalAffine &&
+        a.numQubits() <= PhasePolynomial::kMaxQubits)
+        return checkDiagonal(a, b, options);
+    if (ca.clifford && cb.clifford)
+        return checkClifford(a, b, /*both_clifford=*/true);
+    if (ca.pauliRotation && cb.pauliRotation) {
+        EquivalenceReport r = checkRotationForm(a, b, options);
+        if (r.verdict != Verdict::kInconclusive)
+            return r;
+        // The canonical form is sound but not complete: fall back to
+        // dense sampling where the register allows it.
+        if (a.numQubits() <= options.denseQubitLimit) {
+            EquivalenceReport dense = checkDenseSampling(a, b, options);
+            dense.note = "rotation form inconclusive (" + r.note + ")";
+            return dense;
+        }
+        return r;
+    }
+    return checkDenseSampling(a, b, options);
+}
+
+EquivalenceReport
+analyzeRoutedEquivalent(const Circuit &logical,
+                        const RoutingResult &routing,
+                        int num_physical_qubits,
+                        const EquivalenceOptions &options)
+{
+    switch (options.force) {
+      case Method::kDenseSampling:
+        return checkRoutedDense(logical, routing, num_physical_qubits,
+                                options);
+      case Method::kCliffordTableau:
+      case Method::kPauliRotationForm:
+        return checkRoutedSymbolic(logical, routing,
+                                   num_physical_qubits, options);
+      case Method::kNone:
+        break;
+      default:
+        QAIC_PANIC() << "unsupported forced routed method "
+                     << equivalenceMethodName(options.force);
+    }
+    if (num_physical_qubits <= options.maxDenseRoutedQubits)
+        return checkRoutedDense(logical, routing, num_physical_qubits,
+                                options);
+    EquivalenceReport r = checkRoutedSymbolic(
+        logical, routing, num_physical_qubits, options);
+    if (r.verdict == Verdict::kInconclusive &&
+        num_physical_qubits <= options.denseQubitLimit) {
+        EquivalenceReport dense = checkRoutedDense(
+            logical, routing, num_physical_qubits, options);
+        dense.note = "symbolic check inconclusive (" + r.note + ")";
+        return dense;
+    }
+    return r;
+}
+
+bool
+circuitsEquivalent(const Circuit &a, const Circuit &b, double tol,
+                   int max_exact_qubits, int samples, std::uint64_t seed)
+{
+    EquivalenceOptions options;
+    options.tol = tol;
+    options.maxExactQubits = max_exact_qubits;
+    options.samples = samples;
+    options.seed = seed;
+    return analyzeCircuitsEquivalent(a, b, options).equivalent();
+}
+
+bool
+routedEquivalent(const Circuit &logical, const RoutingResult &routing,
+                 int num_physical_qubits, double tol, int samples,
+                 std::uint64_t seed)
+{
+    EquivalenceOptions options;
+    options.tol = tol;
+    options.samples = samples;
+    options.seed = seed;
+    return analyzeRoutedEquivalent(logical, routing, num_physical_qubits,
+                                   options)
+        .equivalent();
 }
 
 PulseVerification

@@ -1,71 +1,129 @@
 /**
  * @file
- * Verification unit (paper Section 3.6).
+ * Verification unit (paper Section 3.6), grown into a layered
+ * equivalence engine.
  *
- * A state-vector simulator stands in for the paper's QuTiP backend:
- * compiled circuits are checked against their sources by exact unitary
- * comparison (small registers) or random-state simulation (large ones);
- * routed circuits are checked modulo the qubit permutations introduced by
- * SWAP insertion; and sampled aggregated instructions are re-synthesized
- * with GRAPE to confirm that the generated control pulses implement the
- * correct unitary.
+ * Compiled programs are checked against their sources by the cheapest
+ * sound method their structure admits:
+ *
+ *  1. exact unitary comparison for tiny registers;
+ *  2. the diagonal-phase propagator (sim/phasepoly.h) for
+ *     affine+diagonal circuits — sound and complete on its domain;
+ *  3. the stabilizer tableau (sim/tableau.h) for Clifford circuits —
+ *     sound and complete, any register width;
+ *  4. the Pauli-rotation canonical form (Clifford tableau + fronted
+ *     rotations in Foata normal form) for mixed circuits — sound at
+ *     any width; a mismatch is inconclusive (two forms can differ yet
+ *     agree as unitaries through angle identities), so the engine
+ *     falls back to
+ *  5. dense random-state simulation (sim/statevector.h, bit-twiddled
+ *     kernels) — sound with high probability, registers to n = 28.
+ *
+ * Routed circuits are checked modulo the qubit permutations introduced
+ * by SWAP insertion, either densely (embedding states at the initial
+ * and final mappings) or symbolically: the routed program must equal a
+ * permutation extending the final mapping composed with the embedded
+ * logical program, which the tableau factor exposes directly. Sampled
+ * aggregated instructions are re-synthesized with GRAPE to confirm the
+ * generated control pulses implement the correct unitary.
  */
 #ifndef QAIC_VERIFY_VERIFY_H
 #define QAIC_VERIFY_VERIFY_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "control/grape.h"
 #include "ir/circuit.h"
 #include "la/cmatrix.h"
 #include "mapping/mapping.h"
+#include "sim/statevector.h"
 
 namespace qaic {
 
-/** Dense state-vector simulator; qubit 0 is the index MSB. */
-class StateVector
+/** Checker that decided an equivalence query. */
+enum class EquivalenceMethod
 {
-  public:
-    /** |0...0> on @p num_qubits qubits. */
-    explicit StateVector(int num_qubits);
-
-    /** Computational basis state |index>. */
-    static StateVector basis(int num_qubits, std::size_t index);
-
-    /** Haar-ish random state (normalized Gaussian amplitudes). */
-    static StateVector random(int num_qubits, std::uint64_t seed);
-
-    int numQubits() const { return numQubits_; }
-    const std::vector<Cmplx> &amplitudes() const { return amps_; }
-
-    /** Replaces the amplitude vector (size must match; near-unit norm). */
-    void setAmplitudes(std::vector<Cmplx> amps);
-
-    /** Applies one gate (any width the register can hold). */
-    void apply(const Gate &gate);
-
-    /** Applies a whole circuit (registers must match). */
-    void apply(const Circuit &circuit);
-
-    /** Applies a k-qubit matrix to the listed qubits (MSB-first order). */
-    void applyMatrix(const CMatrix &u, const std::vector<int> &qubits);
-
-    /** L2 norm (1 for any valid state). */
-    double norm() const;
-
-    /** Inner product <this|other>. */
-    Cmplx overlap(const StateVector &other) const;
-
-  private:
-    int numQubits_;
-    std::vector<Cmplx> amps_;
+    kNone,              ///< No checker could decide.
+    kExactUnitary,      ///< 2^n x 2^n phase-distance comparison.
+    kDiagonalPropagator,///< Phase-polynomial propagation.
+    kCliffordTableau,   ///< Stabilizer tableau comparison.
+    kPauliRotationForm, ///< Tableau + Foata-normal rotation list.
+    kDenseSampling,     ///< Random-state simulation.
 };
+
+/** Name for reports ("exact", "diagonal", "clifford", ...). */
+std::string equivalenceMethodName(EquivalenceMethod method);
+
+/** Three-valued outcome of an equivalence query. */
+enum class EquivalenceVerdict
+{
+    kEquivalent,
+    kNotEquivalent,
+    kInconclusive,
+};
+
+/** Knobs of the equivalence engine. */
+struct EquivalenceOptions
+{
+    /** Numeric tolerance (phase distance, overlap, angles). */
+    double tol = 1e-6;
+    /** Registers up to this size are compared by exact unitary. */
+    int maxExactQubits = 8;
+    /** Random-state samples for the dense path. */
+    int samples = 4;
+    /** Seed of the dense random states. */
+    std::uint64_t seed = 5;
+    /** Largest register the dense fallback will simulate. */
+    int denseQubitLimit = StateVector::kMaxQubits;
+    /**
+     * Registers up to this size use the dense embed check for routed
+     * queries (the historical behaviour); larger ones go symbolic.
+     */
+    int maxDenseRoutedQubits = 16;
+    /** Pin one checker (tests / benchmarks); kNone = auto dispatch. */
+    EquivalenceMethod force = EquivalenceMethod::kNone;
+};
+
+/** Outcome of an equivalence query. */
+struct EquivalenceReport
+{
+    EquivalenceVerdict verdict = EquivalenceVerdict::kInconclusive;
+    EquivalenceMethod method = EquivalenceMethod::kNone;
+    /** Diagnostic ("rotation forms differ", "tableau mismatch", ...). */
+    std::string note;
+
+    bool equivalent() const
+    {
+        return verdict == EquivalenceVerdict::kEquivalent;
+    }
+};
+
+/**
+ * Decides whether two circuits implement the same unitary up to global
+ * phase, dispatching to the cheapest sound checker (see file comment).
+ */
+EquivalenceReport analyzeCircuitsEquivalent(
+    const Circuit &a, const Circuit &b,
+    const EquivalenceOptions &options = {});
+
+/**
+ * Decides whether a routed physical circuit implements the logical
+ * circuit, accounting for the initial placement and the SWAP-induced
+ * final permutation. Symbolic paths verify the stronger exact property
+ * the routers guarantee: physical = (permutation extending the final
+ * mapping) o (logical embedded at the initial mapping).
+ */
+EquivalenceReport analyzeRoutedEquivalent(
+    const Circuit &logical, const RoutingResult &routing,
+    int num_physical_qubits, const EquivalenceOptions &options = {});
 
 /**
  * True if the circuits implement the same unitary up to global phase.
  * Registers up to @p max_exact_qubits are compared exactly; larger ones
- * by @p samples random-state simulations (sound with high probability).
+ * through the engine's fast paths with @p samples random-state
+ * simulations as the fallback (sound with high probability).
  */
 bool circuitsEquivalent(const Circuit &a, const Circuit &b,
                         double tol = 1e-6, int max_exact_qubits = 8,
@@ -74,7 +132,8 @@ bool circuitsEquivalent(const Circuit &a, const Circuit &b,
 /**
  * True if a routed physical circuit implements the logical circuit,
  * accounting for the initial placement and the SWAP-induced final
- * permutation. Checked by random-state simulation.
+ * permutation. Small registers are checked by random-state simulation,
+ * large ones by the symbolic fast paths.
  */
 bool routedEquivalent(const Circuit &logical, const RoutingResult &routing,
                       int num_physical_qubits, double tol = 1e-6,

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end smoke tests for the qaicc command-line driver, run as a
+ * subprocess: flag combinations across topologies/routers/pulse
+ * library/timings must compile a small program and report sane output,
+ * and malformed invocations must be rejected with the usage exit code
+ * rather than crashing.
+ */
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef QAICC_BIN
+#define QAICC_BIN "./qaicc"
+#endif
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+RunResult
+runQaicc(const std::string &args)
+{
+    const std::string command =
+        std::string(QAICC_BIN) + " " + args + " 2>&1";
+    RunResult result;
+    FILE *pipe = popen(command.c_str(), "r");
+    if (!pipe)
+        return result;
+    char buffer[512];
+    while (std::fgets(buffer, sizeof(buffer), pipe))
+        result.output += buffer;
+    const int status = pclose(pipe);
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+/**
+ * Writes a small well-formed program and returns its path. The name is
+ * pid-unique: ctest runs every CliTest case as its own process, and
+ * concurrent cases must not truncate each other's input mid-read.
+ */
+std::string
+sampleProgram()
+{
+    const std::string path =
+        "cli_test_sample_" + std::to_string(getpid()) + ".qasm";
+    std::ofstream out(path);
+    out << "# cli smoke circuit\n"
+           "qubits 4\n"
+           "h q0\n"
+           "cnot q0 q1\n"
+           "rz(0.55) q2\n"
+           "rzz(1.2) q1 q3\n"
+           "cnot q2 q3\n"
+           "t q3\n";
+    return path;
+}
+
+TEST(CliTest, CompilesWithDefaultFlags)
+{
+    RunResult r = runQaicc(sampleProgram());
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("latency"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("est. output fidelity"), std::string::npos);
+}
+
+TEST(CliTest, TopologyRouterMatrixCompiles)
+{
+    const char *topologies[] = {"line", "ring",           "grid",
+                                "heavy-hex", "random-regular", "full"};
+    const char *routers[] = {"baseline", "lookahead"};
+    const std::string program = sampleProgram();
+    for (const char *topology : topologies) {
+        for (const char *router : routers) {
+            RunResult r = runQaicc("--topology " + std::string(topology) +
+                                   " --router " + router + " --verify " +
+                                   program);
+            ASSERT_EQ(r.exitCode, 0)
+                << topology << "/" << router << "\n"
+                << r.output;
+            EXPECT_NE(r.output.find(topology), std::string::npos);
+            EXPECT_NE(r.output.find("backend semantics: OK"),
+                      std::string::npos)
+                << topology << "/" << router;
+        }
+    }
+}
+
+TEST(CliTest, TimingsAndScheduleAndStrategyFlags)
+{
+    const std::string program = sampleProgram();
+    RunResult r = runQaicc("--strategy isa --schedule --timings " +
+                           program);
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("passes:"), std::string::npos);
+    EXPECT_NE(r.output.find("schedule:"), std::string::npos);
+    EXPECT_NE(r.output.find("latency cache:"), std::string::npos);
+}
+
+TEST(CliTest, PulseLibraryRoundTripAcrossRuns)
+{
+    const std::string program = sampleProgram();
+    const std::string lib =
+        "cli_test_pulses_" + std::to_string(getpid()) + ".qplb";
+    std::remove(lib.c_str());
+    RunResult first =
+        runQaicc("--width 2 --pulse-lib " + lib + " --timings " + program);
+    ASSERT_EQ(first.exitCode, 0) << first.output;
+    EXPECT_NE(first.output.find("pulse library:"), std::string::npos);
+    // Second run must load the flushed library file.
+    RunResult second =
+        runQaicc("--width 2 --pulse-lib " + lib + " --timings " + program);
+    ASSERT_EQ(second.exitCode, 0) << second.output;
+    EXPECT_NE(second.output.find("pulse library:"), std::string::npos);
+    std::remove(lib.c_str());
+}
+
+TEST(CliTest, MalformedInvocationsAreRejected)
+{
+    const std::string program = sampleProgram();
+    // Unknown flag, unknown enum values, missing operands: usage (2).
+    EXPECT_EQ(runQaicc("--bogus " + program).exitCode, 2);
+    EXPECT_EQ(runQaicc("--topology moebius " + program).exitCode, 2);
+    EXPECT_EQ(runQaicc("--router psychic " + program).exitCode, 2);
+    EXPECT_EQ(runQaicc("--strategy yolo " + program).exitCode, 2);
+    EXPECT_EQ(runQaicc("--width 1 " + program).exitCode, 2);
+    EXPECT_EQ(runQaicc("").exitCode, 2);
+    EXPECT_EQ(runQaicc(program + " extra.qasm").exitCode, 2);
+    // Unreadable input and malformed programs: clean error (1).
+    EXPECT_EQ(runQaicc("no_such_file.qasm").exitCode, 1);
+    const std::string broken =
+        "cli_test_broken_" + std::to_string(getpid()) + ".qasm";
+    {
+        std::ofstream out(broken);
+        out << "qubits 2\nh q99\n";
+    }
+    RunResult r = runQaicc(broken);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find(broken), std::string::npos) << r.output;
+}
+
+} // namespace

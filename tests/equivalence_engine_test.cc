@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Cross-checker differential tests for the layered equivalence engine:
+ * on ~200 seeded circuits, every checker that claims completeness on a
+ * domain (exact unitary, diagonal propagator, Clifford tableau) must
+ * agree with dense random-state simulation, metamorphic transforms
+ * (adjoint append, commuting reorders, permutation conjugation) must
+ * pass every applicable checker, and mutations must never slip
+ * through. The symbolic routed check is cross-validated against the
+ * dense embed check on the router fuzz corpus.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/decompose.h"
+#include "device/topology.h"
+#include "mapping/mapping.h"
+#include "testing/equivalence.h"
+#include "testing/generators.h"
+#include "verify/classify.h"
+#include "verify/verify.h"
+
+namespace qaic {
+namespace {
+
+using testing::appendAdjoint;
+using testing::commuteAdjacentPairs;
+using testing::conjugateByRandomPermutation;
+using testing::mutateOneGate;
+using testing::randomCircuit;
+using testing::randomCliffordCircuit;
+using testing::randomDiagonalCircuit;
+using testing::randomPauliRotationCircuit;
+
+EquivalenceOptions
+forced(EquivalenceMethod method, double tol = 1e-6)
+{
+    EquivalenceOptions options;
+    options.force = method;
+    options.tol = tol;
+    return options;
+}
+
+TEST(EquivalenceEngineTest, CliffordCheckerAgreesWithDense)
+{
+    for (int seed = 0; seed < 40; ++seed) {
+        const int n = 3 + seed % 4;
+        Circuit c = randomCliffordCircuit(n, 25, 5000 + seed);
+        Circuit reordered = commuteAdjacentPairs(c, 60 + seed);
+        Circuit shuffled = conjugateByRandomPermutation(c, 70 + seed);
+        for (const Circuit *other : {&reordered, &shuffled}) {
+            EXPECT_TRUE(analyzeCircuitsEquivalent(
+                            c, *other,
+                            forced(EquivalenceMethod::kCliffordTableau))
+                            .equivalent())
+                << "seed " << seed;
+            EXPECT_TRUE(analyzeCircuitsEquivalent(
+                            c, *other,
+                            forced(EquivalenceMethod::kDenseSampling))
+                            .equivalent())
+                << "seed " << seed;
+        }
+        // Mutations: the complete checkers must agree with dense.
+        Circuit bad = mutateOneGate(c, 80 + seed);
+        const bool dense_same =
+            analyzeCircuitsEquivalent(
+                c, bad, forced(EquivalenceMethod::kDenseSampling))
+                .equivalent();
+        const auto tableau = analyzeCircuitsEquivalent(
+            c, bad, forced(EquivalenceMethod::kCliffordTableau));
+        if (tableau.verdict != EquivalenceVerdict::kInconclusive)
+            EXPECT_EQ(tableau.equivalent(), dense_same) << "seed " << seed;
+    }
+}
+
+TEST(EquivalenceEngineTest, DiagonalPropagatorAgreesWithDense)
+{
+    for (int seed = 0; seed < 40; ++seed) {
+        const int n = 3 + seed % 4;
+        Circuit c = randomDiagonalCircuit(n, 30, 6000 + seed);
+        Circuit reordered = commuteAdjacentPairs(c, 61 + seed);
+        Circuit shuffled = conjugateByRandomPermutation(c, 71 + seed);
+        for (const Circuit *other : {&reordered, &shuffled}) {
+            EXPECT_TRUE(
+                analyzeCircuitsEquivalent(
+                    c, *other,
+                    forced(EquivalenceMethod::kDiagonalPropagator))
+                    .equivalent())
+                << "seed " << seed;
+            EXPECT_TRUE(analyzeCircuitsEquivalent(
+                            c, *other,
+                            forced(EquivalenceMethod::kDenseSampling))
+                            .equivalent())
+                << "seed " << seed;
+        }
+        Circuit bad = mutateOneGate(c, 81 + seed);
+        const bool dense_same =
+            analyzeCircuitsEquivalent(
+                c, bad, forced(EquivalenceMethod::kDenseSampling))
+                .equivalent();
+        EXPECT_EQ(analyzeCircuitsEquivalent(
+                      c, bad,
+                      forced(EquivalenceMethod::kDiagonalPropagator))
+                      .equivalent(),
+                  dense_same)
+            << "seed " << seed;
+    }
+}
+
+TEST(EquivalenceEngineTest, RotationFormSoundOnMixedCircuits)
+{
+    for (int seed = 0; seed < 60; ++seed) {
+        const int n = 3 + seed % 4;
+        Circuit c = randomPauliRotationCircuit(n, 25, 7000 + seed);
+        Circuit reordered = commuteAdjacentPairs(c, 62 + seed);
+        Circuit shuffled = conjugateByRandomPermutation(c, 72 + seed);
+        for (const Circuit *other : {&reordered, &shuffled}) {
+            EXPECT_TRUE(
+                analyzeCircuitsEquivalent(
+                    c, *other,
+                    forced(EquivalenceMethod::kPauliRotationForm))
+                    .equivalent())
+                << "seed " << seed;
+            EXPECT_TRUE(analyzeCircuitsEquivalent(
+                            c, *other,
+                            forced(EquivalenceMethod::kDenseSampling))
+                            .equivalent())
+                << "seed " << seed;
+        }
+        // Soundness: a mutated circuit must never be claimed
+        // equivalent (inconclusive is acceptable, kEquivalent is not).
+        Circuit bad = mutateOneGate(c, 82 + seed);
+        ASSERT_FALSE(
+            analyzeCircuitsEquivalent(
+                c, bad, forced(EquivalenceMethod::kDenseSampling))
+                .equivalent())
+            << "seed " << seed;
+        EXPECT_FALSE(
+            analyzeCircuitsEquivalent(
+                c, bad, forced(EquivalenceMethod::kPauliRotationForm))
+                .equivalent())
+            << "seed " << seed;
+    }
+}
+
+TEST(EquivalenceEngineTest, AdjointAppendCollapsesToIdentity)
+{
+    for (int seed = 0; seed < 20; ++seed) {
+        const int n = 3 + seed % 3;
+        Circuit c = randomCircuit(n, 20, 7500 + seed);
+        Circuit empty(n);
+        EXPECT_TRUE(analyzeCircuitsEquivalent(
+                        appendAdjoint(c), empty,
+                        forced(EquivalenceMethod::kPauliRotationForm))
+                        .equivalent())
+            << "seed " << seed;
+    }
+}
+
+TEST(EquivalenceEngineTest, AutoDispatchPicksTheCheapestSoundChecker)
+{
+    // Small registers: exact unitary.
+    Circuit small = randomCircuit(4, 15, 1);
+    EXPECT_EQ(analyzeCircuitsEquivalent(small, small).method,
+              EquivalenceMethod::kExactUnitary);
+    // Wide diagonal structure: the phase propagator.
+    Circuit diag = randomDiagonalCircuit(12, 40, 2);
+    EXPECT_EQ(analyzeCircuitsEquivalent(diag, diag).method,
+              EquivalenceMethod::kDiagonalPropagator);
+    // Wide Clifford: the stabilizer tableau.
+    Circuit cliff = randomCliffordCircuit(12, 40, 3);
+    EXPECT_EQ(analyzeCircuitsEquivalent(cliff, cliff).method,
+              EquivalenceMethod::kCliffordTableau);
+    // Wide mixed: the rotation form.
+    Circuit mixed = randomPauliRotationCircuit(12, 40, 4);
+    EXPECT_EQ(analyzeCircuitsEquivalent(mixed, mixed).method,
+              EquivalenceMethod::kPauliRotationForm);
+}
+
+TEST(EquivalenceEngineTest, ToffoliExpansionMatchesDecomposition)
+{
+    Circuit c(4);
+    c.add(makeH(0));
+    c.add(makeCcx(0, 1, 2));
+    c.add(makeRz(3, 0.4));
+    c.add(makeCcx(1, 2, 3));
+    Circuit lowered = decomposeCcx(c);
+    EXPECT_TRUE(analyzeCircuitsEquivalent(
+                    c, lowered,
+                    forced(EquivalenceMethod::kPauliRotationForm))
+                    .equivalent());
+    EXPECT_TRUE(analyzeCircuitsEquivalent(
+                    c, lowered, forced(EquivalenceMethod::kExactUnitary))
+                    .equivalent());
+}
+
+TEST(EquivalenceEngineTest, DiagonalAggregatesStayInDomain)
+{
+    // An aggregated diagonal block must flow through the propagator
+    // exactly like its member list.
+    Circuit flat = randomDiagonalCircuit(6, 18, 99);
+    Circuit packed(6);
+    std::vector<Gate> chunk;
+    for (const Gate &g : flat.gates()) {
+        chunk.push_back(g);
+        if (chunk.size() == 6) {
+            packed.add(makeAggregate(chunk, "blk", /*eager=*/0));
+            chunk.clear();
+        }
+    }
+    for (const Gate &g : chunk)
+        packed.add(g);
+    EXPECT_TRUE(classifyCircuit(packed).diagonalAffine);
+    EXPECT_TRUE(analyzeCircuitsEquivalent(
+                    flat, packed,
+                    forced(EquivalenceMethod::kDiagonalPropagator))
+                    .equivalent());
+}
+
+TEST(EquivalenceEngineTest, SymbolicRoutedCheckMatchesDenseOnFuzzCorpus)
+{
+    for (int seed = 0; seed < 40; ++seed) {
+        const int width = 3 + seed % 4;
+        Circuit c = randomCircuit(width, 14 + seed % 9, 9000 + seed);
+        for (Topology topology : {Topology::kGrid, Topology::kHeavyHex}) {
+            DeviceModel device =
+                deviceForTopology(topology, c.numQubits(), 11 + seed);
+            auto placement = initialPlacement(c, device);
+            for (RouterKind router :
+                 {RouterKind::kBaseline, RouterKind::kLookahead}) {
+                RoutingOptions options;
+                options.router = router;
+                RoutingResult routing =
+                    routeOnDevice(c, device, placement, options);
+                const auto symbolic = analyzeRoutedEquivalent(
+                    c, routing, device.numQubits(),
+                    forced(EquivalenceMethod::kPauliRotationForm));
+                EXPECT_TRUE(symbolic.equivalent())
+                    << "seed " << seed << " "
+                    << topologyName(topology) << "/"
+                    << routerName(router) << ": " << symbolic.note;
+                EXPECT_TRUE(analyzeRoutedEquivalent(
+                                c, routing, device.numQubits(),
+                                forced(EquivalenceMethod::kDenseSampling))
+                                .equivalent())
+                    << "seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(EquivalenceEngineTest, SymbolicRoutedCheckRejectsTampering)
+{
+    Circuit c = randomCircuit(5, 18, 12345);
+    DeviceModel device = deviceForTopology(Topology::kGrid, 5);
+    auto placement = initialPlacement(c, device);
+    RoutingResult routing = routeOnDevice(c, device, placement);
+
+    // Corrupt the stream with one stray Clifford gate.
+    RoutingResult corrupted = routing;
+    corrupted.physical.add(makeX(0));
+    EXPECT_FALSE(analyzeRoutedEquivalent(
+                     c, corrupted, device.numQubits(),
+                     forced(EquivalenceMethod::kPauliRotationForm))
+                     .equivalent());
+    EXPECT_FALSE(analyzeRoutedEquivalent(
+                     c, corrupted, device.numQubits(),
+                     forced(EquivalenceMethod::kDenseSampling))
+                     .equivalent());
+
+    // Corrupt an angle.
+    RoutingResult detuned = routing;
+    for (Gate &g : detuned.physical.mutableGates())
+        if (!g.params.empty()) {
+            g.params[0] += 0.25;
+            break;
+        }
+    EXPECT_FALSE(analyzeRoutedEquivalent(
+                     c, detuned, device.numQubits(),
+                     forced(EquivalenceMethod::kPauliRotationForm))
+                     .equivalent());
+
+    // Corrupt the final mapping.
+    RoutingResult remapped = routing;
+    std::swap(remapped.finalMapping[0], remapped.finalMapping[1]);
+    EXPECT_FALSE(analyzeRoutedEquivalent(
+                     c, remapped, device.numQubits(),
+                     forced(EquivalenceMethod::kPauliRotationForm))
+                     .equivalent());
+}
+
+} // namespace
+} // namespace qaic

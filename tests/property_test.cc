@@ -20,7 +20,7 @@
 #include "mapping/mapping.h"
 #include "oracle/oracle.h"
 #include "schedule/schedule.h"
-#include "test_util.h"
+#include "testing/generators.h"
 #include "verify/verify.h"
 
 namespace qaic {

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Full-scale routed equivalence: the paper's large workloads, routed
+ * at their real register sizes (n = 60 Ising, n = 30 QAOA) across
+ * every topology family and both routers, are verified end to end by
+ * the symbolic fast paths — registers far beyond any dense simulation
+ * (2^60 amplitudes), checked in milliseconds via the Pauli-rotation
+ * canonical form. This is the coverage the dense-only seed engine
+ * could never provide: before this engine, routed circuits above ~20
+ * qubits were simply never equivalence-checked.
+ */
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "compiler/decompose.h"
+#include "device/topology.h"
+#include "mapping/mapping.h"
+#include "verify/verify.h"
+#include "workloads/ising.h"
+#include "workloads/suite.h"
+
+namespace qaic {
+namespace {
+
+void
+expectRoutedAtScale(const Circuit &logical, Topology topology,
+                    RouterKind router)
+{
+    DeviceModel device =
+        deviceForTopology(topology, logical.numQubits());
+    std::vector<int> placement = initialPlacement(logical, device);
+    RoutingOptions options;
+    options.router = router;
+    RoutingResult routing =
+        routeOnDevice(logical, device, placement, options);
+
+    EquivalenceReport report =
+        analyzeRoutedEquivalent(logical, routing, device.numQubits());
+    EXPECT_TRUE(report.equivalent())
+        << topologyName(topology) << "/" << routerName(router) << " n="
+        << logical.numQubits() << " (" << report.note << ")";
+    // At these sizes the dense path is impossible: the verdict must
+    // come from a symbolic checker.
+    EXPECT_NE(report.method, EquivalenceMethod::kDenseSampling);
+    EXPECT_NE(report.method, EquivalenceMethod::kExactUnitary);
+}
+
+class IsingN60Sweep
+    : public ::testing::TestWithParam<std::tuple<Topology, RouterKind>>
+{
+};
+
+TEST_P(IsingN60Sweep, RoutedEquivalentAtFullScale)
+{
+    const auto [topology, router] = GetParam();
+    expectRoutedAtScale(isingChain(60), topology, router);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, IsingN60Sweep,
+    ::testing::Combine(
+        ::testing::Values(Topology::kLine, Topology::kRing,
+                          Topology::kGrid, Topology::kHeavyHex,
+                          Topology::kRandomRegular, Topology::kFull),
+        ::testing::Values(RouterKind::kBaseline,
+                          RouterKind::kLookahead)),
+    [](const auto &info) {
+        std::string name = topologyName(std::get<0>(info.param)) + "_" +
+                           routerName(std::get<1>(info.param));
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+TEST(RoutedScaleTest, LargeSuiteWorkloadsVerifyOnHardTopologies)
+{
+    // The QAOA workloads add Rx mixer layers (non-Clifford,
+    // non-diagonal) — exactly the mixed structure the rotation form
+    // exists for. Grover/UCCSD members stay dense-checkable and are
+    // covered by the fuzz suites; here we take every suite workload
+    // with n >= 20 at full scale.
+    int covered = 0;
+    for (const BenchmarkSpec &spec : paperBenchmarkSuite(1.0)) {
+        if (spec.circuit.numQubits() < 20)
+            continue;
+        ++covered;
+        Circuit lowered = decomposeCcx(spec.circuit);
+        for (Topology topology :
+             {Topology::kGrid, Topology::kHeavyHex}) {
+            for (RouterKind router :
+                 {RouterKind::kBaseline, RouterKind::kLookahead}) {
+                expectRoutedAtScale(lowered, topology, router);
+            }
+        }
+    }
+    EXPECT_GE(covered, 4); // MAXCUT-line/reg4/cluster, Ising-n30/n60
+}
+
+TEST(RoutedScaleTest, TopologyNamesUniqueInSweep)
+{
+    // Guard the INSTANTIATE name lambda: gtest silently drops
+    // duplicate parameterized names.
+    std::vector<std::string> names;
+    for (Topology t :
+         {Topology::kLine, Topology::kRing, Topology::kGrid,
+          Topology::kHeavyHex, Topology::kRandomRegular,
+          Topology::kFull})
+        names.push_back(topologyName(t));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+} // namespace
+} // namespace qaic

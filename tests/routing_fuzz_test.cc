@@ -16,7 +16,7 @@
 #include "compiler/compiler.h"
 #include "device/topology.h"
 #include "mapping/mapping.h"
-#include "test_util.h"
+#include "testing/generators.h"
 #include "verify/verify.h"
 
 namespace qaic {

@@ -1,7 +1,9 @@
 /**
  * @file
  * Shared helpers for the QAIC test suite: random matrices and common
- * gate constants.
+ * gate constants. Circuit generators live in the library proper
+ * (testing/generators.h, included here for compatibility) so fuzz,
+ * property and benchmark harnesses share one seeded corpus.
  */
 #ifndef QAIC_TESTS_TEST_UTIL_H
 #define QAIC_TESTS_TEST_UTIL_H
@@ -10,6 +12,7 @@
 
 #include "ir/circuit.h"
 #include "la/cmatrix.h"
+#include "testing/generators.h"
 #include "util/rng.h"
 
 namespace qaic::testing {
@@ -55,35 +58,6 @@ randomUnitary(std::size_t n, Rng &rng)
             g(r, c) = g(r, c) / norm;
     }
     return g;
-}
-
-/**
- * Random circuit over a mixed gate zoo (1q rotations, H/T, CNOT, CZ,
- * Rzz, SWAP); deterministic per seed. Useful for semantics-preservation
- * property tests.
- */
-inline Circuit
-randomCircuit(int num_qubits, int num_gates, std::uint64_t seed)
-{
-    Rng rng(seed);
-    Circuit c(num_qubits);
-    for (int i = 0; i < num_gates; ++i) {
-        int kind = rng.uniformInt(0, 7);
-        int a = rng.uniformInt(0, num_qubits - 1);
-        int b = (a + 1 + rng.uniformInt(0, num_qubits - 2)) % num_qubits;
-        double theta = rng.uniform(-M_PI, M_PI);
-        switch (kind) {
-          case 0: c.add(makeH(a)); break;
-          case 1: c.add(makeT(a)); break;
-          case 2: c.add(makeRx(a, theta)); break;
-          case 3: c.add(makeRz(a, theta)); break;
-          case 4: c.add(makeCnot(a, b)); break;
-          case 5: c.add(makeCz(a, b)); break;
-          case 6: c.add(makeRzz(a, b, theta)); break;
-          default: c.add(makeSwap(a, b)); break;
-        }
-    }
-    return c;
 }
 
 } // namespace qaic::testing
