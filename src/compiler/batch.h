@@ -14,6 +14,14 @@
  * oracle returns identical values whether a key was cached or not, so a
  * batch run matches the sequential Compiler::compile output exactly,
  * regardless of thread count or scheduling.
+ *
+ * Concurrency discipline (exercised by tests/tsan_soak_test.cc under
+ * the TSan CI job): workers claim job indices from one shared atomic
+ * and write only results[i] for indices they claimed — disjoint slots,
+ * pre-sized before the fan-out, so no mutex is needed at this layer.
+ * All cross-thread shared state lives behind the internally-
+ * synchronized CachingOracle/PulseLibrary (annotated with the
+ * capability macros of util/thread_annotations.h).
  */
 #ifndef QAIC_COMPILER_BATCH_H
 #define QAIC_COMPILER_BATCH_H

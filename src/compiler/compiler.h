@@ -76,6 +76,17 @@ std::string strategyName(Strategy strategy);
 bool strategyFromName(const std::string &name, Strategy *strategy);
 
 /**
+ * Default for CompilerOptions::checkInvariants: Debug builds verify
+ * pass contracts on every compile, optimized builds opt in explicitly
+ * (CLI `--check-invariants`) to keep hot-path compiles verifier-free.
+ */
+#ifdef NDEBUG
+inline constexpr bool kCheckInvariantsDefault = false;
+#else
+inline constexpr bool kCheckInvariantsDefault = true;
+#endif
+
+/**
  * Compiler configuration, as supplied by the user. Before use it is
  * reconciled with the target device by resolveCompilerOptions()
  * (pipeline.h), which overrides model.mu1/mu2 from the device and
@@ -115,6 +126,16 @@ struct CompilerOptions
      * faster with the traffic the library has already served.
      */
     std::string pulseLibraryPath;
+    /**
+     * Verify pass contracts while compiling: before each pass the
+     * pipeline checks that every invariant the pass requires was
+     * established by an earlier pass, and after it re-checks the
+     * invariants now claimed to hold (verify/lint.h), failing with a
+     * report naming the pass, gate index and violated invariant. On by
+     * default in Debug builds; `qaicc --check-invariants` enables it
+     * anywhere. Zero cost when off.
+     */
+    bool checkInvariants = kCheckInvariantsDefault;
 };
 
 /** Everything a compilation run produces. */

@@ -131,15 +131,79 @@ Pipeline::label(Strategy strategy)
     return *this;
 }
 
+namespace {
+
+/**
+ * Re-checks every invariant in @p known against the context's current
+ * artifacts. The structural/lowering bits run over the circuit the
+ * pipeline is currently shaping (working before a backend, physical
+ * after); mapping/coupling/schedule bits dispatch to their dedicated
+ * checkers.
+ */
+LintReport
+verifyContextInvariants(const CompilationContext &context,
+                        InvariantSet known)
+{
+    LintReport report;
+    const Circuit &current =
+        context.backendDone ? context.physical : context.working;
+    lintGates(current, known, &report);
+    if (known & invariantBit(CircuitInvariant::kGdgAcyclic)) {
+        // A fresh checker: the context's one is not ours to mutate
+        // (external checkers are single-threaded-caller property).
+        CommutationChecker checker;
+        lintGdg(current, &checker, &report);
+    }
+    if (known & invariantBit(CircuitInvariant::kMappingConsistent))
+        lintMapping(context.routing, context.device(), &report);
+    if (known & invariantBit(CircuitInvariant::kCouplingLegal))
+        lintCoupling(current, context.device(), &report);
+    if (known & invariantBit(CircuitInvariant::kScheduleConsistent))
+        lintSchedule(context.schedule, context.physical, context.device(),
+                     &report);
+    return report;
+}
+
+} // namespace
+
 CompilationResult
 Pipeline::compile(const Circuit &logical,
                   CompilationContext &context) const
 {
     context.reset(logical, label_);
+    const bool check = context.options().checkInvariants;
+    InvariantSet known = kNoInvariants;
+    if (check) {
+        known = kStructuralInvariants |
+                invariantBit(CircuitInvariant::kGdgAcyclic);
+        LintReport report = verifyContextInvariants(context, known);
+        if (!report.ok())
+            QAIC_FATAL() << "invariant violation in the input circuit:\n"
+                         << report.toString();
+    }
     for (const std::unique_ptr<Pass> &pass : passes_) {
+        if (check) {
+            const InvariantSet missing =
+                pass->requiredInvariants() & ~known;
+            if (missing != kNoInvariants)
+                QAIC_FATAL()
+                    << "pipeline contract violation: pass '"
+                    << pass->name() << "' requires "
+                    << invariantSetNames(missing)
+                    << " which no earlier pass established";
+        }
         auto t0 = std::chrono::steady_clock::now();
         pass->run(context);
         auto t1 = std::chrono::steady_clock::now();
+        if (check) {
+            known = (known & pass->preservedInvariants()) |
+                    pass->establishedInvariants();
+            LintReport report = verifyContextInvariants(context, known);
+            if (!report.ok())
+                QAIC_FATAL() << "invariant violation after pass '"
+                             << pass->name() << "':\n"
+                             << report.toString();
+        }
         PassMetrics m;
         m.pass = pass->name();
         m.wallMs =

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "compiler/compiler.h"
+#include "verify/lint.h"
 
 namespace qaic {
 
@@ -151,7 +152,18 @@ class CompilationContext
     CommutationChecker *checker_ = nullptr;
 };
 
-/** One compilation stage. Implementations must be reusable across runs. */
+/**
+ * One compilation stage. Implementations must be reusable across runs.
+ *
+ * Besides name() and run(), every pass declares a contract over the
+ * CircuitInvariant catalogue (verify/lint.h). Pipeline::compile checks
+ * it when CompilerOptions::checkInvariants is set: before the pass, the
+ * required set must be covered by the invariants known to hold; after
+ * it, the known set becomes (known & preserved) | established and every
+ * bit in it is re-verified against the context. (`requiredInvariants`
+ * rather than the more natural `requires` because `requires` is a C++20
+ * keyword.)
+ */
 class Pass
 {
   public:
@@ -162,6 +174,23 @@ class Pass
 
     /** Transforms the context in place. */
     virtual void run(CompilationContext &context) = 0;
+
+    /** Invariants that must hold on entry (default: none). */
+    virtual InvariantSet requiredInvariants() const { return kNoInvariants; }
+
+    /** Invariants guaranteed to hold on exit regardless of entry state
+     *  (default: none). */
+    virtual InvariantSet establishedInvariants() const
+    {
+        return kNoInvariants;
+    }
+
+    /** Invariants that survive the pass if they held on entry (default:
+     *  all — override when a pass invalidates earlier guarantees). */
+    virtual InvariantSet preservedInvariants() const
+    {
+        return kAllInvariants;
+    }
 };
 
 /**
@@ -210,6 +239,13 @@ class Pipeline
      * The context's artifacts are reset first; its services (oracle,
      * checker) persist across calls, so repeated compiles share
      * latency caches exactly like the legacy Compiler.
+     *
+     * When CompilerOptions::checkInvariants is set, pass contracts are
+     * verified: the input circuit is linted, each pass's required set
+     * must be covered by the invariants known to hold, and after every
+     * pass the known set — (known & preserved) | established — is
+     * re-verified against the context. Violations fail the process
+     * with a report naming the pass, gate index and invariant.
      */
     CompilationResult compile(const Circuit &logical,
                               CompilationContext &context) const;
@@ -238,6 +274,18 @@ class FrontendLoweringPass : public Pass
   public:
     std::string name() const override { return "frontend-lowering"; }
     void run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants;
+    }
+
+    InvariantSet
+    establishedInvariants() const override
+    {
+        return invariantBit(CircuitInvariant::kFullyLowered);
+    }
 };
 
 /**
@@ -258,6 +306,17 @@ class ClsFrontendPass : public Pass
     std::string name() const override { return "cls-frontend"; }
     void run(CompilationContext &context) override;
 
+    InvariantSet
+    requiredInvariants() const override
+    {
+        // Commutation groups are built over lowered gates; diagonal-
+        // block contraction emits aggregates, so structural soundness
+        // must already hold.
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered) |
+               invariantBit(CircuitInvariant::kGdgAcyclic);
+    }
+
   private:
     int maxBlockWidth_;
 };
@@ -274,6 +333,20 @@ class MappingPass : public Pass
   public:
     std::string name() const override { return "mapping"; }
     void run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered);
+    }
+
+    InvariantSet
+    establishedInvariants() const override
+    {
+        return invariantBit(CircuitInvariant::kMappingConsistent) |
+               invariantBit(CircuitInvariant::kCouplingLegal);
+    }
 };
 
 /**
@@ -296,6 +369,14 @@ class GateBackendPass : public Pass
     }
     void run(CompilationContext &context) override;
 
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered) |
+               invariantBit(CircuitInvariant::kCouplingLegal);
+    }
+
   private:
     bool handOptimize_;
 };
@@ -310,6 +391,17 @@ class AggregationBackendPass : public Pass
   public:
     std::string name() const override { return "aggregation-backend"; }
     void run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        // Aggregation merges along commutation groups, so it also
+        // depends on a coherent gate dependence graph.
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered) |
+               invariantBit(CircuitInvariant::kCouplingLegal) |
+               invariantBit(CircuitInvariant::kGdgAcyclic);
+    }
 };
 
 /** Program-order ASAP scheduling of the physical instruction stream. */
@@ -318,6 +410,19 @@ class AsapSchedulePass : public Pass
   public:
     std::string name() const override { return "schedule-asap"; }
     void run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kCouplingLegal);
+    }
+
+    InvariantSet
+    establishedInvariants() const override
+    {
+        return invariantBit(CircuitInvariant::kScheduleConsistent);
+    }
 };
 
 /** Commutativity-aware list scheduling of the physical stream (Alg. 1). */
@@ -326,6 +431,19 @@ class ClsSchedulePass : public Pass
   public:
     std::string name() const override { return "schedule-cls"; }
     void run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kCouplingLegal);
+    }
+
+    InvariantSet
+    establishedInvariants() const override
+    {
+        return invariantBit(CircuitInvariant::kScheduleConsistent);
+    }
 };
 
 } // namespace qaic

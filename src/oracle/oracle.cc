@@ -486,7 +486,7 @@ CachingOracle::latencyNs(const Gate &gate)
                                         : structuralFingerprint(gate);
     Shard &shard = shardFor(key);
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         auto it = shard.cache.find(key);
         if (it != shard.cache.end()) {
             ++shard.hits;
@@ -528,7 +528,7 @@ CachingOracle::latencyNs(const Gate &gate)
             library_->insert(key, std::move(entry));
         }
     }
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     inflight_.fetch_sub(1);
     if (from_library)
         ++shard.libraryHits;
@@ -567,9 +567,9 @@ CachingOracle::stats() const
     // in index order) while the counters are read, so hits/misses/
     // entries can never disagree mid-flight the way the old per-getter
     // locking allowed.
-    std::array<std::unique_lock<std::mutex>, kShards> locks;
+    std::array<std::unique_lock<Mutex>, kShards> locks;
     for (std::size_t i = 0; i < kShards; ++i)
-        locks[i] = std::unique_lock<std::mutex>(shards_[i].mutex);
+        locks[i] = std::unique_lock<Mutex>(shards_[i].mutex);
     Stats s;
     for (const Shard &shard : shards_) {
         s.hits += shard.hits;

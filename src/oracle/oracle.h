@@ -41,6 +41,7 @@
 #include "ir/gate.h"
 #include "la/cmatrix.h"
 #include "oracle/pulselib.h"
+#include "util/thread_annotations.h"
 
 namespace qaic {
 
@@ -319,18 +320,21 @@ class CachingOracle : public LatencyOracle
      * Aggregated over all shards under every shard lock at once (taken
      * in index order), so the returned counters are mutually consistent
      * — hits/misses/entries can never disagree mid-flight the way
-     * independently-locked getters could.
+     * independently-locked getters could. Locking an array of mutexes
+     * in a loop is beyond the static analysis, hence the opt-out; the
+     * fixed index order keeps it deadlock-free.
      */
-    Stats stats() const;
+    Stats stats() const QAIC_NO_THREAD_SAFETY_ANALYSIS;
 
   private:
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<std::string, double> cache;
-        std::size_t hits = 0;
-        std::size_t misses = 0;
-        std::size_t libraryHits = 0;
+        mutable Mutex mutex;
+        std::unordered_map<std::string, double> cache
+            QAIC_GUARDED_BY(mutex);
+        std::size_t hits QAIC_GUARDED_BY(mutex) = 0;
+        std::size_t misses QAIC_GUARDED_BY(mutex) = 0;
+        std::size_t libraryHits QAIC_GUARDED_BY(mutex) = 0;
     };
 
     Shard &shardFor(const std::string &key);

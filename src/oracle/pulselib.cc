@@ -122,7 +122,7 @@ PulseLibrary::~PulseLibrary()
         return;
     bool dirty = false;
     {
-        std::lock_guard<std::mutex> lock(dirtyMutex_);
+        MutexLock lock(dirtyMutex_);
         dirty = dirty_ > 0;
     }
     if (dirty)
@@ -154,7 +154,7 @@ PulseLibrary::lookup(const std::string &key, const std::string &origin)
 {
     const std::string record = recordKey(key, origin);
     Shard &shard = shardFor(record);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.entries.find(record);
     if (it == shard.entries.end()) {
         ++shard.misses;
@@ -169,7 +169,7 @@ PulseLibrary::peek(const std::string &key, const std::string &origin) const
 {
     const std::string record = recordKey(key, origin);
     const Shard &shard = shardFor(record);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.entries.find(record);
     if (it == shard.entries.end())
         return std::nullopt;
@@ -200,7 +200,7 @@ PulseLibrary::insert(const std::string &key, PulseLibraryEntry entry)
     Shard &shard = shardFor(record);
     bool stored = false;
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         stored = mergeEntry(shard.entries, record, std::move(entry));
         if (stored)
             ++shard.stores;
@@ -209,7 +209,7 @@ PulseLibrary::insert(const std::string &key, PulseLibraryEntry entry)
     // draw on load()-time entries, so concurrent workers' insert order
     // can never change another compilation's result.
     if (stored) {
-        std::lock_guard<std::mutex> lock(dirtyMutex_);
+        MutexLock lock(dirtyMutex_);
         ++dirty_;
     }
 }
@@ -220,7 +220,7 @@ PulseLibrary::nearest(const std::string &shape_key)
     std::string exemplar;
     {
         Shard &shard = shardFor(shape_key);
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         auto it = shard.shapes.find(shape_key);
         if (it == shard.shapes.end())
             return std::nullopt;
@@ -229,7 +229,7 @@ PulseLibrary::nearest(const std::string &shape_key)
     std::optional<PulseLibraryEntry> entry = peek(exemplar);
     if (entry && entry->hasWaveforms()) {
         Shard &shard = shardFor(shape_key);
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         ++shard.warmStarts;
         return entry;
     }
@@ -241,7 +241,7 @@ PulseLibrary::snapshot() const
 {
     std::vector<std::pair<std::string, PulseLibraryEntry>> out;
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         for (const auto &[key, entry] : shard.entries)
             out.emplace_back(key, entry);
     }
@@ -261,7 +261,7 @@ PulseLibrary::mergeLoaded(
         Shard &shard = shardFor(key);
         bool stored = false;
         {
-            std::lock_guard<std::mutex> lock(shard.mutex);
+            MutexLock lock(shard.mutex);
             // Disk entries never replace richer in-memory ones; they do
             // fill gaps and upgrade latency-only records to full pulses.
             auto it = shard.entries.find(key);
@@ -280,7 +280,7 @@ PulseLibrary::mergeLoaded(
             // nearest() touches exactly one mutex; only disk-loaded
             // entries land here (see nearest() docs).
             Shard &sshard = shardFor(shape);
-            std::lock_guard<std::mutex> lock(sshard.mutex);
+            MutexLock lock(sshard.mutex);
             sshard.shapes.emplace(shape, key); // first exemplar wins
         }
     }
@@ -396,7 +396,7 @@ PulseLibrary::load()
         return false;
     std::unordered_map<std::string, PulseLibraryEntry> incoming;
     {
-        std::lock_guard<std::mutex> io(ioMutex_);
+        MutexLock io(ioMutex_);
         std::ifstream in(path_, std::ios::binary);
         if (!in)
             return false;
@@ -423,7 +423,7 @@ PulseLibrary::flush()
 {
     if (path_.empty())
         return true;
-    std::lock_guard<std::mutex> io(ioMutex_);
+    MutexLock io(ioMutex_);
     // Fold in what a concurrent process flushed since we last read, so
     // the rename below does not lose its work.
     {
@@ -438,7 +438,7 @@ PulseLibrary::flush()
     }
     if (!writeAtomic(path_, serialize(snapshot())))
         return false;
-    std::lock_guard<std::mutex> lock(dirtyMutex_);
+    MutexLock lock(dirtyMutex_);
     dirty_ = 0;
     return true;
 }
@@ -447,7 +447,7 @@ PulseLibrary::Stats
 PulseLibrary::stats() const
 {
     // Lock every shard (in index order) for a consistent snapshot.
-    std::vector<std::unique_lock<std::mutex>> locks;
+    std::vector<std::unique_lock<Mutex>> locks;
     locks.reserve(shards_.size());
     for (const Shard &shard : shards_)
         locks.emplace_back(shard.mutex);

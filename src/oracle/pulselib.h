@@ -42,6 +42,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace qaic {
 
 /** One stored synthesis result. Waveform-less entries are latency-only. */
@@ -177,7 +179,12 @@ class PulseLibrary
         std::size_t loaded = 0;
     };
 
-    Stats stats() const;
+    /**
+     * Consistent counter snapshot under every shard lock at once (index
+     * order). Holding a vector of locks is beyond the static analysis,
+     * hence the opt-out; the fixed order keeps it deadlock-free.
+     */
+    Stats stats() const QAIC_NO_THREAD_SAFETY_ANALYSIS;
 
     /** Distinct keys currently in memory. */
     std::size_t size() const;
@@ -185,15 +192,17 @@ class PulseLibrary
   private:
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<std::string, PulseLibraryEntry> entries;
+        mutable Mutex mutex;
+        std::unordered_map<std::string, PulseLibraryEntry> entries
+            QAIC_GUARDED_BY(mutex);
         /** shapeKey -> exemplar primary key (first waveform entry). */
-        std::unordered_map<std::string, std::string> shapes;
-        std::size_t hits = 0;
-        std::size_t misses = 0;
-        std::size_t stores = 0;
-        std::size_t warmStarts = 0;
-        std::size_t loaded = 0;
+        std::unordered_map<std::string, std::string> shapes
+            QAIC_GUARDED_BY(mutex);
+        std::size_t hits QAIC_GUARDED_BY(mutex) = 0;
+        std::size_t misses QAIC_GUARDED_BY(mutex) = 0;
+        std::size_t stores QAIC_GUARDED_BY(mutex) = 0;
+        std::size_t warmStarts QAIC_GUARDED_BY(mutex) = 0;
+        std::size_t loaded QAIC_GUARDED_BY(mutex) = 0;
     };
 
     Shard &shardFor(const std::string &key);
@@ -231,10 +240,11 @@ class PulseLibrary
 
     std::string path_;
     std::vector<Shard> shards_;
-    mutable std::mutex ioMutex_;
+    /** Serializes load()/flush()/saveTo() file I/O. */
+    mutable Mutex ioMutex_;
     /** Inserts since the last successful flush (approximate, guarded). */
-    std::size_t dirty_ = 0;
-    mutable std::mutex dirtyMutex_;
+    std::size_t dirty_ QAIC_GUARDED_BY(dirtyMutex_) = 0;
+    mutable Mutex dirtyMutex_;
 };
 
 } // namespace qaic

@@ -9,6 +9,17 @@
  * worker 0 on the calling thread, join. Determinism is the caller's
  * contract: workers must write disjoint outputs, so results are
  * independent of scheduling and thread count.
+ *
+ * Concurrency discipline (checked by the TSan CI job; there are no
+ * mutexes here, so the thread-safety annotations in
+ * util/thread_annotations.h do not apply):
+ *  - work is claimed from a shared std::atomic counter, the only state
+ *    written by more than one worker;
+ *  - everything a worker writes besides that counter must be indexed by
+ *    the claimed element or by the worker id (disjoint writes);
+ *  - thread creation and join give the caller a happens-before edge
+ *    over every worker's writes, so results need no further
+ *    synchronization once runWorkers/parallelFor returns.
  */
 #ifndef QAIC_UTIL_PARALLEL_H
 #define QAIC_UTIL_PARALLEL_H

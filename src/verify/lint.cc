@@ -1,0 +1,531 @@
+#include "verify/lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "gdg/gdg.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+std::string
+invariantName(CircuitInvariant invariant)
+{
+    switch (invariant) {
+      case CircuitInvariant::kQubitRange: return "qubit-range";
+      case CircuitInvariant::kDistinctOperands: return "distinct-operands";
+      case CircuitInvariant::kGateArity: return "gate-arity";
+      case CircuitInvariant::kAggregateWellFormed:
+        return "aggregate-well-formed";
+      case CircuitInvariant::kFullyLowered: return "fully-lowered";
+      case CircuitInvariant::kGdgAcyclic: return "gdg-acyclic";
+      case CircuitInvariant::kMappingConsistent:
+        return "mapping-consistent";
+      case CircuitInvariant::kCouplingLegal: return "coupling-legal";
+      case CircuitInvariant::kScheduleConsistent:
+        return "schedule-consistent";
+    }
+    QAIC_PANIC() << "unhandled invariant bit";
+}
+
+std::string
+invariantSetNames(InvariantSet set)
+{
+    std::string out;
+    for (std::uint32_t bit = 1; bit != 0 && bit <= set; bit <<= 1) {
+        if (!(set & bit))
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += invariantName(static_cast<CircuitInvariant>(bit));
+    }
+    return out;
+}
+
+std::string
+LintFinding::toString() const
+{
+    std::ostringstream out;
+    out << "invariant '" << invariantName(invariant) << "' violated";
+    if (gateIndex >= 0)
+        out << " at gate " << gateIndex;
+    out << ": " << detail;
+    return out.str();
+}
+
+bool
+LintReport::violates(CircuitInvariant invariant) const
+{
+    for (const LintFinding &f : findings)
+        if (f.invariant == invariant)
+            return true;
+    return false;
+}
+
+std::string
+LintReport::toString() const
+{
+    std::string out;
+    for (const LintFinding &f : findings) {
+        out += "  ";
+        out += f.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+LintReport::add(CircuitInvariant invariant, int gate_index,
+                std::string detail)
+{
+    findings.push_back({invariant, gate_index, std::move(detail)});
+}
+
+namespace {
+
+bool
+wants(InvariantSet which, CircuitInvariant invariant)
+{
+    return (which & invariantBit(invariant)) != 0;
+}
+
+/**
+ * Gate-shape checks for one gate (top level or aggregate member).
+ * @param index Top-level gate index reported with every finding.
+ * @param where "" for top-level gates, "member k of ..." for members.
+ */
+void
+lintOneGate(const Gate &gate, int num_qubits, InvariantSet which,
+            int index, const std::string &where, LintReport *report)
+{
+    const std::string at = where.empty() ? gate.name() : where;
+
+    if (wants(which, CircuitInvariant::kQubitRange)) {
+        for (int q : gate.qubits) {
+            if (q < 0 || q >= num_qubits) {
+                std::ostringstream detail;
+                detail << at << " acts on qubit " << q
+                       << " outside register [0, " << num_qubits << ")";
+                report->add(CircuitInvariant::kQubitRange, index,
+                            detail.str());
+            }
+        }
+    }
+
+    if (wants(which, CircuitInvariant::kDistinctOperands)) {
+        std::set<int> seen;
+        for (int q : gate.qubits) {
+            if (!seen.insert(q).second) {
+                std::ostringstream detail;
+                detail << at << " lists qubit " << q << " twice";
+                report->add(CircuitInvariant::kDistinctOperands, index,
+                            detail.str());
+            }
+        }
+    }
+
+    if (gate.kind == GateKind::kAggregate) {
+        // Arity/lowering of an aggregate are defined by its payload;
+        // both are checked (recursively) below.
+        const bool check_agg =
+            wants(which, CircuitInvariant::kAggregateWellFormed);
+        if (gate.payload == nullptr) {
+            if (check_agg ||
+                wants(which, CircuitInvariant::kGateArity)) {
+                report->add(CircuitInvariant::kAggregateWellFormed, index,
+                            at + " has no payload");
+            }
+            return; // Nothing further is checkable.
+        }
+        const AggregatePayload &payload = *gate.payload;
+        if (check_agg) {
+            if (payload.members.empty())
+                report->add(CircuitInvariant::kAggregateWellFormed, index,
+                            at + " has no member gates");
+            if (payload.label.empty())
+                report->add(CircuitInvariant::kAggregateWellFormed, index,
+                            at + " carries no provenance label");
+            if (!std::is_sorted(gate.qubits.begin(), gate.qubits.end()))
+                report->add(CircuitInvariant::kAggregateWellFormed, index,
+                            at + " support is not sorted");
+            std::set<int> member_support;
+            for (const Gate &m : payload.members)
+                member_support.insert(m.qubits.begin(), m.qubits.end());
+            std::vector<int> expected(member_support.begin(),
+                                      member_support.end());
+            if (expected != gate.qubits) {
+                std::ostringstream detail;
+                detail << at << " support does not equal the union of "
+                       << "member supports";
+                report->add(CircuitInvariant::kAggregateWellFormed, index,
+                            detail.str());
+            }
+            if (!payload.matrix.empty()) {
+                const std::size_t dim = std::size_t(1)
+                                        << gate.qubits.size();
+                if (payload.matrix.rows() != dim ||
+                    payload.matrix.cols() != dim) {
+                    std::ostringstream detail;
+                    detail << at << " eager matrix is "
+                           << payload.matrix.rows() << "x"
+                           << payload.matrix.cols() << ", expected "
+                           << dim << "x" << dim;
+                    report->add(CircuitInvariant::kAggregateWellFormed,
+                                index, detail.str());
+                }
+            }
+        }
+        for (std::size_t k = 0; k < payload.members.size(); ++k) {
+            std::ostringstream member_at;
+            member_at << "member " << k << " ("
+                      << payload.members[k].name() << ") of " << at;
+            lintOneGate(payload.members[k], num_qubits, which, index,
+                        member_at.str(), report);
+        }
+        return;
+    }
+
+    if (wants(which, CircuitInvariant::kGateArity)) {
+        const int arity = gateArity(gate.kind);
+        if (gate.width() != arity) {
+            std::ostringstream detail;
+            detail << at << " has " << gate.width() << " operands, kind "
+                   << "expects " << arity;
+            report->add(CircuitInvariant::kGateArity, index, detail.str());
+        }
+        const std::size_t params =
+            static_cast<std::size_t>(gateParamCount(gate.kind));
+        if (gate.params.size() != params) {
+            std::ostringstream detail;
+            detail << at << " has " << gate.params.size()
+                   << " parameters, kind expects " << params;
+            report->add(CircuitInvariant::kGateArity, index, detail.str());
+        }
+    }
+
+    if (wants(which, CircuitInvariant::kFullyLowered)) {
+        if (gate.kind == GateKind::kCcx) {
+            report->add(CircuitInvariant::kFullyLowered, index,
+                        at + " is an un-lowered Toffoli");
+        } else if (gate.width() > 2) {
+            std::ostringstream detail;
+            detail << at << " is " << gate.width()
+                   << " qubits wide; lowering leaves only 1q/2q gates";
+            report->add(CircuitInvariant::kFullyLowered, index,
+                        detail.str());
+        }
+    }
+}
+
+/** The 2q interactions of a gate: its own pair, or each 2q member pair
+ *  of an aggregate. Wider-than-2q non-aggregates yield every operand
+ *  pair (they cannot execute on hardware either way). */
+std::vector<std::pair<int, int>>
+interactionPairs(const Gate &gate)
+{
+    std::vector<std::pair<int, int>> pairs;
+    if (gate.kind == GateKind::kAggregate) {
+        if (gate.payload == nullptr)
+            return pairs;
+        for (const Gate &m : gate.payload->members) {
+            std::vector<std::pair<int, int>> inner = interactionPairs(m);
+            pairs.insert(pairs.end(), inner.begin(), inner.end());
+        }
+        return pairs;
+    }
+    for (std::size_t a = 0; a + 1 < gate.qubits.size(); ++a)
+        for (std::size_t b = a + 1; b < gate.qubits.size(); ++b)
+            pairs.emplace_back(gate.qubits[a], gate.qubits[b]);
+    return pairs;
+}
+
+/** True when every qubit of @p gate (members included) is inside
+ *  [0, num_qubits) — the precondition for indexing device tables. */
+bool
+gateInRange(const Gate &gate, int num_qubits)
+{
+    for (int q : gate.qubits)
+        if (q < 0 || q >= num_qubits)
+            return false;
+    if (gate.kind == GateKind::kAggregate && gate.payload != nullptr) {
+        for (const Gate &m : gate.payload->members)
+            if (!gateInRange(m, num_qubits))
+                return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+lintGates(const Circuit &circuit, InvariantSet which, LintReport *report)
+{
+    QAIC_CHECK(report != nullptr);
+    const std::vector<Gate> &gates = circuit.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i)
+        lintOneGate(gates[i], circuit.numQubits(), which,
+                    static_cast<int>(i), "", report);
+}
+
+void
+lintGdg(const Circuit &circuit, CommutationChecker *checker,
+        LintReport *report)
+{
+    QAIC_CHECK(report != nullptr && checker != nullptr);
+    // Building a Gdg over out-of-range operands would index past the
+    // per-qubit group table; report that as the root cause instead.
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        for (int q : g.qubits) {
+            if (q < 0 || q >= circuit.numQubits()) {
+                std::ostringstream detail;
+                detail << "cannot build the gate dependence graph: "
+                       << g.name() << " acts on qubit " << q
+                       << " outside register [0, " << circuit.numQubits()
+                       << ")";
+                report->add(CircuitInvariant::kGdgAcyclic,
+                            static_cast<int>(i), detail.str());
+                return;
+            }
+        }
+    }
+
+    Gdg gdg(circuit, checker);
+    for (int q = 0; q < circuit.numQubits(); ++q) {
+        // Expected program-order occupancy of qubit q.
+        std::vector<int> expected;
+        for (std::size_t i = 0; i < circuit.size(); ++i)
+            if (circuit.gates()[i].actsOn(q))
+                expected.push_back(static_cast<int>(i));
+
+        std::vector<int> flattened;
+        const auto &groups = gdg.groupsOnQubit(q);
+        for (std::size_t k = 0; k < groups.size(); ++k) {
+            for (int id : groups[k]) {
+                flattened.push_back(id);
+                if (gdg.groupIndexOf(id, q) != static_cast<int>(k)) {
+                    std::ostringstream detail;
+                    detail << "group index of node " << id << " on qubit "
+                           << q << " disagrees with the group table";
+                    report->add(CircuitInvariant::kGdgAcyclic, id,
+                                detail.str());
+                }
+            }
+        }
+        if (flattened != expected) {
+            std::ostringstream detail;
+            detail << "commutation groups on qubit " << q << " hold "
+                   << flattened.size() << " nodes out of program order "
+                   << "or not partitioning the " << expected.size()
+                   << " gates acting on it";
+            report->add(CircuitInvariant::kGdgAcyclic, -1, detail.str());
+        }
+    }
+}
+
+void
+lintCoupling(const Circuit &circuit, const DeviceModel &device,
+             LintReport *report)
+{
+    QAIC_CHECK(report != nullptr);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        if (!gateInRange(g, device.numQubits())) {
+            std::ostringstream detail;
+            detail << g.name() << " touches qubits outside the device "
+                   << "register [0, " << device.numQubits() << ")";
+            report->add(CircuitInvariant::kCouplingLegal,
+                        static_cast<int>(i), detail.str());
+            continue;
+        }
+        for (const auto &[a, b] : interactionPairs(g)) {
+            if (!device.adjacent(a, b)) {
+                std::ostringstream detail;
+                detail << g.name() << " couples qubits " << a << " and "
+                       << b << ", which share no coupler";
+                report->add(CircuitInvariant::kCouplingLegal,
+                            static_cast<int>(i), detail.str());
+            }
+        }
+    }
+}
+
+void
+lintMapping(const RoutingResult &routing, const DeviceModel &device,
+            LintReport *report)
+{
+    QAIC_CHECK(report != nullptr);
+    if (routing.initialMapping.size() != routing.finalMapping.size()) {
+        std::ostringstream detail;
+        detail << "initial mapping covers " << routing.initialMapping.size()
+               << " logical qubits but the final mapping covers "
+               << routing.finalMapping.size();
+        report->add(CircuitInvariant::kMappingConsistent, -1,
+                    detail.str());
+    }
+    auto check_map = [&](const std::vector<int> &map, const char *name) {
+        std::set<int> images;
+        for (std::size_t logical = 0; logical < map.size(); ++logical) {
+            int physical = map[logical];
+            if (physical < 0 || physical >= device.numQubits()) {
+                std::ostringstream detail;
+                detail << name << " maps logical qubit " << logical
+                       << " to " << physical << " outside the device "
+                       << "register [0, " << device.numQubits() << ")";
+                report->add(CircuitInvariant::kMappingConsistent, -1,
+                            detail.str());
+                continue;
+            }
+            if (!images.insert(physical).second) {
+                std::ostringstream detail;
+                detail << name << " maps two logical qubits to physical "
+                       << "qubit " << physical;
+                report->add(CircuitInvariant::kMappingConsistent, -1,
+                            detail.str());
+            }
+        }
+    };
+    check_map(routing.initialMapping, "initial mapping");
+    check_map(routing.finalMapping, "final mapping");
+}
+
+void
+lintSchedule(const Schedule &schedule, const Circuit &physical,
+             const DeviceModel &device, LintReport *report)
+{
+    QAIC_CHECK(report != nullptr);
+    if (schedule.ops.size() != physical.size()) {
+        std::ostringstream detail;
+        detail << "schedule holds " << schedule.ops.size()
+               << " ops for a circuit of " << physical.size()
+               << " instructions";
+        report->add(CircuitInvariant::kScheduleConsistent, -1,
+                    detail.str());
+    }
+
+    // Per-qubit and per-channel occupancy intervals. A channel is the XY
+    // coupler of a 2q interaction; an op conservatively occupies every
+    // channel of its interactions for its whole duration.
+    constexpr double kOverlapEps = 1e-9;
+    std::map<int, std::vector<std::pair<double, double>>> qubit_busy;
+    std::map<std::pair<int, int>,
+             std::vector<std::pair<double, double>>>
+        channel_busy;
+    std::map<int, std::vector<int>> qubit_ops;
+    std::map<std::pair<int, int>, std::vector<int>> channel_ops;
+
+    for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+        const ScheduledOp &op = schedule.ops[i];
+        const int index = static_cast<int>(i);
+        if (!(op.start >= 0.0) || !std::isfinite(op.start) ||
+            !(op.duration >= 0.0) || !std::isfinite(op.duration)) {
+            std::ostringstream detail;
+            detail << op.gate.name() << " scheduled at start "
+                   << op.start << " with duration " << op.duration;
+            report->add(CircuitInvariant::kScheduleConsistent, index,
+                        detail.str());
+            continue;
+        }
+        if (!gateInRange(op.gate, device.numQubits())) {
+            std::ostringstream detail;
+            detail << op.gate.name() << " touches qubits outside the "
+                   << "device register [0, " << device.numQubits() << ")";
+            report->add(CircuitInvariant::kScheduleConsistent, index,
+                        detail.str());
+            continue;
+        }
+        // Half-open intervals: an empty [t, t) slot (zero-latency
+        // virtual rotation) cannot conflict with anything, but its
+        // channel legality is still checked below.
+        const bool occupies = op.duration > kOverlapEps;
+        if (occupies) {
+            for (int q : op.gate.qubits) {
+                qubit_busy[q].emplace_back(op.start, op.finish());
+                qubit_ops[q].push_back(index);
+            }
+        }
+        // Distinct channels only: many members of one aggregate may
+        // drive the same coupler — that is one booking, not a clash.
+        std::set<std::pair<int, int>> channels;
+        for (auto [a, b] : interactionPairs(op.gate)) {
+            if (a > b)
+                std::swap(a, b);
+            if (!device.adjacent(a, b)) {
+                std::ostringstream detail;
+                detail << op.gate.name() << " needs an XY channel on "
+                       << "qubits " << a << "-" << b
+                       << ", which share no coupler";
+                report->add(CircuitInvariant::kScheduleConsistent, index,
+                            detail.str());
+                continue;
+            }
+            channels.insert({a, b});
+        }
+        if (occupies) {
+            for (const auto &channel : channels) {
+                channel_busy[channel].emplace_back(op.start, op.finish());
+                channel_ops[channel].push_back(index);
+            }
+        }
+    }
+
+    auto check_intervals =
+        [&](std::vector<std::pair<double, double>> &intervals,
+            std::vector<int> &ops, const std::string &resource) {
+            // Sort intervals (and their op ids) together by start time.
+            std::vector<std::size_t> order(intervals.size());
+            for (std::size_t k = 0; k < order.size(); ++k)
+                order[k] = k;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return intervals[a].first < intervals[b].first;
+                      });
+            for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+                const auto &cur = intervals[order[k]];
+                const auto &next = intervals[order[k + 1]];
+                if (next.first < cur.second - kOverlapEps) {
+                    std::ostringstream detail;
+                    detail << "ops " << ops[order[k]] << " and "
+                           << ops[order[k + 1]] << " overlap on "
+                           << resource << " ([" << cur.first << ", "
+                           << cur.second << ") vs [" << next.first
+                           << ", " << next.second << "))";
+                    report->add(CircuitInvariant::kScheduleConsistent,
+                                ops[order[k + 1]], detail.str());
+                }
+            }
+        };
+
+    for (auto &[q, intervals] : qubit_busy) {
+        std::ostringstream resource;
+        resource << "qubit " << q;
+        check_intervals(intervals, qubit_ops[q], resource.str());
+    }
+    for (auto &[pair, intervals] : channel_busy) {
+        std::ostringstream resource;
+        resource << "channel xy" << pair.first << "-" << pair.second;
+        check_intervals(intervals, channel_ops[pair], resource.str());
+    }
+}
+
+LintReport
+lintCircuit(const Circuit &circuit, InvariantSet which,
+            const DeviceModel *device)
+{
+    LintReport report;
+    lintGates(circuit, which, &report);
+    if (which & invariantBit(CircuitInvariant::kGdgAcyclic)) {
+        CommutationChecker checker;
+        lintGdg(circuit, &checker, &report);
+    }
+    if ((which & invariantBit(CircuitInvariant::kCouplingLegal)) &&
+        device != nullptr)
+        lintCoupling(circuit, *device, &report);
+    return report;
+}
+
+} // namespace qaic

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * IR verifier: the circuit-invariant catalogue and its checkers.
+ *
+ * The pass pipeline (compiler/pipeline.h) transforms one mutable
+ * CompilationContext through many hands; a pass that leaves the IR in
+ * an illegal state — an out-of-range qubit after a bad relabel, a
+ * coupling-illegal 2q gate after mapping, overlapping schedule slots —
+ * used to surface only as a downstream equivalence failure or crash.
+ * This module closes that gap the way LLVM's module verifier does:
+ * every invariant a pass may rely on is named, checkable in isolation,
+ * and reported with the offending gate index when violated.
+ *
+ * The checkers are plain functions over the IR artifacts (Circuit,
+ * RoutingResult, Schedule, DeviceModel) so they carry no compiler
+ * dependency; the pass-contract layer in compiler/pipeline.{h,cc}
+ * composes them between passes when CompilerOptions::checkInvariants
+ * is set (on by default in Debug builds; `qaicc --check-invariants`).
+ *
+ * To add a new invariant: add an enum bit, a name in invariantName(),
+ * a checker (or extend an existing one), wire it into the pipeline's
+ * verifyContextInvariants dispatch, and declare which passes
+ * require/establish/preserve it (see docs/ARCHITECTURE.md, "Static
+ * analysis").
+ */
+#ifndef QAIC_VERIFY_LINT_H
+#define QAIC_VERIFY_LINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "gdg/commute.h"
+#include "ir/circuit.h"
+#include "mapping/mapping.h"
+#include "schedule/schedule.h"
+
+namespace qaic {
+
+/**
+ * One verifiable property of the IR. Values are bit flags; sets of
+ * invariants are InvariantSet bitmasks.
+ */
+enum class CircuitInvariant : std::uint32_t
+{
+    /** Every qubit index (including aggregate members') is in
+     *  [0, numQubits). */
+    kQubitRange = 1u << 0,
+    /** No gate lists the same qubit operand twice. */
+    kDistinctOperands = 1u << 1,
+    /** Operand and parameter counts match the gate kind's arity. */
+    kGateArity = 1u << 2,
+    /** Aggregates are structurally well-formed: non-null payload,
+     *  non-empty member list, support equal to the sorted union of
+     *  member supports, a non-empty provenance label, and an eager
+     *  matrix (when present) of dimension 2^width. */
+    kAggregateWellFormed = 1u << 3,
+    /** Frontend lowering ran: no Toffolis remain and every
+     *  non-aggregate gate (and aggregate member) is <= 2 qubits. */
+    kFullyLowered = 1u << 4,
+    /** The gate dependence graph over the circuit is consistent: on
+     *  every qubit the commutation groups partition exactly the gates
+     *  acting on it, in program order — so the dependence DAG they
+     *  induce is acyclic (program order is a topological order). */
+    kGdgAcyclic = 1u << 5,
+    /** The routing result is coherent: initial and final mappings are
+     *  same-sized injective maps into the device register. */
+    kMappingConsistent = 1u << 6,
+    /** Every 2q interaction (gate or aggregate member) acts on a
+     *  coupled pair of the device — legal post-mapping hardware. */
+    kCouplingLegal = 1u << 7,
+    /** The schedule covers the physical circuit, starts/durations are
+     *  sane, ops sharing a qubit never overlap, and every 2q
+     *  interaction maps to an existing XY channel with no channel
+     *  double-booking. */
+    kScheduleConsistent = 1u << 8,
+};
+
+/** A set of CircuitInvariant bits. */
+using InvariantSet = std::uint32_t;
+
+/** The empty invariant set. */
+inline constexpr InvariantSet kNoInvariants = 0;
+
+/** @return the bit of @p invariant, for composing InvariantSets. */
+constexpr InvariantSet
+invariantBit(CircuitInvariant invariant)
+{
+    return static_cast<InvariantSet>(invariant);
+}
+
+/** Gate-shape invariants checkable on any circuit. */
+inline constexpr InvariantSet kStructuralInvariants =
+    invariantBit(CircuitInvariant::kQubitRange) |
+    invariantBit(CircuitInvariant::kDistinctOperands) |
+    invariantBit(CircuitInvariant::kGateArity) |
+    invariantBit(CircuitInvariant::kAggregateWellFormed);
+
+/** Every invariant in the catalogue. */
+inline constexpr InvariantSet kAllInvariants =
+    kStructuralInvariants |
+    invariantBit(CircuitInvariant::kFullyLowered) |
+    invariantBit(CircuitInvariant::kGdgAcyclic) |
+    invariantBit(CircuitInvariant::kMappingConsistent) |
+    invariantBit(CircuitInvariant::kCouplingLegal) |
+    invariantBit(CircuitInvariant::kScheduleConsistent);
+
+/** Stable kebab-case name ("qubit-range", "coupling-legal", ...). */
+std::string invariantName(CircuitInvariant invariant);
+
+/** Comma-joined names of every invariant in @p set. */
+std::string invariantSetNames(InvariantSet set);
+
+/** One invariant violation. */
+struct LintFinding
+{
+    /** The violated invariant. */
+    CircuitInvariant invariant = CircuitInvariant::kQubitRange;
+    /** Index of the offending gate (schedule-op index for schedule
+     *  findings); -1 when the violation is not tied to one gate. */
+    int gateIndex = -1;
+    /** Human-readable specifics ("qubit 9 outside register [0, 4)"). */
+    std::string detail;
+
+    /** "invariant 'coupling-legal' violated at gate 3: ...". */
+    std::string toString() const;
+};
+
+/** The result of running one or more checkers. */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+
+    bool ok() const { return findings.empty(); }
+
+    /** True if some finding violates @p invariant. */
+    bool violates(CircuitInvariant invariant) const;
+
+    /** One finding per line. */
+    std::string toString() const;
+
+    /** Appends a finding. */
+    void add(CircuitInvariant invariant, int gate_index,
+             std::string detail);
+};
+
+/**
+ * Checks the gate-shape invariants of @p which (any subset of
+ * kStructuralInvariants | kFullyLowered; other bits are ignored) on
+ * every gate of @p circuit, recursing into aggregate members.
+ * Findings append to @p report.
+ */
+void lintGates(const Circuit &circuit, InvariantSet which,
+               LintReport *report);
+
+/**
+ * Checks kGdgAcyclic: builds the gate dependence graph of @p circuit
+ * over @p checker and verifies the per-qubit commutation groups
+ * partition exactly the gates on each qubit in program order, with a
+ * coherent group index.
+ */
+void lintGdg(const Circuit &circuit, CommutationChecker *checker,
+             LintReport *report);
+
+/**
+ * Checks kCouplingLegal: every multi-qubit gate of @p circuit (and
+ * every 2q aggregate member) acts on qubits inside the device register
+ * and on a coupled pair.
+ */
+void lintCoupling(const Circuit &circuit, const DeviceModel &device,
+                  LintReport *report);
+
+/**
+ * Checks kMappingConsistent on a routing result: both mappings are the
+ * same size, every image is inside the device register, and neither
+ * maps two logical qubits to one physical qubit.
+ */
+void lintMapping(const RoutingResult &routing, const DeviceModel &device,
+                 LintReport *report);
+
+/**
+ * Checks kScheduleConsistent: @p schedule has one op per gate of
+ * @p physical, finite non-negative starts and durations, no two ops
+ * sharing a qubit overlap in time, every 2q interaction (gate or
+ * aggregate member) has an XY channel on @p device, and no channel is
+ * double-booked.
+ */
+void lintSchedule(const Schedule &schedule, const Circuit &physical,
+                  const DeviceModel &device, LintReport *report);
+
+/**
+ * Convenience one-call checker for a bare circuit: runs lintGates on
+ * the structural/lowering bits of @p which, lintGdg when requested
+ * (with a private CommutationChecker), and lintCoupling when
+ * requested and @p device is non-null.
+ */
+LintReport lintCircuit(const Circuit &circuit,
+                       InvariantSet which = kStructuralInvariants,
+                       const DeviceModel *device = nullptr);
+
+} // namespace qaic
+
+#endif // QAIC_VERIFY_LINT_H

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the IR verifier (verify/lint.h) and the pass-contract layer
+ * in Pipeline::compile: a seeded-mutation corpus (out-of-range qubit,
+ * duplicate operands, bad arity, malformed aggregate, coupling-illegal
+ * gate, inconsistent mapping, overlapping schedule slots) asserting each
+ * corruption is rejected under the right invariant name, a clean-suite
+ * sweep across all strategies and topologies with invariant checking
+ * forced on, and death tests proving a corrupting pass is reported by
+ * pass name + invariant.
+ */
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "device/topology.h"
+#include "ir/gate.h"
+#include "verify/lint.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+#include "workloads/uccsd.h"
+
+namespace qaic {
+namespace {
+
+// --- Invariant catalogue -------------------------------------------------
+
+TEST(InvariantNameTest, NamesAreStableAndDistinct)
+{
+    const std::pair<CircuitInvariant, const char *> expected[] = {
+        {CircuitInvariant::kQubitRange, "qubit-range"},
+        {CircuitInvariant::kDistinctOperands, "distinct-operands"},
+        {CircuitInvariant::kGateArity, "gate-arity"},
+        {CircuitInvariant::kAggregateWellFormed, "aggregate-well-formed"},
+        {CircuitInvariant::kFullyLowered, "fully-lowered"},
+        {CircuitInvariant::kGdgAcyclic, "gdg-acyclic"},
+        {CircuitInvariant::kMappingConsistent, "mapping-consistent"},
+        {CircuitInvariant::kCouplingLegal, "coupling-legal"},
+        {CircuitInvariant::kScheduleConsistent, "schedule-consistent"},
+    };
+    for (const auto &[invariant, name] : expected)
+        EXPECT_EQ(invariantName(invariant), name);
+}
+
+TEST(InvariantNameTest, SetNamesJoinEveryMember)
+{
+    const InvariantSet set =
+        invariantBit(CircuitInvariant::kQubitRange) |
+        invariantBit(CircuitInvariant::kCouplingLegal);
+    EXPECT_EQ(invariantSetNames(set), "qubit-range, coupling-legal");
+    EXPECT_EQ(invariantSetNames(kNoInvariants), "");
+}
+
+// --- Seeded-mutation corpus ---------------------------------------------
+
+TEST(LintTest, CleanWorkloadPasses)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(5));
+    LintReport report = lintCircuit(
+        circuit, kAllInvariants & ~invariantBit(
+                     CircuitInvariant::kCouplingLegal));
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(LintTest, OutOfRangeQubitRejected)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    // Circuit::add validates, so seed the corruption directly.
+    circuit.mutableGates()[2].qubits[0] = 97;
+    LintReport report = lintCircuit(circuit);
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.violates(CircuitInvariant::kQubitRange));
+    bool found = false;
+    for (const LintFinding &f : report.findings)
+        if (f.invariant == CircuitInvariant::kQubitRange &&
+            f.gateIndex == 2)
+            found = true;
+    EXPECT_TRUE(found) << report.toString();
+}
+
+TEST(LintTest, DuplicateOperandRejected)
+{
+    Circuit circuit(3);
+    circuit.add(makeCnot(0, 1));
+    circuit.mutableGates()[0].qubits[1] = 0; // cnot q0 q0
+    LintReport report = lintCircuit(circuit);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kDistinctOperands));
+}
+
+TEST(LintTest, ArityMismatchRejected)
+{
+    Circuit circuit(3);
+    circuit.add(makeCnot(0, 1));
+    circuit.mutableGates()[0].qubits.pop_back(); // 1-operand cnot
+    LintReport report = lintCircuit(circuit);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kGateArity));
+
+    Circuit params(2);
+    params.add(makeRz(0, 0.5));
+    params.mutableGates()[0].params.clear(); // rz with no angle
+    report = lintCircuit(params);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kGateArity));
+}
+
+TEST(LintTest, MalformedAggregateRejected)
+{
+    // A healthy aggregate passes...
+    Circuit circuit(3);
+    circuit.add(makeAggregate({makeCnot(0, 1), makeRz(1, 0.3)}, "test"));
+    EXPECT_TRUE(lintCircuit(circuit).ok());
+
+    // ...a support that is not the union of member supports fails...
+    Circuit bad_support = circuit;
+    bad_support.mutableGates()[0].qubits = {0, 2};
+    LintReport report = lintCircuit(bad_support);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kAggregateWellFormed));
+
+    // ...as does a missing provenance label...
+    Circuit no_label(3);
+    no_label.add(makeAggregate({makeCnot(0, 1)}, ""));
+    report = lintCircuit(no_label);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kAggregateWellFormed));
+
+    // ...and a payload-less aggregate shell.
+    Circuit no_payload(3);
+    Gate shell;
+    shell.kind = GateKind::kAggregate;
+    shell.qubits = {0, 1};
+    no_payload.mutableGates().push_back(shell);
+    report = lintCircuit(no_payload);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kAggregateWellFormed));
+
+    // A corrupt member inside a valid shell is found too.
+    Circuit bad_member(3);
+    bad_member.add(
+        makeAggregate({makeCnot(0, 1), makeRz(1, 0.3)}, "test"));
+    auto payload = std::make_shared<AggregatePayload>(
+        *bad_member.gates()[0].payload);
+    payload->members[0].qubits[0] = 55;
+    bad_member.mutableGates()[0].payload = std::move(payload);
+    report = lintCircuit(bad_member);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kQubitRange));
+}
+
+TEST(LintTest, CouplingIllegalGateRejected)
+{
+    DeviceModel device = DeviceModel::line(4);
+    Circuit circuit(4);
+    circuit.add(makeCnot(0, 1)); // legal on the line
+    circuit.add(makeCnot(0, 3)); // no coupler
+    LintReport report;
+    lintCoupling(circuit, device, &report);
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.violates(CircuitInvariant::kCouplingLegal));
+    EXPECT_EQ(report.findings[0].gateIndex, 1);
+    EXPECT_EQ(invariantName(report.findings[0].invariant),
+              "coupling-legal");
+
+    // Aggregate members are held to the same standard.
+    Circuit agg(4);
+    agg.add(makeAggregate({makeCnot(0, 3)}, "bad"));
+    report = LintReport();
+    lintCoupling(agg, device, &report);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kCouplingLegal));
+}
+
+TEST(LintTest, InconsistentMappingRejected)
+{
+    DeviceModel device = DeviceModel::line(4);
+    RoutingResult routing;
+    routing.initialMapping = {0, 1, 2, 3};
+    routing.finalMapping = {0, 1, 2, 2}; // two logicals on one physical
+    LintReport report;
+    lintMapping(routing, device, &report);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kMappingConsistent));
+
+    routing.finalMapping = {0, 1, 2, 9}; // outside the register
+    report = LintReport();
+    lintMapping(routing, device, &report);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kMappingConsistent));
+}
+
+TEST(LintTest, OverlappingScheduleSlotsRejected)
+{
+    DeviceModel device = DeviceModel::line(3);
+    Circuit physical(3);
+    physical.add(makeCnot(0, 1));
+    physical.add(makeCnot(1, 2));
+
+    Schedule schedule;
+    schedule.ops.push_back({physical.gates()[0], 0.0, 50.0});
+    schedule.ops.push_back({physical.gates()[1], 25.0, 50.0}); // overlaps q1
+    LintReport report;
+    lintSchedule(schedule, physical, device, &report);
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.violates(CircuitInvariant::kScheduleConsistent));
+
+    // Serialized, the same ops are clean.
+    schedule.ops[1].start = 50.0;
+    report = LintReport();
+    lintSchedule(schedule, physical, device, &report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+
+    // A schedule that lost an op is inconsistent even without overlap.
+    schedule.ops.pop_back();
+    report = LintReport();
+    lintSchedule(schedule, physical, device, &report);
+    EXPECT_TRUE(report.violates(CircuitInvariant::kScheduleConsistent));
+}
+
+// --- Clean-suite sweep ---------------------------------------------------
+
+/** Every strategy on every topology compiles with invariant checking
+ *  forced on; any pass leaving the IR illegal would abort the run. */
+TEST(LintSuiteTest, AllStrategiesAllTopologiesPassChecked)
+{
+    const Circuit circuits[] = {qaoaMaxcut(lineGraph(5)), uccsdAnsatz(4)};
+    CompilerOptions options;
+    options.checkInvariants = true;
+    for (const Circuit &circuit : circuits) {
+        for (Topology topology : kAllTopologies) {
+            DeviceModel device = deviceForTopology(
+                topology, circuit.numQubits(), options.seed);
+            for (Strategy strategy : kAllStrategies) {
+                Pipeline pipeline = Pipeline::forStrategy(strategy);
+                CompilationContext context(device, options);
+                CompilationResult result =
+                    pipeline.compile(circuit, context);
+                EXPECT_GT(result.latencyNs, 0.0)
+                    << strategyName(strategy) << " on "
+                    << topologyName(topology);
+            }
+        }
+    }
+}
+
+// --- Pass-contract enforcement ------------------------------------------
+
+/** A pass that corrupts the working circuit: the post-pass verification
+ *  must name this pass and the violated invariant. */
+class CorruptingPass : public Pass
+{
+  public:
+    std::string name() const override { return "corruptor"; }
+
+    void
+    run(CompilationContext &context) override
+    {
+        context.working.mutableGates()[0].qubits[0] = 99;
+    }
+};
+
+/** A pass that double-books a qubit in the final schedule. */
+class ScheduleCorruptingPass : public Pass
+{
+  public:
+    std::string name() const override { return "schedule-corruptor"; }
+
+    void
+    run(CompilationContext &context) override
+    {
+        // Collapse every start to 0: any two ops sharing a qubit now
+        // overlap.
+        for (ScheduledOp &op : context.schedule.ops)
+            op.start = 0.0;
+    }
+};
+
+TEST(LintDeathTest, CorruptedCircuitReportsPassAndInvariant)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    DeviceModel device = DeviceModel::gridFor(4);
+    CompilerOptions options;
+    options.checkInvariants = true;
+
+    Pipeline pipeline;
+    pipeline.emplace<FrontendLoweringPass>();
+    pipeline.emplace<MappingPass>();
+    pipeline.emplace<CorruptingPass>();
+    pipeline.emplace<AggregationBackendPass>();
+    pipeline.emplace<AsapSchedulePass>();
+    CompilationContext context(device, options);
+    EXPECT_DEATH(pipeline.compile(circuit, context),
+                 "invariant violation after pass 'corruptor'(.|\n)*"
+                 "qubit-range");
+}
+
+TEST(LintDeathTest, CorruptedScheduleReportsPassAndInvariant)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    DeviceModel device = DeviceModel::gridFor(4);
+    CompilerOptions options;
+    options.checkInvariants = true;
+
+    Pipeline pipeline;
+    pipeline.emplace<FrontendLoweringPass>();
+    pipeline.emplace<MappingPass>();
+    pipeline.emplace<GateBackendPass>();
+    pipeline.emplace<AsapSchedulePass>();
+    pipeline.emplace<ScheduleCorruptingPass>();
+    CompilationContext context(device, options);
+    EXPECT_DEATH(pipeline.compile(circuit, context),
+                 "invariant violation after pass 'schedule-corruptor'"
+                 "(.|\n)*schedule-consistent");
+}
+
+TEST(LintDeathTest, CorruptedInputCircuitRejectedBeforeAnyPass)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    circuit.mutableGates()[0].qubits[0] = 99;
+    DeviceModel device = DeviceModel::gridFor(4);
+    CompilerOptions options;
+    options.checkInvariants = true;
+
+    Pipeline pipeline = Pipeline::forStrategy(Strategy::kIsa);
+    CompilationContext context(device, options);
+    EXPECT_DEATH(pipeline.compile(circuit, context),
+                 "invariant violation in the input circuit(.|\n)*"
+                 "qubit-range");
+}
+
+} // namespace
+} // namespace qaic

@@ -177,12 +177,19 @@ TEST(PipelineDeathTest, MiscomposedPipelinePanics)
     Circuit circuit = qaoaMaxcut(lineGraph(4));
     DeviceModel device = DeviceModel::gridFor(4);
 
+    // The run-time stage guards inside the passes, not the contract
+    // layer: disable invariant checking so the legacy panics fire in
+    // Debug and Release alike (the contract layer would reject the
+    // no_mapping pipeline first with its own message, tested below).
+    CompilerOptions unchecked;
+    unchecked.checkInvariants = false;
+
     // Schedule with no backend: must panic, not return latency 0.
     Pipeline no_backend;
     no_backend.emplace<FrontendLoweringPass>();
     no_backend.emplace<MappingPass>();
     no_backend.emplace<AsapSchedulePass>();
-    CompilationContext c1(device, {});
+    CompilationContext c1(device, unchecked);
     EXPECT_DEATH(no_backend.compile(circuit, c1),
                  "scheduling requires a backend");
 
@@ -191,7 +198,7 @@ TEST(PipelineDeathTest, MiscomposedPipelinePanics)
     Pipeline no_mapping;
     no_mapping.emplace<FrontendLoweringPass>();
     no_mapping.emplace<AggregationBackendPass>();
-    CompilationContext c2(device, {});
+    CompilationContext c2(device, unchecked);
     EXPECT_DEATH(no_mapping.compile(circuit, c2),
                  "requires a mapped circuit");
 
@@ -200,9 +207,37 @@ TEST(PipelineDeathTest, MiscomposedPipelinePanics)
     no_schedule.emplace<FrontendLoweringPass>();
     no_schedule.emplace<MappingPass>();
     no_schedule.emplace<AggregationBackendPass>();
-    CompilationContext c3(device, {});
+    CompilationContext c3(device, unchecked);
     EXPECT_DEATH(no_schedule.compile(circuit, c3),
                  "no schedule");
+}
+
+TEST(PipelineDeathTest, ContractViolationNamesPassAndInvariant)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    DeviceModel device = DeviceModel::gridFor(4);
+    CompilerOptions checked;
+    checked.checkInvariants = true;
+
+    // A backend without mapping: the contract layer rejects it before
+    // the pass runs, naming the pass and the missing invariant.
+    Pipeline no_mapping;
+    no_mapping.emplace<FrontendLoweringPass>();
+    no_mapping.emplace<AggregationBackendPass>();
+    CompilationContext c1(device, checked);
+    EXPECT_DEATH(no_mapping.compile(circuit, c1),
+                 "pipeline contract violation: pass 'aggregation-backend' "
+                 "requires.*coupling-legal");
+
+    // Scheduling straight after lowering: coupling legality was never
+    // established either.
+    Pipeline no_backend;
+    no_backend.emplace<FrontendLoweringPass>();
+    no_backend.emplace<AsapSchedulePass>();
+    CompilationContext c2(device, checked);
+    EXPECT_DEATH(no_backend.compile(circuit, c2),
+                 "pipeline contract violation: pass 'schedule-asap' "
+                 "requires coupling-legal");
 }
 
 /** The acceptance-criteria equivalence: every strategy, Pipeline path

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ThreadSanitizer soak for the concurrent compilation stack: many
+ * threads hammering compileBatch over one shared CachingOracle and one
+ * shared persistent PulseLibrary while other threads concurrently read
+ * stats and flush the library to disk. The assertions are deliberately
+ * light — determinism against a sequential reference and counter sanity
+ * — because the real check is TSan itself: the CI tsan job runs this
+ * binary (and the whole suite) under -fsanitize=thread, where any data
+ * race in the oracle shards, library shards, dirty accounting or batch
+ * fan-out is a hard failure. The test also runs in the normal suites,
+ * where it doubles as a plain concurrency smoke test.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "compiler/batch.h"
+#include "compiler/pipeline.h"
+#include "oracle/oracle.h"
+#include "oracle/pulselib.h"
+#include "util/parallel.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+#include "workloads/qft.h"
+
+namespace qaic {
+namespace {
+
+/** Unique-ish scratch path under the build directory. */
+std::string
+scratchPath(const std::string &tag)
+{
+    return "tsan_soak_" + tag + ".qplb";
+}
+
+/** compileBatch from several threads at once, every batch sharing one
+ *  oracle backed by one pulse library, with stats/flush readers racing
+ *  the compilations. */
+TEST(TsanSoakTest, ConcurrentBatchesShareOracleAndLibrary)
+{
+    const std::string path = scratchPath("batch");
+    std::remove(path.c_str());
+
+    const Circuit circuits[] = {
+        qaoaMaxcut(lineGraph(5)),
+        qft(4),
+        qaoaMaxcut(randomRegularGraph(4, 3, 7)),
+    };
+    DeviceModel device = DeviceModel::gridFor(5);
+    CompilerOptions options;
+    options.pulseLibraryPath = path;
+    // The soak targets the threading layer, not the verifier; Debug
+    // runs are hot enough without per-pass linting here.
+    options.checkInvariants = false;
+
+    auto library = std::make_shared<PulseLibrary>(path);
+    library->load();
+    auto oracle = std::make_shared<CachingOracle>(
+        std::make_shared<AnalyticOracle>(
+            resolveCompilerOptions(device, options).model),
+        library);
+
+    // Sequential reference for the determinism assertion.
+    const std::vector<CompilationResult> reference = compileBatch(
+        device, circuits, Strategy::kClsAggregation, options,
+        /*threads=*/1, oracle);
+
+    constexpr int kBatchThreads = 4;
+    constexpr int kRounds = 3;
+    std::atomic<bool> stop{false};
+
+    // Reader thread: hammer the consistent-snapshot paths (all-shard
+    // locking) while compilations insert and look up concurrently.
+    std::thread reader([&] {
+        while (!stop.load()) {
+            CachingOracle::Stats cache = oracle->stats();
+            EXPECT_GE(cache.hits + cache.misses, cache.entries);
+            PulseLibrary::Stats lib = library->stats();
+            EXPECT_GE(lib.stores + lib.loaded, lib.entries == 0 ? 0 : 1);
+            std::this_thread::yield();
+        }
+    });
+
+    // Flusher thread: write-behind flushes race the inserts.
+    std::thread flusher([&] {
+        while (!stop.load()) {
+            EXPECT_TRUE(library->flush());
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::thread> batches;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < kBatchThreads; ++t) {
+        batches.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                std::vector<CompilationResult> results = compileBatch(
+                    device, circuits, Strategy::kClsAggregation, options,
+                    /*threads=*/2, oracle);
+                for (std::size_t i = 0; i < results.size(); ++i)
+                    if (results[i].latencyNs != reference[i].latencyNs)
+                        mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : batches)
+        t.join();
+    stop.store(true);
+    reader.join();
+    flusher.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_TRUE(library->flush());
+    std::remove(path.c_str());
+}
+
+/** Raw shard hammer: many threads pricing overlapping gate sets through
+ *  one CachingOracle while others read the aggregate counters. */
+TEST(TsanSoakTest, OracleShardContention)
+{
+    auto oracle = std::make_shared<CachingOracle>(
+        std::make_shared<AnalyticOracle>());
+
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                // Overlapping key space across threads: every angle is
+                // shared by two adjacent thread ids, forcing hit/miss
+                // races on the same shard entries.
+                double angle = 0.1 * ((i + t) % 32);
+                double latency =
+                    oracle->latencyNs(makeRz(0, angle)) +
+                    oracle->latencyNs(makeCnot(0, 1)) +
+                    oracle->latencyNs(makeRzz(0, 1, angle));
+                EXPECT_GT(latency, 0.0);
+                if (i % 16 == 0)
+                    (void)oracle->stats();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    CachingOracle::Stats s = oracle->stats();
+    EXPECT_EQ(s.inflight, 0u);
+    EXPECT_EQ(s.hits + s.misses,
+              static_cast<std::size_t>(kThreads) * kOpsPerThread * 3);
+}
+
+/** Library-only hammer: concurrent insert/lookup/nearest against
+ *  racing flush/load cycles on one backing file. */
+TEST(TsanSoakTest, PulseLibraryInsertLookupFlushRaces)
+{
+    const std::string path = scratchPath("lib");
+    std::remove(path.c_str());
+    PulseLibrary library(path);
+
+    constexpr int kThreads = 6;
+    constexpr int kOpsPerThread = 150;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const std::string key =
+                    "key" + std::to_string((i + 7 * t) % 64);
+                PulseLibraryEntry entry;
+                entry.origin = "soak";
+                entry.latencyNs = 10.0 + (i % 64);
+                entry.shapeKey = "shape" + std::to_string(i % 8);
+                library.insert(key, std::move(entry));
+                (void)library.lookup(key, "soak");
+                (void)library.nearest("shape" + std::to_string(i % 8));
+                if (i % 32 == 0) {
+                    EXPECT_TRUE(library.flush());
+                    library.load();
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    PulseLibrary::Stats s = library.stats();
+    EXPECT_EQ(s.stores + s.misses + s.hits > 0, true);
+    EXPECT_EQ(library.size(), s.entries);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace qaic

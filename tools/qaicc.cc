@@ -27,6 +27,9 @@
  *     --timings       print per-pass wall-clock times (and library
  *                     hit/warm-start stats when --pulse-lib is set)
  *     --verify        verify backend semantics against the routed circuit
+ *     --check-invariants
+ *                     verify pass contracts while compiling (IR lint
+ *                     between passes; on by default in Debug builds)
  */
 #include <cstdio>
 #include <cstring>
@@ -56,7 +59,8 @@ usage(const char *argv0)
                  "          [--router baseline|lookahead] [--line] "
                  "[--pulses FILE]\n"
                  "          [--pulse-lib FILE] [--schedule] [--timings] "
-                 "[--verify] circuit.qasm\n",
+                 "[--verify]\n"
+                 "          [--check-invariants] circuit.qasm\n",
                  argv0);
     return 2;
 }
@@ -71,6 +75,7 @@ main(int argc, char **argv)
     RouterKind router = RouterKind::kLookahead;
     int width = 10;
     bool print_schedule = false, print_timings = false, verify = false;
+    bool check_invariants = kCheckInvariantsDefault;
     std::string pulses_path, pulse_lib_path, input_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -106,6 +111,8 @@ main(int argc, char **argv)
             print_timings = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--check-invariants") {
+            check_invariants = true;
         } else if (arg.rfind("--", 0) == 0) {
             return usage(argv[0]);
         } else if (input_path.empty()) {
@@ -136,6 +143,7 @@ main(int argc, char **argv)
     options.maxInstructionWidth = width;
     options.pulseLibraryPath = pulse_lib_path;
     options.routing.router = router;
+    options.checkInvariants = check_invariants;
     DeviceModel device = deviceForTopology(topology, circuit->numQubits(),
                                            options.seed);
     Compiler compiler(device, options);
