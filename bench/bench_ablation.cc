@@ -72,7 +72,8 @@ ablationMobility()
         CompilerOptions options;
         options.aggregation.mobilityWindow = window;
         CompilationContext context(device, options, oracle);
-        CompilationResult r = pipeline.compile(spec.circuit, context);
+        CompilationResult r =
+            pipeline.compile(spec.circuit, context).value();
         table.addRow({std::to_string(window), Table::fmt(r.latencyNs, 0),
                       std::to_string(r.instructionCount)});
         std::fflush(stdout);
@@ -100,10 +101,12 @@ ablationPlacement()
         greedy.router = RouterKind::kBaseline;
         int trivial =
             routeOnDevice(spec.circuit, device, identity, greedy)
+                .value()
                 .swapCount;
         int placed = routeOnDevice(spec.circuit, device,
                                    initialPlacement(spec.circuit, device),
                                    greedy)
+                         .value()
                          .swapCount;
         table.addRow({name, std::to_string(trivial),
                       std::to_string(placed)});

@@ -55,6 +55,7 @@ main()
             CompilationContext isa_context(device, base, oracle);
             double isa = Pipeline::forStrategy(Strategy::kIsa)
                              .compile(spec.circuit, isa_context)
+                             .value()
                              .latencyNs;
 
             Pipeline agg_pipeline =
@@ -67,7 +68,7 @@ main()
                 options.routing.router = RouterKind::kBaseline;
                 CompilationContext context(device, options, oracle);
                 CompilationResult r =
-                    agg_pipeline.compile(spec.circuit, context);
+                    agg_pipeline.compile(spec.circuit, context).value();
 
                 // Optimization band over critical-path instructions.
                 double best_ratio = 1.0, worst_ratio = 0.0;

@@ -55,7 +55,8 @@ main()
     // the paper's Section 3.4.1 routing methodology.
     CompilerOptions options;
     options.routing.router = RouterKind::kBaseline;
-    std::vector<CompilationResult> results = compileBatch(jobs, options);
+    std::vector<CompilationResult> results =
+        unwrapBatch(compileBatch(jobs, options));
 
     Table table({"instance", "locality", "SWAPs", "CLS (ns)",
                  "CLS+Agg (ns)", "normalized"});

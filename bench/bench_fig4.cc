@@ -61,11 +61,13 @@ main()
     Circuit circuit = qaoaTriangleExample();
     DeviceModel device = DeviceModel::line(3);
     CompilationContext context(device, {});
-    CompilationResult isa =
-        Pipeline::forStrategy(Strategy::kIsa).compile(circuit, context);
+    CompilationResult isa = Pipeline::forStrategy(Strategy::kIsa)
+                                .compile(circuit, context)
+                                .value();
     CompilationResult agg =
         Pipeline::forStrategy(Strategy::kClsAggregation)
-            .compile(circuit, context);
+            .compile(circuit, context)
+            .value();
 
     Table table({"scheme", "latency (ns)", "instructions"});
     table.addRow({"gate-based (ISA)", Table::fmt(isa.latencyNs, 1),

@@ -54,7 +54,8 @@ main()
     // covers the lookahead router's gains).
     CompilerOptions options;
     options.routing.router = RouterKind::kBaseline;
-    std::vector<CompilationResult> results = compileBatch(jobs, options);
+    std::vector<CompilationResult> results =
+        unwrapBatch(compileBatch(jobs, options));
 
     Table fig({"benchmark", "ISA (ns)", "CLS", "CLS+HandOpt",
                "Aggregation", "CLS+Aggregation", "speedup"});

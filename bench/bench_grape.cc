@@ -188,17 +188,17 @@ main(int argc, char **argv)
         oracle_options.grape.maxIterations = quick ? 120 : 400;
 
         auto library = std::make_shared<PulseLibrary>(lib_path);
-        library->load();
+        (void)library->load();
         GrapeLatencyOracle oracle(oracle_options, {}, library);
         std::vector<double> first_lats;
         double first_ns = priceGateSet(oracle, &first_lats);
         PulseLibrary::Stats after_first = library->stats();
-        if (!library->flush())
+        if (!library->flush().isOk())
             return 1;
 
         // The "next process": same file, fresh library and oracle.
         auto reloaded = std::make_shared<PulseLibrary>(lib_path);
-        if (!reloaded->load())
+        if (!reloaded->load().isOk())
             return 1;
         GrapeLatencyOracle warm_oracle(oracle_options, {}, reloaded);
         std::vector<double> replay_lats;
@@ -257,7 +257,7 @@ main(int argc, char **argv)
             exit_code = 1;
         }
         if (!pulse_lib_path.empty()) {
-            if (!reloaded->flush())
+            if (!reloaded->flush().isOk())
                 return 1;
             std::printf("pulse library flushed: %s (%zu entries)\n",
                         pulse_lib_path.c_str(), reloaded->size());

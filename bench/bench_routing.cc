@@ -56,7 +56,8 @@ routeAndPrice(const Circuit &circuit, const DeviceModel &device,
     } else {
         RoutingOptions options;
         options.router = RouterKind::kBaseline;
-        routed = routeOnDevice(circuit, device, placement, options);
+        routed =
+            routeOnDevice(circuit, device, placement, options).value();
     }
     out.wallNs = bench::nowNs() - start;
     out.swaps = routed.swapCount;

@@ -124,7 +124,7 @@ main(int argc, char **argv)
             DeviceModel device = deviceForTopology(topology, 60);
             std::vector<int> placement = initialPlacement(ising, device);
             RoutingResult routing =
-                routeOnDevice(ising, device, placement);
+                routeOnDevice(ising, device, placement).value();
             EquivalenceReport check;
             const long long iters = quick ? 2 : 10;
             double ns = measureNs(iters, [&] {

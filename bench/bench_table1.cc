@@ -81,7 +81,8 @@ main()
     CompilationContext context(line3, {});
     CompilationResult agg =
         Pipeline::forStrategy(Strategy::kClsAggregation)
-            .compile(qaoaTriangleExample(), context);
+            .compile(qaoaTriangleExample(), context)
+            .value();
 
     Table lower(
         {"instruction", "width", "model (ns)", "GRAPE (ns)", "members"});

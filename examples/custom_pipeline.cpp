@@ -36,13 +36,14 @@ class StatsProbePass : public Pass
   public:
     std::string name() const override { return "stats-probe"; }
 
-    void
+    Status
     run(CompilationContext &context) override
     {
         std::printf("  [probe] %zu instructions on %d qubits, %d SWAPs "
                     "so far\n",
                     context.working.size(), context.working.numQubits(),
                     context.routing.swapCount);
+        return Status();
     }
 };
 
@@ -65,7 +66,7 @@ main()
     custom.label(Strategy::kAggregation); // Nearest named configuration.
 
     CompilationContext context(device, {});
-    CompilationResult r = custom.compile(circuit, context);
+    CompilationResult r = custom.compile(circuit, context).value();
     std::printf("  latency %.1f ns, %d instructions (%d aggregated)\n\n",
                 r.latencyNs, r.instructionCount, r.aggregateCount);
 
@@ -83,8 +84,8 @@ main()
     jobs.push_back({uccsdAnsatz(4), DeviceModel::gridFor(4),
                     Strategy::kClsAggregation});
 
-    std::vector<CompilationResult> results =
-        compileBatch(jobs, CompilerOptions{}, /*threads=*/4);
+    std::vector<CompilationResult> results = unwrapBatch(
+        compileBatch(jobs, CompilerOptions{}, /*threads=*/4));
 
     Table table({"job", "strategy", "latency (ns)", "instructions"});
     for (std::size_t i = 0; i < results.size(); ++i)

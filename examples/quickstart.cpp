@@ -35,10 +35,10 @@ rx(1.26) q0
 rx(1.26) q3
 )";
 
-    std::string error;
-    auto circuit = parseQasm(program, &error);
-    if (!circuit) {
-        std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    StatusOr<Circuit> circuit = parseQasm(program);
+    if (!circuit.isOk()) {
+        std::fprintf(stderr, "parse error: %s\n",
+                     circuit.status().toString().c_str());
         return 1;
     }
     std::printf("Input program (%zu gates, %d qubits):\n%s\n",

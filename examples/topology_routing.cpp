@@ -46,7 +46,8 @@ main()
             RoutingOptions options;
             options.router = router;
             RoutingResult routing =
-                routeOnDevice(circuit, device, placement, options);
+                routeOnDevice(circuit, device, placement, options)
+                    .value();
             double latency =
                 scheduleAsap(routing.physical, oracle).makespan();
             table.addRow({topologyName(topology),

@@ -22,6 +22,12 @@
  * All cross-thread shared state lives behind the internally-
  * synchronized CachingOracle/PulseLibrary (annotated with the
  * capability macros of util/thread_annotations.h).
+ *
+ * Error isolation: each job compiles (or fails) independently. A
+ * malformed circuit, an unroutable placement or a device whose control
+ * limits disagree with the batch yields an error Status in that job's
+ * slot; every other job still returns its normal result, bitwise
+ * identical to compiling it alone.
  */
 #ifndef QAIC_COMPILER_BATCH_H
 #define QAIC_COMPILER_BATCH_H
@@ -66,7 +72,7 @@ struct BatchJob
  * @param oracle Latency oracle to share (e.g. Compiler::oracleHandle()
  *        to keep amortizing an existing cache); created fresh when null.
  */
-std::vector<CompilationResult>
+std::vector<StatusOr<CompilationResult>>
 compileBatch(const DeviceModel &device, std::span<const Circuit> circuits,
              Strategy strategy, const CompilerOptions &options = {},
              int threads = 0,
@@ -76,12 +82,23 @@ compileBatch(const DeviceModel &device, std::span<const Circuit> circuits,
  * Heterogeneous batch: per-job circuit, device and strategy. All
  * devices must share control limits (mu1/mu2) — the shared oracle
  * prices instructions from those limits, so mixing them in one batch
- * would mis-price; this is checked. Results keep input order.
+ * would mis-price. The reference limits are the supplied oracle's (or,
+ * without one, the first job's device); a job whose device disagrees
+ * gets a kFailedPrecondition in its slot while the rest of the batch
+ * compiles normally. Results keep input order.
  */
-std::vector<CompilationResult>
+std::vector<StatusOr<CompilationResult>>
 compileBatch(std::span<const BatchJob> jobs,
              const CompilerOptions &options = {}, int threads = 0,
              std::shared_ptr<CachingOracle> oracle = nullptr);
+
+/**
+ * Unwraps an all-success batch, exiting with the first error message
+ * otherwise — the bridge for benchmarks/tools whose inputs are known
+ * good and that have no per-job error path.
+ */
+std::vector<CompilationResult>
+unwrapBatch(std::vector<StatusOr<CompilationResult>> results);
 
 } // namespace qaic
 

@@ -64,8 +64,8 @@ Compiler::~Compiler() = default;
 Compiler::Compiler(Compiler &&) noexcept = default;
 Compiler &Compiler::operator=(Compiler &&) noexcept = default;
 
-CompilationResult
-Compiler::compile(const Circuit &logical, Strategy strategy)
+StatusOr<CompilationResult>
+Compiler::tryCompile(const Circuit &logical, Strategy strategy)
 {
     auto it = pipelines_.find(strategy);
     if (it == pipelines_.end())
@@ -75,6 +75,15 @@ Compiler::compile(const Circuit &logical, Strategy strategy)
                  .first;
     CompilationContext context(device_, options_, oracle_, &checker_);
     return it->second->compile(logical, context);
+}
+
+CompilationResult
+Compiler::compile(const Circuit &logical, Strategy strategy)
+{
+    StatusOr<CompilationResult> result = tryCompile(logical, strategy);
+    if (!result.isOk())
+        QAIC_FATAL() << result.status().toString();
+    return std::move(result).value();
 }
 
 } // namespace qaic

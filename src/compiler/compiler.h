@@ -40,6 +40,7 @@
 #include "mapping/mapping.h"
 #include "oracle/oracle.h"
 #include "schedule/schedule.h"
+#include "util/status.h"
 
 namespace qaic {
 
@@ -136,6 +137,18 @@ struct CompilerOptions
      * anywhere. Zero cost when off.
      */
     bool checkInvariants = kCheckInvariantsDefault;
+    /**
+     * Wall-clock budget for one compile, in milliseconds; 0 (the
+     * default) means no deadline. Checked between passes and at GRAPE
+     * iteration granularity: expiry between passes fails the compile
+     * with kDeadlineExceeded, while expiry inside a GRAPE search
+     * degrades that instruction to the analytic latency model and the
+     * compile finishes with CompilationResult::degraded set. Deadline-
+     * degraded results are the documented exception to the bitwise
+     * determinism guarantee (the cut-off point depends on wall-clock
+     * speed).
+     */
+    double deadlineMs = 0.0;
 };
 
 /** Everything a compilation run produces. */
@@ -160,6 +173,16 @@ struct CompilationResult
     int maxWidth = 0;
     /** Diagonal blocks contracted by commutativity detection. */
     int diagonalBlocks = 0;
+    /**
+     * True when the compile finished on a degraded path instead of
+     * failing outright — currently: the compile deadline (or a GRAPE
+     * non-convergence) forced analytic fallback latencies for at least
+     * one instruction. The result is structurally valid but its
+     * latencies are not GRAPE-exact; degradedReason says why.
+     */
+    bool degraded = false;
+    /** Human-readable degradation cause; empty when !degraded. */
+    std::string degradedReason;
     /** Per-pass wall-clock metrics, in execution order. */
     std::vector<PassMetrics> passMetrics;
 
@@ -186,7 +209,21 @@ class Compiler
     Compiler(Compiler &&) noexcept;
     Compiler &operator=(Compiler &&) noexcept;
 
-    /** Compiles @p logical under @p strategy. */
+    /**
+     * Compiles @p logical under @p strategy, reporting recoverable
+     * failures (malformed input circuit, unroutable placement on a
+     * disconnected topology, oversized circuit, expired deadline) as a
+     * Status instead of terminating. Library bugs still panic.
+     */
+    StatusOr<CompilationResult> tryCompile(const Circuit &logical,
+                                           Strategy strategy);
+
+    /**
+     * Compiles @p logical under @p strategy; exits the process with the
+     * error message on recoverable failure. A convenience for tools and
+     * benchmarks with no error path of their own — callers that can
+     * recover should use tryCompile.
+     */
     CompilationResult compile(const Circuit &logical, Strategy strategy);
 
     /** The (caching) oracle used for instruction latencies. */

@@ -5,6 +5,7 @@
 
 #include "compiler/decompose.h"
 #include "compiler/handopt.h"
+#include "util/deadline.h"
 #include "util/logging.h"
 
 namespace qaic {
@@ -40,7 +41,13 @@ makeCachingOracle(const CompilerOptions &resolved)
     if (!resolved.pulseLibraryPath.empty()) {
         library =
             std::make_shared<PulseLibrary>(resolved.pulseLibraryPath);
-        library->load(); // a missing file is fine: first run seeds it
+        // A missing file is fine (the first run seeds it); a corrupt
+        // one has already been quarantined by load(), so warn and
+        // continue cold — persistence failures never fail compiles.
+        Status loaded = library->load();
+        if (!loaded.isOk() && loaded.code() != StatusCode::kNotFound)
+            QAIC_WARN() << loaded.toString()
+                        << "; continuing with an empty pulse library";
     }
     std::shared_ptr<LatencyOracle> inner;
     if (resolved.useGrapeOracle)
@@ -166,41 +173,71 @@ verifyContextInvariants(const CompilationContext &context,
 
 } // namespace
 
-CompilationResult
+StatusOr<CompilationResult>
 Pipeline::compile(const Circuit &logical,
                   CompilationContext &context) const
 {
     context.reset(logical, label_);
     const bool check = context.options().checkInvariants;
+
+    // The input circuit is user data, so its structural soundness is
+    // linted on every compile, even with checkInvariants off: the scan
+    // is linear and it is the only gate between arbitrary caller input
+    // and passes that index arrays by qubit id. The (more expensive)
+    // GDG acyclicity probe stays behind checkInvariants.
+    {
+        InvariantSet input_bits = kStructuralInvariants;
+        if (check)
+            input_bits |= invariantBit(CircuitInvariant::kGdgAcyclic);
+        LintReport report = verifyContextInvariants(context, input_bits);
+        if (!report.ok())
+            return invalidArgumentError(
+                "invariant violation in the input circuit:\n" +
+                report.toString());
+    }
     InvariantSet known = kNoInvariants;
-    if (check) {
+    if (check)
         known = kStructuralInvariants |
                 invariantBit(CircuitInvariant::kGdgAcyclic);
-        LintReport report = verifyContextInvariants(context, known);
-        if (!report.ok())
-            QAIC_FATAL() << "invariant violation in the input circuit:\n"
-                         << report.toString();
-    }
+
+    // Install the compile deadline for this thread; the GRAPE oracle
+    // picks it up via currentCompileDeadline(). Once the oracle has
+    // degraded an instruction under this deadline, the compile is past
+    // the expensive part and finishing it (flagged degraded) beats
+    // throwing the work away, so the between-pass expiry check only
+    // fires while the degraded count is still at its starting value.
+    const Deadline deadline =
+        context.options().deadlineMs > 0.0
+            ? Deadline::afterMs(context.options().deadlineMs)
+            : Deadline::never();
+    ScopedCompileDeadline scoped_deadline(deadline);
+    const std::uint64_t degraded_before = context.oracle().degradedCount();
+
     for (const std::unique_ptr<Pass> &pass : passes_) {
         if (check) {
+            // A contract violation is a mis-built pipeline — a library
+            // (or custom-pass) bug, not a property of the input — so it
+            // panics rather than returning a Status.
             const InvariantSet missing =
                 pass->requiredInvariants() & ~known;
             if (missing != kNoInvariants)
-                QAIC_FATAL()
+                QAIC_PANIC()
                     << "pipeline contract violation: pass '"
                     << pass->name() << "' requires "
                     << invariantSetNames(missing)
                     << " which no earlier pass established";
         }
         auto t0 = std::chrono::steady_clock::now();
-        pass->run(context);
+        Status pass_status = pass->run(context);
+        if (!pass_status.isOk())
+            return pass_status.withContext("pass '" + pass->name() + "'");
         auto t1 = std::chrono::steady_clock::now();
         if (check) {
             known = (known & pass->preservedInvariants()) |
                     pass->establishedInvariants();
             LintReport report = verifyContextInvariants(context, known);
             if (!report.ok())
-                QAIC_FATAL() << "invariant violation after pass '"
+                QAIC_PANIC() << "invariant violation after pass '"
                              << pass->name() << "':\n"
                              << report.toString();
         }
@@ -212,8 +249,23 @@ Pipeline::compile(const Circuit &logical,
             context.backendDone ? context.physical.size()
                                 : context.working.size());
         context.passMetrics.push_back(std::move(m));
+        if (deadline.expired() &&
+            context.oracle().degradedCount() == degraded_before) {
+            return deadlineExceededError(
+                "compile deadline expired after pass '" + pass->name() +
+                "'");
+        }
     }
-    return context.takeResult();
+    CompilationResult result = context.takeResult();
+    const std::uint64_t degraded_after = context.oracle().degradedCount();
+    if (degraded_after > degraded_before) {
+        result.degraded = true;
+        result.degradedReason =
+            "GRAPE synthesis fell back to analytic latencies for " +
+            std::to_string(degraded_after - degraded_before) +
+            " instruction(s)";
+    }
+    return result;
 }
 
 Pipeline
@@ -292,13 +344,14 @@ class IsaCostOracle : public LatencyOracle
 
 } // namespace
 
-void
+Status
 FrontendLoweringPass::run(CompilationContext &context)
 {
     context.working = decomposeCcx(context.working);
+    return Status();
 }
 
-void
+Status
 ClsFrontendPass::run(CompilationContext &context)
 {
     context.working = detectDiagonalBlocks(
@@ -308,16 +361,29 @@ ClsFrontendPass::run(CompilationContext &context)
     Schedule ls =
         scheduleCls(context.working, &context.checker(), logical_cost);
     context.working = ls.toCircuit(context.working.numQubits());
+    return Status();
 }
 
-void
+Status
 MappingPass::run(CompilationContext &context)
 {
+    // A circuit wider than the device is the user's configuration
+    // mistake (circuit vs. topology choice), so it fails this
+    // compilation rather than the process.
+    if (context.working.numQubits() > context.device().numQubits()) {
+        return invalidArgumentError(
+            "circuit uses " + std::to_string(context.working.numQubits()) +
+            " qubits but the device has only " +
+            std::to_string(context.device().numQubits()));
+    }
     // Routing is cheap relative to everything else, so route a few
     // candidate placements (two bisection seeds plus the trivial
     // row-major identity, which is near-optimal for chain-structured
-    // interaction graphs) and keep the one needing fewest SWAPs.
+    // interaction graphs) and keep the one needing fewest SWAPs. A
+    // placement whose operands land in disconnected components is
+    // skipped; only when every candidate fails is the error surfaced.
     bool have = false;
+    Status last_error;
     for (int variant = 0; variant < 3; ++variant) {
         std::vector<int> placement;
         if (variant < 2) {
@@ -328,19 +394,26 @@ MappingPass::run(CompilationContext &context)
             for (std::size_t q = 0; q < placement.size(); ++q)
                 placement[q] = static_cast<int>(q);
         }
-        RoutingResult routed =
+        StatusOr<RoutingResult> routed =
             routeOnDevice(context.working, context.device(), placement,
                           context.options().routing);
-        if (!have || routed.swapCount < context.routing.swapCount) {
-            context.routing = std::move(routed);
+        if (!routed.isOk()) {
+            last_error = routed.status();
+            continue;
+        }
+        if (!have || routed->swapCount < context.routing.swapCount) {
+            context.routing = std::move(routed).value();
             have = true;
         }
     }
+    if (!have)
+        return last_error;
     context.working = context.routing.physical;
     context.mapped = true;
+    return Status();
 }
 
-void
+Status
 GateBackendPass::run(CompilationContext &context)
 {
     QAIC_CHECK(context.mapped)
@@ -354,9 +427,10 @@ GateBackendPass::run(CompilationContext &context)
         context.physical = decomposeToPhysical(context.working);
     }
     context.backendDone = true;
+    return Status();
 }
 
-void
+Status
 AggregationBackendPass::run(CompilationContext &context)
 {
     QAIC_CHECK(context.mapped)
@@ -367,23 +441,26 @@ AggregationBackendPass::run(CompilationContext &context)
         context.options().aggregation);
     context.physical = std::move(agg.circuit);
     context.backendDone = true;
+    return Status();
 }
 
-void
+Status
 AsapSchedulePass::run(CompilationContext &context)
 {
     QAIC_CHECK(context.backendDone)
         << "scheduling requires a backend pass first";
     context.schedule = scheduleAsap(context.physical, context.oracle());
+    return Status();
 }
 
-void
+Status
 ClsSchedulePass::run(CompilationContext &context)
 {
     QAIC_CHECK(context.backendDone)
         << "scheduling requires a backend pass first";
     context.schedule =
         scheduleCls(context.physical, &context.checker(), context.oracle());
+    return Status();
 }
 
 } // namespace qaic

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "compiler/compiler.h"
+#include "util/status.h"
 #include "verify/lint.h"
 
 namespace qaic {
@@ -172,8 +173,13 @@ class Pass
     /** Stable identifier (used in metrics and pipeline introspection). */
     virtual std::string name() const = 0;
 
-    /** Transforms the context in place. */
-    virtual void run(CompilationContext &context) = 0;
+    /**
+     * Transforms the context in place. A non-OK return is a recoverable
+     * per-compilation failure (bad user input the pass is the first to
+     * notice, an expired deadline): Pipeline::compile stops and
+     * propagates it. Library bugs still panic inside the pass.
+     */
+    virtual Status run(CompilationContext &context) = 0;
 
     /** Invariants that must hold on entry (default: none). */
     virtual InvariantSet requiredInvariants() const { return kNoInvariants; }
@@ -240,15 +246,29 @@ class Pipeline
      * checker) persist across calls, so repeated compiles share
      * latency caches exactly like the legacy Compiler.
      *
-     * When CompilerOptions::checkInvariants is set, pass contracts are
-     * verified: the input circuit is linted, each pass's required set
-     * must be covered by the invariants known to hold, and after every
-     * pass the known set — (known & preserved) | established — is
-     * re-verified against the context. Violations fail the process
-     * with a report naming the pass, gate index and invariant.
+     * Error handling (docs/ARCHITECTURE.md, "Error handling"):
+     *
+     *  - The *input* circuit is structurally linted on every compile
+     *    (cheap, always on); a violation is user input's fault and
+     *    returns kInvalidArgument.
+     *  - A pass returning non-OK (unroutable placement, oversized
+     *    circuit, expired deadline) stops the run and propagates the
+     *    Status with the pass named in the context.
+     *  - When CompilerOptions::checkInvariants is set, pass contracts
+     *    are additionally verified: each pass's required set must be
+     *    covered by the invariants known to hold, and after every pass
+     *    the known set — (known & preserved) | established — is
+     *    re-verified against the context. A violation here means a
+     *    *pass* broke its contract — a library bug — and panics with a
+     *    report naming the pass, gate index and invariant.
+     *  - CompilerOptions::deadlineMs (when non-zero) installs a compile
+     *    deadline visible to the latency oracle; expiry between passes
+     *    returns kDeadlineExceeded, while expiry inside a GRAPE search
+     *    degrades that instruction to the analytic model and the
+     *    compile finishes with CompilationResult::degraded set.
      */
-    CompilationResult compile(const Circuit &logical,
-                              CompilationContext &context) const;
+    StatusOr<CompilationResult> compile(const Circuit &logical,
+                                        CompilationContext &context) const;
 
     /**
      * The canonical pass list implementing @p strategy (Figure 5),
@@ -273,7 +293,7 @@ class FrontendLoweringPass : public Pass
 {
   public:
     std::string name() const override { return "frontend-lowering"; }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override
@@ -304,7 +324,7 @@ class ClsFrontendPass : public Pass
     }
 
     std::string name() const override { return "cls-frontend"; }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override
@@ -332,7 +352,7 @@ class MappingPass : public Pass
 {
   public:
     std::string name() const override { return "mapping"; }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override
@@ -367,7 +387,7 @@ class GateBackendPass : public Pass
     {
         return handOptimize_ ? "gate-backend-handopt" : "gate-backend";
     }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override
@@ -390,7 +410,7 @@ class AggregationBackendPass : public Pass
 {
   public:
     std::string name() const override { return "aggregation-backend"; }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override
@@ -409,7 +429,7 @@ class AsapSchedulePass : public Pass
 {
   public:
     std::string name() const override { return "schedule-asap"; }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override
@@ -430,7 +450,7 @@ class ClsSchedulePass : public Pass
 {
   public:
     std::string name() const override { return "schedule-cls"; }
-    void run(CompilationContext &context) override;
+    Status run(CompilationContext &context) override;
 
     InvariantSet
     requiredInvariants() const override

@@ -6,6 +6,7 @@
 #include "la/eig.h"
 #include "la/expm.h"
 #include "la/kernels.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -13,6 +14,12 @@
 namespace qaic {
 
 namespace {
+
+// Forces optimize() to report non-convergence without burning
+// iterations, so tests can drive the analytic-fallback (degraded)
+// path of the GRAPE latency oracle deterministically.
+QAIC_DEFINE_FAILPOINT(nonconvergeFp, "grape_nonconverge",
+                      "GRAPE optimize() reports non-convergence");
 
 /** Adam state for one variable tensor. */
 struct Adam
@@ -71,6 +78,12 @@ GrapeOptimizer::optimize(const CMatrix &target, double duration_ns,
     QAIC_CHECK_EQ(target.rows(), dim);
     QAIC_CHECK(target.isUnitary(1e-7)) << "GRAPE target must be unitary";
     QAIC_CHECK_GT(duration_ns, 0.0);
+
+    if (nonconvergeFp.shouldFail()) {
+        GrapeResult injected;
+        injected.pulses.dt = options.dt;
+        return injected; // fidelity 0, converged false
+    }
 
     const std::size_t num_ch = ops_.size();
     const std::size_t steps = std::max<std::size_t>(
@@ -165,6 +178,10 @@ GrapeOptimizer::optimize(const CMatrix &target, double duration_ns,
         double fid = 0.0;
         int iters = 0;
         for (iters = 0; iters < options.maxIterations; ++iters) {
+            // Iteration-granular deadline: stop where we stand; the
+            // caller sees converged=false and degrades.
+            if (options.deadline.expired())
+                break;
             for (std::size_t i = 0; i < num_vars; ++i)
                 u[i] = umax[i / steps] * std::tanh(vars[i]);
 
@@ -364,16 +381,19 @@ GrapeOptimizer::minimizeDuration(const CMatrix &target, double t_lo,
     };
 
     // Phase 1: grow from t_lo until a converging duration is found.
+    // Probe-granular deadline: an expired budget ends the search with
+    // whatever has been found so far (possibly nothing — the caller
+    // degrades to analytic pricing).
     double lo = 0.0;
     double hi = t_lo;
-    while (hi < t_hi && !probe(hi)) {
+    while (hi < t_hi && !options.deadline.expired() && !probe(hi)) {
         lo = hi;
         hi = std::min(t_hi, hi * 1.6);
         if (hi == lo)
             break;
     }
     if (!search.found) {
-        if (hi < t_hi || !probe(t_hi))
+        if (options.deadline.expired() || hi < t_hi || !probe(t_hi))
             return search;
         lo = hi;
         hi = t_hi;
@@ -381,7 +401,7 @@ GrapeOptimizer::minimizeDuration(const CMatrix &target, double t_lo,
 
     // Phase 2: bisect [lo (fails), hi (converges)] to resolution.
     hi = search.minimalDuration;
-    while (hi - lo > resolution_ns) {
+    while (hi - lo > resolution_ns && !options.deadline.expired()) {
         double mid = 0.5 * (lo + hi);
         if (probe(mid))
             hi = search.minimalDuration;

@@ -22,6 +22,7 @@
 #include "control/pulse.h"
 #include "device/device.h"
 #include "la/cmatrix.h"
+#include "util/deadline.h"
 
 namespace qaic {
 
@@ -68,6 +69,16 @@ struct GrapeOptions
      * same pre-drawn seeds).
      */
     const std::vector<std::vector<double>> *warmStart = nullptr;
+    /**
+     * Wall-clock budget, checked at iteration granularity inside every
+     * restart and between duration probes. On expiry the optimizer
+     * stops where it stands and reports converged=false — the caller
+     * (the GRAPE latency oracle) degrades to analytic pricing rather
+     * than erroring. Defaults to no deadline, which keeps results
+     * bitwise deterministic; deadline-degraded results are the one
+     * documented exception to determinism.
+     */
+    Deadline deadline;
 };
 
 /** Outcome of a GRAPE run. */

@@ -181,4 +181,29 @@ deviceForTopology(Topology topology, int min_qubits, std::uint64_t seed,
     QAIC_PANIC() << "unhandled topology";
 }
 
+StatusOr<DeviceModel>
+deviceFromUserConfig(const std::string &topology_name, int min_qubits,
+                     std::uint64_t seed, double mu1, double mu2)
+{
+    Topology topology;
+    if (!topologyFromName(topology_name, &topology)) {
+        std::string known;
+        for (Topology t : kAllTopologies) {
+            if (!known.empty())
+                known += ", ";
+            known += topologyName(t);
+        }
+        return invalidArgumentError("unknown topology '" + topology_name +
+                                    "' (expected one of: " + known + ")");
+    }
+    if (min_qubits <= 0)
+        return invalidArgumentError("device qubit count must be positive, "
+                                    "got " +
+                                    std::to_string(min_qubits));
+    if (!(mu1 > 0.0) || !(mu2 > 0.0))
+        return invalidArgumentError(
+            "control limits mu1/mu2 must be positive");
+    return deviceForTopology(topology, min_qubits, seed, mu1, mu2);
+}
+
 } // namespace qaic

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "device/device.h"
+#include "util/status.h"
 
 namespace qaic {
 
@@ -88,6 +89,19 @@ DeviceModel deviceForTopology(Topology topology, int min_qubits,
                               std::uint64_t seed = 7,
                               double mu1 = kDefaultMu1Ghz,
                               double mu2 = kDefaultMu2Ghz);
+
+/**
+ * Checked device construction from *user-supplied* configuration (the
+ * qaicc CLI, config files, the future service API). Unlike the
+ * factories above — whose preconditions are programmer contracts —
+ * every argument here is validated and violations come back as
+ * kInvalidArgument: unknown topology name, non-positive qubit count,
+ * non-positive control limits.
+ */
+StatusOr<DeviceModel> deviceFromUserConfig(
+    const std::string &topology_name, int min_qubits,
+    std::uint64_t seed = 7, double mu1 = kDefaultMu1Ghz,
+    double mu2 = kDefaultMu2Ghz);
 
 } // namespace qaic
 

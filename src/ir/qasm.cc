@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "util/logging.h"
@@ -22,15 +23,12 @@ tokenize(const std::string &line)
     return tokens;
 }
 
-bool
-fail(std::string *error, int line_no, const std::string &message)
+Status
+parseError(int line_no, const std::string &message)
 {
-    if (error) {
-        std::ostringstream os;
-        os << "line " << line_no << ": " << message;
-        *error = os.str();
-    }
-    return false;
+    std::ostringstream os;
+    os << "line " << line_no << ": " << message;
+    return invalidArgumentError(os.str());
 }
 
 /**
@@ -132,8 +130,8 @@ toQasm(const Circuit &circuit)
     return os.str();
 }
 
-std::optional<Circuit>
-parseQasm(const std::string &text, std::string *error)
+StatusOr<Circuit>
+parseQasm(const std::string &text)
 {
     std::istringstream is(text);
     std::string line;
@@ -150,76 +148,57 @@ parseQasm(const std::string &text, std::string *error)
             continue;
 
         if (tokens[0] == "qubits") {
-            if (circuit.has_value()) {
-                fail(error, line_no, "duplicate qubits directive");
-                return std::nullopt;
-            }
-            if (tokens.size() != 2) {
-                fail(error, line_no, "expected: qubits <n>");
-                return std::nullopt;
-            }
+            if (circuit.has_value())
+                return parseError(line_no, "duplicate qubits directive");
+            if (tokens.size() != 2)
+                return parseError(line_no, "expected: qubits <n>");
             // parseBoundedInt rather than std::stoi: an oversized count
             // like "99999999999999999999" is a line-numbered parse error,
             // not an uncaught std::out_of_range, and trailing junk
             // ("qubits 5x") is rejected instead of truncated to 5.
             int n = 0;
             if (!parseBoundedInt(tokens[1],
-                                 std::numeric_limits<int>::max(), &n)) {
-                fail(error, line_no, "bad qubit count '" + tokens[1] + "'");
-                return std::nullopt;
-            }
-            if (n <= 0) {
-                fail(error, line_no, "qubit count must be positive");
-                return std::nullopt;
-            }
+                                 std::numeric_limits<int>::max(), &n))
+                return parseError(line_no,
+                                  "bad qubit count '" + tokens[1] + "'");
+            if (n <= 0)
+                return parseError(line_no, "qubit count must be positive");
             circuit.emplace(n);
             continue;
         }
 
-        if (!circuit.has_value()) {
-            fail(error, line_no, "gate before qubits directive");
-            return std::nullopt;
-        }
+        if (!circuit.has_value())
+            return parseError(line_no, "gate before qubits directive");
 
         std::string name;
         std::vector<double> params;
-        if (!parseHead(tokens[0], &name, &params)) {
-            fail(error, line_no, "malformed gate head '" + tokens[0] + "'");
-            return std::nullopt;
-        }
+        if (!parseHead(tokens[0], &name, &params))
+            return parseError(line_no,
+                              "malformed gate head '" + tokens[0] + "'");
         GateKind kind;
-        if (!gateKindFromName(name, &kind)) {
-            fail(error, line_no, "unknown gate '" + name + "'");
-            return std::nullopt;
-        }
-        if (static_cast<int>(params.size()) != gateParamCount(kind)) {
-            fail(error, line_no, "wrong parameter count for '" + name + "'");
-            return std::nullopt;
-        }
+        if (!gateKindFromName(name, &kind))
+            return parseError(line_no, "unknown gate '" + name + "'");
+        if (static_cast<int>(params.size()) != gateParamCount(kind))
+            return parseError(line_no,
+                              "wrong parameter count for '" + name + "'");
         int arity = gateArity(kind);
-        if (static_cast<int>(tokens.size()) != 1 + arity) {
-            fail(error, line_no, "wrong qubit count for '" + name + "'");
-            return std::nullopt;
-        }
+        if (static_cast<int>(tokens.size()) != 1 + arity)
+            return parseError(line_no,
+                              "wrong qubit count for '" + name + "'");
         std::vector<int> qubits;
         for (int i = 0; i < arity; ++i) {
             int q = 0;
-            if (!parseQubit(tokens[1 + i], &q)) {
-                fail(error, line_no, "bad qubit '" + tokens[1 + i] + "'");
-                return std::nullopt;
-            }
-            if (q >= circuit->numQubits()) {
-                fail(error, line_no, "qubit index out of range");
-                return std::nullopt;
-            }
+            if (!parseQubit(tokens[1 + i], &q))
+                return parseError(line_no,
+                                  "bad qubit '" + tokens[1 + i] + "'");
+            if (q >= circuit->numQubits())
+                return parseError(line_no, "qubit index out of range");
             qubits.push_back(q);
         }
         for (std::size_t i = 0; i < qubits.size(); ++i)
             for (std::size_t j = i + 1; j < qubits.size(); ++j)
-                if (qubits[i] == qubits[j]) {
-                    fail(error, line_no, "repeated qubit operand");
-                    return std::nullopt;
-                }
+                if (qubits[i] == qubits[j])
+                    return parseError(line_no, "repeated qubit operand");
 
         Gate g;
         g.kind = kind;
@@ -228,11 +207,9 @@ parseQasm(const std::string &text, std::string *error)
         circuit->add(std::move(g));
     }
 
-    if (!circuit.has_value()) {
-        fail(error, line_no, "missing qubits directive");
-        return std::nullopt;
-    }
-    return circuit;
+    if (!circuit.has_value())
+        return parseError(line_no, "missing qubits directive");
+    return std::move(*circuit);
 }
 
 } // namespace qaic

@@ -13,10 +13,10 @@
 #ifndef QAIC_IR_QASM_H
 #define QAIC_IR_QASM_H
 
-#include <optional>
 #include <string>
 
 #include "ir/circuit.h"
+#include "util/status.h"
 
 namespace qaic {
 
@@ -26,12 +26,15 @@ std::string toQasm(const Circuit &circuit);
 /**
  * Parses the textual assembly format.
  *
+ * Malformed input is a recoverable user error: the result carries a
+ * kInvalidArgument Status whose message is line-numbered
+ * ("line 3: unknown gate 'foo'"). The parser never crashes or throws
+ * on any byte sequence (see tests/routing_fuzz_test.cc).
+ *
  * @param text Program text.
- * @param error If non-null, receives a diagnostic on failure.
- * @return The circuit, or std::nullopt on malformed input.
+ * @return The circuit, or a kInvalidArgument Status.
  */
-std::optional<Circuit> parseQasm(const std::string &text,
-                                 std::string *error = nullptr);
+StatusOr<Circuit> parseQasm(const std::string &text);
 
 } // namespace qaic
 

@@ -230,7 +230,7 @@ routeBaseline(const Circuit &circuit, const DeviceModel &device,
 
 } // namespace
 
-RoutingResult
+StatusOr<RoutingResult>
 routeOnDevice(const Circuit &circuit, const DeviceModel &device,
               const std::vector<int> &placement,
               const RoutingOptions &options)
@@ -247,16 +247,18 @@ routeOnDevice(const Circuit &circuit, const DeviceModel &device,
         QAIC_CHECK_LE(g.width(), 2)
             << "decompose " << g.toString() << " before routing";
         // SWAPs only move qubits within a connected component, so the
-        // initial placement decides reachability once and for all.
+        // initial placement decides reachability once and for all. A
+        // disconnected pair is a property of the user's device config,
+        // not a library bug: recoverable.
         if (g.width() == 2 &&
             device.distance(placement[g.qubits[0]],
                             placement[g.qubits[1]]) < 0) {
-            QAIC_FATAL()
-                << "cannot route " << g.toString() << ": operands are "
-                << "placed on disconnected device qubits "
-                << placement[g.qubits[0]] << " and "
-                << placement[g.qubits[1]]
-                << " (no coupler path exists on this topology)";
+            return invalidArgumentError(
+                "cannot route " + g.toString() +
+                ": operands are placed on disconnected device qubits " +
+                std::to_string(placement[g.qubits[0]]) + " and " +
+                std::to_string(placement[g.qubits[1]]) +
+                " (no coupler path exists on this topology)");
         }
     }
 

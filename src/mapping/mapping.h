@@ -23,6 +23,7 @@
 
 #include "device/device.h"
 #include "ir/circuit.h"
+#include "util/status.h"
 
 namespace qaic {
 
@@ -111,19 +112,23 @@ struct RoutingResult
  * fewer SWAPs, so selecting kLookahead can only reduce SWAP counts.
  * Both routers are deterministic (no RNG; lexicographic tie-breaks).
  *
- * Gates wider than two qubits must have been decomposed beforehand.
- * Fatals (clear user error, not UB) if a two-qubit gate's operands are
- * placed in disconnected components of the coupling graph.
+ * Gates wider than two qubits must have been decomposed beforehand
+ * (caller contract — checked/panics). A two-qubit gate whose operands
+ * are placed in disconnected components of the coupling graph is a
+ * recoverable *user* error (the device config simply cannot run the
+ * circuit): it returns kInvalidArgument naming the gate and the
+ * disconnected physical qubits, and fails one compilation, not the
+ * process.
  *
  * @param circuit Logical circuit.
  * @param device Target topology.
  * @param placement Initial logical->physical map (e.g. initialPlacement).
  * @param options Router selection and lookahead knobs.
  */
-RoutingResult routeOnDevice(const Circuit &circuit,
-                            const DeviceModel &device,
-                            const std::vector<int> &placement,
-                            const RoutingOptions &options = {});
+StatusOr<RoutingResult> routeOnDevice(const Circuit &circuit,
+                                      const DeviceModel &device,
+                                      const std::vector<int> &placement,
+                                      const RoutingOptions &options = {});
 
 /** True if every multi-qubit gate in @p circuit is coupler-adjacent. */
 bool respectsTopology(const Circuit &circuit, const DeviceModel &device);

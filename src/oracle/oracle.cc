@@ -8,15 +8,25 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <thread>
 
 #include "ir/embed.h"
 #include "la/expm.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "weyl/weyl.h"
 
 namespace qaic {
 
 namespace {
+
+// Stalls cache misses inside the pricing window (outside the shard
+// lock), widening the in-flight race the TSan soak hammers: many
+// workers miss the same key at once, all price it, the first insert
+// wins. Pure scheduling pressure — values are unchanged.
+QAIC_DEFINE_FAILPOINT(shardStallFp, "oracle_shard_stall",
+                      "cache miss stalls 1ms before pricing");
 
 /** Rounds @p t up to the pulse grid. */
 double
@@ -281,6 +291,13 @@ GrapeLatencyOracle::latencyNs(const Gate &gate)
 
     GrapeOptimizer grape(device);
     GrapeOptions grape_options = options_.grape;
+    // Per-compile deadline: this oracle is shared across compilations
+    // (and batch workers), so the budget arrives through the calling
+    // thread's scoped deadline (installed by Pipeline::compile) rather
+    // than through oracle state; GRAPE carries it into its own pool
+    // workers by copy.
+    if (grape_options.deadline.isNever())
+        grape_options.deadline = currentCompileDeadline();
     // Nearest fingerprint match (same structure, other angles): seed the
     // search from its stored waveform instead of cold random restarts.
     // The entry must stay alive across the whole duration search.
@@ -300,8 +317,13 @@ GrapeLatencyOracle::latencyNs(const Gate &gate)
     double wall_ns = std::chrono::duration<double, std::nano>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
-    if (!search.found)
+    if (!search.found) {
+        // Graceful degradation: non-convergence (or deadline expiry)
+        // prices via the analytic model instead of failing the compile;
+        // the counter surfaces as CompilationResult::degraded.
+        degraded_.fetch_add(1);
         return fallback_.latencyNs(gate);
+    }
     if (library_) {
         PulseLibraryEntry entry;
         entry.origin = originTag_;
@@ -504,6 +526,8 @@ CachingOracle::latencyNs(const Gate &gate)
     // wasted work, and emplace keeps the first value. The persistent
     // library is consulted first — a durable hit skips the inner oracle
     // (and with it any GRAPE search) entirely.
+    if (shardStallFp.shouldFail())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
     double t = 0.0;
     bool from_library = false;
     if (library_ && libraryIo_) {

@@ -79,6 +79,15 @@ class LatencyOracle
     {
         return nullptr;
     }
+
+    /**
+     * Number of pricings answered in *degraded* mode so far — e.g. the
+     * GRAPE oracle falling back to analytic latencies on non-convergence
+     * or deadline expiry. Pipeline::compile snapshots this around each
+     * compilation to set CompilationResult::degraded. 0 for oracles
+     * with no degraded mode.
+     */
+    virtual std::uint64_t degradedCount() const { return 0; }
 };
 
 /**
@@ -220,12 +229,22 @@ class GrapeLatencyOracle : public LatencyOracle
     /** The attached pulse library (null when running without one). */
     std::shared_ptr<PulseLibrary> library() const { return library_; }
 
+    /** Analytic fallbacks taken on non-convergence/deadline expiry. */
+    std::uint64_t
+    degradedCount() const override
+    {
+        return degraded_.load();
+    }
+
   private:
     Options options_;
     AnalyticOracle fallback_;
     std::shared_ptr<PulseLibrary> library_;
     /** Pricing-context tag, fixed at construction (grapeOriginTag). */
     std::string originTag_;
+    /** Searches that failed (non-convergence or deadline) and fell back
+     *  to the analytic model. */
+    std::atomic<std::uint64_t> degraded_{0};
 };
 
 /**
@@ -278,6 +297,13 @@ class CachingOracle : public LatencyOracle
     modelParams() const override
     {
         return inner_->modelParams();
+    }
+
+    /** Forwarded from the inner oracle (cache hits never degrade). */
+    std::uint64_t
+    degradedCount() const override
+    {
+        return inner_->degradedCount();
     }
 
     /** The attached pulse library (null when running without one). */

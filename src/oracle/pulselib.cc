@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -10,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace qaic {
@@ -18,11 +20,25 @@ namespace {
 
 constexpr char kMagic[4] = {'Q', 'P', 'L', 'B'};
 
-/** FNV-1a 64-bit checksum (cheap, catches truncation and bit flips). */
+// Fault-injection hooks for the durability paths (util/failpoint.h).
+// Off in production; the fault-injection sweep and the CI failpoint job
+// arm them to prove short reads, torn renames and corrupt checksums
+// degrade into Status + quarantine, never a crash or a poisoned cache.
+QAIC_DEFINE_FAILPOINT(shortReadFp, "pulselib_short_read",
+                      "backing-file read returns truncated bytes");
+QAIC_DEFINE_FAILPOINT(renameFailFp, "pulselib_rename_fail",
+                      "writeAtomic rename() attempt reports failure");
+QAIC_DEFINE_FAILPOINT(checksumCorruptFp, "pulselib_checksum_corrupt",
+                      "flush writes a bit-flipped (corrupt) library file");
+
+/** FNV-1a 64-bit checksum (cheap, catches truncation and bit flips).
+ *  @p seed continues a previous digest, so disjoint buffers can be
+ *  hashed as one stream (header fields + body). */
 std::uint64_t
-fnv1a(const char *data, std::size_t size)
+fnv1a(const char *data, std::size_t size,
+      std::uint64_t seed = 1469598103934665603ull)
 {
-    std::uint64_t h = 1469598103934665603ull;
+    std::uint64_t h = seed;
     for (std::size_t i = 0; i < size; ++i) {
         h ^= static_cast<unsigned char>(data[i]);
         h *= 1099511628211ull;
@@ -73,8 +89,13 @@ struct Reader
     }
 };
 
-/** Writes @p bytes to a unique temp file and renames it over @p path. */
-bool
+/**
+ * Writes @p bytes to a unique temp file and renames it over @p path.
+ * The rename is retried with bounded backoff: on a busy filesystem (or
+ * under the pulselib_rename_fail failpoint) transient contention is
+ * absorbed here instead of surfacing to every flusher.
+ */
+Status
 writeAtomic(const std::string &path, const std::string &bytes)
 {
     // The temp name must be unique across threads AND processes (two
@@ -90,7 +111,8 @@ writeAtomic(const std::string &path, const std::string &bytes)
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
             std::remove(tmp.c_str());
-            return false;
+            return unavailableError("cannot open temp file '" + tmp +
+                                    "' for writing");
         }
         out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
         // close() is where buffered data reaches the filesystem; a full
@@ -99,14 +121,23 @@ writeAtomic(const std::string &path, const std::string &bytes)
         out.close();
         if (out.fail()) {
             std::remove(tmp.c_str());
-            return false;
+            return unavailableError("short write to temp file '" + tmp +
+                                    "'");
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
+    constexpr int kRenameAttempts = 3;
+    for (int attempt = 0; attempt < kRenameAttempts; ++attempt) {
+        const bool injected = renameFailFp.shouldFail();
+        if (!injected && std::rename(tmp.c_str(), path.c_str()) == 0)
+            return Status();
+        if (attempt + 1 < kRenameAttempts)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << (2 * attempt)));
     }
-    return true;
+    std::remove(tmp.c_str());
+    return unavailableError("rename '" + tmp + "' -> '" + path +
+                            "' failed after " +
+                            std::to_string(kRenameAttempts) + " attempts");
 }
 
 } // namespace
@@ -125,8 +156,12 @@ PulseLibrary::~PulseLibrary()
         MutexLock lock(dirtyMutex_);
         dirty = dirty_ > 0;
     }
-    if (dirty)
-        flush();
+    if (dirty) {
+        const Status flushed = flush();
+        if (!flushed.isOk())
+            QAIC_WARN() << "pulse library not flushed at destruction: "
+                        << flushed.toString();
+    }
 }
 
 PulseLibrary::Shard &
@@ -318,42 +353,69 @@ PulseLibrary::serialize(
         }
     }
 
+    // v2 checksum domain: version + count + body, hashed as one FNV
+    // stream in file order, so a bit-flipped header field fails the
+    // checksum instead of relying on bound heuristics.
+    std::string hashed_header;
+    put<std::uint32_t>(hashed_header, kFormatVersion);
+    put<std::uint64_t>(hashed_header,
+                       static_cast<std::uint64_t>(entries.size()));
+    const std::uint64_t checksum = fnv1a(
+        body.data(), body.size(),
+        fnv1a(hashed_header.data(), hashed_header.size()));
+
     std::string out;
     out.reserve(body.size() + 24);
     out.append(kMagic, sizeof(kMagic));
-    put<std::uint32_t>(out, kFormatVersion);
-    put<std::uint64_t>(out, static_cast<std::uint64_t>(entries.size()));
-    put<std::uint64_t>(out, fnv1a(body.data(), body.size()));
+    out += hashed_header;
+    put<std::uint64_t>(out, checksum);
     out += body;
     return out;
 }
 
-bool
+Status
 PulseLibrary::deserialize(
     const std::string &bytes,
     std::unordered_map<std::string, PulseLibraryEntry> *out)
 {
     Reader r{bytes.data(), bytes.size()};
-    char magic[4];
     if (bytes.size() < sizeof(kMagic) ||
         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-        return false;
-    r.pos = sizeof(magic);
+        return dataLossError("bad magic (not a pulse-library file)");
+    r.pos = sizeof(kMagic);
     std::uint32_t version = 0;
     std::uint64_t count = 0, checksum = 0;
-    if (!r.get(&version) || version != kFormatVersion)
-        return false;
-    if (!r.get(&count) || !r.get(&checksum))
-        return false;
-    if (fnv1a(bytes.data() + r.pos, bytes.size() - r.pos) != checksum)
-        return false;
+    if (!r.get(&version) || !r.get(&count) || !r.get(&checksum))
+        return dataLossError("truncated header");
+    if (version != 1 && version != kFormatVersion)
+        return dataLossError("unsupported format version " +
+                             std::to_string(version));
 
-    // The header is not covered by the checksum; bound the claimed
-    // entry count by what the body could possibly hold before trusting
-    // it (a crafted count must fail cleanly, not throw from reserve).
+    const char *body = bytes.data() + r.pos;
+    const std::size_t body_size = bytes.size() - r.pos;
+    std::uint64_t computed = 0;
+    if (version == 1) {
+        // Legacy: the v1 checksum covered the body only.
+        computed = fnv1a(body, body_size);
+    } else {
+        // v2: version + count (the 12 bytes after the magic) + body.
+        computed = fnv1a(body, body_size,
+                         fnv1a(bytes.data() + sizeof(kMagic), 12));
+    }
+    if (computed != checksum)
+        return dataLossError("checksum mismatch (stored " +
+                             std::to_string(checksum) + ", computed " +
+                             std::to_string(computed) + ")");
+
+    // Bound the claimed entry count by what the body could possibly
+    // hold before trusting it (defense in depth for v1 files, whose
+    // header the checksum does not cover; a crafted count must fail
+    // cleanly, not throw from reserve).
     constexpr std::uint64_t kMinEntryBytes = 3 * 4 + 4 * 8 + 4 + 4 + 8;
-    if (count > (bytes.size() - r.pos) / kMinEntryBytes + 1)
-        return false;
+    if (count > body_size / kMinEntryBytes + 1)
+        return dataLossError("implausible entry count " +
+                             std::to_string(count) + " for " +
+                             std::to_string(body_size) + " body bytes");
 
     std::unordered_map<std::string, PulseLibraryEntry> parsed;
     parsed.reserve(count);
@@ -368,79 +430,116 @@ PulseLibrary::deserialize(
             !r.get(&e.fidelity) || !r.get(&e.iterations) ||
             !r.get(&e.synthesisWallNs) || !r.get(&e.dt) ||
             !r.get(&channels) || !r.get(&steps))
-            return false;
+            return dataLossError("truncated record " + std::to_string(i) +
+                                 " of " + std::to_string(count));
         if (channels > (1u << 16) || steps > (1ull << 28))
-            return false;
+            return dataLossError("implausible waveform dimensions in "
+                                 "record " +
+                                 std::to_string(i));
         if ((bytes.size() - r.pos) / sizeof(double) <
             static_cast<std::uint64_t>(channels) * steps)
-            return false;
+            return dataLossError("truncated waveforms in record " +
+                                 std::to_string(i));
         e.waveforms.resize(channels);
         for (std::uint32_t k = 0; k < channels; ++k) {
             e.waveforms[k].resize(steps);
             for (std::uint64_t j = 0; j < steps; ++j)
                 if (!r.get(&e.waveforms[k][j]))
-                    return false;
+                    return dataLossError("truncated waveforms in record " +
+                                         std::to_string(i));
         }
         parsed[std::move(key)] = std::move(e);
     }
     if (r.pos != bytes.size())
-        return false;
+        return dataLossError(
+            std::to_string(bytes.size() - r.pos) +
+            " trailing bytes after the last record");
     *out = std::move(parsed);
-    return true;
+    return Status();
 }
 
-bool
+Status
+PulseLibrary::readBackingFileLocked(
+    std::unordered_map<std::string, PulseLibraryEntry> *out)
+{
+    std::string bytes;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (!in)
+            return notFoundError("pulse library '" + path_ +
+                                 "' does not exist");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+    if (shortReadFp.shouldFail())
+        bytes.resize(bytes.size() / 2);
+    Status parsed = deserialize(bytes, out);
+    if (parsed.isOk())
+        return parsed;
+    // Quarantine: move the corrupt file aside atomically so the next
+    // save starts from a clean slate instead of merging poison forever.
+    // Unlinking is the last resort if even the rename fails.
+    const std::string quarantined = path_ + ".corrupt";
+    if (std::rename(path_.c_str(), quarantined.c_str()) != 0)
+        std::remove(path_.c_str());
+    return parsed.withContext("pulse library '" + path_ +
+                              "' quarantined to '" + quarantined + "'");
+}
+
+Status
 PulseLibrary::load()
 {
     if (path_.empty())
-        return false;
+        return Status(); // in-memory library: trivially loaded
     std::unordered_map<std::string, PulseLibraryEntry> incoming;
     {
         MutexLock io(ioMutex_);
-        std::ifstream in(path_, std::ios::binary);
-        if (!in)
-            return false;
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        if (!deserialize(buffer.str(), &incoming))
-            return false;
+        QAIC_RETURN_IF_ERROR(readBackingFileLocked(&incoming));
     }
     mergeLoaded(std::move(incoming));
-    return true;
+    return Status();
 }
 
-bool
+Status
 PulseLibrary::saveTo(const std::string &path) const
 {
-    QAIC_CHECK(!path.empty());
+    if (path.empty())
+        return invalidArgumentError("empty pulse-library save path");
     // Renamed into place: readers and concurrent writers only ever see
     // complete files.
-    return writeAtomic(path, serialize(snapshot()));
+    return writeAtomic(path, serialize(snapshot()))
+        .withContext("saving pulse library to '" + path + "'");
 }
 
-bool
+Status
 PulseLibrary::flush()
 {
     if (path_.empty())
-        return true;
+        return Status();
     MutexLock io(ioMutex_);
     // Fold in what a concurrent process flushed since we last read, so
-    // the rename below does not lose its work.
+    // the rename below does not lose its work. A corrupt backing file
+    // has already been quarantined by the read; the flush proceeds from
+    // memory alone, so a torn write never poisons subsequent saves.
     {
-        std::ifstream in(path_, std::ios::binary);
-        if (in) {
-            std::ostringstream buffer;
-            buffer << in.rdbuf();
-            std::unordered_map<std::string, PulseLibraryEntry> incoming;
-            if (deserialize(buffer.str(), &incoming))
-                mergeLoaded(std::move(incoming));
-        }
+        std::unordered_map<std::string, PulseLibraryEntry> incoming;
+        Status read = readBackingFileLocked(&incoming);
+        if (read.isOk())
+            mergeLoaded(std::move(incoming));
+        else if (read.code() == StatusCode::kDataLoss)
+            QAIC_WARN() << "flush dropping corrupt backing file: "
+                        << read.message();
     }
-    if (!writeAtomic(path_, serialize(snapshot())))
-        return false;
+    std::string bytes = serialize(snapshot());
+    if (checksumCorruptFp.shouldFail() && bytes.size() > 32)
+        bytes[32] ^= 0x40; // injected torn write: flips one body bit
+    QAIC_RETURN_IF_ERROR(
+        writeAtomic(path_, bytes)
+            .withContext("flushing pulse library '" + path_ + "'"));
     MutexLock lock(dirtyMutex_);
     dirty_ = 0;
-    return true;
+    return Status();
 }
 
 PulseLibrary::Stats

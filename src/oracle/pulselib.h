@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace qaic {
@@ -81,8 +82,14 @@ struct PulseLibraryEntry
 class PulseLibrary
 {
   public:
-    /** On-disk format version (bumped on any layout change). */
-    static constexpr std::uint32_t kFormatVersion = 1;
+    /**
+     * On-disk format version (bumped on any layout change).
+     * v1: checksum covered the body only — a bit-flipped version/count
+     *     field was caught only by bound heuristics.
+     * v2: checksum covers version + count + body. v1 files are still
+     *     read (legacy path); writes always produce v2.
+     */
+    static constexpr std::uint32_t kFormatVersion = 2;
     /** Shard count of the in-memory front (power of two). */
     static constexpr std::size_t kShards = 16;
 
@@ -142,25 +149,33 @@ class PulseLibrary
     /**
      * Merges the backing file into memory (in-memory entries win on
      * conflict unless the file entry is richer).
-     * @return false when the file is missing, truncated, corrupt or of
-     *         a different format version; the in-memory state is
-     *         unchanged in that case.
+     *
+     * Recovery policy (never refuses to start): a missing file returns
+     * kNotFound and a truncated/corrupt/unknown-version file is
+     * *quarantined* — atomically renamed to `<path>.corrupt` so
+     * subsequent saves start clean — and kDataLoss is returned with
+     * the quarantine destination in the message. In both cases the
+     * in-memory state is unchanged and the library remains fully
+     * usable (cold).
      */
-    bool load();
+    Status load();
 
     /**
      * Write-behind flush: re-reads the backing file, folds its entries
      * into memory (so a concurrent writer's work is kept), then writes
      * everything to a temporary file and atomically renames it over the
      * target — even with no local changes, so two writers' files
-     * converge to the union. No-op (returning true) when the library is
-     * in-memory only; the destructor only flushes when entries were
-     * inserted since the last flush.
+     * converge to the union. A corrupt backing file is quarantined (see
+     * load()) and the flush proceeds from memory alone, so one torn
+     * write never poisons subsequent saves. Rename contention is
+     * retried with bounded backoff before reporting kUnavailable.
+     * No-op (OK) when the library is in-memory only; the destructor
+     * only flushes when entries were inserted since the last flush.
      */
-    bool flush();
+    Status flush();
 
     /** Unconditional save of the in-memory contents to @p path. */
-    bool saveTo(const std::string &path) const;
+    Status saveTo(const std::string &path) const;
 
     /** Consistent snapshot of the library counters. */
     struct Stats
@@ -221,10 +236,21 @@ class PulseLibrary
         std::unordered_map<std::string, PulseLibraryEntry> &map,
         const std::string &key, PulseLibraryEntry entry);
 
-    /** Parses a serialized library; returns false on any corruption. */
-    static bool deserialize(
+    /**
+     * Parses a serialized library (current or legacy v1 format);
+     * returns a precise kDataLoss Status on any corruption.
+     */
+    static Status deserialize(
         const std::string &bytes,
         std::unordered_map<std::string, PulseLibraryEntry> *out);
+
+    /**
+     * Reads and parses the backing file under ioMutex_, quarantining it
+     * on corruption. kNotFound when absent; OK fills @p out.
+     */
+    Status readBackingFileLocked(
+        std::unordered_map<std::string, PulseLibraryEntry> *out)
+        QAIC_REQUIRES(ioMutex_);
 
     /** Serialized form of @p entries (header + body + checksum). */
     static std::string serialize(

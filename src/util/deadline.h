@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compile deadlines — wall-clock budgets for graceful degradation.
+ *
+ * A long-running compile service cannot let one pathological circuit
+ * monopolize a worker, so CompilerOptions carries an optional deadline
+ * that Pipeline::compile checks at pass granularity and GRAPE checks
+ * at iteration/probe granularity. The policy (see Pipeline::compile):
+ * deadline expiry *between passes* fails the compile with
+ * kDeadlineExceeded; expiry *inside GRAPE* degrades it — the optimizer
+ * stops, the latency oracle falls back to analytic pricing, and the
+ * result comes back flagged `degraded` instead of erroring.
+ *
+ * The pipeline's latency oracle is shared across compilations (and
+ * across batch workers), so the per-compile deadline cannot live in
+ * the oracle object. Instead Pipeline::compile installs a
+ * ScopedCompileDeadline for the duration of each pass; the GRAPE
+ * oracle reads currentCompileDeadline() at each pricing call — on the
+ * pass's own thread, before fanning restarts out to the pool — and
+ * carries the value into the workers by copy (GrapeOptions::deadline).
+ */
+#ifndef QAIC_UTIL_DEADLINE_H
+#define QAIC_UTIL_DEADLINE_H
+
+#include <chrono>
+
+namespace qaic {
+
+/** A steady-clock instant to finish by; default is "no deadline". */
+class Deadline
+{
+  public:
+    /** No deadline: expired() is always false. */
+    Deadline() = default;
+
+    /** Unlimited budget (same as default construction). */
+    static Deadline never() { return Deadline(); }
+
+    /** Deadline @p ms milliseconds from now; ms <= 0 is already due. */
+    static Deadline afterMs(double ms)
+    {
+        Deadline d;
+        d.never_ = false;
+        d.at_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+        return d;
+    }
+
+    bool isNever() const { return never_; }
+
+    bool expired() const
+    {
+        return !never_ && std::chrono::steady_clock::now() >= at_;
+    }
+
+  private:
+    bool never_ = true;
+    std::chrono::steady_clock::time_point at_{};
+};
+
+/**
+ * Installs @p deadline as the calling thread's current compile
+ * deadline for the scope's lifetime (restores the previous one on
+ * exit, so nested compiles behave).
+ */
+class ScopedCompileDeadline
+{
+  public:
+    explicit ScopedCompileDeadline(Deadline deadline)
+        : previous_(current())
+    {
+        current() = deadline;
+    }
+
+    ~ScopedCompileDeadline() { current() = previous_; }
+
+    ScopedCompileDeadline(const ScopedCompileDeadline &) = delete;
+    ScopedCompileDeadline &operator=(const ScopedCompileDeadline &) =
+        delete;
+
+  private:
+    friend Deadline currentCompileDeadline();
+
+    static Deadline &current()
+    {
+        thread_local Deadline deadline;
+        return deadline;
+    }
+
+    Deadline previous_;
+};
+
+/** The calling thread's active compile deadline (never() if none). */
+inline Deadline
+currentCompileDeadline()
+{
+    return ScopedCompileDeadline::current();
+}
+
+} // namespace qaic
+
+#endif // QAIC_UTIL_DEADLINE_H

@@ -1,0 +1,228 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qaic {
+namespace {
+
+struct Registry
+{
+    Mutex mutex;
+    std::vector<FailPoint *> points QAIC_GUARDED_BY(mutex);
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // leaked: outlives static dtors
+    return *r;
+}
+
+/** Raw QAIC_FAILPOINTS env value, read once. */
+const std::string &
+envSpec()
+{
+    static const std::string *spec = [] {
+        const char *raw = std::getenv("QAIC_FAILPOINTS");
+        return new std::string(raw == nullptr ? "" : raw);
+    }();
+    return *spec;
+}
+
+/** Extracts the spec for @p name from "a=nth:1,b=always,..." ("" if
+ *  absent). Malformed fragments are skipped, not fatal: a bad env var
+ *  must never crash the binary it was meant to harden. */
+std::string
+specFor(const std::string &name)
+{
+    const std::string &all = envSpec();
+    std::size_t pos = 0;
+    while (pos < all.size()) {
+        std::size_t end = all.find(',', pos);
+        if (end == std::string::npos)
+            end = all.size();
+        const std::string item = all.substr(pos, end - pos);
+        pos = end + 1;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            continue;
+        if (item.substr(0, eq) == name)
+            return item.substr(eq + 1);
+    }
+    return "";
+}
+
+} // namespace
+
+FailPoint::FailPoint(const char *name, const char *description)
+    : name_(name), description_(description)
+{
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    for (const FailPoint *fp : r.points)
+        QAIC_CHECK(std::string(fp->name()) != name)
+            << "duplicate failpoint name '" << name << "'";
+    r.points.push_back(this);
+}
+
+bool
+FailPoint::shouldFail()
+{
+    MutexLock lock(mutex_);
+    if (!envChecked_) {
+        envChecked_ = true;
+        applyEnvSpecLocked();
+    }
+    ++visits_;
+    bool fire = false;
+    switch (mode_) {
+      case Mode::kOff:
+        break;
+      case Mode::kNth:
+        fire = visits_ == nth_;
+        break;
+      case Mode::kProbabilistic: {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        fire = dist(rng_) < probability_;
+        break;
+      }
+      case Mode::kAlways:
+        fire = true;
+        break;
+    }
+    if (fire)
+        ++fires_;
+    return fire;
+}
+
+std::uint64_t
+FailPoint::visits() const
+{
+    MutexLock lock(mutex_);
+    return visits_;
+}
+
+std::uint64_t
+FailPoint::fires() const
+{
+    MutexLock lock(mutex_);
+    return fires_;
+}
+
+void
+FailPoint::activateNth(std::uint64_t nth)
+{
+    QAIC_CHECK_GT(nth, 0u) << "failpoint visits are 1-based";
+    MutexLock lock(mutex_);
+    mode_ = Mode::kNth;
+    nth_ = visits_ + nth; // relative to now, not to process start
+    envChecked_ = true;   // explicit activation overrides the env
+}
+
+void
+FailPoint::activateProbabilistic(double p, std::uint64_t seed)
+{
+    QAIC_CHECK(p >= 0.0 && p <= 1.0) << "probability out of range";
+    MutexLock lock(mutex_);
+    mode_ = Mode::kProbabilistic;
+    probability_ = p;
+    rng_.seed(seed);
+    envChecked_ = true;
+}
+
+void
+FailPoint::activateAlways()
+{
+    MutexLock lock(mutex_);
+    mode_ = Mode::kAlways;
+    envChecked_ = true;
+}
+
+void
+FailPoint::reset()
+{
+    MutexLock lock(mutex_);
+    mode_ = Mode::kOff;
+    nth_ = 0;
+    probability_ = 0.0;
+    visits_ = 0;
+    fires_ = 0;
+    envChecked_ = true; // a reset failpoint stays off until re-armed
+}
+
+void
+FailPoint::applyEnvSpecLocked()
+{
+    const std::string spec = specFor(name_);
+    if (!spec.empty())
+        applySpecLocked(spec);
+}
+
+void
+FailPoint::applySpecLocked(const std::string &spec)
+{
+    // "nth:N" | "prob:P[:SEED]" | "always"; malformed specs are ignored.
+    if (spec == "always") {
+        mode_ = Mode::kAlways;
+        return;
+    }
+    if (spec.rfind("nth:", 0) == 0) {
+        const long n = std::atol(spec.c_str() + 4);
+        if (n > 0) {
+            mode_ = Mode::kNth;
+            nth_ = static_cast<std::uint64_t>(n);
+        }
+        return;
+    }
+    if (spec.rfind("prob:", 0) == 0) {
+        const std::string rest = spec.substr(5);
+        const std::size_t colon = rest.find(':');
+        const double p = std::atof(rest.substr(0, colon).c_str());
+        const std::uint64_t seed =
+            colon == std::string::npos
+                ? 0x9e3779b97f4a7c15ull
+                : static_cast<std::uint64_t>(
+                      std::atoll(rest.c_str() + colon + 1));
+        if (p >= 0.0 && p <= 1.0) {
+            mode_ = Mode::kProbabilistic;
+            probability_ = p;
+            rng_.seed(seed);
+        }
+        return;
+    }
+}
+
+namespace failpoints {
+
+std::vector<FailPoint *>
+registered()
+{
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    return r.points;
+}
+
+FailPoint *
+find(const std::string &name)
+{
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    for (FailPoint *fp : r.points)
+        if (name == fp->name())
+            return fp;
+    return nullptr;
+}
+
+void
+resetAll()
+{
+    for (FailPoint *fp : registered())
+        fp->reset();
+}
+
+} // namespace failpoints
+
+} // namespace qaic

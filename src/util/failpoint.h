@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Named failpoints — a deterministic fault-injection harness.
+ *
+ * A failpoint is a named hook compiled into a recovery-critical code
+ * path (pulse-library I/O, GRAPE convergence, batch workers, oracle
+ * shards). In normal operation it is a cheap predicate that returns
+ * false. Tests and CI activate failpoints — by exact visit number, by
+ * seeded probability, or unconditionally — to force the error paths
+ * that production only hits under torn files, flaky filesystems and
+ * unlucky scheduling, and then assert that the recovery architecture
+ * (util/status.h) degrades cleanly instead of crashing or corrupting
+ * caches.
+ *
+ * Activation channels:
+ *  - API: `failpoints::activateNth("pulselib_rename_fail", 1)` etc.,
+ *    used by the fault-injection sweep test to drive each registered
+ *    failpoint in isolation;
+ *  - environment: `QAIC_FAILPOINTS=name=nth:3,name2=prob:0.05:42,
+ *    name3=always`, applied lazily at a failpoint's first visit, used
+ *    by the CI fault-injection job to run the *whole* suite with
+ *    faults firing under it.
+ *
+ * Definition idiom (one per planted site, file-local):
+ *
+ *     QAIC_DEFINE_FAILPOINT(renameFailFp, "pulselib_rename_fail",
+ *                           "writeAtomic rename() reports failure");
+ *     ...
+ *     if (renameFailFp.shouldFail())
+ *         return unavailableError("injected rename failure");
+ *
+ * Every FailPoint self-registers in a global catalogue
+ * (failpoints::registered()) so the sweep test enumerates and fires
+ * all of them without a hand-maintained list. Counters (visits, fires)
+ * let tests assert a fault actually triggered. All state is mutex-
+ * guarded; the probabilistic mode uses its own seeded generator so
+ * injection is reproducible and never perturbs compiler RNG streams.
+ */
+#ifndef QAIC_UTIL_FAILPOINT_H
+#define QAIC_UTIL_FAILPOINT_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace qaic {
+
+/** One named fault-injection site. Define via QAIC_DEFINE_FAILPOINT. */
+class FailPoint
+{
+  public:
+    /** Firing policy. */
+    enum class Mode
+    {
+        kOff,          ///< never fires (production default)
+        kNth,          ///< fires exactly once, on the nth visit
+        kProbabilistic,///< fires per-visit with seeded probability
+        kAlways,       ///< fires on every visit
+    };
+
+    /**
+     * Registers the failpoint under @p name in the global catalogue.
+     * @p name must be unique (checked); both strings must outlive the
+     * failpoint (string literals in practice).
+     */
+    FailPoint(const char *name, const char *description);
+
+    const char *name() const { return name_; }
+    const char *description() const { return description_; }
+
+    /**
+     * The planted-site hook: counts a visit and reports whether the
+     * fault fires this time. On the first visit the QAIC_FAILPOINTS
+     * environment spec (if any) is applied.
+     */
+    bool shouldFail();
+
+    /** Visits (shouldFail calls) since the last reset. */
+    std::uint64_t visits() const;
+    /** Visits on which the fault fired since the last reset. */
+    std::uint64_t fires() const;
+
+    /** Arms single-shot firing on visit number @p nth (1-based). */
+    void activateNth(std::uint64_t nth);
+    /** Arms per-visit firing with probability @p p, seeded RNG. */
+    void activateProbabilistic(double p, std::uint64_t seed);
+    /** Arms unconditional firing. */
+    void activateAlways();
+    /** Disarms and zeroes the counters. */
+    void reset();
+
+  private:
+    void applyEnvSpecLocked() QAIC_REQUIRES(mutex_);
+    void applySpecLocked(const std::string &spec) QAIC_REQUIRES(mutex_);
+
+    const char *name_;
+    const char *description_;
+
+    mutable Mutex mutex_;
+    Mode mode_ QAIC_GUARDED_BY(mutex_) = Mode::kOff;
+    std::uint64_t nth_ QAIC_GUARDED_BY(mutex_) = 0;
+    double probability_ QAIC_GUARDED_BY(mutex_) = 0.0;
+    std::mt19937_64 rng_ QAIC_GUARDED_BY(mutex_);
+    std::uint64_t visits_ QAIC_GUARDED_BY(mutex_) = 0;
+    std::uint64_t fires_ QAIC_GUARDED_BY(mutex_) = 0;
+    bool envChecked_ QAIC_GUARDED_BY(mutex_) = false;
+};
+
+namespace failpoints {
+
+/** Every failpoint compiled into the binary, in registration order. */
+std::vector<FailPoint *> registered();
+
+/** Catalogue lookup by exact name; nullptr when absent. */
+FailPoint *find(const std::string &name);
+
+/** Disarms every registered failpoint and zeroes all counters. */
+void resetAll();
+
+} // namespace failpoints
+
+} // namespace qaic
+
+/** Defines a file-local failpoint object registered under @p name. */
+#define QAIC_DEFINE_FAILPOINT(var, name, description)                     \
+    ::qaic::FailPoint var { name, description }
+
+#endif // QAIC_UTIL_FAILPOINT_H

@@ -58,12 +58,41 @@ class FatalStream
     bool abortOnExit_;
 };
 
+/** Stream-collects a message and prints it to stderr on destruction. */
+class WarnStream
+{
+  public:
+    WarnStream(const char *file, int line)
+    {
+        stream_ << "warn: " << file << ":" << line << ": ";
+    }
+
+    ~WarnStream() { std::cerr << stream_.str() << std::endl; }
+
+    /** Appends a value to the warning message. */
+    template <typename T>
+    WarnStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    std::ostringstream stream_;
+};
+
 } // namespace detail
 
 } // namespace qaic
 
 /** Report an unrecoverable user error (bad input/config) and exit(1). */
 #define QAIC_FATAL() ::qaic::detail::FatalStream("fatal", __FILE__, __LINE__, false)
+
+/** Report a recoverable anomaly (degradation, quarantine) to stderr and
+ *  continue; recoverable errors that need a caller decision travel as
+ *  qaic::Status (util/status.h) instead. */
+#define QAIC_WARN() ::qaic::detail::WarnStream(__FILE__, __LINE__)
 
 /** Report an internal library bug and abort(). */
 #define QAIC_PANIC() ::qaic::detail::FatalStream("panic", __FILE__, __LINE__, true)

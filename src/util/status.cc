@@ -1,0 +1,79 @@
+#include "util/status.h"
+
+namespace qaic {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kDataLoss: return "DATA_LOSS";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    QAIC_PANIC() << "unhandled StatusCode";
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (isOk())
+        return *this;
+    return Status(code_, context + ": " + message_);
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+Status
+invalidArgumentError(std::string message)
+{
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+
+Status
+notFoundError(std::string message)
+{
+    return Status(StatusCode::kNotFound, std::move(message));
+}
+
+Status
+dataLossError(std::string message)
+{
+    return Status(StatusCode::kDataLoss, std::move(message));
+}
+
+Status
+deadlineExceededError(std::string message)
+{
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+Status
+unavailableError(std::string message)
+{
+    return Status(StatusCode::kUnavailable, std::move(message));
+}
+
+Status
+failedPreconditionError(std::string message)
+{
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+
+Status
+internalError(std::string message)
+{
+    return Status(StatusCode::kInternal, std::move(message));
+}
+
+} // namespace qaic

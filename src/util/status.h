@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Recoverable-error vocabulary for the compiler's boundary layers.
+ *
+ * Historically every error site in this repo routed through QAIC_FATAL
+ * (user error, exit) or QAIC_PANIC (library bug, abort) — fine for a
+ * batch CLI, fatal for the long-running compile service the roadmap
+ * targets: one malformed QASM line or torn pulse-library file would
+ * take down every other circuit in flight. Status/StatusOr splits the
+ * error world in two:
+ *
+ *  - *Recoverable* conditions — bad user input, missing or corrupt
+ *    files, deadline expiry, injected faults — travel as Status values
+ *    through the boundary APIs (QASM parsing, pulse-library I/O,
+ *    device construction from user config, Pipeline::compile,
+ *    compileBatch). Callers decide; only the qaicc CLI top level turns
+ *    them into an exit.
+ *  - *Invariant violations* — impossible states that indicate a bug in
+ *    this library — stay QAIC_PANIC. They are not representable as
+ *    Status on purpose: code cannot meaningfully continue past them.
+ *
+ * Context chaining: each layer that propagates an error may prepend
+ * where it was standing (`status.withContext("loading pulse library
+ * 'x.qplb'")`), so the message that reaches the CLI reads like a
+ * story, outermost first, without any layer needing to know the whole
+ * call stack.
+ */
+#ifndef QAIC_UTIL_STATUS_H
+#define QAIC_UTIL_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+/** Coarse error taxonomy, mirroring the usual RPC canon. */
+enum class StatusCode
+{
+    kOk = 0,
+    /** Caller-supplied input is malformed (bad QASM, unknown topology,
+     *  circuit wider than the device, disconnected placement). */
+    kInvalidArgument,
+    /** A referenced file or entry does not exist. */
+    kNotFound,
+    /** Stored bytes are corrupt: bad magic, short file, checksum
+     *  mismatch, unsupported format version. */
+    kDataLoss,
+    /** The compile deadline expired before the work finished. */
+    kDeadlineExceeded,
+    /** A transient environmental failure (I/O error, injected worker
+     *  fault); retrying may succeed. */
+    kUnavailable,
+    /** A precondition on the call was not met (e.g. mixing device
+     *  control limits inside one batch). */
+    kFailedPrecondition,
+    /** Catch-all for errors that are ours but not a panic. */
+    kInternal,
+};
+
+/** Stable upper-case name of @p code ("INVALID_ARGUMENT", ...). */
+const char *statusCodeName(StatusCode code);
+
+/** A success-or-error value; default-constructed Status is OK. */
+class Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    /** Error status; @p code must not be kOk (checked). */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+        QAIC_CHECK(code_ != StatusCode::kOk)
+            << "error Status constructed with kOk";
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /**
+     * Returns this status with @p context prepended to the message
+     * ("context: original message"); OK stays OK. Call on rvalues when
+     * re-propagating: `return std::move(st).withContext("while ...")`.
+     */
+    Status withContext(const std::string &context) const;
+
+    /** "OK" or "CODE_NAME: message" — the CLI-facing rendering. */
+    std::string toString() const;
+
+    friend bool operator==(const Status &a, const Status &b)
+    {
+        return a.code_ == b.code_ && a.message_ == b.message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/** Shorthand error constructors. */
+Status invalidArgumentError(std::string message);
+Status notFoundError(std::string message);
+Status dataLossError(std::string message);
+Status deadlineExceededError(std::string message);
+Status unavailableError(std::string message);
+Status failedPreconditionError(std::string message);
+Status internalError(std::string message);
+
+/**
+ * Either a T or a non-OK Status. Accessing value() on an error is a
+ * QAIC_PANIC (programmer error — check isOk() or use the macros).
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Success. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    /** Error; @p status must be non-OK (checked). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        QAIC_CHECK(!status_.isOk())
+            << "StatusOr constructed from an OK Status without a value";
+    }
+
+    bool isOk() const { return value_.has_value(); }
+
+    /** OK when a value is present, the error otherwise. */
+    const Status &status() const { return status_; }
+
+    const T &value() const &
+    {
+        QAIC_CHECK(value_.has_value())
+            << "StatusOr::value() on error: " << status_.toString();
+        return *value_;
+    }
+    T &value() &
+    {
+        QAIC_CHECK(value_.has_value())
+            << "StatusOr::value() on error: " << status_.toString();
+        return *value_;
+    }
+    T &&value() &&
+    {
+        QAIC_CHECK(value_.has_value())
+            << "StatusOr::value() on error: " << status_.toString();
+        return std::move(*value_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status status_; // OK iff value_ holds a value
+    std::optional<T> value_;
+};
+
+} // namespace qaic
+
+/** Propagates a non-OK Status from a Status-returning expression. */
+#define QAIC_RETURN_IF_ERROR(expr)                                       \
+    do {                                                                 \
+        ::qaic::Status qaic_status_tmp_ = (expr);                        \
+        if (!qaic_status_tmp_.isOk())                                    \
+            return qaic_status_tmp_;                                     \
+    } while (false)
+
+/**
+ * Unwraps a StatusOr expression into @p lhs, propagating the error.
+ * `QAIC_ASSIGN_OR_RETURN(Circuit c, parseQasm(text));`
+ */
+#define QAIC_ASSIGN_OR_RETURN(lhs, expr)                                 \
+    QAIC_ASSIGN_OR_RETURN_IMPL_(                                         \
+        QAIC_STATUS_CONCAT_(qaic_statusor_, __LINE__), lhs, expr)
+
+#define QAIC_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr)                      \
+    auto var = (expr);                                                   \
+    if (!var.isOk())                                                     \
+        return var.status();                                             \
+    lhs = std::move(var).value()
+
+#define QAIC_STATUS_CONCAT_(a, b) QAIC_STATUS_CONCAT_IMPL_(a, b)
+#define QAIC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif // QAIC_UTIL_STATUS_H

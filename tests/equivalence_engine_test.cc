@@ -230,7 +230,8 @@ TEST(EquivalenceEngineTest, SymbolicRoutedCheckMatchesDenseOnFuzzCorpus)
                 RoutingOptions options;
                 options.router = router;
                 RoutingResult routing =
-                    routeOnDevice(c, device, placement, options);
+                    routeOnDevice(c, device, placement, options)
+                        .value();
                 const auto symbolic = analyzeRoutedEquivalent(
                     c, routing, device.numQubits(),
                     forced(EquivalenceMethod::kPauliRotationForm));
@@ -253,7 +254,8 @@ TEST(EquivalenceEngineTest, SymbolicRoutedCheckRejectsTampering)
     Circuit c = randomCircuit(5, 18, 12345);
     DeviceModel device = deviceForTopology(Topology::kGrid, 5);
     auto placement = initialPlacement(c, device);
-    RoutingResult routing = routeOnDevice(c, device, placement);
+    RoutingResult routing =
+        routeOnDevice(c, device, placement).value();
 
     // Corrupt the stream with one stray Clifford gate.
     RoutingResult corrupted = routing;

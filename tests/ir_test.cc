@@ -207,9 +207,8 @@ TEST(QasmTest, RoundTrip)
     c.add(makeCcx(0, 1, 2));
 
     std::string text = toQasm(c);
-    std::string error;
-    auto parsed = parseQasm(text, &error);
-    ASSERT_TRUE(parsed.has_value()) << error;
+    auto parsed = parseQasm(text);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
     EXPECT_EQ(parsed->numQubits(), 3);
     ASSERT_EQ(parsed->size(), c.size());
     EXPECT_NEAR(phaseDistance(parsed->unitary(), c.unitary()), 0.0, 1e-9);
@@ -224,57 +223,60 @@ h q0   # trailing comment
 cx q0 q1
 )";
     auto parsed = parseQasm(text);
-    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed.isOk());
     EXPECT_EQ(parsed->size(), 2u);
     EXPECT_EQ(parsed->gates()[1].kind, GateKind::kCnot);
 }
 
 TEST(QasmTest, RejectsMalformedPrograms)
 {
-    std::string error;
-    EXPECT_FALSE(parseQasm("h q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\nfrob q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\nh q5\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\ncnot q0 q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\nrz q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\nrz(0.5,0.6) q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits -1\n", &error).has_value());
+    // Malformed programs are kInvalidArgument Status values, never
+    // crashes: the parser is a boundary layer (docs/ARCHITECTURE.md).
+    for (const char *bad :
+         {"h q0\n", "qubits 2\nfrob q0\n", "qubits 2\nh q5\n",
+          "qubits 2\ncnot q0 q0\n", "qubits 2\nrz q0\n",
+          "qubits 2\nrz(0.5,0.6) q0\n", "qubits -1\n"}) {
+        StatusOr<Circuit> parsed = parseQasm(bad);
+        ASSERT_FALSE(parsed.isOk()) << bad;
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+            << bad;
+    }
 }
 
 TEST(QasmTest, OverflowingNumbersAreParseErrorsNotExceptions)
 {
     // These used to escape as std::out_of_range from std::stoi and
     // crash the caller; they must come back as line-numbered errors.
-    std::string error;
-    EXPECT_FALSE(
-        parseQasm("qubits 2\nh q99999999999999999999\n", &error)
-            .has_value());
-    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
-    EXPECT_FALSE(
-        parseQasm("qubits 99999999999999999999\nh q0\n", &error)
-            .has_value());
-    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    StatusOr<Circuit> parsed =
+        parseQasm("qubits 2\nh q99999999999999999999\n");
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+        << parsed.status().toString();
+    parsed = parseQasm("qubits 99999999999999999999\nh q0\n");
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+        << parsed.status().toString();
     // Trailing junk after the count must not be silently truncated.
-    EXPECT_FALSE(parseQasm("qubits 5x\nh q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 5x\nh q0\n").isOk());
     // A huge-exponent parameter is a parse error, not a throw.
-    EXPECT_FALSE(
-        parseQasm("qubits 2\nrz(1e99999999) q0\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nrz(1e99999999) q0\n").isOk());
 }
 
 TEST(QasmTest, RejectsEmptyAndTrailingParameterPieces)
 {
-    std::string error;
     // Trailing comma used to be dropped silently.
-    EXPECT_FALSE(parseQasm("qubits 2\nrz(1,) q0\n", &error).has_value());
-    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    StatusOr<Circuit> trailing = parseQasm("qubits 2\nrz(1,) q0\n");
+    ASSERT_FALSE(trailing.isOk());
+    EXPECT_NE(trailing.status().message().find("line 2"),
+              std::string::npos)
+        << trailing.status().toString();
     // Empty parameter list with parens, leading/doubled commas.
-    EXPECT_FALSE(parseQasm("qubits 2\nrz() q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\nh() q0\n", &error).has_value());
-    EXPECT_FALSE(parseQasm("qubits 2\nrz(,1) q0\n", &error).has_value());
-    EXPECT_FALSE(
-        parseQasm("qubits 2\nrzz(1,,2) q0 q1\n", &error).has_value());
+    EXPECT_FALSE(parseQasm("qubits 2\nrz() q0\n").isOk());
+    EXPECT_FALSE(parseQasm("qubits 2\nh() q0\n").isOk());
+    EXPECT_FALSE(parseQasm("qubits 2\nrz(,1) q0\n").isOk());
+    EXPECT_FALSE(parseQasm("qubits 2\nrzz(1,,2) q0 q1\n").isOk());
     // Well-formed parameters still parse.
-    EXPECT_TRUE(parseQasm("qubits 2\nrz(1.5) q0\n", &error).has_value());
+    EXPECT_TRUE(parseQasm("qubits 2\nrz(1.5) q0\n").isOk());
 }
 
 TEST(QasmTest, AggregateFlattensOnSerialization)
@@ -283,7 +285,7 @@ TEST(QasmTest, AggregateFlattensOnSerialization)
     c.add(makeAggregate({makeH(0), makeCnot(0, 1)}, "G1"));
     std::string text = toQasm(c);
     auto parsed = parseQasm(text);
-    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed.isOk());
     EXPECT_EQ(parsed->size(), 2u);
     EXPECT_NEAR(phaseDistance(parsed->unitary(), c.unitary()), 0.0, 1e-9);
 }

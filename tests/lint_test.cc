@@ -227,7 +227,7 @@ TEST(LintSuiteTest, AllStrategiesAllTopologiesPassChecked)
                 Pipeline pipeline = Pipeline::forStrategy(strategy);
                 CompilationContext context(device, options);
                 CompilationResult result =
-                    pipeline.compile(circuit, context);
+                    pipeline.compile(circuit, context).value();
                 EXPECT_GT(result.latencyNs, 0.0)
                     << strategyName(strategy) << " on "
                     << topologyName(topology);
@@ -245,10 +245,11 @@ class CorruptingPass : public Pass
   public:
     std::string name() const override { return "corruptor"; }
 
-    void
+    Status
     run(CompilationContext &context) override
     {
         context.working.mutableGates()[0].qubits[0] = 99;
+        return Status();
     }
 };
 
@@ -258,13 +259,14 @@ class ScheduleCorruptingPass : public Pass
   public:
     std::string name() const override { return "schedule-corruptor"; }
 
-    void
+    Status
     run(CompilationContext &context) override
     {
         // Collapse every start to 0: any two ops sharing a qubit now
         // overlap.
         for (ScheduledOp &op : context.schedule.ops)
             op.start = 0.0;
+        return Status();
     }
 };
 
@@ -306,19 +308,29 @@ TEST(LintDeathTest, CorruptedScheduleReportsPassAndInvariant)
                  "(.|\n)*schedule-consistent");
 }
 
-TEST(LintDeathTest, CorruptedInputCircuitRejectedBeforeAnyPass)
+TEST(LintTest, CorruptedInputCircuitRejectedBeforeAnyPass)
 {
+    // The input circuit is caller data, not a pass artifact, so a
+    // violation in it is a recoverable kInvalidArgument — and the
+    // structural lint runs even with checkInvariants off.
     Circuit circuit = qaoaMaxcut(lineGraph(4));
     circuit.mutableGates()[0].qubits[0] = 99;
     DeviceModel device = DeviceModel::gridFor(4);
-    CompilerOptions options;
-    options.checkInvariants = true;
-
-    Pipeline pipeline = Pipeline::forStrategy(Strategy::kIsa);
-    CompilationContext context(device, options);
-    EXPECT_DEATH(pipeline.compile(circuit, context),
-                 "invariant violation in the input circuit(.|\n)*"
-                 "qubit-range");
+    for (bool check : {true, false}) {
+        CompilerOptions options;
+        options.checkInvariants = check;
+        Pipeline pipeline = Pipeline::forStrategy(Strategy::kIsa);
+        CompilationContext context(device, options);
+        StatusOr<CompilationResult> r = pipeline.compile(circuit, context);
+        ASSERT_FALSE(r.isOk()) << "checkInvariants=" << check;
+        EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+        EXPECT_NE(r.status().message().find("input circuit"),
+                  std::string::npos)
+            << r.status().toString();
+        EXPECT_NE(r.status().message().find("qubit-range"),
+                  std::string::npos)
+            << r.status().toString();
+    }
 }
 
 } // namespace

@@ -80,7 +80,7 @@ TEST(RoutingTest, OutputRespectsTopology)
     Circuit c = qaoaMaxcut(randomRegularGraph(10, 4, 2));
     DeviceModel dev = DeviceModel::gridFor(10);
     auto placement = initialPlacement(c, dev);
-    RoutingResult routing = routeOnDevice(c, dev, placement);
+    RoutingResult routing = routeOnDevice(c, dev, placement).value();
     EXPECT_TRUE(respectsTopology(routing.physical, dev));
 }
 
@@ -90,7 +90,7 @@ TEST(RoutingTest, NoSwapsWhenAlreadyAdjacent)
     c.add(makeCnot(0, 1));
     c.add(makeCnot(1, 2));
     DeviceModel dev = DeviceModel::line(3);
-    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2});
+    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2}).value();
     EXPECT_EQ(routing.swapCount, 0);
     EXPECT_EQ(routing.physical.size(), c.size());
 }
@@ -100,7 +100,8 @@ TEST(RoutingTest, InsertsSwapChainForDistantPair)
     Circuit c(4);
     c.add(makeCnot(0, 3));
     DeviceModel dev = DeviceModel::line(4);
-    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2, 3});
+    RoutingResult routing =
+        routeOnDevice(c, dev, {0, 1, 2, 3}).value();
     EXPECT_EQ(routing.swapCount, 2); // Distance 3 -> 2 swaps.
     EXPECT_TRUE(respectsTopology(routing.physical, dev));
 }
@@ -117,7 +118,7 @@ TEST(RoutingTest, PermutationAwareEquivalence)
     c.add(makeCnot(3, 0));
     DeviceModel dev = DeviceModel::line(4);
     auto placement = initialPlacement(c, dev);
-    RoutingResult routing = routeOnDevice(c, dev, placement);
+    RoutingResult routing = routeOnDevice(c, dev, placement).value();
     EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
 }
 
@@ -126,7 +127,7 @@ TEST(RoutingTest, EquivalenceOnGrid)
     Circuit c = qaoaMaxcut(clusterGraph(2, 3, 1)); // 6 qubits, cliques.
     DeviceModel dev = DeviceModel::gridFor(6);
     auto placement = initialPlacement(c, dev);
-    RoutingResult routing = routeOnDevice(c, dev, placement);
+    RoutingResult routing = routeOnDevice(c, dev, placement).value();
     EXPECT_TRUE(respectsTopology(routing.physical, dev));
     EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
 }
@@ -139,7 +140,7 @@ TEST(RoutingTest, RelabelsAggregateMembers)
     c.add(makeAggregate({makeCnot(0, 2), makeRz(2, 1.0), makeCnot(0, 2)},
                         "blk"));
     DeviceModel dev = DeviceModel::line(3);
-    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2});
+    RoutingResult routing = routeOnDevice(c, dev, {0, 1, 2}).value();
     EXPECT_TRUE(respectsTopology(routing.physical, dev));
     EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
     // The aggregate survived as one instruction.
@@ -162,7 +163,9 @@ TEST(RoutingTest, ClusterGraphNeedsMoreSwapsThanLine)
     Circuit cluster = qaoaMaxcut(clusterGraph(6, 5, 3));
     DeviceModel dev = DeviceModel::gridFor(30);
     auto route = [&](const Circuit &c) {
-        return routeOnDevice(c, dev, initialPlacement(c, dev)).swapCount;
+        return routeOnDevice(c, dev, initialPlacement(c, dev))
+            .value()
+            .swapCount;
     };
     EXPECT_LT(route(line), route(cluster));
 }
@@ -188,8 +191,10 @@ TEST(CrossTopologyTest, SuiteRoutesEquivalentlyEverywhere)
             auto placement = initialPlacement(lowered, device);
             for (RouterKind router :
                  {RouterKind::kBaseline, RouterKind::kLookahead}) {
-                RoutingResult routing = routeOnDevice(
-                    lowered, device, placement, withRouter(router));
+                RoutingResult routing =
+                    routeOnDevice(lowered, device, placement,
+                                  withRouter(router))
+                        .value();
                 ASSERT_TRUE(respectsTopology(routing.physical, device))
                     << spec.name << " on " << topologyName(topology)
                     << " via " << routerName(router);
@@ -226,9 +231,11 @@ TEST(CrossTopologyTest, LookaheadNeverWorseOnGridAndHeavyHex)
             auto placement = initialPlacement(lowered, device);
             int base = routeOnDevice(lowered, device, placement,
                                      withRouter(RouterKind::kBaseline))
+                           .value()
                            .swapCount;
             int look = routeOnDevice(lowered, device, placement,
                                      withRouter(RouterKind::kLookahead))
+                           .value()
                            .swapCount;
             EXPECT_LE(look, base)
                 << spec.name << " on " << topologyName(topology);
@@ -255,7 +262,7 @@ TEST(RouterEdgeCaseTest, DeviceLargerThanCircuit)
     for (RouterKind router :
          {RouterKind::kBaseline, RouterKind::kLookahead}) {
         RoutingResult routing =
-            routeOnDevice(c, dev, corners, withRouter(router));
+            routeOnDevice(c, dev, corners, withRouter(router)).value();
         EXPECT_TRUE(respectsTopology(routing.physical, dev));
         EXPECT_TRUE(routedEquivalent(c, routing, dev.numQubits()));
         EXPECT_EQ(routing.finalMapping.size(), 3u);
@@ -272,7 +279,7 @@ TEST(RouterEdgeCaseTest, AlreadyAdjacentInsertsNoSwaps)
     for (RouterKind router :
          {RouterKind::kBaseline, RouterKind::kLookahead}) {
         RoutingResult routing =
-            routeOnDevice(c, dev, {0, 1, 2}, withRouter(router));
+            routeOnDevice(c, dev, {0, 1, 2}, withRouter(router)).value();
         EXPECT_EQ(routing.swapCount, 0) << routerName(router);
         EXPECT_EQ(routing.physical.size(), c.size());
         EXPECT_EQ(routing.finalMapping, routing.initialMapping);
@@ -288,8 +295,10 @@ TEST(RouterEdgeCaseTest, SingleQubitOnlyCircuit)
     c.add(makeX(1));
     for (RouterKind router :
          {RouterKind::kBaseline, RouterKind::kLookahead}) {
-        RoutingResult routing = routeOnDevice(
-            c, ringDevice(5), {4, 2, 0, 1}, withRouter(router));
+        RoutingResult routing =
+            routeOnDevice(c, ringDevice(5), {4, 2, 0, 1},
+                          withRouter(router))
+                .value();
         EXPECT_EQ(routing.swapCount, 0) << routerName(router);
         EXPECT_EQ(routing.physical.size(), c.size());
         EXPECT_TRUE(routedEquivalent(c, routing, 5));
@@ -299,14 +308,22 @@ TEST(RouterEdgeCaseTest, SingleQubitOnlyCircuit)
 TEST(RouterEdgeCaseTest, DisconnectedPairRejectedWithClearError)
 {
     // Two separate 2-qubit islands; a gate across them cannot route.
+    // A device config that cannot run the circuit is recoverable user
+    // error: kInvalidArgument naming the culprits, not process death.
     Circuit c(4);
     c.add(makeCnot(0, 3));
     DeviceModel split(4, {{0, 1}, {2, 3}});
     for (RouterKind router :
          {RouterKind::kBaseline, RouterKind::kLookahead}) {
-        EXPECT_EXIT(routeOnDevice(c, split, {0, 1, 2, 3},
-                                  withRouter(router)),
-                    ::testing::ExitedWithCode(1), "disconnected");
+        StatusOr<RoutingResult> routed =
+            routeOnDevice(c, split, {0, 1, 2, 3}, withRouter(router));
+        ASSERT_FALSE(routed.isOk()) << routerName(router);
+        EXPECT_EQ(routed.status().code(), StatusCode::kInvalidArgument);
+        EXPECT_NE(routed.status().message().find("disconnected"),
+                  std::string::npos)
+            << routed.status().toString();
+        EXPECT_NE(routed.status().message().find("0"), std::string::npos);
+        EXPECT_NE(routed.status().message().find("3"), std::string::npos);
     }
 }
 
@@ -320,9 +337,9 @@ TEST(RouterDeterminismTest, RepeatedRunsAreBitwiseIdentical)
     for (RouterKind router :
          {RouterKind::kBaseline, RouterKind::kLookahead}) {
         RoutingResult a =
-            routeOnDevice(c, dev, placement, withRouter(router));
+            routeOnDevice(c, dev, placement, withRouter(router)).value();
         RoutingResult b =
-            routeOnDevice(c, dev, placement, withRouter(router));
+            routeOnDevice(c, dev, placement, withRouter(router)).value();
         EXPECT_EQ(a.swapCount, b.swapCount);
         EXPECT_EQ(a.initialMapping, b.initialMapping);
         EXPECT_EQ(a.finalMapping, b.finalMapping);
@@ -344,10 +361,10 @@ TEST(RouterDeterminismTest, CompileBatchMatchesSequentialRouting)
     DeviceModel device = heavyHexDeviceFor(width);
     CompilerOptions options;
 
-    auto one_thread = compileBatch(device, circuits, Strategy::kIsa,
-                                   options, /*threads=*/1);
-    auto four_threads = compileBatch(device, circuits, Strategy::kIsa,
-                                     options, /*threads=*/4);
+    auto one_thread = unwrapBatch(compileBatch(
+        device, circuits, Strategy::kIsa, options, /*threads=*/1));
+    auto four_threads = unwrapBatch(compileBatch(
+        device, circuits, Strategy::kIsa, options, /*threads=*/4));
     Compiler compiler(device, options);
     ASSERT_EQ(one_thread.size(), circuits.size());
     for (std::size_t i = 0; i < circuits.size(); ++i) {

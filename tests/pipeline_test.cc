@@ -121,7 +121,7 @@ TEST(PipelineTest, PerPassMetricsPopulated)
     DeviceModel device = DeviceModel::gridFor(6);
     Pipeline pipeline = Pipeline::forStrategy(Strategy::kClsAggregation);
     CompilationContext context(device, {});
-    CompilationResult r = pipeline.compile(circuit, context);
+    CompilationResult r = pipeline.compile(circuit, context).value();
 
     // forStrategy pre-labels the pipeline; no separate strategy
     // argument to get wrong.
@@ -141,8 +141,10 @@ TEST(PipelineTest, ContextIsReusableAcrossCompiles)
     DeviceModel device = DeviceModel::gridFor(5);
     CompilationContext context(device, {});
     Pipeline pipeline = Pipeline::forStrategy(Strategy::kClsAggregation);
-    CompilationResult first = pipeline.compile(circuit, context);
-    CompilationResult second = pipeline.compile(circuit, context);
+    CompilationResult first =
+        pipeline.compile(circuit, context).value();
+    CompilationResult second =
+        pipeline.compile(circuit, context).value();
     EXPECT_EQ(first.latencyNs, second.latencyNs);
     EXPECT_EQ(first.instructionCount, second.instructionCount);
     EXPECT_EQ(first.passMetrics.size(), second.passMetrics.size());
@@ -165,7 +167,7 @@ TEST(PipelineTest, CustomPipelineCompilesValid)
     custom.label(Strategy::kAggregation);
 
     CompilationContext context(device, {});
-    CompilationResult r = custom.compile(circuit, context);
+    CompilationResult r = custom.compile(circuit, context).value();
     EXPECT_EQ(r.strategy, Strategy::kAggregation);
     EXPECT_GT(r.latencyNs, 0.0);
     std::string error;
@@ -253,7 +255,7 @@ TEST(PipelineTest, MatchesLegacyFacadeOnAllStrategies)
 
             CompilationContext context(device, {});
             CompilationResult b =
-                Pipeline::forStrategy(s).compile(circuit, context);
+                Pipeline::forStrategy(s).compile(circuit, context).value();
 
             EXPECT_EQ(b.strategy, s) << strategyName(s);
             EXPECT_EQ(a.latencyNs, b.latencyNs) << strategyName(s);
@@ -282,9 +284,9 @@ TEST(BatchTest, MatchesSequentialOnWorkloadSuite)
             jobs.push_back({circuit, device, s});
     }
 
-    std::vector<CompilationResult> batch =
+    std::vector<CompilationResult> batch = unwrapBatch(
         compileBatch(std::span<const BatchJob>(jobs), CompilerOptions{},
-                     /*threads=*/4);
+                     /*threads=*/4));
     ASSERT_EQ(batch.size(), jobs.size());
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -310,12 +312,12 @@ TEST(BatchTest, HomogeneousOverloadAndThreadCounts)
     for (int n = 0; n < 4; ++n)
         circuits.push_back(qaoaMaxcut(lineGraph(6)));
 
-    std::vector<CompilationResult> one =
+    std::vector<CompilationResult> one = unwrapBatch(
         compileBatch(device, circuits, Strategy::kClsAggregation, {},
-                     /*threads=*/1);
-    std::vector<CompilationResult> four =
+                     /*threads=*/1));
+    std::vector<CompilationResult> four = unwrapBatch(
         compileBatch(device, circuits, Strategy::kClsAggregation, {},
-                     /*threads=*/4);
+                     /*threads=*/4));
     ASSERT_EQ(one.size(), circuits.size());
     ASSERT_EQ(four.size(), circuits.size());
     for (std::size_t i = 0; i < circuits.size(); ++i) {

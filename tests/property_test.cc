@@ -175,7 +175,7 @@ TEST_P(RandomCircuitSweep, RoutersAgreeAcrossTopologies)
             RoutingOptions options;
             options.router = router;
             RoutingResult routing =
-                routeOnDevice(c, device, placement, options);
+                routeOnDevice(c, device, placement, options).value();
             EXPECT_TRUE(respectsTopology(routing.physical, device))
                 << topologyName(topology) << "/" << routerName(router);
             EXPECT_TRUE(routedEquivalent(c, routing,

@@ -60,10 +60,10 @@ TEST(PulseLibraryTest, RoundTripPreservesEverythingBitwise)
     PulseLibraryEntry latency_only;
     latency_only.latencyNs = 9.5;
     lib.insert("key-c", latency_only);
-    ASSERT_TRUE(lib.flush());
+    ASSERT_TRUE(lib.flush().isOk());
 
     PulseLibrary loaded(path);
-    ASSERT_TRUE(loaded.load());
+    ASSERT_TRUE(loaded.load().isOk());
     EXPECT_EQ(loaded.size(), 3u);
 
     auto a = loaded.peek("key-a", "grape");
@@ -88,14 +88,16 @@ TEST(PulseLibraryTest, RoundTripPreservesEverythingBitwise)
     std::remove(path.c_str());
 }
 
-TEST(PulseLibraryTest, RejectsCorruptedAndTruncatedFiles)
+TEST(PulseLibraryTest, CorruptFilesAreQuarantinedWithDataLossStatus)
 {
     const std::string path = scratchPath("corrupt");
+    const std::string quarantine = path + ".corrupt";
     std::remove(path.c_str());
+    std::remove(quarantine.c_str());
 
     PulseLibrary lib(path);
     lib.insert("key-a", sampleEntry(17.5, 3, 32));
-    ASSERT_TRUE(lib.flush());
+    ASSERT_TRUE(lib.flush().isOk());
 
     std::string bytes;
     {
@@ -110,14 +112,28 @@ TEST(PulseLibraryTest, RejectsCorruptedAndTruncatedFiles)
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         out << contents;
     };
+    auto exists = [](const std::string &p) {
+        return static_cast<bool>(std::ifstream(p, std::ios::binary));
+    };
 
-    // Truncations at several depths (header, mid-entry, last byte).
+    // Truncations at several depths (header, mid-entry, last byte):
+    // kDataLoss, the bad file is moved aside, and the library stays
+    // usable (cold). A second load then finds nothing (kNotFound).
     for (std::size_t cut : {std::size_t{3}, std::size_t{10},
                             bytes.size() / 2, bytes.size() - 1}) {
         write_variant(bytes.substr(0, cut));
         PulseLibrary fresh(path);
-        EXPECT_FALSE(fresh.load()) << "truncated at " << cut;
+        Status loaded = fresh.load();
+        EXPECT_EQ(loaded.code(), StatusCode::kDataLoss)
+            << "truncated at " << cut << ": " << loaded.toString();
+        EXPECT_NE(loaded.message().find(quarantine), std::string::npos)
+            << "message must name the quarantine file: "
+            << loaded.toString();
         EXPECT_EQ(fresh.size(), 0u);
+        EXPECT_FALSE(exists(path)) << "corrupt file must be moved aside";
+        EXPECT_TRUE(exists(quarantine));
+        EXPECT_EQ(fresh.load().code(), StatusCode::kNotFound);
+        std::remove(quarantine.c_str());
     }
 
     // A flipped payload byte breaks the checksum.
@@ -125,11 +141,13 @@ TEST(PulseLibraryTest, RejectsCorruptedAndTruncatedFiles)
     flipped[bytes.size() - 5] ^= 0x40;
     write_variant(flipped);
     PulseLibrary fresh(path);
-    EXPECT_FALSE(fresh.load());
+    EXPECT_EQ(fresh.load().code(), StatusCode::kDataLoss);
+    std::remove(quarantine.c_str());
 
-    // Wrong magic and garbage are rejected, as is a missing file.
+    // Wrong magic and garbage are rejected the same way.
     write_variant("not a pulse library at all");
-    EXPECT_FALSE(PulseLibrary(path).load());
+    EXPECT_EQ(PulseLibrary(path).load().code(), StatusCode::kDataLoss);
+    std::remove(quarantine.c_str());
 
     // A crafted header (valid magic/version, absurd entry count, valid
     // checksum of the empty body) must fail cleanly instead of throwing
@@ -144,10 +162,13 @@ TEST(PulseLibraryTest, RejectsCorruptedAndTruncatedFiles)
     put(std::uint64_t{1} << 61);                   // entry count
     put(std::uint64_t{1469598103934665603ull});    // FNV-1a of ""
     write_variant(crafted);
-    EXPECT_FALSE(PulseLibrary(path).load());
+    EXPECT_EQ(PulseLibrary(path).load().code(), StatusCode::kDataLoss);
+    std::remove(quarantine.c_str());
 
+    // A missing file is kNotFound, not an error worth quarantining.
     std::remove(path.c_str());
-    EXPECT_FALSE(PulseLibrary(path).load());
+    EXPECT_EQ(PulseLibrary(path).load().code(), StatusCode::kNotFound);
+    EXPECT_FALSE(exists(quarantine));
 }
 
 TEST(PulseLibraryTest, FlushMergesInsteadOfClobbering)
@@ -159,14 +180,14 @@ TEST(PulseLibraryTest, FlushMergesInsteadOfClobbering)
     // flushes the same file: B's flush must fold A's work in.
     PulseLibrary a(path);
     a.insert("key-a", sampleEntry(11.0, 2, 8));
-    ASSERT_TRUE(a.flush());
+    ASSERT_TRUE(a.flush().isOk());
 
     PulseLibrary b(path);
     b.insert("key-b", sampleEntry(22.0, 2, 8));
-    ASSERT_TRUE(b.flush());
+    ASSERT_TRUE(b.flush().isOk());
 
     PulseLibrary check(path);
-    ASSERT_TRUE(check.load());
+    ASSERT_TRUE(check.load().isOk());
     EXPECT_EQ(check.size(), 2u);
     EXPECT_TRUE(check.peek("key-a", "grape").has_value());
     EXPECT_TRUE(check.peek("key-b", "grape").has_value());
@@ -185,7 +206,7 @@ TEST(PulseLibraryTest, ConcurrentWritersNeverCorruptTheFile)
         for (int i = 0; i < kFlushes; ++i) {
             lib.insert(prefix + std::to_string(i),
                        sampleEntry(10.0 + i, 2, 4));
-            EXPECT_TRUE(lib.flush());
+            EXPECT_TRUE(lib.flush().isOk());
         }
     };
     std::thread a(writer, std::ref(left), std::string("left-"));
@@ -198,17 +219,17 @@ TEST(PulseLibraryTest, ConcurrentWritersNeverCorruptTheFile)
     // partial write).
     {
         PulseLibrary check(path);
-        ASSERT_TRUE(check.load());
+        ASSERT_TRUE(check.load().isOk());
         EXPECT_GE(check.size(), static_cast<std::size_t>(kFlushes));
     }
 
     // The very last racing rename may predate the other writer's final
     // entry; one more flush from each side deterministically converges
     // the file to the union (each flush folds the file back in first).
-    ASSERT_TRUE(left.flush());
-    ASSERT_TRUE(right.flush());
+    ASSERT_TRUE(left.flush().isOk());
+    ASSERT_TRUE(right.flush().isOk());
     PulseLibrary check(path);
-    ASSERT_TRUE(check.load());
+    ASSERT_TRUE(check.load().isOk());
     EXPECT_EQ(check.size(), static_cast<std::size_t>(2 * kFlushes));
     EXPECT_TRUE(
         check.peek("left-" + std::to_string(kFlushes - 1), "grape")
@@ -245,10 +266,10 @@ TEST(PulseLibraryTest, NearestServesOnlyLoadedEntries)
     // workers' store order can never change another compilation's
     // result.
     EXPECT_FALSE(lib.nearest("s2:cnot.0.1;rz.1;cnot.0.1;").has_value());
-    ASSERT_TRUE(lib.flush());
+    ASSERT_TRUE(lib.flush().isOk());
 
     PulseLibrary loaded(path);
-    ASSERT_TRUE(loaded.load());
+    ASSERT_TRUE(loaded.load().isOk());
     auto warm = loaded.nearest("s2:cnot.0.1;rz.1;cnot.0.1;");
     ASSERT_TRUE(warm.has_value());
     EXPECT_TRUE(warm->hasWaveforms());
@@ -343,12 +364,12 @@ TEST(PulseLibraryOracleTest, GrapeOracleReplaysExactHitsBitwise)
         first = oracle.latencyNs(makeIswap(0, 1));
         EXPECT_GT(first, 0.0);
         EXPECT_GE(lib->stats().stores, 1u);
-        ASSERT_TRUE(lib->flush());
+        ASSERT_TRUE(lib->flush().isOk());
     }
     {
         // A fresh process: same library file, fresh oracle.
         auto lib = std::make_shared<PulseLibrary>(path);
-        ASSERT_TRUE(lib->load());
+        ASSERT_TRUE(lib->load().isOk());
         GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
         second = oracle.latencyNs(makeIswap(0, 1));
         EXPECT_EQ(lib->stats().hits, 1u)
@@ -372,11 +393,11 @@ TEST(PulseLibraryOracleTest, ShapeMatchWarmStartsAcrossRuns)
         // concurrent batch results depend on worker store order).
         oracle.latencyNs(makeRzz(0, 1, 1.5));
         EXPECT_EQ(lib->stats().warmStarts, 0u);
-        ASSERT_TRUE(lib->flush());
+        ASSERT_TRUE(lib->flush().isOk());
     }
     {
         auto lib = std::make_shared<PulseLibrary>(path);
-        ASSERT_TRUE(lib->load());
+        ASSERT_TRUE(lib->load().isOk());
         GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
         double b = oracle.latencyNs(makeRzz(0, 1, 2.0));
         EXPECT_GT(b, 0.0);
@@ -421,11 +442,11 @@ TEST(PulseLibraryOracleTest, DifferentSynthesisBudgetsDoNotReplay)
         auto lib = std::make_shared<PulseLibrary>(path);
         GrapeLatencyOracle oracle(quickOracleOptions(), {}, lib);
         oracle.latencyNs(makeIswap(0, 1));
-        ASSERT_TRUE(lib->flush());
+        ASSERT_TRUE(lib->flush().isOk());
     }
     {
         auto lib = std::make_shared<PulseLibrary>(path);
-        ASSERT_TRUE(lib->load());
+        ASSERT_TRUE(lib->load().isOk());
         GrapeOracleOptions bigger = quickOracleOptions();
         bigger.grape.maxIterations += 50;
         GrapeLatencyOracle oracle(bigger, {}, lib);
@@ -471,13 +492,13 @@ TEST(PulseLibraryOracleTest, CachingOracleUsesDurableLatencies)
         CachingOracle oracle(std::make_shared<AnalyticOracle>(), lib);
         for (const Gate &g : gates)
             first.push_back(oracle.latencyNs(g));
-        ASSERT_TRUE(lib->flush());
+        ASSERT_TRUE(lib->flush().isOk());
     }
     // ...which a later process serves without consulting the inner
     // oracle (visible as libraryHits in the consistent stats snapshot).
     {
         auto lib = std::make_shared<PulseLibrary>(path);
-        ASSERT_TRUE(lib->load());
+        ASSERT_TRUE(lib->load().isOk());
         CachingOracle oracle(std::make_shared<AnalyticOracle>(), lib);
         for (std::size_t i = 0; i < gates.size(); ++i)
             EXPECT_EQ(oracle.latencyNs(gates[i]), first[i]);
@@ -543,15 +564,15 @@ TEST(PulseLibraryOracleTest, BatchCompilationSharesOneLibrary)
     circuit.add(makeCnot(0, 1));
     std::vector<Circuit> circuits(4, circuit);
 
-    std::vector<CompilationResult> results = compileBatch(
-        device, circuits, Strategy::kClsAggregation, options, 4);
+    std::vector<CompilationResult> results = unwrapBatch(compileBatch(
+        device, circuits, Strategy::kClsAggregation, options, 4));
     ASSERT_EQ(results.size(), 4u);
     for (const CompilationResult &r : results)
         EXPECT_EQ(r.latencyNs, results.front().latencyNs);
     // The shared oracle flushed on destruction inside compileBatch;
     // the library file must now exist and be loadable.
     PulseLibrary check(path);
-    EXPECT_TRUE(check.load());
+    EXPECT_TRUE(check.load().isOk());
     EXPECT_GT(check.size(), 0u);
     std::remove(path.c_str());
 }

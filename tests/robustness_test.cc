@@ -1,0 +1,227 @@
+/**
+ * @file
+ * End-to-end robustness acceptance tests: per-job error isolation in
+ * compileBatch (one bad circuit never poisons its neighbours), graceful
+ * GRAPE degradation under injected non-convergence, and compile
+ * deadlines surfacing as kDeadlineExceeded instead of process death.
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compiler/batch.h"
+#include "compiler/compiler.h"
+#include "compiler/pipeline.h"
+#include "ir/circuit.h"
+#include "util/failpoint.h"
+#include "workloads/graphs.h"
+#include "workloads/qaoa.h"
+#include "workloads/qft.h"
+
+namespace qaic {
+namespace {
+
+class RobustnessTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoints::resetAll(); }
+    void TearDown() override { failpoints::resetAll(); }
+};
+
+/** Solo compile of @p job under @p options, for bitwise comparison. */
+CompilationResult
+compileAlone(const BatchJob &job, const CompilerOptions &options = {})
+{
+    Pipeline pipeline = Pipeline::forStrategy(job.strategy);
+    CompilationContext context(job.device, options);
+    return pipeline.compile(job.circuit, context).value();
+}
+
+void
+expectBitwiseEqual(const CompilationResult &a, const CompilationResult &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.latencyNs, b.latencyNs) << what;
+    EXPECT_EQ(a.instructionCount, b.instructionCount) << what;
+    EXPECT_EQ(a.aggregateCount, b.aggregateCount) << what;
+    EXPECT_EQ(a.swapCount, b.swapCount) << what;
+    ASSERT_EQ(a.schedule.ops.size(), b.schedule.ops.size()) << what;
+    for (std::size_t i = 0; i < a.schedule.ops.size(); ++i) {
+        EXPECT_EQ(a.schedule.ops[i].start, b.schedule.ops[i].start)
+            << what << " op " << i;
+        EXPECT_EQ(a.schedule.ops[i].duration, b.schedule.ops[i].duration)
+            << what << " op " << i;
+    }
+}
+
+/**
+ * The acceptance scenario: a batch mixing a malformed circuit (qubit
+ * index out of range), an oversized circuit (wider than its device), a
+ * circuit whose device cannot route it (disconnected islands) and a
+ * device with foreign control limits — alongside good jobs. Every bad
+ * job gets its own precise error; every good job's result is bitwise
+ * identical to compiling it alone.
+ */
+TEST_F(RobustnessTest, BatchIsolatesEveryKindOfBadJob)
+{
+    Circuit malformed = qaoaMaxcut(lineGraph(4));
+    malformed.mutableGates()[0].qubits[0] = 99;
+
+    // A connected 4-qubit interaction chain: on a device made of two
+    // 2-qubit islands, every placement leaves some gate crossing the
+    // gap, and SWAPs cannot bridge it either.
+    Circuit crosses_islands(4);
+    crosses_islands.add(makeCnot(0, 1));
+    crosses_islands.add(makeCnot(1, 2));
+    crosses_islands.add(makeCnot(2, 3));
+
+    std::vector<BatchJob> jobs;
+    jobs.push_back({qaoaMaxcut(lineGraph(5)), DeviceModel::gridFor(5),
+                    Strategy::kClsAggregation});              // 0: good
+    jobs.push_back({malformed, DeviceModel::gridFor(4),
+                    Strategy::kClsAggregation});              // 1: lint
+    jobs.push_back({qft(6), DeviceModel::gridFor(4),
+                    Strategy::kClsAggregation});              // 2: too wide
+    jobs.push_back({qft(4), DeviceModel::gridFor(4),
+                    Strategy::kIsa});                         // 3: good
+    jobs.push_back({crosses_islands,
+                    DeviceModel(4, {{0, 1}, {2, 3}}),
+                    Strategy::kClsAggregation});              // 4: unroutable
+    jobs.push_back({qft(4),
+                    DeviceModel::gridFor(4, /*mu1=*/0.05, /*mu2=*/0.01),
+                    Strategy::kClsAggregation});              // 5: limits
+
+    std::vector<StatusOr<CompilationResult>> results =
+        compileBatch(jobs, {}, /*threads=*/3);
+    ASSERT_EQ(results.size(), jobs.size());
+
+    ASSERT_TRUE(results[0].isOk()) << results[0].status().toString();
+    ASSERT_TRUE(results[3].isOk()) << results[3].status().toString();
+
+    ASSERT_FALSE(results[1].isOk());
+    EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(results[1].status().message().find("input circuit"),
+              std::string::npos)
+        << results[1].status().toString();
+
+    ASSERT_FALSE(results[2].isOk());
+    EXPECT_EQ(results[2].status().code(), StatusCode::kInvalidArgument)
+        << results[2].status().toString();
+
+    ASSERT_FALSE(results[4].isOk());
+    EXPECT_EQ(results[4].status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(results[4].status().message().find("disconnected"),
+              std::string::npos)
+        << results[4].status().toString();
+
+    ASSERT_FALSE(results[5].isOk());
+    EXPECT_EQ(results[5].status().code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_NE(results[5].status().message().find("control limits"),
+              std::string::npos)
+        << results[5].status().toString();
+
+    // Error isolation must not perturb the good results: bitwise
+    // identical to compiling each alone.
+    expectBitwiseEqual(results[0].value(), compileAlone(jobs[0]),
+                       "job 0");
+    expectBitwiseEqual(results[3].value(), compileAlone(jobs[3]),
+                       "job 3");
+}
+
+TEST_F(RobustnessTest, InjectedWorkerFailureHitsExactlyOneSlot)
+{
+    const Circuit circuits[] = {qaoaMaxcut(lineGraph(4)), qft(4),
+                                qaoaMaxcut(lineGraph(5))};
+    DeviceModel device = DeviceModel::gridFor(5);
+
+    // One worker thread claims jobs in order, so nth:2 deterministically
+    // fails the middle job and only it.
+    failpoints::find("batch_worker_fail")->activateNth(2);
+    std::vector<StatusOr<CompilationResult>> results = compileBatch(
+        device, circuits, Strategy::kClsAggregation, {}, /*threads=*/1);
+    ASSERT_EQ(results.size(), 3u);
+
+    ASSERT_FALSE(results[1].isOk());
+    EXPECT_EQ(results[1].status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(results[1].status().message().find("batch_worker_fail"),
+              std::string::npos);
+
+    failpoints::resetAll();
+    for (std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+        ASSERT_TRUE(results[i].isOk()) << results[i].status().toString();
+        BatchJob job{circuits[i], device, Strategy::kClsAggregation};
+        expectBitwiseEqual(results[i].value(), compileAlone(job),
+                           "job " + std::to_string(i));
+    }
+}
+
+TEST_F(RobustnessTest, GrapeNonconvergenceDegradesToAnalyticLatencies)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(4));
+    DeviceModel device = DeviceModel::gridFor(4);
+
+    CompilerOptions grape_options;
+    grape_options.useGrapeOracle = true;
+    grape_options.grapeOptions.grape.maxIterations = 60;
+    grape_options.grapeOptions.grape.restarts = 1;
+    grape_options.grapeOptions.resolution = 4.0;
+
+    // Every GRAPE search fails: the compile must finish anyway, flagged
+    // degraded, priced by the analytic fallback.
+    failpoints::find("grape_nonconverge")->activateAlways();
+    Compiler degraded_compiler(device, grape_options);
+    StatusOr<CompilationResult> degraded =
+        degraded_compiler.tryCompile(circuit, Strategy::kClsAggregation);
+    ASSERT_TRUE(degraded.isOk()) << degraded.status().toString();
+    EXPECT_TRUE(degraded->degraded);
+    EXPECT_NE(degraded->degradedReason.find("analytic"),
+              std::string::npos)
+        << degraded->degradedReason;
+
+    // The fallback prices exactly like the analytic oracle, so the
+    // degraded result matches a plain analytic-mode compile.
+    failpoints::resetAll();
+    CompilerOptions analytic_options = grape_options;
+    analytic_options.useGrapeOracle = false;
+    Compiler analytic_compiler(device, analytic_options);
+    CompilationResult analytic = analytic_compiler.compile(
+        circuit, Strategy::kClsAggregation);
+    EXPECT_FALSE(analytic.degraded);
+    EXPECT_EQ(degraded->latencyNs, analytic.latencyNs);
+    EXPECT_EQ(degraded->instructionCount, analytic.instructionCount);
+}
+
+TEST_F(RobustnessTest, ExpiredDeadlineFailsWithDeadlineExceeded)
+{
+    Circuit circuit = qaoaMaxcut(lineGraph(5));
+    DeviceModel device = DeviceModel::gridFor(5);
+    CompilerOptions options;
+    options.deadlineMs = 1e-6; // already due at the first check
+
+    Compiler compiler(device, options);
+    StatusOr<CompilationResult> result =
+        compiler.tryCompile(circuit, Strategy::kClsAggregation);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(result.status().message().find("deadline"),
+              std::string::npos)
+        << result.status().toString();
+    // The pass that overran is named, so the CLI message is actionable.
+    EXPECT_NE(result.status().message().find("pass"), std::string::npos);
+
+    // The same compiler still works once the budget is realistic: the
+    // failure was per-compile state, not a poisoned pipeline.
+    StatusOr<CompilationResult> retry =
+        compiler.tryCompile(circuit, Strategy::kClsAggregation);
+    EXPECT_FALSE(retry.isOk()) << "options are immutable per compiler";
+
+    CompilerOptions relaxed;
+    Compiler fresh(device, relaxed);
+    EXPECT_TRUE(
+        fresh.tryCompile(circuit, Strategy::kClsAggregation).isOk());
+}
+
+} // namespace
+} // namespace qaic

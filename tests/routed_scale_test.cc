@@ -35,7 +35,7 @@ expectRoutedAtScale(const Circuit &logical, Topology topology,
     RoutingOptions options;
     options.router = router;
     RoutingResult routing =
-        routeOnDevice(logical, device, placement, options);
+        routeOnDevice(logical, device, placement, options).value();
 
     EquivalenceReport report =
         analyzeRoutedEquivalent(logical, routing, device.numQubits());

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the recoverable-error vocabulary (util/status.h) and
+ * the compile-deadline primitives (util/deadline.h): code/message
+ * plumbing, context chaining, StatusOr value semantics, the propagation
+ * macros and the thread-local deadline scope.
+ */
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace qaic {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.toString(), "OK");
+    EXPECT_EQ(s, Status::ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status s = dataLossError("checksum mismatch");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+    EXPECT_EQ(s.message(), "checksum mismatch");
+    EXPECT_EQ(s.toString(), "DATA_LOSS: checksum mismatch");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsCode)
+{
+    const std::pair<Status, StatusCode> cases[] = {
+        {invalidArgumentError("m"), StatusCode::kInvalidArgument},
+        {notFoundError("m"), StatusCode::kNotFound},
+        {dataLossError("m"), StatusCode::kDataLoss},
+        {deadlineExceededError("m"), StatusCode::kDeadlineExceeded},
+        {unavailableError("m"), StatusCode::kUnavailable},
+        {failedPreconditionError("m"), StatusCode::kFailedPrecondition},
+        {internalError("m"), StatusCode::kInternal},
+    };
+    for (const auto &[status, code] : cases) {
+        EXPECT_EQ(status.code(), code);
+        EXPECT_EQ(status.message(), "m");
+        // Names are stable CLI-facing vocabulary.
+        EXPECT_EQ(status.toString(),
+                  std::string(statusCodeName(code)) + ": m");
+    }
+}
+
+TEST(StatusTest, ContextChainsOutermostFirst)
+{
+    Status inner = dataLossError("bad magic");
+    Status mid = inner.withContext("pulse library 'x.qplb'");
+    Status outer = mid.withContext("pass 'aggregation'");
+    EXPECT_EQ(outer.code(), StatusCode::kDataLoss);
+    EXPECT_EQ(outer.message(),
+              "pass 'aggregation': pulse library 'x.qplb': bad magic");
+    // OK stays OK — context on success is a no-op, not an error.
+    EXPECT_TRUE(Status().withContext("anything").isOk());
+}
+
+TEST(StatusOrTest, HoldsValueOrError)
+{
+    StatusOr<int> ok = 42;
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_TRUE(ok.status().isOk());
+    EXPECT_EQ(ok.value(), 42);
+    EXPECT_EQ(*ok, 42);
+
+    StatusOr<int> bad = notFoundError("nothing here");
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutLeavesNoCopies)
+{
+    StatusOr<std::vector<int>> ok = std::vector<int>{1, 2, 3};
+    std::vector<int> v = std::move(ok).value();
+    EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOrTest, ArrowReachesMembers)
+{
+    StatusOr<std::string> s = std::string("hello");
+    EXPECT_EQ(s->size(), 5u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorPanics)
+{
+    StatusOr<int> bad = internalError("broken");
+    EXPECT_DEATH((void)bad.value(), "broken");
+}
+
+namespace macros {
+
+Status
+failsWhen(bool fail)
+{
+    if (fail)
+        return unavailableError("inner failure");
+    return Status();
+}
+
+Status
+propagates(bool fail, bool *reached_end)
+{
+    QAIC_RETURN_IF_ERROR(failsWhen(fail));
+    *reached_end = true;
+    return Status();
+}
+
+StatusOr<int>
+half(int n)
+{
+    if (n % 2 != 0)
+        return invalidArgumentError("odd");
+    return n / 2;
+}
+
+StatusOr<int>
+quarter(int n)
+{
+    QAIC_ASSIGN_OR_RETURN(int h, half(n));
+    QAIC_ASSIGN_OR_RETURN(int q, half(h));
+    return q;
+}
+
+} // namespace macros
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesAndPassesThrough)
+{
+    bool reached = false;
+    EXPECT_TRUE(macros::propagates(false, &reached).isOk());
+    EXPECT_TRUE(reached);
+
+    reached = false;
+    Status s = macros::propagates(true, &reached);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+    EXPECT_FALSE(reached);
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsOrPropagates)
+{
+    StatusOr<int> q = macros::quarter(12);
+    ASSERT_TRUE(q.isOk());
+    EXPECT_EQ(q.value(), 3);
+
+    // Fails at the second unwrap (6/2 = 3 is odd at the next halving).
+    EXPECT_EQ(macros::quarter(6).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+// --- Deadlines --------------------------------------------------------
+
+TEST(DeadlineTest, NeverNeverExpires)
+{
+    Deadline d;
+    EXPECT_TRUE(d.isNever());
+    EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(Deadline::never().isNever());
+}
+
+TEST(DeadlineTest, PastAndFutureInstants)
+{
+    EXPECT_TRUE(Deadline::afterMs(0.0).expired());
+    EXPECT_TRUE(Deadline::afterMs(-5.0).expired());
+    Deadline far = Deadline::afterMs(60000.0);
+    EXPECT_FALSE(far.isNever());
+    EXPECT_FALSE(far.expired());
+}
+
+TEST(DeadlineTest, ScopedDeadlineIsThreadLocalAndRestores)
+{
+    EXPECT_TRUE(currentCompileDeadline().isNever());
+    {
+        ScopedCompileDeadline outer(Deadline::afterMs(60000.0));
+        EXPECT_FALSE(currentCompileDeadline().isNever());
+        {
+            // Nested compiles see the innermost budget only.
+            ScopedCompileDeadline inner(Deadline::afterMs(0.0));
+            EXPECT_TRUE(currentCompileDeadline().expired());
+        }
+        EXPECT_FALSE(currentCompileDeadline().expired());
+    }
+    EXPECT_TRUE(currentCompileDeadline().isNever());
+}
+
+} // namespace
+} // namespace qaic

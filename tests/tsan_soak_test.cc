@@ -23,6 +23,7 @@
 #include "compiler/pipeline.h"
 #include "oracle/oracle.h"
 #include "oracle/pulselib.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 #include "workloads/graphs.h"
 #include "workloads/qaoa.h"
@@ -59,16 +60,17 @@ TEST(TsanSoakTest, ConcurrentBatchesShareOracleAndLibrary)
     options.checkInvariants = false;
 
     auto library = std::make_shared<PulseLibrary>(path);
-    library->load();
+    (void)library->load();
     auto oracle = std::make_shared<CachingOracle>(
         std::make_shared<AnalyticOracle>(
             resolveCompilerOptions(device, options).model),
         library);
 
     // Sequential reference for the determinism assertion.
-    const std::vector<CompilationResult> reference = compileBatch(
-        device, circuits, Strategy::kClsAggregation, options,
-        /*threads=*/1, oracle);
+    const std::vector<CompilationResult> reference =
+        unwrapBatch(compileBatch(device, circuits,
+                                 Strategy::kClsAggregation, options,
+                                 /*threads=*/1, oracle));
 
     constexpr int kBatchThreads = 4;
     constexpr int kRounds = 3;
@@ -89,7 +91,7 @@ TEST(TsanSoakTest, ConcurrentBatchesShareOracleAndLibrary)
     // Flusher thread: write-behind flushes race the inserts.
     std::thread flusher([&] {
         while (!stop.load()) {
-            EXPECT_TRUE(library->flush());
+            EXPECT_TRUE(library->flush().isOk());
             std::this_thread::yield();
         }
     });
@@ -99,9 +101,10 @@ TEST(TsanSoakTest, ConcurrentBatchesShareOracleAndLibrary)
     for (int t = 0; t < kBatchThreads; ++t) {
         batches.emplace_back([&] {
             for (int round = 0; round < kRounds; ++round) {
-                std::vector<CompilationResult> results = compileBatch(
-                    device, circuits, Strategy::kClsAggregation, options,
-                    /*threads=*/2, oracle);
+                std::vector<CompilationResult> results =
+                    unwrapBatch(compileBatch(
+                        device, circuits, Strategy::kClsAggregation,
+                        options, /*threads=*/2, oracle));
                 for (std::size_t i = 0; i < results.size(); ++i)
                     if (results[i].latencyNs != reference[i].latencyNs)
                         mismatches.fetch_add(1);
@@ -115,7 +118,7 @@ TEST(TsanSoakTest, ConcurrentBatchesShareOracleAndLibrary)
     flusher.join();
 
     EXPECT_EQ(mismatches.load(), 0);
-    EXPECT_TRUE(library->flush());
+    EXPECT_TRUE(library->flush().isOk());
     std::remove(path.c_str());
 }
 
@@ -179,8 +182,8 @@ TEST(TsanSoakTest, PulseLibraryInsertLookupFlushRaces)
                 (void)library.lookup(key, "soak");
                 (void)library.nearest("shape" + std::to_string(i % 8));
                 if (i % 32 == 0) {
-                    EXPECT_TRUE(library.flush());
-                    library.load();
+                    EXPECT_TRUE(library.flush().isOk());
+                    (void)library.load();
                 }
             }
         });
@@ -192,6 +195,69 @@ TEST(TsanSoakTest, PulseLibraryInsertLookupFlushRaces)
     EXPECT_EQ(s.stores + s.misses + s.hits > 0, true);
     EXPECT_EQ(library.size(), s.entries);
     std::remove(path.c_str());
+}
+
+/** The insert/lookup/flush/load hammer again, with the pulse-library
+ *  I/O failpoints firing probabilistically: the recovery paths (rename
+ *  retry, quarantine, cold restart) must be as race-free as the happy
+ *  path, and once the faults stop the library must converge to a clean
+ *  loadable file. */
+TEST(TsanSoakTest, PulseLibraryIoFaultsUnderConcurrency)
+{
+    const std::string path = scratchPath("faults");
+    const std::string quarantine = path + ".corrupt";
+    std::remove(path.c_str());
+    std::remove(quarantine.c_str());
+
+    failpoints::resetAll();
+    failpoints::find("pulselib_rename_fail")
+        ->activateProbabilistic(0.2, 11);
+    failpoints::find("pulselib_short_read")
+        ->activateProbabilistic(0.2, 23);
+    failpoints::find("pulselib_checksum_corrupt")
+        ->activateProbabilistic(0.2, 37);
+
+    PulseLibrary library(path);
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 60;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const std::string key =
+                    "key" + std::to_string((i + 5 * t) % 32);
+                PulseLibraryEntry entry;
+                entry.latencyNs = 1.0 + (i % 16);
+                library.insert(key, std::move(entry));
+                (void)library.lookup(key, "");
+                if (i % 8 == 0) {
+                    Status flushed = library.flush();
+                    if (!flushed.isOk())
+                        EXPECT_EQ(flushed.code(),
+                                  StatusCode::kUnavailable)
+                            << flushed.toString();
+                    Status loaded = library.load();
+                    if (!loaded.isOk())
+                        EXPECT_TRUE(
+                            loaded.code() == StatusCode::kNotFound ||
+                            loaded.code() == StatusCode::kDataLoss)
+                            << loaded.toString();
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    failpoints::resetAll();
+
+    // Faults off: one clean flush converges disk to the in-memory
+    // union, whatever carnage the injected I/O errors caused.
+    EXPECT_TRUE(library.flush().isOk());
+    PulseLibrary check(path);
+    EXPECT_TRUE(check.load().isOk());
+    EXPECT_EQ(check.size(), library.size());
+    std::remove(path.c_str());
+    std::remove(quarantine.c_str());
 }
 
 } // namespace

@@ -30,6 +30,15 @@
  *     --check-invariants
  *                     verify pass contracts while compiling (IR lint
  *                     between passes; on by default in Debug builds)
+ *     --deadline MS   wall-clock compile budget in milliseconds; GRAPE
+ *                     searches that overrun degrade to analytic
+ *                     latencies (reported), other overruns fail
+ *
+ * Error-policy note (docs/ARCHITECTURE.md "Error handling"): the
+ * library reports recoverable problems — malformed QASM, impossible
+ * device configs, corrupt pulse libraries, expired deadlines — as
+ * Status values; this CLI is the one place they are turned into an
+ * error message and a nonzero exit.
  */
 #include <cstdio>
 #include <cstring>
@@ -60,7 +69,8 @@ usage(const char *argv0)
                  "[--pulses FILE]\n"
                  "          [--pulse-lib FILE] [--schedule] [--timings] "
                  "[--verify]\n"
-                 "          [--check-invariants] circuit.qasm\n",
+                 "          [--check-invariants] [--deadline MS] "
+                 "circuit.qasm\n",
                  argv0);
     return 2;
 }
@@ -74,6 +84,7 @@ main(int argc, char **argv)
     Topology topology = Topology::kGrid;
     RouterKind router = RouterKind::kLookahead;
     int width = 10;
+    double deadline_ms = 0.0;
     bool print_schedule = false, print_timings = false, verify = false;
     bool check_invariants = kCheckInvariantsDefault;
     std::string pulses_path, pulse_lib_path, input_path;
@@ -113,6 +124,10 @@ main(int argc, char **argv)
             verify = true;
         } else if (arg == "--check-invariants") {
             check_invariants = true;
+        } else if (arg == "--deadline" && i + 1 < argc) {
+            deadline_ms = std::atof(argv[++i]);
+            if (deadline_ms <= 0)
+                return usage(argv[0]);
         } else if (arg.rfind("--", 0) == 0) {
             return usage(argv[0]);
         } else if (input_path.empty()) {
@@ -131,11 +146,10 @@ main(int argc, char **argv)
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    std::string error;
-    auto circuit = parseQasm(buffer.str(), &error);
-    if (!circuit) {
+    StatusOr<Circuit> circuit = parseQasm(buffer.str());
+    if (!circuit.isOk()) {
         std::fprintf(stderr, "%s: %s\n", input_path.c_str(),
-                     error.c_str());
+                     circuit.status().toString().c_str());
         return 1;
     }
 
@@ -144,10 +158,24 @@ main(int argc, char **argv)
     options.pulseLibraryPath = pulse_lib_path;
     options.routing.router = router;
     options.checkInvariants = check_invariants;
-    DeviceModel device = deviceForTopology(topology, circuit->numQubits(),
-                                           options.seed);
+    options.deadlineMs = deadline_ms;
+    StatusOr<DeviceModel> device_or = deviceFromUserConfig(
+        topologyName(topology), circuit->numQubits(), options.seed);
+    if (!device_or.isOk()) {
+        std::fprintf(stderr, "%s\n",
+                     device_or.status().toString().c_str());
+        return 1;
+    }
+    DeviceModel device = std::move(device_or).value();
     Compiler compiler(device, options);
-    CompilationResult result = compiler.compile(*circuit, strategy);
+    StatusOr<CompilationResult> compiled =
+        compiler.tryCompile(*circuit, strategy);
+    if (!compiled.isOk()) {
+        std::fprintf(stderr, "%s: %s\n", input_path.c_str(),
+                     compiled.status().toString().c_str());
+        return 1;
+    }
+    CompilationResult result = std::move(compiled).value();
 
     std::printf("input      : %s (%zu gates, %d qubits)\n",
                 input_path.c_str(), circuit->size(),
@@ -162,6 +190,8 @@ main(int argc, char **argv)
     std::printf("instructions: %d (%d aggregated, widest %d), %d SWAPs\n",
                 result.instructionCount, result.aggregateCount,
                 result.maxWidth, result.swapCount);
+    if (result.degraded)
+        std::printf("degraded   : %s\n", result.degradedReason.c_str());
 
     FidelityEstimate fidelity =
         estimateFidelity(result.schedule, device.numQubits());
