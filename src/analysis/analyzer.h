@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Abstract-interpretation dataflow analyzer over the gate list.
+ *
+ * One in-order pass runs the cooperating abstract domains of
+ * analysis/domains.h — classical constant propagation, the stabilizer
+ * prefix, rotation folding, entanglement partitioning — and turns what
+ * they prove into structured Diagnostics (analysis/diagnostics.h).
+ *
+ * Every removable claim is then adversarially cross-checked by the
+ * equivalence engine before it is reported:
+ *
+ *  - unitary claims (identity rotations, adjoint pairs, rotation
+ *    folds) through analyzeCircuitsEquivalent on the fixed circuit;
+ *  - state claims (dead controls, gates absorbed by the reachable
+ *    state) through analyzeZeroStateEquivalent — symbolically where
+ *    the circuit is Clifford or affine+diagonal, and otherwise through
+ *    ONE batched dense simulation: a gate fixes the prefix state iff
+ *    the running state and its image under the gate overlap with
+ *    magnitude 1, so all dense state claims cost a single pass over
+ *    the circuit plus one small-gate application per claim.
+ *
+ * Claims no engine tier can decide are *suppressed* (counted in
+ * AnalysisReport::suppressedUnverifiable) — the analyzer only ever
+ * reports machine-verified claims. A claim the engine refutes is
+ * reported with `verified == false` and counted in
+ * failedVerification: that is an analyzer bug, and tests and CI treat
+ * it as a failure.
+ */
+#ifndef QAIC_ANALYSIS_ANALYZER_H
+#define QAIC_ANALYSIS_ANALYZER_H
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "ir/circuit.h"
+#include "verify/verify.h"
+
+namespace qaic {
+
+class CommutationChecker;
+
+/** Knobs of the dataflow analyzer. */
+struct AnalysisOptions
+{
+    /** Stage label stamped on the report ("logical", "routed", ...). */
+    std::string stage = "logical";
+    /**
+     * Cross-check every removable claim with the equivalence engine
+     * (the default; turning this off is for differential tests that
+     * re-verify externally and for benchmarks).
+     */
+    bool verify = true;
+    /** Longest backwards commuting walk for adjoint-pair detection. */
+    int cancellationWindow = 64;
+    /**
+     * Emit informational findings (constant-qubit, ancilla-not-reset,
+     * splittable-register) in addition to removable claims.
+     */
+    bool informational = true;
+    /** Engine knobs for the cross-checks. */
+    EquivalenceOptions equivalence;
+};
+
+/**
+ * Runs the dataflow analysis over @p circuit. @p checker (optional) is
+ * a shared memoizing commutation checker; the analyzer owns a private
+ * one when null.
+ */
+AnalysisReport analyzeCircuit(const Circuit &circuit,
+                              const AnalysisOptions &options = {},
+                              CommutationChecker *checker = nullptr);
+
+} // namespace qaic
+
+#endif // QAIC_ANALYSIS_ANALYZER_H

@@ -1,0 +1,200 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace qaic {
+
+std::string
+diagnosticKindName(DiagnosticKind kind)
+{
+    switch (kind) {
+      case DiagnosticKind::kRemovableGate: return "removable-gate";
+      case DiagnosticKind::kIdentityRotation: return "identity-rotation";
+      case DiagnosticKind::kDeadControl: return "dead-control";
+      case DiagnosticKind::kSelfInversePair: return "self-inverse-pair";
+      case DiagnosticKind::kMergeableRotation:
+        return "mergeable-rotation";
+      case DiagnosticKind::kAncillaNotReset: return "ancilla-not-reset";
+      case DiagnosticKind::kSplittableRegister:
+        return "splittable-register";
+      case DiagnosticKind::kConstantQubit: return "constant-qubit";
+    }
+    QAIC_PANIC() << "unhandled diagnostic kind";
+}
+
+std::string
+verificationModeName(VerificationMode mode)
+{
+    switch (mode) {
+      case VerificationMode::kNone: return "none";
+      case VerificationMode::kUnitary: return "unitary";
+      case VerificationMode::kInitialState: return "initial-state";
+    }
+    QAIC_PANIC() << "unhandled verification mode";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream out;
+    out << "[" << diagnosticKindName(kind) << "]";
+    if (gateIndex >= 0)
+        out << " gate " << gateIndex;
+    if (!qubits.empty()) {
+        out << " (q";
+        for (std::size_t i = 0; i < qubits.size(); ++i)
+            out << (i ? ", q" : "") << qubits[i];
+        out << ")";
+    }
+    out << ": " << evidence;
+    if (!fix.description.empty())
+        out << " -- fix: " << fix.description;
+    if (removable) {
+        if (verified)
+            out << " [verified: " << verifyMethod << "]";
+        else
+            out << " [VERIFICATION FAILED: " << verifyMethod << "]";
+    }
+    return out.str();
+}
+
+int
+AnalysisReport::countKind(DiagnosticKind kind) const
+{
+    int count = 0;
+    for (const Diagnostic &d : diagnostics)
+        count += d.kind == kind ? 1 : 0;
+    return count;
+}
+
+int
+AnalysisReport::distinctKinds() const
+{
+    std::set<DiagnosticKind> kinds;
+    for (const Diagnostic &d : diagnostics)
+        kinds.insert(d.kind);
+    return static_cast<int>(kinds.size());
+}
+
+std::string
+AnalysisReport::toString() const
+{
+    std::ostringstream out;
+    out << "analysis [" << stage << "]: " << gateCount << " gates, "
+        << numQubits << " qubits, " << diagnostics.size()
+        << " finding(s)";
+    if (suppressedUnverifiable > 0)
+        out << ", " << suppressedUnverifiable
+            << " suppressed (unverifiable at this register size)";
+    if (failedVerification > 0)
+        out << ", " << failedVerification << " FAILED VERIFICATION";
+    out << "\n";
+    for (const Diagnostic &d : diagnostics)
+        out << "  " << d.toString() << "\n";
+    return out.str();
+}
+
+namespace {
+
+void
+appendIntArray(std::ostringstream &out, const char *key,
+               const std::vector<int> &values)
+{
+    out << "\"" << key << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out << (i ? "," : "") << values[i];
+    out << "]";
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+AnalysisReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"stage\":\"" << jsonEscape(stage) << "\",";
+    out << "\"numQubits\":" << numQubits << ",";
+    out << "\"gateCount\":" << gateCount << ",";
+    out << "\"suppressedUnverifiable\":" << suppressedUnverifiable << ",";
+    out << "\"failedVerification\":" << failedVerification << ",";
+    out << "\"diagnostics\":[";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic &d = diagnostics[i];
+        out << (i ? "," : "") << "{";
+        out << "\"kind\":\"" << diagnosticKindName(d.kind) << "\",";
+        out << "\"gateIndex\":" << d.gateIndex << ",";
+        appendIntArray(out, "gateIndices", d.gateIndices);
+        out << ",";
+        appendIntArray(out, "qubits", d.qubits);
+        out << ",";
+        out << "\"evidence\":\"" << jsonEscape(d.evidence) << "\",";
+        out << "\"fix\":\"" << jsonEscape(d.fix.description) << "\",";
+        out << "\"removable\":" << (d.removable ? "true" : "false") << ",";
+        out << "\"mode\":\"" << verificationModeName(d.mode) << "\",";
+        out << "\"verified\":" << (d.verified ? "true" : "false") << ",";
+        out << "\"verifyMethod\":\"" << jsonEscape(d.verifyMethod)
+            << "\"}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+Circuit
+applySuggestedFix(const Circuit &circuit, const SuggestedFix &fix)
+{
+    QAIC_CHECK(!fix.removeGates.empty())
+        << "applySuggestedFix called with an empty fix";
+    QAIC_CHECK(std::is_sorted(fix.removeGates.begin(),
+                              fix.removeGates.end()))
+        << "SuggestedFix::removeGates must be ascending";
+    Circuit out(circuit.numQubits());
+    std::size_t next_removed = 0;
+    for (std::size_t i = 0; i < circuit.gates().size(); ++i) {
+        const bool removed =
+            next_removed < fix.removeGates.size() &&
+            fix.removeGates[next_removed] == static_cast<int>(i);
+        if (removed) {
+            // Replacement gates splice in at the first removal site.
+            if (next_removed == 0)
+                for (const Gate &g : fix.insertGates)
+                    out.add(g);
+            ++next_removed;
+            continue;
+        }
+        out.add(circuit.gates()[i]);
+    }
+    QAIC_CHECK_EQ(next_removed, fix.removeGates.size())
+        << "fix removes gate indices beyond the circuit";
+    return out;
+}
+
+} // namespace qaic

@@ -1,0 +1,674 @@
+#include "analysis/domains.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <sstream>
+
+#include "gdg/commute.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/** Angle folded into (-pi, pi]. */
+double
+normalizedAngle(double theta)
+{
+    double r = std::fmod(theta, kTwoPi);
+    if (r > kTwoPi / 2.0)
+        r -= kTwoPi;
+    else if (r <= -kTwoPi / 2.0)
+        r += kTwoPi;
+    return r;
+}
+
+bool
+angleIsZeroMod2Pi(double theta, double tol)
+{
+    return std::abs(normalizedAngle(theta)) < tol;
+}
+
+} // namespace
+
+// --- ClassicalDomain ---------------------------------------------------
+
+const char *
+abstractStateName(AbstractState s)
+{
+    switch (s) {
+      case AbstractState::kZero: return "|0>";
+      case AbstractState::kOne: return "|1>";
+      case AbstractState::kPlus: return "|+>";
+      case AbstractState::kMinus: return "|->";
+      case AbstractState::kPlusI: return "|+i>";
+      case AbstractState::kMinusI: return "|-i>";
+      case AbstractState::kTop: return "?";
+    }
+    QAIC_PANIC() << "unhandled abstract state";
+}
+
+namespace {
+
+/** Amplitudes of the six stabilizer basis states, indexed like the
+ *  AbstractState enum. */
+const Cmplx *
+stateAmplitudes(AbstractState s)
+{
+    static const double r = 1.0 / std::sqrt(2.0);
+    static const Cmplx table[6][2] = {
+        {Cmplx(1, 0), Cmplx(0, 0)},  // |0>
+        {Cmplx(0, 0), Cmplx(1, 0)},  // |1>
+        {Cmplx(r, 0), Cmplx(r, 0)},  // |+>
+        {Cmplx(r, 0), Cmplx(-r, 0)}, // |->
+        {Cmplx(r, 0), Cmplx(0, r)},  // |+i>
+        {Cmplx(r, 0), Cmplx(0, -r)}, // |-i>
+    };
+    QAIC_CHECK(isKnownState(s));
+    return table[static_cast<int>(s)];
+}
+
+/** Matches a unit 2-vector against the six stabilizer states (up to
+ *  global phase); Top when none matches. */
+AbstractState
+matchSingleQubit(const Cmplx v[2])
+{
+    for (int s = 0; s < 6; ++s) {
+        const Cmplx *c =
+            stateAmplitudes(static_cast<AbstractState>(s));
+        const Cmplx overlap =
+            std::conj(c[0]) * v[0] + std::conj(c[1]) * v[1];
+        if (std::abs(std::abs(overlap) - 1.0) < 1e-7)
+            return static_cast<AbstractState>(s);
+    }
+    return AbstractState::kTop;
+}
+
+std::string
+qubitStateList(const std::vector<int> &qubits,
+               const std::vector<AbstractState> &state)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (i)
+            out << " (x) ";
+        out << "q" << qubits[i] << "="
+            << abstractStateName(state[qubits[i]]);
+    }
+    return out.str();
+}
+
+} // namespace
+
+ClassicalDomain::ClassicalDomain(int num_qubits)
+    : state_(num_qubits, AbstractState::kZero),
+      neverLeftZero_(num_qubits, true)
+{
+}
+
+void
+ClassicalDomain::noteStates(const std::vector<int> &qubits)
+{
+    for (int q : qubits)
+        if (state_[q] != AbstractState::kZero)
+            neverLeftZero_[q] = false;
+}
+
+TransferResult
+ClassicalDomain::lose(const Gate &gate, std::vector<int> support)
+{
+    TransferResult r;
+    r.action = TransferResult::Action::kUnknown;
+    r.reason = gate.name() + " entangles or leaves the tracked states";
+    r.entangles = support;
+    for (int q : support) {
+        if (state_[q] != AbstractState::kTop)
+            r.lostQubits.push_back(q);
+        state_[q] = AbstractState::kTop;
+    }
+    return r;
+}
+
+TransferResult
+ClassicalDomain::denseTransfer(const Gate &gate)
+{
+    const int w = gate.width();
+    const std::size_t dim = std::size_t(1) << w;
+    // Product input state, qubits[0] the most significant bit (the
+    // convention of Gate::matrix()).
+    std::vector<Cmplx> in(dim, Cmplx(1.0, 0.0));
+    for (std::size_t idx = 0; idx < dim; ++idx)
+        for (int k = 0; k < w; ++k) {
+            const int bit = static_cast<int>(idx >> (w - 1 - k)) & 1;
+            in[idx] *= stateAmplitudes(state_[gate.qubits[k]])[bit];
+        }
+    const std::vector<Cmplx> out = gate.matrix().apply(in);
+
+    // Identity up to global phase: |<in|out>| == 1 for unit vectors.
+    Cmplx overlap(0.0, 0.0);
+    for (std::size_t idx = 0; idx < dim; ++idx)
+        overlap += std::conj(in[idx]) * out[idx];
+    TransferResult r;
+    if (std::abs(std::abs(overlap) - 1.0) < 1e-7) {
+        r.action = TransferResult::Action::kIdentity;
+        r.reason = gate.name() + " acts as identity on " +
+                   qubitStateList(gate.qubits, state_);
+        return r;
+    }
+
+    // Try to factor the output as a product of single-qubit states.
+    std::size_t anchor = 0;
+    for (std::size_t idx = 1; idx < dim; ++idx)
+        if (std::abs(out[idx]) > std::abs(out[anchor]))
+            anchor = idx;
+    std::vector<std::array<Cmplx, 2>> factors(w);
+    for (int k = 0; k < w; ++k) {
+        const std::size_t bit = std::size_t(1) << (w - 1 - k);
+        factors[k][0] = out[anchor & ~bit];
+        factors[k][1] = out[anchor | bit];
+        const double norm = std::sqrt(std::norm(factors[k][0]) +
+                                      std::norm(factors[k][1]));
+        if (norm < kTol)
+            return lose(gate, gate.qubits);
+        factors[k][0] /= norm;
+        factors[k][1] /= norm;
+    }
+    Cmplx product_overlap(0.0, 0.0);
+    for (std::size_t idx = 0; idx < dim; ++idx) {
+        Cmplx amp(1.0, 0.0);
+        for (int k = 0; k < w; ++k)
+            amp *= factors[k][(idx >> (w - 1 - k)) & 1];
+        product_overlap += std::conj(amp) * out[idx];
+    }
+    if (std::abs(std::abs(product_overlap) - 1.0) > 1e-7)
+        return lose(gate, gate.qubits); // genuinely entangled output
+
+    // Product output: no entanglement was created; each factor either
+    // matches a stabilizer state or that qubit (alone) drops to Top.
+    r.action = TransferResult::Action::kTracked;
+    for (int k = 0; k < w; ++k) {
+        const AbstractState s = matchSingleQubit(factors[k].data());
+        if (!isKnownState(s))
+            r.lostQubits.push_back(gate.qubits[k]);
+        state_[gate.qubits[k]] = s;
+    }
+    return r;
+}
+
+TransferResult
+ClassicalDomain::transfer(const Gate &gate)
+{
+    TransferResult r = interpret(gate);
+    noteStates(gate.qubits);
+    return r;
+}
+
+TransferResult
+ClassicalDomain::interpret(const Gate &gate)
+{
+    auto known = [&](int q) { return isKnownState(state_[q]); };
+    auto is = [&](int q, AbstractState s) { return state_[q] == s; };
+    auto describe = [&](int q) {
+        return "q" + std::to_string(q) + " is " +
+               std::string(abstractStateName(state_[q]));
+    };
+    auto identity = [&](std::string reason, bool dead_control = false) {
+        TransferResult r;
+        r.action = TransferResult::Action::kIdentity;
+        r.reason = std::move(reason);
+        r.deadControl = dead_control;
+        return r;
+    };
+    auto tracked = [&]() {
+        TransferResult r;
+        r.action = TransferResult::Action::kTracked;
+        return r;
+    };
+    auto chain = [&](const std::string &why, const Gate &residual) {
+        TransferResult r = interpret(residual);
+        r.reason = why + "; residual " + residual.name() + ": " +
+                   (r.reason.empty() ? "tracked" : r.reason);
+        return r;
+    };
+    auto all_known = [&]() {
+        for (int q : gate.qubits)
+            if (!known(q))
+                return false;
+        return true;
+    };
+
+    switch (gate.kind) {
+      case GateKind::kId:
+        return identity("identity gate");
+      case GateKind::kCnot: {
+        const int c = gate.qubits[0], t = gate.qubits[1];
+        if (is(c, AbstractState::kZero))
+            return identity("control " + describe(c), true);
+        if (is(t, AbstractState::kPlus))
+            return identity("target " + describe(t) +
+                            ", which absorbs the conditional X");
+        if (is(c, AbstractState::kOne))
+            return chain("control " + describe(c), makeX(t));
+        if (is(t, AbstractState::kMinus))
+            return chain("target " + describe(t) +
+                             "; the conditional X kicks back as Z "
+                             "on the control",
+                         makeZ(c));
+        if (all_known())
+            return denseTransfer(gate);
+        return lose(gate, gate.qubits);
+      }
+      case GateKind::kCz: {
+        const int a = gate.qubits[0], b = gate.qubits[1];
+        if (is(a, AbstractState::kZero))
+            return identity("operand " + describe(a), true);
+        if (is(b, AbstractState::kZero))
+            return identity("operand " + describe(b), true);
+        if (is(a, AbstractState::kOne))
+            return chain("operand " + describe(a), makeZ(b));
+        if (is(b, AbstractState::kOne))
+            return chain("operand " + describe(b), makeZ(a));
+        if (all_known())
+            return denseTransfer(gate);
+        return lose(gate, gate.qubits);
+      }
+      case GateKind::kCcx: {
+        const int c0 = gate.qubits[0], c1 = gate.qubits[1];
+        const int t = gate.qubits[2];
+        if (is(c0, AbstractState::kZero))
+            return identity("control " + describe(c0), true);
+        if (is(c1, AbstractState::kZero))
+            return identity("control " + describe(c1), true);
+        if (is(c0, AbstractState::kOne))
+            return chain("control " + describe(c0), makeCnot(c1, t));
+        if (is(c1, AbstractState::kOne))
+            return chain("control " + describe(c1), makeCnot(c0, t));
+        if (is(t, AbstractState::kPlus))
+            return identity("target " + describe(t) +
+                            ", which absorbs the conditional X");
+        if (is(t, AbstractState::kMinus))
+            return chain("target " + describe(t) +
+                             "; the conditional X kicks back as CZ "
+                             "on the controls",
+                         makeCz(c0, c1));
+        if (all_known())
+            return denseTransfer(gate);
+        return lose(gate, gate.qubits);
+      }
+      case GateKind::kRzz: {
+        const int a = gate.qubits[0], b = gate.qubits[1];
+        const double theta = gate.params[0];
+        if (is(a, AbstractState::kZero))
+            return chain("operand " + describe(a), makeRz(b, theta));
+        if (is(a, AbstractState::kOne))
+            return chain("operand " + describe(a), makeRz(b, -theta));
+        if (is(b, AbstractState::kZero))
+            return chain("operand " + describe(b), makeRz(a, theta));
+        if (is(b, AbstractState::kOne))
+            return chain("operand " + describe(b), makeRz(a, -theta));
+        if (all_known())
+            return denseTransfer(gate);
+        return lose(gate, gate.qubits);
+      }
+      case GateKind::kSwap: {
+        const int a = gate.qubits[0], b = gate.qubits[1];
+        if (known(a) && state_[a] == state_[b])
+            return identity("both operands are " +
+                            std::string(abstractStateName(state_[a])));
+        std::swap(state_[a], state_[b]);
+        TransferResult r = tracked();
+        r.reason = "swap exchanges the tracked states";
+        if (!known(a) || !known(b))
+            r.entangles = {a, b}; // a Top payload moved wires
+        return r;
+      }
+      case GateKind::kIswap:
+      case GateKind::kAggregate: {
+        const int dense_limit =
+            gate.kind == GateKind::kAggregate ? 4 : 2;
+        if (all_known() && gate.width() <= dense_limit)
+            return denseTransfer(gate);
+        return lose(gate, gate.qubits);
+      }
+      default: {
+        // Single-qubit gate.
+        const int q = gate.qubits[0];
+        if (known(q))
+            return denseTransfer(gate);
+        return tracked(); // Top stays Top; nothing to lose
+      }
+    }
+}
+
+// --- StabilizerDomain --------------------------------------------------
+
+StabilizerDomain::StabilizerDomain(int num_qubits)
+    : prefix_(num_qubits)
+{
+}
+
+bool
+StabilizerDomain::gateFixesState(const Gate &gate,
+                                 std::string *evidence) const
+{
+    if (!active_ || !isCliffordGate(gate))
+        return false;
+    const int n = prefix_.numQubits();
+    Tableau action(n);
+    action.applyGate(gate);
+    // The reachable state U|0..0> is stabilized by the rows U Z_q
+    // U^dag; the gate fixes it (up to global phase) iff conjugating
+    // every generator by the gate lands back in the generated group,
+    // signs included.
+    std::vector<PauliString> generators;
+    generators.reserve(n);
+    for (int q = 0; q < n; ++q)
+        generators.push_back(prefix_.imageZ(q));
+    const StabilizerBasis basis(generators);
+    for (int q = 0; q < n; ++q)
+        if (!basis.contains(action.conjugate(generators[q])))
+            return false;
+    if (evidence)
+        *evidence = "maps the reachable stabilizer state to itself "
+                    "(every conjugated stabilizer generator stays in "
+                    "the group)";
+    return true;
+}
+
+void
+StabilizerDomain::absorb(const Gate &gate)
+{
+    if (!active_)
+        return;
+    if (!isCliffordGate(gate)) {
+        active_ = false;
+        return;
+    }
+    prefix_.applyGate(gate);
+}
+
+// --- FoldingDomain -----------------------------------------------------
+
+bool
+isSelfInverseKind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kCnot:
+      case GateKind::kCz:
+      case GateKind::kSwap:
+      case GateKind::kCcx:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** Operand tuples compared with the kind's symmetries respected. */
+bool
+sameOperands(const Gate &a, const Gate &b)
+{
+    if (a.qubits.size() != b.qubits.size())
+        return false;
+    switch (a.kind) {
+      case GateKind::kCz:
+      case GateKind::kSwap:
+      case GateKind::kIswap:
+      case GateKind::kRzz:
+        return (a.qubits[0] == b.qubits[0] &&
+                a.qubits[1] == b.qubits[1]) ||
+               (a.qubits[0] == b.qubits[1] &&
+                a.qubits[1] == b.qubits[0]);
+      case GateKind::kCcx:
+        return a.qubits[2] == b.qubits[2] &&
+               ((a.qubits[0] == b.qubits[0] &&
+                 a.qubits[1] == b.qubits[1]) ||
+                (a.qubits[0] == b.qubits[1] &&
+                 a.qubits[1] == b.qubits[0]));
+      default:
+        return a.qubits == b.qubits;
+    }
+}
+
+bool
+isRotationKind(GateKind kind)
+{
+    return kind == GateKind::kRx || kind == GateKind::kRy ||
+           kind == GateKind::kRz || kind == GateKind::kRzz;
+}
+
+} // namespace
+
+bool
+gatesCancel(const Gate &a, const Gate &b, double tol)
+{
+    if (a.kind == GateKind::kAggregate ||
+        b.kind == GateKind::kAggregate)
+        return false;
+    if (!sameOperands(a, b))
+        return false;
+    if (a.kind == b.kind && isSelfInverseKind(a.kind))
+        return true;
+    if ((a.kind == GateKind::kS && b.kind == GateKind::kSdg) ||
+        (a.kind == GateKind::kSdg && b.kind == GateKind::kS) ||
+        (a.kind == GateKind::kT && b.kind == GateKind::kTdg) ||
+        (a.kind == GateKind::kTdg && b.kind == GateKind::kT))
+        return true;
+    if (a.kind == b.kind && isRotationKind(a.kind))
+        return angleIsZeroMod2Pi(a.params[0] + b.params[0], tol);
+    return false;
+}
+
+FoldingDomain::FoldingDomain(const Circuit &circuit,
+                             CommutationChecker *checker, int window)
+    : circuit_(circuit), checker_(checker), window_(window),
+      consumed_(circuit.size(), false),
+      segment_(std::min(circuit.numQubits(),
+                        PhasePolynomial::kMaxQubits))
+{
+}
+
+void
+FoldingDomain::scanAdjointPair(int index, std::vector<FoldFinding> *out)
+{
+    const std::vector<Gate> &gates = circuit_.gates();
+    const Gate &g = gates[index];
+    if (g.kind == GateKind::kAggregate || g.kind == GateKind::kId)
+        return;
+    const int lo = std::max(0, index - window_);
+    for (int j = index - 1; j >= lo; --j) {
+        const Gate &prior = gates[j];
+        if (!consumed_[j] && gatesCancel(prior, g)) {
+            FoldFinding f;
+            f.kind = FoldFinding::Kind::kAdjointPair;
+            f.first = j;
+            f.second = index;
+            f.reason = prior.name() + " at gate " + std::to_string(j) +
+                       " and its adjoint at gate " +
+                       std::to_string(index) +
+                       " cancel across a commuting window";
+            out->push_back(std::move(f));
+            consumed_[j] = true;
+            consumed_[index] = true;
+            return;
+        }
+        if (!checker_->commute(prior, g))
+            return; // blocked: g cannot move past gate j
+    }
+}
+
+void
+FoldingDomain::noteRotation(int index, const Gate &gate)
+{
+    // Effective parity-term contribution of the rotation, with the
+    // affine wire constants folded into the sign: Rz(q, theta) adds
+    // theta * [wire_q(x) ^ const_q] to the phase polynomial (up to a
+    // global phase), Rzz likewise on the XOR of its wires.
+    SegmentRotation rot;
+    rot.gateIndex = index;
+    if (gate.kind == GateKind::kRz) {
+        const int q = gate.qubits[0];
+        rot.mask = segment_.wireMask(q);
+        rot.flipped = segment_.wireConstBit(q);
+    } else { // kRzz
+        const int a = gate.qubits[0], b = gate.qubits[1];
+        const PhasePolynomial::Mask ma = segment_.wireMask(a);
+        const PhasePolynomial::Mask mb = segment_.wireMask(b);
+        rot.mask = {ma[0] ^ mb[0], ma[1] ^ mb[1]};
+        rot.flipped =
+            segment_.wireConstBit(a) != segment_.wireConstBit(b);
+    }
+    rot.angle = rot.flipped ? -gate.params[0] : gate.params[0];
+    rotations_.push_back(rot);
+}
+
+void
+FoldingDomain::flushSegment(std::vector<FoldFinding> *out)
+{
+    // Pair up rotations that landed on the same wire parity: their
+    // angle contributions add no matter what affine/diagonal gates sit
+    // between them, so they fold into one gate (or into nothing).
+    for (std::size_t i = 0; i < rotations_.size(); ++i) {
+        if (rotations_[i].gateIndex < 0)
+            continue;
+        for (std::size_t j = i + 1; j < rotations_.size(); ++j) {
+            if (rotations_[j].gateIndex < 0)
+                continue;
+            if (rotations_[i].mask != rotations_[j].mask)
+                continue;
+            const int gi = rotations_[i].gateIndex;
+            const int gj = rotations_[j].gateIndex;
+            const double net =
+                rotations_[i].angle + rotations_[j].angle;
+            FoldFinding f;
+            f.first = gi;
+            f.second = gj;
+            if (angleIsZeroMod2Pi(net, kTol)) {
+                f.kind = FoldFinding::Kind::kZeroFold;
+                f.reason =
+                    "rotations at gates " + std::to_string(gi) +
+                    " and " + std::to_string(gj) +
+                    " land on one wire parity of an affine+diagonal "
+                    "segment and their angles cancel (mod 2pi)";
+            } else {
+                f.kind = FoldFinding::Kind::kMerge;
+                // The replacement sits at the earlier gate's position,
+                // where its operand wires realize the shared parity;
+                // the wire constant there decides the sign.
+                Gate merged = circuit_.gates()[gi];
+                merged.params[0] =
+                    rotations_[i].flipped ? -net : net;
+                f.merged = std::move(merged);
+                f.reason =
+                    "rotations at gates " + std::to_string(gi) +
+                    " and " + std::to_string(gj) +
+                    " land on one wire parity of an affine+diagonal "
+                    "segment; their angles fold into one rotation";
+            }
+            out->push_back(std::move(f));
+            consumed_[gi] = true;
+            consumed_[gj] = true;
+            rotations_[i].gateIndex = -1;
+            rotations_[j].gateIndex = -1;
+            break;
+        }
+    }
+    rotations_.clear();
+    segment_ = PhasePolynomial(std::min(circuit_.numQubits(),
+                                        PhasePolynomial::kMaxQubits));
+}
+
+void
+FoldingDomain::feed(int index, bool eligible,
+                    std::vector<FoldFinding> *out)
+{
+    if (eligible && !consumed_[index])
+        scanAdjointPair(index, out);
+
+    if (circuit_.numQubits() > PhasePolynomial::kMaxQubits)
+        return; // folding disabled on oversized registers
+    const Gate &g = circuit_.gates()[index];
+    if (!segment_.absorbGate(g)) {
+        flushSegment(out);
+        // The out-of-domain gate starts fresh tracking; it is not part
+        // of any segment.
+        return;
+    }
+    const bool rotation =
+        g.kind == GateKind::kRz || g.kind == GateKind::kRzz;
+    if (rotation && eligible && !consumed_[index])
+        noteRotation(index, g);
+}
+
+void
+FoldingDomain::finish(std::vector<FoldFinding> *out)
+{
+    if (circuit_.numQubits() <= PhasePolynomial::kMaxQubits)
+        flushSegment(out);
+}
+
+// --- EntanglementDomain ------------------------------------------------
+
+EntanglementDomain::EntanglementDomain(int num_qubits)
+    : parent_(num_qubits), touched_(num_qubits, false)
+{
+    for (int q = 0; q < num_qubits; ++q)
+        parent_[q] = q;
+}
+
+int
+EntanglementDomain::find(int q) const
+{
+    while (parent_[q] != q) {
+        parent_[q] = parent_[parent_[q]]; // path halving
+        q = parent_[q];
+    }
+    return q;
+}
+
+void
+EntanglementDomain::join(const std::vector<int> &qubits)
+{
+    for (std::size_t i = 1; i < qubits.size(); ++i) {
+        const int a = find(qubits[0]);
+        const int b = find(qubits[i]);
+        if (a != b)
+            parent_[b] = a;
+    }
+}
+
+void
+EntanglementDomain::touch(const std::vector<int> &qubits)
+{
+    for (int q : qubits)
+        touched_[q] = true;
+}
+
+std::vector<std::vector<int>>
+EntanglementDomain::touchedComponents() const
+{
+    std::vector<std::vector<int>> components;
+    std::vector<int> slot(parent_.size(), -1);
+    for (int q = 0; q < static_cast<int>(parent_.size()); ++q) {
+        if (!touched_[q])
+            continue;
+        const int root = find(q);
+        if (slot[root] < 0) {
+            slot[root] = static_cast<int>(components.size());
+            components.emplace_back();
+        }
+        components[slot[root]].push_back(q);
+    }
+    return components;
+}
+
+} // namespace qaic

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Abstract domains for the circuit dataflow analyzer.
+ *
+ * The analyzer (analysis/analyzer.h) interprets a gate list once, in
+ * program order, under several cooperating abstract domains. Each
+ * domain answers one question soundly, using the symbolic machinery
+ * the verification engine is built from as its transfer functions:
+ *
+ *  - ClassicalDomain       per-qubit constant propagation over the six
+ *                          single-qubit stabilizer states |0>, |1>,
+ *                          |+>, |->, |+i>, |-i> plus Top ("unknown or
+ *                          entangled"). Transfer functions are tiny
+ *                          dense products (<= 3 qubits) plus symbolic
+ *                          residual rules (a CNOT with a |1> control
+ *                          *is* an X on the target). Every known state
+ *                          is, by construction, unentangled with the
+ *                          rest of the register — which is exactly
+ *                          what makes "this gate fixes its support"
+ *                          compose to "this gate fixes the whole
+ *                          reachable state".
+ *  - StabilizerDomain      the reachable state of the Clifford prefix
+ *                          as a stabilizer group (sim/tableau.h). A
+ *                          Clifford gate provably acts as a global-
+ *                          phase identity iff it maps that group to
+ *                          itself — checked by signed GF(2) membership
+ *                          of the conjugated generators. Catches
+ *                          entangled-state identities the classical
+ *                          domain cannot see (a SWAP on a Bell pair).
+ *  - FoldingDomain         rotation-angle folding over maximal
+ *                          affine+diagonal segments (sim/phasepoly.h):
+ *                          two Rz/Rzz landing on the same wire parity
+ *                          fold into one; a zero net angle deletes the
+ *                          pair. Combined with adjoint-pair
+ *                          cancellation found by commuting gates past
+ *                          each other (gdg/commute.h).
+ *  - EntanglementDomain    union-find over gate supports, skipping
+ *                          gates proven to act as identities and using
+ *                          residual supports where the classical
+ *                          domain reduced a gate. Proves register
+ *                          splits.
+ *
+ * Soundness is *directional*: a domain may lose information (collapse
+ * to Top, merge partitions) but never claims knowledge it cannot
+ * prove. On top of that, every removable claim the analyzer emits is
+ * re-proved by the equivalence engine — see analysis/diagnostics.h.
+ */
+#ifndef QAIC_ANALYSIS_DOMAINS_H
+#define QAIC_ANALYSIS_DOMAINS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "ir/gate.h"
+#include "sim/phasepoly.h"
+#include "sim/tableau.h"
+
+namespace qaic {
+
+class CommutationChecker;
+
+// --- Classical basis-state / constant-propagation domain --------------
+
+/**
+ * Per-qubit abstract value: one of the six single-qubit stabilizer
+ * states, or Top. A known value means "this wire is exactly this pure
+ * state, unentangled with everything else"; Top means "unknown or
+ * entangled". Top is sticky under every transfer that cannot restore
+ * knowledge (nothing un-entangles symbolically here).
+ */
+enum class AbstractState : std::uint8_t
+{
+    kZero,   ///< |0>  (+Z eigenstate)
+    kOne,    ///< |1>  (-Z eigenstate)
+    kPlus,   ///< |+>  (+X eigenstate)
+    kMinus,  ///< |->  (-X eigenstate)
+    kPlusI,  ///< |+i> (+Y eigenstate)
+    kMinusI, ///< |-i> (-Y eigenstate)
+    kTop,    ///< unknown or entangled
+};
+
+/** Rendering such as "|0>", "|+i>", "?". */
+const char *abstractStateName(AbstractState s);
+
+/** True for every value except Top. */
+inline bool
+isKnownState(AbstractState s)
+{
+    return s != AbstractState::kTop;
+}
+
+/** What one gate did to the classical domain. */
+struct TransferResult
+{
+    enum class Action
+    {
+        /** The gate provably acts as lambda * identity on the
+         *  reachable state: deleting it preserves the program on the
+         *  |0...0> input (up to global phase). */
+        kIdentity,
+        /** States updated exactly; no entanglement was created. */
+        kTracked,
+        /** Information lost: the qubits in @c lostQubits went Top. */
+        kUnknown,
+    };
+
+    Action action = Action::kUnknown;
+    /** Evidence string for diagnostics ("control q2 is |0>"). */
+    std::string reason;
+    /** kIdentity specifically because a control operand is |0>. */
+    bool deadControl = false;
+    /**
+     * Qubits that may now be entangled with each other (union these in
+     * the entanglement domain). For kUnknown this is the residual
+     * support that actually interacted — a CCX with a |1> control
+     * entangles only the remaining CNOT's two qubits. Also set for a
+     * SWAP moving a Top state (the partition must merge even though
+     * the classical states just exchange).
+     */
+    std::vector<int> entangles;
+    /** Qubits whose abstract value degraded to Top. */
+    std::vector<int> lostQubits;
+};
+
+/** Constant propagation over stabilizer basis states. */
+class ClassicalDomain
+{
+  public:
+    /** All qubits start in |0>. */
+    explicit ClassicalDomain(int num_qubits);
+
+    int numQubits() const { return static_cast<int>(state_.size()); }
+
+    AbstractState state(int q) const { return state_[q]; }
+
+    /** True while wire @p q has held |0> at every program point. */
+    bool neverLeftZero(int q) const { return neverLeftZero_[q]; }
+
+    /**
+     * Interprets @p gate, updating the per-qubit states. Fully-known
+     * supports go through a dense product transfer on <= 2^3 (or, for
+     * aggregates with an explicit unitary, <= 2^4) amplitudes; partial
+     * knowledge goes through symbolic residual rules that recurse on
+     * the simpler gate a known operand leaves behind.
+     */
+    TransferResult transfer(const Gate &gate);
+
+  private:
+    TransferResult interpret(const Gate &gate);
+    TransferResult denseTransfer(const Gate &gate);
+    TransferResult lose(const Gate &gate, std::vector<int> support);
+    void noteStates(const std::vector<int> &qubits);
+
+    std::vector<AbstractState> state_;
+    std::vector<bool> neverLeftZero_;
+};
+
+// --- Stabilizer domain ------------------------------------------------
+
+/**
+ * Tracks the reachable state of the Clifford prefix of the circuit as
+ * a stabilizer group, and decides whether a Clifford gate fixes that
+ * state. Deactivates permanently at the first non-Clifford gate (the
+ * reachable state stops being a stabilizer state).
+ */
+class StabilizerDomain
+{
+  public:
+    explicit StabilizerDomain(int num_qubits);
+
+    /** False once a non-Clifford gate was absorbed. */
+    bool active() const { return active_; }
+
+    /**
+     * True if Clifford @p gate provably maps the reachable stabilizer
+     * state to itself up to global phase: every conjugated generator
+     * g S g^dag stays in the stabilizer group (signed membership).
+     * Only meaningful while active(); @p gate must be Clifford.
+     */
+    bool gateFixesState(const Gate &gate, std::string *evidence) const;
+
+    /** Advances the prefix; non-Clifford input deactivates. */
+    void absorb(const Gate &gate);
+
+  private:
+    Tableau prefix_;
+    bool active_ = true;
+};
+
+// --- Rotation-angle folding + adjoint-pair cancellation ---------------
+
+/** A pair (or mergeable pair) of gates found by the folding domain. */
+struct FoldFinding
+{
+    enum class Kind
+    {
+        /** gates[1] is the adjoint of gates[0] with only commuting
+         *  gates between them: delete both. */
+        kAdjointPair,
+        /** Two rotations on one wire parity with net angle == 0 (mod
+         *  2pi): delete both. */
+        kZeroFold,
+        /** Two rotations on one wire parity: both deleted, one
+         *  rotation with the folded angle inserted at the earlier
+         *  gate's position (where its operand wires are known to
+         *  realize the shared parity). */
+        kMerge,
+    };
+
+    Kind kind = Kind::kAdjointPair;
+    int first = -1;  ///< Earlier gate index.
+    int second = -1; ///< Later gate index.
+    /** For kMerge: the replacement for the later gate. */
+    Gate merged;
+    std::string reason;
+};
+
+/**
+ * Streaming detector for adjoint pairs (bounded commute-window walk
+ * via CommutationChecker) and phase-polynomial rotation folds (maximal
+ * affine+diagonal segments absorbed into a PhasePolynomial whose wire
+ * masks identify rotations landing on one parity).
+ */
+class FoldingDomain
+{
+  public:
+    /**
+     * @param circuit Analyzed circuit (must outlive the domain).
+     * @param checker Shared memoizing commutation checker.
+     * @param window Longest backwards walk for pair detection.
+     */
+    FoldingDomain(const Circuit &circuit, CommutationChecker *checker,
+                  int window);
+
+    /**
+     * Feeds gate @p index (in order). @p eligible is false for gates
+     * another domain already proved removable — they are skipped as
+     * pair/fold members but still absorbed into the segment state.
+     * Findings append to @p out.
+     */
+    void feed(int index, bool eligible, std::vector<FoldFinding> *out);
+
+    /** Flushes the trailing affine segment. */
+    void finish(std::vector<FoldFinding> *out);
+
+  private:
+    struct SegmentRotation
+    {
+        int gateIndex = -1;
+        PhasePolynomial::Mask mask{};
+        /** Effective parity-term angle (wire constants folded in). */
+        double angle = 0.0;
+        /** Wire constant flipped the sign (angle == -params[0]). */
+        bool flipped = false;
+    };
+
+    void scanAdjointPair(int index, std::vector<FoldFinding> *out);
+    void noteRotation(int index, const Gate &gate);
+    void flushSegment(std::vector<FoldFinding> *out);
+
+    const Circuit &circuit_;
+    CommutationChecker *checker_;
+    int window_;
+    std::vector<bool> consumed_;
+    /** Phase-polynomial state of the current affine+diagonal segment. */
+    PhasePolynomial segment_;
+    std::vector<SegmentRotation> rotations_;
+};
+
+/** True if @p kind squares to the identity (H, X, CNOT, SWAP, ...). */
+bool isSelfInverseKind(GateKind kind);
+
+/**
+ * True if @p b is the adjoint of @p a on the same operand tuple (kind
+ * symmetries respected: CZ/SWAP/Rzz operands compare unordered, CCX
+ * controls likewise). Rotation angles cancel mod 2pi — exact up to a
+ * global phase of -1. Aggregates are never matched.
+ */
+bool gatesCancel(const Gate &a, const Gate &b, double tol = 1e-9);
+
+// --- Entanglement-partition domain ------------------------------------
+
+/**
+ * Union-find over "may be entangled / may interact" relations between
+ * wires. Gates proven identity by other domains contribute nothing;
+ * reduced gates contribute their residual support only.
+ */
+class EntanglementDomain
+{
+  public:
+    explicit EntanglementDomain(int num_qubits);
+
+    /** Merges the groups of every qubit in @p qubits. */
+    void join(const std::vector<int> &qubits);
+
+    /** Marks @p qubits as acted on by a non-identity gate. */
+    void touch(const std::vector<int> &qubits);
+
+    /** True if some non-identity gate acts on @p q. */
+    bool touched(int q) const { return touched_[q]; }
+
+    /** Representative of @p q's group. */
+    int find(int q) const;
+
+    /**
+     * The groups restricted to touched qubits, each sorted, ordered by
+     * smallest member. A result with >= 2 groups proves the register
+     * splits.
+     */
+    std::vector<std::vector<int>> touchedComponents() const;
+
+  private:
+    mutable std::vector<int> parent_;
+    std::vector<bool> touched_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_ANALYSIS_DOMAINS_H

@@ -1,0 +1,21 @@
+#include "analysis/pass.h"
+
+#include <utility>
+
+namespace qaic {
+
+AnalysisPass::AnalysisPass(std::string stage, AnalysisOptions options)
+    : stage_(std::move(stage)), options_(std::move(options))
+{
+    options_.stage = stage_;
+}
+
+Status
+AnalysisPass::run(CompilationContext &context)
+{
+    context.analyses.push_back(
+        analyzeCircuit(context.working, options_, &context.checker()));
+    return Status::ok();
+}
+
+} // namespace qaic

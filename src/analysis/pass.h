@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pipeline integration of the dataflow analyzer: a read-only Pass that
+ * runs analyzeCircuit over the working circuit and records the report
+ * in the compilation context.
+ *
+ * Pipeline::forStrategy(strategy, analyze = true) inserts one
+ * instance after frontend lowering ("logical": the flattened circuit
+ * before CLS reordering) and one after mapping ("routed": the
+ * SWAP-routed circuit on physical qubit ids) — the two program points
+ * where diagnostics map cleanly back to user gates and to routing
+ * overhead respectively.
+ */
+#ifndef QAIC_ANALYSIS_PASS_H
+#define QAIC_ANALYSIS_PASS_H
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "compiler/pipeline.h"
+
+namespace qaic {
+
+/**
+ * Read-only analysis stage. Requires a structurally sound, fully
+ * lowered circuit; establishes nothing and preserves everything (the
+ * working circuit is not mutated — diagnostics are reports, not
+ * rewrites; ROADMAP item 2 turns them into rewrites).
+ */
+class AnalysisPass : public Pass
+{
+  public:
+    /** @param stage Report label ("logical", "routed"). */
+    explicit AnalysisPass(std::string stage,
+                          AnalysisOptions options = {});
+
+    std::string name() const override { return "analysis-" + stage_; }
+
+    Status run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered);
+    }
+
+  private:
+    std::string stage_;
+    AnalysisOptions options_;
+};
+
+} // namespace qaic
+
+#endif // QAIC_ANALYSIS_PASS_H

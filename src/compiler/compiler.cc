@@ -70,8 +70,9 @@ Compiler::tryCompile(const Circuit &logical, Strategy strategy)
     auto it = pipelines_.find(strategy);
     if (it == pipelines_.end())
         it = pipelines_
-                 .emplace(strategy, std::make_unique<Pipeline>(
-                                        Pipeline::forStrategy(strategy)))
+                 .emplace(strategy,
+                          std::make_unique<Pipeline>(Pipeline::forStrategy(
+                              strategy, options_.analyze)))
                  .first;
     CompilationContext context(device_, options_, oracle_, &checker_);
     return it->second->compile(logical, context);

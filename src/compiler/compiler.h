@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "aggregate/aggregate.h"
+#include "analysis/diagnostics.h"
 #include "device/device.h"
 #include "gdg/commute.h"
 #include "ir/circuit.h"
@@ -138,6 +139,14 @@ struct CompilerOptions
      */
     bool checkInvariants = kCheckInvariantsDefault;
     /**
+     * Run the abstract-interpretation dataflow analyzer
+     * (analysis/analyzer.h) during compilation: an AnalysisPass after
+     * frontend lowering and another after mapping, each recording a
+     * machine-verified AnalysisReport in CompilationResult::analyses.
+     * Off by default — analysis is read-only but not free.
+     */
+    bool analyze = false;
+    /**
      * Wall-clock budget for one compile, in milliseconds; 0 (the
      * default) means no deadline. Checked between passes and at GRAPE
      * iteration granularity: expiry between passes fails the compile
@@ -185,6 +194,11 @@ struct CompilationResult
     std::string degradedReason;
     /** Per-pass wall-clock metrics, in execution order. */
     std::vector<PassMetrics> passMetrics;
+    /**
+     * Dataflow-analysis reports, one per executed AnalysisPass (empty
+     * unless CompilerOptions::analyze was set), in pipeline order.
+     */
+    std::vector<AnalysisReport> analyses;
 
     CompilationResult();
     CompilationResult(const CompilationResult &);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/pass.h"
 #include "compiler/decompose.h"
 #include "compiler/handopt.h"
 #include "util/deadline.h"
@@ -95,6 +96,7 @@ CompilationContext::reset(const Circuit &input, Strategy s)
     mapped = false;
     backendDone = false;
     passMetrics.clear();
+    analyses.clear();
 }
 
 CompilationResult
@@ -120,6 +122,7 @@ CompilationContext::takeResult()
     result.schedule = std::move(schedule);
     result.routing = std::move(routing);
     result.passMetrics = std::move(passMetrics);
+    result.analyses = std::move(analyses);
     return result;
 }
 
@@ -269,17 +272,21 @@ Pipeline::compile(const Circuit &logical,
 }
 
 Pipeline
-Pipeline::forStrategy(Strategy strategy)
+Pipeline::forStrategy(Strategy strategy, bool analyze)
 {
     Pipeline p;
     p.label(strategy);
     p.emplace<FrontendLoweringPass>();
+    if (analyze)
+        p.emplace<AnalysisPass>("logical");
     const bool with_cls = strategy == Strategy::kCls ||
                           strategy == Strategy::kClsHandOpt ||
                           strategy == Strategy::kClsAggregation;
     if (with_cls)
         p.emplace<ClsFrontendPass>();
     p.emplace<MappingPass>();
+    if (analyze)
+        p.emplace<AnalysisPass>("routed");
     switch (strategy) {
       case Strategy::kIsa:
       case Strategy::kCls:

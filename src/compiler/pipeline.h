@@ -144,6 +144,8 @@ class CompilationContext
     int diagonalBlocks = 0;
     /** One entry per executed pass, in execution order. */
     std::vector<PassMetrics> passMetrics;
+    /** Dataflow-analysis reports appended by AnalysisPass instances. */
+    std::vector<AnalysisReport> analyses;
 
   private:
     const DeviceModel &device_;
@@ -272,9 +274,12 @@ class Pipeline
 
     /**
      * The canonical pass list implementing @p strategy (Figure 5),
-     * labeled with it.
+     * labeled with it. When @p analyze is set, the dataflow analyzer
+     * (analysis/pass.h) runs after frontend lowering and after
+     * mapping, recording machine-verified reports in
+     * CompilationContext::analyses.
      */
-    static Pipeline forStrategy(Strategy strategy);
+    static Pipeline forStrategy(Strategy strategy, bool analyze = false);
 
     /** Pass names in execution order. */
     std::vector<std::string> passNames() const;

@@ -66,6 +66,31 @@ class PhasePolynomial
     bool equivalentTo(const PhasePolynomial &other,
                       double tol = 1e-9) const;
 
+    /** Output wire @p q as a parity mask over the circuit inputs. */
+    const Mask &wireMask(int q) const { return wire_[q]; }
+
+    /** Affine constant of output wire @p q (wire = mask . x ^ const). */
+    bool wireConstBit(int q) const { return wireConst_[q] != 0; }
+
+    /**
+     * All wire constants — on the all-zeros input the output basis
+     * state is exactly this bit vector (A 0 + b = b).
+     */
+    const std::vector<std::uint8_t> &wireConstants() const
+    {
+        return wireConst_;
+    }
+
+    /**
+     * True if both states map the all-zeros input to the same state up
+     * to global phase: equal output bit vectors b (the phases phi(0)
+     * are global). Sound and complete on the affine+diagonal domain.
+     */
+    bool zeroStateEquivalentTo(const PhasePolynomial &other) const
+    {
+        return wireConst_ == other.wireConst_;
+    }
+
   private:
     /** Adds angle * parity(mask . x) to the phase function. */
     void addParityPhase(Mask mask, bool affine_bit, double angle);

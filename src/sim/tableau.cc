@@ -570,6 +570,62 @@ foataNormalForm(std::vector<PauliRotation> rotations, double tol)
     }
 }
 
+StabilizerBasis::StabilizerBasis(std::vector<PauliString> generators)
+{
+    const int n = generators.empty() ? 0 : generators[0].numQubits();
+    auto bitAt = [n](const PauliString &p, int col) {
+        return col < n ? p.xBit(col) : p.zBit(col - n);
+    };
+    std::size_t row = 0;
+    for (int col = 0; col < 2 * n && row < generators.size(); ++col) {
+        std::size_t pivot = row;
+        while (pivot < generators.size() &&
+               !bitAt(generators[pivot], col))
+            ++pivot;
+        if (pivot == generators.size())
+            continue;
+        std::swap(generators[row], generators[pivot]);
+        for (std::size_t j = 0; j < generators.size(); ++j)
+            if (j != row && bitAt(generators[j], col))
+                generators[j].mulRight(generators[row]);
+        pivots_.push_back(col);
+        ++row;
+    }
+    generators.resize(row); // dependent generators reduced to identity
+    rows_ = std::move(generators);
+}
+
+bool
+StabilizerBasis::contains(PauliString p) const
+{
+    const int n = p.numQubits();
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const int col = pivots_[i];
+        const bool bit = col < n ? p.xBit(col) : p.zBit(col - n);
+        if (bit)
+            p.mulRight(rows_[i]);
+    }
+    return p.isIdentity() && p.phase() == 0;
+}
+
+bool
+tableauZeroStatesEqual(const Tableau &a, const Tableau &b)
+{
+    QAIC_CHECK_EQ(a.numQubits(), b.numQubits());
+    const int n = a.numQubits();
+    std::vector<PauliString> generators;
+    generators.reserve(n);
+    for (int q = 0; q < n; ++q)
+        generators.push_back(b.imageZ(q));
+    const StabilizerBasis basis(std::move(generators));
+    // Both groups have 2^n elements (n independent generators), so
+    // one-way containment decides equality of the stabilized states.
+    for (int q = 0; q < n; ++q)
+        if (!basis.contains(a.imageZ(q)))
+            return false;
+    return true;
+}
+
 bool
 rotationSequencesEquivalent(const std::vector<PauliRotation> &a,
                             const std::vector<PauliRotation> &b,

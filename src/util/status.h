@@ -63,8 +63,12 @@ enum class StatusCode
 /** Stable upper-case name of @p code ("INVALID_ARGUMENT", ...). */
 const char *statusCodeName(StatusCode code);
 
-/** A success-or-error value; default-constructed Status is OK. */
-class Status
+/**
+ * A success-or-error value; default-constructed Status is OK.
+ * [[nodiscard]]: silently dropping a Status loses an error — every
+ * producer call site must consume or explicitly void-cast it.
+ */
+class [[nodiscard]] Status
 {
   public:
     /** OK status. */
@@ -118,7 +122,7 @@ Status internalError(std::string message);
  * QAIC_PANIC (programmer error — check isOk() or use the macros).
  */
 template <typename T>
-class StatusOr
+class [[nodiscard]] StatusOr
 {
   public:
     /** Success. */

@@ -128,7 +128,7 @@ struct LintFinding
 };
 
 /** The result of running one or more checkers. */
-struct LintReport
+struct [[nodiscard]] LintReport
 {
     std::vector<LintFinding> findings;
 

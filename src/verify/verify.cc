@@ -288,6 +288,53 @@ analyzeCircuitsEquivalent(const Circuit &a, const Circuit &b,
 }
 
 EquivalenceReport
+analyzeZeroStateEquivalent(const Circuit &a, const Circuit &b,
+                           const EquivalenceOptions &options)
+{
+    if (a.numQubits() != b.numQubits())
+        return report(Verdict::kNotEquivalent, Method::kNone,
+                      "register sizes differ");
+    const int n = a.numQubits();
+    const CircuitClass ca = classifyCircuit(a);
+    const CircuitClass cb = classifyCircuit(b);
+    if (ca.clifford && cb.clifford) {
+        Tableau ta(n), tb(n);
+        ta.applyCircuit(a);
+        tb.applyCircuit(b);
+        // Equal stabilizer groups (signs included) <=> equal states up
+        // to global phase: sound and complete at any register width.
+        return report(tableauZeroStatesEqual(ta, tb)
+                          ? Verdict::kEquivalent
+                          : Verdict::kNotEquivalent,
+                      Method::kCliffordTableau, "zero-state");
+    }
+    if (ca.diagonalAffine && cb.diagonalAffine &&
+        n <= PhasePolynomial::kMaxQubits) {
+        PhasePolynomial pa(n), pb(n);
+        if (pa.absorbCircuit(a) && pb.absorbCircuit(b))
+            // |0..0> maps to the basis state b with a global phase
+            // phi(0): equal offsets <=> equal states.
+            return report(pa.zeroStateEquivalentTo(pb)
+                              ? Verdict::kEquivalent
+                              : Verdict::kNotEquivalent,
+                          Method::kDiagonalPropagator, "zero-state");
+    }
+    if (n <= options.denseQubitLimit) {
+        StateVector sa = StateVector::basis(n, 0);
+        StateVector sb = StateVector::basis(n, 0);
+        sa.apply(a);
+        sb.apply(b);
+        const bool same =
+            std::abs(std::abs(sa.overlap(sb)) - 1.0) <= options.tol;
+        return report(same ? Verdict::kEquivalent
+                           : Verdict::kNotEquivalent,
+                      Method::kDenseSampling, "zero-state");
+    }
+    return report(Verdict::kInconclusive, Method::kNone,
+                  "no zero-state tier applies at this register size");
+}
+
+EquivalenceReport
 analyzeRoutedEquivalent(const Circuit &logical,
                         const RoutingResult &routing,
                         int num_physical_qubits,

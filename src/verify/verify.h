@@ -109,6 +109,22 @@ EquivalenceReport analyzeCircuitsEquivalent(
     const EquivalenceOptions &options = {});
 
 /**
+ * Decides whether A|0...0> and B|0...0> are the same state up to
+ * global phase — the property that justifies *state-dependent* rewrites
+ * (deleting a dead-controlled gate, a gate absorbed by a known target
+ * state), which are generally NOT unitary equivalences. Dispatch:
+ * both-Clifford compares the stabilizer groups of the two output
+ * states (sound and complete, any width); both-affine+diagonal
+ * compares the propagated output basis states; otherwise one dense
+ * simulation of each side where the register allows. Inconclusive when
+ * no tier applies — callers must treat that as "unproven", never as
+ * "equivalent".
+ */
+EquivalenceReport analyzeZeroStateEquivalent(
+    const Circuit &a, const Circuit &b,
+    const EquivalenceOptions &options = {});
+
+/**
  * Decides whether a routed physical circuit implements the logical
  * circuit, accounting for the initial placement and the SWAP-induced
  * final permutation. Symbolic paths verify the stronger exact property

@@ -261,9 +261,11 @@ TEST(AggregationTest, MergeProvenanceSurvivesRelabeling)
     opt.maxRounds = 8;
     AggregationResult result =
         aggregateInstructions(chain, &checker, oracle, opt);
-    for (const Gate &g : result.circuit.gates())
-        if (g.kind == GateKind::kAggregate)
+    for (const Gate &g : result.circuit.gates()) {
+        if (g.kind == GateKind::kAggregate) {
             EXPECT_LE(g.payload->label.size(), 70u) << g.payload->label;
+        }
+    }
 }
 
 TEST(AggregationTest, EmptyAndTrivialCircuits)

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Differential tests for the dataflow analyzer: every removable claim
+ * on seeded random circuits is re-verified *externally* through the
+ * equivalence engine (the analyzer's own cross-check is switched off,
+ * so the claims face the engine cold), the built-in cross-check
+ * reports zero refuted claims across the corpus, and the paper
+ * workload suite analyzes cleanly end to end through the compiler.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "compiler/compiler.h"
+#include "device/device.h"
+#include "testing/generators.h"
+#include "verify/verify.h"
+#include "workloads/suite.h"
+
+namespace qaic {
+namespace {
+
+using testing::randomCircuit;
+using testing::randomCliffordCircuit;
+using testing::randomDiagonalCircuit;
+
+/**
+ * Externally re-proves every removable claim of @p report against
+ * @p circuit. Claims the engine cannot decide are tolerated (the
+ * analyzer's own pass would have suppressed them); refutations are
+ * hard failures.
+ */
+void
+reverifyExternally(const Circuit &circuit, const AnalysisReport &report)
+{
+    for (const Diagnostic &d : report.diagnostics) {
+        if (!d.removable || d.fix.empty())
+            continue;
+        Circuit fixed = applySuggestedFix(circuit, d.fix);
+        EquivalenceReport check =
+            d.mode == VerificationMode::kUnitary
+                ? analyzeCircuitsEquivalent(circuit, fixed)
+                : analyzeZeroStateEquivalent(circuit, fixed);
+        EXPECT_NE(check.verdict, EquivalenceVerdict::kNotEquivalent)
+            << d.toString() << " refuted: " << check.note;
+    }
+}
+
+TEST(AnalysisDifferentialTest, RandomMixedCircuits)
+{
+    AnalysisOptions options;
+    options.verify = false; // claims face the engine cold below
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        Circuit c = randomCircuit(4, 24, 9000 + seed);
+        AnalysisReport report = analyzeCircuit(c, options);
+        reverifyExternally(c, report);
+    }
+}
+
+TEST(AnalysisDifferentialTest, RandomCliffordCircuits)
+{
+    // Clifford circuits exercise the stabilizer domain: gates fixing
+    // the reachable stabilizer state are flagged well beyond what
+    // constant propagation sees.
+    AnalysisOptions options;
+    options.verify = false;
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        Circuit c = randomCliffordCircuit(5, 30, 7000 + seed);
+        AnalysisReport report = analyzeCircuit(c, options);
+        reverifyExternally(c, report);
+    }
+}
+
+TEST(AnalysisDifferentialTest, RandomDiagonalCircuits)
+{
+    // Diagonal circuits exercise the rotation-folding domain.
+    AnalysisOptions options;
+    options.verify = false;
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        Circuit c = randomDiagonalCircuit(4, 24, 11000 + seed);
+        AnalysisReport report = analyzeCircuit(c, options);
+        reverifyExternally(c, report);
+    }
+}
+
+TEST(AnalysisDifferentialTest, BuiltInCrossCheckNeverRefuted)
+{
+    // With verification on, a refuted claim (failedVerification > 0)
+    // is an analyzer soundness bug. Sweep all three corpora.
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        for (int corpus = 0; corpus < 3; ++corpus) {
+            Circuit c =
+                corpus == 0   ? randomCircuit(4, 24, 1000 + seed)
+                : corpus == 1 ? randomCliffordCircuit(5, 30, 2000 + seed)
+                              : randomDiagonalCircuit(4, 24, 3000 + seed);
+            AnalysisReport report = analyzeCircuit(c);
+            EXPECT_EQ(report.failedVerification, 0)
+                << "corpus " << corpus << " seed " << seed << "\n"
+                << report.toString();
+            for (const Diagnostic &d : report.diagnostics) {
+                if (d.removable) {
+                    EXPECT_TRUE(d.verified) << d.toString();
+                }
+            }
+        }
+    }
+}
+
+TEST(AnalysisDifferentialTest, TamperCorpusHasZeroFalsePositives)
+{
+    // Append a load-bearing entangler on two fresh ancilla qubits the
+    // random prefix never touches: H(4) drives q4 off |0> and
+    // CNOT(4, 5) creates fresh entanglement, so neither is removable
+    // no matter what the prefix did. A removable claim on either would
+    // be a false positive. (The built-in verifier would catch it too —
+    // this pins the property structurally, without the engine.)
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Circuit prefix = randomCircuit(4, 16, 5000 + seed);
+        Circuit c(6);
+        for (const Gate &g : prefix.gates())
+            c.add(g);
+        c.add(makeH(4));
+        const int planted_h = static_cast<int>(c.gates().size()) - 1;
+        c.add(makeCnot(4, 5));
+        const int planted = static_cast<int>(c.gates().size()) - 1;
+
+        AnalysisReport report = analyzeCircuit(c);
+        EXPECT_EQ(report.failedVerification, 0) << report.toString();
+        for (const Diagnostic &d : report.diagnostics) {
+            if (!d.removable)
+                continue;
+            for (int g : d.fix.removeGates) {
+                EXPECT_NE(g, planted_h)
+                    << "seed " << seed << ": " << d.toString();
+                EXPECT_NE(g, planted)
+                    << "seed " << seed << ": " << d.toString();
+            }
+        }
+    }
+}
+
+TEST(AnalysisDifferentialTest, SuiteWorkloadsAnalyzeCleanly)
+{
+    // End-to-end through the compiler: both analysis stages verify on
+    // representative paper workloads under two strategies.
+    for (const char *name : {"MAXCUT-line", "sqrt-n3"}) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        DeviceModel device =
+            DeviceModel::gridFor(spec.circuit.numQubits());
+        CompilerOptions options;
+        options.analyze = true;
+        Compiler compiler(device, options);
+        for (Strategy strategy :
+             {Strategy::kIsa, Strategy::kClsAggregation}) {
+            CompilationResult result =
+                compiler.compile(spec.circuit, strategy);
+            ASSERT_EQ(result.analyses.size(), 2u) << name;
+            for (const AnalysisReport &report : result.analyses) {
+                EXPECT_TRUE(report.allVerified())
+                    << name << "/" << strategyName(strategy) << "\n"
+                    << report.toString();
+            }
+        }
+    }
+}
+
+TEST(AnalysisDifferentialTest, SqrtWorkloadShowsDistinctKinds)
+{
+    // Acceptance criterion: at least three distinct diagnostic kinds
+    // on a real suite workload.
+    BenchmarkSpec spec = benchmarkByName("sqrt-n3");
+    DeviceModel device = DeviceModel::gridFor(spec.circuit.numQubits());
+    CompilerOptions options;
+    options.analyze = true;
+    Compiler compiler(device, options);
+    CompilationResult result =
+        compiler.compile(spec.circuit, Strategy::kIsa);
+    ASSERT_EQ(result.analyses.size(), 2u);
+    EXPECT_GE(result.analyses[0].distinctKinds(), 3)
+        << result.analyses[0].toString();
+    EXPECT_TRUE(result.analyses[0].allVerified());
+    EXPECT_TRUE(result.analyses[1].allVerified());
+}
+
+} // namespace
+} // namespace qaic

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the abstract-interpretation dataflow analyzer: every
+ * diagnostic kind fires on a planted example and is machine-verified,
+ * load-bearing gates are never claimed removable, suggested fixes
+ * apply exactly as proven, and the AnalysisPass threads reports
+ * through the compiler pipeline.
+ */
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "compiler/compiler.h"
+#include "device/device.h"
+#include "verify/verify.h"
+
+namespace qaic {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Diagnostics of @p kind in @p report. */
+std::vector<Diagnostic>
+ofKind(const AnalysisReport &report, DiagnosticKind kind)
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : report.diagnostics) {
+        if (d.kind == kind)
+            out.push_back(d);
+    }
+    return out;
+}
+
+TEST(AnalysisTest, ExplicitIdentityGateIsFlaggedAndVerified)
+{
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeId(1));
+    c.add(makeCnot(0, 1));
+
+    AnalysisReport report = analyzeCircuit(c);
+    auto found = ofKind(report, DiagnosticKind::kRemovableGate);
+    ASSERT_GE(found.size(), 1u);
+    EXPECT_EQ(found[0].gateIndex, 1);
+    EXPECT_TRUE(found[0].removable);
+    EXPECT_TRUE(found[0].verified) << found[0].toString();
+    EXPECT_EQ(report.failedVerification, 0);
+}
+
+TEST(AnalysisTest, IdentityRotationFoldsToZeroMod2Pi)
+{
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeRz(0, 2.0 * kPi)); // -I: identity up to global phase
+    c.add(makeRx(1, 0.0));
+    c.add(makeCnot(0, 1));
+
+    AnalysisReport report = analyzeCircuit(c);
+    auto found = ofKind(report, DiagnosticKind::kIdentityRotation);
+    ASSERT_GE(found.size(), 2u);
+    for (const Diagnostic &d : found) {
+        EXPECT_TRUE(d.removable);
+        EXPECT_EQ(d.mode, VerificationMode::kUnitary);
+        EXPECT_TRUE(d.verified) << d.toString();
+    }
+    EXPECT_EQ(report.failedVerification, 0);
+}
+
+TEST(AnalysisTest, DeadControlOnProvablyZeroQubit)
+{
+    // q1 is never driven off |0>, so the CNOT it controls never fires.
+    Circuit c(3);
+    c.add(makeX(0));
+    c.add(makeCnot(1, 2));
+
+    AnalysisReport report = analyzeCircuit(c);
+    auto found = ofKind(report, DiagnosticKind::kDeadControl);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].gateIndex, 1);
+    EXPECT_EQ(found[0].mode, VerificationMode::kInitialState);
+    EXPECT_TRUE(found[0].verified) << found[0].toString();
+    EXPECT_EQ(report.failedVerification, 0);
+}
+
+TEST(AnalysisTest, SelfInversePairCancelsAcrossCommutingGates)
+{
+    // The X(1) between the two H(0) commutes with both, so the pair
+    // still cancels; T/Tdg on a superposition (q1 is |1> -> H -> |->)
+    // are adjoints rather than involutions. Both qubits are driven hot
+    // first so the classical domain cannot claim the gates alone.
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeX(1));
+    c.add(makeH(0));
+    c.add(makeH(1));
+    c.add(makeT(1));
+    c.add(makeTdg(1));
+
+    AnalysisReport report = analyzeCircuit(c);
+    auto found = ofKind(report, DiagnosticKind::kSelfInversePair);
+    ASSERT_GE(found.size(), 2u);
+    for (const Diagnostic &d : found) {
+        EXPECT_EQ(d.gateIndices.size(), 2u);
+        EXPECT_EQ(d.fix.removeGates.size(), 2u);
+        EXPECT_TRUE(d.verified) << d.toString();
+    }
+    EXPECT_EQ(report.failedVerification, 0);
+}
+
+TEST(AnalysisTest, MergeableRotationsFoldIntoOneGate)
+{
+    // Two Rz on the same wire parity inside one diagonal segment. The
+    // wire must be in superposition first, or the classical domain
+    // proves each rotation a global-phase identity on its own.
+    Circuit c(2);
+    c.add(makeH(1));
+    c.add(makeRz(1, 0.3));
+    c.add(makeX(0));
+    c.add(makeRz(1, 0.5));
+
+    AnalysisReport report = analyzeCircuit(c);
+    auto found = ofKind(report, DiagnosticKind::kMergeableRotation);
+    ASSERT_GE(found.size(), 1u);
+    const Diagnostic &d = found[0];
+    EXPECT_TRUE(d.removable);
+    EXPECT_EQ(d.fix.removeGates.size(), 2u);
+    ASSERT_EQ(d.fix.insertGates.size(), 1u);
+    EXPECT_EQ(d.fix.insertGates[0].kind, GateKind::kRz);
+    EXPECT_NEAR(d.fix.insertGates[0].params[0], 0.8, 1e-9);
+    EXPECT_TRUE(d.verified) << d.toString();
+    EXPECT_EQ(report.failedVerification, 0);
+}
+
+TEST(AnalysisTest, InformationalFindings)
+{
+    // q1 only ever sees a Z (stays |0>): constant qubit. q2 ends in
+    // |1>: ancilla not reset. {q0,q3} and {q4,q5} never couple:
+    // splittable register.
+    Circuit c(6);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 3));
+    c.add(makeZ(1));
+    c.add(makeX(2));
+    c.add(makeCnot(4, 5));
+
+    AnalysisReport report = analyzeCircuit(c);
+    auto constant = ofKind(report, DiagnosticKind::kConstantQubit);
+    ASSERT_GE(constant.size(), 1u);
+    EXPECT_EQ(constant[0].qubits, std::vector<int>{1});
+
+    auto ancilla = ofKind(report, DiagnosticKind::kAncillaNotReset);
+    bool q2_flagged = false;
+    for (const Diagnostic &d : ancilla)
+        q2_flagged |= d.qubits == std::vector<int>{2};
+    EXPECT_TRUE(q2_flagged);
+
+    auto split = ofKind(report, DiagnosticKind::kSplittableRegister);
+    ASSERT_EQ(split.size(), 1u);
+    EXPECT_FALSE(split[0].removable);
+    EXPECT_EQ(split[0].mode, VerificationMode::kNone);
+
+    // And they all disappear with informational reporting off.
+    AnalysisOptions quiet;
+    quiet.informational = false;
+    AnalysisReport lean = analyzeCircuit(c, quiet);
+    EXPECT_EQ(ofKind(lean, DiagnosticKind::kConstantQubit).size(), 0u);
+    EXPECT_EQ(ofKind(lean, DiagnosticKind::kAncillaNotReset).size(), 0u);
+    EXPECT_EQ(ofKind(lean, DiagnosticKind::kSplittableRegister).size(),
+              0u);
+}
+
+TEST(AnalysisTest, LoadBearingGatesAreNeverFlagged)
+{
+    // Every gate here changes the reachable state (or the unitary) in
+    // an essential way; a removable claim on any of them would be a
+    // false positive.
+    Circuit ghz(3);
+    ghz.add(makeH(0));
+    ghz.add(makeCnot(0, 1));
+    ghz.add(makeCnot(1, 2));
+
+    AnalysisReport ghz_report = analyzeCircuit(ghz);
+    for (const Diagnostic &d : ghz_report.diagnostics)
+        EXPECT_FALSE(d.removable) << d.toString();
+    EXPECT_EQ(ghz_report.failedVerification, 0);
+
+    Circuit hot(2);
+    hot.add(makeX(0));
+    hot.add(makeCnot(0, 1)); // control is |1>: fires, not dead
+    hot.add(makeH(1));
+    hot.add(makeT(1)); // T on a superposition: real relative phase
+
+    AnalysisReport hot_report = analyzeCircuit(hot);
+    for (const Diagnostic &d : hot_report.diagnostics)
+        EXPECT_FALSE(d.removable) << d.toString();
+    EXPECT_EQ(hot_report.failedVerification, 0);
+}
+
+TEST(AnalysisTest, EngineRefutesLoadBearingDeletion)
+{
+    // The adversarial check has teeth: deleting a load-bearing gate is
+    // provably NOT a zero-state equivalence.
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+
+    SuggestedFix bogus;
+    bogus.removeGates = {1};
+    Circuit broken = applySuggestedFix(c, bogus);
+    ASSERT_EQ(broken.gates().size(), 1u);
+
+    EquivalenceReport unitary = analyzeCircuitsEquivalent(c, broken);
+    EXPECT_EQ(unitary.verdict, EquivalenceVerdict::kNotEquivalent);
+    EquivalenceReport state = analyzeZeroStateEquivalent(c, broken);
+    EXPECT_EQ(state.verdict, EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST(AnalysisTest, ApplySuggestedFixSplicesAtFirstRemoval)
+{
+    Circuit c(2);
+    c.add(makeH(0));
+    c.add(makeRz(1, 0.3));
+    c.add(makeZ(0));
+    c.add(makeRz(1, 0.5));
+
+    SuggestedFix fix;
+    fix.removeGates = {1, 3};
+    fix.insertGates = {makeRz(1, 0.8)};
+    Circuit fixed = applySuggestedFix(c, fix);
+
+    ASSERT_EQ(fixed.gates().size(), 3u);
+    EXPECT_EQ(fixed.gates()[0].kind, GateKind::kH);
+    EXPECT_EQ(fixed.gates()[1].kind, GateKind::kRz);
+    EXPECT_NEAR(fixed.gates()[1].params[0], 0.8, 1e-12);
+    EXPECT_EQ(fixed.gates()[2].kind, GateKind::kZ);
+}
+
+TEST(AnalysisTest, ZeroStateEquivalenceTiers)
+{
+    // Clifford tier: X(0) vs CNOT(|1> control) images of |00>.
+    Circuit a(2), b(2);
+    a.add(makeX(0));
+    a.add(makeCnot(0, 1));
+    b.add(makeX(0));
+    b.add(makeX(1));
+    EquivalenceReport clifford = analyzeZeroStateEquivalent(a, b);
+    EXPECT_TRUE(clifford.equivalent()) << clifford.note;
+
+    // Diagonal tier: a diagonal gate acts on |0...0> as global phase.
+    Circuit d1(2), d2(2);
+    d1.add(makeX(0));
+    d1.add(makeRzz(0, 1, 0.4));
+    d2.add(makeX(0));
+    EquivalenceReport diagonal = analyzeZeroStateEquivalent(d1, d2);
+    EXPECT_TRUE(diagonal.equivalent()) << diagonal.note;
+
+    // Not equivalent on |0..0> even though both are valid circuits.
+    Circuit e1(1), e2(1);
+    e1.add(makeX(0));
+    EquivalenceReport different = analyzeZeroStateEquivalent(e1, e2);
+    EXPECT_EQ(different.verdict, EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST(AnalysisTest, JsonReportIsWellFormedEnough)
+{
+    Circuit c(2);
+    c.add(makeId(0));
+    c.add(makeH(1));
+
+    AnalysisReport report = analyzeCircuit(c);
+    std::string json = report.toJson();
+    EXPECT_NE(json.find("\"stage\""), std::string::npos);
+    EXPECT_NE(json.find("\"diagnostics\""), std::string::npos);
+    EXPECT_NE(json.find("\"removable-gate\""), std::string::npos);
+    EXPECT_NE(json.find("\"failedVerification\":0"), std::string::npos);
+
+    // Escaping: control characters and quotes never leak through raw.
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(AnalysisTest, PipelineThreadsAnalysisReports)
+{
+    Circuit c(3);
+    c.add(makeH(0));
+    c.add(makeCnot(0, 1));
+    c.add(makeId(2));
+
+    DeviceModel device = DeviceModel::gridFor(3);
+    CompilerOptions options;
+    options.analyze = true;
+    Compiler compiler(device, options);
+    CompilationResult result = compiler.compile(c, Strategy::kIsa);
+
+    ASSERT_EQ(result.analyses.size(), 2u);
+    EXPECT_EQ(result.analyses[0].stage, "logical");
+    EXPECT_EQ(result.analyses[1].stage, "routed");
+    for (const AnalysisReport &report : result.analyses)
+        EXPECT_TRUE(report.allVerified()) << report.toString();
+
+    // Analysis is read-only: compiling without it gives the same gates.
+    Compiler plain(device, CompilerOptions{});
+    CompilationResult base = plain.compile(c, Strategy::kIsa);
+    EXPECT_TRUE(base.analyses.empty());
+    ASSERT_EQ(base.physicalCircuit.gates().size(),
+              result.physicalCircuit.gates().size());
+}
+
+} // namespace
+} // namespace qaic

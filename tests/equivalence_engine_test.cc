@@ -67,8 +67,9 @@ TEST(EquivalenceEngineTest, CliffordCheckerAgreesWithDense)
                 .equivalent();
         const auto tableau = analyzeCircuitsEquivalent(
             c, bad, forced(EquivalenceMethod::kCliffordTableau));
-        if (tableau.verdict != EquivalenceVerdict::kInconclusive)
+        if (tableau.verdict != EquivalenceVerdict::kInconclusive) {
             EXPECT_EQ(tableau.equivalent(), dense_same) << "seed " << seed;
+        }
     }
 }
 

@@ -221,16 +221,19 @@ TEST_F(FailPointTest, SweepEveryRegisteredFailpointFiresAndDegradesCleanly)
         EXPECT_GT(out.grapeLatency, 0.0)
             << "pricing must fall back, not return garbage";
         for (std::size_t i = 0; i < out.batch.size(); ++i) {
-            if (!out.batch[i].isOk())
+            if (!out.batch[i].isOk()) {
                 EXPECT_NE(out.batch[i].status().message(), "")
                     << "batch slot " << i;
+            }
         }
-        if (!out.firstFlush.isOk())
+        if (!out.firstFlush.isOk()) {
             EXPECT_EQ(out.firstFlush.code(), StatusCode::kUnavailable);
-        if (!out.reload.isOk())
+        }
+        if (!out.reload.isOk()) {
             EXPECT_TRUE(out.reload.code() == StatusCode::kNotFound ||
                         out.reload.code() == StatusCode::kDataLoss)
                 << out.reload.toString();
+        }
 
         // Per-failpoint documented behavior.
         if (name == "pulselib_rename_fail") {

@@ -66,8 +66,9 @@ TEST(PulsePlanTest, SlotsAlignWithSchedule)
     for (const PulseSlot &slot : plan.slots) {
         const ScheduledOp &op = r.schedule.ops[slot.opIndex];
         EXPECT_DOUBLE_EQ(slot.start, op.start);
-        if (op.gate.width() > 2)
+        if (op.gate.width() > 2) {
             EXPECT_FALSE(slot.synthesized);
+        }
     }
     // The timeline spans the whole schedule.
     EXPECT_GE(plan.duration() + 1e-9, r.schedule.makespan());

@@ -67,9 +67,10 @@ INSTANTIATE_TEST_SUITE_P(
                           Topology::kRandomRegular, Topology::kFull),
         ::testing::Values(RouterKind::kBaseline,
                           RouterKind::kLookahead)),
-    [](const auto &info) {
-        std::string name = topologyName(std::get<0>(info.param)) + "_" +
-                           routerName(std::get<1>(info.param));
+    [](const auto &param_info) {
+        std::string name =
+            topologyName(std::get<0>(param_info.param)) + "_" +
+            routerName(std::get<1>(param_info.param));
         std::replace(name.begin(), name.end(), '-', '_');
         return name;
     });

@@ -232,16 +232,18 @@ TEST(TsanSoakTest, PulseLibraryIoFaultsUnderConcurrency)
                 (void)library.lookup(key, "");
                 if (i % 8 == 0) {
                     Status flushed = library.flush();
-                    if (!flushed.isOk())
+                    if (!flushed.isOk()) {
                         EXPECT_EQ(flushed.code(),
                                   StatusCode::kUnavailable)
                             << flushed.toString();
+                    }
                     Status loaded = library.load();
-                    if (!loaded.isOk())
+                    if (!loaded.isOk()) {
                         EXPECT_TRUE(
                             loaded.code() == StatusCode::kNotFound ||
                             loaded.code() == StatusCode::kDataLoss)
                             << loaded.toString();
+                    }
                 }
             }
         });

@@ -33,6 +33,16 @@
  *     --deadline MS   wall-clock compile budget in milliseconds; GRAPE
  *                     searches that overrun degrade to analytic
  *                     latencies (reported), other overruns fail
+ *     --analyze       run the abstract-interpretation dataflow analyzer
+ *                     (analysis/analyzer.h) after lowering and after
+ *                     mapping and print its machine-verified
+ *                     diagnostics; exits nonzero if any diagnostic
+ *                     fails equivalence verification
+ *     --json          with --analyze: emit the analysis reports as one
+ *                     JSON document on stdout (nothing else is printed)
+ *     --suite NAME    compile the named paper-suite workload
+ *                     (workloads/suite.h, e.g. sqrt-n3, MAXCUT-line)
+ *                     instead of reading a QASM file
  *
  * Error-policy note (docs/ARCHITECTURE.md "Error handling"): the
  * library reports recoverable problems — malformed QASM, impossible
@@ -45,6 +55,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/diagnostics.h"
 #include "compiler/compiler.h"
 #include "compiler/fidelity.h"
 #include "compiler/pipeline.h"
@@ -52,6 +63,7 @@
 #include "device/topology.h"
 #include "ir/qasm.h"
 #include "verify/verify.h"
+#include "workloads/suite.h"
 
 using namespace qaic;
 
@@ -70,7 +82,8 @@ usage(const char *argv0)
                  "          [--pulse-lib FILE] [--schedule] [--timings] "
                  "[--verify]\n"
                  "          [--check-invariants] [--deadline MS] "
-                 "circuit.qasm\n",
+                 "[--analyze] [--json]\n"
+                 "          (circuit.qasm | --suite WORKLOAD)\n",
                  argv0);
     return 2;
 }
@@ -87,7 +100,8 @@ main(int argc, char **argv)
     double deadline_ms = 0.0;
     bool print_schedule = false, print_timings = false, verify = false;
     bool check_invariants = kCheckInvariantsDefault;
-    std::string pulses_path, pulse_lib_path, input_path;
+    bool analyze = false, json = false;
+    std::string pulses_path, pulse_lib_path, input_path, suite_name;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -124,6 +138,12 @@ main(int argc, char **argv)
             verify = true;
         } else if (arg == "--check-invariants") {
             check_invariants = true;
+        } else if (arg == "--analyze") {
+            analyze = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--suite" && i + 1 < argc) {
+            suite_name = argv[++i];
         } else if (arg == "--deadline" && i + 1 < argc) {
             deadline_ms = std::atof(argv[++i]);
             if (deadline_ms <= 0)
@@ -136,21 +156,48 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (input_path.empty())
+    if (input_path.empty() == suite_name.empty())
+        return usage(argv[0]); // exactly one input source
+    if (json && !analyze) {
+        std::fprintf(stderr, "--json requires --analyze\n");
         return usage(argv[0]);
-
-    std::ifstream in(input_path);
-    if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
-        return 1;
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    StatusOr<Circuit> circuit = parseQasm(buffer.str());
-    if (!circuit.isOk()) {
-        std::fprintf(stderr, "%s: %s\n", input_path.c_str(),
-                     circuit.status().toString().c_str());
-        return 1;
+
+    Circuit input(1);
+    std::string input_label;
+    if (!suite_name.empty()) {
+        bool found = false;
+        for (const BenchmarkSpec &spec : paperBenchmarkSuite())
+            if (spec.name == suite_name) {
+                input = spec.circuit;
+                found = true;
+                break;
+            }
+        if (!found) {
+            std::fprintf(stderr, "unknown suite workload '%s'; one of:",
+                         suite_name.c_str());
+            for (const BenchmarkSpec &spec : paperBenchmarkSuite())
+                std::fprintf(stderr, " %s", spec.name.c_str());
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
+        input_label = suite_name;
+    } else {
+        std::ifstream in(input_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        StatusOr<Circuit> circuit = parseQasm(buffer.str());
+        if (!circuit.isOk()) {
+            std::fprintf(stderr, "%s: %s\n", input_path.c_str(),
+                         circuit.status().toString().c_str());
+            return 1;
+        }
+        input = std::move(circuit).value();
+        input_label = input_path;
     }
 
     CompilerOptions options;
@@ -159,8 +206,9 @@ main(int argc, char **argv)
     options.routing.router = router;
     options.checkInvariants = check_invariants;
     options.deadlineMs = deadline_ms;
+    options.analyze = analyze;
     StatusOr<DeviceModel> device_or = deviceFromUserConfig(
-        topologyName(topology), circuit->numQubits(), options.seed);
+        topologyName(topology), input.numQubits(), options.seed);
     if (!device_or.isOk()) {
         std::fprintf(stderr, "%s\n",
                      device_or.status().toString().c_str());
@@ -169,17 +217,35 @@ main(int argc, char **argv)
     DeviceModel device = std::move(device_or).value();
     Compiler compiler(device, options);
     StatusOr<CompilationResult> compiled =
-        compiler.tryCompile(*circuit, strategy);
+        compiler.tryCompile(input, strategy);
     if (!compiled.isOk()) {
-        std::fprintf(stderr, "%s: %s\n", input_path.c_str(),
+        std::fprintf(stderr, "%s: %s\n", input_label.c_str(),
                      compiled.status().toString().c_str());
         return 1;
     }
     CompilationResult result = std::move(compiled).value();
 
+    int analysis_failures = 0;
+    for (const AnalysisReport &report : result.analyses)
+        analysis_failures += report.failedVerification;
+
+    if (json) {
+        // Machine-readable mode: one JSON document, nothing else.
+        std::string out = "{\"input\":\"" + jsonEscape(input_label) +
+                          "\",\"strategy\":\"" +
+                          jsonEscape(strategyName(strategy)) +
+                          "\",\"topology\":\"" +
+                          jsonEscape(topologyName(topology)) +
+                          "\",\"reports\":[";
+        for (std::size_t i = 0; i < result.analyses.size(); ++i)
+            out += (i ? "," : "") + result.analyses[i].toJson();
+        out += "]}";
+        std::printf("%s\n", out.c_str());
+        return analysis_failures ? 1 : 0;
+    }
+
     std::printf("input      : %s (%zu gates, %d qubits)\n",
-                input_path.c_str(), circuit->size(),
-                circuit->numQubits());
+                input_label.c_str(), input.size(), input.numQubits());
     std::printf("device     : %s, %d qubits (%zu couplers, diameter %d)\n",
                 topologyName(topology).c_str(), device.numQubits(),
                 device.couplings().size(), device.diameter());
@@ -198,6 +264,17 @@ main(int argc, char **argv)
     std::printf("est. output fidelity: %.4f (decoherence %.4f, control "
                 "%.4f)\n",
                 fidelity.total, fidelity.decoherence, fidelity.control);
+
+    if (analyze) {
+        std::printf("\n");
+        for (const AnalysisReport &report : result.analyses)
+            std::printf("%s", report.toString().c_str());
+        if (analysis_failures)
+            std::fprintf(stderr,
+                         "analysis: %d diagnostic(s) FAILED equivalence "
+                         "verification (analyzer bug)\n",
+                         analysis_failures);
+    }
 
     if (print_timings) {
         std::printf("\npasses:\n");
@@ -246,5 +323,5 @@ main(int argc, char **argv)
                     pulses_path.c_str(), plan.duration(),
                     plan.synthesizedCount, plan.worstFidelity);
     }
-    return 0;
+    return analysis_failures ? 1 : 0;
 }
