@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Optimizer harness: two-qubit gate count, total gate count and routed
+ * latency for every paper workload x strategy x topology cell, compiled
+ * with and without the optimizing pass suite (--opt).
+ *
+ * Emits BENCH_opt.json (one record per cell holding both compiles'
+ * numbers plus the equivalence verdict of the optimized artifact) and
+ * fails — nonzero exit, for CI — when any guard trips:
+ *
+ *  - never-worse: an optimized cell's routed latency exceeds the
+ *    unoptimized compile of the same cell,
+ *  - progress: the optimizer does not strictly reduce the suite-total
+ *    two-qubit gate count,
+ *  - soundness: the equivalence engine refutes any optimized compile
+ *    (rewrite verification is forced on here even in Release, so a
+ *    miscompile also panics inside the pipeline long before this),
+ *  - regression (with --baseline): an optimized cell's two-qubit count
+ *    exceeds the committed baseline for that cell.
+ *
+ * Usage: bench_opt [--quick] [--json FILE] [--baseline FILE]
+ *   --quick       scale the suite registers down (CI smoke budget)
+ *   --json F      write the report to F instead of BENCH_opt.json
+ *   --baseline F  compare per-cell two-qubit counts against F; lines
+ *                 of "cell-name count" (see bench/opt_baseline_quick.txt)
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "compiler/compiler.h"
+#include "compiler/decompose.h"
+#include "device/topology.h"
+#include "ir/gate.h"
+#include "verify/verify.h"
+#include "workloads/suite.h"
+
+using namespace qaic;
+
+namespace {
+
+/** Two-qubit gates in @p gates, descending into aggregate members. */
+int
+twoQubitCount(const std::vector<Gate> &gates)
+{
+    int count = 0;
+    for (const Gate &g : gates) {
+        if (g.kind == GateKind::kAggregate && g.payload)
+            count += twoQubitCount(g.payload->members);
+        else if (g.width() >= 2)
+            ++count;
+    }
+    return count;
+}
+
+/** Primitive gates in @p gates, descending into aggregate members. */
+int
+primitiveCount(const std::vector<Gate> &gates)
+{
+    int count = 0;
+    for (const Gate &g : gates) {
+        if (g.kind == GateKind::kAggregate && g.payload)
+            count += primitiveCount(g.payload->members);
+        else
+            ++count;
+    }
+    return count;
+}
+
+struct CellNumbers
+{
+    int cnots = 0;
+    int gates = 0;
+    double latencyNs = 0.0;
+    double wallNs = 0.0;
+};
+
+CellNumbers
+numbersOf(const CompilationResult &result, double wall_ns)
+{
+    CellNumbers out;
+    out.cnots = twoQubitCount(result.physicalCircuit.gates());
+    out.gates = primitiveCount(result.physicalCircuit.gates());
+    out.latencyNs = result.latencyNs;
+    out.wallNs = wall_ns;
+    return out;
+}
+
+std::map<std::string, int>
+readBaseline(const std::string &path)
+{
+    std::map<std::string, int> baseline;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream row(line);
+        std::string name;
+        int count = 0;
+        if (row >> name >> count)
+            baseline[name] = count;
+    }
+    return baseline;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string json_path;
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--quick] [--json FILE] [--baseline FILE]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    const double scale = quick ? 0.3 : 1.0;
+    const Topology topologies[] = {Topology::kGrid, Topology::kHeavyHex};
+    std::map<std::string, int> baseline;
+    if (!baseline_path.empty())
+        baseline = readBaseline(baseline_path);
+
+    bench::BenchReport report("opt");
+    long long base_total_cnots = 0;
+    long long opt_total_cnots = 0;
+    int latency_regressions = 0;
+    int refuted = 0;
+    int baseline_regressions = 0;
+
+    std::printf("%-16s %-12s %-10s %9s %9s %12s %12s %6s\n", "workload",
+                "strategy", "topology", "base 2q", "opt 2q", "base ns",
+                "opt ns", "verif");
+    for (const BenchmarkSpec &spec : paperBenchmarkSuite(scale)) {
+        Circuit lowered = decomposeCcx(spec.circuit);
+        for (Topology topology : topologies) {
+            DeviceModel device =
+                deviceForTopology(topology, lowered.numQubits());
+
+            for (Strategy strategy : kAllStrategies) {
+                // Fresh compilers per cell: GRAPE pricing is history-
+                // sensitive (warm starts from the pulse cache), so a
+                // cold oracle on both sides is what makes "same cell,
+                // with and without --opt" a deterministic comparison —
+                // and exactly what compileWithLatencyGuard's internal
+                // baseline reproduces.
+                CompilerOptions base_options;
+                Compiler base_compiler(device, base_options);
+
+                CompilerOptions opt_options;
+                opt_options.optimize = true;
+                // Force rewrite verification even in Release: this
+                // harness is the soundness record the CI artifact
+                // keeps.
+                opt_options.optimizer.verifyRewrites = true;
+                Compiler opt_compiler(device, opt_options);
+
+                double t0 = bench::nowNs();
+                CompilationResult base =
+                    base_compiler.compile(lowered, strategy);
+                double t1 = bench::nowNs();
+                CompilationResult opt =
+                    opt_compiler.compile(lowered, strategy);
+                double t2 = bench::nowNs();
+
+                CellNumbers b = numbersOf(base, t1 - t0);
+                CellNumbers o = numbersOf(opt, t2 - t1);
+                base_total_cnots += b.cnots;
+                opt_total_cnots += o.cnots;
+
+                // The optimized artifact must still implement the
+                // original logical circuit through placement and
+                // routing. kInconclusive (no engine tier applies) is
+                // recorded but only a refutation fails the run.
+                EquivalenceReport proof = analyzeRoutedEquivalent(
+                    lowered, opt.routing, device.numQubits());
+                double verdict = 0.0;
+                if (proof.verdict == EquivalenceVerdict::kEquivalent)
+                    verdict = 1.0;
+                if (proof.verdict == EquivalenceVerdict::kNotEquivalent) {
+                    verdict = -1.0;
+                    ++refuted;
+                    std::fprintf(stderr,
+                                 "MISCOMPILE: %s/%s/%s refuted: %s\n",
+                                 spec.name.c_str(),
+                                 strategyName(strategy).c_str(),
+                                 topologyName(topology).c_str(),
+                                 proof.note.c_str());
+                }
+
+                std::string cell = spec.name + "/" +
+                                   strategyName(strategy) + "/" +
+                                   topologyName(topology);
+                std::printf("%-16s %-12s %-10s %9d %9d %12.1f %12.1f "
+                            "%6s\n",
+                            spec.name.c_str(),
+                            strategyName(strategy).c_str(),
+                            topologyName(topology).c_str(), b.cnots,
+                            o.cnots, b.latencyNs, o.latencyNs,
+                            verdict > 0.0 ? "ok"
+                                          : (verdict < 0.0 ? "FAIL"
+                                                           : "inconcl"));
+
+                auto &record = report.add(cell, o.wallNs, 1, b.wallNs);
+                record.extra.emplace_back("base_cnots", b.cnots);
+                record.extra.emplace_back("opt_cnots", o.cnots);
+                record.extra.emplace_back("base_gates", b.gates);
+                record.extra.emplace_back("opt_gates", o.gates);
+                record.extra.emplace_back("base_latency_ns", b.latencyNs);
+                record.extra.emplace_back("opt_latency_ns", o.latencyNs);
+                record.extra.emplace_back("verified", verdict);
+
+                if (o.latencyNs > b.latencyNs + 1e-6) {
+                    std::fprintf(stderr,
+                                 "REGRESSION: --opt latency %.1f ns vs "
+                                 "%.1f ns on %s\n",
+                                 o.latencyNs, b.latencyNs, cell.c_str());
+                    ++latency_regressions;
+                }
+                auto it = baseline.find(cell);
+                if (it != baseline.end() && o.cnots > it->second) {
+                    std::fprintf(stderr,
+                                 "REGRESSION: %d two-qubit gates vs "
+                                 "committed baseline %d on %s\n",
+                                 o.cnots, it->second, cell.c_str());
+                    ++baseline_regressions;
+                }
+            }
+        }
+    }
+
+    std::printf("\nsuite total two-qubit gates: %lld -> %lld with --opt\n",
+                base_total_cnots, opt_total_cnots);
+    if (!report.writeFile(json_path))
+        return 1;
+    if (opt_total_cnots >= base_total_cnots) {
+        std::fprintf(stderr, "REGRESSION: --opt did not strictly reduce "
+                             "the suite-total two-qubit gate count\n");
+        return 1;
+    }
+    if (latency_regressions > 0 || refuted > 0 ||
+        baseline_regressions > 0)
+        return 1;
+    return 0;
+}

@@ -148,8 +148,27 @@ detectDiagonalBlocks(const Circuit &circuit, int max_block_gates,
         for (std::size_t j = i + 1;
              j < n && run.size() < static_cast<std::size_t>(max_block_gates);
              ++j) {
-            if (consumed[j])
+            if (consumed[j]) {
+                // A consumed gate's position was vacated (its block
+                // moved it to the block's emit site), so there is
+                // nothing here to reorder against — except at the emit
+                // site itself, where the whole earlier block now sits.
+                // Members collected so far would slide across it, and
+                // that is only sound when the two blocks' supports are
+                // disjoint: the earlier block's support can contain
+                // qubits it picked up *after* scanning past our
+                // members, so no per-gate check along the way covers
+                // this crossing.
+                if (!replacement[j].empty()) {
+                    bool overlap = false;
+                    for (int q : replacement[j].front().qubits)
+                        if (support.count(q))
+                            overlap = true;
+                    if (overlap)
+                        break;
+                }
                 continue;
+            }
             bool disjoint = true;
             for (int q : gates[j].qubits)
                 if (support.count(q))

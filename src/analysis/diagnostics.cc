@@ -1,6 +1,7 @@
 #include "analysis/diagnostics.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -195,6 +196,67 @@ applySuggestedFix(const Circuit &circuit, const SuggestedFix &fix)
     QAIC_CHECK_EQ(next_removed, fix.removeGates.size())
         << "fix removes gate indices beyond the circuit";
     return out;
+}
+
+AppliedFixes
+applySuggestedFixes(const Circuit &circuit,
+                    const std::vector<SuggestedFix> &fixes)
+{
+    const int n = static_cast<int>(circuit.gates().size());
+
+    // Order by first removal index so acceptance is deterministic and
+    // the earliest fix wins a conflict.
+    std::vector<const SuggestedFix *> ordered;
+    ordered.reserve(fixes.size());
+    for (const SuggestedFix &fix : fixes) {
+        QAIC_CHECK(!fix.removeGates.empty())
+            << "applySuggestedFixes called with an empty fix";
+        QAIC_CHECK(std::is_sorted(fix.removeGates.begin(),
+                                  fix.removeGates.end()))
+            << "SuggestedFix::removeGates must be ascending";
+        QAIC_CHECK(fix.removeGates.front() >= 0 &&
+                   fix.removeGates.back() < n)
+            << "fix removes gate indices beyond the circuit";
+        ordered.push_back(&fix);
+    }
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const SuggestedFix *a, const SuggestedFix *b) {
+                         return a->removeGates.front() <
+                                b->removeGates.front();
+                     });
+
+    AppliedFixes result;
+    // removed[i]: gate i deleted; splice[i]: accepted fix whose
+    // insertGates replace it (only set at each fix's first removal).
+    std::vector<std::uint8_t> removed(static_cast<std::size_t>(n), 0);
+    std::vector<const SuggestedFix *> splice(static_cast<std::size_t>(n),
+                                             nullptr);
+    for (const SuggestedFix *fix : ordered) {
+        bool conflicts = false;
+        for (int index : fix->removeGates)
+            conflicts = conflicts || removed[index] != 0;
+        if (conflicts) {
+            result.deferred.push_back(*fix);
+            continue;
+        }
+        for (int index : fix->removeGates)
+            removed[index] = 1;
+        splice[fix->removeGates.front()] = fix;
+        result.applied.push_back(*fix);
+    }
+
+    // One pass over the original indices: no fix ever sees a spliced
+    // gate list, so there are no stale-index deletions by design.
+    Circuit out(circuit.numQubits());
+    for (int i = 0; i < n; ++i) {
+        if (splice[i] != nullptr)
+            for (const Gate &g : splice[i]->insertGates)
+                out.add(g);
+        if (!removed[i])
+            out.add(circuit.gates()[i]);
+    }
+    result.circuit = std::move(out);
+    return result;
 }
 
 } // namespace qaic

@@ -166,6 +166,41 @@ struct AnalysisReport
  */
 Circuit applySuggestedFix(const Circuit &circuit, const SuggestedFix &fix);
 
+/** Outcome of a batched applySuggestedFixes application. */
+struct AppliedFixes
+{
+    /** The rewritten circuit (== input when nothing applied). */
+    Circuit circuit{1};
+    /** Fixes actually applied, in ascending first-removal order. */
+    std::vector<SuggestedFix> applied;
+    /** Fixes deferred because they overlap an accepted fix. Their
+     *  indices still refer to the *original* circuit; re-run the
+     *  analyzer (or re-map the indices) before applying them. */
+    std::vector<SuggestedFix> deferred;
+};
+
+/**
+ * Applies a *batch* of fixes against one snapshot of @p circuit.
+ *
+ * Every SuggestedFix indexes the circuit the analyzer saw. Applying
+ * one fix splices the gate list, so feeding a second fix through
+ * applySuggestedFix afterwards operates on stale indices — it deletes
+ * the wrong gates (or trips the bounds check) and miscompiles. This
+ * entry point is the safe plural form: fixes are ordered by first
+ * removal index, fixes whose removeGates overlap an already-accepted
+ * fix are deferred (never misapplied), and all accepted fixes are
+ * applied in ONE pass over the original gate list, each splicing its
+ * insertGates at its own first removal site.
+ *
+ * Only the per-fix rewrites proven by the analyzer are applied, but
+ * joint application of independently-verified fixes is not itself
+ * machine-checked here — callers that need end-to-end certainty (the
+ * optimizer's peephole pass does) re-verify the returned circuit
+ * against the original with the equivalence engine.
+ */
+AppliedFixes applySuggestedFixes(const Circuit &circuit,
+                                 const std::vector<SuggestedFix> &fixes);
+
 /** JSON string escaping for the report serializer. */
 std::string jsonEscape(const std::string &s);
 

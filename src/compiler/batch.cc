@@ -43,6 +43,9 @@ runJobs(std::span<const JobView> jobs, const CompilerOptions &options,
 {
     CommutationChecker checker;
     std::map<Strategy, Pipeline> pipelines;
+    // Plain twins for the latency guard; only populated when the batch
+    // compiles with the optimizer on (see compileWithLatencyGuard).
+    std::map<Strategy, Pipeline> plain_pipelines;
     for (std::size_t i = next.fetch_add(1); i < jobs.size();
          i = next.fetch_add(1)) {
         if (preflight_failed[i])
@@ -57,11 +60,26 @@ runJobs(std::span<const JobView> jobs, const CompilerOptions &options,
         if (it == pipelines.end())
             it = pipelines
                      .emplace(job.strategy,
-                              Pipeline::forStrategy(job.strategy))
+                              Pipeline::forStrategy(job.strategy,
+                                                    options.analyze,
+                                                    options.optimize))
                      .first;
         CompilationContext context(*job.device, options, oracle,
                                    &checker);
-        results[i] = it->second.compile(*job.circuit, context);
+        if (!options.optimize) {
+            results[i] = it->second.compile(*job.circuit, context);
+            continue;
+        }
+        auto plain = plain_pipelines.find(job.strategy);
+        if (plain == plain_pipelines.end())
+            plain = plain_pipelines
+                        .emplace(job.strategy,
+                                 Pipeline::forStrategy(job.strategy,
+                                                       options.analyze,
+                                                       /*optimize=*/false))
+                        .first;
+        results[i] = compileWithLatencyGuard(
+            it->second, plain->second, *job.circuit, context);
     }
 }
 

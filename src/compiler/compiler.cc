@@ -72,10 +72,24 @@ Compiler::tryCompile(const Circuit &logical, Strategy strategy)
         it = pipelines_
                  .emplace(strategy,
                           std::make_unique<Pipeline>(Pipeline::forStrategy(
-                              strategy, options_.analyze)))
+                              strategy, options_.analyze,
+                              options_.optimize)))
                  .first;
     CompilationContext context(device_, options_, oracle_, &checker_);
-    return it->second->compile(logical, context);
+    if (!options_.optimize)
+        return it->second->compile(logical, context);
+    // Optimizing compiles go through the latency guard, which may rerun
+    // the plain twin of this pipeline to keep the never-worse promise.
+    auto plain = plainPipelines_.find(strategy);
+    if (plain == plainPipelines_.end())
+        plain = plainPipelines_
+                    .emplace(strategy, std::make_unique<Pipeline>(
+                                           Pipeline::forStrategy(
+                                               strategy, options_.analyze,
+                                               /*optimize=*/false)))
+                    .first;
+    return compileWithLatencyGuard(*it->second, *plain->second, logical,
+                                   context);
 }
 
 CompilationResult

@@ -39,6 +39,7 @@
 #include "gdg/commute.h"
 #include "ir/circuit.h"
 #include "mapping/mapping.h"
+#include "opt/options.h"
 #include "oracle/oracle.h"
 #include "schedule/schedule.h"
 #include "util/status.h"
@@ -147,6 +148,19 @@ struct CompilerOptions
      */
     bool analyze = false;
     /**
+     * Run the optimizing pass suite (src/opt) on the logical circuit
+     * between frontend lowering and mapping: a commutation-aware
+     * peephole (seeded with the analyzer's verified fixes), phase-
+     * polynomial region resynthesis and Weyl two-qubit-run resynthesis,
+     * each behind its own toggle in `optimizer`. Every rewrite is
+     * machine-checked and guarded never-worse in two-qubit content;
+     * what fired is reported in CompilationResult::optStats. Off by
+     * default; `qaicc --opt` enables it.
+     */
+    bool optimize = false;
+    /** Per-pass toggles and limits for the optimizer. */
+    OptimizerOptions optimizer;
+    /**
      * Wall-clock budget for one compile, in milliseconds; 0 (the
      * default) means no deadline. Checked between passes and at GRAPE
      * iteration granularity: expiry between passes fails the compile
@@ -199,6 +213,11 @@ struct CompilationResult
      * unless CompilerOptions::analyze was set), in pipeline order.
      */
     std::vector<AnalysisReport> analyses;
+    /**
+     * What the optimizing pass suite did (all zero unless
+     * CompilerOptions::optimize was set).
+     */
+    OptStats optStats;
 
     CompilationResult();
     CompilationResult(const CompilationResult &);
@@ -259,6 +278,13 @@ class Compiler
     std::shared_ptr<CachingOracle> oracle_;
     /** forStrategy pipelines, built once per strategy used. */
     std::map<Strategy, std::unique_ptr<Pipeline>> pipelines_;
+    /**
+     * Plain (optimize-off) twins of pipelines_, built only when
+     * options_.optimize is set: compileWithLatencyGuard reruns the
+     * plain pipeline whenever the optimizer changed the circuit and
+     * keeps whichever result routed to the lower makespan.
+     */
+    std::map<Strategy, std::unique_ptr<Pipeline>> plainPipelines_;
 };
 
 } // namespace qaic

@@ -1,5 +1,6 @@
 #include "compiler/handopt.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -66,9 +67,15 @@ cancelPass(Circuit *circuit)
     return cancelled;
 }
 
-/** Fuses runs of single-qubit gates per qubit into one pulse each. */
+/**
+ * Fuses runs of single-qubit gates per qubit into one pulse each.
+ * Returns the number of runs fused this sweep (driving the rebuild and
+ * the caller's fixpoint loop); @p new_runs counts only runs containing
+ * no previously fused "u1q" pulse, so re-fusing already-fused material
+ * on a later iteration is not reported as a new run in the stats.
+ */
 int
-fuseSingleQubitRuns(Circuit *circuit)
+fuseSingleQubitRuns(Circuit *circuit, int *new_runs)
 {
     const auto &gates = circuit->gates();
     const std::size_t n = gates.size();
@@ -91,14 +98,19 @@ fuseSingleQubitRuns(Circuit *circuit)
         if (run.size() < 2)
             continue;
 
+        bool refuses_existing = false;
         std::vector<Gate> members;
         CMatrix prod = CMatrix::identity(2);
         for (std::size_t k : run) {
+            if (gates[k].kind == GateKind::kAggregate)
+                refuses_existing = true;
             members.push_back(gates[k]);
             prod = gates[k].matrix() * prod;
             consumed[k] = true;
         }
         ++fused;
+        if (!refuses_existing)
+            ++*new_runs;
         // Identity products vanish entirely; others become one pulse.
         if (phaseDistance(prod, CMatrix::identity(2)) >= 1e-9)
             replacement[run.back()] = {
@@ -118,6 +130,18 @@ fuseSingleQubitRuns(Circuit *circuit)
     return fused;
 }
 
+/** Number of contracted diagonal-block ("dblk") pulses in @p circuit. */
+int
+diagonalBlockCount(const Circuit &circuit)
+{
+    int count = 0;
+    for (const Gate &g : circuit.gates())
+        if (g.kind == GateKind::kAggregate && g.payload &&
+            g.payload->label == "dblk")
+            ++count;
+    return count;
+}
+
 } // namespace
 
 Circuit
@@ -130,12 +154,24 @@ handOptimize(const Circuit &circuit, HandOptStats *stats)
         int cancelled = cancelPass(&work);
         local.cancelledPairs += cancelled;
 
+        // detectDiagonalBlocks reports every contraction it performs,
+        // including re-contracting a block found on an earlier sweep
+        // with a newly adjacent gate — raw accumulation across the
+        // fixpoint loop would count such a template once per sweep. The
+        // stats therefore track the net growth in distinct "dblk"
+        // pulses; the raw count still drives the loop (a re-contraction
+        // is progress even when no new template appears).
         int blocks = 0;
+        const int dblk_before = diagonalBlockCount(work);
         work = detectDiagonalBlocks(work, 10, &blocks);
-        local.zzTemplates += blocks;
+        local.zzTemplates +=
+            std::max(0, diagonalBlockCount(work) - dblk_before);
 
-        int fused = fuseSingleQubitRuns(&work);
-        local.fusedSingleQubitRuns += fused;
+        // Same shape: re-fusing an existing "u1q" pulse with freshly
+        // exposed neighbours rebuilds the run but is not a new run.
+        int new_runs = 0;
+        int fused = fuseSingleQubitRuns(&work, &new_runs);
+        local.fusedSingleQubitRuns += new_runs;
 
         if (cancelled + blocks + fused == 0)
             break;

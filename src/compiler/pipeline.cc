@@ -6,6 +6,7 @@
 #include "analysis/pass.h"
 #include "compiler/decompose.h"
 #include "compiler/handopt.h"
+#include "opt/opt.h"
 #include "util/deadline.h"
 #include "util/logging.h"
 
@@ -97,6 +98,7 @@ CompilationContext::reset(const Circuit &input, Strategy s)
     backendDone = false;
     passMetrics.clear();
     analyses.clear();
+    optStats = OptStats();
 }
 
 CompilationResult
@@ -123,6 +125,7 @@ CompilationContext::takeResult()
     result.routing = std::move(routing);
     result.passMetrics = std::move(passMetrics);
     result.analyses = std::move(analyses);
+    result.optStats = optStats;
     return result;
 }
 
@@ -272,13 +275,22 @@ Pipeline::compile(const Circuit &logical,
 }
 
 Pipeline
-Pipeline::forStrategy(Strategy strategy, bool analyze)
+Pipeline::forStrategy(Strategy strategy, bool analyze, bool optimize)
 {
     Pipeline p;
     p.label(strategy);
     p.emplace<FrontendLoweringPass>();
     if (analyze)
         p.emplace<AnalysisPass>("logical");
+    if (optimize) {
+        // Analyzer-seeded peephole first (its fixes open up regions and
+        // runs), the resynthesis passes, then a closing sweep to mop up
+        // the inverse pairs and mergeable rotations they exposed.
+        p.emplace<OptPeepholePass>(/*seed_with_analyzer=*/true);
+        p.emplace<OptPhasePolyPass>();
+        p.emplace<OptWeylPass>();
+        p.emplace<OptPeepholePass>(/*seed_with_analyzer=*/false);
+    }
     const bool with_cls = strategy == Strategy::kCls ||
                           strategy == Strategy::kClsHandOpt ||
                           strategy == Strategy::kClsAggregation;
@@ -318,6 +330,40 @@ Pipeline::passNames() const
     for (const std::unique_ptr<Pass> &pass : passes_)
         names.push_back(pass->name());
     return names;
+}
+
+StatusOr<CompilationResult>
+compileWithLatencyGuard(const Pipeline &optimized, const Pipeline &plain,
+                        const Circuit &logical,
+                        CompilationContext &context)
+{
+    StatusOr<CompilationResult> opt = optimized.compile(logical, context);
+    if (!opt.isOk() || !opt.value().optStats.changed())
+        return opt;
+    // The optimizer rewrote the circuit; make sure the rewrite also won
+    // end to end. Routing heuristics are not monotone in gate weight,
+    // so a lighter circuit can occasionally schedule worse — keep the
+    // plain result then. The baseline compiles in a *fresh* context
+    // with a cold oracle: GRAPE pricing is history-sensitive (nearest-
+    // fingerprint warm starts, rounded-parameter cache keys), so
+    // sharing the optimized compile's oracle would price the baseline
+    // against pulses synthesized for the *rewritten* circuit and the
+    // comparison would drift from what a plain compile actually
+    // produces. The commutation checker is shared — its cache is
+    // exact, so reuse changes speed, never answers. A plain-compile
+    // *failure* is not a reason to discard the (valid, verified)
+    // optimized result.
+    CompilationContext plain_context(context.device(), context.options(),
+                                     nullptr, &context.checker());
+    StatusOr<CompilationResult> base =
+        plain.compile(logical, plain_context);
+    if (!base.isOk() ||
+        base.value().latencyNs >= opt.value().latencyNs)
+        return opt;
+    CompilationResult kept = std::move(base).value();
+    kept.optStats = OptStats{};
+    kept.optStats.latencyFallbacks = 1;
+    return kept;
 }
 
 // --- Passes ----------------------------------------------------------

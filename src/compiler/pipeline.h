@@ -146,6 +146,8 @@ class CompilationContext
     std::vector<PassMetrics> passMetrics;
     /** Dataflow-analysis reports appended by AnalysisPass instances. */
     std::vector<AnalysisReport> analyses;
+    /** Accumulated by the Opt*Pass instances (opt/opt.h). */
+    OptStats optStats;
 
   private:
     const DeviceModel &device_;
@@ -277,9 +279,14 @@ class Pipeline
      * labeled with it. When @p analyze is set, the dataflow analyzer
      * (analysis/pass.h) runs after frontend lowering and after
      * mapping, recording machine-verified reports in
-     * CompilationContext::analyses.
+     * CompilationContext::analyses. When @p optimize is set, the
+     * optimizing pass suite (opt/opt.h) runs on the logical circuit
+     * between frontend lowering and the CLS frontend / mapping:
+     * analyzer-seeded peephole, phase-polynomial resynthesis, Weyl
+     * resynthesis, and a closing peephole sweep.
      */
-    static Pipeline forStrategy(Strategy strategy, bool analyze = false);
+    static Pipeline forStrategy(Strategy strategy, bool analyze = false,
+                                bool optimize = false);
 
     /** Pass names in execution order. */
     std::vector<std::string> passNames() const;
@@ -290,6 +297,28 @@ class Pipeline
     std::vector<std::unique_ptr<Pass>> passes_;
     Strategy label_ = Strategy::kIsa;
 };
+
+/**
+ * Compiles @p logical with @p optimized and makes the optimizer's
+ * never-worse promise hold for the *routed schedule*, not just the
+ * optimizer's gate-weight proxy: when the pass suite actually rewrote
+ * the circuit, the @p plain pipeline (same strategy, optimize off) is
+ * run too and whichever result has the lower makespan is kept. A
+ * fallback to the plain result zeroes OptStats and sets
+ * OptStats::latencyFallbacks so callers can count how often the
+ * routing heuristics disagreed with the weight model. When the
+ * optimizer left the circuit alone — or the optimized compile failed —
+ * the plain pipeline is never run, so unchanged circuits pay nothing.
+ * The plain compile runs in a fresh context with a *cold* oracle
+ * (sharing only the commutation checker, whose cache is exact): GRAPE
+ * pricing is history-sensitive, so the baseline must reproduce what a
+ * plain compile from scratch actually produces, not what the
+ * optimized compile's warmed cache would price it at.
+ */
+StatusOr<CompilationResult>
+compileWithLatencyGuard(const Pipeline &optimized, const Pipeline &plain,
+                        const Circuit &logical,
+                        CompilationContext &context);
 
 // --- Canonical passes (Figure 5 boxes) -------------------------------
 

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CNOT-equivalent cost model shared by the optimizer's never-worse
+ * guards.
+ *
+ * Each gate is weighted by the number of CNOT-latency units the *worst*
+ * backend pays for it: cnot/cz/iswap are one unit (12.5 ns under the XY
+ * interaction at mu2 = 0.02 GHz, see weyl/weyl.h), swap is 1.5 units
+ * (18.75 ns), rzz counts 2 because the gate backends lower it to
+ * CNOT-Rz-CNOT (the aggregation backends do strictly better, so the
+ * guard stays conservative for every strategy). Single-qubit gates are
+ * free: the guards compare entangling content, which is what routing
+ * and scheduling latency track.
+ *
+ * A rewrite is only committed when it *strictly* lowers this weight, so
+ * no strategy can see its two-qubit content — and hence its routed
+ * latency contribution — grow.
+ */
+#ifndef QAIC_OPT_COST_H
+#define QAIC_OPT_COST_H
+
+#include <vector>
+
+#include "ir/gate.h"
+
+namespace qaic {
+
+/** CNOT-equivalent weight of one gate (aggregates sum their members). */
+inline double
+twoQubitGateWeight(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kCnot:
+      case GateKind::kCz:
+      case GateKind::kIswap:
+        return 1.0;
+      case GateKind::kSwap:
+        return 1.5;
+      case GateKind::kRzz:
+        return 2.0;
+      case GateKind::kCcx:
+        return 6.0;
+      case GateKind::kAggregate: {
+        double weight = 0.0;
+        for (const Gate &member : gate.payload->members)
+            weight += twoQubitGateWeight(member);
+        return weight;
+      }
+      default:
+        return gate.width() >= 2 ? 2.0 : 0.0;
+    }
+}
+
+/** Summed CNOT-equivalent weight of a gate sequence. */
+inline double
+twoQubitSequenceWeight(const std::vector<Gate> &gates)
+{
+    double weight = 0.0;
+    for (const Gate &gate : gates)
+        weight += twoQubitGateWeight(gate);
+    return weight;
+}
+
+} // namespace qaic
+
+#endif // QAIC_OPT_COST_H

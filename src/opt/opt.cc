@@ -1,0 +1,183 @@
+#include "opt/opt.h"
+
+#include "gdg/commute.h"
+#include "opt/cost.h"
+#include "opt/peephole.h"
+#include "opt/phasepoly_synth.h"
+#include "opt/weyl_synth.h"
+#include "util/logging.h"
+#include "verify/verify.h"
+
+namespace qaic {
+
+namespace {
+
+/**
+ * Engine re-proof of one whole-circuit rewrite. A disproof is an
+ * optimizer miscompile — a library bug, never a property of the input —
+ * so it panics. kInconclusive is accepted: the per-rewrite proofs
+ * (exact matrix identities, complete phase-polynomial comparison,
+ * phase-distance reconstruction checks) are always on, and some
+ * correct circuits are outside every engine checker's domain.
+ */
+void
+verifyRewriteOrPanic(const Circuit &before, const Circuit &after,
+                     const std::string &what)
+{
+    EquivalenceReport report = analyzeCircuitsEquivalent(before, after);
+    if (report.verdict == EquivalenceVerdict::kNotEquivalent)
+        QAIC_PANIC() << "optimizer miscompile: " << what
+                     << " changed the circuit's unitary ("
+                     << equivalenceMethodName(report.method) << ": "
+                     << report.note << ")";
+}
+
+/** One sweep over the enabled families, in suite order. */
+OptStats
+runFamiliesOnce(Circuit &circuit, const OptimizerOptions &options,
+                CommutationChecker &checker, bool seed)
+{
+    OptStats stats;
+    if (options.peephole) {
+        PeepholeStats ps = runPeephole(circuit, options, checker,
+                                       seed && options.analyzerSeed);
+        stats.cancelledPairs = ps.cancelledPairs;
+        stats.mergedRotations = ps.mergedRotations;
+        stats.erasedIdentityWindows = ps.erasedIdentityWindows;
+        stats.analyzerFixesApplied = ps.analyzerFixesApplied;
+    }
+    if (options.phasePoly) {
+        PhasePolyStats pp = resynthesizePhasePolynomials(circuit);
+        stats.phasePolyRegions = pp.regions;
+        stats.phasePolyRewrites = pp.rewrites;
+    }
+    if (options.weyl) {
+        WeylStats ws = resynthesizeWeylRuns(circuit);
+        stats.weylRuns = ws.runs;
+        stats.weylRewrites = ws.rewrites;
+    }
+    return stats;
+}
+
+} // namespace
+
+OptStats
+optimizeCircuit(Circuit &circuit, const OptimizerOptions &options,
+                CommutationChecker *checker)
+{
+    CommutationChecker local;
+    CommutationChecker &shared = checker ? *checker : local;
+
+    const int gates_before = static_cast<int>(circuit.size());
+    const int two_qubit_before = circuit.twoQubitGateCount();
+    const Circuit original =
+        options.verifyRewrites ? circuit : Circuit(1);
+
+    OptStats total;
+    // Joint fixpoint: each family can expose work for the others, and
+    // the analyzer is re-seeded every sweep so no analyzer-discoverable
+    // fix survives to the final state (optimize-twice-is-fixpoint).
+    // Terminates: every committed rewrite strictly decreases the
+    // lexicographic (CNOT-equivalent weight, gate count) measure.
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        OptStats sweep =
+            runFamiliesOnce(circuit, options, shared, /*seed=*/true);
+        total += sweep;
+        ++total.iterations;
+        if (!sweep.changed())
+            break;
+    }
+    total.gateDelta = static_cast<int>(circuit.size()) - gates_before;
+    total.twoQubitGateDelta =
+        circuit.twoQubitGateCount() - two_qubit_before;
+
+    if (options.verifyRewrites && total.changed())
+        verifyRewriteOrPanic(original, circuit, "pass suite");
+    return total;
+}
+
+Status
+OptPeepholePass::run(CompilationContext &context)
+{
+    const OptimizerOptions &opt = context.options().optimizer;
+    if (!opt.peephole)
+        return Status();
+    const Circuit before =
+        opt.verifyRewrites ? context.working : Circuit(1);
+    const int gates_before = static_cast<int>(context.working.size());
+    const int two_qubit_before = context.working.twoQubitGateCount();
+
+    PeepholeStats ps = runPeephole(context.working, opt, context.checker(),
+                                   seed_ && opt.analyzerSeed);
+
+    OptStats stats;
+    stats.cancelledPairs = ps.cancelledPairs;
+    stats.mergedRotations = ps.mergedRotations;
+    stats.erasedIdentityWindows = ps.erasedIdentityWindows;
+    stats.analyzerFixesApplied = ps.analyzerFixesApplied;
+    stats.gateDelta =
+        static_cast<int>(context.working.size()) - gates_before;
+    stats.twoQubitGateDelta =
+        context.working.twoQubitGateCount() - two_qubit_before;
+    context.optStats += stats;
+
+    if (opt.verifyRewrites && ps.changed())
+        verifyRewriteOrPanic(before, context.working, name());
+    return Status();
+}
+
+Status
+OptPhasePolyPass::run(CompilationContext &context)
+{
+    const OptimizerOptions &opt = context.options().optimizer;
+    if (!opt.phasePoly)
+        return Status();
+    const Circuit before =
+        opt.verifyRewrites ? context.working : Circuit(1);
+    const int gates_before = static_cast<int>(context.working.size());
+    const int two_qubit_before = context.working.twoQubitGateCount();
+
+    PhasePolyStats pp = resynthesizePhasePolynomials(context.working);
+
+    OptStats stats;
+    stats.phasePolyRegions = pp.regions;
+    stats.phasePolyRewrites = pp.rewrites;
+    stats.gateDelta =
+        static_cast<int>(context.working.size()) - gates_before;
+    stats.twoQubitGateDelta =
+        context.working.twoQubitGateCount() - two_qubit_before;
+    context.optStats += stats;
+
+    if (opt.verifyRewrites && pp.changed())
+        verifyRewriteOrPanic(before, context.working, name());
+    return Status();
+}
+
+Status
+OptWeylPass::run(CompilationContext &context)
+{
+    const OptimizerOptions &opt = context.options().optimizer;
+    if (!opt.weyl)
+        return Status();
+    const Circuit before =
+        opt.verifyRewrites ? context.working : Circuit(1);
+    const int gates_before = static_cast<int>(context.working.size());
+    const int two_qubit_before = context.working.twoQubitGateCount();
+
+    WeylStats ws = resynthesizeWeylRuns(context.working);
+
+    OptStats stats;
+    stats.weylRuns = ws.runs;
+    stats.weylRewrites = ws.rewrites;
+    stats.gateDelta =
+        static_cast<int>(context.working.size()) - gates_before;
+    stats.twoQubitGateDelta =
+        context.working.twoQubitGateCount() - two_qubit_before;
+    context.optStats += stats;
+
+    if (opt.verifyRewrites && ws.changed())
+        verifyRewriteOrPanic(before, context.working, name());
+    return Status();
+}
+
+} // namespace qaic

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The optimizing pass suite: driver and pipeline integration.
+ *
+ * Three rewrite families (each individually machine-checked, each with
+ * a structural never-worse guard):
+ *
+ *  - peephole (opt/peephole.h): commutation-aware inverse-pair
+ *    cancellation and rotation merging, optionally seeded with the
+ *    dataflow analyzer's verified SuggestedFixes,
+ *  - phase-polynomial resynthesis (opt/phasepoly_synth.h): maximal
+ *    CNOT+Rz regions re-emitted as greedy parity networks from
+ *    canonical form,
+ *  - Weyl resynthesis (opt/weyl_synth.h): maximal one-pair runs
+ *    re-emitted from KAK coordinates when a cheaper native form exists.
+ *
+ * optimizeCircuit() runs the enabled families to a joint fixpoint —
+ * each family can expose work for the others (a cancelled CNOT splits a
+ * region, a resynthesized region exposes an inverse pair), so a single
+ * ordering is not enough. The loop terminates because every committed
+ * rewrite strictly decreases the lexicographic measure (CNOT-equivalent
+ * weight, gate count); "optimize twice" is therefore a no-op on the
+ * second run (the metamorphic property tests/opt_test.cc pins down).
+ *
+ * The Opt*Pass classes wire the same families into Pipeline::forStrategy
+ * (behind CompilerOptions::optimize) as separate passes with declared
+ * invariant contracts, operating on the logical working circuit after
+ * frontend lowering and before mapping. When
+ * OptimizerOptions::verifyRewrites is set (Debug default), every pass
+ * additionally re-proves its whole-circuit rewrite with the equivalence
+ * engine and panics on a disproof — an optimizer miscompile is a
+ * library bug, never silent.
+ */
+#ifndef QAIC_OPT_OPT_H
+#define QAIC_OPT_OPT_H
+
+#include "compiler/pipeline.h"
+#include "ir/circuit.h"
+#include "opt/options.h"
+
+namespace qaic {
+
+class CommutationChecker;
+
+/**
+ * Optimizes @p circuit in place to the joint fixpoint of the enabled
+ * rewrite families. @p checker may be shared across calls to reuse its
+ * commutation memos; a local one is used when null.
+ */
+OptStats optimizeCircuit(Circuit &circuit, const OptimizerOptions &options,
+                         CommutationChecker *checker = nullptr);
+
+/**
+ * Pipeline adapter for one peephole sweep. The seeded instance (first
+ * in the suite) applies analyzer fixes before scanning; the closing
+ * instance only scans, mopping up what the resynthesis passes exposed.
+ */
+class OptPeepholePass : public Pass
+{
+  public:
+    explicit OptPeepholePass(bool seed_with_analyzer)
+        : seed_(seed_with_analyzer)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return seed_ ? "opt-peephole-seeded" : "opt-peephole";
+    }
+    Status run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered);
+    }
+
+    /** Deletion/fusion keeps every gate on an existing support, so
+     *  coupling legality survives; the schedule claim is dropped. */
+    InvariantSet
+    preservedInvariants() const override
+    {
+        return kAllInvariants &
+               ~invariantBit(CircuitInvariant::kScheduleConsistent);
+    }
+
+  private:
+    bool seed_;
+};
+
+/** Pipeline adapter for phase-polynomial region resynthesis. */
+class OptPhasePolyPass : public Pass
+{
+  public:
+    std::string name() const override { return "opt-phasepoly"; }
+    Status run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered);
+    }
+
+    /** Parity networks route CNOTs between arbitrary support pairs, so
+     *  neither coupling legality nor the schedule claim survives. */
+    InvariantSet
+    preservedInvariants() const override
+    {
+        return kAllInvariants &
+               ~(invariantBit(CircuitInvariant::kCouplingLegal) |
+                 invariantBit(CircuitInvariant::kScheduleConsistent));
+    }
+};
+
+/** Pipeline adapter for Weyl (KAK) two-qubit-run resynthesis. */
+class OptWeylPass : public Pass
+{
+  public:
+    std::string name() const override { return "opt-weyl"; }
+    Status run(CompilationContext &context) override;
+
+    InvariantSet
+    requiredInvariants() const override
+    {
+        return kStructuralInvariants |
+               invariantBit(CircuitInvariant::kFullyLowered);
+    }
+
+    /** Re-emission may use a different native 2q gate on the pair;
+     *  conservatively drop coupling and schedule claims. */
+    InvariantSet
+    preservedInvariants() const override
+    {
+        return kAllInvariants &
+               ~(invariantBit(CircuitInvariant::kCouplingLegal) |
+                 invariantBit(CircuitInvariant::kScheduleConsistent));
+    }
+};
+
+} // namespace qaic
+
+#endif // QAIC_OPT_OPT_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Configuration and statistics for the optimizing pass suite (src/opt).
+ *
+ * Kept free of heavyweight includes so compiler/compiler.h can embed
+ * OptimizerOptions in CompilerOptions and OptStats in CompilationResult
+ * without pulling the optimizer implementation into every translation
+ * unit.
+ */
+#ifndef QAIC_OPT_OPTIONS_H
+#define QAIC_OPT_OPTIONS_H
+
+namespace qaic {
+
+/**
+ * Whole-circuit rewrite verification defaults on in Debug builds: every
+ * optimizer pass then re-proves its output equivalent to its input with
+ * the equivalence engine (verify/verify.h), on top of the per-rewrite
+ * proofs that are always on. Mirrors kCheckInvariantsDefault.
+ */
+#ifdef NDEBUG
+inline constexpr bool kVerifyRewritesDefault = false;
+#else
+inline constexpr bool kVerifyRewritesDefault = true;
+#endif
+
+/** Per-pass toggles and limits for the optimizer. */
+struct OptimizerOptions
+{
+    /** Commutation-aware cancellation / rotation merging. */
+    bool peephole = true;
+    /** CNOT+Rz region resynthesis from phase-polynomial form. */
+    bool phasePoly = true;
+    /** Two-qubit-run resynthesis from Weyl (KAK) coordinates. */
+    bool weyl = true;
+    /** Seed the peephole with the analyzer's verified SuggestedFixes. */
+    bool analyzerSeed = true;
+    /** How many support-overlapping gates a peephole slide may reason
+     *  past; disjoint gates commute trivially and are not charged. */
+    int peepholeWindow = 64;
+    /** Cap on optimizeCircuit() pass-suite fixpoint iterations. */
+    int maxIterations = 8;
+    /** Engine-check each pass's whole-circuit rewrite (Debug/CI). */
+    bool verifyRewrites = kVerifyRewritesDefault;
+};
+
+/** What the optimizer did to one circuit (or one compilation). */
+struct OptStats
+{
+    /** Inverse pairs cancelled after commuting-slide (peephole). */
+    int cancelledPairs = 0;
+    /** Same-axis rotations folded together (peephole). */
+    int mergedRotations = 0;
+    /** Single-qubit windows multiplying out to identity (peephole). */
+    int erasedIdentityWindows = 0;
+    /** Verified analyzer fixes applied as a batch (peephole seed). */
+    int analyzerFixesApplied = 0;
+    /** Maximal CNOT+Rz regions examined / actually rewritten. */
+    int phasePolyRegions = 0;
+    int phasePolyRewrites = 0;
+    /** Two-qubit runs examined / actually rewritten. */
+    int weylRuns = 0;
+    int weylRewrites = 0;
+    /** Pass-suite iterations until the fixpoint. */
+    int iterations = 0;
+    /**
+     * Compiles where the optimized circuit routed to a *worse* makespan
+     * than the plain pipeline and the compiler kept the plain result
+     * (compileWithLatencyGuard): the optimizer's weight model is a
+     * routing proxy, and the end-to-end guard makes the never-worse
+     * promise hold for the real schedule too. When this is set on a
+     * result, every other counter is zero — nothing was kept.
+     */
+    int latencyFallbacks = 0;
+    /** Net gate-count change (negative = fewer gates). */
+    int gateDelta = 0;
+    /** Net two-qubit-gate-count change (negative = fewer). */
+    int twoQubitGateDelta = 0;
+
+    /** True when any rewrite fired. */
+    bool changed() const
+    {
+        return cancelledPairs != 0 || mergedRotations != 0 ||
+               erasedIdentityWindows != 0 || analyzerFixesApplied != 0 ||
+               phasePolyRewrites != 0 || weylRewrites != 0;
+    }
+
+    OptStats &operator+=(const OptStats &rhs)
+    {
+        cancelledPairs += rhs.cancelledPairs;
+        mergedRotations += rhs.mergedRotations;
+        erasedIdentityWindows += rhs.erasedIdentityWindows;
+        analyzerFixesApplied += rhs.analyzerFixesApplied;
+        phasePolyRegions += rhs.phasePolyRegions;
+        phasePolyRewrites += rhs.phasePolyRewrites;
+        weylRuns += rhs.weylRuns;
+        weylRewrites += rhs.weylRewrites;
+        iterations += rhs.iterations;
+        latencyFallbacks += rhs.latencyFallbacks;
+        gateDelta += rhs.gateDelta;
+        twoQubitGateDelta += rhs.twoQubitGateDelta;
+        return *this;
+    }
+};
+
+} // namespace qaic
+
+#endif // QAIC_OPT_OPTIONS_H

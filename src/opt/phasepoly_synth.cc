@@ -1,0 +1,336 @@
+#include "opt/phasepoly_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "opt/cost.h"
+#include "sim/phasepoly.h"
+#include "util/logging.h"
+
+namespace qaic {
+
+namespace {
+
+using Mask = PhasePolynomial::Mask;
+
+bool
+maskBit(const Mask &m, int q)
+{
+    return (m[q / 64] >> (q % 64) & 1) != 0;
+}
+
+int
+maskPopcount(const Mask &m)
+{
+    return __builtin_popcountll(m[0]) + __builtin_popcountll(m[1]);
+}
+
+bool
+maskZero(const Mask &m)
+{
+    return m[0] == 0 && m[1] == 0;
+}
+
+void
+maskXor(Mask &a, const Mask &b)
+{
+    a[0] ^= b[0];
+    a[1] ^= b[1];
+}
+
+/** Gates expressible as an affine wire map plus parity phases, with no
+ *  CZ quadratic. Aggregates and kId are deliberate barriers. */
+bool
+inDomain(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kX:
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRz:
+      case GateKind::kCnot:
+      case GateKind::kSwap:
+      case GateKind::kRzz:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+wrapAngle(double angle)
+{
+    double two_pi = 2.0 * M_PI;
+    double r = std::fmod(angle, two_pi);
+    if (r <= -M_PI)
+        r += two_pi;
+    else if (r > M_PI)
+        r -= two_pi;
+    return r;
+}
+
+/** Live wire state of the partially emitted parity network. */
+struct SynthState
+{
+    std::vector<int> support;          ///< sorted global qubit ids
+    std::vector<Mask> wires;           ///< wires[k]: parity of support[k]
+    std::vector<std::uint8_t> consts;  ///< affine bit per wire
+    std::vector<Gate> gates;           ///< emitted program
+
+    void emitCnot(int p, int q)
+    {
+        gates.push_back(makeCnot(support[p], support[q]));
+        maskXor(wires[q], wires[p]);
+        consts[q] = consts[q] ^ consts[p];
+    }
+};
+
+/**
+ * Expresses @p target in the row basis {wires[k]}: returns positions T
+ * with XOR_{k in T} wires[k] == target. Empty on failure (singular
+ * state — a bug upstream; the caller then keeps the original region).
+ */
+std::vector<int>
+solveBasis(const SynthState &st, Mask target)
+{
+    const int m = static_cast<int>(st.support.size());
+    std::vector<Mask> rows = st.wires;
+    std::vector<Mask> comb(static_cast<std::size_t>(m), Mask{0, 0});
+    for (int k = 0; k < m; ++k)
+        comb[k][k / 64] |= std::uint64_t{1} << (k % 64);
+
+    Mask solution{0, 0};
+    int pivot_row = 0;
+    for (int col = 0; col < m && pivot_row < m; ++col) {
+        const int bit = st.support[col];
+        int found = -1;
+        for (int r = pivot_row; r < m; ++r)
+            if (maskBit(rows[r], bit)) {
+                found = r;
+                break;
+            }
+        if (found < 0)
+            continue;
+        std::swap(rows[pivot_row], rows[found]);
+        std::swap(comb[pivot_row], comb[found]);
+        for (int r = 0; r < m; ++r)
+            if (r != pivot_row && maskBit(rows[r], bit)) {
+                maskXor(rows[r], rows[pivot_row]);
+                maskXor(comb[r], comb[pivot_row]);
+            }
+        if (maskBit(target, bit)) {
+            maskXor(target, rows[pivot_row]);
+            maskXor(solution, comb[pivot_row]);
+        }
+        ++pivot_row;
+    }
+    if (!maskZero(target))
+        return {};
+    std::vector<int> positions;
+    for (int k = 0; k < m; ++k)
+        if (maskBit(solution, k))
+            positions.push_back(k);
+    return positions;
+}
+
+/**
+ * Gauss-Jordan reduction of @p rows to the identity on the support,
+ * recording the row operations (p adds into q) in order. False if the
+ * matrix is singular (cannot happen for reachable wire states).
+ */
+bool
+reductionOps(std::vector<Mask> rows, const std::vector<int> &support,
+             std::vector<std::pair<int, int>> *ops)
+{
+    const int m = static_cast<int>(support.size());
+    for (int k = 0; k < m; ++k) {
+        const int bit = support[k];
+        if (!maskBit(rows[k], bit)) {
+            int donor = -1;
+            for (int j = 0; j < m; ++j)
+                if (j != k && maskBit(rows[j], bit) &&
+                    !maskBit(rows[k], support[j])) {
+                    donor = j;
+                    break;
+                }
+            if (donor < 0)
+                for (int j = 0; j < m; ++j)
+                    if (j != k && maskBit(rows[j], bit)) {
+                        donor = j;
+                        break;
+                    }
+            if (donor < 0)
+                return false;
+            ops->emplace_back(donor, k);
+            maskXor(rows[k], rows[donor]);
+        }
+        for (int j = 0; j < m; ++j)
+            if (j != k && maskBit(rows[j], bit)) {
+                ops->emplace_back(k, j);
+                maskXor(rows[j], rows[k]);
+            }
+    }
+    return true;
+}
+
+/**
+ * Re-emits the region as a parity network reproducing @p pp exactly.
+ * Returns false when a defensive solve fails; gates are then invalid.
+ */
+bool
+synthesizeRegion(const PhasePolynomial &pp,
+                 const std::vector<int> &support, SynthState *st)
+{
+    const int m = static_cast<int>(support.size());
+    st->support = support;
+    st->wires.assign(static_cast<std::size_t>(m), Mask{0, 0});
+    st->consts.assign(static_cast<std::size_t>(m), 0);
+    for (int k = 0; k < m; ++k)
+        st->wires[k][support[k] / 64] |= std::uint64_t{1}
+                                         << (support[k] % 64);
+
+    // One Rz per surviving parity term, steered onto a wire by
+    // basis-change CNOTs. Map order visits masks sorted, so nearby
+    // parities tend to share prefixes.
+    for (const auto &[mask, angle] : pp.parityPhases()) {
+        if (std::abs(wrapAngle(angle)) < 1e-12)
+            continue;
+        int target = -1;
+        for (int k = 0; k < m && target < 0; ++k)
+            if (st->wires[k] == mask)
+                target = k;
+        if (target < 0) {
+            std::vector<int> span = solveBasis(*st, mask);
+            if (span.empty())
+                return false;
+            // Any span wire can absorb the rest (|span|-1 CNOTs either
+            // way); folding into the densest one keeps the remaining
+            // wires sparse for later terms. Deterministic tie-break.
+            target = span.front();
+            for (int k : span)
+                if (maskPopcount(st->wires[k]) >
+                    maskPopcount(st->wires[target]))
+                    target = k;
+            for (int p : span)
+                if (p != target)
+                    st->emitCnot(p, target);
+            if (st->wires[target] != mask)
+                return false;
+        }
+        double theta = wrapAngle(angle);
+        st->gates.push_back(makeRz(
+            support[target], st->consts[target] ? -theta : theta));
+    }
+
+    // Affine fixup: ops1 maps the live state to the identity, the
+    // reverse of ops2 maps the identity to the region's target A
+    // (CNOT row operations are self-inverse).
+    std::vector<std::pair<int, int>> ops1;
+    if (!reductionOps(st->wires, support, &ops1))
+        return false;
+    for (const auto &[p, q] : ops1)
+        st->emitCnot(p, q);
+
+    std::vector<Mask> target_rows(static_cast<std::size_t>(m));
+    for (int k = 0; k < m; ++k)
+        target_rows[k] = pp.wireMask(support[k]);
+    std::vector<std::pair<int, int>> ops2;
+    if (!reductionOps(target_rows, support, &ops2))
+        return false;
+    for (auto it = ops2.rbegin(); it != ops2.rend(); ++it)
+        st->emitCnot(it->first, it->second);
+
+    for (int k = 0; k < m; ++k) {
+        if ((st->consts[k] != 0) != pp.wireConstBit(support[k])) {
+            st->gates.push_back(makeX(support[k]));
+            st->consts[k] ^= 1;
+        }
+        if (st->wires[k] != pp.wireMask(support[k]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+PhasePolyStats
+resynthesizePhasePolynomials(Circuit &circuit)
+{
+    PhasePolyStats stats;
+    const int n = circuit.numQubits();
+    if (n > PhasePolynomial::kMaxQubits)
+        return stats;
+
+    std::vector<Gate> out;
+    out.reserve(circuit.gates().size());
+    const std::vector<Gate> &gates = circuit.gates();
+
+    std::size_t i = 0;
+    while (i < gates.size()) {
+        if (!inDomain(gates[i])) {
+            out.push_back(gates[i]);
+            ++i;
+            continue;
+        }
+        std::size_t end = i;
+        while (end < gates.size() && inDomain(gates[end]))
+            ++end;
+
+        std::vector<Gate> region(gates.begin() + i, gates.begin() + end);
+        bool has_two_qubit = false;
+        for (const Gate &g : region)
+            has_two_qubit = has_two_qubit || g.width() >= 2;
+        if (region.size() < 2 || !has_two_qubit) {
+            out.insert(out.end(), region.begin(), region.end());
+            i = end;
+            continue;
+        }
+        ++stats.regions;
+
+        std::vector<int> support;
+        for (const Gate &g : region)
+            support.insert(support.end(), g.qubits.begin(),
+                           g.qubits.end());
+        std::sort(support.begin(), support.end());
+        support.erase(std::unique(support.begin(), support.end()),
+                      support.end());
+
+        PhasePolynomial pp(n);
+        bool absorbed = true;
+        for (const Gate &g : region)
+            absorbed = absorbed && pp.absorbGate(g);
+        QAIC_CHECK(absorbed)
+            << "phase-polynomial region gate outside the domain";
+
+        SynthState st;
+        bool synthesized = pp.quadraticFree() &&
+                           synthesizeRegion(pp, support, &st);
+
+        // Soundness gate: the replacement must reproduce the canonical
+        // form exactly (sound and complete on this domain). Never-worse
+        // gate: it must strictly reduce CNOT-equivalent weight.
+        if (synthesized) {
+            PhasePolynomial check(n);
+            for (const Gate &g : st.gates)
+                synthesized = synthesized && check.absorbGate(g);
+            synthesized = synthesized && check.equivalentTo(pp);
+        }
+        if (synthesized && twoQubitSequenceWeight(st.gates) <
+                               twoQubitSequenceWeight(region)) {
+            out.insert(out.end(), st.gates.begin(), st.gates.end());
+            ++stats.rewrites;
+        } else {
+            out.insert(out.end(), region.begin(), region.end());
+        }
+        i = end;
+    }
+
+    circuit.mutableGates() = std::move(out);
+    return stats;
+}
+
+} // namespace qaic

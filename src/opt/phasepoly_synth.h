@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Phase-polynomial region resynthesis.
+ *
+ * Maximal contiguous regions over the {CNOT, X, SWAP, Z, S, Sdg, T,
+ * Tdg, Rz, Rzz} alphabet act as |x> -> e^{i phi(x)} |A x + b> with phi
+ * a sum of parity terms (sim/phasepoly.h, CZ excluded so the quadratic
+ * form stays empty). The pass canonicalizes each region to that form
+ * and re-emits it as a greedy parity network: one Rz per surviving
+ * parity term, realized on a wire steered there by basis-change CNOTs,
+ * followed by a Gauss-Jordan fixup restoring the region's exact affine
+ * map (A, b). Rotations whose accumulated angle folds to zero vanish,
+ * and repeated parities (e.g. the same Ising edge hit from both sides
+ * of a CNOT ladder) collapse into a single rotation.
+ *
+ * Barriers: anything outside the alphabet above — aggregates (their
+ * members are *never* silently inlined, so provenance labels survive
+ * untouched), CZ, virtual kId rotations, Hadamards, measur-like gates —
+ * terminates a region. Soundness: the rewritten region is re-checked
+ * against the original with PhasePolynomial::equivalentTo, which is
+ * sound *and complete* on this domain, before it replaces anything.
+ * Never-worse: the rewrite is kept only when it strictly lowers the
+ * CNOT-equivalent weight (opt/cost.h); otherwise the original gates
+ * stay.
+ */
+#ifndef QAIC_OPT_PHASEPOLY_SYNTH_H
+#define QAIC_OPT_PHASEPOLY_SYNTH_H
+
+#include "ir/circuit.h"
+#include "opt/options.h"
+
+namespace qaic {
+
+/** What one resynthesis sweep did. */
+struct PhasePolyStats
+{
+    /** Maximal in-domain regions examined. */
+    int regions = 0;
+    /** Regions whose resynthesis strictly won and was committed. */
+    int rewrites = 0;
+
+    bool changed() const { return rewrites != 0; }
+};
+
+/** Resynthesizes all maximal CNOT+Rz regions of @p circuit in place. */
+PhasePolyStats resynthesizePhasePolynomials(Circuit &circuit);
+
+} // namespace qaic
+
+#endif // QAIC_OPT_PHASEPOLY_SYNTH_H

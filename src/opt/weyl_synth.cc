@@ -1,0 +1,290 @@
+#include "opt/weyl_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ir/embed.h"
+#include "opt/cost.h"
+#include "util/logging.h"
+#include "weyl/weyl.h"
+
+namespace qaic {
+
+namespace {
+
+double
+wrapAngle(double angle)
+{
+    double two_pi = 2.0 * M_PI;
+    double r = std::fmod(angle, two_pi);
+    if (r <= -M_PI)
+        r += two_pi;
+    else if (r > M_PI)
+        r -= two_pi;
+    return r;
+}
+
+/** Primitive (non-aggregate, non-virtual) gates a run may contain. */
+bool
+runGate(const Gate &gate)
+{
+    switch (gate.kind) {
+      case GateKind::kId:
+      case GateKind::kCcx:
+      case GateKind::kAggregate:
+        return false;
+      default:
+        return gate.width() <= 2;
+    }
+}
+
+/** Appends the ZYZ Euler emission of a 2x2 unitary on qubit @p q,
+ *  skipping angles that fold to zero. Exact up to global phase. */
+void
+emitEuler(const CMatrix &u, int q, std::vector<Gate> *out)
+{
+    Cmplx det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+    CMatrix su = u * (Cmplx(1.0, 0.0) / std::sqrt(det));
+    double beta = 2.0 * std::atan2(std::abs(su(1, 0)), std::abs(su(0, 0)));
+    double alpha = 0.0, gamma = 0.0;
+    if (std::abs(su(0, 0)) < 1e-12) {
+        alpha = 2.0 * std::arg(su(1, 0));
+    } else if (std::abs(su(1, 0)) < 1e-12) {
+        alpha = -2.0 * std::arg(su(0, 0));
+    } else {
+        double sum = -2.0 * std::arg(su(0, 0));
+        double diff = 2.0 * std::arg(su(1, 0));
+        alpha = (sum + diff) / 2.0;
+        gamma = (sum - diff) / 2.0;
+    }
+    // Program order: Rz(gamma), Ry(beta), Rz(alpha) composes to
+    // Rz(alpha) Ry(beta) Rz(gamma) = su up to phase.
+    if (std::abs(wrapAngle(gamma)) > 1e-9)
+        out->push_back(makeRz(q, gamma));
+    if (std::abs(wrapAngle(beta)) > 1e-9)
+        out->push_back(makeRy(q, beta));
+    if (std::abs(wrapAngle(alpha)) > 1e-9)
+        out->push_back(makeRz(q, alpha));
+}
+
+/** 4x4 unitary of a gate sequence on the sorted pair (a, b). */
+CMatrix
+sequenceUnitary(const std::vector<Gate> &gates, int a, int b)
+{
+    const std::vector<int> reg{a, b};
+    CMatrix u = CMatrix::identity(4);
+    for (const Gate &g : gates)
+        u = embedUnitary(g.matrix(), g.qubits, reg) * u;
+    return u;
+}
+
+/** One candidate re-emission of a run. */
+struct Candidate
+{
+    std::vector<Gate> gates;
+    double weight = 0.0;
+};
+
+/** Verifies @p cand against @p u and keeps it if strictly cheapest. */
+void
+consider(const CMatrix &u, int a, int b, std::vector<Gate> gates,
+         Candidate *best)
+{
+    double weight = twoQubitSequenceWeight(gates);
+    if (weight >= best->weight)
+        return;
+    if (phaseDistance(sequenceUnitary(gates, a, b), u) > 1e-7)
+        return;
+    best->gates = std::move(gates);
+    best->weight = weight;
+}
+
+/** locals-only candidate from a 4x4 tensor product (empty if not). */
+bool
+localsOf(const CMatrix &u, int a, int b, std::vector<Gate> *out)
+{
+    CMatrix la, lb;
+    if (!kronFactor2x2(u, &la, &lb))
+        return false;
+    emitEuler(la, a, out);
+    emitEuler(lb, b, out);
+    return true;
+}
+
+/** The generic KAK candidate: k2 locals, one rzz block per CAN axis,
+ *  k1 locals. */
+bool
+kakCandidate(const CMatrix &u, int a, int b, std::vector<Gate> *out)
+{
+    KakDecomposition kak = kakDecompose(u);
+    if (!kak.ok)
+        return false;
+    emitEuler(kak.k2a, a, out);
+    emitEuler(kak.k2b, b, out);
+    auto skip = [](double c) {
+        double r = std::fmod(std::abs(c), M_PI);
+        return std::min(r, M_PI - r) < 1e-9;
+    };
+    // exp(-i c XX) = (H H) exp(-i c ZZ) (H H); exp(-i c YY) likewise
+    // conjugated by V = S . H per qubit (V Z V^dag = Y); exp(-i c ZZ)
+    // is rzz(2c) natively. Axes with c = 0 (mod pi) are global phase.
+    if (skip(kak.c1) == false) {
+        out->push_back(makeH(a));
+        out->push_back(makeH(b));
+        out->push_back(makeRzz(a, b, 2.0 * kak.c1));
+        out->push_back(makeH(a));
+        out->push_back(makeH(b));
+    }
+    if (skip(kak.c2) == false) {
+        out->push_back(makeSdg(a));
+        out->push_back(makeH(a));
+        out->push_back(makeSdg(b));
+        out->push_back(makeH(b));
+        out->push_back(makeRzz(a, b, 2.0 * kak.c2));
+        out->push_back(makeH(a));
+        out->push_back(makeS(a));
+        out->push_back(makeH(b));
+        out->push_back(makeS(b));
+    }
+    if (skip(kak.c3) == false)
+        out->push_back(makeRzz(a, b, 2.0 * kak.c3));
+    emitEuler(kak.k1a, a, out);
+    emitEuler(kak.k1b, b, out);
+    return true;
+}
+
+/** Cheapest verified re-emission of @p u on (a, b), seeded with the
+ *  original run as the never-worse fallback. */
+std::vector<Gate>
+bestRewrite(const CMatrix &u, int a, int b,
+            const std::vector<Gate> &original, bool *rewrote)
+{
+    Candidate best;
+    best.gates = original;
+    best.weight = twoQubitSequenceWeight(original);
+    *rewrote = false;
+
+    // Pure locals (entangling content zero).
+    {
+        std::vector<Gate> gates;
+        if (localsOf(u, a, b, &gates))
+            consider(u, a, b, std::move(gates), &best);
+    }
+    // SWAP class: U . SWAP is a tensor product iff U = locals o SWAP
+    // with locals on either side (SWAP conjugation keeps them local).
+    {
+        CMatrix swap_m = makeSwap(a, b).matrix();
+        std::vector<Gate> gates{makeSwap(a, b)};
+        if (localsOf(u * swap_m, a, b, &gates))
+            consider(u, a, b, std::move(gates), &best);
+    }
+    // One native 2q gate plus one-sided locals.
+    const Gate natives[] = {makeCnot(a, b), makeCnot(b, a),
+                            makeCz(a, b), makeIswap(a, b)};
+    for (const Gate &m : natives) {
+        CMatrix mm = embedUnitary(m.matrix(), m.qubits, {a, b});
+        {
+            // U = locals . M: M applied first.
+            std::vector<Gate> gates{m};
+            if (localsOf(u * mm.dagger(), a, b, &gates))
+                consider(u, a, b, std::move(gates), &best);
+        }
+        {
+            // U = M . locals: locals applied first.
+            std::vector<Gate> gates;
+            if (localsOf(mm.dagger() * u, a, b, &gates)) {
+                gates.push_back(m);
+                consider(u, a, b, std::move(gates), &best);
+            }
+        }
+    }
+    // Generic KAK canonical form.
+    {
+        std::vector<Gate> gates;
+        if (kakCandidate(u, a, b, &gates))
+            consider(u, a, b, std::move(gates), &best);
+    }
+
+    *rewrote = best.weight <
+               twoQubitSequenceWeight(original) - 1e-12;
+    return best.gates;
+}
+
+} // namespace
+
+WeylStats
+resynthesizeWeylRuns(Circuit &circuit)
+{
+    WeylStats stats;
+    const std::vector<Gate> &gates = circuit.gates();
+    std::vector<Gate> out;
+    out.reserve(gates.size());
+
+    std::size_t i = 0;
+    while (i < gates.size()) {
+        // Grow a run at i: 1q primitives accumulate until a 2q gate
+        // pins the pair; after pinning only gates inside the pair may
+        // join. Aggregates and kCcx/kId break the run immediately.
+        std::vector<int> seen;
+        bool pinned = false;
+        int pa = -1, pb = -1;
+        int two_qubit_gates = 0;
+        std::size_t j = i;
+        while (j < gates.size() && runGate(gates[j])) {
+            const Gate &g = gates[j];
+            if (g.width() == 2) {
+                int qa = std::min(g.qubits[0], g.qubits[1]);
+                int qb = std::max(g.qubits[0], g.qubits[1]);
+                if (!pinned) {
+                    bool covers = true;
+                    for (int q : seen)
+                        covers = covers && (q == qa || q == qb);
+                    if (!covers)
+                        break;
+                    pinned = true;
+                    pa = qa;
+                    pb = qb;
+                } else if (qa != pa || qb != pb) {
+                    break;
+                }
+                ++two_qubit_gates;
+            } else {
+                int q = g.qubits[0];
+                if (pinned) {
+                    if (q != pa && q != pb)
+                        break;
+                } else {
+                    bool known = false;
+                    for (int s : seen)
+                        known = known || s == q;
+                    if (!known) {
+                        if (seen.size() >= 2)
+                            break;
+                        seen.push_back(q);
+                    }
+                }
+            }
+            ++j;
+        }
+
+        if (!pinned || two_qubit_gates < 2) {
+            out.push_back(gates[i]);
+            ++i;
+            continue;
+        }
+        ++stats.runs;
+        std::vector<Gate> run(gates.begin() + i, gates.begin() + j);
+        CMatrix u = sequenceUnitary(run, pa, pb);
+        bool rewrote = false;
+        std::vector<Gate> emitted = bestRewrite(u, pa, pb, run, &rewrote);
+        out.insert(out.end(), emitted.begin(), emitted.end());
+        stats.rewrites += rewrote ? 1 : 0;
+        i = j;
+    }
+
+    circuit.mutableGates() = std::move(out);
+    return stats;
+}
+
+} // namespace qaic

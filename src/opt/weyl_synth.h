@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-qubit-run resynthesis from Weyl (KAK) canonical coordinates.
+ *
+ * A maximal run of primitive gates supported on one qubit pair is a
+ * single 4x4 unitary. The pass computes that unitary, derives candidate
+ * re-emissions —
+ *
+ *  - pure locals when the run is a tensor product (entangling content
+ *    zero),
+ *  - SWAP + locals when U . SWAP factors (full SWAP local class),
+ *  - one native 2q gate (cnot / cz / iswap) + locals when U factors
+ *    through it on either side,
+ *  - the generic KAK form (k2 locals) . CAN(c1,c2,c3) . (k1 locals)
+ *    with each CAN axis emitted as a basis-conjugated rzz block and
+ *    zero axes skipped (weyl/weyl.h kakDecompose, raw coordinates so
+ *    no chirality is lost),
+ *
+ * — and commits the cheapest candidate under the CNOT-equivalent
+ * weight (opt/cost.h) only if it strictly beats the original run
+ * (never-worse guard). Every candidate is verified against the run's
+ * 4x4 unitary by phaseDistance before it is even considered; a failed
+ * reconstruction silently keeps the original gates. Aggregates are
+ * hard barriers: their members are never inlined into a run.
+ */
+#ifndef QAIC_OPT_WEYL_SYNTH_H
+#define QAIC_OPT_WEYL_SYNTH_H
+
+#include "ir/circuit.h"
+#include "opt/options.h"
+
+namespace qaic {
+
+/** What one Weyl resynthesis sweep did. */
+struct WeylStats
+{
+    /** Runs with >= 2 two-qubit gates examined. */
+    int runs = 0;
+    /** Runs re-emitted in a strictly cheaper form. */
+    int rewrites = 0;
+
+    bool changed() const { return rewrites != 0; }
+};
+
+/** Resynthesizes all maximal one-pair runs of @p circuit in place. */
+WeylStats resynthesizeWeylRuns(Circuit &circuit);
+
+} // namespace qaic
+
+#endif // QAIC_OPT_WEYL_SYNTH_H

@@ -91,6 +91,31 @@ class PhasePolynomial
         return wireConst_ == other.wireConst_;
     }
 
+    /**
+     * Raw parity angle table: phi(x) contains angle * parity(mask . x)
+     * per entry. Angles are as accumulated (not wrapped); entries whose
+     * angle folds to 0 mod 2 pi may be present. The resynthesis pass
+     * (opt/phasepoly_synth.h) reads this to re-emit a canonical parity
+     * network.
+     */
+    const std::map<Mask, double> &parityPhases() const { return parity_; }
+
+    /**
+     * True if the symmetrized F_2-quadratic form is identically zero —
+     * i.e. no CZ contribution survives. Only quadratic-free states are
+     * expressible as a pure {CNOT, X, Rz} parity network.
+     */
+    bool quadraticFree() const
+    {
+        for (int i = 0; i < n_; ++i)
+            for (int j = i + 1; j < n_; ++j)
+                if (((quad_[i][j / 64] >> (j % 64) ^
+                      quad_[j][i / 64] >> (i % 64)) &
+                     1) != 0)
+                    return false;
+        return true;
+    }
+
   private:
     /** Adds angle * parity(mask . x) to the phase function. */
     void addParityPhase(Mask mask, bool affine_bit, double angle);

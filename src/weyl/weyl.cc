@@ -155,4 +155,163 @@ xyMinimumTime(const WeylCoordinates &c, double mu2_ghz)
     return gauge / (M_PI * mu2_ghz);
 }
 
+bool
+kronFactor2x2(const CMatrix &u4, CMatrix *a, CMatrix *b, double tol)
+{
+    QAIC_CHECK(u4.rows() == 4 && u4.cols() == 4);
+    // Pick the 2x2 block of largest Frobenius norm: for a true tensor
+    // product u4 = a (x) b the block (r, c) equals a(r,c) * b, and the
+    // largest block has |a(r,c)| >= 1/2, so it determines b robustly.
+    std::size_t r0 = 0, c0 = 0;
+    double best = -1.0;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c) {
+            double norm = 0.0;
+            for (std::size_t i = 0; i < 2; ++i)
+                for (std::size_t j = 0; j < 2; ++j)
+                    norm += std::norm(u4(2 * r + i, 2 * c + j));
+            if (norm > best) {
+                best = norm;
+                r0 = r;
+                c0 = c;
+            }
+        }
+    CMatrix braw(2, 2);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            braw(i, j) = u4(2 * r0 + i, 2 * c0 + j);
+    Cmplx det = braw(0, 0) * braw(1, 1) - braw(0, 1) * braw(1, 0);
+    if (std::abs(det) < 1e-12)
+        return false;
+    CMatrix bn = braw * (Cmplx(1.0, 0.0) / std::sqrt(det));
+    // Project each block onto bn: a(r,c) = tr(block bn^dag) / 2.
+    CMatrix an(2, 2);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c) {
+            Cmplx coeff(0.0, 0.0);
+            for (std::size_t i = 0; i < 2; ++i)
+                for (std::size_t j = 0; j < 2; ++j)
+                    coeff += u4(2 * r + i, 2 * c + j) *
+                             std::conj(bn(i, j));
+            an(r, c) = coeff * 0.5;
+        }
+    if (!an.isUnitary(1e-6) || !bn.isUnitary(1e-6))
+        return false;
+    if (phaseDistance(an.kron(bn), u4) >= tol)
+        return false;
+    *a = an;
+    *b = bn;
+    return true;
+}
+
+namespace {
+
+/** CAN(c1,c2,c3) built from its magic-basis eigenphases. */
+CMatrix
+canonicalGateMatrix(double c1, double c2, double c3)
+{
+    static const CMatrix q = magicBasis();
+    const Cmplx i(0.0, 1.0);
+    // Eigenphase pattern per magic-basis column (see kakDecompose).
+    const double h[4] = {c1 - c2 + c3, c1 + c2 - c3, -c1 - c2 - c3,
+                         -c1 + c2 + c3};
+    CMatrix d = CMatrix::diag({std::exp(-i * h[0]), std::exp(-i * h[1]),
+                               std::exp(-i * h[2]), std::exp(-i * h[3])});
+    return q * d * q.dagger();
+}
+
+} // namespace
+
+KakDecomposition
+kakDecompose(const CMatrix &u)
+{
+    KakDecomposition out;
+    QAIC_CHECK(u.rows() == 4 && u.cols() == 4);
+    if (!u.isUnitary(1e-7))
+        return out;
+
+    static const CMatrix q = magicBasis();
+    CMatrix su = toSu4(u);
+    CMatrix b = q.dagger() * su * q;
+    CMatrix m = b.transpose() * b;
+
+    CMatrix re = (m + m.conjugate()) * Cmplx(0.5, 0.0);
+    CMatrix im = (m - m.conjugate()) * Cmplx(0.0, -0.5);
+    SimultaneousEigResult sim = simultaneousEig(re, im);
+
+    // The eigenvectors of the real symmetric pair (re, im) can be chosen
+    // real; strip the per-column phase the complex Jacobi introduced and
+    // fail out if a genuinely complex vector remains (degenerate cluster
+    // mixed by rounding) — the caller then keeps the original gates.
+    CMatrix p(4, 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        std::size_t rmax = 0;
+        for (std::size_t r = 1; r < 4; ++r)
+            if (std::abs(sim.vectors(r, j)) >
+                std::abs(sim.vectors(rmax, j)))
+                rmax = r;
+        Cmplx pivot = sim.vectors(rmax, j);
+        if (std::abs(pivot) < 1e-9)
+            return out;
+        Cmplx phase = std::conj(pivot) / std::abs(pivot);
+        for (std::size_t r = 0; r < 4; ++r) {
+            Cmplx v = sim.vectors(r, j) * phase;
+            if (std::abs(v.imag()) > 1e-6)
+                return out;
+            p(r, j) = Cmplx(v.real(), 0.0);
+        }
+    }
+    if (!p.isUnitary(1e-6))
+        return out;
+    if (determinant(p).real() < 0.0)
+        for (std::size_t r = 0; r < 4; ++r)
+            p(r, 0) = -p(r, 0);
+
+    // Eigenvalues of m are e^{-2 i f_j}; branch each f into (-pi/2, pi/2]
+    // and repair the branch sum so det(k1') = e^{i sum f} = +1.
+    double f[4];
+    for (int j = 0; j < 4; ++j)
+        f[j] = -0.5 * std::atan2(sim.yValues[j], sim.xValues[j]);
+    double sum = f[0] + f[1] + f[2] + f[3];
+    if (distanceToPiMultiple(sum) > 1e-5)
+        return out;
+    long half_turns = std::lround(sum / M_PI);
+    if ((half_turns % 2 + 2) % 2 == 1)
+        f[0] += M_PI;
+
+    // k1' = b p diag(e^{+i f_j}) and k2' = p^T are real orthogonal and
+    // b = k1' diag(e^{-i f_j}) k2' by construction; conjugating back out
+    // of the magic basis turns the orthogonals into local unitaries.
+    const Cmplx i(0.0, 1.0);
+    CMatrix a_inv = CMatrix::diag({std::exp(i * f[0]), std::exp(i * f[1]),
+                                   std::exp(i * f[2]),
+                                   std::exp(i * f[3])});
+    CMatrix k1 = b * p * a_inv;
+    CMatrix k2 = p.transpose();
+    CMatrix l1 = q * k1 * q.dagger();
+    CMatrix l2 = q * k2 * q.dagger();
+
+    // Position j of the magic basis carries eigenphase pattern h_j of
+    // c1 XX + c2 YY + c3 ZZ:
+    //   h_0 = c1 - c2 + c3, h_1 = c1 + c2 - c3,
+    //   h_2 = -c1 - c2 - c3, h_3 = -c1 + c2 + c3,
+    // and the f solved above satisfy h_j = f_j, so:
+    out.c1 = (f[0] + f[1]) / 2.0;
+    out.c2 = (f[1] + f[3]) / 2.0;
+    out.c3 = (f[0] + f[3]) / 2.0;
+
+    if (!kronFactor2x2(l1, &out.k1a, &out.k1b) ||
+        !kronFactor2x2(l2, &out.k2a, &out.k2b))
+        return out;
+
+    // Self-check: the decomposition must reproduce u up to global phase.
+    CMatrix rebuilt = out.k1a.kron(out.k1b) *
+                      canonicalGateMatrix(out.c1, out.c2, out.c3) *
+                      out.k2a.kron(out.k2b);
+    if (phaseDistance(rebuilt, u) > 1e-7)
+        return out;
+    out.ok = true;
+    return out;
+}
+
 } // namespace qaic

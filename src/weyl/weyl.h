@@ -77,6 +77,42 @@ double xyMinimumTime(const WeylCoordinates &c, double mu2_ghz);
 /** The magic (Bell) basis change matrix Q used by this module. */
 CMatrix magicBasis();
 
+/**
+ * Full KAK (Cartan) decomposition of a 4x4 unitary:
+ *
+ *   u ~ (k1a (x) k1b) . CAN(c1, c2, c3) . (k2a (x) k2b)
+ *
+ * up to global phase, with CAN(c) = exp(-i (c1 XX + c2 YY + c3 ZZ)).
+ *
+ * Unlike weylCoordinates() the coordinates here are *raw*: they are not
+ * folded into the chamber, so no chirality or ordering information is
+ * lost and the decomposition can be re-emitted as a circuit verbatim
+ * (the optimizer's Weyl resynthesis pass does exactly that). ok is
+ * false when the numerics could not produce a decomposition within
+ * tolerance — callers must then keep the original gate sequence.
+ */
+struct KakDecomposition
+{
+    bool ok = false;
+    double c1 = 0.0;
+    double c2 = 0.0;
+    double c3 = 0.0;
+    CMatrix k1a, k1b; ///< 2x2 locals applied after the canonical gate
+    CMatrix k2a, k2b; ///< 2x2 locals applied before the canonical gate
+};
+
+/** Computes the raw KAK decomposition of a 4x4 unitary. */
+KakDecomposition kakDecompose(const CMatrix &u);
+
+/**
+ * Factors a 4x4 unitary into a Kronecker product a (x) b of 2x2
+ * unitaries, up to global phase. Returns false (outputs untouched)
+ * when @p u4 is not a tensor product within tolerance — i.e. when the
+ * gate is genuinely entangling.
+ */
+bool kronFactor2x2(const CMatrix &u4, CMatrix *a, CMatrix *b,
+                   double tol = 1e-7);
+
 } // namespace qaic
 
 #endif // QAIC_WEYL_WEYL_H

@@ -47,6 +47,51 @@ TEST(DiagonalBlocksTest, SkipsInterleavedDisjointGates)
     EXPECT_TRUE(circuitsEquivalent(c, out));
 }
 
+TEST(DiagonalBlocksTest, EmitSiteOfEarlierBlockIsABarrier)
+{
+    // Regression: two overlapping-support blocks whose spans interleave.
+    // The first block [Rz(0), CNOT(0,1), Rz(1), CNOT(0,1)] contracts
+    // and its aggregate is emitted at the last member's position. The
+    // H(1) at position 1 was scanned past while the first block's
+    // support was still {0} — so no per-gate check ever compared it
+    // against qubit 1, which the block picked up later. A second block
+    // starting from that H(1) must treat the first block's emit site
+    // as a barrier: sliding H(1) across the contracted ZZ-rotation is
+    // not sound (they share qubit 1 and do not commute), and before
+    // the fix this miscompiled with an O(1) unitary error.
+    Circuit c(3);
+    c.add(makeRz(0, 0.3));  // block A, support {0} at this point
+    c.add(makeH(1));        // skipped by A's scan as disjoint
+    c.add(makeCnot(0, 1));  // A's support grows to {0,1}
+    c.add(makeRz(1, 0.5));
+    c.add(makeCnot(0, 1));  // A's diagonal prefix ends here (emit site)
+    c.add(makeX(1));        // would-be block B: H, X, H, CZ has a
+    c.add(makeH(1));        //   diagonal product (H X H = Z)...
+    c.add(makeCz(1, 2));    //   ...but B may not slide across A.
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 1);
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
+TEST(DiagonalBlocksTest, DisjointEarlierBlockStillInterleaves)
+{
+    // Same shape, but the second block lives on a disjoint pair: the
+    // emit-site barrier must NOT fire and both blocks contract.
+    Circuit c(4);
+    c.add(makeCnot(0, 1)); // block A on {0,1}
+    c.add(makeH(2));       // block B on {2,3}, interleaved
+    c.add(makeRz(1, 0.5));
+    c.add(makeCnot(0, 1)); // A's emit site
+    c.add(makeX(2));
+    c.add(makeH(2));
+    c.add(makeCz(2, 3));
+    int found = 0;
+    Circuit out = detectDiagonalBlocks(c, 10, &found);
+    EXPECT_EQ(found, 2);
+    EXPECT_TRUE(circuitsEquivalent(c, out));
+}
+
 TEST(DiagonalBlocksTest, IgnoresNonDiagonalRuns)
 {
     Circuit c(2);

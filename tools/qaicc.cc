@@ -33,6 +33,14 @@
  *     --deadline MS   wall-clock compile budget in milliseconds; GRAPE
  *                     searches that overrun degrade to analytic
  *                     latencies (reported), other overruns fail
+ *     --opt           run the optimizing pass suite (src/opt) on the
+ *                     logical circuit before mapping: analyzer-seeded
+ *                     commutation-aware peephole, phase-polynomial
+ *                     region resynthesis, Weyl two-qubit-run
+ *                     resynthesis (every rewrite machine-checked,
+ *                     never worse in two-qubit content)
+ *     --opt-report    with --opt: print what the optimizer did
+ *                     (cancellations, merges, rewrites, gate deltas)
  *     --analyze       run the abstract-interpretation dataflow analyzer
  *                     (analysis/analyzer.h) after lowering and after
  *                     mapping and print its machine-verified
@@ -82,7 +90,8 @@ usage(const char *argv0)
                  "          [--pulse-lib FILE] [--schedule] [--timings] "
                  "[--verify]\n"
                  "          [--check-invariants] [--deadline MS] "
-                 "[--analyze] [--json]\n"
+                 "[--opt] [--opt-report]\n"
+                 "          [--analyze] [--json]\n"
                  "          (circuit.qasm | --suite WORKLOAD)\n",
                  argv0);
     return 2;
@@ -101,6 +110,7 @@ main(int argc, char **argv)
     bool print_schedule = false, print_timings = false, verify = false;
     bool check_invariants = kCheckInvariantsDefault;
     bool analyze = false, json = false;
+    bool optimize = false, opt_report = false;
     std::string pulses_path, pulse_lib_path, input_path, suite_name;
 
     for (int i = 1; i < argc; ++i) {
@@ -138,6 +148,10 @@ main(int argc, char **argv)
             verify = true;
         } else if (arg == "--check-invariants") {
             check_invariants = true;
+        } else if (arg == "--opt") {
+            optimize = true;
+        } else if (arg == "--opt-report") {
+            opt_report = true;
         } else if (arg == "--analyze") {
             analyze = true;
         } else if (arg == "--json") {
@@ -160,6 +174,10 @@ main(int argc, char **argv)
         return usage(argv[0]); // exactly one input source
     if (json && !analyze) {
         std::fprintf(stderr, "--json requires --analyze\n");
+        return usage(argv[0]);
+    }
+    if (opt_report && !optimize) {
+        std::fprintf(stderr, "--opt-report requires --opt\n");
         return usage(argv[0]);
     }
 
@@ -207,6 +225,7 @@ main(int argc, char **argv)
     options.checkInvariants = check_invariants;
     options.deadlineMs = deadline_ms;
     options.analyze = analyze;
+    options.optimize = optimize;
     StatusOr<DeviceModel> device_or = deviceFromUserConfig(
         topologyName(topology), input.numQubits(), options.seed);
     if (!device_or.isOk()) {
@@ -264,6 +283,28 @@ main(int argc, char **argv)
     std::printf("est. output fidelity: %.4f (decoherence %.4f, control "
                 "%.4f)\n",
                 fidelity.total, fidelity.decoherence, fidelity.control);
+
+    if (opt_report) {
+        const OptStats &opt = result.optStats;
+        std::printf("\noptimizer:\n");
+        std::printf("  cancelled inverse pairs : %d\n",
+                    opt.cancelledPairs);
+        std::printf("  merged rotations        : %d\n",
+                    opt.mergedRotations);
+        std::printf("  erased identity windows : %d\n",
+                    opt.erasedIdentityWindows);
+        std::printf("  analyzer fixes applied  : %d\n",
+                    opt.analyzerFixesApplied);
+        std::printf("  phase-poly regions      : %d (%d rewritten)\n",
+                    opt.phasePolyRegions, opt.phasePolyRewrites);
+        std::printf("  weyl runs               : %d (%d rewritten)\n",
+                    opt.weylRuns, opt.weylRewrites);
+        std::printf("  gate delta              : %d (%d two-qubit)\n",
+                    opt.gateDelta, opt.twoQubitGateDelta);
+        if (opt.latencyFallbacks > 0)
+            std::printf("  latency guard           : kept the plain "
+                        "result (optimized circuit routed worse)\n");
+    }
 
     if (analyze) {
         std::printf("\n");
