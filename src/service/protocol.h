@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Wire protocol of the compilation service (qaiccd).
+ *
+ * The daemon speaks newline-delimited JSON: every request is one JSON
+ * object on one line, every reply is one JSON object on one line, and
+ * replies carry the request's `id` so clients may pipeline requests and
+ * match replies out of order. The schema (documented in
+ * docs/ARCHITECTURE.md, "Compilation service"):
+ *
+ *   compile request
+ *     {"id":"r1", "qasm":"qubits 2\nh q0\ncnot q0 q1\n",
+ *      "strategy":"cls-agg", "topology":"grid", "width":10,
+ *      "schedule":false, "deadline_ms":0}
+ *     — only "qasm" is required; everything else has a default.
+ *   control request
+ *     {"id":"c1", "op":"ping" | "stats" | "shutdown"}
+ *
+ *   success reply
+ *     {"id":"r1","ok":true,"tier":0,"cached":false,"strategy":"cls-agg",
+ *      "fingerprint":"9f…","latency_ns":412.5,"tier0_latency_ns":412.5,
+ *      "swaps":2,"instructions":9,"aggregates":3,"max_width":3,
+ *      "degraded":false}
+ *   error reply
+ *     {"id":"r1","ok":false,
+ *      "error":{"code":"INVALID_ARGUMENT","message":"line 2: …"}}
+ *
+ * This header also provides the service's own JSON *parser*. It is the
+ * daemon's exposure surface — every byte a client sends flows through
+ * it — so it is written defensively and fuzzed directly
+ * (tests/service_fuzz_test.cc): bounded nesting depth, bounded input
+ * size (enforced by the framing layer), strict trailing-garbage
+ * rejection, no recursion on attacker-controlled depth beyond the
+ * bound, and every malformed byte sequence comes back as a Status, not
+ * a crash or a throw.
+ *
+ * Adding a request field: extend CompileRequest, parse it in
+ * parseRequest() (with a default and a validity check), and reject is
+ * automatic for misspellings — unknown keys are an error by design, so
+ * a client typo ("stragety") fails loudly instead of being silently
+ * ignored.
+ */
+#ifndef QAIC_SERVICE_PROTOCOL_H
+#define QAIC_SERVICE_PROTOCOL_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "device/topology.h"
+#include "util/status.h"
+
+namespace qaic::service {
+
+/** Default cap on one request frame (bytes), including the newline. */
+inline constexpr std::size_t kDefaultMaxRequestBytes = 1u << 20;
+
+/** Maximum JSON nesting depth parseJson accepts. */
+inline constexpr int kMaxJsonDepth = 32;
+
+/**
+ * A parsed JSON value. Object member order is preserved (vector of
+ * pairs) so serialization round-trips are stable; duplicate keys are
+ * rejected at parse time.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parses exactly one JSON value spanning the whole input (trailing
+ * non-whitespace is an error — a second value on the line means a
+ * framing bug on the client side). Never throws; malformed input is a
+ * kInvalidArgument with the byte offset in the message.
+ */
+StatusOr<JsonValue> parseJson(const std::string &text);
+
+/** One compile request, defaults resolved. */
+struct CompileRequest
+{
+    /** Client-chosen correlation id, echoed in the reply. */
+    std::string id;
+    /** Program text (ir/qasm.h format). Required. */
+    std::string qasm;
+    Strategy strategy = Strategy::kClsAggregation;
+    Topology topology = Topology::kGrid;
+    /** Max aggregated-instruction width (>= 2). */
+    int width = 10;
+    /** Include the instruction schedule in the reply. */
+    bool wantSchedule = false;
+    /** Per-request compile deadline (ms); 0 = none. */
+    double deadlineMs = 0.0;
+};
+
+/** Daemon control verbs. */
+enum class ControlOp
+{
+    kPing,
+    kStats,
+    kShutdown,
+};
+
+/** A parsed request line: either a compile or a control op. */
+struct Request
+{
+    bool isControl = false;
+    ControlOp op = ControlOp::kPing;
+    CompileRequest compile;
+};
+
+/**
+ * Parses one request frame. Enforces @p max_bytes (the framing cap —
+ * oversized frames must be rejected before any JSON work), the JSON
+ * grammar, the schema (required/optional fields, types, value ranges)
+ * and rejects unknown keys. kInvalidArgument on any violation.
+ */
+StatusOr<Request> parseRequest(const std::string &line,
+                               std::size_t max_bytes =
+                                   kDefaultMaxRequestBytes);
+
+/** One scheduled instruction in a reply's optional schedule dump. */
+struct ReplyScheduleOp
+{
+    double start = 0.0;
+    double duration = 0.0;
+    std::string gate;
+};
+
+/**
+ * One reply frame, shared by the in-process service and the daemon.
+ * For compile requests the numeric fields mirror CompilationResult;
+ * control replies only use id/ok (+ statsJson for "stats").
+ */
+struct ServiceReply
+{
+    std::string id;
+    bool ok = false;
+    /** Error detail when !ok. */
+    Status error;
+
+    /** 0 = analytic/greedy fast path, 1 = promoted artifact. */
+    int tier = 0;
+    /** Served from the artifact cache (no compile ran). */
+    bool cached = false;
+    std::string strategy;
+    std::string fingerprint;
+    double latencyNs = 0.0;
+    /**
+     * The tier-0 answer for this fingerprint. Equals latencyNs for
+     * tier-0 replies; for tier-1 replies it is the latency the
+     * promotion replaced — the promoter's never-worse guard maintains
+     * latencyNs <= tier0LatencyNs.
+     */
+    double tier0LatencyNs = 0.0;
+    int swaps = 0;
+    int instructions = 0;
+    int aggregates = 0;
+    int maxWidth = 0;
+    bool degraded = false;
+    std::string degradedReason;
+    /** Present only when the request set "schedule":true. */
+    std::vector<ReplyScheduleOp> schedule;
+    bool hasSchedule = false;
+    /** Pre-rendered {"…"} object for "stats" replies; empty otherwise. */
+    std::string statsJson;
+    /** True only on a "ping" reply. */
+    bool pong = false;
+    /** True only on a "shutdown" acknowledgement. */
+    bool shuttingDown = false;
+
+    /** Renders the one-line JSON frame (no trailing newline). */
+    std::string toJson() const;
+};
+
+/** Builds the standard error reply for @p id. */
+ServiceReply errorReply(const std::string &id, Status status);
+
+} // namespace qaic::service
+
+#endif // QAIC_SERVICE_PROTOCOL_H

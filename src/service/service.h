@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The compilation service: a long-running, tiered compile server.
+ *
+ * CompileService turns the batch compiler into the roadmap's
+ * "millions of users" front door. Concurrent compile requests enter a
+ * *bounded* queue (admission control: a full queue rejects with
+ * kUnavailable instead of growing without bound), a pool of worker
+ * threads answers each one, and every answer is cached by a canonical
+ * request fingerprint so repeated traffic is served without compiling
+ * at all.
+ *
+ * Tiering (interpreter→JIT promotion, applied to compilation):
+ *
+ *  - Tier 0 answers immediately: analytic latency oracle + the greedy
+ *    baseline router, no optimizer. Cheap enough to run inline on a
+ *    worker thread, deterministic, and structurally valid.
+ *  - A background *promoter* thread watches per-fingerprint request
+ *    counts. Once a fingerprint has been requested
+ *    ServiceOptions::promoteAfter times it is queued for promotion:
+ *    the promoter recompiles it with lookahead routing, the GRAPE
+ *    oracle (warm-started from the shared pulse library when
+ *    configured) and the optimizing pass suite, then *atomically
+ *    swaps* the cached artifact — later callers get the better
+ *    schedule for free, and callers racing the swap get either the
+ *    complete old artifact or the complete new one, never a torn mix
+ *    (artifacts are immutable shared_ptr snapshots replaced under the
+ *    owning shard lock).
+ *  - Never-worse guard (the service-level analogue of
+ *    compileWithLatencyGuard): a promotion whose routed makespan is
+ *    *worse* than the tier-0 answer is discarded — the tier-0
+ *    artifact stays, and the disagreement is counted in
+ *    ServiceStats::guardTrips. A promoted reply therefore always
+ *    satisfies latencyNs <= tier0LatencyNs.
+ *
+ * Error policy: a malformed frame, hostile QASM payload, unroutable
+ * placement or expired deadline must NEVER kill the process — every
+ * such condition becomes a structured error reply (util/status.h) and
+ * the daemon keeps serving (fuzzed by tests/service_fuzz_test.cc).
+ *
+ * Concurrency discipline (TSan-swept by tests/service_soak_test.cc):
+ * the request queue and promotion queue are classic mutex+condvar
+ * bounded queues (std::mutex — condition_variable interop — with the
+ * discipline documented inline); the artifact cache is mutex-striped
+ * like CachingOracle; counters are atomics. Compilations themselves
+ * run outside all service locks and are deterministic, so two workers
+ * racing the same cold fingerprint compute identical artifacts and
+ * the first insert wins — replies for one fingerprint are bitwise
+ * identical within a tier regardless of scheduling.
+ *
+ * Fault injection (util/failpoint.h) plants three service-layer sites:
+ * "service_queue_overflow" (admission control rejects as if full),
+ * "service_promotion_fail" (promotion dies just before the swap; the
+ * tier-0 artifact must survive) and "service_flush_during_request" (a
+ * pulse-library flush is forced while a request is in flight; a
+ * failing flush degrades the reply instead of erroring it). Swept by
+ * tests/service_failpoint_test.cc.
+ */
+#ifndef QAIC_SERVICE_SERVICE_H
+#define QAIC_SERVICE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "oracle/oracle.h"
+#include "service/protocol.h"
+
+namespace qaic::service {
+
+/**
+ * Upper bound on a request circuit's register. The framing byte cap
+ * bounds gate count, but `qubits 999999999` is a nine-byte frame that
+ * would ask for a billion-qubit device — the service rejects it with
+ * kInvalidArgument before any device is built.
+ */
+inline constexpr int kMaxRequestQubits = 256;
+
+/** Service configuration, fixed at construction. */
+struct ServiceOptions
+{
+    /** Tier-0 worker threads; <= 0 picks min(4, hardware). */
+    int workers = 0;
+    /** Request-queue bound; submissions beyond it are rejected. */
+    std::size_t queueCapacity = 128;
+    /** Per-frame byte cap enforced before any parsing. */
+    std::size_t maxRequestBytes = kDefaultMaxRequestBytes;
+    /** Requests of one fingerprint before promotion queues; the count
+     *  includes the request that first compiled it. */
+    int promoteAfter = 3;
+    /** Master switch for the background promoter. */
+    bool enablePromotion = true;
+    /** Promote with the true-GRAPE latency oracle (tier-1 pricing).
+     *  Off = analytic pricing at tier 1 too (fast; used by tests). */
+    bool tier1Grape = true;
+    /** Run the optimizing pass suite (src/opt) during promotion. */
+    bool tier1Optimize = true;
+    /** GRAPE search knobs for tier-1 pricing (when tier1Grape). */
+    GrapeOracleOptions tier1GrapeOptions;
+    /** Pass-contract verification for both tiers (Debug default). */
+    bool checkInvariants = kCheckInvariantsDefault;
+    /** Persistent pulse library shared by tier-1 compiles; empty
+     *  disables persistence. */
+    std::string pulseLibraryPath;
+    /** Promotion-queue bound; hot fingerprints beyond it wait for the
+     *  next request to re-queue them. */
+    std::size_t promotionQueueCapacity = 64;
+};
+
+/** Monotonic service counters (a consistent-enough snapshot). */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;       ///< compile requests admitted
+    std::uint64_t cacheHits = 0;      ///< served from the artifact cache
+    std::uint64_t tier0Compiles = 0;  ///< tier-0 pipeline runs
+    std::uint64_t compileErrors = 0;  ///< requests answered with an error
+    std::uint64_t rejected = 0;       ///< admission-control rejections
+    std::uint64_t parseErrors = 0;    ///< malformed frames
+    std::uint64_t promotions = 0;     ///< artifact swaps to tier 1
+    std::uint64_t promotionFailures = 0; ///< promotion compiles that failed
+    std::uint64_t guardTrips = 0;     ///< promotions discarded as worse
+    std::uint64_t degradedReplies = 0;///< replies with the degraded flag
+    std::size_t queueDepth = 0;       ///< requests waiting right now
+    std::size_t peakQueueDepth = 0;   ///< high-water mark
+    std::size_t artifacts = 0;        ///< cached fingerprints
+    std::size_t promotionQueueDepth = 0; ///< promotions waiting
+
+    /** Renders the {"…"} JSON object for "stats" replies. */
+    std::string toJson() const;
+};
+
+class CompileService
+{
+  public:
+    explicit CompileService(ServiceOptions options = {});
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /**
+     * Admission-controlled asynchronous submission: @p done is invoked
+     * exactly once, from a worker thread, with the reply. A non-OK
+     * return (kUnavailable: queue full, injected overflow, or shutdown
+     * in progress) means @p done will never be called — the caller
+     * turns it into an error reply itself (errorReply()).
+     */
+    Status submitAsync(CompileRequest request,
+                       std::function<void(const ServiceReply &)> done);
+
+    /**
+     * Synchronous submission: submit, wait, return the reply. An
+     * admission rejection comes back as an error reply rather than a
+     * Status so single-threaded callers have one result shape.
+     */
+    ServiceReply compileSync(CompileRequest request);
+
+    /**
+     * Full protocol dispatch of one frame: framing cap, JSON parse,
+     * schema validation, control ops, compile. Always returns a
+     * serialized one-line JSON reply; never crashes on any input
+     * (the fuzz battery drives exactly this entry point). Blocking —
+     * the daemon uses submitAsync for pipelining and calls this only
+     * for control frames.
+     */
+    std::string handleLine(const std::string &line);
+
+    ServiceStats stats() const;
+
+    const ServiceOptions &options() const { return options_; }
+
+    /**
+     * Stops admission, drains the request queue (every admitted
+     * request is answered), drains the promotion queue, and joins all
+     * threads. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    /**
+     * Test/bench hook: blocks until the promotion queue is empty and
+     * the promoter is idle, so callers can assert on promotion
+     * outcomes deterministically.
+     */
+    void waitForPromotionsIdle();
+
+  private:
+    struct Artifact; // immutable cached answer (service.cc)
+    struct CacheEntry;
+    struct CacheShard;
+    struct QueuedRequest;
+    struct PromotionJob;
+
+    ServiceReply process(const CompileRequest &request);
+    ServiceReply renderReply(const CompileRequest &request,
+                             const Artifact &artifact, bool cached);
+    StatusOr<CompilationResult> compileTier(const CompileRequest &request,
+                                            const Circuit &circuit,
+                                            int tier);
+    void workerLoop();
+    void promoterLoop();
+    void promote(const PromotionJob &job);
+    void maybeQueuePromotion(const std::string &key,
+                             const CompileRequest &request,
+                             CacheEntry &entry);
+    CacheShard &shardFor(const std::string &key);
+
+    ServiceOptions options_;
+    CompilerOptions tier0Options_;
+    CompilerOptions tier1Options_;
+    /** Shared pricing caches: every request device carries the default
+     *  control limits, so one oracle per tier is sound (the same
+     *  argument as compileBatch's mu1/mu2 check). */
+    std::shared_ptr<CachingOracle> tier0Oracle_;
+    std::shared_ptr<CachingOracle> tier1Oracle_;
+
+    // --- Request queue (mutex+condvar bounded queue) -----------------
+    // Discipline: queue_, stopping_ and queue depth counters are only
+    // touched under queueMutex_; workers exit when stopping_ && empty,
+    // which is what makes shutdown a drain rather than an abort.
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<QueuedRequest> queue_;
+    bool stopping_ = false;
+    std::size_t peakQueueDepth_ = 0;
+
+    // --- Promotion queue ---------------------------------------------
+    mutable std::mutex promoMutex_;
+    std::condition_variable promoCv_;
+    std::condition_variable promoIdleCv_;
+    std::deque<PromotionJob> promoQueue_;
+    bool promoStopping_ = false;
+    bool promoterBusy_ = false;
+
+    // --- Artifact cache ----------------------------------------------
+    static constexpr std::size_t kCacheShards = 8;
+    std::unique_ptr<CacheShard[]> shards_;
+
+    // --- Counters ------------------------------------------------------
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> tier0Compiles_{0};
+    std::atomic<std::uint64_t> compileErrors_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> parseErrors_{0};
+    std::atomic<std::uint64_t> promotions_{0};
+    std::atomic<std::uint64_t> promotionFailures_{0};
+    std::atomic<std::uint64_t> guardTrips_{0};
+    std::atomic<std::uint64_t> degradedReplies_{0};
+
+    std::vector<std::thread> workers_;
+    std::thread promoter_;
+    bool shutdownDone_ = false;
+    std::mutex shutdownMutex_;
+};
+
+/**
+ * Canonical cache key of a compile request: strategy, topology, width
+ * and the circuit re-serialized to canonical QASM (aggregates
+ * flattened, whitespace normalized), so textual variants of one
+ * program share an artifact. The exposed fingerprint is a 64-bit
+ * FNV-1a hash of this key rendered as hex; the cache itself keys on
+ * the full string, so hash collisions cannot alias artifacts.
+ */
+std::string canonicalRequestKey(const CompileRequest &request,
+                                const Circuit &circuit);
+
+/** Hex FNV-1a fingerprint of a canonical request key. */
+std::string requestFingerprint(const std::string &canonical_key);
+
+} // namespace qaic::service
+
+#endif // QAIC_SERVICE_SERVICE_H

@@ -5,6 +5,12 @@
  * library/timings must compile a small program and report sane output,
  * and malformed invocations must be rejected with the usage exit code
  * rather than crashing.
+ *
+ * Invocations go through tests/subprocess.h: stdout and stderr are
+ * captured separately (reports must land on stdout, errors on stderr)
+ * and every run carries a hard timeout, so a hung CLI fails its test
+ * instead of wedging ctest. The daemon lifecycle tests
+ * (tests/daemon_test.cc) reuse the same harness.
  */
 #include <unistd.h>
 
@@ -15,32 +21,28 @@
 
 #include <gtest/gtest.h>
 
+#include "subprocess.h"
+
 namespace {
+
+using qaic::testing::SubprocessResult;
+using qaic::testing::runCommand;
 
 #ifndef QAICC_BIN
 #define QAICC_BIN "./qaicc"
 #endif
 
-struct RunResult
-{
-    int exitCode = -1;
-    std::string output;
-};
+/** Generous per-invocation deadline: a compile takes well under a
+ *  second; only a wedged process gets anywhere near this. */
+constexpr int kTimeoutMs = 60000;
 
-RunResult
+SubprocessResult
 runQaicc(const std::string &args)
 {
-    const std::string command =
-        std::string(QAICC_BIN) + " " + args + " 2>&1";
-    RunResult result;
-    FILE *pipe = popen(command.c_str(), "r");
-    if (!pipe)
-        return result;
-    char buffer[512];
-    while (std::fgets(buffer, sizeof(buffer), pipe))
-        result.output += buffer;
-    const int status = pclose(pipe);
-    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    SubprocessResult result =
+        runCommand(std::string(QAICC_BIN) + " " + args, kTimeoutMs);
+    EXPECT_FALSE(result.timedOut)
+        << "qaicc " << args << " exceeded " << kTimeoutMs << "ms";
     return result;
 }
 
@@ -68,28 +70,30 @@ sampleProgram()
 
 TEST(CliTest, CompilesWithDefaultFlags)
 {
-    RunResult r = runQaicc(sampleProgram());
-    ASSERT_EQ(r.exitCode, 0) << r.output;
-    EXPECT_NE(r.output.find("latency"), std::string::npos) << r.output;
-    EXPECT_NE(r.output.find("est. output fidelity"), std::string::npos);
+    SubprocessResult r = runQaicc(sampleProgram());
+    ASSERT_EQ(r.exitCode, 0) << r.out << r.err;
+    EXPECT_NE(r.out.find("latency"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("est. output fidelity"), std::string::npos);
+    // A clean compile reports on stdout only.
+    EXPECT_EQ(r.err, "") << "unexpected stderr chatter: " << r.err;
 }
 
 TEST(CliTest, TopologyRouterMatrixCompiles)
 {
-    const char *topologies[] = {"line", "ring",           "grid",
+    const char *topologies[] = {"line",      "ring",           "grid",
                                 "heavy-hex", "random-regular", "full"};
     const char *routers[] = {"baseline", "lookahead"};
     const std::string program = sampleProgram();
     for (const char *topology : topologies) {
         for (const char *router : routers) {
-            RunResult r = runQaicc("--topology " + std::string(topology) +
-                                   " --router " + router + " --verify " +
-                                   program);
+            SubprocessResult r =
+                runQaicc("--topology " + std::string(topology) +
+                         " --router " + router + " --verify " + program);
             ASSERT_EQ(r.exitCode, 0)
                 << topology << "/" << router << "\n"
-                << r.output;
-            EXPECT_NE(r.output.find(topology), std::string::npos);
-            EXPECT_NE(r.output.find("backend semantics: OK"),
+                << r.out << r.err;
+            EXPECT_NE(r.out.find(topology), std::string::npos);
+            EXPECT_NE(r.out.find("backend semantics: OK"),
                       std::string::npos)
                 << topology << "/" << router;
         }
@@ -99,12 +103,12 @@ TEST(CliTest, TopologyRouterMatrixCompiles)
 TEST(CliTest, TimingsAndScheduleAndStrategyFlags)
 {
     const std::string program = sampleProgram();
-    RunResult r = runQaicc("--strategy isa --schedule --timings " +
-                           program);
-    ASSERT_EQ(r.exitCode, 0) << r.output;
-    EXPECT_NE(r.output.find("passes:"), std::string::npos);
-    EXPECT_NE(r.output.find("schedule:"), std::string::npos);
-    EXPECT_NE(r.output.find("latency cache:"), std::string::npos);
+    SubprocessResult r =
+        runQaicc("--strategy isa --schedule --timings " + program);
+    ASSERT_EQ(r.exitCode, 0) << r.out << r.err;
+    EXPECT_NE(r.out.find("passes:"), std::string::npos);
+    EXPECT_NE(r.out.find("schedule:"), std::string::npos);
+    EXPECT_NE(r.out.find("latency cache:"), std::string::npos);
 }
 
 TEST(CliTest, PulseLibraryRoundTripAcrossRuns)
@@ -113,15 +117,15 @@ TEST(CliTest, PulseLibraryRoundTripAcrossRuns)
     const std::string lib =
         "cli_test_pulses_" + std::to_string(getpid()) + ".qplb";
     std::remove(lib.c_str());
-    RunResult first =
+    SubprocessResult first =
         runQaicc("--width 2 --pulse-lib " + lib + " --timings " + program);
-    ASSERT_EQ(first.exitCode, 0) << first.output;
-    EXPECT_NE(first.output.find("pulse library:"), std::string::npos);
+    ASSERT_EQ(first.exitCode, 0) << first.out << first.err;
+    EXPECT_NE(first.out.find("pulse library:"), std::string::npos);
     // Second run must load the flushed library file.
-    RunResult second =
+    SubprocessResult second =
         runQaicc("--width 2 --pulse-lib " + lib + " --timings " + program);
-    ASSERT_EQ(second.exitCode, 0) << second.output;
-    EXPECT_NE(second.output.find("pulse library:"), std::string::npos);
+    ASSERT_EQ(second.exitCode, 0) << second.out << second.err;
+    EXPECT_NE(second.out.find("pulse library:"), std::string::npos);
     std::remove(lib.c_str());
 }
 
@@ -136,6 +140,10 @@ TEST(CliTest, MalformedInvocationsAreRejected)
     EXPECT_EQ(runQaicc("--width 1 " + program).exitCode, 2);
     EXPECT_EQ(runQaicc("").exitCode, 2);
     EXPECT_EQ(runQaicc(program + " extra.qasm").exitCode, 2);
+    // Usage goes to stderr, never stdout.
+    SubprocessResult usage = runQaicc("--bogus " + program);
+    EXPECT_EQ(usage.out, "");
+    EXPECT_NE(usage.err.find("usage:"), std::string::npos) << usage.err;
     // Unreadable input and malformed programs: clean error (1).
     EXPECT_EQ(runQaicc("no_such_file.qasm").exitCode, 1);
     const std::string broken =
@@ -144,9 +152,12 @@ TEST(CliTest, MalformedInvocationsAreRejected)
         std::ofstream out(broken);
         out << "qubits 2\nh q99\n";
     }
-    RunResult r = runQaicc(broken);
+    SubprocessResult r = runQaicc(broken);
     EXPECT_EQ(r.exitCode, 1);
-    EXPECT_NE(r.output.find(broken), std::string::npos) << r.output;
+    // The diagnostic names the input file — on stderr, with stdout
+    // clean (nothing was compiled).
+    EXPECT_NE(r.err.find(broken), std::string::npos) << r.err;
+    EXPECT_EQ(r.out, "");
 }
 
 } // namespace

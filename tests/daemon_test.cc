@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Lifecycle tests for the qaiccd daemon binary, driven end to end over
+ * its real stdin/stdout pipes via tests/subprocess.h (the same harness
+ * cli_test.cc uses — separate stderr capture, per-read and per-run
+ * deadlines, SIGKILL on hang).
+ *
+ * Covered: happy-path compile over the wire, malformed frames answered
+ * in-stream without killing the process, cache hits and a tier
+ * promotion observed across repeated requests, EOF drain, and the
+ * shutdown handshake (ack is the last stdout line; exit code 0; serving
+ * summary on stderr).
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "subprocess.h"
+
+namespace {
+
+using qaic::StatusOr;
+using qaic::service::JsonValue;
+using qaic::service::parseJson;
+using qaic::testing::Subprocess;
+using qaic::testing::SubprocessResult;
+
+#ifndef QAICCD_BIN
+#define QAICCD_BIN "./qaiccd"
+#endif
+
+/** Per-reply read deadline; a silent daemon is a failed test. */
+constexpr int kReadMs = 30000;
+/** Shutdown drain deadline. */
+constexpr int kFinishMs = 60000;
+
+const char kQasmFrame[] =
+    "{\"id\":\"%ID%\",\"qasm\":\"qubits 3\\nh q0\\ncnot q0 q1\\n"
+    "cnot q1 q2\\n\",\"topology\":\"line\",\"width\":4}";
+
+std::string
+compileFrame(const std::string &id)
+{
+    std::string frame = kQasmFrame;
+    frame.replace(frame.find("%ID%"), 4, id);
+    return frame;
+}
+
+/** Reads one reply line and parses it; fails the test on deadline. */
+JsonValue
+readReply(Subprocess &daemon)
+{
+    std::string line;
+    if (!daemon.readLine(&line, kReadMs)) {
+        ADD_FAILURE() << "daemon produced no reply within " << kReadMs
+                      << "ms; stderr so far: " << daemon.errText();
+        return JsonValue{};
+    }
+    StatusOr<JsonValue> parsed = parseJson(line);
+    if (!parsed.isOk()) {
+        ADD_FAILURE() << "reply is not valid JSON: " << line;
+        return JsonValue{};
+    }
+    return parsed.value();
+}
+
+bool
+replyOk(const JsonValue &reply)
+{
+    const JsonValue *ok = reply.find("ok");
+    return ok && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+}
+
+std::string
+replyString(const JsonValue &reply, const std::string &key)
+{
+    const JsonValue *value = reply.find(key);
+    return value ? value->string : std::string();
+}
+
+double
+replyNumber(const JsonValue &reply, const std::string &key)
+{
+    const JsonValue *value = reply.find(key);
+    return value ? value->number : -1.0;
+}
+
+TEST(DaemonTest, HappyPathMalformedFrameAndShutdownHandshake)
+{
+    Subprocess daemon;
+    ASSERT_TRUE(daemon.start(std::string(QAICCD_BIN) +
+                             " --no-grape --workers 2"));
+
+    // Ping establishes the session.
+    ASSERT_TRUE(daemon.writeLine("{\"id\":\"p\",\"op\":\"ping\"}"));
+    JsonValue pong = readReply(daemon);
+    EXPECT_TRUE(replyOk(pong));
+    EXPECT_EQ(replyString(pong, "id"), "p");
+
+    // Happy-path compile.
+    ASSERT_TRUE(daemon.writeLine(compileFrame("r1")));
+    JsonValue compiled = readReply(daemon);
+    ASSERT_TRUE(replyOk(compiled));
+    EXPECT_EQ(replyString(compiled, "id"), "r1");
+    EXPECT_EQ(replyNumber(compiled, "tier"), 0.0);
+    EXPECT_GT(replyNumber(compiled, "latency_ns"), 0.0);
+    EXPECT_FALSE(replyString(compiled, "fingerprint").empty());
+
+    // A malformed frame is answered in-stream; the daemon survives.
+    ASSERT_TRUE(daemon.writeLine("{this is not json"));
+    JsonValue error = readReply(daemon);
+    EXPECT_FALSE(replyOk(error));
+    ASSERT_NE(error.find("error"), nullptr);
+    EXPECT_FALSE(replyString(*error.find("error"), "code").empty());
+
+    // Still serving after the hostile frame (and from cache now).
+    ASSERT_TRUE(daemon.writeLine(compileFrame("r2")));
+    JsonValue cached = readReply(daemon);
+    ASSERT_TRUE(replyOk(cached));
+    const JsonValue *cached_flag = cached.find("cached");
+    ASSERT_NE(cached_flag, nullptr);
+    EXPECT_TRUE(cached_flag->boolean);
+    EXPECT_EQ(replyString(cached, "fingerprint"),
+              replyString(compiled, "fingerprint"));
+
+    // Shutdown handshake: the ack is the daemon's LAST stdout line,
+    // the process exits 0, and the serving summary lands on stderr.
+    ASSERT_TRUE(daemon.writeLine("{\"id\":\"bye\",\"op\":\"shutdown\"}"));
+    JsonValue ack = readReply(daemon);
+    EXPECT_TRUE(replyOk(ack));
+    const JsonValue *shutting = ack.find("shutting_down");
+    ASSERT_NE(shutting, nullptr);
+    EXPECT_TRUE(shutting->boolean);
+
+    SubprocessResult result = daemon.finish(kFinishMs);
+    EXPECT_FALSE(result.timedOut) << "shutdown drain wedged";
+    EXPECT_EQ(result.exitCode, 0) << result.err;
+    EXPECT_EQ(result.out, "") << "the ack must be the last stdout line";
+    EXPECT_NE(result.err.find("qaiccd:"), std::string::npos)
+        << "missing serving summary on stderr: " << result.err;
+}
+
+TEST(DaemonTest, RepeatedRequestsPromoteToTier1)
+{
+    Subprocess daemon;
+    ASSERT_TRUE(daemon.start(std::string(QAICCD_BIN) +
+                             " --no-grape --promote-after 2 --workers 2"));
+
+    // Drive the same fingerprint until the background promoter swaps
+    // in the tier-1 artifact. Promotion is asynchronous, so poll: each
+    // round sends a request and inspects the tier of the reply.
+    int promoted_at = -1;
+    double tier0_latency = -1.0, tier1_latency = -1.0;
+    for (int round = 0; round < 50; ++round) {
+        ASSERT_TRUE(
+            daemon.writeLine(compileFrame("r" + std::to_string(round))));
+        JsonValue reply = readReply(daemon);
+        ASSERT_TRUE(replyOk(reply)) << "round " << round;
+        if (replyNumber(reply, "tier") >= 1.0) {
+            promoted_at = round;
+            tier1_latency = replyNumber(reply, "latency_ns");
+            tier0_latency = replyNumber(reply, "tier0_latency_ns");
+            break;
+        }
+        tier0_latency = replyNumber(reply, "latency_ns");
+        usleep(50 * 1000); // give the promoter a slice
+    }
+    ASSERT_GE(promoted_at, 0)
+        << "no promotion observed in 50 rounds; stderr: "
+        << daemon.errText();
+    // Never-worse guard over the wire: promoted latency is bounded by
+    // the tier-0 answer it replaced.
+    EXPECT_LE(tier1_latency, tier0_latency + 1e-9);
+
+    // Stats must agree that a promotion happened.
+    ASSERT_TRUE(daemon.writeLine("{\"id\":\"s\",\"op\":\"stats\"}"));
+    JsonValue stats_reply = readReply(daemon);
+    ASSERT_TRUE(replyOk(stats_reply));
+    const JsonValue *stats = stats_reply.find("stats");
+    ASSERT_NE(stats, nullptr);
+    const JsonValue *promotions = stats->find("promotions");
+    ASSERT_NE(promotions, nullptr);
+    EXPECT_GE(promotions->number, 1.0);
+
+    SubprocessResult result = daemon.finish(kFinishMs);
+    EXPECT_EQ(result.exitCode, 0) << result.err;
+}
+
+TEST(DaemonTest, EofDrainsAndExitsZero)
+{
+    Subprocess daemon;
+    ASSERT_TRUE(daemon.start(std::string(QAICCD_BIN) + " --no-grape"));
+    // Burst of pipelined requests, then immediate EOF: the daemon must
+    // answer every admitted frame before exiting (drain, not abort).
+    const int kBurst = 12;
+    for (int i = 0; i < kBurst; ++i)
+        ASSERT_TRUE(
+            daemon.writeLine(compileFrame("b" + std::to_string(i))));
+    SubprocessResult result = daemon.finish(kFinishMs);
+    EXPECT_FALSE(result.timedOut);
+    EXPECT_EQ(result.exitCode, 0) << result.err;
+
+    // Count complete reply lines; admission control may reject some of
+    // the burst, but every frame gets exactly one reply.
+    int replies = 0;
+    std::size_t at = 0;
+    while ((at = result.out.find('\n', at)) != std::string::npos) {
+        ++replies;
+        ++at;
+    }
+    EXPECT_EQ(replies, kBurst) << result.out;
+}
+
+TEST(DaemonTest, BadFlagsExitWithUsage)
+{
+    SubprocessResult r = qaic::testing::runCommand(
+        std::string(QAICCD_BIN) + " --bogus", 20000);
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos) << r.err;
+    SubprocessResult w = qaic::testing::runCommand(
+        std::string(QAICCD_BIN) + " --workers 0", 20000);
+    EXPECT_EQ(w.exitCode, 2);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Fault-injection sweep of the service-layer failpoints.
+ *
+ * PR 7's failpoint registry gains three service sites
+ * (src/service/service.cc); this suite arms each one and holds the
+ * service to its degradation contract:
+ *
+ *  - "service_queue_overflow": admission control rejects as if the
+ *    queue were full — the caller gets a structured kUnavailable
+ *    reply, the rejection is counted, and the service keeps serving
+ *    once the fault clears;
+ *  - "service_promotion_fail": the tier-1 promotion dies just before
+ *    the artifact swap — the tier-0 artifact keeps serving untouched
+ *    and the failure is counted, invisible to clients;
+ *  - "service_flush_during_request": a pulse-library flush is forced
+ *    while a request is in flight — a *successful* flush is invisible,
+ *    and a *failing* flush (stacked with the PR 7 "pulselib_rename_fail"
+ *    site) produces a reply that is ok **with the degraded flag**, not
+ *    an error: the compile itself succeeded, only persistence suffered.
+ *
+ * The generic sweep in failpoint_test.cc deliberately skips service_*
+ * names and defers to this file, whose scenarios actually route
+ * through the service.
+ */
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/failpoint.h"
+
+namespace qaic::service {
+namespace {
+
+CompileRequest
+smallRequest(const std::string &id)
+{
+    CompileRequest request;
+    request.id = id;
+    request.qasm = "qubits 3\nh q0\ncnot q0 q1\ncnot q1 q2\n";
+    request.topology = Topology::kLine;
+    request.width = 4;
+    return request;
+}
+
+FailPoint *
+findFailpoint(const std::string &name)
+{
+    for (FailPoint *fp : failpoints::registered())
+        if (fp->name() == name)
+            return fp;
+    return nullptr;
+}
+
+class ServiceFailPointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoints::resetAll(); }
+    void TearDown() override { failpoints::resetAll(); }
+};
+
+TEST_F(ServiceFailPointTest, ServiceSitesAreRegistered)
+{
+    std::set<std::string> names;
+    for (FailPoint *fp : failpoints::registered())
+        names.insert(fp->name());
+    for (const char *required :
+         {"service_queue_overflow", "service_promotion_fail",
+          "service_flush_during_request"}) {
+        EXPECT_TRUE(names.count(required))
+            << "missing planted service failpoint " << required;
+    }
+}
+
+TEST_F(ServiceFailPointTest, QueueOverflowRejectsStructuredAndRecovers)
+{
+    ServiceOptions options;
+    options.workers = 1;
+    options.enablePromotion = false;
+    CompileService service(options);
+
+    FailPoint *overflow = findFailpoint("service_queue_overflow");
+    ASSERT_NE(overflow, nullptr);
+    overflow->activateAlways();
+
+    ServiceReply rejected = service.compileSync(smallRequest("r1"));
+    EXPECT_GE(overflow->fires(), 1u);
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_EQ(rejected.error.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(rejected.id, "r1") << "rejections still correlate by id";
+    EXPECT_EQ(service.stats().rejected, 1u);
+    EXPECT_EQ(service.stats().requests, 0u)
+        << "a rejected request was never admitted";
+
+    // The reply renders as a structured error frame, not a crash.
+    std::string reply_json = rejected.toJson();
+    StatusOr<JsonValue> parsed = parseJson(reply_json);
+    ASSERT_TRUE(parsed.isOk()) << reply_json;
+    const JsonValue *error = parsed.value().find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->find("code")->string, "UNAVAILABLE");
+
+    // Fault clears -> service recovers with no restart.
+    failpoints::resetAll();
+    ServiceReply served = service.compileSync(smallRequest("r2"));
+    EXPECT_TRUE(served.ok) << served.toJson();
+}
+
+TEST_F(ServiceFailPointTest, PromotionFailureKeepsTier0ArtifactServing)
+{
+    ServiceOptions options;
+    options.workers = 1;
+    options.promoteAfter = 1;
+    options.tier1Grape = false;
+    CompileService service(options);
+
+    FailPoint *promotion = findFailpoint("service_promotion_fail");
+    ASSERT_NE(promotion, nullptr);
+    promotion->activateAlways();
+
+    ServiceReply first = service.compileSync(smallRequest("p1"));
+    ASSERT_TRUE(first.ok) << first.toJson();
+    EXPECT_EQ(first.tier, 0);
+    service.waitForPromotionsIdle();
+
+    EXPECT_GE(promotion->fires(), 1u)
+        << "the promotion must have been attempted and injected";
+    ServiceStats stats = service.stats();
+    EXPECT_GE(stats.promotionFailures, 1u);
+    EXPECT_EQ(stats.promotions, 0u);
+
+    // The tier-0 artifact survived the mid-swap death bit-for-bit.
+    ServiceReply second = service.compileSync(smallRequest("p2"));
+    ASSERT_TRUE(second.ok) << second.toJson();
+    EXPECT_EQ(second.tier, 0) << "failed promotion must not swap";
+    EXPECT_TRUE(second.cached);
+    EXPECT_EQ(second.latencyNs, first.latencyNs);
+    EXPECT_EQ(second.fingerprint, first.fingerprint);
+
+    // Fault clears -> a failed promotion is retryable: the next
+    // request re-queues it and the swap lands (guard permitting).
+    failpoints::resetAll();
+    ServiceReply third = service.compileSync(smallRequest("p3"));
+    ASSERT_TRUE(third.ok);
+    service.waitForPromotionsIdle();
+    ServiceStats after = service.stats();
+    EXPECT_GE(after.promotions + after.guardTrips, 1u)
+        << "clearing the fault must allow the promotion to retry";
+}
+
+TEST_F(ServiceFailPointTest, SuccessfulMidRequestFlushIsInvisible)
+{
+    const std::string lib = "service_failpoint_flush_ok.qplb";
+    std::remove(lib.c_str());
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enablePromotion = false;
+    options.tier1Grape = false;
+    options.pulseLibraryPath = lib;
+    CompileService service(options);
+
+    FailPoint *flush = findFailpoint("service_flush_during_request");
+    ASSERT_NE(flush, nullptr);
+    flush->activateAlways();
+
+    ServiceReply reply = service.compileSync(smallRequest("f1"));
+    EXPECT_GE(flush->fires(), 1u);
+    ASSERT_TRUE(reply.ok) << reply.toJson();
+    EXPECT_FALSE(reply.degraded)
+        << "a flush that *succeeds* must not mark the reply degraded";
+    EXPECT_EQ(service.stats().degradedReplies, 0u);
+    std::remove(lib.c_str());
+}
+
+TEST_F(ServiceFailPointTest, FailingMidRequestFlushDegradesNotErrors)
+{
+    const std::string lib = "service_failpoint_flush_fail.qplb";
+    std::remove(lib.c_str());
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enablePromotion = false;
+    options.tier1Grape = false;
+    options.pulseLibraryPath = lib;
+    CompileService service(options);
+
+    FailPoint *flush = findFailpoint("service_flush_during_request");
+    FailPoint *rename = findFailpoint("pulselib_rename_fail");
+    ASSERT_NE(flush, nullptr);
+    ASSERT_NE(rename, nullptr);
+    flush->activateAlways();
+    rename->activateAlways(); // PR 7 site: the forced flush now fails
+
+    ServiceReply reply = service.compileSync(smallRequest("f2"));
+    EXPECT_GE(flush->fires(), 1u);
+    EXPECT_GE(rename->fires(), 1u);
+
+    // The degradation contract: the compile succeeded, persistence
+    // failed -> ok:true + degraded:true, never an error reply.
+    ASSERT_TRUE(reply.ok) << reply.toJson();
+    EXPECT_TRUE(reply.degraded);
+    EXPECT_NE(reply.degradedReason.find("flush"), std::string::npos)
+        << reply.degradedReason;
+    EXPECT_GE(service.stats().degradedReplies, 1u);
+
+    // The degraded flag survives serialization for daemon clients.
+    std::string json = reply.toJson();
+    StatusOr<JsonValue> parsed = parseJson(json);
+    ASSERT_TRUE(parsed.isOk()) << json;
+    const JsonValue *degraded = parsed.value().find("degraded");
+    ASSERT_NE(degraded, nullptr);
+    EXPECT_TRUE(degraded->boolean);
+    const JsonValue *ok_field = parsed.value().find("ok");
+    ASSERT_NE(ok_field, nullptr);
+    EXPECT_TRUE(ok_field->boolean);
+
+    // Fault clears -> same fingerprint serves clean (the cached
+    // artifact itself was never poisoned by the failed flush).
+    failpoints::resetAll();
+    ServiceReply clean = service.compileSync(smallRequest("f3"));
+    ASSERT_TRUE(clean.ok);
+    EXPECT_FALSE(clean.degraded);
+    std::remove(lib.c_str());
+}
+
+} // namespace
+} // namespace qaic::service

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Protocol fuzz battery for the compilation service.
+ *
+ * The daemon's exposure surface is CompileService::handleLine — every
+ * byte a client sends flows through the framing cap, the defensive
+ * JSON parser, the request schema and the QASM parser. This suite
+ * throws a seeded corpus of hostile frames at exactly that entry point
+ * and holds the service to its error policy (src/service/service.h):
+ * every input, however malformed, yields a structured one-line JSON
+ * error reply; nothing crashes, throws, hangs, or leaks a worker.
+ *
+ * The corpus is deterministic (hand-seeded cases plus std::mt19937
+ * mutations of a valid frame with a fixed seed), so a failure
+ * reproduces exactly. CI runs this binary under ASan/UBSan — the
+ * sanitizers turn "silent memory damage on hostile input" into a test
+ * failure. Acceptance floor: >= 50 malformed frames, zero crashes.
+ */
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace qaic::service {
+namespace {
+
+/** A frame that parses, validates, and compiles. */
+const char kGoodFrame[] =
+    "{\"id\":\"ok1\",\"qasm\":\"qubits 2\\nh q0\\ncnot q0 q1\\n\","
+    "\"strategy\":\"cls-agg\",\"topology\":\"line\",\"width\":4}";
+
+ServiceOptions
+fastOptions()
+{
+    ServiceOptions options;
+    options.workers = 2;
+    options.enablePromotion = false; // fuzzing targets the front door
+    options.tier1Grape = false;
+    options.maxRequestBytes = 4096; // small cap so oversized is cheap
+    return options;
+}
+
+/** Every reply must itself re-parse as a one-line JSON object. */
+void
+expectStructuredReply(const std::string &input, const std::string &reply)
+{
+    SCOPED_TRACE("input: " + input.substr(0, 120));
+    ASSERT_FALSE(reply.empty());
+    EXPECT_EQ(reply.find('\n'), std::string::npos)
+        << "replies are one-line frames";
+    StatusOr<JsonValue> parsed = parseJson(reply);
+    ASSERT_TRUE(parsed.isOk())
+        << "reply is not valid JSON: " << reply.substr(0, 200);
+    const JsonValue &value = parsed.value();
+    ASSERT_EQ(value.kind, JsonValue::Kind::kObject);
+    const JsonValue *ok = value.find("ok");
+    ASSERT_NE(ok, nullptr) << reply.substr(0, 200);
+    ASSERT_EQ(ok->kind, JsonValue::Kind::kBool);
+    if (!ok->boolean) {
+        // The structured error contract: code + message, always.
+        const JsonValue *error = value.find("error");
+        ASSERT_NE(error, nullptr) << reply.substr(0, 200);
+        const JsonValue *code = error->find("code");
+        const JsonValue *message = error->find("message");
+        ASSERT_NE(code, nullptr);
+        ASSERT_NE(message, nullptr);
+        EXPECT_EQ(code->kind, JsonValue::Kind::kString);
+        EXPECT_NE(code->string, "OK");
+        EXPECT_EQ(message->kind, JsonValue::Kind::kString);
+        EXPECT_FALSE(message->string.empty());
+    }
+}
+
+bool
+replyIsError(const std::string &reply)
+{
+    StatusOr<JsonValue> parsed = parseJson(reply);
+    if (!parsed.isOk())
+        return false;
+    const JsonValue *ok = parsed.value().find("ok");
+    return ok && ok->kind == JsonValue::Kind::kBool && !ok->boolean;
+}
+
+/** Hand-seeded malformed frames: one per known failure class. */
+std::vector<std::string>
+seededMalformedCorpus(std::size_t oversize_cap)
+{
+    std::vector<std::string> corpus = {
+        // --- not JSON at all ------------------------------------------
+        "{",
+        "}",
+        "[",
+        "{not json",
+        "null",
+        "true",
+        "42",
+        "\"just a string\"",
+        "[1,2,3]",
+        "{]",
+        "{\"id\"}",
+        "{\"id\":}",
+        "{\"id\":\"a\",}",
+        "{\"id\" \"a\"}",
+        "{'id':'a'}",
+        "{\"id\":\"a\"} trailing garbage",
+        "{\"id\":\"a\"}{\"id\":\"b\"}", // interleaved frames on one line
+        "\xff\xfe\x00garbage",
+        std::string("\x00\x01\x02", 3),
+        // --- broken literals / numbers --------------------------------
+        "{\"width\":nul}",
+        "{\"width\":tru}",
+        "{\"width\":+1,\"qasm\":\"qubits 2\\n\"}",
+        "{\"width\":1e999,\"qasm\":\"qubits 2\\n\"}",
+        "{\"width\":0x10,\"qasm\":\"qubits 2\\n\"}",
+        "{\"width\":.5,\"qasm\":\"qubits 2\\n\"}",
+        "{\"width\":1.,\"qasm\":\"qubits 2\\n\"}",
+        "{\"width\":-,\"qasm\":\"qubits 2\\n\"}",
+        // --- broken strings -------------------------------------------
+        "{\"qasm\":\"unterminated",
+        "{\"qasm\":\"bad escape \\q\"}",
+        "{\"qasm\":\"bad unicode \\u12G4\"}",
+        "{\"qasm\":\"lone surrogate \\ud800\"}",
+        "{\"qasm\":\"truncated surrogate \\ud800\\u0041\"}",
+        std::string("{\"qasm\":\"raw control \x01 char\"}"),
+        // --- schema violations ----------------------------------------
+        "{}",                                // qasm required
+        "{\"qasm\":42}",                     // wrong type
+        "{\"qasm\":null}",
+        "{\"qasm\":[\"qubits 2\"]}",
+        "{\"id\":7,\"qasm\":\"qubits 2\\n\"}",
+        "{\"qasm\":\"qubits 2\\n\",\"stragety\":\"cls\"}", // typo field
+        "{\"qasm\":\"qubits 2\\n\",\"strategy\":\"warp-drive\"}",
+        "{\"qasm\":\"qubits 2\\n\",\"topology\":\"klein-bottle\"}",
+        "{\"qasm\":\"qubits 2\\n\",\"width\":1}",    // below minimum
+        "{\"qasm\":\"qubits 2\\n\",\"width\":65}",   // above maximum
+        "{\"qasm\":\"qubits 2\\n\",\"width\":2.5}",  // non-integer
+        "{\"qasm\":\"qubits 2\\n\",\"deadline_ms\":-1}",
+        "{\"qasm\":\"qubits 2\\n\",\"schedule\":\"yes\"}",
+        "{\"qasm\":\"a\",\"qasm\":\"b\"}",           // duplicate key
+        "{\"op\":\"reboot\"}",                       // unknown verb
+        "{\"op\":\"ping\",\"qasm\":\"qubits 2\\n\"}", // mixed frame
+        "{\"op\":42}",
+        // --- hostile QASM inside valid JSON ---------------------------
+        "{\"qasm\":\"\"}",
+        "{\"qasm\":\"qubits 0\\n\"}",
+        "{\"qasm\":\"qubits -3\\nh q0\\n\"}",
+        "{\"qasm\":\"qubits 2\\nwarp q0\\n\"}",
+        "{\"qasm\":\"qubits 2\\nh q9\\n\"}",          // out of register
+        "{\"qasm\":\"qubits 999999999\\nh q0\\n\"}",  // absurd register
+        "{\"qasm\":\"h q0\\n\"}",                     // missing header
+        "{\"qasm\":\"qubits 2\\ncnot q0 q0\\n\"}",    // repeated operand
+    };
+
+    // Deep nesting: one past the parser's depth bound.
+    std::string deep = "{\"qasm\":";
+    for (int i = 0; i < kMaxJsonDepth + 1; ++i)
+        deep += '[';
+    for (int i = 0; i < kMaxJsonDepth + 1; ++i)
+        deep += ']';
+    deep += '}';
+    corpus.push_back(deep);
+
+    // Oversized frame: valid JSON beyond the framing cap. Must be
+    // rejected by the cap, not parsed.
+    std::string oversized = "{\"id\":\"big\",\"qasm\":\"";
+    oversized += std::string(oversize_cap + 64, 'h');
+    oversized += "\"}";
+    corpus.push_back(oversized);
+
+    // Truncations of a valid frame: every prefix ending mid-token.
+    const std::string good = kGoodFrame;
+    for (std::size_t cut :
+         {std::size_t{1}, std::size_t{9}, std::size_t{17}, std::size_t{25},
+          std::size_t{40}, good.size() - 2})
+        corpus.push_back(good.substr(0, cut));
+
+    return corpus;
+}
+
+TEST(ServiceFuzzTest, SeededMalformedFramesAllGetStructuredErrorReplies)
+{
+    CompileService service(fastOptions());
+    const std::vector<std::string> corpus =
+        seededMalformedCorpus(service.options().maxRequestBytes);
+    ASSERT_GE(corpus.size(), 50u)
+        << "acceptance floor: >= 50 seeded malformed frames";
+
+    std::size_t errors = 0;
+    for (const std::string &input : corpus) {
+        std::string reply = service.handleLine(input);
+        expectStructuredReply(input, reply);
+        errors += replyIsError(reply);
+    }
+    EXPECT_EQ(errors, corpus.size())
+        << "every malformed frame must be answered with an error reply";
+
+    // The service must still serve after absorbing the whole corpus.
+    std::string reply = service.handleLine(kGoodFrame);
+    expectStructuredReply(kGoodFrame, reply);
+    EXPECT_FALSE(replyIsError(reply))
+        << "service wedged by the fuzz corpus: " << reply;
+
+    ServiceStats stats = service.stats();
+    EXPECT_GE(stats.parseErrors + stats.compileErrors, 50u);
+}
+
+TEST(ServiceFuzzTest, SeededMutationsOfValidFrameNeverCrash)
+{
+    CompileService service(fastOptions());
+    const std::string good = kGoodFrame;
+    std::mt19937 rng(20190417u); // fixed seed: failures reproduce
+    std::uniform_int_distribution<int> pos(0,
+                                           static_cast<int>(good.size()) -
+                                               1);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> kind(0, 2);
+
+    for (int round = 0; round < 200; ++round) {
+        std::string mutant = good;
+        // 1-4 mutations per round: flip, insert, or delete a byte.
+        int edits = 1 + (round % 4);
+        for (int e = 0; e < edits; ++e) {
+            std::size_t at = static_cast<std::size_t>(pos(rng));
+            switch (kind(rng)) {
+            case 0:
+                mutant[at % mutant.size()] =
+                    static_cast<char>(byte(rng));
+                break;
+            case 1:
+                mutant.insert(at % (mutant.size() + 1), 1,
+                              static_cast<char>(byte(rng)));
+                break;
+            default:
+                if (!mutant.empty())
+                    mutant.erase(at % mutant.size(), 1);
+                break;
+            }
+        }
+        std::string reply = service.handleLine(mutant);
+        expectStructuredReply(mutant, reply);
+    }
+
+    // Still alive.
+    EXPECT_FALSE(replyIsError(service.handleLine(kGoodFrame)));
+}
+
+TEST(ServiceFuzzTest, RandomByteSoupNeverCrashesTheJsonParser)
+{
+    std::mt19937 rng(20190418u);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> length(0, 512);
+    for (int round = 0; round < 500; ++round) {
+        std::string soup(static_cast<std::size_t>(length(rng)), '\0');
+        for (char &c : soup)
+            c = static_cast<char>(byte(rng));
+        // Byte soup essentially never parses; the contract under test
+        // is "Status, not crash/throw" on arbitrary input.
+        StatusOr<JsonValue> parsed = parseJson(soup);
+        if (!parsed.isOk())
+            EXPECT_EQ(parsed.status().code(),
+                      StatusCode::kInvalidArgument);
+    }
+}
+
+TEST(ServiceFuzzTest, StructuredJsonBombsStayWithinBounds)
+{
+    CompileService service(fastOptions());
+    // Wide object: thousands of distinct small keys (depth-1, so the
+    // depth bound does not apply — the unknown-field check must reject
+    // it without quadratic blowup).
+    std::string wide = "{\"qasm\":\"qubits 2\\n\"";
+    for (int i = 0; i < 2000 && wide.size() <
+                                    service.options().maxRequestBytes;
+         ++i)
+        wide += ",\"k" + std::to_string(i) + "\":1";
+    wide += "}";
+    expectStructuredReply(wide, service.handleLine(wide));
+
+    // Deeply nested arrays right at and past the bound.
+    for (int depth : {kMaxJsonDepth - 1, kMaxJsonDepth, kMaxJsonDepth + 5,
+                      kMaxJsonDepth * 8}) {
+        std::string nested = "{\"qasm\":";
+        nested.append(static_cast<std::size_t>(depth), '[');
+        nested.append(static_cast<std::size_t>(depth), ']');
+        nested += '}';
+        expectStructuredReply(nested, service.handleLine(nested));
+    }
+}
+
+} // namespace
+} // namespace qaic::service

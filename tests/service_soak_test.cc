@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Concurrency soak for the compilation service.
+ *
+ * N client threads hammer one CompileService with a mixed workload
+ * while the background promoter swaps artifacts underneath them. The
+ * assertions are the service's concurrency contract
+ * (src/service/service.h):
+ *
+ *  - determinism per fingerprint within a tier: every reply for one
+ *    fingerprint at one tier reports identical metrics, regardless of
+ *    which worker served it or whether it raced a cold compile;
+ *  - no torn artifact swaps: a tier-1 reply is *all* tier-1 — its
+ *    latency obeys the never-worse guard against the tier-0 answer
+ *    that every tier-0 reply for the same fingerprint reported;
+ *  - admission control under overload: submissions are either admitted
+ *    (answered exactly once) or rejected with kUnavailable — nothing
+ *    is dropped silently;
+ *  - clean shutdown drains the queue: every admitted request is
+ *    answered before shutdown() returns.
+ *
+ * CI runs the whole ctest suite under TSan (alongside tsan_soak_test),
+ * which turns any data race in the queue/cache/promoter machinery into
+ * a test failure.
+ */
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace qaic::service {
+namespace {
+
+/** Tolerance for latency comparisons across replies (exact doubles are
+ *  expected — the compile is deterministic — but the guard itself
+ *  allows rounding-level slack). */
+constexpr double kEps = 1e-9;
+
+std::string
+workloadQasm(int which)
+{
+    switch (which % 6) {
+    case 0:
+        return "qubits 2\nh q0\ncnot q0 q1\n";
+    case 1:
+        return "qubits 3\nh q0\ncnot q0 q1\ncnot q1 q2\n";
+    case 2:
+        return "qubits 4\nh q0\ncnot q0 q1\ncnot q1 q2\ncnot q2 q3\n"
+               "t q3\ncnot q2 q3\ncnot q1 q2\ncnot q0 q1\nh q0\n";
+    case 3:
+        return "qubits 3\nx q0\ny q1\nz q2\ncnot q0 q2\ncnot q1 q2\n";
+    case 4:
+        return "qubits 4\nh q0\nh q1\nh q2\nh q3\ncz q0 q1\ncz q1 q2\n"
+               "cz q2 q3\ncz q0 q3\n";
+    default:
+        return "qubits 2\nrx(0.25) q0\nrz(1.5) q1\ncnot q0 q1\n"
+               "rx(0.25) q0\n";
+    }
+}
+
+CompileRequest
+workloadRequest(int which, const std::string &id)
+{
+    CompileRequest request;
+    request.id = id;
+    request.qasm = workloadQasm(which);
+    request.topology = which % 2 ? Topology::kLine : Topology::kGrid;
+    request.width = 4;
+    return request;
+}
+
+struct ReplyDigest
+{
+    int tier = 0;
+    double latencyNs = 0.0;
+    double tier0LatencyNs = 0.0;
+    int swaps = 0;
+    int instructions = 0;
+    int aggregates = 0;
+    int maxWidth = 0;
+};
+
+TEST(ServiceSoakTest, ConcurrentClientsSeeDeterministicTieredReplies)
+{
+    ServiceOptions options;
+    options.workers = 4;
+    options.queueCapacity = 1024; // no rejections in this scenario
+    options.promoteAfter = 2;     // promotions fire mid-soak
+    options.tier1Grape = false;   // analytic pricing keeps TSan runs fast
+    options.tier1Optimize = true;
+    CompileService service(options);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 36;
+
+    std::mutex collected_mutex;
+    std::map<std::string, std::map<int, std::vector<ReplyDigest>>>
+        by_fingerprint_tier;
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Every thread walks the workload pool in a different
+                // order so cold compiles, cache hits and promotions
+                // interleave differently on every shard.
+                int which = (t * 7 + i) % 6;
+                ServiceReply reply = service.compileSync(workloadRequest(
+                    which, "t" + std::to_string(t) + "-" +
+                               std::to_string(i)));
+                if (!reply.ok) {
+                    ++failures;
+                    continue;
+                }
+                ReplyDigest digest{reply.tier,         reply.latencyNs,
+                                   reply.tier0LatencyNs, reply.swaps,
+                                   reply.instructions, reply.aggregates,
+                                   reply.maxWidth};
+                std::lock_guard<std::mutex> lock(collected_mutex);
+                by_fingerprint_tier[reply.fingerprint][reply.tier]
+                    .push_back(digest);
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    EXPECT_EQ(failures.load(), 0)
+        << "soak workload must compile cleanly";
+    EXPECT_EQ(by_fingerprint_tier.size(), 6u)
+        << "one fingerprint per distinct workload";
+
+    for (const auto &[fingerprint, tiers] : by_fingerprint_tier) {
+        SCOPED_TRACE("fingerprint " + fingerprint);
+        // Determinism within a tier: all replies bitwise-identical in
+        // their metrics. A torn artifact swap would break this — a
+        // reader would see a mix of old and new fields.
+        for (const auto &[tier, replies] : tiers) {
+            SCOPED_TRACE("tier " + std::to_string(tier));
+            const ReplyDigest &first = replies.front();
+            for (const ReplyDigest &digest : replies) {
+                EXPECT_EQ(digest.latencyNs, first.latencyNs);
+                EXPECT_EQ(digest.tier0LatencyNs, first.tier0LatencyNs);
+                EXPECT_EQ(digest.swaps, first.swaps);
+                EXPECT_EQ(digest.instructions, first.instructions);
+                EXPECT_EQ(digest.aggregates, first.aggregates);
+                EXPECT_EQ(digest.maxWidth, first.maxWidth);
+            }
+        }
+        // Cross-tier never-worse guard: tier-1 latency is bounded by
+        // the tier-0 answer the promotion replaced, and that answer is
+        // exactly what tier-0 replies reported.
+        auto tier0 = tiers.find(0);
+        auto tier1 = tiers.find(1);
+        if (tier1 != tiers.end()) {
+            const ReplyDigest &promoted = tier1->second.front();
+            EXPECT_LE(promoted.latencyNs,
+                      promoted.tier0LatencyNs + kEps);
+            if (tier0 != tiers.end())
+                EXPECT_EQ(promoted.tier0LatencyNs,
+                          tier0->second.front().latencyNs);
+        }
+    }
+
+    // With promoteAfter=2 and 48 requests per workload, every
+    // fingerprint must have been promoted (or guard-tripped) by the
+    // time the promoter goes idle.
+    service.waitForPromotionsIdle();
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(stats.compileErrors, 0u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_GE(stats.promotions + stats.guardTrips, 1u)
+        << "the soak must observe at least one promotion attempt";
+    // Accounting invariant: every admitted request was either served
+    // from cache or compiled at tier 0.
+    EXPECT_EQ(stats.requests, stats.cacheHits + stats.tier0Compiles);
+    EXPECT_EQ(stats.artifacts, 6u);
+}
+
+TEST(ServiceSoakTest, OverloadIsRejectedNeverDropped)
+{
+    ServiceOptions options;
+    options.workers = 1;
+    options.queueCapacity = 4; // tiny: force admission-control pushback
+    options.enablePromotion = false;
+    CompileService service(options);
+
+    constexpr int kThreads = 6;
+    constexpr int kPerThread = 50;
+    std::atomic<int> answered{0};
+    std::atomic<int> rejected{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Status admitted = service.submitAsync(
+                    workloadRequest(i, "o" + std::to_string(t)),
+                    [&](const ServiceReply &reply) {
+                        EXPECT_TRUE(reply.ok) << reply.toJson();
+                        ++answered;
+                    });
+                if (!admitted.isOk()) {
+                    EXPECT_EQ(admitted.code(), StatusCode::kUnavailable);
+                    ++rejected;
+                }
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    // shutdown() drains: every admitted request gets its callback
+    // before this returns.
+    service.shutdown();
+    EXPECT_EQ(answered.load() + rejected.load(), kThreads * kPerThread)
+        << "no submission may vanish without an answer or a rejection";
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(answered.load()));
+    EXPECT_EQ(stats.rejected,
+              static_cast<std::uint64_t>(rejected.load()));
+    EXPECT_EQ(stats.queueDepth, 0u) << "shutdown must drain the queue";
+    EXPECT_LE(stats.peakQueueDepth, options.queueCapacity);
+}
+
+TEST(ServiceSoakTest, ShutdownDuringTrafficAnswersEveryAdmittedRequest)
+{
+    ServiceOptions options;
+    options.workers = 2;
+    options.queueCapacity = 256;
+    options.promoteAfter = 1;
+    options.tier1Grape = false;
+    CompileService service(options);
+
+    std::atomic<int> answered{0};
+    std::atomic<int> admitted_count{0};
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < 100 && !stop.load(); ++i) {
+                Status admitted = service.submitAsync(
+                    workloadRequest(t + i, "s" + std::to_string(i)),
+                    [&](const ServiceReply &) { ++answered; });
+                if (admitted.isOk())
+                    ++admitted_count;
+            }
+        });
+    }
+    // Shut down in the middle of the storm: in-flight submissions race
+    // the admission gate; each one either lands (and must be answered)
+    // or is rejected with kUnavailable.
+    service.shutdown();
+    stop.store(true);
+    for (std::thread &client : clients)
+        client.join();
+
+    EXPECT_EQ(answered.load(), admitted_count.load())
+        << "shutdown returned before draining the request queue";
+
+    // After shutdown everything is rejected, nothing deadlocks.
+    Status late = service.submitAsync(workloadRequest(0, "late"),
+                                      [](const ServiceReply &) {});
+    EXPECT_EQ(late.code(), StatusCode::kUnavailable);
+    ServiceReply late_sync = service.compileSync(workloadRequest(1, "l2"));
+    EXPECT_FALSE(late_sync.ok);
+    EXPECT_EQ(late_sync.error.code(), StatusCode::kUnavailable);
+}
+
+} // namespace
+} // namespace qaic::service

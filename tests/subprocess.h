@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Subprocess harness for end-to-end CLI and daemon tests.
+ *
+ * Replaces the old popen("cmd 2>&1") helper, which had two failure
+ * modes this header exists to close:
+ *
+ *  - stdout and stderr were merged, so a test could not tell a clean
+ *    report from one drowning in warnings (and could not assert that
+ *    errors go to stderr, which the CLI contract requires);
+ *  - there was no timeout, so a hung child wedged the whole ctest run
+ *    instead of failing one test.
+ *
+ * Two entry points:
+ *
+ *  - runCommand(): one-shot — spawn, feed optional stdin, wait with a
+ *    deadline, return {exitCode, timedOut, out, err}. Used by
+ *    cli_test.cc for every qaicc invocation.
+ *  - Subprocess: interactive — start a long-running child (the qaiccd
+ *    daemon), write request lines, read reply lines with per-read
+ *    deadlines, then finish() with a drain deadline. A child that
+ *    outlives its deadline is SIGKILLed and reported as timedOut, so a
+ *    wedged daemon is a red test, never a wedged CI job.
+ *
+ * Implementation notes: fork + /bin/sh -c + dup2'd pipes; all parent
+ * reads go through poll() with the remaining deadline, and stderr is
+ * drained opportunistically during stdout reads so a chatty child can
+ * never deadlock on a full stderr pipe.
+ */
+#ifndef QAIC_TESTS_SUBPROCESS_H
+#define QAIC_TESTS_SUBPROCESS_H
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+namespace qaic::testing {
+
+struct SubprocessResult
+{
+    int exitCode = -1;
+    bool timedOut = false;
+    std::string out;
+    std::string err;
+};
+
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+    ~Subprocess() { kill(); }
+
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+
+    /** Spawns `/bin/sh -c command` with piped stdin/stdout/stderr. */
+    bool start(const std::string &command)
+    {
+        int in_pipe[2], out_pipe[2], err_pipe[2];
+        if (pipe(in_pipe) != 0)
+            return false;
+        if (pipe(out_pipe) != 0) {
+            ::close(in_pipe[0]), ::close(in_pipe[1]);
+            return false;
+        }
+        if (pipe(err_pipe) != 0) {
+            ::close(in_pipe[0]), ::close(in_pipe[1]);
+            ::close(out_pipe[0]), ::close(out_pipe[1]);
+            return false;
+        }
+        pid_ = fork();
+        if (pid_ < 0)
+            return false;
+        if (pid_ == 0) {
+            dup2(in_pipe[0], STDIN_FILENO);
+            dup2(out_pipe[1], STDOUT_FILENO);
+            dup2(err_pipe[1], STDERR_FILENO);
+            ::close(in_pipe[0]), ::close(in_pipe[1]);
+            ::close(out_pipe[0]), ::close(out_pipe[1]);
+            ::close(err_pipe[0]), ::close(err_pipe[1]);
+            execl("/bin/sh", "sh", "-c", command.c_str(),
+                  static_cast<char *>(nullptr));
+            _exit(127);
+        }
+        ::close(in_pipe[0]);
+        ::close(out_pipe[1]);
+        ::close(err_pipe[1]);
+        stdin_ = in_pipe[1];
+        stdout_ = out_pipe[0];
+        stderr_ = err_pipe[0];
+        // Non-blocking reads: every read goes through poll() with the
+        // caller's deadline instead of hanging on a silent child.
+        fcntl(stdout_, F_SETFL, O_NONBLOCK);
+        fcntl(stderr_, F_SETFL, O_NONBLOCK);
+        return true;
+    }
+
+    bool running() const { return pid_ > 0; }
+
+    /** Writes @p line plus a newline to the child's stdin. */
+    bool writeLine(const std::string &line)
+    {
+        if (stdin_ < 0)
+            return false;
+        std::string frame = line + "\n";
+        std::size_t off = 0;
+        while (off < frame.size()) {
+            ssize_t n =
+                write(stdin_, frame.data() + off, frame.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    void closeStdin()
+    {
+        if (stdin_ >= 0) {
+            ::close(stdin_);
+            stdin_ = -1;
+        }
+    }
+
+    /**
+     * Reads one newline-terminated line from the child's stdout,
+     * waiting up to @p timeout_ms. Returns false on deadline or EOF
+     * with no complete line (partial bytes stay buffered). stderr is
+     * drained into errText() as a side effect.
+     */
+    bool readLine(std::string *line, int timeout_ms)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            auto newline = outBuffer_.find('\n');
+            if (newline != std::string::npos) {
+                *line = outBuffer_.substr(0, newline);
+                outBuffer_.erase(0, newline + 1);
+                return true;
+            }
+            int remaining_ms = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count());
+            if (remaining_ms <= 0)
+                return false;
+            if (!pump(remaining_ms))
+                return false; // EOF (or error) before a full line
+        }
+    }
+
+    /** Everything the child has written to stderr so far. */
+    const std::string &errText() const { return errBuffer_; }
+
+    /**
+     * Closes stdin, drains both pipes and reaps the child, allowing
+     * @p timeout_ms overall. On deadline the child is SIGKILLed and
+     * the result is marked timedOut.
+     */
+    SubprocessResult finish(int timeout_ms)
+    {
+        SubprocessResult result;
+        closeStdin();
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        // Drain until EOF on both pipes or deadline.
+        while (stdout_ >= 0 || stderr_ >= 0) {
+            int remaining_ms = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count());
+            if (remaining_ms <= 0 || !pump(remaining_ms))
+                break;
+        }
+        // Reap with the remaining deadline.
+        while (pid_ > 0) {
+            int status = 0;
+            pid_t reaped = waitpid(pid_, &status, WNOHANG);
+            if (reaped == pid_) {
+                result.exitCode =
+                    WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+                pid_ = -1;
+                break;
+            }
+            if (std::chrono::steady_clock::now() >= deadline) {
+                result.timedOut = true;
+                kill();
+                break;
+            }
+            usleep(2000);
+        }
+        result.out = std::move(outBuffer_);
+        result.err = std::move(errBuffer_);
+        outBuffer_.clear();
+        errBuffer_.clear();
+        closeFds();
+        return result;
+    }
+
+    /** SIGKILLs and reaps the child; safe to call repeatedly. */
+    void kill()
+    {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGKILL);
+            int status = 0;
+            waitpid(pid_, &status, 0);
+            pid_ = -1;
+        }
+        closeFds();
+    }
+
+  private:
+    /**
+     * Waits up to @p timeout_ms for bytes on either pipe and buffers
+     * them. Returns false once both pipes hit EOF (or on poll error)
+     * with nothing newly read.
+     */
+    bool pump(int timeout_ms)
+    {
+        struct pollfd fds[2];
+        int nfds = 0;
+        int out_slot = -1, err_slot = -1;
+        if (stdout_ >= 0) {
+            out_slot = nfds;
+            fds[nfds++] = {stdout_, POLLIN, 0};
+        }
+        if (stderr_ >= 0) {
+            err_slot = nfds;
+            fds[nfds++] = {stderr_, POLLIN, 0};
+        }
+        if (nfds == 0)
+            return false;
+        int ready = poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+        if (ready <= 0)
+            return ready == 0; // timeout keeps the caller's loop alive
+        bool progressed = false;
+        if (out_slot >= 0 &&
+            (fds[out_slot].revents & (POLLIN | POLLHUP)))
+            progressed |= drain(&stdout_, &outBuffer_);
+        if (err_slot >= 0 &&
+            (fds[err_slot].revents & (POLLIN | POLLHUP)))
+            progressed |= drain(&stderr_, &errBuffer_);
+        return progressed || stdout_ >= 0 || stderr_ >= 0;
+    }
+
+    /** Reads what is available; closes and clears @p fd on EOF. */
+    static bool drain(int *fd, std::string *buffer)
+    {
+        char chunk[4096];
+        bool any = false;
+        for (;;) {
+            ssize_t n = read(*fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                buffer->append(chunk, static_cast<std::size_t>(n));
+                any = true;
+                continue;
+            }
+            if (n == 0) {
+                ::close(*fd);
+                *fd = -1;
+            } else if (errno == EINTR) {
+                continue;
+            }
+            // n < 0 with EAGAIN: drained everything currently there.
+            return any;
+        }
+    }
+
+    void closeFds()
+    {
+        for (int *fd : {&stdin_, &stdout_, &stderr_}) {
+            if (*fd >= 0) {
+                ::close(*fd);
+                *fd = -1;
+            }
+        }
+    }
+
+    pid_t pid_ = -1;
+    int stdin_ = -1;
+    int stdout_ = -1;
+    int stderr_ = -1;
+    std::string outBuffer_;
+    std::string errBuffer_;
+};
+
+/**
+ * One-shot run of `/bin/sh -c command`: feeds @p stdin_data (then EOF),
+ * captures stdout and stderr separately, and enforces @p timeout_ms
+ * end to end. exitCode is -1 when the child died to a signal or the
+ * deadline (check timedOut to tell which).
+ */
+inline SubprocessResult
+runCommand(const std::string &command, int timeout_ms,
+           const std::string &stdin_data = std::string())
+{
+    Subprocess child;
+    if (!child.start(command))
+        return SubprocessResult{};
+    if (!stdin_data.empty()) {
+        // A child that exits without reading (usage errors) raises
+        // SIGPIPE here; ignore it for the write's duration.
+        void (*prev)(int) = signal(SIGPIPE, SIG_IGN);
+        std::size_t start = 0;
+        while (start < stdin_data.size()) {
+            std::size_t end = stdin_data.find('\n', start);
+            if (end == std::string::npos) {
+                child.writeLine(stdin_data.substr(start));
+                break;
+            }
+            child.writeLine(stdin_data.substr(start, end - start));
+            start = end + 1;
+        }
+        signal(SIGPIPE, prev);
+    }
+    return child.finish(timeout_ms);
+}
+
+} // namespace qaic::testing
+
+#endif // QAIC_TESTS_SUBPROCESS_H

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * qaiccd — the QAIC compilation service daemon.
+ *
+ * Long-running front door for the compiler: reads newline-delimited
+ * JSON requests on stdin and writes newline-delimited JSON replies on
+ * stdout (protocol in src/service/protocol.h and
+ * docs/ARCHITECTURE.md, "Compilation service"). Requests are answered
+ * concurrently by the CompileService worker pool, so replies may come
+ * back out of order — clients correlate by `id`.
+ *
+ * Usage:
+ *   qaiccd [options]
+ *     --workers N           worker threads (default min(4, hardware))
+ *     --queue-capacity N    request-queue bound; submissions beyond it
+ *                           are rejected with UNAVAILABLE (default 128)
+ *     --promote-after N     requests of one fingerprint before the
+ *                           background promoter recompiles it at tier 1
+ *                           (default 3)
+ *     --no-promote          disable the background promoter entirely
+ *     --no-grape            tier-1 promotion prices analytically
+ *                           instead of running the GRAPE oracle
+ *     --no-opt              tier-1 promotion skips the optimizing
+ *                           pass suite
+ *     --pulse-lib FILE      persistent pulse library shared by tier-1
+ *                           compiles
+ *     --check-invariants    verify pass contracts on every compile
+ *     --max-request-bytes N per-frame byte cap (default 1 MiB)
+ *
+ * Lifecycle: the daemon exits 0 after EOF on stdin or a
+ * {"op":"shutdown"} frame; either way the request queue is drained
+ * first — every admitted request is answered — and the shutdown
+ * acknowledgement (when requested) is the last line written, so a
+ * scripted client can `wait` on it. A one-line serving summary goes to
+ * stderr on exit. No input, however malformed, terminates the process
+ * with a nonzero status: hostile bytes become error replies
+ * (tests/service_fuzz_test.cc drives the same entry points in-process).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <string>
+
+#include <iostream>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+using namespace qaic;
+using namespace qaic::service;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workers N] [--queue-capacity N]\n"
+                 "          [--promote-after N] [--no-promote] "
+                 "[--no-grape] [--no-opt]\n"
+                 "          [--pulse-lib FILE] [--check-invariants]\n"
+                 "          [--max-request-bytes N]\n",
+                 argv0);
+    return 2;
+}
+
+/**
+ * Reads one newline-terminated frame, never buffering more than the
+ * cap: once a line exceeds it the rest is *discarded*, not stored, so
+ * an attacker streaming gigabytes without a newline costs a bounded
+ * amount of memory. Returns false on EOF with nothing read.
+ */
+bool
+readFrame(std::istream &in, std::size_t max_bytes, std::string *frame,
+          bool *oversized)
+{
+    frame->clear();
+    *oversized = false;
+    int c;
+    bool any = false;
+    while ((c = in.get()) != EOF) {
+        any = true;
+        if (c == '\n')
+            return true;
+        if (frame->size() > max_bytes) {
+            *oversized = true; // keep draining to the newline
+            continue;
+        }
+        frame->push_back(static_cast<char>(c));
+    }
+    return any;
+}
+
+std::mutex g_out_mutex;
+
+void
+writeReplyLine(const std::string &json)
+{
+    std::lock_guard<std::mutex> lock(g_out_mutex);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workers" && i + 1 < argc) {
+            options.workers = std::atoi(argv[++i]);
+            if (options.workers < 1)
+                return usage(argv[0]);
+        } else if (arg == "--queue-capacity" && i + 1 < argc) {
+            int capacity = std::atoi(argv[++i]);
+            if (capacity < 1)
+                return usage(argv[0]);
+            options.queueCapacity = static_cast<std::size_t>(capacity);
+        } else if (arg == "--promote-after" && i + 1 < argc) {
+            options.promoteAfter = std::atoi(argv[++i]);
+            if (options.promoteAfter < 1)
+                return usage(argv[0]);
+        } else if (arg == "--no-promote") {
+            options.enablePromotion = false;
+        } else if (arg == "--no-grape") {
+            options.tier1Grape = false;
+        } else if (arg == "--no-opt") {
+            options.tier1Optimize = false;
+        } else if (arg == "--pulse-lib" && i + 1 < argc) {
+            options.pulseLibraryPath = argv[++i];
+        } else if (arg == "--check-invariants") {
+            options.checkInvariants = true;
+        } else if (arg == "--max-request-bytes" && i + 1 < argc) {
+            long bytes = std::atol(argv[++i]);
+            if (bytes < 64)
+                return usage(argv[0]);
+            options.maxRequestBytes = static_cast<std::size_t>(bytes);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    CompileService service(options);
+    std::uint64_t frames = 0, parse_errors = 0;
+    bool shutdown_requested = false;
+    std::string shutdown_ack;
+
+    std::string frame;
+    bool oversized = false;
+    while (readFrame(std::cin, service.options().maxRequestBytes, &frame,
+                     &oversized)) {
+        ++frames;
+        if (oversized) {
+            ++parse_errors;
+            writeReplyLine(
+                errorReply("",
+                           invalidArgumentError(
+                               "oversized frame exceeds the " +
+                               std::to_string(
+                                   service.options().maxRequestBytes) +
+                               "-byte request cap"))
+                    .toJson());
+            continue;
+        }
+        if (frame.empty())
+            continue; // blank lines are keepalive noise, not errors
+        StatusOr<Request> parsed =
+            parseRequest(frame, service.options().maxRequestBytes);
+        if (!parsed.isOk()) {
+            ++parse_errors;
+            writeReplyLine(errorReply("", parsed.status()).toJson());
+            continue;
+        }
+        Request request = std::move(parsed).value();
+        if (request.isControl) {
+            ServiceReply reply;
+            reply.id = request.compile.id;
+            reply.ok = true;
+            switch (request.op) {
+            case ControlOp::kPing:
+                reply.pong = true;
+                writeReplyLine(reply.toJson());
+                break;
+            case ControlOp::kStats:
+                reply.statsJson = service.stats().toJson();
+                writeReplyLine(reply.toJson());
+                break;
+            case ControlOp::kShutdown:
+                // Acknowledge only after the drain, below, so the ack
+                // is guaranteed to be the daemon's last stdout line.
+                shutdown_requested = true;
+                reply.shuttingDown = true;
+                shutdown_ack = reply.toJson();
+                break;
+            }
+            if (shutdown_requested)
+                break;
+            continue;
+        }
+        Status admitted = service.submitAsync(
+            std::move(request.compile), [](const ServiceReply &reply) {
+                writeReplyLine(reply.toJson());
+            });
+        if (!admitted.isOk())
+            writeReplyLine(
+                errorReply(request.compile.id, std::move(admitted))
+                    .toJson());
+    }
+
+    // Drain: every admitted request is answered before this returns,
+    // and the promoter finishes its queue, so no reply can race the
+    // shutdown acknowledgement below.
+    service.shutdown();
+    if (shutdown_requested)
+        writeReplyLine(shutdown_ack);
+
+    ServiceStats stats = service.stats();
+    std::fprintf(stderr,
+                 "qaiccd: %llu frames, %llu requests, %llu cache hits, "
+                 "%llu tier-0 compiles, %llu promotions "
+                 "(%llu failed, %llu guard trips), %llu compile errors, "
+                 "%llu parse errors, %llu rejected\n",
+                 static_cast<unsigned long long>(frames),
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.cacheHits),
+                 static_cast<unsigned long long>(stats.tier0Compiles),
+                 static_cast<unsigned long long>(stats.promotions),
+                 static_cast<unsigned long long>(stats.promotionFailures),
+                 static_cast<unsigned long long>(stats.guardTrips),
+                 static_cast<unsigned long long>(stats.compileErrors),
+                 static_cast<unsigned long long>(stats.parseErrors +
+                                                 parse_errors),
+                 static_cast<unsigned long long>(stats.rejected));
+    return 0;
+}
