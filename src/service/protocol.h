@@ -54,7 +54,9 @@
 
 namespace qaic::service {
 
-/** Default cap on one request frame (bytes), including the newline. */
+/** Default cap on one request frame's payload (bytes, excluding the
+ *  newline delimiter) — the framing layer and parseRequest both accept
+ *  exactly this many bytes and reject one more. */
 inline constexpr std::size_t kDefaultMaxRequestBytes = 1u << 20;
 
 /** Maximum JSON nesting depth parseJson accepts. */

@@ -100,13 +100,14 @@ requestFingerprint(const std::string &canonical_key)
 std::string
 ServiceStats::toJson() const
 {
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof(buf),
         "{\"requests\":%llu,\"cache_hits\":%llu,\"tier0_compiles\":%llu,"
         "\"compile_errors\":%llu,\"rejected\":%llu,\"parse_errors\":%llu,"
         "\"promotions\":%llu,\"promotion_failures\":%llu,"
         "\"guard_trips\":%llu,\"degraded_replies\":%llu,"
+        "\"evictions\":%llu,"
         "\"queue_depth\":%zu,\"peak_queue_depth\":%zu,\"artifacts\":%zu,"
         "\"promotion_queue_depth\":%zu}",
         static_cast<unsigned long long>(requests),
@@ -118,7 +119,8 @@ ServiceStats::toJson() const
         static_cast<unsigned long long>(promotions),
         static_cast<unsigned long long>(promotionFailures),
         static_cast<unsigned long long>(guardTrips),
-        static_cast<unsigned long long>(degradedReplies), queueDepth,
+        static_cast<unsigned long long>(degradedReplies),
+        static_cast<unsigned long long>(evictions), queueDepth,
         peakQueueDepth, artifacts, promotionQueueDepth);
     return buf;
 }
@@ -126,6 +128,11 @@ ServiceStats::toJson() const
 CompileService::CompileService(ServiceOptions options)
     : options_(std::move(options)), shards_(new CacheShard[kCacheShards])
 {
+    // Split the cache bound evenly across shards, rounding up so the
+    // configured total is a floor, never undercut by the split.
+    shardCapacity_ = std::max<std::size_t>(
+        1, (options_.cacheCapacity + kCacheShards - 1) / kCacheShards);
+
     // Tier-0 policy: answer now. Analytic pricing, the greedy baseline
     // router, no optimizer — the cheapest structurally-valid compile.
     tier0Options_.useGrapeOracle = false;
@@ -174,6 +181,49 @@ CompileService::shardFor(const std::string &key)
         hash *= 1099511628211ull;
     }
     return shards_[hash % kCacheShards];
+}
+
+void
+CompileService::evictOverCapacity(CacheShard &shard,
+                                  const std::string &keep_key)
+{
+    // Caller holds shard.mutex. Victim order: tier 0 before tier 1 (a
+    // promotion cost a full lookahead+GRAPE+opt compile; recreating a
+    // tier-0 artifact is cheap), then fewest hits, then lexicographic
+    // key so eviction is deterministic. The entry just served
+    // (keep_key) is never the victim. An evicted entry with a queued
+    // promotion is harmless: promote() re-checks the cache and drops
+    // the job when the entry is gone.
+    while (shard.entries.size() > shardCapacity_) {
+        auto victim = shard.entries.end();
+        for (auto it = shard.entries.begin(); it != shard.entries.end();
+             ++it) {
+            if (it->first == keep_key)
+                continue;
+            if (victim == shard.entries.end()) {
+                victim = it;
+                continue;
+            }
+            const int it_tier =
+                it->second.artifact ? it->second.artifact->tier : -1;
+            const int victim_tier = victim->second.artifact
+                                        ? victim->second.artifact->tier
+                                        : -1;
+            if (it_tier != victim_tier) {
+                if (it_tier < victim_tier)
+                    victim = it;
+            } else if (it->second.hits != victim->second.hits) {
+                if (it->second.hits < victim->second.hits)
+                    victim = it;
+            } else if (it->first < victim->first) {
+                victim = it;
+            }
+        }
+        if (victim == shard.entries.end())
+            return; // only keep_key left; capacity >= 1 keeps it
+        shard.entries.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 Status
@@ -434,6 +484,7 @@ CompileService::process(const CompileRequest &request)
         }
         it->second.hits++;
         maybeQueuePromotion(key, request, it->second);
+        evictOverCapacity(shard, key);
     }
     return renderReply(request, *served, /*cached=*/false);
 }
@@ -589,6 +640,7 @@ CompileService::stats() const
         promotionFailures_.load(std::memory_order_relaxed);
     s.guardTrips = guardTrips_.load(std::memory_order_relaxed);
     s.degradedReplies = degradedReplies_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         s.queueDepth = queue_.size();

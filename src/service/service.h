@@ -8,7 +8,10 @@
  * kUnavailable instead of growing without bound), a pool of worker
  * threads answers each one, and every answer is cached by a canonical
  * request fingerprint so repeated traffic is served without compiling
- * at all.
+ * at all. The cache itself is bounded too
+ * (ServiceOptions::cacheCapacity): a hostile client streaming unique
+ * circuits evicts the least-hit tier-0 artifacts instead of growing
+ * daemon memory without bound.
  *
  * Tiering (interpreter→JIT promotion, applied to compilation):
  *
@@ -114,6 +117,16 @@ struct ServiceOptions
     /** Promotion-queue bound; hot fingerprints beyond it wait for the
      *  next request to re-queue them. */
     std::size_t promotionQueueCapacity = 64;
+    /**
+     * Artifact-cache entry bound (total across shards). The admission
+     * queue bounds in-flight work but not steady-state memory: a client
+     * streaming trivially-unique circuits would otherwise grow the
+     * cache until OOM. Beyond the cap the least-valuable entry in the
+     * overfull shard is evicted — tier-0 before tier-1 (promotions are
+     * expensive to recreate), fewest hits first. Evictions are counted
+     * in ServiceStats::evictions.
+     */
+    std::size_t cacheCapacity = 4096;
 };
 
 /** Monotonic service counters (a consistent-enough snapshot). */
@@ -129,6 +142,7 @@ struct ServiceStats
     std::uint64_t promotionFailures = 0; ///< promotion compiles that failed
     std::uint64_t guardTrips = 0;     ///< promotions discarded as worse
     std::uint64_t degradedReplies = 0;///< replies with the degraded flag
+    std::uint64_t evictions = 0;      ///< artifacts evicted at capacity
     std::size_t queueDepth = 0;       ///< requests waiting right now
     std::size_t peakQueueDepth = 0;   ///< high-water mark
     std::size_t artifacts = 0;        ///< cached fingerprints
@@ -212,6 +226,9 @@ class CompileService
                              const CompileRequest &request,
                              CacheEntry &entry);
     CacheShard &shardFor(const std::string &key);
+    /** Evicts (under the shard lock) until the shard is within its
+     *  capacity share, never touching @p keep_key. */
+    void evictOverCapacity(CacheShard &shard, const std::string &keep_key);
 
     ServiceOptions options_;
     CompilerOptions tier0Options_;
@@ -243,6 +260,8 @@ class CompileService
     // --- Artifact cache ----------------------------------------------
     static constexpr std::size_t kCacheShards = 8;
     std::unique_ptr<CacheShard[]> shards_;
+    /** Per-shard entry bound: ceil(cacheCapacity / kCacheShards). */
+    std::size_t shardCapacity_ = 0;
 
     // --- Counters ------------------------------------------------------
     std::atomic<std::uint64_t> requests_{0};
@@ -255,6 +274,7 @@ class CompileService
     std::atomic<std::uint64_t> promotionFailures_{0};
     std::atomic<std::uint64_t> guardTrips_{0};
     std::atomic<std::uint64_t> degradedReplies_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 
     std::vector<std::thread> workers_;
     std::thread promoter_;

@@ -7,8 +7,10 @@
  *
  * Covered: happy-path compile over the wire, malformed frames answered
  * in-stream without killing the process, cache hits and a tier
- * promotion observed across repeated requests, EOF drain, and the
- * shutdown handshake (ack is the last stdout line; exit code 0; serving
+ * promotion observed across repeated requests, admission rejection
+ * echoing the request id (forced via the service_queue_overflow
+ * failpoint's environment channel), EOF drain, and the shutdown
+ * handshake (ack is the last stdout line; exit code 0; serving
  * summary on stderr).
  */
 #include <string>
@@ -185,6 +187,41 @@ TEST(DaemonTest, RepeatedRequestsPromoteToTier1)
     EXPECT_GE(promotions->number, 1.0);
 
     SubprocessResult result = daemon.finish(kFinishMs);
+    EXPECT_EQ(result.exitCode, 0) << result.err;
+}
+
+TEST(DaemonTest, AdmissionRejectionEchoesRequestId)
+{
+    // The queue-overflow failpoint (env channel, util/failpoint.h)
+    // makes admission control reject every compile deterministically —
+    // no racy queue-filling needed. Regression under test: the daemon
+    // once built the UNAVAILABLE reply from a moved-from request, so
+    // every rejection carried "id":"" and a pipelining client could
+    // not tell which request was turned away.
+    Subprocess daemon;
+    ASSERT_TRUE(daemon.start(
+        "QAIC_FAILPOINTS=service_queue_overflow=always " +
+        std::string(QAICCD_BIN) +
+        " --no-grape --workers 1 --queue-capacity 1"));
+
+    ASSERT_TRUE(daemon.writeLine(compileFrame("rejected-r1")));
+    JsonValue rejected = readReply(daemon);
+    EXPECT_FALSE(replyOk(rejected));
+    EXPECT_EQ(replyString(rejected, "id"), "rejected-r1")
+        << "a rejection must echo the request id for correlation";
+    const JsonValue *error = rejected.find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(replyString(*error, "code"), "UNAVAILABLE");
+
+    // The daemon keeps serving after shedding load: control frames
+    // bypass admission entirely.
+    ASSERT_TRUE(daemon.writeLine("{\"id\":\"p\",\"op\":\"ping\"}"));
+    JsonValue pong = readReply(daemon);
+    EXPECT_TRUE(replyOk(pong));
+    EXPECT_EQ(replyString(pong, "id"), "p");
+
+    SubprocessResult result = daemon.finish(kFinishMs);
+    EXPECT_FALSE(result.timedOut);
     EXPECT_EQ(result.exitCode, 0) << result.err;
 }
 

@@ -17,7 +17,10 @@
  *    (answered exactly once) or rejected with kUnavailable — nothing
  *    is dropped silently;
  *  - clean shutdown drains the queue: every admitted request is
- *    answered before shutdown() returns.
+ *    answered before shutdown() returns;
+ *  - bounded steady-state memory: a stream of unique circuits churns
+ *    the artifact cache within cacheCapacity (hot/promoted entries
+ *    preferentially retained) instead of growing it without bound.
  *
  * CI runs the whole ctest suite under TSan (alongside tsan_soak_test),
  * which turns any data race in the queue/cache/promoter machinery into
@@ -234,6 +237,67 @@ TEST(ServiceSoakTest, OverloadIsRejectedNeverDropped)
               static_cast<std::uint64_t>(rejected.load()));
     EXPECT_EQ(stats.queueDepth, 0u) << "shutdown must drain the queue";
     EXPECT_LE(stats.peakQueueDepth, options.queueCapacity);
+}
+
+TEST(ServiceSoakTest, ArtifactCacheStaysBoundedUnderUniqueTraffic)
+{
+    // Admission control bounds in-flight work; cacheCapacity bounds
+    // steady-state memory. A client streaming trivially-unique circuits
+    // (the cheapest cache-filling attack) must churn the cache within
+    // its cap while a hot, promoted fingerprint survives eviction —
+    // tier-1 artifacts are preferentially retained, then most-hit.
+    ServiceOptions options;
+    options.workers = 2;
+    options.queueCapacity = 1024;
+    options.cacheCapacity = 16; // tiny: force eviction pressure
+    options.promoteAfter = 2;
+    options.tier1Grape = false;
+    CompileService service(options);
+
+    const CompileRequest hot = workloadRequest(0, "hot");
+    std::string hot_fingerprint;
+
+    // Warm the hot fingerprint past promoteAfter *before* the unique
+    // stream starts, so its hit count strictly dominates every
+    // single-hit unique entry — its survival is deterministic, not a
+    // tie-break.
+    for (int i = 0; i < 3; ++i) {
+        ServiceReply reply = service.compileSync(hot);
+        ASSERT_TRUE(reply.ok) << reply.toJson();
+        hot_fingerprint = reply.fingerprint;
+    }
+
+    for (int i = 0; i < 200; ++i) {
+        // Every 5th request re-touches the hot fingerprint; the rest
+        // are unique (a distinct rz angle changes the canonical key).
+        if (i % 5 == 0) {
+            ServiceReply reply = service.compileSync(hot);
+            ASSERT_TRUE(reply.ok) << reply.toJson();
+            EXPECT_EQ(reply.fingerprint, hot_fingerprint);
+            continue;
+        }
+        CompileRequest unique = workloadRequest(1, "u" + std::to_string(i));
+        unique.qasm += "rz(0." + std::to_string(1000 + i) + ") q0\n";
+        ServiceReply reply = service.compileSync(unique);
+        ASSERT_TRUE(reply.ok) << reply.toJson();
+    }
+    service.waitForPromotionsIdle();
+
+    ServiceStats stats = service.stats();
+    EXPECT_LE(stats.artifacts, options.cacheCapacity)
+        << "unique traffic must evict, not grow the cache unboundedly";
+    EXPECT_GT(stats.evictions, 0u);
+
+    // The hot artifact outlived ~160 unique insertions: still cached,
+    // and promoted (tier >= 1) since it was requested 40 times with
+    // promoteAfter=2.
+    ServiceReply final_hot = service.compileSync(hot);
+    ASSERT_TRUE(final_hot.ok) << final_hot.toJson();
+    EXPECT_TRUE(final_hot.cached)
+        << "the hot fingerprint must not have been evicted";
+    EXPECT_EQ(final_hot.fingerprint, hot_fingerprint);
+    EXPECT_GE(final_hot.tier, 1)
+        << "eviction must prefer tier-0 victims over the promotion";
 }
 
 TEST(ServiceSoakTest, ShutdownDuringTrafficAnswersEveryAdmittedRequest)

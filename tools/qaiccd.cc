@@ -26,6 +26,9 @@
  *                           compiles
  *     --check-invariants    verify pass contracts on every compile
  *     --max-request-bytes N per-frame byte cap (default 1 MiB)
+ *     --cache-capacity N    artifact-cache entry bound; beyond it the
+ *                           least-hit tier-0 artifacts are evicted
+ *                           (default 4096)
  *
  * Lifecycle: the daemon exits 0 after EOF on stdin or a
  * {"op":"shutdown"} frame; either way the request queue is drained
@@ -35,7 +38,11 @@
  * stderr on exit. No input, however malformed, terminates the process
  * with a nonzero status: hostile bytes become error replies
  * (tests/service_fuzz_test.cc drives the same entry points in-process).
+ * SIGPIPE is ignored, so a client that closes its read end mid-drain
+ * turns further replies into fwrite failures instead of killing the
+ * daemon with a signal.
  */
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,16 +68,19 @@ usage(const char *argv0)
                  "          [--promote-after N] [--no-promote] "
                  "[--no-grape] [--no-opt]\n"
                  "          [--pulse-lib FILE] [--check-invariants]\n"
-                 "          [--max-request-bytes N]\n",
+                 "          [--max-request-bytes N] [--cache-capacity N]\n",
                  argv0);
     return 2;
 }
 
 /**
  * Reads one newline-terminated frame, never buffering more than the
- * cap: once a line exceeds it the rest is *discarded*, not stored, so
- * an attacker streaming gigabytes without a newline costs a bounded
- * amount of memory. Returns false on EOF with nothing read.
+ * cap: once a line would exceed max_bytes of payload the rest is
+ * *discarded*, not stored, so an attacker streaming gigabytes without
+ * a newline costs a bounded amount of memory. The boundary agrees with
+ * parseRequest's own `size() > max_bytes` check — a frame of exactly
+ * max_bytes bytes passes, one more byte is oversized. Returns false on
+ * EOF with nothing read.
  */
 bool
 readFrame(std::istream &in, std::size_t max_bytes, std::string *frame,
@@ -84,7 +94,7 @@ readFrame(std::istream &in, std::size_t max_bytes, std::string *frame,
         any = true;
         if (c == '\n')
             return true;
-        if (frame->size() > max_bytes) {
+        if (frame->size() >= max_bytes) {
             *oversized = true; // keep draining to the newline
             continue;
         }
@@ -109,6 +119,11 @@ writeReplyLine(const std::string &json)
 int
 main(int argc, char **argv)
 {
+    // A client closing its read end must not kill the daemon mid-drain
+    // with SIGPIPE; with it ignored, fwrite on the dead pipe fails
+    // (EPIPE) and the graceful EOF/shutdown lifecycle stays in charge.
+    std::signal(SIGPIPE, SIG_IGN);
+
     ServiceOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -140,6 +155,11 @@ main(int argc, char **argv)
             if (bytes < 64)
                 return usage(argv[0]);
             options.maxRequestBytes = static_cast<std::size_t>(bytes);
+        } else if (arg == "--cache-capacity" && i + 1 < argc) {
+            long capacity = std::atol(argv[++i]);
+            if (capacity < 1)
+                return usage(argv[0]);
+            options.cacheCapacity = static_cast<std::size_t>(capacity);
         } else {
             return usage(argv[0]);
         }
@@ -202,14 +222,16 @@ main(int argc, char **argv)
                 break;
             continue;
         }
+        // Save the id before the move: the rejection reply below must
+        // echo it so a pipelining client can tell *which* request was
+        // turned away (CompileService::compileSync does the same).
+        const std::string id = request.compile.id;
         Status admitted = service.submitAsync(
             std::move(request.compile), [](const ServiceReply &reply) {
                 writeReplyLine(reply.toJson());
             });
         if (!admitted.isOk())
-            writeReplyLine(
-                errorReply(request.compile.id, std::move(admitted))
-                    .toJson());
+            writeReplyLine(errorReply(id, std::move(admitted)).toJson());
     }
 
     // Drain: every admitted request is answered before this returns,
